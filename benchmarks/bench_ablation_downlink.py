@@ -1,0 +1,67 @@
+"""Ablation (Section 3.7) — access-aware downlink scheduling.
+
+The paper: on the DL, over-scheduling transmissions is impossible, but the
+blueprint enables access-aware scheduling that "minimizes collisions and
+increases overall efficiency".  This ablation compares blind PF with the
+blueprint-weighted DL scheduler on a cell where half the clients sit next
+to heavy hidden terminals.
+"""
+
+from repro import ProportionalFairScheduler, SimulationConfig, TopologyJointProvider
+from repro.analysis import format_table
+from repro.core.scheduling.downlink import AccessAwareDownlinkScheduler
+from repro.sim.downlink import DownlinkSimulation
+from repro.topology.graph import InterferenceTopology
+from repro.topology.scenarios import uniform_snrs
+
+from common import MASTER_SEED, emit
+
+NUM_UES = 10
+
+
+def run_experiment():
+    topology = InterferenceTopology.build(
+        NUM_UES,
+        [(0.55 + 0.04 * u, [u]) for u in range(NUM_UES // 2)],
+    )
+    snrs = uniform_snrs(NUM_UES, seed=4)
+    provider = TopologyJointProvider(topology)
+    config = SimulationConfig(num_subframes=4000, num_rbs=10)
+    results = {}
+    for name, scheduler in (
+        ("pf", ProportionalFairScheduler()),
+        ("dl-access-aware", AccessAwareDownlinkScheduler(provider)),
+    ):
+        results[name] = DownlinkSimulation(
+            topology, snrs, scheduler, config, seed=MASTER_SEED
+        ).run()
+    return results
+
+
+def test_ablation_downlink(benchmark, capsys):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            result.aggregate_throughput_mbps,
+            result.rb_utilization,
+            result.grant_collision_fraction,
+            result.jain_index,
+        ]
+        for name, result in results.items()
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["scheduler", "throughput Mbps", "RB delivery", "collision frac", "jain"],
+            rows,
+            title="Ablation — blueprint-driven access-aware DL scheduling",
+        ),
+    )
+    pf = results["pf"]
+    aware = results["dl-access-aware"]
+    # Shape: fewer collisions and more delivered throughput than blind PF.
+    assert aware.grant_collision_fraction < pf.grant_collision_fraction
+    assert aware.aggregate_throughput_mbps > 1.05 * pf.aggregate_throughput_mbps
+    # Fairness does not collapse: jammed clients keep meaningful service.
+    assert aware.jain_index > 0.5

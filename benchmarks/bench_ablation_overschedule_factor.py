@@ -1,0 +1,82 @@
+"""Ablation — the over-scheduling factor ``f`` (paper: [M, 2M], f = 2).
+
+The paper observes that carefully over-scheduling beyond ``M`` raises
+utilization but collision risk grows with it: returns diminish past
+``f ~ 2``.  This ablation sweeps ``f`` with the speculative scheduler on a
+fixed cell and reports throughput and collision fractions.
+"""
+
+from repro import SpeculativeScheduler, TopologyJointProvider, ProportionalFairScheduler
+from repro.analysis import format_table
+
+from common import MASTER_SEED, emit, run_cell, make_testbed_cell
+
+FACTORS = (1.0, 2.0, 3.0, 4.0)
+NUM_UES = 12
+
+
+def run_experiment():
+    topology, snrs = make_testbed_cell(NUM_UES, hts_per_ue=2, activity=0.45, seed=5)
+    provider = TopologyJointProvider(topology)
+    factories = {"pf": ProportionalFairScheduler}
+    for factor in FACTORS:
+        factories[f"blu f={factor}"] = (
+            lambda factor=factor: SpeculativeScheduler(
+                provider, overschedule_factor=factor
+            )
+        )
+    return run_cell(
+        topology,
+        snrs,
+        factories,
+        num_subframes=3500,
+        num_antennas=1,
+        seed=MASTER_SEED,
+    )
+
+
+def test_ablation_overschedule_factor(benchmark, capsys):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for factor in FACTORS:
+        result = results[f"blu f={factor}"]
+        rows.append(
+            [
+                factor,
+                result.aggregate_throughput_mbps,
+                result.rb_utilization,
+                result.grant_collision_fraction,
+            ]
+        )
+    emit(
+        capsys,
+        format_table(
+            ["factor f", "throughput Mbps", "RB util", "collision frac"],
+            rows,
+            title=(
+                "Ablation — over-scheduling factor (SISO, 12 UEs; "
+                f"PF reference: {results['pf'].aggregate_throughput_mbps:.2f} Mbps)"
+            ),
+        ),
+    )
+    throughput = {
+        f: results[f"blu f={f}"].aggregate_throughput_mbps for f in FACTORS
+    }
+    collisions = {
+        f: results[f"blu f={f}"].grant_collision_fraction for f in FACTORS
+    }
+    # f=1 means no over-scheduling: well below f=2.
+    assert throughput[2.0] > 1.2 * throughput[1.0]
+    # Diminishing returns (paper: [M, 2M] is the sweet spot): each extra
+    # unit of f buys strictly less than the previous one.
+    step_1_2 = throughput[2.0] / throughput[1.0]
+    step_2_3 = throughput[3.0] / throughput[2.0]
+    step_3_4 = throughput[4.0] / throughput[3.0]
+    assert step_2_3 < step_1_2
+    assert step_3_4 < step_2_3
+    assert step_3_4 < 1.1
+    # The cost of pushing f: collision risk grows monotonically.
+    ordered = [collisions[f] for f in FACTORS]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # And f=2 comfortably beats plain PF.
+    assert throughput[2.0] > 1.3 * results["pf"].aggregate_throughput_mbps

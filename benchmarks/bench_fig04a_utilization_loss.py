@@ -1,0 +1,48 @@
+"""Fig. 4a — loss in UL subframe (RB) utilization vs hidden terminals.
+
+Paper: 8 clients; the utilization loss under the native scheduler grows
+with the number of hidden terminals and exceeds 50% "even for a small
+number of hidden terminals".
+"""
+
+from repro import CellSimulation, ProportionalFairScheduler, SimulationConfig
+from repro.analysis import format_table
+
+from common import MASTER_SEED, emit, make_testbed_cell
+
+HT_SWEEP = (0, 1, 2, 3)
+NUM_UES = 8
+
+
+def run_experiment():
+    losses = {}
+    for hts_per_ue in HT_SWEEP:
+        topology, snrs = make_testbed_cell(NUM_UES, hts_per_ue, activity=0.45)
+        result = CellSimulation(
+            topology,
+            snrs,
+            ProportionalFairScheduler(),
+            SimulationConfig(num_subframes=2500, num_rbs=8),
+            seed=MASTER_SEED,
+        ).run()
+        losses[hts_per_ue] = result.utilization_loss
+    return losses
+
+
+def test_fig04a_utilization_loss(benchmark, capsys):
+    losses = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        format_table(
+            ["HTs per UE", "utilization loss"],
+            [[h, losses[h]] for h in HT_SWEEP],
+            title="Fig. 4a — subframe utilization loss (PF, SISO, 8 UEs)",
+        ),
+    )
+    # Shape: monotone growth with hidden terminals.
+    ordered = [losses[h] for h in HT_SWEEP]
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))
+    # Shape: no hidden terminals -> almost no loss.
+    assert losses[0] < 0.15
+    # Shape: "can be over 50% even for a small number of hidden terminals".
+    assert losses[2] > 0.5

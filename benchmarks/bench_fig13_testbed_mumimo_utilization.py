@@ -1,0 +1,54 @@
+"""Fig. 13 — testbed MU-MIMO RB-utilization gains of BLU over PF.
+
+Paper: same utilization story as Fig. 12 with the 2-antenna MU-MIMO eNB.
+"""
+
+from repro.analysis import format_table
+
+from common import MASTER_SEED, emit, gain, run_cell, standard_factories, make_testbed_cell
+
+HT_SWEEP = (1, 2, 3)
+NUM_UES = 4
+
+
+def run_experiment():
+    table = {}
+    for hts_per_ue in HT_SWEEP:
+        topology, snrs = make_testbed_cell(NUM_UES, hts_per_ue, activity=0.45)
+        table[hts_per_ue] = run_cell(
+            topology,
+            snrs,
+            standard_factories(topology, include_perfect=False),
+            num_subframes=4000,
+            num_antennas=2,
+            seed=MASTER_SEED,
+        )
+    return table
+
+
+def test_fig13_testbed_mumimo_utilization(benchmark, capsys):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            h,
+            table[h]["pf"].rb_utilization,
+            table[h]["blu"].rb_utilization,
+            gain(table[h], "blu", "rb_utilization"),
+        ]
+        for h in HT_SWEEP
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["HTs per UE", "PF RB util", "BLU RB util", "BLU gain"],
+            rows,
+            title="Fig. 13 — testbed-style MU-MIMO RB utilization (4 UEs, M=2)",
+        ),
+    )
+    gains = [gain(table[h], "blu", "rb_utilization") for h in HT_SWEEP]
+    # Shape: BLU never hurts utilization; with light interference (1 HT/UE)
+    # the 2-antenna PF already soaks most of the loss, so the gain is small
+    # there and grows with hidden-terminal pressure (as in the paper).
+    assert all(g > 1.0 for g in gains)
+    assert gains[-1] >= gains[0]
+    assert max(gains) >= 1.3

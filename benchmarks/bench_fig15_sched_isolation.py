@@ -1,0 +1,79 @@
+"""Fig. 15 — speculative scheduling in isolation (perfect joint knowledge).
+
+Paper: 24 UEs, SISO, at most 10 UEs scheduled per subframe; the joint
+access distributions p(i), p(i,j) are computed directly from the traces
+(no inference in the loop) and used by both the access-aware and BLU
+schedulers.  Result: PF 3.8 Mbps, AA 3.5 Mbps, BLU 6.8 Mbps — 1.8x/1.9x.
+
+Here the "trace" is a recorded activity matrix of the emulated cell; the
+empirical joint provider plays the paper's trace-derived distributions.
+"""
+
+import numpy as np
+
+from repro import (
+    AccessAwareScheduler,
+    EmpiricalJointProvider,
+    ProportionalFairScheduler,
+    SpeculativeScheduler,
+)
+from repro.analysis import format_table
+from repro.traces.collect import collect_topology_trace
+
+from common import MASTER_SEED, emit, run_cell, make_testbed_cell
+
+NUM_UES = 24
+
+
+def run_experiment():
+    topology, snrs = make_testbed_cell(NUM_UES, hts_per_ue=2, activity=0.4, seed=5)
+    # "Compute access probabilities directly from the traces".
+    trace = collect_topology_trace(
+        topology,
+        snrs,
+        num_subframes=20_000,
+        seed=MASTER_SEED,
+        record_channels=False,
+    )
+    provider = EmpiricalJointProvider(trace.clear_matrix())
+    results = run_cell(
+        topology,
+        snrs,
+        {
+            "pf": ProportionalFairScheduler,
+            "aa": lambda: AccessAwareScheduler(provider),
+            "blu": lambda: SpeculativeScheduler(provider),
+        },
+        num_subframes=4000,
+        num_antennas=1,
+        max_distinct_ues=10,
+        seed=MASTER_SEED,
+    )
+    return results
+
+
+def test_fig15_scheduler_isolation(benchmark, capsys):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    pf = results["pf"].aggregate_throughput_mbps
+    aa = results["aa"].aggregate_throughput_mbps
+    blu = results["blu"].aggregate_throughput_mbps
+    emit(
+        capsys,
+        format_table(
+            ["scheduler", "throughput Mbps", "gain over PF"],
+            [
+                ["pf", pf, 1.0],
+                ["access-aware", aa, aa / pf],
+                ["blu", blu, blu / pf],
+            ],
+            title=(
+                "Fig. 15 — SISO, 24 UEs, <=10 per subframe, trace-derived "
+                "joint distributions (paper: 3.8 / 3.5 / 6.8 Mbps)"
+            ),
+        ),
+    )
+    # Shape: BLU well ahead of both (paper: 1.8x over PF, 1.9x over AA).
+    assert blu / pf >= 1.5
+    assert blu / aa >= 1.3
+    # Shape: AA is not the answer — it stays in PF's neighbourhood.
+    assert 0.7 <= aa / pf <= 1.45

@@ -1,0 +1,76 @@
+"""Fig. 16 — SISO throughput with varying numbers of UEs (full pipeline).
+
+Paper: with joint access distributions estimated from the *inferred*
+topology (Section 3.6) instead of the traces, BLU's SISO gains stay close
+to the perfect-knowledge 1.8x at 24 UEs, and the gains grow with the
+number of UEs (more room for interference diversity).
+"""
+
+from repro.analysis import format_table
+
+from common import (
+    MASTER_SEED,
+    emit,
+    gain,
+    restrict_topology,
+    run_cell,
+    standard_factories,
+    make_testbed_cell,
+)
+
+UE_SWEEP = (8, 16, 24)
+
+
+def run_experiment():
+    # One parent cell; smaller populations are its prefixes, so per-UE
+    # interference statistics are identical across the sweep.
+    parent, snrs = make_testbed_cell(max(UE_SWEEP), hts_per_ue=2, activity=0.4, seed=5)
+    table = {}
+    for num_ues in UE_SWEEP:
+        topology = restrict_topology(parent, num_ues)
+        sub_snrs = {u: snrs[u] for u in range(num_ues)}
+        table[num_ues] = run_cell(
+            topology,
+            sub_snrs,
+            standard_factories(topology, include_perfect=True),
+            num_subframes=4000,
+            num_antennas=1,
+            max_distinct_ues=10,
+            seed=MASTER_SEED,
+        )
+    return table
+
+
+def test_fig16_siso_throughput_vs_ues(benchmark, capsys):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for num_ues in UE_SWEEP:
+        results = table[num_ues]
+        rows.append(
+            [
+                num_ues,
+                results["pf"].aggregate_throughput_mbps,
+                results["blu"].aggregate_throughput_mbps,
+                gain(results, "blu", "throughput_mbps"),
+                gain(results, "blu-perfect", "throughput_mbps"),
+            ]
+        )
+    emit(
+        capsys,
+        format_table(
+            ["UEs", "PF Mbps", "BLU Mbps", "BLU gain", "perfect-topology gain"],
+            rows,
+            title="Fig. 16 — SISO throughput vs number of UEs (inferred topology)",
+        ),
+    )
+    gains = [gain(table[n], "blu", "throughput_mbps") for n in UE_SWEEP]
+    # Shape: substantial gains at every population size, and the paper's
+    # ~1.8x at 24 UEs.  (Unlike the paper we see a plateau rather than
+    # growth across N — the K=10 distinct-UE budget caps how much pairing
+    # diversity BLU can spend at 24 UEs; see EXPERIMENTS.md.)
+    assert all(g >= 1.5 for g in gains)
+    assert gains[-1] >= 1.6
+    assert gains[-1] >= 0.85 * max(gains)
+    # Shape: inference costs little versus perfect topology knowledge.
+    perfect = gain(table[24], "blu-perfect", "throughput_mbps")
+    assert gains[-1] >= 0.8 * perfect

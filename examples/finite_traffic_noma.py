@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Beyond full buffer: finite traffic, NOMA reception, and trend plots.
+
+The paper evaluates with saturated clients and a conventional receiver;
+this example exercises two extensions the library ships:
+
+1. **Finite-buffer traffic** (paper footnote 1): half the clients stream
+   periodic AR/VR-style bursts, half carry Poisson uplink loads — clients
+   without queued data are simply not scheduled, and delivery tracks the
+   offered load until interference bites.
+2. **SIC (NOMA) reception** (paper Section 5): with power-diverse clients,
+   an over-scheduled RB where too many clients clear CCA is no longer an
+   automatic collision.
+
+Run:
+    python examples/finite_traffic_noma.py
+"""
+
+import numpy as np
+
+from repro import (
+    ProportionalFairScheduler,
+    SimulationConfig,
+    SpeculativeScheduler,
+    TopologyJointProvider,
+    CellSimulation,
+)
+from repro.analysis import bar_chart
+from repro.lte.traffic import PeriodicTraffic, PoissonTraffic
+from repro.topology.graph import InterferenceTopology
+
+NUM_UES = 8
+
+
+def build_cell():
+    topology = InterferenceTopology.build(
+        NUM_UES, [(0.55, [u]) for u in range(NUM_UES)]
+    )
+    # Near/far deployment: strong power diversity for SIC to exploit.
+    snrs = {u: (33.0 if u % 2 == 0 else 13.0) for u in range(NUM_UES)}
+    return topology, snrs
+
+
+def traffic_mix():
+    sources = {}
+    for u in range(NUM_UES):
+        if u < NUM_UES // 2:
+            # 60 kbit burst every 16 ms ~ 3.75 Mbps video uplink.
+            sources[u] = PeriodicTraffic(bits_per_burst=60_000.0, period_subframes=16)
+        else:
+            sources[u] = PoissonTraffic(
+                mean_rate_bps=1.5e6, rng=np.random.default_rng(100 + u)
+            )
+    return sources
+
+
+def run(receiver: str, scheduler_factory, label: str, topology, snrs):
+    simulation = CellSimulation(
+        topology,
+        snrs,
+        scheduler_factory(),
+        SimulationConfig(num_subframes=6000, num_rbs=8, receiver=receiver),
+        traffic_sources=traffic_mix(),
+        seed=11,
+    )
+    result = simulation.run()
+    offered = sum(
+        queue.total_arrived for queue in simulation._queues.values()
+    )
+    return result, offered
+
+
+def main() -> None:
+    topology, snrs = build_cell()
+    provider = TopologyJointProvider(topology)
+
+    print("=== Finite traffic: offered vs delivered ===")
+    outcomes = {}
+    for receiver in ("linear", "sic"):
+        for name, factory in (
+            ("pf", ProportionalFairScheduler),
+            ("blu", lambda: SpeculativeScheduler(provider)),
+        ):
+            result, offered = run(receiver, factory, name, topology, snrs)
+            key = f"{name}/{receiver}"
+            outcomes[key] = result
+            delivered = result.total_delivered_bits
+            print(
+                f"{key:12s} delivered {delivered / 1e6:7.2f} Mb of "
+                f"{offered / 1e6:7.2f} Mb offered "
+                f"({delivered / offered:5.1%}), collisions "
+                f"{result.grant_collision_fraction:.2f}"
+            )
+
+    print()
+    print(
+        bar_chart(
+            {k: v.aggregate_throughput_mbps for k, v in outcomes.items()},
+            title="Throughput (Mbps) — scheduler x receiver",
+        )
+    )
+    blu_gain = (
+        outcomes["blu/sic"].aggregate_throughput_mbps
+        / outcomes["pf/linear"].aggregate_throughput_mbps
+    )
+    print(
+        f"\nBLU + SIC vs PF + conventional receiver: {blu_gain:.2f}x "
+        "delivered throughput under finite traffic"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""repro — BLU: Blue-printing Interference for Robust LTE Access in
+Unlicensed Spectrum (CoNEXT 2017), reproduced as a Python library.
+
+Layers:
+
+* ``repro.lte`` — the LTE substrate: frame structure, CQI/MCS rates,
+  fading channels, UE/eNB node models, pilots, MU-MIMO reception.
+* ``repro.spectrum`` — the unlicensed medium: CCA/sensing models, WiFi
+  hidden terminals (CSMA/CA, traffic, rate adaptation), activity processes.
+* ``repro.topology`` — geometry, the interference graph ``(h, q, Z)``,
+  scenario generation, hidden-terminal counting.
+* ``repro.core`` — BLU itself: measurement scheduling (Algorithm 1),
+  access estimation, blueprint inference (Section 3.4), higher-order joint
+  distributions (Section 3.6), the scheduler family (PF / access-aware /
+  speculative / oracle), and the two-phase controller (Fig. 9).
+* ``repro.sim`` — the cell-level simulation engine and experiment runners.
+* ``repro.traces`` — trace recording, combination, and persistence.
+* ``repro.analysis`` — CDFs and result tables.
+
+Quickstart::
+
+    from repro import (BLUController, BLUConfig, SimulationConfig,
+                       run_comparison, ProportionalFairScheduler,
+                       testbed_topology, uniform_snrs)
+
+    topology = testbed_topology(num_ues=8, hts_per_ue=2, activity=0.4, seed=1)
+    results = run_comparison(
+        topology, uniform_snrs(8, seed=2),
+        {"pf": ProportionalFairScheduler,
+         "blu": lambda: BLUController(8, BLUConfig())},
+        SimulationConfig(num_subframes=4000),
+    )
+    print({k: v.aggregate_throughput_mbps for k, v in results.items()})
+"""
+
+from repro.core.blueprint import (
+    BlueprintInference,
+    InferenceConfig,
+    InferenceResult,
+    McmcConfig,
+    McmcInference,
+    TransformedMeasurements,
+)
+from repro.core.controller import BLUConfig, BLUController, BLUPhase
+from repro.core.joint import (
+    EmpiricalJointProvider,
+    TopologyJointProvider,
+    joint_access_probability,
+)
+from repro.core.measurement import (
+    AccessEstimator,
+    MeasurementScheduler,
+    minimum_subframes,
+)
+from repro.core.scheduling import (
+    AccessAwareDownlinkScheduler,
+    AccessAwareScheduler,
+    OracleScheduler,
+    PfAverageTracker,
+    ProportionalFairScheduler,
+    SchedulingContext,
+    SingleUserScheduler,
+    SpeculativeScheduler,
+    jain_fairness_index,
+)
+from repro.errors import (
+    ConfigurationError,
+    InferenceError,
+    MeasurementError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+    TraceError,
+)
+from repro.sim import (
+    CellSimulation,
+    SimulationConfig,
+    SimulationResult,
+    gain_over,
+    run_comparison,
+)
+from repro.topology import (
+    InterferenceTopology,
+    Scenario,
+    ScenarioConfig,
+    edge_set_accuracy,
+    fig1_topology,
+    generate_scenario,
+    skewed_topology,
+    statistically_equivalent,
+    testbed_topology,
+    uniform_snrs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessAwareDownlinkScheduler",
+    "AccessAwareScheduler",
+    "AccessEstimator",
+    "BLUConfig",
+    "BLUController",
+    "BLUPhase",
+    "BlueprintInference",
+    "CellSimulation",
+    "ConfigurationError",
+    "EmpiricalJointProvider",
+    "InferenceConfig",
+    "InferenceError",
+    "InferenceResult",
+    "InterferenceTopology",
+    "McmcConfig",
+    "McmcInference",
+    "MeasurementError",
+    "MeasurementScheduler",
+    "OracleScheduler",
+    "PfAverageTracker",
+    "ProportionalFairScheduler",
+    "ReproError",
+    "Scenario",
+    "ScenarioConfig",
+    "SchedulingContext",
+    "SchedulingError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SingleUserScheduler",
+    "SpeculativeScheduler",
+    "TopologyError",
+    "TopologyJointProvider",
+    "TraceError",
+    "TransformedMeasurements",
+    "edge_set_accuracy",
+    "fig1_topology",
+    "gain_over",
+    "generate_scenario",
+    "jain_fairness_index",
+    "joint_access_probability",
+    "minimum_subframes",
+    "run_comparison",
+    "skewed_topology",
+    "statistically_equivalent",
+    "testbed_topology",
+    "uniform_snrs",
+    "__version__",
+]

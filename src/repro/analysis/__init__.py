@@ -1,0 +1,20 @@
+"""Result analysis helpers: CDFs and report tables."""
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_least, percentile
+from repro.analysis.plots import bar_chart, cdf_plot, sparkline
+from repro.analysis.report import comparison_report, sweep_report
+from repro.analysis.tables import format_comparison, format_table
+
+__all__ = [
+    "bar_chart",
+    "cdf_at",
+    "cdf_plot",
+    "comparison_report",
+    "empirical_cdf",
+    "format_comparison",
+    "format_table",
+    "fraction_at_least",
+    "percentile",
+    "sparkline",
+    "sweep_report",
+]

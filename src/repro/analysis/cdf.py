@@ -1,0 +1,45 @@
+"""Empirical CDFs — the presentation form of Fig. 14."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["empirical_cdf", "cdf_at", "fraction_at_least", "percentile"]
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fractions)``."""
+    if len(values) == 0:
+        raise ConfigurationError("CDF of an empty sample")
+    sorted_values = np.sort(np.asarray(values, dtype=float))
+    fractions = np.arange(1, len(sorted_values) + 1) / len(sorted_values)
+    return sorted_values, fractions
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """``P(X <= threshold)`` under the empirical distribution."""
+    if len(values) == 0:
+        raise ConfigurationError("CDF of an empty sample")
+    array = np.asarray(values, dtype=float)
+    return float((array <= threshold).mean())
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    """``P(X >= threshold)`` — e.g. 'accuracy is 100% for 70% of cases'."""
+    if len(values) == 0:
+        raise ConfigurationError("fraction of an empty sample")
+    array = np.asarray(values, dtype=float)
+    return float((array >= threshold).mean())
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100)."""
+    if len(values) == 0:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile outside [0,100]: {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))

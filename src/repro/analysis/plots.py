@@ -1,0 +1,85 @@
+"""Terminal plots: bar charts and CDF curves rendered as ASCII.
+
+Benchmarks and examples run headless; these helpers render the paper's
+figure shapes (gain bars, accuracy CDFs) directly in the terminal so the
+reproduction can be eyeballed without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import empirical_cdf
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "cdf_plot", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values (non-negative)."""
+    if not values:
+        raise ConfigurationError("bar chart of no values")
+    if width < 4:
+        raise ConfigurationError(f"width too small: {width}")
+    for label, value in values.items():
+        if value < 0:
+            raise ConfigurationError(f"negative bar value for {label!r}: {value}")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        filled = value / peak * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values: Sequence[float],
+    width: int = 50,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """An ASCII empirical-CDF curve (x: value, y: cumulative fraction)."""
+    if height < 3 or width < 8:
+        raise ConfigurationError("cdf plot too small to render")
+    xs, ys = empirical_cdf(values)
+    lo, hi = float(xs[0]), float(xs[-1])
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - lo) / span * (width - 1))
+        row = int((1.0 - y) * (height - 1))
+        grid[row][column] = "*"
+    lines: List[str] = [title] if title else []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<{width // 2}.3f}{hi:>{width // 2}.3f}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a series (e.g. utilization over time)."""
+    if len(values) == 0:
+        raise ConfigurationError("sparkline of no values")
+    array = np.asarray(values, dtype=float)
+    lo, hi = float(array.min()), float(array.max())
+    span = hi - lo or 1.0
+    ticks = "▁▂▃▄▅▆▇█"
+    return "".join(
+        ticks[min(int((v - lo) / span * (len(ticks) - 1)), len(ticks) - 1)]
+        for v in array
+    )

@@ -1,0 +1,111 @@
+"""Markdown experiment reports.
+
+Turns a dictionary of named :class:`~repro.sim.results.SimulationResult`
+objects (one comparison run) into a self-contained markdown section —
+the building block for regenerating an EXPERIMENTS.md-style document from
+fresh runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+__all__ = ["comparison_report", "sweep_report"]
+
+_DEFAULT_METRICS = (
+    "throughput_mbps",
+    "rb_utilization",
+    "grant_blocked",
+    "grant_collided",
+    "jain_index",
+)
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        lines.append("| " + " | ".join(render(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def comparison_report(
+    results: Mapping[str, SimulationResult],
+    title: str,
+    baseline: str = "pf",
+    metrics: Sequence[str] = _DEFAULT_METRICS,
+    notes: Optional[str] = None,
+) -> str:
+    """One markdown section for a scheduler comparison."""
+    if not results:
+        raise ConfigurationError("no results to report")
+    if baseline not in results:
+        raise ConfigurationError(f"baseline {baseline!r} not among results")
+    summaries = {name: result.summary() for name, result in results.items()}
+    base = summaries[baseline]
+
+    headers = ["scheduler"] + list(metrics) + [f"throughput vs {baseline}"]
+    rows: List[List[object]] = []
+    for name, summary in summaries.items():
+        gain = (
+            summary["throughput_mbps"] / base["throughput_mbps"]
+            if base["throughput_mbps"]
+            else float("inf")
+        )
+        rows.append([name] + [summary[m] for m in metrics] + [f"{gain:.2f}x"])
+
+    parts = [f"## {title}", "", _markdown_table(headers, rows)]
+    if notes:
+        parts += ["", notes]
+    return "\n".join(parts) + "\n"
+
+
+def sweep_report(
+    points: Mapping[object, Mapping[str, SimulationResult]],
+    title: str,
+    metric: str = "throughput_mbps",
+    baseline: str = "pf",
+) -> str:
+    """One markdown section for a parameter sweep (rows = sweep values)."""
+    if not points:
+        raise ConfigurationError("no sweep points to report")
+    scheduler_names: List[str] = []
+    for results in points.values():
+        for name in results:
+            if name not in scheduler_names:
+                scheduler_names.append(name)
+        if baseline not in results:
+            raise ConfigurationError(f"baseline {baseline!r} missing at a point")
+
+    headers = ["parameter"] + [f"{n} {metric}" for n in scheduler_names] + [
+        f"best gain vs {baseline}"
+    ]
+    rows: List[List[object]] = []
+    for parameter, results in points.items():
+        summaries = {n: r.summary()[metric] for n, r in results.items()}
+        base_value = summaries[baseline]
+        others = [v for n, v in summaries.items() if n != baseline]
+        if not others:
+            gain_cell = "-"
+        elif not base_value:
+            gain_cell = "inf"
+        else:
+            gain_cell = f"{max(others) / base_value:.2f}x"
+        rows.append(
+            [parameter]
+            + [summaries.get(n, float("nan")) for n in scheduler_names]
+            + [gain_cell]
+        )
+    return "\n".join([f"## {title}", "", _markdown_table(headers, rows)]) + "\n"

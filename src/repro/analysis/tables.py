@@ -1,0 +1,64 @@
+"""Plain-text tables for benchmark output (paper-style result rows)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table; floats get 3 decimals."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str],
+    baseline: str = "",
+    title: str = "",
+) -> str:
+    """Tabulate named result summaries; optionally add x-over-baseline columns."""
+    headers = ["scheduler"] + list(metrics)
+    if baseline:
+        headers += [f"{m} (x {baseline})" for m in metrics]
+    rows = []
+    for name, summary in results.items():
+        row: List[object] = [name] + [summary[m] for m in metrics]
+        if baseline:
+            base = results[baseline]
+            for m in metrics:
+                row.append(summary[m] / base[m] if base[m] else float("inf"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare``   — run PF / AA / BLU / oracle on a synthetic cell and print
+                  the comparison table.
+* ``infer``     — generate a scenario, measure, infer the blueprint, and
+                  report its accuracy against ground truth.
+* ``scenario``  — draw a random enterprise scenario and describe it.
+* ``overhead``  — print the measurement-overhead table for a cell size.
+* ``trace``     — record a scenario's interference trace to ``.npz``.
+* ``trace-info``— summarize a recorded trace file.
+
+Every command accepts ``--seed`` for reproducibility.  These commands wrap
+the same public API the examples use; they exist so a deployment can be
+explored without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    AccessAwareScheduler,
+    BLUConfig,
+    BLUController,
+    BlueprintInference,
+    InferenceConfig,
+    OracleScheduler,
+    ProportionalFairScheduler,
+    ScenarioConfig,
+    SimulationConfig,
+    SpeculativeScheduler,
+    TopologyJointProvider,
+    edge_set_accuracy,
+    generate_scenario,
+    minimum_subframes,
+    run_comparison,
+    testbed_topology,
+    uniform_snrs,
+)
+from repro.analysis import comparison_report, format_comparison, format_table
+from repro.core.measurement.pair_scheduler import (
+    MeasurementScheduler,
+    tuple_measurement_subframes,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BLU (CoNEXT 2017) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run a scheduler comparison")
+    compare.add_argument("--ues", type=int, default=8)
+    compare.add_argument("--hts-per-ue", type=int, default=2)
+    compare.add_argument("--activity", type=float, default=0.4)
+    compare.add_argument("--antennas", type=int, default=1)
+    compare.add_argument("--subframes", type=int, default=4000)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--with-oracle", action="store_true", help="include the genie bound"
+    )
+    compare.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report section instead of the ASCII table",
+    )
+
+    infer = sub.add_parser("infer", help="blueprint inference accuracy demo")
+    infer.add_argument("--ues", type=int, default=8)
+    infer.add_argument("--wifi", type=int, default=16)
+    infer.add_argument("--trace-subframes", type=int, default=4000)
+    infer.add_argument("--seed", type=int, default=0)
+
+    scenario = sub.add_parser("scenario", help="describe a random deployment")
+    scenario.add_argument("--ues", type=int, default=8)
+    scenario.add_argument("--wifi", type=int, default=16)
+    scenario.add_argument("--seed", type=int, default=0)
+
+    overhead = sub.add_parser("overhead", help="measurement overhead table")
+    overhead.add_argument("--ues", type=int, default=20)
+    overhead.add_argument("--k", type=int, default=8)
+    overhead.add_argument("--samples", type=int, default=50)
+
+    trace = sub.add_parser("trace", help="record a scenario trace to .npz")
+    trace.add_argument("output", help="output path (.npz)")
+    trace.add_argument("--ues", type=int, default=8)
+    trace.add_argument("--wifi", type=int, default=16)
+    trace.add_argument("--subframes", type=int, default=5000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--no-contention",
+        action="store_true",
+        help="use independent Bernoulli activity instead of CSMA coupling",
+    )
+
+    info = sub.add_parser("trace-info", help="summarize a recorded trace")
+    info.add_argument("path", help="trace file written by the trace command")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    topology = testbed_topology(
+        num_ues=args.ues,
+        hts_per_ue=args.hts_per_ue,
+        activity=args.activity,
+        seed=args.seed,
+    )
+    snrs = uniform_snrs(args.ues, seed=args.seed + 1)
+    provider = TopologyJointProvider(topology)
+    factories = {
+        "pf": ProportionalFairScheduler,
+        "access-aware": lambda: AccessAwareScheduler(provider),
+        "blu": lambda: BLUController(
+            args.ues,
+            BLUConfig(samples_per_pair=50, inference=InferenceConfig(seed=0)),
+        ),
+        "blu-perfect": lambda: SpeculativeScheduler(provider),
+    }
+    if args.with_oracle:
+        factories["oracle"] = OracleScheduler
+    results = run_comparison(
+        topology,
+        snrs,
+        factories,
+        SimulationConfig(
+            num_subframes=args.subframes, num_antennas=args.antennas
+        ),
+        seed=args.seed,
+    )
+    if args.markdown:
+        print(
+            comparison_report(
+                results,
+                title=(
+                    f"{args.ues} UEs, {topology.num_terminals} hidden "
+                    f"terminals, M={args.antennas}"
+                ),
+                baseline="pf",
+            )
+        )
+        return 0
+    print(
+        format_comparison(
+            {name: result.summary() for name, result in results.items()},
+            metrics=["throughput_mbps", "rb_utilization", "jain_index"],
+            baseline="pf",
+            title=(
+                f"{args.ues} UEs, {topology.num_terminals} hidden terminals, "
+                f"M={args.antennas}, {args.subframes} subframes"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.measurement.estimator import AccessEstimator
+
+    scenario = generate_scenario(
+        ScenarioConfig(num_ues=args.ues, num_wifi=args.wifi), seed=args.seed
+    )
+    topology = scenario.topology
+    if topology.num_terminals == 0:
+        print("scenario drew no hidden terminals; try another --seed")
+        return 1
+    rng = np.random.default_rng(args.seed)
+    estimator = AccessEstimator(args.ues)
+    scheduled = set(range(args.ues))
+    for _ in range(args.trace_subframes):
+        busy = {
+            ue
+            for q, ues in zip(topology.q, topology.edges)
+            if rng.random() < q
+            for ue in ues
+        }
+        estimator.record_subframe(scheduled, scheduled - busy)
+    result = BlueprintInference(InferenceConfig(seed=0)).infer(
+        estimator.to_transformed()
+    )
+    accuracy = edge_set_accuracy(result.topology, topology)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["ground-truth terminals", topology.num_terminals],
+                ["inferred terminals", result.topology.num_terminals],
+                ["edge-set accuracy", accuracy],
+                ["aggregate violation", result.aggregate_violation],
+                ["winning start", result.winning_start],
+            ],
+            title=f"Blueprint inference ({args.trace_subframes}-subframe trace)",
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = generate_scenario(
+        ScenarioConfig(num_ues=args.ues, num_wifi=args.wifi), seed=args.seed
+    )
+    rows = [
+        ["UEs", scenario.num_ues],
+        ["WiFi nodes", scenario.layout.num_wifi],
+        ["hidden terminals", scenario.num_hidden_terminals],
+        ["eNB-audible WiFi", len(scenario.enb_audible_wifi)],
+        ["inert WiFi", len(scenario.inert_wifi)],
+        ["eNB busy probability", scenario.enb_busy_probability()],
+    ]
+    print(format_table(["property", "value"], rows, title="Scenario"))
+    terminal_rows = [
+        [f"H{k}", q, ", ".join(str(u) for u in sorted(ues))]
+        for k, (q, ues) in enumerate(
+            zip(scenario.topology.q, scenario.topology.edges)
+        )
+    ]
+    if terminal_rows:
+        print()
+        print(
+            format_table(
+                ["terminal", "busy prob", "silences UEs"],
+                terminal_rows,
+                title="Ground-truth blueprint",
+            )
+        )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    bound = minimum_subframes(args.ues, args.k, args.samples)
+    scheduler = MeasurementScheduler(args.ues, args.k, args.samples)
+    achieved = len(scheduler.plan())
+    rows = [
+        ["pair-wise lower bound F_min", bound],
+        ["Algorithm 1 achieved t_max", achieved],
+    ]
+    for tuple_size in (3, 4, 6):
+        if tuple_size <= args.k:
+            rows.append(
+                [
+                    f"direct {tuple_size}-tuple measurement",
+                    tuple_measurement_subframes(
+                        args.ues, tuple_size, args.k, args.samples
+                    ),
+                ]
+            )
+    print(
+        format_table(
+            ["approach", "subframes"],
+            rows,
+            title=(
+                f"Measurement overhead (N={args.ues}, K={args.k}, "
+                f"T={args.samples})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.collect import collect_scenario_trace
+    from repro.traces.io import save_trace
+
+    scenario = generate_scenario(
+        ScenarioConfig(num_ues=args.ues, num_wifi=args.wifi), seed=args.seed
+    )
+    trace = collect_scenario_trace(
+        scenario,
+        num_subframes=args.subframes,
+        use_contention=not args.no_contention,
+        seed=args.seed,
+        label=f"scenario-{args.seed}",
+        record_channels=False,
+    )
+    path = save_trace(trace, args.output)
+    print(
+        f"recorded {trace.num_subframes} subframes of "
+        f"{trace.topology.num_terminals} hidden terminals to {path}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.traces.io import load_trace
+
+    trace = load_trace(args.path)
+    marginals = trace.interference.marginals()
+    rows = [
+        ["label", trace.label or "(none)"],
+        ["subframes", trace.num_subframes],
+        ["UEs", trace.topology.num_ues],
+        ["hidden terminals", trace.topology.num_terminals],
+        ["mean terminal airtime", float(marginals.mean()) if len(marginals) else 0.0],
+        ["channel traces", len(trace.channels)],
+    ]
+    print(format_table(["property", "value"], rows, title="Trace"))
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "infer": _cmd_infer,
+    "scenario": _cmd_scenario,
+    "overhead": _cmd_overhead,
+    "trace": _cmd_trace,
+    "trace-info": _cmd_trace_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""BLU core: measurement, blueprint inference, joint distributions,
+speculative scheduling, and the two-phase controller."""
+
+from repro.core.controller import BLUConfig, BLUController, BLUPhase
+
+__all__ = ["BLUConfig", "BLUController", "BLUPhase"]

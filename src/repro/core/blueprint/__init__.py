@@ -1,0 +1,49 @@
+"""Blueprint inference: from pair-wise access statistics to topology."""
+
+from repro.core.blueprint.constraints import ConstraintViolation, WorkingTopology
+from repro.core.blueprint.inference import (
+    BlueprintInference,
+    InferenceConfig,
+    InferenceResult,
+    StartOutcome,
+)
+from repro.core.blueprint.initializers import (
+    diagonal_start,
+    pairwise_start,
+    peeling_start,
+    random_start,
+)
+from repro.core.blueprint.mcmc import McmcConfig, McmcInference, McmcResult
+from repro.core.blueprint.repair import RepairResult, repair
+from repro.core.blueprint.transform import (
+    PROBABILITY_FLOOR,
+    TransformedMeasurements,
+    forward_transform_q,
+    inverse_transform_q,
+    transform_individual,
+    transform_pairwise,
+)
+
+__all__ = [
+    "BlueprintInference",
+    "ConstraintViolation",
+    "InferenceConfig",
+    "InferenceResult",
+    "McmcConfig",
+    "McmcInference",
+    "McmcResult",
+    "PROBABILITY_FLOOR",
+    "RepairResult",
+    "StartOutcome",
+    "TransformedMeasurements",
+    "WorkingTopology",
+    "diagonal_start",
+    "forward_transform_q",
+    "inverse_transform_q",
+    "pairwise_start",
+    "peeling_start",
+    "random_start",
+    "repair",
+    "transform_individual",
+    "transform_pairwise",
+]

@@ -1,0 +1,221 @@
+"""The constraint system of topology inference (Eqn. 6) and its violations.
+
+A :class:`WorkingTopology` is the solver's mutable state: ``h`` hidden
+terminals with log-domain weights ``Q(k) = -log(1 - q_k)`` and binary edge
+sets.  Against a :class:`~repro.core.blueprint.transform.TransformedMeasurements`
+target it exposes the two constraint families:
+
+* individual:  ``c_i    = sum_k z_ik Q(k)        - P(i)``
+* pairwise:    ``c_{ij} = sum_k z_ik z_jk Q(k)   - P(i,j)``
+
+and the aggregate violation the gradient-repair loop descends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.blueprint.transform import (
+    TransformedMeasurements,
+    inverse_transform_q,
+)
+from repro.errors import InferenceError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["WorkingTopology", "ConstraintViolation"]
+
+
+class ConstraintViolation:
+    """One violated constraint: which, by how much."""
+
+    __slots__ = ("kind", "key", "amount")
+
+    def __init__(self, kind: str, key, amount: float) -> None:
+        self.kind = kind  # "individual", "pairwise", or "triplet"
+        self.key = key  # ue id, or (i, j) tuple
+        self.amount = amount  # signed: positive = over-contribution
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConstraintViolation({self.kind}, {self.key}, {self.amount:+.4f})"
+
+
+class WorkingTopology:
+    """Mutable log-domain topology state for the repair loop.
+
+    Internally keeps ``Z`` as an ``(h, N)`` boolean matrix and ``Q`` as a
+    length-``h`` vector, so all constraint sums reduce to one matmul.
+    """
+
+    def __init__(self, num_ues: int) -> None:
+        if num_ues < 1:
+            raise InferenceError(f"need at least one UE: {num_ues}")
+        self.num_ues = num_ues
+        self._z: np.ndarray = np.zeros((0, num_ues), dtype=bool)
+        self._q: np.ndarray = np.zeros(0, dtype=float)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_terminals(
+        num_ues: int, terminals: Iterable[Tuple[float, Iterable[int]]]
+    ) -> "WorkingTopology":
+        """Build from ``(Q_log_domain, ue_ids)`` pairs."""
+        topology = WorkingTopology(num_ues)
+        for q, ues in terminals:
+            topology.add_terminal(q, ues)
+        return topology
+
+    def copy(self) -> "WorkingTopology":
+        duplicate = WorkingTopology(self.num_ues)
+        duplicate._z = self._z.copy()
+        duplicate._q = self._q.copy()
+        return duplicate
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_terminal(self, q: float, ues: Iterable[int]) -> int:
+        """Add a hidden terminal; returns its index."""
+        if q < 0:
+            raise InferenceError(f"negative log-domain weight: {q}")
+        row = np.zeros(self.num_ues, dtype=bool)
+        for ue in ues:
+            if not 0 <= ue < self.num_ues:
+                raise InferenceError(f"edge to unknown UE {ue}")
+            row[ue] = True
+        self._z = np.vstack([self._z, row[None, :]]) if len(self._z) else row[None, :]
+        self._q = np.append(self._q, float(q))
+        return len(self._q) - 1
+
+    def set_weight(self, k: int, q: float) -> None:
+        self._q[k] = max(float(q), 0.0)
+
+    def set_edge(self, k: int, ue: int, present: bool) -> None:
+        self._z[k, ue] = present
+
+    def prune(self, weight_floor: float = 1e-9) -> None:
+        """Drop terminals with ~zero weight or no edges; merge duplicates."""
+        if len(self._q) == 0:
+            return
+        keep = (self._q > weight_floor) & self._z.any(axis=1)
+        self._z = self._z[keep]
+        self._q = self._q[keep]
+        # Merge terminals with identical edge sets (weights add in log domain).
+        merged: Dict[bytes, int] = {}
+        rows: List[np.ndarray] = []
+        weights: List[float] = []
+        for row, weight in zip(self._z, self._q):
+            key = row.tobytes()
+            if key in merged:
+                weights[merged[key]] += weight
+            else:
+                merged[key] = len(rows)
+                rows.append(row)
+                weights.append(float(weight))
+        self._z = (
+            np.array(rows, dtype=bool)
+            if rows
+            else np.zeros((0, self.num_ues), dtype=bool)
+        )
+        self._q = np.array(weights, dtype=float)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self._q)
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._q
+
+    def edge_matrix(self) -> np.ndarray:
+        return self._z
+
+    def edge_set(self, k: int) -> FrozenSet[int]:
+        return frozenset(int(u) for u in np.nonzero(self._z[k])[0])
+
+    def terminals_for_ue(self, ue: int) -> List[int]:
+        return [int(k) for k in np.nonzero(self._z[:, ue])[0]]
+
+    # -- constraint arithmetic -------------------------------------------------
+
+    def contribution_matrix(self) -> np.ndarray:
+        """``W_hat = Z^T diag(Q) Z``: diagonal = individual sums, off-diagonal
+        = pairwise sums."""
+        if len(self._q) == 0:
+            return np.zeros((self.num_ues, self.num_ues))
+        zf = self._z.astype(float)
+        return zf.T @ (zf * self._q[:, None])
+
+    def violation_matrix(self, target: TransformedMeasurements) -> np.ndarray:
+        """Signed violations ``c``: contribution minus target, per constraint."""
+        if target.num_ues != self.num_ues:
+            raise InferenceError(
+                f"target covers {target.num_ues} UEs, topology has {self.num_ues}"
+            )
+        return self.contribution_matrix() - target.matrix()
+
+    def triplet_contribution(self, i: int, j: int, k: int) -> float:
+        """``sum_l z_il z_jl z_kl Q(l)`` — mass shared by all three clients."""
+        if len(self._q) == 0:
+            return 0.0
+        shared = self._z[:, i] & self._z[:, j] & self._z[:, k]
+        return float(self._q[shared].sum())
+
+    def aggregate_violation(self, target: TransformedMeasurements) -> float:
+        """Sum of absolute violations over all constraints (each counted once)."""
+        violation = self.violation_matrix(target)
+        upper = np.triu_indices(self.num_ues, k=1)
+        total = float(
+            np.abs(np.diag(violation)).sum() + np.abs(violation[upper]).sum()
+        )
+        for (i, j, k), value in target.triplet.items():
+            total += abs(self.triplet_contribution(i, j, k) - value)
+        return total
+
+    def violations(
+        self, target: TransformedMeasurements, respect_tolerance: bool = True
+    ) -> List[ConstraintViolation]:
+        """All constraints violated beyond tolerance, most-violated first."""
+        matrix = self.violation_matrix(target)
+        found: List[ConstraintViolation] = []
+        for i in range(self.num_ues):
+            amount = float(matrix[i, i])
+            tolerance = target.individual_tolerance[i] if respect_tolerance else 0.0
+            if abs(amount) > tolerance:
+                found.append(ConstraintViolation("individual", i, amount))
+        for i in range(self.num_ues):
+            for j in range(i + 1, self.num_ues):
+                amount = float(matrix[i, j])
+                tolerance = (
+                    target.pairwise_tolerance[(i, j)] if respect_tolerance else 0.0
+                )
+                if abs(amount) > tolerance:
+                    found.append(ConstraintViolation("pairwise", (i, j), amount))
+        for (i, j, k), value in target.triplet.items():
+            amount = self.triplet_contribution(i, j, k) - value
+            tolerance = (
+                target.triplet_tolerance[(i, j, k)] if respect_tolerance else 0.0
+            )
+            if abs(amount) > tolerance:
+                found.append(ConstraintViolation("triplet", (i, j, k), amount))
+        found.sort(key=lambda v: -abs(v.amount))
+        return found
+
+    def is_satisfied(self, target: TransformedMeasurements) -> bool:
+        return not self.violations(target)
+
+    # -- export -----------------------------------------------------------------
+
+    def to_interference_topology(self) -> InterferenceTopology:
+        """Convert back to probability domain (``q = 1 - e^{-Q}``)."""
+        terminals = [
+            (inverse_transform_q(float(q)), self.edge_set(k))
+            for k, q in enumerate(self._q)
+        ]
+        return InterferenceTopology.build(self.num_ues, terminals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkingTopology(N={self.num_ues}, h={self.num_terminals})"

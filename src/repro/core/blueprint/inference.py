@@ -1,0 +1,144 @@
+"""The blueprint inference driver: multi-start gradient repair.
+
+Runs the Section 3.4 solver from every configured starting topology, scores
+the repaired candidates, and returns the winner as a probability-domain
+:class:`~repro.topology.graph.InterferenceTopology`.
+
+Selection rule (paper): among candidates, prefer the smallest aggregate
+violation; break ties toward the fewest hidden terminals (the minimal
+blueprint explaining the measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.blueprint.constraints import WorkingTopology
+from repro.core.blueprint.initializers import (
+    diagonal_start,
+    pairwise_start,
+    peeling_start,
+    random_start,
+)
+from repro.core.blueprint.repair import RepairResult, repair
+from repro.core.blueprint.transform import TransformedMeasurements
+from repro.errors import InferenceError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["InferenceConfig", "StartOutcome", "InferenceResult", "BlueprintInference"]
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs of the multi-start inference run."""
+
+    max_iterations: int = 400
+    num_random_starts: int = 4
+    use_peeling_start: bool = True
+    use_diagonal_start: bool = True
+    use_pairwise_start: bool = True
+    weight_floor: float = 1e-6
+    seed: Optional[int] = None
+
+
+@dataclass
+class StartOutcome:
+    """Diagnostics for one starting topology."""
+
+    label: str
+    aggregate_violation: float
+    num_terminals: int
+    satisfied: bool
+    iterations: int
+
+
+@dataclass
+class InferenceResult:
+    """The inferred blueprint plus per-start diagnostics."""
+
+    topology: InterferenceTopology
+    aggregate_violation: float
+    satisfied: bool
+    winning_start: str
+    outcomes: List[StartOutcome] = field(default_factory=list)
+
+
+class BlueprintInference:
+    """Infer the hidden-terminal topology from transformed measurements."""
+
+    def __init__(self, config: InferenceConfig = InferenceConfig()) -> None:
+        self.config = config
+
+    def _starting_points(
+        self, target: TransformedMeasurements
+    ) -> List[Tuple[str, WorkingTopology]]:
+        rng = np.random.default_rng(self.config.seed)
+        starts: List[Tuple[str, WorkingTopology]] = []
+        if self.config.use_peeling_start:
+            starts.append(("peeling", peeling_start(target)))
+        if self.config.use_diagonal_start:
+            starts.append(("diagonal", diagonal_start(target)))
+        if self.config.use_pairwise_start:
+            starts.append(("pairwise", pairwise_start(target)))
+        for index in range(self.config.num_random_starts):
+            h = int(rng.integers(1, max(2, 2 * target.num_ues)))
+            starts.append(
+                (f"random-{index}(h={h})", random_start(target, h, rng))
+            )
+        if not starts:
+            raise InferenceError("no starting topologies configured")
+        return starts
+
+    def infer(self, target: TransformedMeasurements) -> InferenceResult:
+        """Run repair from every start; return the best repaired topology."""
+        candidates: List[Tuple[str, RepairResult]] = []
+        outcomes: List[StartOutcome] = []
+        for label, start in self._starting_points(target):
+            result = repair(
+                start,
+                target,
+                max_iterations=self.config.max_iterations,
+                weight_floor=self.config.weight_floor,
+            )
+            candidates.append((label, result))
+            outcomes.append(
+                StartOutcome(
+                    label=label,
+                    aggregate_violation=result.aggregate_violation,
+                    num_terminals=result.topology.num_terminals,
+                    satisfied=result.satisfied,
+                    iterations=result.iterations,
+                )
+            )
+
+        def score(item: Tuple[str, RepairResult]) -> Tuple[float, int]:
+            _, result = item
+            # Bucket violations so floating-point dust cannot outrank a
+            # strictly smaller blueprint.
+            bucket = round(result.aggregate_violation, 6)
+            return (bucket, result.topology.num_terminals)
+
+        winning_label, winning = min(candidates, key=score)
+        return InferenceResult(
+            topology=winning.topology.to_interference_topology(),
+            aggregate_violation=winning.aggregate_violation,
+            satisfied=winning.satisfied,
+            winning_start=winning_label,
+            outcomes=outcomes,
+        )
+
+    def infer_from_probabilities(
+        self,
+        num_ues: int,
+        p_individual,
+        p_pairwise,
+        default_tolerance: float = 1e-9,
+    ) -> InferenceResult:
+        """Convenience wrapper: transform raw probabilities, then infer."""
+        target = TransformedMeasurements.from_probabilities(
+            num_ues, p_individual, p_pairwise, default_tolerance
+        )
+        return self.infer(target)

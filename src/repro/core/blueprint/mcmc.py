@@ -1,0 +1,137 @@
+"""MCMC (Bayesian) topology inference — the baseline BLU argues against.
+
+Section 3.4 of the paper notes that wired-network tomography typically uses
+Markov-chain Monte Carlo: adapt the topology via random proposals so the
+chain's stationary distribution matches the posterior given the observed
+access distributions.  BLU's criticisms — slow convergence, and convergence
+*in distribution* (a sampled topology can mismatch ground truth) — are what
+the deterministic solver avoids.  This implementation exists so the
+comparison can be reproduced (``benchmarks/bench_ablation_mcmc.py``).
+
+Model:
+
+* likelihood: independent Gaussians on every constraint residual, with the
+  per-constraint tolerance as the standard deviation scale;
+* prior: geometric on the terminal count (favouring small blueprints),
+  exponential on each weight;
+* proposals: birth / death of a terminal, edge toggle, weight jitter.
+
+The chain is Metropolis–Hastings; the maximum-a-posteriori state visited is
+returned (the most favourable reading of the baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.blueprint.constraints import WorkingTopology
+from repro.core.blueprint.transform import TransformedMeasurements
+from repro.errors import InferenceError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["McmcConfig", "McmcResult", "McmcInference"]
+
+
+@dataclass(frozen=True)
+class McmcConfig:
+    """Chain parameters."""
+
+    num_samples: int = 4000
+    burn_in: int = 500
+    terminal_penalty: float = 1.0  # -log of the geometric prior ratio
+    weight_prior_rate: float = 1.0
+    noise_floor: float = 0.01  # minimum residual std dev
+    seed: Optional[int] = None
+
+
+@dataclass
+class McmcResult:
+    topology: InterferenceTopology
+    log_posterior: float
+    aggregate_violation: float
+    acceptance_rate: float
+
+
+class McmcInference:
+    """Metropolis–Hastings over hidden-terminal topologies."""
+
+    def __init__(self, config: McmcConfig = McmcConfig()) -> None:
+        self.config = config
+
+    def _log_posterior(
+        self, state: WorkingTopology, target: TransformedMeasurements
+    ) -> float:
+        violation = state.violation_matrix(target)
+        n = target.num_ues
+        log_likelihood = 0.0
+        for i in range(n):
+            sigma = max(target.individual_tolerance[i], self.config.noise_floor)
+            log_likelihood -= 0.5 * (violation[i, i] / sigma) ** 2
+        for i in range(n):
+            for j in range(i + 1, n):
+                sigma = max(
+                    target.pairwise_tolerance[(i, j)], self.config.noise_floor
+                )
+                log_likelihood -= 0.5 * (violation[i, j] / sigma) ** 2
+        log_prior = -self.config.terminal_penalty * state.num_terminals
+        log_prior -= self.config.weight_prior_rate * float(state.weights.sum())
+        return log_likelihood + log_prior
+
+    def _propose(
+        self, state: WorkingTopology, rng: np.random.Generator, scale: float
+    ) -> WorkingTopology:
+        candidate = state.copy()
+        n = candidate.num_ues
+        move = rng.random()
+        if move < 0.15 or candidate.num_terminals == 0:  # birth
+            footprint = int(rng.integers(1, min(n, max(2, n // 3)) + 1))
+            ues = rng.choice(n, size=footprint, replace=False)
+            candidate.add_terminal(float(rng.exponential(scale)), ues.tolist())
+        elif move < 0.30:  # death
+            victim = int(rng.integers(candidate.num_terminals))
+            candidate.set_weight(victim, 0.0)
+            candidate.prune()
+        elif move < 0.60:  # edge toggle
+            k = int(rng.integers(candidate.num_terminals))
+            ue = int(rng.integers(n))
+            z = candidate.edge_matrix()
+            candidate.set_edge(k, ue, not z[k, ue])
+        else:  # weight jitter
+            k = int(rng.integers(candidate.num_terminals))
+            jitter = float(rng.normal(0.0, 0.25 * scale))
+            candidate.set_weight(k, float(candidate.weights[k]) + jitter)
+        return candidate
+
+    def infer(self, target: TransformedMeasurements) -> McmcResult:
+        rng = np.random.default_rng(self.config.seed)
+        positive = [v for v in target.individual.values() if v > 0]
+        scale = float(np.mean(positive)) if positive else 0.3
+
+        state = WorkingTopology(target.num_ues)
+        state_score = self._log_posterior(state, target)
+        best = state.copy()
+        best_score = state_score
+
+        accepted = 0
+        for _ in range(self.config.num_samples):
+            candidate = self._propose(state, rng, scale)
+            candidate_score = self._log_posterior(candidate, target)
+            if math.log(max(rng.random(), 1e-300)) < candidate_score - state_score:
+                state = candidate
+                state_score = candidate_score
+                accepted += 1
+                if state_score > best_score:
+                    best = state.copy()
+                    best_score = state_score
+
+        best.prune()
+        return McmcResult(
+            topology=best.to_interference_topology(),
+            log_posterior=best_score,
+            aggregate_violation=best.aggregate_violation(target),
+            acceptance_rate=accepted / max(self.config.num_samples, 1),
+        )

@@ -1,0 +1,220 @@
+"""Gradient-repair topology adaptation (Section 3.4.2).
+
+Starting from an initial topology, each iteration:
+
+1. finds the maximally violated constraint;
+2. enumerates the paper's adaptation moves for that constraint class
+   (adjust a weight, add/remove edges, spawn a new hidden terminal);
+3. applies the move that resolves the violation while minimizing the
+   aggregate violation across *all* constraints;
+4. stops at zero violation (within tolerance), at a local optimum where no
+   move improves, or at the iteration cap — returning the best state seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.blueprint.constraints import ConstraintViolation, WorkingTopology
+from repro.core.blueprint.transform import TransformedMeasurements
+
+__all__ = ["RepairResult", "repair"]
+
+#: How many of the most-violated constraints to try per iteration before
+#: declaring a local optimum.
+_CONSTRAINTS_PER_ITERATION = 4
+
+Move = Callable[[WorkingTopology], None]
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair run."""
+
+    topology: WorkingTopology
+    aggregate_violation: float
+    satisfied: bool
+    iterations: int
+
+
+def _individual_moves(
+    topology: WorkingTopology, ue: int, amount: float
+) -> List[Move]:
+    """Adaptation options for an individual constraint ``c_i`` (Case 1)."""
+    moves: List[Move] = []
+    attached = topology.terminals_for_ue(ue)
+    if amount > 0:  # over-contribution
+        for k in attached:
+            moves.append(lambda t, k=k, d=amount: t.set_weight(k, t.weights[k] - d))
+            moves.append(lambda t, k=k, u=ue: t.set_edge(k, u, False))
+    else:  # under-contribution
+        deficit = -amount
+        for k in attached:
+            moves.append(lambda t, k=k, d=deficit: t.set_weight(k, t.weights[k] + d))
+        for k in range(topology.num_terminals):
+            if k not in attached:
+                moves.append(lambda t, k=k, u=ue: t.set_edge(k, u, True))
+        moves.append(lambda t, u=ue, d=deficit: t.add_terminal(d, [u]) and None)
+    return moves
+
+
+def _pairwise_moves(
+    topology: WorkingTopology, pair: Tuple[int, int], amount: float
+) -> List[Move]:
+    """Adaptation options for a joint constraint ``c_{ij}`` (Case 2)."""
+    i, j = pair
+    moves: List[Move] = []
+    z = topology.edge_matrix()
+    shared = [k for k in range(topology.num_terminals) if z[k, i] and z[k, j]]
+    if amount > 0:  # over-contribution
+        for k in shared:
+            moves.append(lambda t, k=k, d=amount: t.set_weight(k, t.weights[k] - d))
+            moves.append(lambda t, k=k, u=i: t.set_edge(k, u, False))
+            moves.append(lambda t, k=k, u=j: t.set_edge(k, u, False))
+
+            def _remove_both(t: WorkingTopology, k: int = k) -> None:
+                t.set_edge(k, i, False)
+                t.set_edge(k, j, False)
+
+            moves.append(_remove_both)
+    else:  # under-contribution
+        deficit = -amount
+        for k in shared:
+            moves.append(lambda t, k=k, d=deficit: t.set_weight(k, t.weights[k] + d))
+        for k in range(topology.num_terminals):
+            if z[k, i] and z[k, j]:
+                continue
+
+            def _add_edges(t: WorkingTopology, k: int = k) -> None:
+                t.set_edge(k, i, True)
+                t.set_edge(k, j, True)
+
+            moves.append(_add_edges)
+        moves.append(
+            lambda t, d=deficit: t.add_terminal(d, [i, j]) and None
+        )
+
+        # Compound reallocation: spawn the shared terminal AND pull the same
+        # mass out of each client's heaviest private terminal, so the pair
+        # constraint is fixed without inflating the individual constraints.
+        # This is the move that escapes the "all-singletons" local optimum.
+        only_i = [k for k in range(topology.num_terminals) if z[k, i] and not z[k, j]]
+        only_j = [k for k in range(topology.num_terminals) if z[k, j] and not z[k, i]]
+        if only_i and only_j:
+            donor_i = max(only_i, key=lambda k: topology.weights[k])
+            donor_j = max(only_j, key=lambda k: topology.weights[k])
+
+            def _reallocate(
+                t: WorkingTopology,
+                d: float = deficit,
+                ki: int = donor_i,
+                kj: int = donor_j,
+            ) -> None:
+                t.add_terminal(d, [i, j])
+                t.set_weight(ki, t.weights[ki] - d)
+                t.set_weight(kj, t.weights[kj] - d)
+
+            moves.append(_reallocate)
+    return moves
+
+
+def _triplet_moves(
+    topology: WorkingTopology, triple: Tuple[int, int, int], amount: float
+) -> List[Move]:
+    """Adaptation options for a triplet constraint (Section 3.5 extension)."""
+    i, j, k = triple
+    moves: List[Move] = []
+    z = topology.edge_matrix()
+    shared = [
+        l
+        for l in range(topology.num_terminals)
+        if z[l, i] and z[l, j] and z[l, k]
+    ]
+    if amount > 0:  # over-contribution
+        for l in shared:
+            moves.append(lambda t, l=l, d=amount: t.set_weight(l, t.weights[l] - d))
+            for ue in triple:
+                moves.append(lambda t, l=l, u=ue: t.set_edge(l, u, False))
+    else:  # under-contribution
+        deficit = -amount
+        for l in shared:
+            moves.append(lambda t, l=l, d=deficit: t.set_weight(l, t.weights[l] + d))
+        for l in range(topology.num_terminals):
+            missing = [ue for ue in triple if not z[l, ue]]
+            if not missing or len(missing) == 3:
+                continue
+
+            def _add_missing(t: WorkingTopology, l=l, missing=tuple(missing)) -> None:
+                for ue in missing:
+                    t.set_edge(l, ue, True)
+
+            moves.append(_add_missing)
+        moves.append(
+            lambda t, d=deficit: t.add_terminal(d, list(triple)) and None
+        )
+    return moves
+
+
+def _moves_for(topology: WorkingTopology, violation: ConstraintViolation) -> List[Move]:
+    if violation.kind == "individual":
+        return _individual_moves(topology, violation.key, violation.amount)
+    if violation.kind == "triplet":
+        return _triplet_moves(topology, violation.key, violation.amount)
+    return _pairwise_moves(topology, violation.key, violation.amount)
+
+
+def repair(
+    initial: WorkingTopology,
+    target: TransformedMeasurements,
+    max_iterations: int = 400,
+    weight_floor: float = 1e-9,
+) -> RepairResult:
+    """Run gradient repair from ``initial`` against ``target``."""
+    current = initial.copy()
+    current_violation = current.aggregate_violation(target)
+    best = current.copy()
+    best_violation = current_violation
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        violations = current.violations(target)
+        if not violations:
+            break
+
+        improved = False
+        for violation in violations[:_CONSTRAINTS_PER_ITERATION]:
+            moves = _moves_for(current, violation)
+            best_candidate: Optional[WorkingTopology] = None
+            best_candidate_violation = current_violation
+            for move in moves:
+                candidate = current.copy()
+                move(candidate)
+                candidate_violation = candidate.aggregate_violation(target)
+                if candidate_violation < best_candidate_violation - 1e-12:
+                    best_candidate = candidate
+                    best_candidate_violation = candidate_violation
+            if best_candidate is not None:
+                current = best_candidate
+                current_violation = best_candidate_violation
+                improved = True
+                break
+        if not improved:
+            break
+        if current_violation < best_violation:
+            best = current.copy()
+            best_violation = current_violation
+
+    final_violations = current.violations(target)
+    if not final_violations:
+        best = current
+        best_violation = current_violation
+
+    best.prune(weight_floor)
+    best_violation = best.aggregate_violation(target)
+    return RepairResult(
+        topology=best,
+        aggregate_violation=best_violation,
+        satisfied=not best.violations(target),
+        iterations=iterations,
+    )

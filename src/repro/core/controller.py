@@ -1,0 +1,166 @@
+"""The BLU controller: the two-phase eNB loop of Fig. 9.
+
+The controller *is* an uplink scheduler, so it plugs straight into the
+simulation engine; internally it sequences the whole system:
+
+1. **Measurement phase** — schedules clients per Algorithm 1 (data still
+   flows, but the schedule is optimized for pair coverage), classifies each
+   subframe's pilots into access observations, and accumulates ``p(i)``,
+   ``p(i, j)`` until every pair has ``T`` joint samples.
+2. **Blueprint** — transforms the measurements, runs the multi-start
+   gradient-repair inference, and instantiates the exact joint-access
+   provider on the inferred topology (Section 3.6 conditioning happens
+   inside the provider).
+3. **Speculative phase** — delegates to the speculative scheduler
+   (Eqns. 3–4).  Observations keep flowing into the estimator ("the outcome
+   of the schedule during the speculative phase implicitly contributes to
+   measurements"), and the blueprint can be re-inferred every
+   ``reinfer_interval`` UL subframes to track slow topology dynamics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.blueprint.inference import (
+    BlueprintInference,
+    InferenceConfig,
+    InferenceResult,
+)
+from repro.core.joint.provider import TopologyJointProvider
+from repro.core.measurement.classifier import AccessObservation
+from repro.core.measurement.estimator import AccessEstimator
+from repro.core.measurement.pair_scheduler import MeasurementScheduler
+from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.speculative import SpeculativeScheduler
+from repro.core.scheduling.types import SchedulingContext
+from repro.errors import ConfigurationError
+from repro.lte.resources import SubframeSchedule, UplinkGrant
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["BLUPhase", "BLUConfig", "BLUController"]
+
+
+class BLUPhase(enum.Enum):
+    """Where the controller is in its two-phase loop (Fig. 9)."""
+
+    MEASUREMENT = "measurement"
+    SPECULATIVE = "speculative"
+
+
+@dataclass(frozen=True)
+class BLUConfig:
+    """Controller parameters (paper defaults: T=50, K=8, f=2)."""
+
+    samples_per_pair: int = 50
+    measurement_k: int = 8
+    overschedule_factor: float = 2.0
+    z_sigma: float = 3.0
+    reinfer_interval: int = 0  # UL subframes; 0 disables re-inference
+    #: Exponential forgetting of access statistics (1.0 = cumulative);
+    #: pair with ``reinfer_interval`` to track topology dynamics.
+    estimator_decay: float = 1.0
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+
+    def __post_init__(self) -> None:
+        if self.samples_per_pair < 1:
+            raise ConfigurationError(
+                f"samples_per_pair must be positive: {self.samples_per_pair}"
+            )
+        if self.measurement_k < 2:
+            raise ConfigurationError(
+                f"measurement_k must be at least 2: {self.measurement_k}"
+            )
+
+
+class BLUController(UplinkScheduler):
+    """Measurement -> blueprint -> speculative scheduling, end to end."""
+
+    name = "blu"
+
+    def __init__(self, num_ues: int, config: BLUConfig = BLUConfig()) -> None:
+        if num_ues < 2:
+            raise ConfigurationError(
+                "BLU needs at least two clients (pair-wise measurements)"
+            )
+        self.num_ues = num_ues
+        self.config = config
+        self.estimator = AccessEstimator(num_ues, decay=config.estimator_decay)
+        self.measurement_scheduler = MeasurementScheduler(
+            num_ues=num_ues,
+            distinct_per_subframe=config.measurement_k,
+            samples=config.samples_per_pair,
+        )
+        self.phase = BLUPhase.MEASUREMENT
+        self.inference_result: Optional[InferenceResult] = None
+        self._speculative: Optional[SpeculativeScheduler] = None
+        self._pending_measurement_ues: Optional[list] = None
+        self._ul_subframes_since_inference = 0
+        self.measurement_subframes_used = 0
+
+    # -- phase transitions ----------------------------------------------------
+
+    @property
+    def inferred_topology(self) -> Optional[InterferenceTopology]:
+        if self.inference_result is None:
+            return None
+        return self.inference_result.topology
+
+    def _infer_and_switch(self) -> None:
+        target = self.estimator.to_transformed(z=self.config.z_sigma)
+        inference = BlueprintInference(self.config.inference)
+        self.inference_result = inference.infer(target)
+        provider = TopologyJointProvider(self.inference_result.topology)
+        self._speculative = SpeculativeScheduler(
+            provider, overschedule_factor=self.config.overschedule_factor
+        )
+        self.phase = BLUPhase.SPECULATIVE
+        self._ul_subframes_since_inference = 0
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _measurement_schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        """OFDMA round-robin of the chosen K clients, one per RB."""
+        ues = self.measurement_scheduler.next_schedule()
+        self._pending_measurement_ues = ues
+        schedule = SubframeSchedule(num_rbs=context.num_rbs)
+        for rb in range(context.num_rbs):
+            ue = ues[rb % len(ues)]
+            schedule.add_grant(
+                UplinkGrant(
+                    ue_id=ue,
+                    rb=rb,
+                    rate_bps=context.rate_bps(ue, rb, 1),
+                    pilot_index=0,
+                )
+            )
+        return schedule
+
+    def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        if self.phase is BLUPhase.MEASUREMENT:
+            return self._measurement_schedule(context)
+        assert self._speculative is not None
+        return self._speculative.schedule(context)
+
+    # -- observation feedback -------------------------------------------------------
+
+    def observe(self, observation: AccessObservation) -> None:
+        """Per-UL-subframe feedback from the eNB (pilot classification)."""
+        self.estimator.record_subframe(
+            scheduled=observation.scheduled, accessed=observation.accessed
+        )
+        if self.phase is BLUPhase.MEASUREMENT:
+            self.measurement_scheduler.record(sorted(observation.scheduled))
+            self.measurement_subframes_used += 1
+            if self.measurement_scheduler.finished:
+                self._infer_and_switch()
+            return
+
+        self._ul_subframes_since_inference += 1
+        if (
+            self.config.reinfer_interval > 0
+            and self._ul_subframes_since_inference >= self.config.reinfer_interval
+        ):
+            self._infer_and_switch()

@@ -1,0 +1,21 @@
+"""Higher-order joint access distributions (Section 3.6)."""
+
+from repro.core.joint.conditioning import (
+    joint_access_probability,
+    prob_all_blocked,
+    prob_all_clear,
+)
+from repro.core.joint.provider import (
+    EmpiricalJointProvider,
+    JointAccessProvider,
+    TopologyJointProvider,
+)
+
+__all__ = [
+    "EmpiricalJointProvider",
+    "JointAccessProvider",
+    "TopologyJointProvider",
+    "joint_access_probability",
+    "prob_all_blocked",
+    "prob_all_clear",
+]

@@ -1,0 +1,193 @@
+"""Joint-access providers: the probability oracle behind the schedulers.
+
+A provider answers, for any small client group ``G``:
+
+* ``access_probability(i)`` — the marginal ``p(i)``;
+* ``pattern_distribution(G)`` — the full joint pmf over which subset of
+  ``G`` clears CCA in a subframe;
+* ``pattern_table(G)`` — the derived table ``π[(i, s)] = P(i clear and
+  exactly s members of G clear)`` that the speculative scheduler's expected
+  utility (Eqn. 4) consumes directly;
+* ``joint_probability(U, V)`` — ``P(U clear, V blocked)``.
+
+Two implementations:
+
+* :class:`TopologyJointProvider` — exact, from an (inferred or ground-truth)
+  :class:`~repro.topology.graph.InterferenceTopology`.  The pmf over clear
+  patterns is built by convolving the independent hidden terminals, grouped
+  by their footprint inside ``G``; cost is linear in the number of attached
+  terminals and in the number of *realizable* patterns, so group sizes up to
+  ``2M`` are cheap.  Results are memoized: the scheduler re-queries the same
+  groups every TxOP while only rates change.
+* :class:`EmpiricalJointProvider` — counts patterns in a recorded clear/
+  blocked matrix, the "directly from the traces" mode of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = [
+    "JointAccessProvider",
+    "TopologyJointProvider",
+    "EmpiricalJointProvider",
+]
+
+PatternDistribution = Dict[FrozenSet[int], float]
+PatternTable = Dict[Tuple[int, int], float]
+
+
+class JointAccessProvider:
+    """Interface shared by topology-driven and trace-driven providers."""
+
+    def access_probability(self, ue: int) -> float:
+        raise NotImplementedError
+
+    def pattern_distribution(self, group: FrozenSet[int]) -> PatternDistribution:
+        """Joint pmf: clear-subset of ``group`` -> probability."""
+        raise NotImplementedError
+
+    def pattern_table(self, group: FrozenSet[int]) -> PatternTable:
+        """``π[(i, s)]``: probability that ``i`` clears and exactly ``s``
+        members of ``group`` (including ``i``) clear."""
+        distribution = self.pattern_distribution(group)
+        table: PatternTable = {}
+        for clear_set, prob in distribution.items():
+            size = len(clear_set)
+            for ue in clear_set:
+                key = (ue, size)
+                table[key] = table.get(key, 0.0) + prob
+        return table
+
+    def joint_probability(
+        self, clear_ues: Sequence[int], blocked_ues: Sequence[int] = ()
+    ) -> float:
+        clear = frozenset(clear_ues)
+        blocked = frozenset(blocked_ues)
+        if clear & blocked:
+            raise TopologyError(
+                f"UEs cannot be both clear and blocked: {sorted(clear & blocked)}"
+            )
+        group = clear | blocked
+        distribution = self.pattern_distribution(group)
+        return sum(
+            prob for pattern, prob in distribution.items() if pattern == clear
+        )
+
+
+class TopologyJointProvider(JointAccessProvider):
+    """Exact joint access pmfs from an interference topology."""
+
+    def __init__(self, topology: InterferenceTopology) -> None:
+        self.topology = topology
+        self._pattern_cache: Dict[FrozenSet[int], PatternDistribution] = {}
+        self._table_cache: Dict[FrozenSet[int], PatternTable] = {}
+
+    def access_probability(self, ue: int) -> float:
+        return self.topology.access_probability(ue)
+
+    def pattern_distribution(self, group: FrozenSet[int]) -> PatternDistribution:
+        group = frozenset(group)
+        cached = self._pattern_cache.get(group)
+        if cached is not None:
+            return cached
+
+        # Merge hidden terminals by their footprint inside the group; a set
+        # of independent terminals with the same footprint acts as one with
+        # busy probability 1 - prod(1 - q_k).
+        footprint_idle: Dict[FrozenSet[int], float] = {}
+        for q, edge_set in zip(self.topology.q, self.topology.edges):
+            footprint = frozenset(edge_set & group)
+            if not footprint:
+                continue
+            footprint_idle[footprint] = footprint_idle.get(footprint, 1.0) * (1.0 - q)
+
+        # Convolve footprints in blocked-set space.
+        blocked_dist: Dict[FrozenSet[int], float] = {frozenset(): 1.0}
+        for footprint, idle in footprint_idle.items():
+            busy = 1.0 - idle
+            updated: Dict[FrozenSet[int], float] = {}
+            for blocked, prob in blocked_dist.items():
+                updated[blocked] = updated.get(blocked, 0.0) + prob * idle
+                grown = blocked | footprint
+                updated[grown] = updated.get(grown, 0.0) + prob * busy
+            blocked_dist = updated
+
+        distribution: PatternDistribution = {}
+        for blocked, prob in blocked_dist.items():
+            clear = group - blocked
+            distribution[clear] = distribution.get(clear, 0.0) + prob
+        self._pattern_cache[group] = distribution
+        return distribution
+
+    def pattern_table(self, group: FrozenSet[int]) -> PatternTable:
+        group = frozenset(group)
+        cached = self._table_cache.get(group)
+        if cached is None:
+            cached = super().pattern_table(group)
+            self._table_cache[group] = cached
+        return cached
+
+
+class EmpiricalJointProvider(JointAccessProvider):
+    """Joint access pmfs counted from a recorded clear/blocked matrix.
+
+    ``clear_matrix[t, i]`` is True when UE ``i`` would have passed CCA in
+    subframe ``t``.  This reproduces the paper's "joint access distribution
+    computed directly from the traces" baseline and is also what a cell
+    could do with exhaustive measurements (at exponential cost).
+    """
+
+    def __init__(self, clear_matrix: np.ndarray) -> None:
+        matrix = np.asarray(clear_matrix, dtype=bool)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise TopologyError(
+                f"clear matrix must be non-empty 2-D, got shape {matrix.shape}"
+            )
+        self._matrix = matrix
+        self._pattern_cache: Dict[FrozenSet[int], PatternDistribution] = {}
+
+    @property
+    def num_subframes(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def num_ues(self) -> int:
+        return self._matrix.shape[1]
+
+    def access_probability(self, ue: int) -> float:
+        if not 0 <= ue < self.num_ues:
+            raise TopologyError(f"unknown UE id {ue}")
+        return float(self._matrix[:, ue].mean())
+
+    def pattern_distribution(self, group: FrozenSet[int]) -> PatternDistribution:
+        group = frozenset(group)
+        cached = self._pattern_cache.get(group)
+        if cached is not None:
+            return cached
+        members = sorted(group)
+        for ue in members:
+            if not 0 <= ue < self.num_ues:
+                raise TopologyError(f"unknown UE id {ue}")
+        if not members:
+            return {frozenset(): 1.0}
+        columns = self._matrix[:, members].astype(np.int64)
+        weights = 1 << np.arange(len(members), dtype=np.int64)
+        codes = columns @ weights
+        counts = np.bincount(codes, minlength=1 << len(members))
+        total = float(self.num_subframes)
+        distribution: PatternDistribution = {}
+        for code, count in enumerate(counts):
+            if count == 0:
+                continue
+            clear = frozenset(
+                members[bit] for bit in range(len(members)) if code >> bit & 1
+            )
+            distribution[clear] = count / total
+        self._pattern_cache[group] = distribution
+        return distribution

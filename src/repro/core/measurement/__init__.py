@@ -1,0 +1,18 @@
+"""Measurement subsystem: pair scheduling, estimation, loss classification."""
+
+from repro.core.measurement.classifier import AccessObservation, classify_subframe
+from repro.core.measurement.estimator import AccessEstimator
+from repro.core.measurement.pair_scheduler import (
+    MeasurementScheduler,
+    minimum_subframes,
+    tuple_measurement_subframes,
+)
+
+__all__ = [
+    "AccessEstimator",
+    "AccessObservation",
+    "MeasurementScheduler",
+    "classify_subframe",
+    "minimum_subframes",
+    "tuple_measurement_subframes",
+]

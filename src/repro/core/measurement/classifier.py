@@ -1,0 +1,88 @@
+"""Turning PHY receptions into access observations (Section 3.3).
+
+The estimator needs to know, for every scheduled client, whether it *used*
+its grant.  The eNB cannot ask the client — it infers from pilots:
+
+* no pilot on any granted RB  -> the client's CCA failed: **blocked**
+  (hidden-terminal loss, counts as "did not access");
+* pilot present -> the client accessed the channel, regardless of whether
+  the data decoded (collision and fading are reception losses, not access
+  losses, and must not contaminate the access statistics).
+
+This module also exposes the loss-cause breakdown used to sanity-check the
+pilot discrimination logic (collision vs fading vs blocking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.lte.enb import SubframeReception
+from repro.lte.phy import GrantOutcome
+from repro.lte.resources import SubframeSchedule
+
+__all__ = ["AccessObservation", "classify_subframe"]
+
+
+@dataclass(frozen=True)
+class AccessObservation:
+    """Per-subframe access sample extracted from eNB-side receptions."""
+
+    subframe: int
+    scheduled: FrozenSet[int]
+    accessed: FrozenSet[int]
+    blocked: FrozenSet[int]
+    collided: FrozenSet[int]
+    faded: FrozenSet[int]
+    decoded: FrozenSet[int]
+
+    @property
+    def access_fraction(self) -> float:
+        if not self.scheduled:
+            return 0.0
+        return len(self.accessed) / len(self.scheduled)
+
+
+def classify_subframe(
+    schedule: SubframeSchedule, reception: SubframeReception
+) -> AccessObservation:
+    """Classify every scheduled UE of a subframe by its pilot evidence.
+
+    A UE scheduled on several RBs accessed the channel iff any of its RBs
+    shows a pilot (CCA is per-subframe, so in practice all of them do).
+    The decoded/collided/faded breakdown is per-UE: a UE is "decoded" if at
+    least one of its grants delivered data.
+    """
+    scheduled: Set[int] = set(schedule.scheduled_ues())
+    outcome_by_ue: Dict[int, Set[GrantOutcome]] = {ue: set() for ue in scheduled}
+    for rb_reception in reception.rb_receptions.values():
+        for ue, outcome in rb_reception.outcomes.items():
+            outcome_by_ue.setdefault(ue, set()).add(outcome)
+
+    accessed: Set[int] = set()
+    blocked: Set[int] = set()
+    collided: Set[int] = set()
+    faded: Set[int] = set()
+    decoded: Set[int] = set()
+    for ue, outcomes in outcome_by_ue.items():
+        if outcomes and outcomes != {GrantOutcome.BLOCKED}:
+            accessed.add(ue)
+        else:
+            blocked.add(ue)
+        if GrantOutcome.DECODED in outcomes:
+            decoded.add(ue)
+        elif GrantOutcome.COLLIDED in outcomes:
+            collided.add(ue)
+        elif GrantOutcome.FADED in outcomes:
+            faded.add(ue)
+
+    return AccessObservation(
+        subframe=reception.subframe,
+        scheduled=frozenset(scheduled),
+        accessed=frozenset(accessed),
+        blocked=frozenset(blocked),
+        collided=frozenset(collided),
+        faded=frozenset(faded),
+        decoded=frozenset(decoded),
+    )

@@ -1,0 +1,30 @@
+"""Uplink schedulers: PF baseline, access-aware, BLU speculative, extras."""
+
+from repro.core.scheduling.access_aware import AccessAwareScheduler
+from repro.core.scheduling.base import UplinkScheduler, build_schedule, greedy_group
+from repro.core.scheduling.downlink import (
+    AccessAwareDownlinkScheduler,
+    downlink_delivered_bits,
+)
+from repro.core.scheduling.fairness import PfAverageTracker, jain_fairness_index
+from repro.core.scheduling.oracle import OracleScheduler
+from repro.core.scheduling.pf import ProportionalFairScheduler
+from repro.core.scheduling.single_user import SingleUserScheduler
+from repro.core.scheduling.speculative import SpeculativeScheduler
+from repro.core.scheduling.types import SchedulingContext
+
+__all__ = [
+    "AccessAwareDownlinkScheduler",
+    "AccessAwareScheduler",
+    "OracleScheduler",
+    "PfAverageTracker",
+    "ProportionalFairScheduler",
+    "SchedulingContext",
+    "SingleUserScheduler",
+    "SpeculativeScheduler",
+    "UplinkScheduler",
+    "build_schedule",
+    "downlink_delivered_bits",
+    "greedy_group",
+    "jain_fairness_index",
+]

@@ -1,0 +1,121 @@
+"""Scheduler base class and the shared greedy per-RB group builder.
+
+All four schedulers (PF, access-aware, speculative, oracle) share the same
+skeleton: walk the RBs of the subframe, greedily grow the client group on
+each RB by the scheduler-specific expected-utility function, and respect the
+control-channel budget of ``K`` distinct clients per subframe.  They differ
+only in how a candidate group is valued and how large it may grow.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.scheduling.types import SchedulingContext
+from repro.errors import SchedulingError
+from repro.lte.pilots import MAX_ORTHOGONAL_PILOTS
+from repro.lte.resources import SubframeSchedule, UplinkGrant
+
+__all__ = ["UplinkScheduler", "greedy_group", "build_schedule"]
+
+GroupUtility = Callable[[Sequence[int]], float]
+
+
+class UplinkScheduler(abc.ABC):
+    """Interface: one uplink subframe in, one schedule out."""
+
+    #: Human-readable identifier used in results and reports.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        """Produce the grants for one uplink subframe."""
+
+
+def greedy_group(
+    candidates: Sequence[int],
+    utility: GroupUtility,
+    max_size: int,
+) -> List[int]:
+    """Grow a client group by always adding the best marginal client.
+
+    Mirrors Eqn. 3: starting empty, repeatedly add the client with the
+    largest strictly positive incremental utility; stop when none improves
+    or the size cap is reached.  Deterministic: ties break toward the
+    lowest client id.
+    """
+    if max_size < 1:
+        raise SchedulingError(f"max_size must be positive: {max_size}")
+    group: List[int] = []
+    current = 0.0
+    remaining = sorted(set(candidates))
+    while remaining and len(group) < max_size:
+        best_ue: Optional[int] = None
+        best_value = current
+        for ue in remaining:
+            value = utility(group + [ue])
+            if value > best_value + 1e-15:
+                best_ue = ue
+                best_value = value
+        if best_ue is None:
+            break
+        group.append(best_ue)
+        remaining.remove(best_ue)
+        current = best_value
+    return group
+
+
+def build_schedule(
+    context: SchedulingContext,
+    rb_utility: Callable[[int, Sequence[int]], float],
+    max_group_size: int,
+    grant_streams: Callable[[int], int],
+) -> SubframeSchedule:
+    """Shared RB-walking skeleton.
+
+    Args:
+        context: the subframe's scheduling context.
+        rb_utility: ``(rb, group) -> expected utility`` for a candidate
+            group on that RB.
+        max_group_size: cap on clients per RB (``M`` for conventional
+            schedulers, ``~2M`` for the speculative one).
+        grant_streams: group size -> stream count the grant's MCS assumes
+            (``min(size, M)``: the largest decodable concurrency).
+    """
+    size_cap = min(max_group_size, MAX_ORTHOGONAL_PILOTS)
+    schedule = SubframeSchedule(num_rbs=context.num_rbs)
+    distinct: Set[int] = set()
+    for rb in range(context.num_rbs):
+        if len(distinct) >= context.max_distinct_ues:
+            candidates: Sequence[int] = sorted(distinct)
+        else:
+            candidates = context.ue_ids
+        group = greedy_group(
+            candidates,
+            lambda g, rb=rb: rb_utility(rb, g),
+            size_cap,
+        )
+        # The K-budget must hold for the union across RBs: admit the greedy
+        # order's prefix of newcomers that still fits the budget.
+        allowed_new = context.max_distinct_ues - len(distinct)
+        admitted: List[int] = []
+        new_count = 0
+        for ue in group:
+            if ue in distinct:
+                admitted.append(ue)
+            elif new_count < allowed_new:
+                admitted.append(ue)
+                new_count += 1
+        streams = grant_streams(len(admitted))
+        for pilot_index, ue in enumerate(admitted):
+            schedule.add_grant(
+                UplinkGrant(
+                    ue_id=ue,
+                    rb=rb,
+                    rate_bps=context.rate_bps(ue, rb, streams),
+                    pilot_index=pilot_index,
+                )
+            )
+            distinct.add(ue)
+    return schedule

@@ -1,0 +1,68 @@
+"""Proportional-fair bookkeeping: EWMA averages and fairness indices.
+
+The PF average follows the paper's update,
+``R_i(t) = (1/alpha) * served_rate_i(t) + (1 - 1/alpha) * R_i(t-1)``,
+driven by the rate actually *delivered* (blocked or collided grants serve
+zero), which is what makes starved clients' marginal utility rise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+
+__all__ = ["PfAverageTracker", "jain_fairness_index"]
+
+
+class PfAverageTracker:
+    """Tracks ``R_i`` for a set of clients across subframes."""
+
+    def __init__(
+        self,
+        ue_ids: Iterable[int],
+        alpha: float = consts.DEFAULT_PF_ALPHA,
+        initial_bps: float = 1e4,
+    ) -> None:
+        if alpha <= 1.0:
+            raise ConfigurationError(f"alpha must exceed 1: {alpha}")
+        if initial_bps <= 0.0:
+            raise ConfigurationError(
+                f"initial average must be positive: {initial_bps}"
+            )
+        self.alpha = float(alpha)
+        self._avg: Dict[int, float] = {int(u): float(initial_bps) for u in ue_ids}
+        if not self._avg:
+            raise ConfigurationError("tracker needs at least one UE")
+
+    def update(self, served_bps: Mapping[int, float]) -> None:
+        """Apply one subframe's served rates (absent clients served 0)."""
+        inv = 1.0 / self.alpha
+        for ue in self._avg:
+            served = float(served_bps.get(ue, 0.0))
+            self._avg[ue] = inv * served + (1.0 - inv) * self._avg[ue]
+
+    def average(self, ue: int) -> float:
+        try:
+            return self._avg[ue]
+        except KeyError:
+            raise ConfigurationError(f"unknown UE id {ue}")
+
+    def averages(self) -> Dict[int, float]:
+        return dict(self._avg)
+
+    @property
+    def ue_ids(self) -> Sequence[int]:
+        return sorted(self._avg)
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 is perfectly fair, 1/n maximally unfair."""
+    if not values:
+        raise ConfigurationError("fairness index of an empty sequence")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return total * total / (len(values) * squares)

@@ -1,0 +1,51 @@
+"""Genie-aided oracle scheduler: the utilization upper bound.
+
+The oracle is told, each subframe, exactly which clients will pass CCA
+(``context.clear_ues``) — information no real eNB in unlicensed spectrum
+can have.  It then runs plain PF restricted to those clients, so every
+grant it issues is used.  Useful as the ceiling against which PF's loss
+and BLU's recovery are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.scheduling.base import UplinkScheduler, build_schedule
+from repro.core.scheduling.types import SchedulingContext
+from repro.errors import SchedulingError
+from repro.lte.resources import SubframeSchedule
+
+__all__ = ["OracleScheduler"]
+
+
+class OracleScheduler(UplinkScheduler):
+    """PF over the genie-provided set of clients that will clear CCA."""
+
+    name = "oracle"
+
+    #: Genie information is per subframe, so the engine must re-consult the
+    #: oracle every UL subframe rather than reusing a burst schedule.
+    reschedule_every_subframe = True
+
+    def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        if context.clear_ues is None:
+            raise SchedulingError(
+                "oracle scheduler needs context.clear_ues (genie information)"
+            )
+        clear = context.clear_ues
+
+        def utility(rb: int, group: Sequence[int]) -> float:
+            if any(ue not in clear for ue in group):
+                return float("-inf")
+            streams = min(len(group), context.num_antennas)
+            if streams == 0:
+                return 0.0
+            return sum(context.pf_weight(ue, rb, streams) for ue in group)
+
+        return build_schedule(
+            context,
+            rb_utility=utility,
+            max_group_size=context.num_antennas,
+            grant_streams=lambda size: max(min(size, context.num_antennas), 1),
+        )

@@ -1,0 +1,38 @@
+"""The native proportional-fair scheduler (Eqn. 1) — the paper's baseline.
+
+Per RB, pick the group of at most ``M`` clients maximizing
+``sum_i r_{i,b,g} / R_i``; with ``M = 1`` this is classic single-stream PF,
+with ``M > 1`` it is greedy MU-MIMO user grouping.  No access probabilities
+enter: in licensed spectrum this scheduler is efficient, in unlicensed
+spectrum its grants silently die on blocked clients.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.scheduling.base import UplinkScheduler, build_schedule
+from repro.core.scheduling.types import SchedulingContext
+from repro.lte.resources import SubframeSchedule
+
+__all__ = ["ProportionalFairScheduler"]
+
+
+class ProportionalFairScheduler(UplinkScheduler):
+    """Native PF scheduling, SISO and MU-MIMO."""
+
+    name = "pf"
+
+    def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        def utility(rb: int, group: Sequence[int]) -> float:
+            streams = min(len(group), context.num_antennas)
+            if streams == 0:
+                return 0.0
+            return sum(context.pf_weight(ue, rb, streams) for ue in group)
+
+        return build_schedule(
+            context,
+            rb_utility=utility,
+            max_group_size=context.num_antennas,
+            grant_streams=lambda size: max(min(size, context.num_antennas), 1),
+        )

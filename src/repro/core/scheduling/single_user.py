@@ -1,0 +1,43 @@
+"""Single-user fallback scheduler (Section 2.3's side-step).
+
+Scheduling one client per subframe across all RBs avoids the multi-user
+under-utilization entirely — if that client is blocked the whole subframe is
+lost, but partial waste never occurs — at the price of giving up all
+OFDMA/MU-MIMO concurrency gains.  Included as the conservative baseline the
+paper argues against.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.types import SchedulingContext
+from repro.lte.resources import SubframeSchedule, UplinkGrant
+
+__all__ = ["SingleUserScheduler"]
+
+
+class SingleUserScheduler(UplinkScheduler):
+    """All RBs of the subframe go to the single best PF client."""
+
+    name = "single-user"
+
+    def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        schedule = SubframeSchedule(num_rbs=context.num_rbs)
+        if not context.ue_ids:
+            return schedule
+        best_ue = max(
+            sorted(context.ue_ids),
+            key=lambda ue: sum(
+                context.pf_weight(ue, rb, 1) for rb in range(context.num_rbs)
+            ),
+        )
+        for rb in range(context.num_rbs):
+            schedule.add_grant(
+                UplinkGrant(
+                    ue_id=best_ue,
+                    rb=rb,
+                    rate_bps=context.rate_bps(best_ue, rb, 1),
+                    pilot_index=0,
+                )
+            )
+        return schedule

@@ -1,0 +1,98 @@
+"""Shared scheduler-facing types: the per-subframe scheduling context.
+
+Schedulers are pure functions from a :class:`SchedulingContext` to a
+:class:`~repro.lte.resources.SubframeSchedule`; everything they may consult
+(instantaneous channel state, PF averages, antenna count, control-channel
+limits) travels in the context, which keeps every scheduler interchangeable
+inside the simulation engine and the BLU controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.lte import mcs
+from repro.lte.phy import mumimo_sinr_penalty_db
+
+__all__ = ["SchedulingContext"]
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a scheduler may look at for one uplink subframe.
+
+    Attributes:
+        subframe: absolute subframe index.
+        num_rbs: allocation units to fill (RBs, or RB groups).
+        num_antennas: eNB receive antennas ``M``.
+        ue_ids: schedulable clients (with data to send).
+        sinr_db: per-UE array of per-RB single-stream SINRs (dB), as known
+            to the eNB from the latest decoded transmissions.
+        avg_throughput_bps: PF average ``R_i`` per client.
+        max_distinct_ues: control-channel limit ``K`` on distinct clients
+            granted in one subframe (paper: "typically less than 10").
+        clear_ues: genie information — the set of clients whose CCA will
+            pass *this* subframe.  ``None`` for every realistic scheduler;
+            the oracle baseline requires it.
+    """
+
+    subframe: int
+    num_rbs: int
+    num_antennas: int
+    ue_ids: Tuple[int, ...]
+    sinr_db: Mapping[int, np.ndarray]
+    avg_throughput_bps: Mapping[int, float]
+    max_distinct_ues: int = 10
+    clear_ues: Optional[FrozenSet[int]] = None
+    #: Physical RBs per allocation unit: rates scale linearly with it.
+    rate_scale: float = 1.0
+    #: Link-adaptation backoff (dB): grants are issued at the CQI supported
+    #: ``link_margin_db`` below the reported SINR, so ordinary fading drift
+    #: within a grant burst rarely drops a stream (outage becomes the
+    #: exception, not the rule).
+    link_margin_db: float = 2.0
+    _rate_cache: Dict[Tuple[int, int, int], float] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_rbs < 1:
+            raise SchedulingError(f"num_rbs must be positive: {self.num_rbs}")
+        if self.num_antennas < 1:
+            raise SchedulingError(
+                f"num_antennas must be positive: {self.num_antennas}"
+            )
+        if self.max_distinct_ues < 1:
+            raise SchedulingError(
+                f"max_distinct_ues must be positive: {self.max_distinct_ues}"
+            )
+        for ue in self.ue_ids:
+            if ue not in self.sinr_db:
+                raise SchedulingError(f"no SINR state for UE {ue}")
+            if len(self.sinr_db[ue]) != self.num_rbs:
+                raise SchedulingError(
+                    f"UE {ue} SINR vector has {len(self.sinr_db[ue])} entries, "
+                    f"expected {self.num_rbs}"
+                )
+            if ue not in self.avg_throughput_bps:
+                raise SchedulingError(f"no PF average for UE {ue}")
+
+    def rate_bps(self, ue: int, rb: int, streams: int = 1) -> float:
+        """``r_{i,b}`` at a given concurrent-stream count (memoized)."""
+        key = (ue, rb, streams)
+        cached = self._rate_cache.get(key)
+        if cached is None:
+            penalty = mumimo_sinr_penalty_db(streams, self.num_antennas)
+            sinr = float(self.sinr_db[ue][rb]) + penalty - self.link_margin_db
+            cached = self.rate_scale * mcs.rb_rate_bps(sinr)
+            self._rate_cache[key] = cached
+        return cached
+
+    def pf_weight(self, ue: int, rb: int, streams: int = 1) -> float:
+        """The PF marginal utility ``r_{i,b} / R_i``."""
+        average = max(self.avg_throughput_bps[ue], 1.0)
+        return self.rate_bps(ue, rb, streams) / average

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter combination is invalid."""
+
+
+class TopologyError(ReproError):
+    """A topology (ground-truth or inferred) is malformed or inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler was asked to produce an impossible or invalid schedule."""
+
+
+class MeasurementError(ReproError):
+    """Access-distribution measurement could not be carried out or used."""
+
+
+class InferenceError(ReproError):
+    """Blueprint topology inference failed to produce a usable topology."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace combination operation is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

@@ -1,0 +1,135 @@
+"""Wireless channel models: path loss and time-correlated Rayleigh fading.
+
+The trace-based evaluation in the paper replays per-subframe CSI collected
+from WARP UEs.  Here the equivalent substrate is a per-(UE, RB) block-fading
+process: a log-distance path-loss mean plus an AR(1)-correlated Rayleigh
+fading term, sampled once per subframe.  The eNB observes the resulting SINR
+(perfect CSI at the receiver, as with the decoded WARP subframes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts, mcs
+
+__all__ = [
+    "PathLossModel",
+    "FadingProcess",
+    "UplinkChannel",
+]
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with indoor-enterprise defaults.
+
+    ``PL(d) = pl0_db + 10 * exponent * log10(d / d0)``, in dB.
+
+    Defaults (exponent 3.0, 40 dB at 1 m) are typical for the enterprise
+    office environments used in the paper's testbed.
+    """
+
+    exponent: float = 3.0
+    pl0_db: float = 40.0
+    d0_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        d = max(float(distance_m), self.d0_m)
+        return self.pl0_db + 10.0 * self.exponent * np.log10(d / self.d0_m)
+
+    def rx_power_dbm(self, tx_power_dbm: float, distance_m: float) -> float:
+        return tx_power_dbm - self.loss_db(distance_m)
+
+
+class FadingProcess:
+    """AR(1)-correlated Rayleigh block fading for one link across RBs.
+
+    Each subframe produces a vector of per-RB linear power gains with unit
+    mean.  Temporal correlation is controlled by ``doppler_coherence``
+    (the AR(1) coefficient): 0 gives i.i.d. fading per subframe, values near
+    1 give slowly varying channels.
+
+    The process is complex Gaussian per RB; the power gain is ``|h|^2``
+    which is exponential with unit mean (Rayleigh amplitude).
+    """
+
+    def __init__(
+        self,
+        num_rbs: int,
+        doppler_coherence: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= doppler_coherence < 1.0:
+            raise ConfigurationError(
+                f"doppler_coherence must be in [0, 1): {doppler_coherence}"
+            )
+        if num_rbs < 1:
+            raise ConfigurationError(f"num_rbs must be positive: {num_rbs}")
+        self.num_rbs = num_rbs
+        self.rho = doppler_coherence
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._h = self._draw_innovation()
+
+    def _draw_innovation(self) -> np.ndarray:
+        real = self._rng.standard_normal(self.num_rbs)
+        imag = self._rng.standard_normal(self.num_rbs)
+        return (real + 1j * imag) / np.sqrt(2.0)
+
+    def step(self) -> np.ndarray:
+        """Advance one subframe; return per-RB linear power gains (mean 1)."""
+        innovation = self._draw_innovation()
+        self._h = self.rho * self._h + np.sqrt(1.0 - self.rho**2) * innovation
+        return np.abs(self._h) ** 2
+
+    def current_gains(self) -> np.ndarray:
+        """Per-RB power gains of the current state without advancing."""
+        return np.abs(self._h) ** 2
+
+
+class UplinkChannel:
+    """The uplink channel of one UE: path loss mean + fading, per RB.
+
+    Produces per-subframe, per-RB SINR (dB) at the eNB, and the matching
+    CQI-model rate used by schedulers as ``r_{i,b}``.
+    """
+
+    def __init__(
+        self,
+        mean_rx_power_dbm: float,
+        num_rbs: int,
+        noise_floor_dbm: float = consts.NOISE_FLOOR_10MHZ_DBM,
+        doppler_coherence: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.mean_rx_power_dbm = float(mean_rx_power_dbm)
+        self.noise_floor_dbm = float(noise_floor_dbm)
+        self.num_rbs = num_rbs
+        self._fading = FadingProcess(num_rbs, doppler_coherence, rng)
+        self._sinr_db = self._compute_sinr(self._fading.current_gains())
+
+    def _compute_sinr(self, gains: np.ndarray) -> np.ndarray:
+        mean_snr_db = self.mean_rx_power_dbm - self.noise_floor_dbm
+        with np.errstate(divide="ignore"):
+            fading_db = 10.0 * np.log10(gains)
+        return mean_snr_db + fading_db
+
+    def step(self) -> np.ndarray:
+        """Advance one subframe; return per-RB SINR in dB."""
+        self._sinr_db = self._compute_sinr(self._fading.step())
+        return self._sinr_db
+
+    @property
+    def sinr_db(self) -> np.ndarray:
+        """Per-RB SINR (dB) for the current subframe."""
+        return self._sinr_db
+
+    def rates_bps(self) -> np.ndarray:
+        """Per-RB instantaneous CQI-model rates for the current subframe."""
+        return np.array([mcs.rb_rate_bps(s) for s in self._sinr_db])
+
+    def mean_snr_db(self) -> float:
+        return self.mean_rx_power_dbm - self.noise_floor_dbm

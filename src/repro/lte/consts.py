@@ -1,0 +1,66 @@
+"""Physical-layer and frame-structure constants for the LTE substrate.
+
+Values follow a 10 MHz Release-10 carrier, matching the testbed configuration
+in the paper (10 MHz LTE signal, 1 ms subframes, 3-subframe UL bursts).
+"""
+
+from __future__ import annotations
+
+#: Duration of one LTE subframe in seconds.
+SUBFRAME_DURATION_S = 1e-3
+
+#: Number of subframes per second.
+SUBFRAMES_PER_SECOND = 1000
+
+#: Resource blocks available in a 10 MHz LTE carrier.
+RBS_10MHZ = 50
+
+#: Resource blocks available in a 20 MHz LTE carrier.
+RBS_20MHZ = 100
+
+#: Subcarriers per resource block.
+SUBCARRIERS_PER_RB = 12
+
+#: Subcarrier spacing in Hz.
+SUBCARRIER_SPACING_HZ = 15_000
+
+#: Bandwidth of one resource block in Hz.
+RB_BANDWIDTH_HZ = SUBCARRIERS_PER_RB * SUBCARRIER_SPACING_HZ
+
+#: OFDM data symbols per subframe (normal cyclic prefix, 2 slots x 7 symbols).
+SYMBOLS_PER_SUBFRAME = 14
+
+#: Symbols per subframe consumed by uplink demodulation reference signals
+#: (one DMRS symbol per slot).
+DMRS_SYMBOLS_PER_SUBFRAME = 2
+
+#: Data-bearing resource elements in one RB over one subframe.
+DATA_RE_PER_RB = SUBCARRIERS_PER_RB * (SYMBOLS_PER_SUBFRAME - DMRS_SYMBOLS_PER_SUBFRAME)
+
+#: Subframes granted per uplink burst in the testbed ("bursts of three
+#: subframes").
+SUBFRAMES_PER_BURST = 3
+
+#: Default TxOP length bounds in subframes (paper: "TxOP (2-10 ms)").
+TXOP_MIN_SUBFRAMES = 2
+TXOP_MAX_SUBFRAMES = 10
+
+#: LAA energy-detection CCA threshold range in dBm (paper: [-70, -65] dBm).
+ED_THRESHOLD_DBM_LOW = -70.0
+ED_THRESHOLD_DBM_HIGH = -65.0
+
+#: Default energy-detection threshold used by LTE nodes.
+DEFAULT_ED_THRESHOLD_DBM = -72.0
+
+#: WiFi preamble-detection (carrier sense) threshold in dBm (paper: -85 dBm).
+WIFI_CS_THRESHOLD_DBM = -85.0
+
+#: Default transmit power of WiFi/LTE nodes in dBm.
+DEFAULT_TX_POWER_DBM = 20.0
+
+#: Thermal noise floor for a 10 MHz channel in dBm (kTB + typical noise figure).
+NOISE_FLOOR_10MHZ_DBM = -95.0
+
+#: Default exponential-weighting constant for the PF average-throughput
+#: update (alpha in the paper's R_i update).
+DEFAULT_PF_ALPHA = 100.0

@@ -1,0 +1,149 @@
+"""HARQ: hybrid-ARQ retransmission with Chase combining.
+
+The Release-10 stack the paper's testbed runs includes HARQ: a transport
+block whose data fails to decode (fading outage or collision) is kept in a
+soft buffer and retransmitted; the receiver combines the energy of all
+attempts (Chase combining — effective SINR is the linear sum across
+attempts) so a marginal block usually lands on the second try.
+
+Blocked grants are *not* HARQ events: the client never transmitted, so
+there is nothing to combine — exactly the distinction BLU's pilot-based
+classifier draws (Section 3.3).
+
+The pool is deliberately scheduler-agnostic: the engine asks it, per UE and
+subframe, whether a retransmission is pending; if so, the UE's next
+transmission opportunity carries the retransmission instead of new data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HarqConfig", "HarqTransportBlock", "HarqPool"]
+
+#: LTE FDD uplink HARQ: 8 parallel processes per UE.
+DEFAULT_NUM_PROCESSES = 8
+
+
+@dataclass(frozen=True)
+class HarqConfig:
+    """HARQ knobs."""
+
+    max_transmissions: int = 4  # initial + 3 retransmissions
+    num_processes: int = DEFAULT_NUM_PROCESSES
+
+    def __post_init__(self) -> None:
+        if self.max_transmissions < 1:
+            raise ConfigurationError(
+                f"max_transmissions must be >= 1: {self.max_transmissions}"
+            )
+        if self.num_processes < 1:
+            raise ConfigurationError(
+                f"num_processes must be >= 1: {self.num_processes}"
+            )
+
+
+@dataclass
+class HarqTransportBlock:
+    """One in-flight transport block and its soft-combining state."""
+
+    ue_id: int
+    bits: float
+    required_sinr_linear: float
+    accumulated_sinr_linear: float = 0.0
+    transmissions: int = 0
+
+    def add_attempt(self, sinr_linear: float) -> None:
+        if sinr_linear < 0:
+            raise ConfigurationError(f"negative SINR energy: {sinr_linear}")
+        self.accumulated_sinr_linear += sinr_linear
+        self.transmissions += 1
+
+    @property
+    def decodable(self) -> bool:
+        """Chase combining: decoded once combined SINR covers the need."""
+        return self.accumulated_sinr_linear >= self.required_sinr_linear
+
+
+class HarqPool:
+    """Per-UE HARQ processes for one cell."""
+
+    def __init__(self, num_ues: int, config: HarqConfig = HarqConfig()) -> None:
+        if num_ues < 1:
+            raise ConfigurationError(f"need at least one UE: {num_ues}")
+        self.config = config
+        self._pending: Dict[int, List[HarqTransportBlock]] = {
+            ue: [] for ue in range(num_ues)
+        }
+        self.blocks_delivered = 0
+        self.blocks_dropped = 0
+        self.retransmissions = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def pending(self, ue: int) -> Optional[HarqTransportBlock]:
+        """The oldest retransmission waiting for this UE, if any."""
+        queue = self._pending_queue(ue)
+        return queue[0] if queue else None
+
+    def pending_count(self, ue: int) -> int:
+        return len(self._pending_queue(ue))
+
+    def _pending_queue(self, ue: int) -> List[HarqTransportBlock]:
+        try:
+            return self._pending[ue]
+        except KeyError:
+            raise ConfigurationError(f"unknown UE id {ue}")
+
+    # -- transitions ----------------------------------------------------------
+
+    def first_attempt_failed(
+        self, ue: int, bits: float, required_sinr_linear: float,
+        attempt_sinr_linear: float,
+    ) -> None:
+        """Register a new transport block whose first transmission failed."""
+        queue = self._pending_queue(ue)
+        if len(queue) >= self.config.num_processes:
+            # All processes busy: the block is dropped (buffer overflow).
+            self.blocks_dropped += 1
+            return
+        block = HarqTransportBlock(
+            ue_id=ue, bits=bits, required_sinr_linear=required_sinr_linear
+        )
+        block.add_attempt(attempt_sinr_linear)
+        queue.append(block)
+
+    def retransmission_result(
+        self, ue: int, attempt_sinr_linear: float
+    ) -> Optional[float]:
+        """Apply one retransmission to the UE's oldest pending block.
+
+        Returns the delivered bits when the block decodes, ``None`` while it
+        is still pending.  Blocks that exhaust their attempts are dropped.
+        """
+        queue = self._pending_queue(ue)
+        if not queue:
+            raise ConfigurationError(f"UE {ue} has no pending HARQ block")
+        block = queue[0]
+        block.add_attempt(attempt_sinr_linear)
+        self.retransmissions += 1
+        if block.decodable:
+            queue.pop(0)
+            self.blocks_delivered += 1
+            return block.bits
+        if block.transmissions >= self.config.max_transmissions:
+            queue.pop(0)
+            self.blocks_dropped += 1
+        return None
+
+    def retransmission_blocked(self, ue: int) -> None:
+        """The UE was scheduled to retransmit but its CCA failed.
+
+        The attempt does not count against ``max_transmissions`` (nothing
+        was sent), mirroring LAA behaviour: the grant is wasted, the soft
+        buffer persists.
+        """
+        self._pending_queue(ue)  # validate the UE id

@@ -1,0 +1,159 @@
+"""Uplink PHY reception model: decodability of (over-)scheduled RBs.
+
+The reception rule is the one that makes speculative scheduling a gamble
+(Section 2.3 of the paper): an eNB with ``M`` antennas can spatially resolve
+at most ``M`` simultaneous streams on an RB.
+
+* 0 transmitters  -> the RB is wasted (grants blocked by hidden terminals).
+* 1..M transmitters -> every stream is decoded, unless instantaneous fading
+  drops the channel below what the granted rate needs (fading outage).
+* > M transmitters -> collision; *all* streams on that RB are lost.
+
+Multi-stream reception costs array gain.  With ``m`` streams at ``M``
+antennas a zero-forcing receiver retains ``(M - m + 1) / M`` of the array's
+degrees of freedom, so per-stream SINR is scaled by that factor.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lte import mcs
+from repro.lte.pilots import PilotObservation
+from repro.lte.resources import RBSchedule
+
+__all__ = [
+    "GrantOutcome",
+    "RBReception",
+    "mumimo_sinr_penalty_db",
+    "effective_rate_bps",
+    "receive_rb",
+]
+
+
+class GrantOutcome(enum.Enum):
+    """Fate of one uplink grant, as classified by the eNB (Section 3.3)."""
+
+    #: Grant used and data decoded.
+    DECODED = "decoded"
+    #: No pilot received: the UE's CCA failed (hidden-terminal blocking).
+    BLOCKED = "blocked"
+    #: More pilots than antennas on the RB: unresolvable collision.
+    COLLIDED = "collided"
+    #: Pilot received, stream count fine, but data undecodable: fading loss.
+    FADED = "faded"
+
+
+@dataclass
+class RBReception:
+    """The eNB-side result of one RB in one uplink subframe."""
+
+    rb: int
+    pilot_observation: PilotObservation
+    outcomes: Dict[int, GrantOutcome] = field(default_factory=dict)
+    delivered_bits: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def utilized(self) -> bool:
+        """True when at least one stream on this RB was decoded."""
+        return any(o is GrantOutcome.DECODED for o in self.outcomes.values())
+
+    @property
+    def total_bits(self) -> float:
+        return sum(self.delivered_bits.values())
+
+    def ues_with(self, outcome: GrantOutcome) -> List[int]:
+        return sorted(u for u, o in self.outcomes.items() if o is outcome)
+
+
+def mumimo_sinr_penalty_db(num_streams: int, num_antennas: int) -> float:
+    """Per-stream SINR penalty (dB, non-positive) for ``num_streams`` at
+    ``num_antennas`` antennas under zero-forcing reception."""
+    if num_streams < 1:
+        raise ConfigurationError(f"num_streams must be >= 1: {num_streams}")
+    if num_streams > num_antennas:
+        raise ConfigurationError(
+            f"{num_streams} streams exceed {num_antennas} antennas"
+        )
+    retained = (num_antennas - num_streams + 1) / num_antennas
+    return 10.0 * math.log10(retained)
+
+
+def effective_rate_bps(
+    sinr_db: float, num_streams: int, num_antennas: int
+) -> float:
+    """CQI-model rate of one stream after the multi-stream SINR penalty."""
+    penalty = mumimo_sinr_penalty_db(num_streams, num_antennas)
+    return mcs.rb_rate_bps(sinr_db + penalty)
+
+
+def receive_rb(
+    rb_schedule: RBSchedule,
+    transmitting_ues: Iterable[int],
+    sinr_db_by_ue: Mapping[int, float],
+    num_antennas: int,
+    subframe_duration_s: float = 1e-3,
+    granted_rate_by_ue: Optional[Mapping[int, float]] = None,
+    rate_scale: float = 1.0,
+) -> RBReception:
+    """Decode one RB of one uplink subframe at the eNB.
+
+    Args:
+        rb_schedule: the grants issued on this RB (possibly over-scheduled).
+        transmitting_ues: granted UEs whose CCA passed and who transmitted.
+        sinr_db_by_ue: instantaneous per-UE SINR on this RB *this subframe*.
+        num_antennas: eNB receive antennas ``M``.
+        subframe_duration_s: used to convert decoded rate to delivered bits.
+        granted_rate_by_ue: the rate each grant was issued at.  A stream is
+            decodable only if the instantaneous channel still supports the
+            granted rate; otherwise the stream is a fading loss.  Defaults to
+            the rates embedded in the grants.
+        rate_scale: physical RBs per allocation unit.  Granted rates are
+            per allocation unit; the achievable rate from the single-RB
+            rate model is multiplied by this before comparison.
+
+    Returns:
+        An :class:`RBReception` with a :class:`GrantOutcome` for every grant.
+    """
+    transmitters = sorted(set(transmitting_ues))
+    granted_ids = set(rb_schedule.ue_ids)
+    unknown = set(transmitters) - granted_ids
+    if unknown:
+        raise ConfigurationError(
+            f"transmitters {sorted(unknown)} were never granted RB {rb_schedule.rb}"
+        )
+
+    if granted_rate_by_ue is None:
+        granted_rate_by_ue = {g.ue_id: g.rate_bps for g in rb_schedule}
+
+    observation = PilotObservation.from_transmitters(rb_schedule.rb, transmitters)
+    reception = RBReception(rb=rb_schedule.rb, pilot_observation=observation)
+
+    num_streams = len(transmitters)
+    collided = num_streams > num_antennas
+
+    for grant in rb_schedule:
+        ue = grant.ue_id
+        if ue not in observation.detected_ues:
+            reception.outcomes[ue] = GrantOutcome.BLOCKED
+            continue
+        if collided:
+            reception.outcomes[ue] = GrantOutcome.COLLIDED
+            continue
+        sinr_db = sinr_db_by_ue.get(ue)
+        if sinr_db is None:
+            raise ConfigurationError(f"no SINR available for transmitting UE {ue}")
+        achievable = rate_scale * effective_rate_bps(
+            sinr_db, num_streams, num_antennas
+        )
+        granted = granted_rate_by_ue.get(ue, grant.rate_bps)
+        if achievable + 1e-9 >= granted and granted > 0:
+            reception.outcomes[ue] = GrantOutcome.DECODED
+            reception.delivered_bits[ue] = granted * subframe_duration_s
+        else:
+            reception.outcomes[ue] = GrantOutcome.FADED
+    return reception

@@ -1,0 +1,56 @@
+"""Orthogonal uplink pilot (DMRS) model.
+
+Section 3.3 of the paper relies on one PHY property: even when multiple
+clients are over-scheduled on the same RB, their DMRS pilots are kept
+orthogonal (distinct cyclic shifts), and pilots are sent at the lowest
+modulation so they survive fading that kills data.  The eNB therefore learns,
+per RB, exactly *which* granted clients transmitted — enabling it to classify
+a decoding failure as collision (several pilots present) versus fading (one
+pilot present, data lost) versus hidden-terminal blocking (no pilot at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.errors import SchedulingError
+
+__all__ = ["MAX_ORTHOGONAL_PILOTS", "assign_pilot_indices", "PilotObservation"]
+
+#: LTE DMRS supports up to 8 orthogonal cyclic shifts per RB.
+MAX_ORTHOGONAL_PILOTS = 8
+
+
+def assign_pilot_indices(ue_ids: Sequence[int]) -> dict:
+    """Assign distinct pilot indices to the UEs sharing an RB.
+
+    Raises :class:`SchedulingError` when more UEs share an RB than there are
+    orthogonal cyclic shifts — such a schedule could not keep pilots
+    orthogonal and would break BLU's loss classification.
+    """
+    if len(ue_ids) > MAX_ORTHOGONAL_PILOTS:
+        raise SchedulingError(
+            f"{len(ue_ids)} UEs on one RB exceeds "
+            f"{MAX_ORTHOGONAL_PILOTS} orthogonal pilots"
+        )
+    if len(set(ue_ids)) != len(ue_ids):
+        raise SchedulingError(f"duplicate UE ids in pilot assignment: {ue_ids}")
+    return {ue: index for index, ue in enumerate(ue_ids)}
+
+
+@dataclass(frozen=True)
+class PilotObservation:
+    """What the eNB's pilot detector saw on one RB of one subframe."""
+
+    rb: int
+    detected_ues: FrozenSet[int]
+
+    @staticmethod
+    def from_transmitters(rb: int, transmitters: Iterable[int]) -> "PilotObservation":
+        """Pilots are robust: every transmitting UE's pilot is detected."""
+        return PilotObservation(rb=rb, detected_ues=frozenset(transmitters))
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detected_ues)

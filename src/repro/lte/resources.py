@@ -1,0 +1,167 @@
+"""Resource-grid and grant structures for LTE uplink scheduling.
+
+These types carry a schedule from the scheduler, through the simulated air
+interface, to the eNB receiver:
+
+* :class:`UplinkGrant` — one client's allocation on one RB of one subframe.
+* :class:`RBSchedule` — the (possibly over-scheduled) set of grants on one RB.
+* :class:`SubframeSchedule` — schedule across all RBs of one subframe.
+* :class:`TxOp` — a transmission opportunity: a run of subframes acquired by
+  the eNB after its own CCA/backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.lte import consts
+
+__all__ = ["UplinkGrant", "RBSchedule", "SubframeSchedule", "TxOp"]
+
+
+@dataclass(frozen=True)
+class UplinkGrant:
+    """A scheduled uplink allocation for one client on one resource block.
+
+    Attributes:
+        ue_id: identifier of the granted client.
+        rb: resource-block index.
+        rate_bps: rate the eNB expects if the grant is used, from the
+            client's reported channel (``r_{i,b}`` or ``r_{i,b,g}``).
+        pilot_index: orthogonal DMRS cyclic-shift index.  Grants that share
+            an RB must carry distinct pilot indices so the eNB can tell a
+            collision (multiple pilots seen) from fading (one pilot seen,
+            data undecodable) — Section 3.3 of the paper.
+    """
+
+    ue_id: int
+    rb: int
+    rate_bps: float
+    pilot_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps < 0:
+            raise SchedulingError(f"negative grant rate: {self.rate_bps}")
+        if self.rb < 0:
+            raise SchedulingError(f"negative RB index: {self.rb}")
+
+
+@dataclass
+class RBSchedule:
+    """All grants issued on one resource block of one subframe."""
+
+    rb: int
+    grants: List[UplinkGrant] = field(default_factory=list)
+
+    def add(self, grant: UplinkGrant) -> None:
+        if grant.rb != self.rb:
+            raise SchedulingError(
+                f"grant for RB {grant.rb} added to schedule of RB {self.rb}"
+            )
+        if any(g.ue_id == grant.ue_id for g in self.grants):
+            raise SchedulingError(
+                f"UE {grant.ue_id} already granted on RB {self.rb}"
+            )
+        if any(g.pilot_index == grant.pilot_index for g in self.grants):
+            raise SchedulingError(
+                f"pilot index {grant.pilot_index} reused on RB {self.rb}"
+            )
+        self.grants.append(grant)
+
+    @property
+    def ue_ids(self) -> Tuple[int, ...]:
+        return tuple(g.ue_id for g in self.grants)
+
+    def __len__(self) -> int:
+        return len(self.grants)
+
+    def __iter__(self) -> Iterator[UplinkGrant]:
+        return iter(self.grants)
+
+
+@dataclass
+class SubframeSchedule:
+    """The complete uplink schedule of one subframe.
+
+    The schedule maps every RB index in ``range(num_rbs)`` to an
+    :class:`RBSchedule` (possibly empty).
+    """
+
+    num_rbs: int = consts.RBS_10MHZ
+    rb_schedules: Dict[int, RBSchedule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for rb in range(self.num_rbs):
+            self.rb_schedules.setdefault(rb, RBSchedule(rb=rb))
+
+    def rb(self, rb: int) -> RBSchedule:
+        try:
+            return self.rb_schedules[rb]
+        except KeyError:
+            raise SchedulingError(f"RB index {rb} outside grid of {self.num_rbs}")
+
+    def add_grant(self, grant: UplinkGrant) -> None:
+        self.rb(grant.rb).add(grant)
+
+    def scheduled_ues(self) -> Tuple[int, ...]:
+        """Distinct UE ids granted anywhere in this subframe, sorted."""
+        ids = {g.ue_id for rbs in self.rb_schedules.values() for g in rbs}
+        return tuple(sorted(ids))
+
+    def grants_for(self, ue_id: int) -> List[UplinkGrant]:
+        return [
+            g
+            for rbs in self.rb_schedules.values()
+            for g in rbs
+            if g.ue_id == ue_id
+        ]
+
+    @property
+    def total_grants(self) -> int:
+        return sum(len(rbs) for rbs in self.rb_schedules.values())
+
+    def allocated_rbs(self) -> List[int]:
+        """RB indices that carry at least one grant."""
+        return [rb for rb, rbs in sorted(self.rb_schedules.items()) if len(rbs)]
+
+
+@dataclass(frozen=True)
+class TxOp:
+    """A transmission opportunity acquired by the eNB.
+
+    The eNB performs CCA/backoff once, then owns the channel for
+    ``dl_subframes + ul_subframes`` consecutive subframes (Fig. 2b: a 2-10 ms
+    TxOP with a flexible DL/UL split).  Only the UL part is scheduled by the
+    uplink schedulers in this package.
+    """
+
+    start_subframe: int
+    dl_subframes: int
+    ul_subframes: int
+
+    def __post_init__(self) -> None:
+        total = self.dl_subframes + self.ul_subframes
+        if not consts.TXOP_MIN_SUBFRAMES <= total <= consts.TXOP_MAX_SUBFRAMES:
+            raise SchedulingError(
+                f"TxOP of {total} subframes outside "
+                f"[{consts.TXOP_MIN_SUBFRAMES}, {consts.TXOP_MAX_SUBFRAMES}]"
+            )
+        if self.dl_subframes < 1:
+            raise SchedulingError("TxOP needs at least one DL subframe for grants")
+        if self.ul_subframes < 0:
+            raise SchedulingError("negative UL subframe count")
+
+    @property
+    def total_subframes(self) -> int:
+        return self.dl_subframes + self.ul_subframes
+
+    @property
+    def end_subframe(self) -> int:
+        """First subframe index after this TxOP."""
+        return self.start_subframe + self.total_subframes
+
+    def ul_subframe_indices(self) -> Sequence[int]:
+        first_ul = self.start_subframe + self.dl_subframes
+        return range(first_ul, self.end_subframe)

@@ -1,0 +1,144 @@
+"""Client traffic models and uplink queues.
+
+The paper's evaluation is full-buffer (every client always has data), and
+footnote 1 notes that "coupling constraints across RBs (e.g. finite buffer
+data for clients) ... can be accommodated through simple extensions to the
+proposed scheduler".  This module provides that extension: per-client
+arrival processes and uplink queues, consumed by the simulation engine —
+clients with empty queues are simply not schedulable, and a grant delivers
+at most what is queued.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+
+__all__ = [
+    "TrafficSource",
+    "FullBufferTraffic",
+    "PoissonTraffic",
+    "PeriodicTraffic",
+    "UeQueue",
+]
+
+
+class TrafficSource:
+    """Interface: bits arriving at a client's uplink buffer per subframe."""
+
+    def arrivals_bits(self) -> float:
+        """Bits generated during one subframe."""
+        raise NotImplementedError
+
+    @property
+    def is_full_buffer(self) -> bool:
+        """True when the client always has data (infinite backlog)."""
+        return False
+
+
+class FullBufferTraffic(TrafficSource):
+    """The paper's evaluation model: an always-backlogged client."""
+
+    def arrivals_bits(self) -> float:
+        return math.inf
+
+    @property
+    def is_full_buffer(self) -> bool:
+        return True
+
+
+class PoissonTraffic(TrafficSource):
+    """Poisson packet arrivals with a mean offered load in bits/s."""
+
+    def __init__(
+        self,
+        mean_rate_bps: float,
+        packet_bits: float = 12_000.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if mean_rate_bps < 0:
+            raise ConfigurationError(f"negative offered load: {mean_rate_bps}")
+        if packet_bits <= 0:
+            raise ConfigurationError(f"packet size must be positive: {packet_bits}")
+        self.mean_rate_bps = float(mean_rate_bps)
+        self.packet_bits = float(packet_bits)
+        self._packets_per_subframe = (
+            mean_rate_bps * consts.SUBFRAME_DURATION_S / packet_bits
+        )
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def arrivals_bits(self) -> float:
+        packets = self._rng.poisson(self._packets_per_subframe)
+        return float(packets) * self.packet_bits
+
+
+class PeriodicTraffic(TrafficSource):
+    """Constant-bit-rate traffic: a fixed burst every ``period`` subframes.
+
+    Models periodic uplink sources (sensor reports, voice frames, the
+    AR/VR and live-streaming applications the paper's introduction cites).
+    """
+
+    def __init__(self, bits_per_burst: float, period_subframes: int) -> None:
+        if bits_per_burst <= 0:
+            raise ConfigurationError(
+                f"burst size must be positive: {bits_per_burst}"
+            )
+        if period_subframes < 1:
+            raise ConfigurationError(
+                f"period must be at least one subframe: {period_subframes}"
+            )
+        self.bits_per_burst = float(bits_per_burst)
+        self.period = int(period_subframes)
+        self._tick = 0
+
+    def arrivals_bits(self) -> float:
+        self._tick += 1
+        if self._tick >= self.period:
+            self._tick = 0
+            return self.bits_per_burst
+        return 0.0
+
+
+class UeQueue:
+    """One client's uplink buffer."""
+
+    def __init__(self, source: TrafficSource) -> None:
+        self.source = source
+        self._queued = math.inf if source.is_full_buffer else 0.0
+        self.total_arrived = 0.0
+        self.total_drained = 0.0
+
+    @property
+    def queued_bits(self) -> float:
+        return self._queued
+
+    @property
+    def backlogged(self) -> bool:
+        return self._queued > 0.0
+
+    def step_arrivals(self) -> float:
+        """Apply one subframe of arrivals; return the bits added."""
+        if self.source.is_full_buffer:
+            return math.inf
+        arrived = self.source.arrivals_bits()
+        self._queued += arrived
+        self.total_arrived += arrived
+        return arrived
+
+    def drain(self, bits: float) -> float:
+        """Remove up to ``bits`` from the queue; return what actually left."""
+        if bits < 0:
+            raise ConfigurationError(f"cannot drain negative bits: {bits}")
+        if self.source.is_full_buffer:
+            self.total_drained += bits
+            return bits
+        taken = min(bits, self._queued)
+        self._queued -= taken
+        self.total_drained += taken
+        return taken

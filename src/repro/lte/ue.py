@@ -1,0 +1,99 @@
+"""User equipment (UE) model: grant usage gated by energy-sensing CCA.
+
+In eLAA/MulteFire a scheduled client performs a clear-channel assessment
+immediately before using its uplink grant; if the medium at the client is
+busy (e.g. a WiFi hidden terminal is transmitting), the client stays silent
+and the grant is wasted.  This asymmetry — the eNB schedules, the client
+senses — is the root of the under-utilization the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.lte.channel import UplinkChannel
+
+__all__ = ["UserEquipment"]
+
+
+@dataclass
+class _CcaStats:
+    """Counters of CCA outcomes over the UE's lifetime."""
+
+    attempts: int = 0
+    clear: int = 0
+
+    @property
+    def clear_fraction(self) -> float:
+        return self.clear / self.attempts if self.attempts else 0.0
+
+
+class UserEquipment:
+    """A single-antenna LTE client operating in unlicensed spectrum.
+
+    The UE owns its uplink channel process and its CCA state.  Each uplink
+    subframe the simulation asks the UE whether its CCA passed; the decision
+    is driven either by a sensed power level (geometric mode) or directly by
+    a busy flag (interference-graph mode).
+    """
+
+    def __init__(
+        self,
+        ue_id: int,
+        channel: UplinkChannel,
+        ed_threshold_dbm: float = consts.DEFAULT_ED_THRESHOLD_DBM,
+    ) -> None:
+        if ue_id < 0:
+            raise ConfigurationError(f"UE id must be non-negative: {ue_id}")
+        self.ue_id = ue_id
+        self.channel = channel
+        self.ed_threshold_dbm = float(ed_threshold_dbm)
+        self._stats = _CcaStats()
+
+    def advance_channel(self) -> np.ndarray:
+        """Advance the fading process one subframe; return per-RB SINR."""
+        return self.channel.step()
+
+    def reported_rates_bps(self) -> np.ndarray:
+        """Per-RB rates the eNB believes this UE can sustain (current CSI)."""
+        return self.channel.rates_bps()
+
+    def sinr_db(self, rb: int) -> float:
+        return float(self.channel.sinr_db[rb])
+
+    def cca_clear_from_power(self, sensed_power_dbm: float) -> bool:
+        """CCA decision from the aggregate interference power at the UE."""
+        clear = sensed_power_dbm < self.ed_threshold_dbm
+        self._record(clear)
+        return clear
+
+    def cca_clear_from_busy(self, medium_busy: bool) -> bool:
+        """CCA decision when the medium state is already a busy flag."""
+        clear = not medium_busy
+        self._record(clear)
+        return clear
+
+    def _record(self, clear: bool) -> None:
+        self._stats.attempts += 1
+        if clear:
+            self._stats.clear += 1
+
+    @property
+    def observed_clear_fraction(self) -> float:
+        """Empirical fraction of CCA attempts that were clear."""
+        return self._stats.clear_fraction
+
+    @property
+    def cca_attempts(self) -> int:
+        return self._stats.attempts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UserEquipment(id={self.ue_id}, "
+            f"ed_threshold={self.ed_threshold_dbm} dBm)"
+        )

@@ -1,0 +1,27 @@
+"""Cell-level simulation: engine, configuration, results, runners."""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.downlink import DownlinkSimulation
+from repro.sim.engine import CellSimulation
+from repro.sim.results import SimulationResult
+from repro.sim.runner import (
+    ReplicatedMetric,
+    SweepPoint,
+    gain_over,
+    run_comparison,
+    run_replications,
+    run_sweep,
+)
+
+__all__ = [
+    "CellSimulation",
+    "DownlinkSimulation",
+    "ReplicatedMetric",
+    "SimulationConfig",
+    "SimulationResult",
+    "SweepPoint",
+    "gain_over",
+    "run_comparison",
+    "run_replications",
+    "run_sweep",
+]

@@ -1,0 +1,88 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one cell-level simulation run.
+
+    Attributes:
+        num_subframes: wall-clock length of the run (1 ms subframes).
+        num_rbs: uplink allocation units per subframe.  Scheduling at RB-
+            group granularity (e.g. 10 groups of 5 RBs in a 10 MHz carrier)
+            matches LTE type-0 allocation and keeps scheduling costs low;
+            rates returned by the rate model are per allocation unit.
+        rb_group_size: physical RBs per allocation unit (scales rates).
+        num_antennas: eNB receive antennas ``M`` (1 = SISO).
+        max_distinct_ues: control-channel limit ``K`` per subframe.
+        dl_subframes_per_txop / ul_subframes_per_txop: TxOP split (testbed
+            default: grant bursts of three UL subframes).
+        enb_busy_probability: chance the eNB's own CCA fails per attempt
+            (interference audible at the eNB).
+        pf_alpha / pf_initial_bps: PF average parameters.
+        doppler_coherence: AR(1) fading coefficient per UE channel.
+        link_margin_db: link-adaptation backoff applied when issuing grants.
+        activity_kind: hidden-terminal activity model, ``"bernoulli"`` or
+            ``"markov"``.
+        mean_busy_subframes: burst length for ``"markov"`` activity.
+    """
+
+    num_subframes: int = 4000
+    num_rbs: int = 10
+    rb_group_size: int = 5
+    num_antennas: int = 1
+    max_distinct_ues: int = 10
+    dl_subframes_per_txop: int = 1
+    ul_subframes_per_txop: int = consts.SUBFRAMES_PER_BURST
+    enb_busy_probability: float = 0.0
+    pf_alpha: float = consts.DEFAULT_PF_ALPHA
+    pf_initial_bps: float = 1e4
+    doppler_coherence: float = 0.97
+    link_margin_db: float = 2.0
+    #: Subframes of CSI staleness at the scheduler (grant rates are chosen
+    #: from channel state this many subframes old; reception always uses
+    #: the true instantaneous channel).  0 = ideal feedback.
+    csi_delay_subframes: int = 0
+    receiver: str = "linear"  # "linear" (<=M streams) or "sic" (NOMA)
+    harq_enabled: bool = False  # Chase-combining retransmission of fades
+    harq_max_transmissions: int = 4
+    activity_kind: str = "bernoulli"
+    mean_busy_subframes: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.num_subframes < 1:
+            raise ConfigurationError(
+                f"num_subframes must be positive: {self.num_subframes}"
+            )
+        if self.num_rbs < 1:
+            raise ConfigurationError(f"num_rbs must be positive: {self.num_rbs}")
+        if self.rb_group_size < 1:
+            raise ConfigurationError(
+                f"rb_group_size must be positive: {self.rb_group_size}"
+            )
+        if self.num_antennas < 1:
+            raise ConfigurationError(
+                f"num_antennas must be positive: {self.num_antennas}"
+            )
+        if self.csi_delay_subframes < 0:
+            raise ConfigurationError(
+                f"csi_delay_subframes must be >= 0: {self.csi_delay_subframes}"
+            )
+        if self.receiver not in ("linear", "sic"):
+            raise ConfigurationError(
+                f"receiver must be 'linear' or 'sic': {self.receiver!r}"
+            )
+        if self.activity_kind not in ("bernoulli", "markov"):
+            raise ConfigurationError(
+                f"unknown activity kind: {self.activity_kind!r}"
+            )
+        if self.ul_subframes_per_txop < 1:
+            raise ConfigurationError("TxOP needs at least one UL subframe")

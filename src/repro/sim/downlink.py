@@ -1,0 +1,186 @@
+"""Downlink simulation (Section 3.7): collisions instead of blocked grants.
+
+On the DL the eNB transmits inside its TxOPs without per-client CCA; a
+hidden terminal attached to a client corrupts that client's *reception*
+during the subframes it is active.  Over-scheduling transmissions is
+impossible, but the blueprint enables access-aware DL scheduling (Eqn. 5):
+steer airtime toward clients whose local air is statistically clean.
+
+This engine mirrors :class:`~repro.sim.engine.CellSimulation` with the DL
+semantics: every scheduled RB is transmitted; an RB addressed to a jammed
+client is lost (a collision at the client), all others deliver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.downlink import downlink_delivered_bits
+from repro.core.scheduling.fairness import PfAverageTracker
+from repro.core.scheduling.types import SchedulingContext
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.lte.channel import UplinkChannel
+from repro.lte.resources import SubframeSchedule
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.spectrum.activity import (
+    ActivityProcess,
+    BernoulliActivity,
+    IndependentActivity,
+    JointActivityModel,
+    MarkovOnOffActivity,
+)
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["DownlinkSimulation"]
+
+
+class DownlinkSimulation:
+    """Simulate the downlink of one LTE cell under hidden-terminal jamming.
+
+    The whole TxOP is downlink here (``dl_subframes_per_txop`` +
+    ``ul_subframes_per_txop`` subframes of DL payload after the eNB's CCA);
+    the scheduler under test is consulted once per TxOP.
+    """
+
+    def __init__(
+        self,
+        topology: InterferenceTopology,
+        mean_snr_db: Mapping[int, float],
+        scheduler: UplinkScheduler,
+        config: SimulationConfig = SimulationConfig(),
+        activity_model: Optional[JointActivityModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if set(mean_snr_db) != set(range(topology.num_ues)):
+            raise ConfigurationError(
+                "mean_snr_db must cover exactly the topology's UEs"
+            )
+        self.topology = topology
+        self.config = config
+        self.scheduler = scheduler
+        self._rng = np.random.default_rng(seed)
+
+        if activity_model is not None:
+            self._activity = activity_model
+        else:
+            processes: List[ActivityProcess] = []
+            for q in topology.q:
+                child = np.random.default_rng(self._rng.integers(0, 2**63))
+                if config.activity_kind == "markov":
+                    processes.append(
+                        MarkovOnOffActivity(
+                            q, config.mean_busy_subframes, rng=child
+                        )
+                    )
+                else:
+                    processes.append(BernoulliActivity(q, rng=child))
+            self._activity = IndependentActivity(processes)
+        if self._activity.num_terminals != topology.num_terminals:
+            raise ConfigurationError(
+                f"activity model covers {self._activity.num_terminals} "
+                f"terminals, topology has {topology.num_terminals}"
+            )
+
+        self._ue_edges = topology.ue_edge_map()
+        self._channels: Dict[int, UplinkChannel] = {}
+        for ue in range(topology.num_ues):
+            child = np.random.default_rng(self._rng.integers(0, 2**63))
+            self._channels[ue] = UplinkChannel(
+                mean_rx_power_dbm=consts.NOISE_FLOOR_10MHZ_DBM + mean_snr_db[ue],
+                num_rbs=config.num_rbs,
+                doppler_coherence=config.doppler_coherence,
+                rng=child,
+            )
+        self.tracker = PfAverageTracker(
+            range(topology.num_ues),
+            alpha=config.pf_alpha,
+            initial_bps=config.pf_initial_bps,
+        )
+        self._subframes_per_txop = (
+            config.dl_subframes_per_txop + config.ul_subframes_per_txop
+        )
+
+    def _jammed_ues(self) -> Set[int]:
+        active = self._activity.step()
+        return {ue for ue, edges in self._ue_edges.items() if edges & active}
+
+    def _context(self, subframe: int) -> SchedulingContext:
+        return SchedulingContext(
+            subframe=subframe,
+            num_rbs=self.config.num_rbs,
+            num_antennas=self.config.num_antennas,
+            ue_ids=tuple(range(self.topology.num_ues)),
+            sinr_db={ue: ch.sinr_db for ue, ch in self._channels.items()},
+            avg_throughput_bps=self.tracker.averages(),
+            max_distinct_ues=self.config.max_distinct_ues,
+            rate_scale=float(self.config.rb_group_size),
+            link_margin_db=self.config.link_margin_db,
+        )
+
+    def run(self) -> SimulationResult:
+        result = SimulationResult(scheduler_name=self.scheduler.name)
+        result.delivered_bits_by_ue = {
+            ue: 0.0 for ue in range(self.topology.num_ues)
+        }
+        t = 0
+        total = self.config.num_subframes
+        while t < total:
+            if self._rng.random() < self.config.enb_busy_probability:
+                self._jammed_ues()
+                for channel in self._channels.values():
+                    channel.step()
+                result.idle_subframes += 1
+                t += 1
+                continue
+
+            schedule: Optional[SubframeSchedule] = None
+            for _ in range(self._subframes_per_txop):
+                if t >= total:
+                    break
+                jammed = self._jammed_ues()
+                for channel in self._channels.values():
+                    channel.step()
+                if schedule is None:
+                    schedule = self.scheduler.schedule(self._context(t))
+                self._run_dl_subframe(schedule, jammed, result)
+                t += 1
+        result.num_subframes = t
+        return result
+
+    def _run_dl_subframe(
+        self,
+        schedule: SubframeSchedule,
+        jammed: Set[int],
+        result: SimulationResult,
+    ) -> None:
+        delivered, rbs_ok, rbs_lost = downlink_delivered_bits(
+            schedule, jammed, consts.SUBFRAME_DURATION_S
+        )
+        for ue, bits in delivered.items():
+            result.delivered_bits_by_ue[ue] += bits
+        allocated = rbs_ok + rbs_lost
+        result.rbs_allocated += allocated
+        result.rbs_utilized += rbs_ok
+        result.grants_issued += schedule.total_grants
+        decoded = sum(
+            1
+            for rb in schedule.allocated_rbs()
+            for grant in schedule.rb(rb)
+            if grant.ue_id not in jammed
+        )
+        result.grants_decoded += decoded
+        result.grants_collided += schedule.total_grants - decoded
+        # DL payload subframes are the scheduled-subframe denominator for
+        # the utilization metrics (the result type shares them with UL).
+        result.ul_subframes += 1
+        if allocated and rbs_lost == 0:
+            result.fully_utilized_subframes += 1
+        served_bps = {
+            ue: bits / consts.SUBFRAME_DURATION_S for ue, bits in delivered.items()
+        }
+        self.tracker.update(served_bps)

@@ -1,0 +1,407 @@
+"""The subframe-granularity cell simulation engine.
+
+One run couples four processes at 1 ms resolution:
+
+* hidden-terminal activity (independent per-terminal busy processes);
+* per-UE uplink fading channels (AR(1) Rayleigh over the RB grid);
+* the eNB's TxOP loop: CCA/backoff, then ``dl + ul`` owned subframes;
+* the scheduler under test, consulted once per TxOP (grant bursts, as in
+  the WARP testbed) — or per UL subframe for genie schedulers.
+
+Per UL subframe: each scheduled UE senses the medium (CCA) and transmits on
+its grants only if clear; the eNB decodes every RB under the ``<= M``
+streams rule, classifies grant outcomes from pilots, updates PF averages
+with delivered rates, and hands the access observation back to the
+scheduler (which is how the BLU controller keeps measuring).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.core.measurement.classifier import classify_subframe
+from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.fairness import PfAverageTracker
+from repro.core.scheduling.types import SchedulingContext
+from repro.errors import ConfigurationError, SimulationError
+from repro.lte import consts
+from repro.lte import mcs
+from repro.lte.channel import UplinkChannel
+from repro.lte.enb import ENodeB
+from repro.lte.harq import HarqConfig, HarqPool
+from repro.lte.traffic import FullBufferTraffic, TrafficSource, UeQueue
+from repro.lte.phy import GrantOutcome
+from repro.lte.resources import SubframeSchedule
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.spectrum.activity import (
+    ActivityProcess,
+    BernoulliActivity,
+    IndependentActivity,
+    JointActivityModel,
+    MarkovOnOffActivity,
+)
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["CellSimulation"]
+
+
+class CellSimulation:
+    """Simulate one LTE cell under hidden-terminal interference."""
+
+    def __init__(
+        self,
+        topology: InterferenceTopology,
+        mean_snr_db: Mapping[int, float],
+        scheduler: UplinkScheduler,
+        config: SimulationConfig = SimulationConfig(),
+        activity_processes: Optional[List[ActivityProcess]] = None,
+        activity_model: Optional[JointActivityModel] = None,
+        traffic_sources: Optional[Mapping[int, TrafficSource]] = None,
+        silencer: Optional[Callable[[FrozenSet[int]], Set[int]]] = None,
+        seed: Optional[int] = None,
+        record_series: bool = False,
+    ) -> None:
+        if set(mean_snr_db) != set(range(topology.num_ues)):
+            raise ConfigurationError(
+                "mean_snr_db must cover exactly the topology's UEs"
+            )
+        self.topology = topology
+        self.config = config
+        self.scheduler = scheduler
+        self.record_series = record_series
+        self._rng = np.random.default_rng(seed)
+
+        if activity_model is not None and activity_processes is not None:
+            raise ConfigurationError(
+                "pass either activity_processes or activity_model, not both"
+            )
+        if activity_model is not None:
+            self._activity = activity_model
+        elif activity_processes is not None:
+            self._activity = IndependentActivity(activity_processes)
+        else:
+            self._activity = IndependentActivity(self._build_activity())
+        if self._activity.num_terminals != topology.num_terminals:
+            raise ConfigurationError(
+                f"activity model covers {self._activity.num_terminals} "
+                f"terminals, topology has {topology.num_terminals}"
+            )
+
+        #: Maps the active-terminal set to the silenced-UE set.  The default
+        #: is the binary edge model of the blueprint; an energy-aggregation
+        #: silencer (e.g. Scenario.power_silencer()) can replace it to model
+        #: sub-threshold interferers that jointly cross the ED threshold.
+        self._silencer = silencer
+        self._ue_edges = topology.ue_edge_map()
+        self._channels: Dict[int, UplinkChannel] = {}
+        for ue in range(topology.num_ues):
+            child = np.random.default_rng(self._rng.integers(0, 2**63))
+            self._channels[ue] = UplinkChannel(
+                mean_rx_power_dbm=consts.NOISE_FLOOR_10MHZ_DBM + mean_snr_db[ue],
+                num_rbs=config.num_rbs,
+                doppler_coherence=config.doppler_coherence,
+                rng=child,
+            )
+
+        self.enb = ENodeB(
+            num_antennas=config.num_antennas,
+            num_rbs=config.num_rbs,
+            enb_busy_probability=config.enb_busy_probability,
+            dl_subframes_per_txop=config.dl_subframes_per_txop,
+            ul_subframes_per_txop=config.ul_subframes_per_txop,
+            rate_scale=float(config.rb_group_size),
+            receiver=config.receiver,
+            rng=np.random.default_rng(self._rng.integers(0, 2**63)),
+        )
+        self.tracker = PfAverageTracker(
+            range(topology.num_ues),
+            alpha=config.pf_alpha,
+            initial_bps=config.pf_initial_bps,
+        )
+        # Ring buffer of past per-UE SINR snapshots for CSI feedback delay.
+        self._csi_history: Deque[Dict[int, np.ndarray]] = deque(
+            maxlen=config.csi_delay_subframes + 1
+        )
+        self._harq: Optional[HarqPool] = (
+            HarqPool(
+                topology.num_ues,
+                HarqConfig(max_transmissions=config.harq_max_transmissions),
+            )
+            if config.harq_enabled
+            else None
+        )
+        # Full buffer unless per-UE traffic sources are supplied (paper
+        # footnote 1's finite-buffer extension).
+        self._queues: Dict[int, UeQueue] = {}
+        for ue in range(topology.num_ues):
+            source = (
+                traffic_sources.get(ue, FullBufferTraffic())
+                if traffic_sources is not None
+                else FullBufferTraffic()
+            )
+            self._queues[ue] = UeQueue(source)
+
+    # -- internals ---------------------------------------------------------
+
+    def _build_activity(self) -> List[ActivityProcess]:
+        processes: List[ActivityProcess] = []
+        for q in self.topology.q:
+            child = np.random.default_rng(self._rng.integers(0, 2**63))
+            if self.config.activity_kind == "markov":
+                processes.append(
+                    MarkovOnOffActivity(
+                        q, self.config.mean_busy_subframes, rng=child
+                    )
+                )
+            else:
+                processes.append(BernoulliActivity(q, rng=child))
+        return processes
+
+    def _step_interference(self) -> Set[int]:
+        """Advance activity one subframe; return the silenced UE set."""
+        active = self._activity.step()
+        if self._silencer is not None:
+            return set(self._silencer(active))
+        return {
+            ue
+            for ue, edges in self._ue_edges.items()
+            if edges & active
+        }
+
+    def _step_channels(self) -> None:
+        for channel in self._channels.values():
+            channel.step()
+        self._csi_history.append(
+            {ue: ch.sinr_db.copy() for ue, ch in self._channels.items()}
+        )
+
+    def _scheduler_csi(self) -> Dict[int, np.ndarray]:
+        """The channel state the scheduler is allowed to see (possibly
+        stale by ``csi_delay_subframes``)."""
+        if not self._csi_history:
+            return {ue: ch.sinr_db for ue, ch in self._channels.items()}
+        return self._csi_history[0]
+
+    def _step_arrivals(self) -> None:
+        for queue in self._queues.values():
+            queue.step_arrivals()
+
+    def _context(self, subframe: int, silenced: Set[int]) -> SchedulingContext:
+        backlogged = tuple(
+            ue
+            for ue in range(self.topology.num_ues)
+            if self._queues[ue].backlogged
+        )
+        return SchedulingContext(
+            subframe=subframe,
+            num_rbs=self.config.num_rbs,
+            num_antennas=self.config.num_antennas,
+            ue_ids=backlogged,
+            sinr_db=self._scheduler_csi(),
+            avg_throughput_bps=self.tracker.averages(),
+            max_distinct_ues=self.config.max_distinct_ues,
+            clear_ues=frozenset(
+                ue for ue in range(self.topology.num_ues) if ue not in silenced
+            ),
+            rate_scale=float(self.config.rb_group_size),
+            link_margin_db=self.config.link_margin_db,
+        )
+
+    # -- main loop -----------------------------------------------------------
+
+    def _apply_harq(
+        self,
+        schedule: SubframeSchedule,
+        reception,
+        transmitting: Set[int],
+        raw_delivered: Dict[int, float],
+    ) -> Dict[int, float]:
+        """Resolve HARQ retransmissions and register new fades.
+
+        A transmitting UE with a pending soft buffer spends its first
+        usable grant of the subframe on the retransmission: a DECODED grant
+        gives full energy (and its new-data bits are forfeited), a FADED
+        one still contributes soft energy.  Fresh FADED grants enter the
+        pool; collided grants produce no usable soft bits and are dropped.
+        """
+        from repro.lte.phy import GrantOutcome
+
+        delivered = dict(raw_delivered)
+        retx_grant: Dict[int, tuple] = {}
+        for rb in schedule.allocated_rbs():
+            rb_reception = reception.rb_receptions[rb]
+            for grant in schedule.rb(rb):
+                ue = grant.ue_id
+                outcome = rb_reception.outcomes[ue]
+                if (
+                    ue not in retx_grant
+                    and self._harq.pending(ue) is not None
+                    and outcome in (GrantOutcome.DECODED, GrantOutcome.FADED)
+                ):
+                    retx_grant[ue] = (rb, grant, outcome)
+
+        consumed = set()
+        for ue, (rb, grant, outcome) in retx_grant.items():
+            sinr_db = float(self._channels[ue].sinr_db[rb])
+            energy = 10.0 ** (sinr_db / 10.0)
+            recovered = self._harq.retransmission_result(ue, energy)
+            if outcome is GrantOutcome.DECODED:
+                # The grant carried the retransmission, not new data.
+                delivered[ue] = delivered.get(ue, 0.0) - grant.rate_bps * (
+                    consts.SUBFRAME_DURATION_S
+                )
+                if delivered.get(ue, 0.0) <= 1e-12:
+                    delivered.pop(ue, None)
+            if recovered is not None:
+                delivered[ue] = delivered.get(ue, 0.0) + recovered
+            consumed.add((ue, rb))
+
+        for rb in schedule.allocated_rbs():
+            rb_reception = reception.rb_receptions[rb]
+            for grant in schedule.rb(rb):
+                ue = grant.ue_id
+                if (ue, rb) in consumed:
+                    continue
+                if rb_reception.outcomes[ue] is GrantOutcome.FADED:
+                    sinr_db = float(self._channels[ue].sinr_db[rb])
+                    per_rb_rate = grant.rate_bps / max(
+                        self.config.rb_group_size, 1
+                    )
+                    try:
+                        required_db = mcs.min_sinr_db_for_rate(per_rb_rate)
+                    except ValueError:
+                        continue
+                    self._harq.first_attempt_failed(
+                        ue,
+                        bits=grant.rate_bps * consts.SUBFRAME_DURATION_S,
+                        required_sinr_linear=10.0 ** (required_db / 10.0),
+                        attempt_sinr_linear=10.0 ** (sinr_db / 10.0),
+                    )
+        for ue in set(schedule.scheduled_ues()) - transmitting:
+            if self._harq.pending(ue) is not None:
+                self._harq.retransmission_blocked(ue)
+        return delivered
+
+    def run(self) -> SimulationResult:
+        """Run the configured number of subframes; return aggregated metrics."""
+        result = SimulationResult(scheduler_name=self.scheduler.name)
+        result.delivered_bits_by_ue = {
+            ue: 0.0 for ue in range(self.topology.num_ues)
+        }
+        reschedule_each = getattr(
+            self.scheduler, "reschedule_every_subframe", False
+        )
+
+        t = 0
+        total = self.config.num_subframes
+        while t < total:
+            txop = self.enb.try_acquire_txop(t)
+            if txop is None:
+                # eNB backed off: the medium still evolves.
+                self._step_interference()
+                self._step_channels()
+                self._step_arrivals()
+                result.idle_subframes += 1
+                t += 1
+                continue
+
+            # DL part of the TxOP (grants go out; medium evolves).
+            dl = min(txop.dl_subframes, total - t)
+            for _ in range(dl):
+                self._step_interference()
+                self._step_channels()
+                self._step_arrivals()
+                result.dl_subframes += 1
+                t += 1
+
+            schedule: Optional[SubframeSchedule] = None
+            for _ in range(txop.ul_subframes):
+                if t >= total:
+                    break
+                silenced = self._step_interference()
+                self._step_channels()
+                self._step_arrivals()
+                if schedule is None or reschedule_each:
+                    context = self._context(t, silenced)
+                    schedule = self.scheduler.schedule(context)
+                self._run_ul_subframe(t, schedule, silenced, result)
+                t += 1
+
+        result.num_subframes = t
+        return result
+
+    def _run_ul_subframe(
+        self,
+        subframe: int,
+        schedule: SubframeSchedule,
+        silenced: Set[int],
+        result: SimulationResult,
+    ) -> None:
+        scheduled = set(schedule.scheduled_ues())
+        transmitting = sorted(scheduled - silenced)
+        sinr_by_ue_rb = {
+            ue: {
+                rb: float(self._channels[ue].sinr_db[rb])
+                for rb in range(self.config.num_rbs)
+            }
+            for ue in scheduled
+        }
+        reception = self.enb.receive_subframe(
+            subframe=subframe,
+            schedule=schedule,
+            transmitting_ues=transmitting,
+            sinr_db_by_ue_rb=sinr_by_ue_rb,
+        )
+
+        # Account grant outcomes.
+        counts = reception.outcome_counts()
+        result.grants_issued += schedule.total_grants
+        result.grants_decoded += counts[GrantOutcome.DECODED]
+        result.grants_blocked += counts[GrantOutcome.BLOCKED]
+        result.grants_collided += counts[GrantOutcome.COLLIDED]
+        result.grants_faded += counts[GrantOutcome.FADED]
+
+        raw_delivered = reception.delivered_bits_by_ue()
+        if self._harq is not None:
+            raw_delivered = self._apply_harq(
+                schedule, reception, set(transmitting), raw_delivered
+            )
+        # Bits are scaled by the allocation-unit width already (grant rates
+        # carry rate_scale); delivered_bits uses the grant rate, capped by
+        # what the client's buffer actually held.
+        delivered = {
+            ue: self._queues[ue].drain(bits)
+            for ue, bits in raw_delivered.items()
+        }
+        for ue, bits in delivered.items():
+            result.delivered_bits_by_ue[ue] += bits
+
+        allocated = schedule.allocated_rbs()
+        utilized = reception.utilized_rbs()
+        result.rbs_allocated += len(allocated)
+        result.rbs_utilized += utilized
+        result.ul_subframes += 1
+        if allocated and utilized == len(allocated):
+            result.fully_utilized_subframes += 1
+        if self.record_series and allocated:
+            result.utilization_series.append(utilized / len(allocated))
+
+        # PF update with delivered rates (bits per subframe -> bps).
+        served_bps = {
+            ue: bits / consts.SUBFRAME_DURATION_S for ue, bits in delivered.items()
+        }
+        self.tracker.update(served_bps)
+
+        if self._harq is not None:
+            result.harq_retransmissions = self._harq.retransmissions
+            result.harq_blocks_recovered = self._harq.blocks_delivered
+            result.harq_blocks_dropped = self._harq.blocks_dropped
+
+        # Feed the access observation back to adaptive schedulers.
+        observe = getattr(self.scheduler, "observe", None)
+        if observe is not None:
+            observe(classify_subframe(schedule, reception))

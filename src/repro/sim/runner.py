@@ -1,0 +1,168 @@
+"""Experiment runner: matched-conditions scheduler comparisons and sweeps.
+
+Fair comparison requires every scheduler to face the *same* interference
+realization and the same fading sample paths.  The runner achieves this by
+re-seeding the simulation identically for each scheduler (activity, fading
+and eNB-CCA randomness all derive from the one seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.scheduling.base import UplinkScheduler
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import CellSimulation
+from repro.sim.results import SimulationResult
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["SchedulerFactory", "SweepPoint", "ReplicatedMetric", "run_comparison", "run_replications", "run_sweep", "gain_over"]
+
+#: A factory is called once per run so stateful schedulers start fresh.
+SchedulerFactory = Callable[[], UplinkScheduler]
+
+
+def run_comparison(
+    topology: InterferenceTopology,
+    mean_snr_db: Mapping[int, float],
+    scheduler_factories: Mapping[str, SchedulerFactory],
+    config: SimulationConfig = SimulationConfig(),
+    seed: Optional[int] = 0,
+    record_series: bool = False,
+    activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
+) -> Dict[str, SimulationResult]:
+    """Run every scheduler under identical conditions; return results by name.
+
+    ``activity_model_factory(rng)`` may supply a joint hidden-terminal
+    activity model (e.g. contention-coupled); it is rebuilt from the same
+    seed for every scheduler so all face one interference law.
+    """
+    if not scheduler_factories:
+        raise ConfigurationError("no schedulers to compare")
+    results: Dict[str, SimulationResult] = {}
+    for name, factory in scheduler_factories.items():
+        model = (
+            activity_model_factory(np.random.default_rng(seed))
+            if activity_model_factory is not None
+            else None
+        )
+        simulation = CellSimulation(
+            topology=topology,
+            mean_snr_db=mean_snr_db,
+            scheduler=factory(),
+            config=config,
+            activity_model=model,
+            seed=seed,
+            record_series=record_series,
+        )
+        results[name] = simulation.run()
+    return results
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: object
+    results: Dict[str, SimulationResult]
+
+
+def run_sweep(
+    parameter_values: Sequence[object],
+    build_case: Callable[[object], tuple],
+    scheduler_factories_for: Callable[
+        [object, InterferenceTopology], Mapping[str, SchedulerFactory]
+    ],
+    config_for: Callable[[object], SimulationConfig],
+    seed: Optional[int] = 0,
+) -> List[SweepPoint]:
+    """Sweep a parameter; at each value build (topology, snrs), run all
+    schedulers, and collect the results.
+
+    ``build_case(value) -> (topology, mean_snr_db)``.
+    """
+    points: List[SweepPoint] = []
+    for value in parameter_values:
+        topology, snrs = build_case(value)
+        factories = scheduler_factories_for(value, topology)
+        results = run_comparison(
+            topology, snrs, factories, config_for(value), seed=seed
+        )
+        points.append(SweepPoint(parameter=value, results=results))
+    return points
+
+
+@dataclass
+class ReplicatedMetric:
+    """Mean and standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    samples: int
+
+    def __repr__(self) -> str:  # pragma: no cover - display aid
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.samples})"
+
+
+def run_replications(
+    topology: InterferenceTopology,
+    mean_snr_db: Mapping[int, float],
+    scheduler_factories: Mapping[str, SchedulerFactory],
+    config: SimulationConfig = SimulationConfig(),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
+    activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
+) -> Dict[str, Dict[str, ReplicatedMetric]]:
+    """Repeat a comparison over several seeds; return mean ± std per metric.
+
+    Single-seed comparisons are matched (every scheduler faces the same
+    interference), but the headline gains still depend on the realization;
+    replications quantify that spread for publication-grade claims.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    samples: Dict[str, Dict[str, List[float]]] = {
+        name: {metric: [] for metric in metrics} for name in scheduler_factories
+    }
+    for seed in seeds:
+        results = run_comparison(
+            topology,
+            mean_snr_db,
+            scheduler_factories,
+            config,
+            seed=seed,
+            activity_model_factory=activity_model_factory,
+        )
+        for name, result in results.items():
+            summary = result.summary()
+            for metric in metrics:
+                samples[name][metric].append(summary[metric])
+    report: Dict[str, Dict[str, ReplicatedMetric]] = {}
+    for name, by_metric in samples.items():
+        report[name] = {}
+        for metric, values in by_metric.items():
+            array = np.asarray(values, dtype=float)
+            report[name][metric] = ReplicatedMetric(
+                mean=float(array.mean()),
+                std=float(array.std(ddof=1)) if len(array) > 1 else 0.0,
+                samples=len(array),
+            )
+    return report
+
+
+def gain_over(
+    results: Mapping[str, SimulationResult],
+    candidate: str,
+    baseline: str,
+    metric: str = "throughput_mbps",
+) -> float:
+    """Ratio of a summary metric between two named results."""
+    base = results[baseline].summary()[metric]
+    cand = results[candidate].summary()[metric]
+    if base == 0.0:
+        return float("inf") if cand > 0 else 1.0
+    return cand / base

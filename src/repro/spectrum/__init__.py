@@ -1,0 +1,51 @@
+"""Unlicensed-spectrum substrate: sensing, medium state, WiFi interferers."""
+
+from repro.spectrum.activity import (
+    ActivityProcess,
+    BernoulliActivity,
+    MarkovOnOffActivity,
+    TraceActivity,
+)
+from repro.spectrum.cca import (
+    LTE_ENERGY_SENSING,
+    WIFI_PREAMBLE_SENSING,
+    SensingModel,
+    aggregate_power_dbm,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.spectrum.medium import (
+    MediumSnapshot,
+    silenced_ues_from_graph,
+    silenced_ues_from_power,
+)
+from repro.spectrum.wifi import (
+    WIFI_BITRATES,
+    TrafficProfile,
+    WiFiContentionSimulator,
+    WiFiNode,
+    frame_airtime_subframes,
+    select_bitrate_mbps,
+)
+
+__all__ = [
+    "ActivityProcess",
+    "BernoulliActivity",
+    "LTE_ENERGY_SENSING",
+    "MarkovOnOffActivity",
+    "MediumSnapshot",
+    "SensingModel",
+    "TraceActivity",
+    "TrafficProfile",
+    "WIFI_BITRATES",
+    "WIFI_PREAMBLE_SENSING",
+    "WiFiContentionSimulator",
+    "WiFiNode",
+    "aggregate_power_dbm",
+    "dbm_to_mw",
+    "frame_airtime_subframes",
+    "mw_to_dbm",
+    "select_bitrate_mbps",
+    "silenced_ues_from_graph",
+    "silenced_ues_from_power",
+]

@@ -1,0 +1,271 @@
+"""Per-subframe activity processes for interfering (hidden) terminals.
+
+The blueprint model of the paper treats each hidden terminal ``k`` as an
+independent stochastic source that occupies the medium with stationary
+probability ``q(k)`` in any given subframe.  Three concrete processes are
+provided:
+
+* :class:`BernoulliActivity` — i.i.d. occupancy, the paper's analytic model.
+* :class:`MarkovOnOffActivity` — bursty on/off occupancy with geometric
+  sojourn times; same stationary marginal, realistic temporal correlation
+  (WiFi frame bursts span multiple LTE subframes).
+* :class:`TraceActivity` — replay of a recorded busy/idle trace, used by the
+  trace-combination emulation layer.
+
+All processes are independent across terminals, matching the paper's
+assumption that distinct hidden terminals are independent sources.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ActivityProcess",
+    "BernoulliActivity",
+    "ExclusiveGroupActivity",
+    "IndependentActivity",
+    "JointActivityModel",
+    "MarkovOnOffActivity",
+    "TraceActivity",
+]
+
+
+class ActivityProcess:
+    """Interface: one busy/idle sample per subframe."""
+
+    def step(self) -> bool:
+        """Advance one subframe; return True if the terminal is busy."""
+        raise NotImplementedError
+
+    @property
+    def stationary_probability(self) -> float:
+        """Long-run fraction of busy subframes, ``q(k)``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return the process to its initial state (traces rewind)."""
+
+
+class BernoulliActivity(ActivityProcess):
+    """Independent busy/idle coin flips with probability ``q`` per subframe."""
+
+    def __init__(self, q: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"activity probability out of [0,1]: {q}")
+        self.q = float(q)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def step(self) -> bool:
+        return bool(self._rng.random() < self.q)
+
+    @property
+    def stationary_probability(self) -> float:
+        return self.q
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BernoulliActivity(q={self.q:.3f})"
+
+
+class MarkovOnOffActivity(ActivityProcess):
+    """Two-state Markov busy/idle process.
+
+    Parameterized by the stationary busy probability ``q`` and the mean busy
+    burst length in subframes.  Sojourn times are geometric; the stationary
+    marginal equals ``q`` exactly, so pair-wise access estimation converges
+    to the same values as with :class:`BernoulliActivity`, just more slowly.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        mean_busy_subframes: float = 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(
+                f"Markov activity needs q strictly inside (0,1): {q}"
+            )
+        if mean_busy_subframes < 1.0:
+            raise ConfigurationError(
+                f"mean busy burst must be >= 1 subframe: {mean_busy_subframes}"
+            )
+        self.q = float(q)
+        self.mean_busy = float(mean_busy_subframes)
+        # Leave-busy probability from the mean sojourn; leave-idle from the
+        # stationarity balance  q * p_leave_busy = (1-q) * p_leave_idle.
+        self._p_busy_to_idle = 1.0 / self.mean_busy
+        self._p_idle_to_busy = self.q * self._p_busy_to_idle / (1.0 - self.q)
+        if self._p_idle_to_busy > 1.0:
+            raise ConfigurationError(
+                f"q={q} with mean busy burst {mean_busy_subframes} is "
+                "unreachable (idle->busy probability would exceed 1)"
+            )
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._busy = bool(self._rng.random() < self.q)
+
+    def step(self) -> bool:
+        if self._busy:
+            if self._rng.random() < self._p_busy_to_idle:
+                self._busy = False
+        else:
+            if self._rng.random() < self._p_idle_to_busy:
+                self._busy = True
+        return self._busy
+
+    @property
+    def stationary_probability(self) -> float:
+        return self.q
+
+    def reset(self) -> None:
+        self._busy = bool(self._rng.random() < self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"MarkovOnOffActivity(q={self.q:.3f}, "
+            f"mean_busy={self.mean_busy:.1f} sf)"
+        )
+
+
+class TraceActivity(ActivityProcess):
+    """Replay a recorded busy/idle sequence, wrapping around at the end."""
+
+    def __init__(self, samples: Sequence[bool]) -> None:
+        if len(samples) == 0:
+            raise ConfigurationError("activity trace is empty")
+        self._samples = np.asarray(samples, dtype=bool)
+        self._cursor = 0
+
+    def step(self) -> bool:
+        sample = bool(self._samples[self._cursor])
+        self._cursor = (self._cursor + 1) % len(self._samples)
+        return sample
+
+    @property
+    def stationary_probability(self) -> float:
+        return float(self._samples.mean())
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TraceActivity(len={len(self._samples)}, "
+            f"q={self.stationary_probability:.3f})"
+        )
+
+
+class JointActivityModel:
+    """Joint busy/idle sampling across a whole set of hidden terminals.
+
+    The per-terminal :class:`ActivityProcess` abstraction assumes
+    independence.  Real hidden terminals are WiFi nodes that often
+    carrier-sense *each other*: mutually audible terminals share airtime and
+    are busy at complementary times.  That anti-correlation is the
+    "interference diversity" BLU exploits — clients silenced by contending
+    terminals are almost never silenced together.  A joint model samples the
+    full active set per subframe so such coupling can be expressed.
+    """
+
+    num_terminals: int = 0
+
+    def step(self) -> FrozenSet[int]:
+        """Advance one subframe; return the indices of busy terminals."""
+        raise NotImplementedError
+
+    def marginal(self, index: int) -> float:
+        """Stationary busy probability of one terminal."""
+        raise NotImplementedError
+
+
+class IndependentActivity(JointActivityModel):
+    """Adapter: a list of independent per-terminal processes."""
+
+    def __init__(self, processes: Sequence[ActivityProcess]) -> None:
+        self._processes = list(processes)
+        self.num_terminals = len(self._processes)
+
+    def step(self) -> FrozenSet[int]:
+        return frozenset(
+            k for k, process in enumerate(self._processes) if process.step()
+        )
+
+    def marginal(self, index: int) -> float:
+        return self._processes[index].stationary_probability
+
+
+class ExclusiveGroupActivity(JointActivityModel):
+    """Contending hidden terminals: groups share airtime exclusively.
+
+    ``groups`` partitions (a subset of) the terminal indices into CSMA
+    neighbourhoods.  Each subframe, at most one member of a group is busy:
+    member ``k`` with probability ``q_k`` (its exact stationary marginal),
+    nobody with probability ``1 - sum(q_k)``.  Terminals not named in any
+    group are independent Bernoulli sources.  Within-group busy indicators
+    are therefore mutually exclusive — the saturated-CSMA limit of WiFi
+    neighbours time-sharing a channel.
+    """
+
+    def __init__(
+        self,
+        marginals: Sequence[float],
+        groups: Sequence[Sequence[int]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._q = [float(q) for q in marginals]
+        self.num_terminals = len(self._q)
+        for q in self._q:
+            if not 0.0 <= q < 1.0:
+                raise ConfigurationError(f"marginal outside [0,1): {q}")
+        seen: set = set()
+        self._groups = []
+        for group in groups:
+            members = [int(k) for k in group]
+            for k in members:
+                if not 0 <= k < self.num_terminals:
+                    raise ConfigurationError(f"unknown terminal index {k}")
+                if k in seen:
+                    raise ConfigurationError(
+                        f"terminal {k} appears in more than one group"
+                    )
+                seen.add(k)
+            total = sum(self._q[k] for k in members)
+            if total >= 1.0 + 1e-9:
+                raise ConfigurationError(
+                    f"group {members} wants {total:.2f} > 1 total airtime; "
+                    "exclusive sharing is infeasible"
+                )
+            self._groups.append(members)
+        self._independent = [
+            k for k in range(self.num_terminals) if k not in seen
+        ]
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def groups(self) -> List[List[int]]:
+        return [list(g) for g in self._groups]
+
+    def step(self) -> FrozenSet[int]:
+        active = set()
+        for members in self._groups:
+            draw = self._rng.random()
+            cumulative = 0.0
+            for k in members:
+                cumulative += self._q[k]
+                if draw < cumulative:
+                    active.add(k)
+                    break
+        for k in self._independent:
+            if self._rng.random() < self._q[k]:
+                active.add(k)
+        return frozenset(active)
+
+    def marginal(self, index: int) -> float:
+        return self._q[index]

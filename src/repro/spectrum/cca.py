@@ -1,0 +1,82 @@
+"""Clear-channel assessment: sensing models and threshold arithmetic.
+
+The asymmetry at the heart of Fig. 4c of the paper: WiFi nodes detect each
+other through preamble (carrier) sensing at -85 dBm, while a heterogeneous
+LTE/WiFi pair must fall back to energy detection at [-70, -65] dBm.  The
+~20 dB sensitivity gap shrinks every node's sensing range and inflates the
+hidden-terminal count once an LTE cell replaces a WiFi cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+
+__all__ = [
+    "SensingModel",
+    "WIFI_PREAMBLE_SENSING",
+    "LTE_ENERGY_SENSING",
+    "aggregate_power_dbm",
+    "dbm_to_mw",
+    "mw_to_dbm",
+]
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert milliwatts to dBm (-inf for zero power)."""
+    if power_mw <= 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(power_mw)
+
+
+def aggregate_power_dbm(powers_dbm: Iterable[float]) -> float:
+    """Sum an iterable of received powers (dBm) in the linear domain."""
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    return mw_to_dbm(total_mw)
+
+
+@dataclass(frozen=True)
+class SensingModel:
+    """A named sensing mechanism with its detection threshold.
+
+    ``senses(rx_power_dbm)`` answers: does a listener using this mechanism
+    detect (and defer to) a transmission arriving at ``rx_power_dbm``?
+    """
+
+    name: str
+    threshold_dbm: float
+
+    def __post_init__(self) -> None:
+        if not -120.0 <= self.threshold_dbm <= 0.0:
+            raise ConfigurationError(
+                f"implausible sensing threshold: {self.threshold_dbm} dBm"
+            )
+
+    def senses(self, rx_power_dbm: float) -> bool:
+        return rx_power_dbm >= self.threshold_dbm
+
+    def busy(self, powers_dbm: Iterable[float]) -> bool:
+        """CCA busy decision against the aggregate of active interferers."""
+        return self.senses(aggregate_power_dbm(powers_dbm))
+
+
+#: WiFi preamble (carrier) sensing at -85 dBm (paper Section 2.2).
+WIFI_PREAMBLE_SENSING = SensingModel(
+    name="wifi-preamble", threshold_dbm=consts.WIFI_CS_THRESHOLD_DBM
+)
+
+#: LAA energy detection; the default sits inside the paper's [-70, -65] span
+#: (we use the conservative regulatory -72 dBm figure as the default).
+LTE_ENERGY_SENSING = SensingModel(
+    name="lte-energy", threshold_dbm=consts.DEFAULT_ED_THRESHOLD_DBM
+)

@@ -1,0 +1,79 @@
+"""Shared-medium state: who is transmitting in a subframe, and who hears it.
+
+The medium couples the hidden-terminal substrate to the LTE cell.  Two modes
+are supported and produce the same interface (the set of silenced UEs):
+
+* **graph mode** — a ground-truth interference graph directly lists which
+  hidden terminal silences which UE (the abstraction the blueprint operates
+  on);
+* **energy mode** — received powers are computed from geometry and compared
+  against the UE's energy-detection threshold, including the aggregation of
+  several simultaneously active terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
+
+from repro.spectrum.cca import aggregate_power_dbm
+
+__all__ = ["MediumSnapshot", "silenced_ues_from_graph", "silenced_ues_from_power"]
+
+
+@dataclass(frozen=True)
+class MediumSnapshot:
+    """The medium during one subframe: which hidden terminals are active."""
+
+    subframe: int
+    active_terminals: FrozenSet[int]
+
+    @staticmethod
+    def make(subframe: int, active: Iterable[int]) -> "MediumSnapshot":
+        return MediumSnapshot(subframe=subframe, active_terminals=frozenset(active))
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.active_terminals
+
+
+def silenced_ues_from_graph(
+    snapshot: MediumSnapshot,
+    edges: Mapping[int, FrozenSet[int]],
+) -> Set[int]:
+    """UEs silenced this subframe, given ``edges[ue] = {terminal ids heard}``.
+
+    A UE is silenced when any hidden terminal it can sense is active — the
+    binary interference model of the paper (Section 3.5, "Interference
+    Impact").
+    """
+    silenced: Set[int] = set()
+    for ue, audible in edges.items():
+        if audible & snapshot.active_terminals:
+            silenced.add(ue)
+    return silenced
+
+
+def silenced_ues_from_power(
+    snapshot: MediumSnapshot,
+    rx_power_dbm: Mapping[int, Mapping[int, float]],
+    ed_threshold_dbm_by_ue: Mapping[int, float],
+) -> Set[int]:
+    """UEs silenced this subframe under the energy-aggregation model.
+
+    Args:
+        snapshot: active terminals this subframe.
+        rx_power_dbm: ``{ue: {terminal: rx power in dBm}}`` for every link.
+        ed_threshold_dbm_by_ue: each UE's energy-detection threshold.
+    """
+    silenced: Set[int] = set()
+    for ue, links in rx_power_dbm.items():
+        active_powers = [
+            p for terminal, p in links.items()
+            if terminal in snapshot.active_terminals
+        ]
+        if not active_powers:
+            continue
+        if aggregate_power_dbm(active_powers) >= ed_threshold_dbm_by_ue[ue]:
+            silenced.add(ue)
+    return silenced

@@ -1,0 +1,218 @@
+"""WiFi hidden-terminal substrate: traffic, rate adaptation, and CSMA/CA.
+
+The paper's hidden terminals are ath9k laptops exchanging iperf UDP flows
+with dynamic rate selection.  This module reproduces the behaviourally
+relevant parts at subframe granularity:
+
+* an 802.11a/g/n-style bitrate table with SNR-driven rate selection;
+* per-node traffic profiles (saturated or Poisson offered load) that turn
+  into per-frame airtimes, and hence multi-subframe busy bursts;
+* CSMA/CA contention between mutually audible WiFi nodes — nodes that hear
+  each other never overlap, while mutually hidden nodes may.
+
+The output is a stream of :class:`~repro.spectrum.medium.MediumSnapshot`
+(which nodes occupy the air in each subframe), consumed by the LTE cell as
+its interference environment and recordable as a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.spectrum.medium import MediumSnapshot
+
+__all__ = [
+    "WIFI_BITRATES",
+    "select_bitrate_mbps",
+    "frame_airtime_subframes",
+    "TrafficProfile",
+    "WiFiNode",
+    "WiFiContentionSimulator",
+]
+
+#: (bitrate in Mbps, minimum SNR in dB) for 802.11a/g OFDM rates.
+WIFI_BITRATES: Tuple[Tuple[float, float], ...] = (
+    (6.0, 5.0),
+    (9.0, 6.0),
+    (12.0, 8.0),
+    (18.0, 11.0),
+    (24.0, 15.0),
+    (36.0, 19.0),
+    (48.0, 23.0),
+    (54.0, 25.0),
+)
+
+#: MAC framing overhead per frame in microseconds (DIFS + preamble + SIFS+ACK).
+_FRAME_OVERHEAD_US = 28.0 + 20.0 + 16.0 + 44.0
+
+
+def select_bitrate_mbps(snr_db: float) -> float:
+    """Dynamic rate selection: highest bitrate whose SNR floor is met.
+
+    Falls back to the lowest rate when the link is very poor (a real sender
+    would still try at 6 Mbps).
+    """
+    chosen = WIFI_BITRATES[0][0]
+    for bitrate, min_snr in WIFI_BITRATES:
+        if snr_db >= min_snr:
+            chosen = bitrate
+    return chosen
+
+
+def frame_airtime_subframes(payload_bytes: int, bitrate_mbps: float) -> int:
+    """Airtime of one (possibly aggregated) frame, in whole LTE subframes.
+
+    WiFi frames are shorter than 1 ms, but senders with queued data transmit
+    back-to-back bursts; we charge at least one subframe per burst.
+    """
+    if payload_bytes <= 0:
+        raise ConfigurationError(f"payload must be positive: {payload_bytes}")
+    if bitrate_mbps <= 0:
+        raise ConfigurationError(f"bitrate must be positive: {bitrate_mbps}")
+    airtime_us = payload_bytes * 8.0 / bitrate_mbps + _FRAME_OVERHEAD_US
+    subframes = int(np.ceil(airtime_us / (consts.SUBFRAME_DURATION_S * 1e6)))
+    return max(subframes, 1)
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Offered load of one WiFi sender.
+
+    ``arrival_rate`` is the mean number of frame bursts per subframe for a
+    Poisson profile; ``saturated=True`` means the sender always has a frame
+    queued (iperf at full rate).
+    """
+
+    saturated: bool = False
+    arrival_rate: float = 0.2
+    payload_bytes: int = 12_000
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival rate must be non-negative: {self.arrival_rate}"
+            )
+        if self.payload_bytes <= 0:
+            raise ConfigurationError(
+                f"payload must be positive: {self.payload_bytes}"
+            )
+
+
+class WiFiNode:
+    """A WiFi sender contending for the unlicensed channel."""
+
+    def __init__(
+        self,
+        node_id: int,
+        traffic: TrafficProfile,
+        snr_to_receiver_db: float = 25.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.traffic = traffic
+        self.bitrate_mbps = select_bitrate_mbps(snr_to_receiver_db)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._queue = 0
+        self._tx_remaining = 0
+        self._backoff = 0
+
+    @property
+    def transmitting(self) -> bool:
+        return self._tx_remaining > 0
+
+    def arrivals(self) -> None:
+        """Queue new frame bursts for this subframe."""
+        if self.traffic.saturated:
+            if self._queue == 0:
+                self._queue = 1
+        elif self.traffic.arrival_rate > 0:
+            self._queue += int(self._rng.poisson(self.traffic.arrival_rate))
+
+    def wants_channel(self) -> bool:
+        return self._queue > 0 and not self.transmitting
+
+    def start_transmission(self) -> None:
+        if self._queue <= 0:
+            raise ConfigurationError("node started transmitting with empty queue")
+        self._queue -= 1
+        self._tx_remaining = frame_airtime_subframes(
+            self.traffic.payload_bytes, self.bitrate_mbps
+        )
+
+    def tick_transmission(self) -> None:
+        if self._tx_remaining > 0:
+            self._tx_remaining -= 1
+
+    def draw_backoff(self, cw: int = 16) -> int:
+        self._backoff = int(self._rng.integers(0, cw))
+        return self._backoff
+
+
+class WiFiContentionSimulator:
+    """Subframe-granularity CSMA/CA among a set of WiFi nodes.
+
+    ``audible`` maps each node to the set of peers it can carrier-sense.
+    Each subframe: transmissions in flight continue; then nodes with queued
+    traffic contend in backoff order, starting a transmission only if no
+    node audible to them is (now) transmitting.  Mutually hidden nodes can
+    and do overlap — exactly the asynchrony the LTE cell suffers from.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[WiFiNode],
+        audible: Mapping[int, FrozenSet[int]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate WiFi node ids: {ids}")
+        self.nodes: Dict[int, WiFiNode] = {n.node_id: n for n in nodes}
+        for node_id in self.nodes:
+            if node_id not in audible:
+                raise ConfigurationError(
+                    f"node {node_id} missing from audibility map"
+                )
+        self.audible = {k: frozenset(v) for k, v in audible.items()}
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._subframe = 0
+
+    def step(self) -> MediumSnapshot:
+        """Advance one subframe; return the set of transmitting nodes."""
+        for node in self.nodes.values():
+            node.arrivals()
+
+        # Continue in-flight transmissions for this subframe, then decrement.
+        active: Set[int] = {n.node_id for n in self.nodes.values() if n.transmitting}
+
+        # Contenders join in backoff order if their neighbourhood is clear.
+        contenders = [n for n in self.nodes.values() if n.wants_channel()]
+        contenders.sort(key=lambda n: (n.draw_backoff(), n.node_id))
+        for node in contenders:
+            heard_busy = bool(self.audible[node.node_id] & active)
+            if not heard_busy:
+                node.start_transmission()
+                active.add(node.node_id)
+
+        snapshot = MediumSnapshot.make(self._subframe, active)
+        for node in self.nodes.values():
+            node.tick_transmission()
+        self._subframe += 1
+        return snapshot
+
+    def run(self, num_subframes: int) -> List[MediumSnapshot]:
+        return [self.step() for _ in range(num_subframes)]
+
+    def activity_trace(self, num_subframes: int) -> Dict[int, np.ndarray]:
+        """Per-node boolean busy traces over ``num_subframes`` subframes."""
+        traces = {node_id: np.zeros(num_subframes, dtype=bool) for node_id in self.nodes}
+        for t in range(num_subframes):
+            snapshot = self.step()
+            for node_id in snapshot.active_terminals:
+                traces[node_id][t] = True
+        return traces

@@ -1,0 +1,43 @@
+"""Deployment geometry, ground-truth interference graphs, and scenarios."""
+
+from repro.topology.generator import Scenario, ScenarioConfig, generate_scenario
+from repro.topology.geometry import NodeLayout, Position, rx_power_map
+from repro.topology.graph import (
+    InterferenceTopology,
+    edge_set_accuracy,
+    statistically_equivalent,
+)
+from repro.topology.hidden import (
+    DEFAULT_HARM_THRESHOLD_DBM,
+    HiddenTerminalComparison,
+    compare_wifi_vs_lte_cell,
+    count_cell_hidden_terminals,
+    hidden_terminals_per_link,
+)
+from repro.topology.scenarios import (
+    fig1_topology,
+    skewed_topology,
+    testbed_topology,
+    uniform_snrs,
+)
+
+__all__ = [
+    "DEFAULT_HARM_THRESHOLD_DBM",
+    "HiddenTerminalComparison",
+    "InterferenceTopology",
+    "NodeLayout",
+    "Position",
+    "Scenario",
+    "ScenarioConfig",
+    "compare_wifi_vs_lte_cell",
+    "count_cell_hidden_terminals",
+    "edge_set_accuracy",
+    "fig1_topology",
+    "generate_scenario",
+    "hidden_terminals_per_link",
+    "rx_power_map",
+    "skewed_topology",
+    "statistically_equivalent",
+    "testbed_topology",
+    "uniform_snrs",
+]

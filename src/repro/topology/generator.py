@@ -1,0 +1,290 @@
+"""Scenario generation: random enterprise deployments with ground truth.
+
+A :class:`Scenario` bundles everything an experiment needs:
+
+* the geometric layout and received-power maps;
+* the classification of WiFi nodes into eNB-audible interferers, hidden
+  terminals (hidden from the eNB, audible at >= 1 UE), and inert nodes;
+* the ground-truth :class:`~repro.topology.graph.InterferenceTopology`;
+* per-UE mean uplink SNRs;
+* per-hidden-terminal activity probabilities.
+
+This generator doubles as the substitute for both the paper's 150 testbed
+topologies and its 300 NS3 stress topologies (same artifacts, synthetic
+placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.lte.channel import PathLossModel
+from repro.spectrum.activity import (
+    ActivityProcess,
+    BernoulliActivity,
+    ExclusiveGroupActivity,
+    MarkovOnOffActivity,
+)
+from repro.spectrum.cca import WIFI_PREAMBLE_SENSING
+from repro.topology.geometry import NodeLayout, rx_power_map
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["Scenario", "ScenarioConfig", "generate_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of a random scenario draw."""
+
+    num_ues: int = 8
+    num_wifi: int = 12
+    area_m: float = 160.0
+    cell_radius_m: float = 25.0
+    ue_ed_threshold_dbm: float = consts.DEFAULT_ED_THRESHOLD_DBM
+    enb_ed_threshold_dbm: float = consts.DEFAULT_ED_THRESHOLD_DBM
+    wifi_tx_power_dbm: float = consts.DEFAULT_TX_POWER_DBM
+    ue_tx_power_dbm: float = consts.DEFAULT_TX_POWER_DBM
+    activity_low: float = 0.1
+    activity_high: float = 0.5
+    path_loss_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.activity_low <= self.activity_high < 1.0:
+            raise ConfigurationError(
+                "activity range must satisfy 0 <= low <= high < 1: "
+                f"[{self.activity_low}, {self.activity_high}]"
+            )
+
+
+@dataclass
+class Scenario:
+    """A fully specified deployment with ground truth."""
+
+    config: ScenarioConfig
+    layout: NodeLayout
+    powers: Dict[str, Dict[Tuple[int, int], float]]
+    topology: InterferenceTopology
+    ht_wifi_ids: Tuple[int, ...]
+    enb_audible_wifi: FrozenSet[int]
+    inert_wifi: FrozenSet[int]
+    ue_mean_snr_db: Dict[int, float]
+    wifi_activity: Dict[int, float]
+
+    @property
+    def num_ues(self) -> int:
+        return self.layout.num_ues
+
+    @property
+    def num_hidden_terminals(self) -> int:
+        return self.topology.num_terminals
+
+    def enb_busy_probability(self) -> float:
+        """Probability >= 1 eNB-audible WiFi node is busy in a subframe.
+
+        These nodes gate TxOP acquisition rather than silencing UEs.
+        """
+        idle = 1.0
+        for wifi_id in self.enb_audible_wifi:
+            idle *= 1.0 - self.wifi_activity[wifi_id]
+        return 1.0 - idle
+
+    def contention_groups(self, max_group_airtime: float = 0.95):
+        """Partition hidden terminals into CSMA contention cliques.
+
+        Two hidden terminals contend (and thus time-share the medium) only
+        when they can carrier-sense *each other's* WiFi preambles, so
+        mutual exclusion holds within cliques of the mutual-audibility
+        graph — not whole connected components (A-B and B-C audible does
+        not stop A and C overlapping).  The graph is covered greedily by
+        cliques: repeatedly seed with the highest-degree unassigned
+        terminal and grow with mutually-adjacent neighbours.
+
+        Cliques whose summed airtime would exceed ``max_group_airtime``
+        are rescaled in the returned marginals — contention cannot grant
+        more than the channel's worth of airtime.
+
+        Returns ``(marginals, groups)``: per-terminal busy probabilities
+        (possibly rescaled) and the list of index cliques (size >= 2).
+        """
+        n = self.topology.num_terminals
+        marginals = [float(q) for q in self.topology.q]
+        adjacency: Dict[int, set] = {k: set() for k in range(n)}
+        for a_pos, a_wifi in enumerate(self.ht_wifi_ids):
+            for b_pos, b_wifi in enumerate(self.ht_wifi_ids):
+                if a_pos >= b_pos:
+                    continue
+                power_ab = self.powers["wifi_at_wifi"][(a_wifi, b_wifi)]
+                power_ba = self.powers["wifi_at_wifi"][(b_wifi, a_wifi)]
+                if WIFI_PREAMBLE_SENSING.senses(power_ab) and (
+                    WIFI_PREAMBLE_SENSING.senses(power_ba)
+                ):
+                    adjacency[a_pos].add(b_pos)
+                    adjacency[b_pos].add(a_pos)
+
+        groups: List[List[int]] = []
+        unassigned = set(range(n))
+        while unassigned:
+            seed_node = max(
+                sorted(unassigned),
+                key=lambda k: len(adjacency[k] & unassigned),
+            )
+            clique = {seed_node}
+            candidates = adjacency[seed_node] & unassigned
+            while candidates:
+                best = max(
+                    sorted(candidates),
+                    key=lambda k: len(adjacency[k] & candidates),
+                )
+                clique.add(best)
+                candidates &= adjacency[best]
+            unassigned -= clique
+            if len(clique) > 1:
+                groups.append(sorted(clique))
+
+        for group in groups:
+            total = sum(marginals[k] for k in group)
+            if total > max_group_airtime:
+                scale = max_group_airtime / total
+                for k in group:
+                    marginals[k] *= scale
+        return marginals, groups
+
+    def power_silencer(self):
+        """An energy-aggregation silencing function for the engine.
+
+        The blueprint's binary edge model treats each hidden terminal as
+        silencing a fixed UE set; physically, CCA compares the *aggregate*
+        received energy against the threshold, so several sub-threshold
+        interferers can jointly silence a UE none of them silences alone.
+        Returns ``silencer(active_terminal_indices) -> set of silenced
+        UEs`` computed from the scenario's received-power map (inert and
+        eNB-audible WiFi nodes excluded: only hidden terminals are driven
+        by the activity model).
+        """
+        from repro.spectrum.medium import MediumSnapshot, silenced_ues_from_power
+
+        rx_power = {
+            ue: {
+                position: self.powers["wifi_at_ue"][(wifi_id, ue)]
+                for position, wifi_id in enumerate(self.ht_wifi_ids)
+            }
+            for ue in sorted(self.layout.ues)
+        }
+        thresholds = {
+            ue: self.config.ue_ed_threshold_dbm for ue in sorted(self.layout.ues)
+        }
+
+        def silencer(active):
+            snapshot = MediumSnapshot.make(0, active)
+            return silenced_ues_from_power(snapshot, rx_power, thresholds)
+
+        return silencer
+
+    def activity_model(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> ExclusiveGroupActivity:
+        """Contention-coupled activity model for this scenario's terminals."""
+        marginals, groups = self.contention_groups()
+        return ExclusiveGroupActivity(marginals, groups, rng=rng)
+
+    def activity_processes(
+        self,
+        kind: str = "bernoulli",
+        mean_busy_subframes: float = 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ActivityProcess]:
+        """One activity process per hidden terminal, in topology order."""
+        rng = rng if rng is not None else np.random.default_rng()
+        processes: List[ActivityProcess] = []
+        for index in range(self.topology.num_terminals):
+            q = self.topology.q[index]
+            child = np.random.default_rng(rng.integers(0, 2**63))
+            if kind == "bernoulli":
+                processes.append(BernoulliActivity(q, rng=child))
+            elif kind == "markov":
+                processes.append(
+                    MarkovOnOffActivity(q, mean_busy_subframes, rng=child)
+                )
+            else:
+                raise ConfigurationError(f"unknown activity kind: {kind!r}")
+        return processes
+
+
+def generate_scenario(
+    config: ScenarioConfig = ScenarioConfig(),
+    seed: Optional[int] = None,
+) -> Scenario:
+    """Draw a random scenario and derive its ground-truth topology.
+
+    WiFi nodes are classified by received power:
+
+    * audible at the eNB (>= eNB ED threshold): they delay TxOP acquisition
+      and are excluded from the hidden-terminal set;
+    * hidden from the eNB but audible at >= 1 UE (>= UE ED threshold): these
+      are the hidden terminals, with one topology edge per audible UE;
+    * audible nowhere: inert, ignored.
+    """
+    rng = np.random.default_rng(seed)
+    path_loss = PathLossModel(exponent=config.path_loss_exponent)
+    layout = NodeLayout.random(
+        num_ues=config.num_ues,
+        num_wifi=config.num_wifi,
+        area_m=config.area_m,
+        cell_radius_m=config.cell_radius_m,
+        rng=rng,
+    )
+    powers = rx_power_map(layout, path_loss, config.wifi_tx_power_dbm)
+    # UE->eNB powers use the UE transmit power.
+    powers["ue_at_enb"] = {
+        (u, 0): path_loss.rx_power_dbm(
+            config.ue_tx_power_dbm, layout.ue_distance_to_enb(u)
+        )
+        for u in layout.ues
+    }
+
+    wifi_activity = {
+        w: float(rng.uniform(config.activity_low, config.activity_high))
+        for w in layout.wifi
+    }
+
+    enb_audible: List[int] = []
+    terminals: List[Tuple[float, List[int]]] = []
+    ht_wifi_ids: List[int] = []
+    inert: List[int] = []
+    for wifi_id in sorted(layout.wifi):
+        at_enb = powers["wifi_at_enb"][(wifi_id, 0)]
+        if at_enb >= config.enb_ed_threshold_dbm:
+            enb_audible.append(wifi_id)
+            continue
+        audible_ues = [
+            ue
+            for ue in sorted(layout.ues)
+            if powers["wifi_at_ue"][(wifi_id, ue)] >= config.ue_ed_threshold_dbm
+        ]
+        if audible_ues:
+            terminals.append((wifi_activity[wifi_id], audible_ues))
+            ht_wifi_ids.append(wifi_id)
+        else:
+            inert.append(wifi_id)
+
+    topology = InterferenceTopology.build(config.num_ues, terminals)
+    ue_mean_snr_db = {
+        u: powers["ue_at_enb"][(u, 0)] - consts.NOISE_FLOOR_10MHZ_DBM
+        for u in layout.ues
+    }
+    return Scenario(
+        config=config,
+        layout=layout,
+        powers=powers,
+        topology=topology,
+        ht_wifi_ids=tuple(ht_wifi_ids),
+        enb_audible_wifi=frozenset(enb_audible),
+        inert_wifi=frozenset(inert),
+        ue_mean_snr_db=ue_mean_snr_db,
+        wifi_activity=wifi_activity,
+    )

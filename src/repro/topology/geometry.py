@@ -1,0 +1,146 @@
+"""Planar geometry: node placement, distances, and received-power maps.
+
+Scenario generation places an eNB, its UEs, and WiFi nodes on a plane;
+received powers through a log-distance path-loss model then determine every
+sensing and interference relationship (who defers to whom, who is hidden
+from whom).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.lte.channel import PathLossModel
+
+__all__ = ["Position", "NodeLayout", "rx_power_map"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D deployment plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass
+class NodeLayout:
+    """Positions of every node in a scenario, keyed by (kind, id).
+
+    Kinds are ``"enb"``, ``"ue"``, and ``"wifi"``; ids are dense integers
+    within each kind.  The eNB always has id 0.
+    """
+
+    enb: Position
+    ues: Dict[int, Position]
+    wifi: Dict[int, Position]
+
+    def __post_init__(self) -> None:
+        if not self.ues:
+            raise ConfigurationError("layout needs at least one UE")
+
+    @property
+    def num_ues(self) -> int:
+        return len(self.ues)
+
+    @property
+    def num_wifi(self) -> int:
+        return len(self.wifi)
+
+    def ue_distance_to_enb(self, ue_id: int) -> float:
+        return self.ues[ue_id].distance_to(self.enb)
+
+    def wifi_distance_to_enb(self, wifi_id: int) -> float:
+        return self.wifi[wifi_id].distance_to(self.enb)
+
+    def wifi_distance_to_ue(self, wifi_id: int, ue_id: int) -> float:
+        return self.wifi[wifi_id].distance_to(self.ues[ue_id])
+
+    @staticmethod
+    def random(
+        num_ues: int,
+        num_wifi: int,
+        area_m: float = 160.0,
+        cell_radius_m: float = 25.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "NodeLayout":
+        """Place the eNB at the area centre, UEs within ``cell_radius_m`` of
+        it, and WiFi nodes uniformly over the whole area (an enterprise
+        floor with the LTE cell embedded in ambient WiFi)."""
+        if num_ues < 1:
+            raise ConfigurationError(f"need at least one UE: {num_ues}")
+        if num_wifi < 0:
+            raise ConfigurationError(f"negative WiFi count: {num_wifi}")
+        if cell_radius_m <= 0 or area_m <= 0:
+            raise ConfigurationError("area and cell radius must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        centre = Position(area_m / 2.0, area_m / 2.0)
+
+        ues: Dict[int, Position] = {}
+        for ue in range(num_ues):
+            radius = cell_radius_m * math.sqrt(rng.random())
+            angle = 2.0 * math.pi * rng.random()
+            ues[ue] = Position(
+                centre.x + radius * math.cos(angle),
+                centre.y + radius * math.sin(angle),
+            )
+
+        wifi: Dict[int, Position] = {
+            w: Position(float(rng.uniform(0, area_m)), float(rng.uniform(0, area_m)))
+            for w in range(num_wifi)
+        }
+        return NodeLayout(enb=centre, ues=ues, wifi=wifi)
+
+
+def rx_power_map(
+    layout: NodeLayout,
+    path_loss: Optional[PathLossModel] = None,
+    tx_power_dbm: float = consts.DEFAULT_TX_POWER_DBM,
+) -> Dict[str, Dict[Tuple[int, int], float]]:
+    """Received powers (dBm) for every link class in a layout.
+
+    Returns a dict with keys:
+
+    * ``"wifi_at_ue"``: ``{(wifi, ue): dBm}``
+    * ``"wifi_at_enb"``: ``{(wifi, 0): dBm}``
+    * ``"ue_at_enb"``: ``{(ue, 0): dBm}``
+    * ``"wifi_at_wifi"``: ``{(wifi_a, wifi_b): dBm}`` for ``a != b``
+    """
+    model = path_loss if path_loss is not None else PathLossModel()
+
+    wifi_at_ue = {
+        (w, u): model.rx_power_dbm(tx_power_dbm, layout.wifi_distance_to_ue(w, u))
+        for w in layout.wifi
+        for u in layout.ues
+    }
+    wifi_at_enb = {
+        (w, 0): model.rx_power_dbm(tx_power_dbm, layout.wifi_distance_to_enb(w))
+        for w in layout.wifi
+    }
+    ue_at_enb = {
+        (u, 0): model.rx_power_dbm(tx_power_dbm, layout.ue_distance_to_enb(u))
+        for u in layout.ues
+    }
+    wifi_at_wifi = {
+        (a, b): model.rx_power_dbm(
+            tx_power_dbm, layout.wifi[a].distance_to(layout.wifi[b])
+        )
+        for a in layout.wifi
+        for b in layout.wifi
+        if a != b
+    }
+    return {
+        "wifi_at_ue": wifi_at_ue,
+        "wifi_at_enb": wifi_at_enb,
+        "ue_at_enb": ue_at_enb,
+        "wifi_at_wifi": wifi_at_wifi,
+    }

@@ -1,0 +1,159 @@
+"""Canonical hand-built topologies used across examples, tests, benchmarks.
+
+These mirror the fixed setups in the paper:
+
+* :func:`fig1_topology` — the running example of Fig. 1 (seven clients,
+  three hidden terminals with disjoint footprints).
+* :func:`testbed_topology` — the WARP testbed shape of Section 4.1: a small
+  cell where each UE is affected by a configurable number of hidden
+  terminals (the x-axis of Figs. 10–13).
+* :func:`skewed_topology` — more hidden terminals than clients, the
+  ambiguous regime discussed in Section 3.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = [
+    "fig1_topology",
+    "testbed_topology",
+    "skewed_topology",
+    "uniform_snrs",
+    "contention_pairs",
+]
+
+
+def fig1_topology(activity: float = 0.3) -> InterferenceTopology:
+    """The Fig. 1 running example: 7 clients, 3 hidden terminals.
+
+    H1 (WiFi) silences clients 0 and 1; H2 (WiFi) silences clients 2 and 3;
+    H3 (LTE) silences clients 4 and 5.  Client 6 is interference-free —
+    the interference-diversity structure BLU exploits.
+    """
+    return InterferenceTopology.build(
+        num_ues=7,
+        terminals=[
+            (activity, [0, 1]),
+            (activity, [2, 3]),
+            (activity, [4, 5]),
+        ],
+    )
+
+
+def testbed_topology(
+    num_ues: int = 4,
+    hts_per_ue: int = 1,
+    activity: float = 0.25,
+    shared_fraction: float = 0.25,
+    spread: float = 0.8,
+    seed: Optional[int] = None,
+) -> InterferenceTopology:
+    """A testbed-like cell: each UE hears ``hts_per_ue`` hidden terminals.
+
+    A ``shared_fraction`` of terminals straddle two adjacent UEs (spatially
+    overlapping footprints), the rest are private to one UE.  Per-terminal
+    airtime is drawn from ``activity * U(1 - spread, 1 + spread)`` — the
+    heterogeneity ("each UE is affected by the hidden terminal traffic
+    differently") that makes some clients near-always clear and others
+    near-always blocked, which is where interference diversity pays.
+    """
+    if num_ues < 1:
+        raise ConfigurationError(f"need at least one UE: {num_ues}")
+    if hts_per_ue < 0:
+        raise ConfigurationError(f"negative hts_per_ue: {hts_per_ue}")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ConfigurationError(
+            f"shared_fraction outside [0,1]: {shared_fraction}"
+        )
+    if not 0.0 <= spread < 1.0:
+        raise ConfigurationError(f"spread outside [0,1): {spread}")
+    rng = np.random.default_rng(seed)
+    terminals: List[Tuple[float, List[int]]] = []
+    for ue in range(num_ues):
+        for _ in range(hts_per_ue):
+            q = float(np.clip(activity * rng.uniform(1.0 - spread, 1.0 + spread), 0.02, 0.95))
+            if num_ues > 1 and rng.random() < shared_fraction:
+                neighbour = (ue + 1) % num_ues
+                terminals.append((q, [ue, neighbour]))
+            else:
+                terminals.append((q, [ue]))
+    return InterferenceTopology.build(num_ues, terminals)
+
+
+def skewed_topology(
+    num_ues: int = 4,
+    num_terminals: int = 10,
+    activity_low: float = 0.05,
+    activity_high: float = 0.3,
+    seed: Optional[int] = None,
+) -> InterferenceTopology:
+    """More hidden terminals than clients (Section 3.5's ambiguous regime)."""
+    if num_terminals < 1:
+        raise ConfigurationError(f"need at least one terminal: {num_terminals}")
+    rng = np.random.default_rng(seed)
+    terminals: List[Tuple[float, List[int]]] = []
+    for _ in range(num_terminals):
+        q = float(rng.uniform(activity_low, activity_high))
+        footprint = int(rng.integers(1, max(2, num_ues // 2) + 1))
+        ues = sorted(rng.choice(num_ues, size=footprint, replace=False).tolist())
+        terminals.append((q, ues))
+    return InterferenceTopology.build(num_ues, terminals)
+
+
+def uniform_snrs(
+    num_ues: int,
+    low_db: float = 12.0,
+    high_db: float = 28.0,
+    seed: Optional[int] = None,
+) -> Dict[int, float]:
+    """Per-UE mean uplink SNRs drawn uniformly — heterogeneous channels."""
+    rng = np.random.default_rng(seed)
+    return {u: float(rng.uniform(low_db, high_db)) for u in range(num_ues)}
+
+
+def contention_pairs(
+    topology: InterferenceTopology,
+    contention_fraction: float = 1.0,
+    seed: Optional[int] = None,
+) -> List[List[int]]:
+    """Pair up hidden terminals with disjoint footprints into CSMA groups.
+
+    Synthetic counterpart of a geometric scenario\'s contention structure:
+    hidden terminals near each other carrier-sense one another and
+    time-share the medium, yet (being in different corners of the cell)
+    silence different clients.  Pairs are formed greedily between terminals
+    with disjoint client footprints whose combined airtime stays under 0.95;
+    ``contention_fraction`` controls how much of the terminal population
+    contends at all.
+    """
+    if not 0.0 <= contention_fraction <= 1.0:
+        raise ConfigurationError(
+            f"contention_fraction outside [0,1]: {contention_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    indices = list(range(topology.num_terminals))
+    rng.shuffle(indices)
+    cutoff = int(round(contention_fraction * len(indices)))
+    eligible = indices[:cutoff]
+    groups: List[List[int]] = []
+    used: set = set()
+    for a in eligible:
+        if a in used:
+            continue
+        for b in eligible:
+            if b == a or b in used:
+                continue
+            disjoint = not (topology.edges[a] & topology.edges[b])
+            feasible = topology.q[a] + topology.q[b] < 0.95
+            if disjoint and feasible:
+                groups.append(sorted((a, b)))
+                used.add(a)
+                used.add(b)
+                break
+    return groups

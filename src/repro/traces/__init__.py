@@ -1,0 +1,18 @@
+"""Trace infrastructure: record, combine, persist, replay."""
+
+from repro.traces.collect import collect_scenario_trace, collect_topology_trace
+from repro.traces.combine import merge_interference_layers, merge_ue_populations
+from repro.traces.io import load_trace, save_trace
+from repro.traces.records import ChannelTrace, InterferenceTrace, TopologyTrace
+
+__all__ = [
+    "ChannelTrace",
+    "InterferenceTrace",
+    "TopologyTrace",
+    "collect_scenario_trace",
+    "collect_topology_trace",
+    "load_trace",
+    "merge_interference_layers",
+    "merge_ue_populations",
+    "save_trace",
+]

@@ -1,0 +1,109 @@
+"""Trace collection: record a scenario's medium and channels over time.
+
+Substitutes for the paper's 5-minute WARP collection runs: given a scenario
+(or a bare topology plus activity model), run the activity and fading
+processes for a configured duration and store the per-subframe artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.lte import consts
+from repro.lte.channel import UplinkChannel
+from repro.spectrum.activity import IndependentActivity, JointActivityModel
+from repro.topology.generator import Scenario
+from repro.topology.graph import InterferenceTopology
+from repro.traces.records import ChannelTrace, InterferenceTrace, TopologyTrace
+
+__all__ = ["collect_topology_trace", "collect_scenario_trace"]
+
+
+def collect_topology_trace(
+    topology: InterferenceTopology,
+    mean_snr_db: Dict[int, float],
+    num_subframes: int,
+    activity_model: Optional[JointActivityModel] = None,
+    doppler_coherence: float = 0.97,
+    num_rbs: int = 10,
+    seed: Optional[int] = None,
+    label: str = "",
+    record_channels: bool = True,
+) -> TopologyTrace:
+    """Record ``num_subframes`` of interference activity and channel state."""
+    if num_subframes < 1:
+        raise TraceError(f"num_subframes must be positive: {num_subframes}")
+    rng = np.random.default_rng(seed)
+
+    if activity_model is None:
+        from repro.spectrum.activity import BernoulliActivity
+
+        activity_model = IndependentActivity(
+            [
+                BernoulliActivity(
+                    q, rng=np.random.default_rng(rng.integers(0, 2**63))
+                )
+                for q in topology.q
+            ]
+        )
+    if activity_model.num_terminals != topology.num_terminals:
+        raise TraceError(
+            f"activity model covers {activity_model.num_terminals} terminals, "
+            f"topology has {topology.num_terminals}"
+        )
+
+    activity = np.zeros((num_subframes, topology.num_terminals), dtype=bool)
+    for t in range(num_subframes):
+        for k in activity_model.step():
+            activity[t, k] = True
+
+    channels: Dict[int, ChannelTrace] = {}
+    if record_channels:
+        for ue in range(topology.num_ues):
+            channel = UplinkChannel(
+                mean_rx_power_dbm=consts.NOISE_FLOOR_10MHZ_DBM + mean_snr_db[ue],
+                num_rbs=num_rbs,
+                doppler_coherence=doppler_coherence,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            sinr = np.zeros((num_subframes, num_rbs))
+            for t in range(num_subframes):
+                sinr[t] = channel.step()
+            channels[ue] = ChannelTrace(ue_id=ue, sinr_db=sinr)
+
+    return TopologyTrace(
+        topology=topology,
+        interference=InterferenceTrace(activity=activity),
+        channels=channels,
+        mean_snr_db=dict(mean_snr_db),
+        label=label,
+    )
+
+
+def collect_scenario_trace(
+    scenario: Scenario,
+    num_subframes: int,
+    use_contention: bool = True,
+    seed: Optional[int] = None,
+    label: str = "",
+    record_channels: bool = True,
+) -> TopologyTrace:
+    """Record a generated scenario (contention-coupled activity by default)."""
+    rng = np.random.default_rng(seed)
+    model: Optional[JointActivityModel] = None
+    if use_contention:
+        model = scenario.activity_model(
+            rng=np.random.default_rng(rng.integers(0, 2**63))
+        )
+    return collect_topology_trace(
+        topology=scenario.topology,
+        mean_snr_db=scenario.ue_mean_snr_db,
+        num_subframes=num_subframes,
+        activity_model=model,
+        seed=int(rng.integers(0, 2**63)),
+        label=label,
+        record_channels=record_channels,
+    )

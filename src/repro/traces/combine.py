@@ -1,0 +1,116 @@
+"""Trace combination: build large emulated topologies from small recordings.
+
+Section 4.2.1 of the paper: "we emulate larger topologies by combining the
+traces collected from different testbed topologies".  Two combination axes:
+
+* :func:`merge_interference_layers` — same UE population, hidden terminals
+  recorded at different locations/times: terminal sets concatenate, and a
+  UE defers to the union of its interferers ("we combine the data traces
+  collected from different hidden terminal locations to emulate a larger
+  spatially separated hidden terminal topology for a given UE set-up");
+* :func:`merge_ue_populations` — disjoint UE groups with their own hidden
+  terminals, renumbered into one big cell ("we emulate large UE topologies
+  by combining traces from different smaller UE topologies").
+
+Traces of unequal length are truncated to the shortest (time-synchronized
+replay).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.topology.graph import InterferenceTopology
+from repro.traces.records import ChannelTrace, InterferenceTrace, TopologyTrace
+
+__all__ = ["merge_interference_layers", "merge_ue_populations"]
+
+
+def _common_length(traces: Sequence[TopologyTrace]) -> int:
+    length = min(t.num_subframes for t in traces)
+    if length < 1:
+        raise TraceError("cannot combine empty traces")
+    return length
+
+
+def merge_interference_layers(traces: Sequence[TopologyTrace]) -> TopologyTrace:
+    """Stack hidden-terminal layers over one shared UE population."""
+    if not traces:
+        raise TraceError("no traces to combine")
+    num_ues = traces[0].topology.num_ues
+    for trace in traces:
+        if trace.topology.num_ues != num_ues:
+            raise TraceError(
+                "merge_interference_layers needs a common UE population "
+                f"({trace.topology.num_ues} != {num_ues})"
+            )
+    length = _common_length(traces)
+
+    terminals = []
+    activity_blocks = []
+    for trace in traces:
+        for q, ues in zip(trace.topology.q, trace.topology.edges):
+            terminals.append((q, ues))
+        activity_blocks.append(trace.interference.activity[:length])
+    topology = InterferenceTopology.build(num_ues, terminals)
+    activity = (
+        np.hstack(activity_blocks)
+        if activity_blocks
+        else np.zeros((length, 0), dtype=bool)
+    )
+
+    # Channels: keep the first trace's channel recordings (one UE, one
+    # channel — interference layers do not alter the LTE link).
+    channels = {
+        ue: ChannelTrace(ue_id=ue, sinr_db=ch.sinr_db[:length])
+        for ue, ch in traces[0].channels.items()
+    }
+    return TopologyTrace(
+        topology=topology,
+        interference=InterferenceTrace(activity=activity),
+        channels=channels,
+        mean_snr_db=dict(traces[0].mean_snr_db),
+        label="+".join(t.label for t in traces if t.label),
+    )
+
+
+def merge_ue_populations(traces: Sequence[TopologyTrace]) -> TopologyTrace:
+    """Concatenate disjoint cells (UEs and terminals renumbered)."""
+    if not traces:
+        raise TraceError("no traces to combine")
+    length = _common_length(traces)
+
+    terminals = []
+    activity_blocks = []
+    channels: Dict[int, ChannelTrace] = {}
+    mean_snr: Dict[int, float] = {}
+    ue_offset = 0
+    total_ues = sum(t.topology.num_ues for t in traces)
+    for trace in traces:
+        for q, ues in zip(trace.topology.q, trace.topology.edges):
+            terminals.append((q, {ue + ue_offset for ue in ues}))
+        activity_blocks.append(trace.interference.activity[:length])
+        for ue, channel in trace.channels.items():
+            channels[ue + ue_offset] = ChannelTrace(
+                ue_id=ue + ue_offset, sinr_db=channel.sinr_db[:length]
+            )
+        for ue, snr in trace.mean_snr_db.items():
+            mean_snr[ue + ue_offset] = snr
+        ue_offset += trace.topology.num_ues
+
+    topology = InterferenceTopology.build(total_ues, terminals)
+    activity = (
+        np.hstack(activity_blocks)
+        if activity_blocks
+        else np.zeros((length, 0), dtype=bool)
+    )
+    return TopologyTrace(
+        topology=topology,
+        interference=InterferenceTrace(activity=activity),
+        channels=channels,
+        mean_snr_db=mean_snr,
+        label="|".join(t.label for t in traces if t.label),
+    )

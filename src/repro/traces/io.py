@@ -1,0 +1,78 @@
+"""Trace persistence: JSON for topologies, NPZ for bulk arrays.
+
+A :class:`~repro.traces.records.TopologyTrace` is stored as a single ``.npz``
+archive: the topology serialized to JSON inside the archive, activity and
+channel arrays as compressed numpy blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.topology.graph import InterferenceTopology
+from repro.traces.records import ChannelTrace, InterferenceTrace, TopologyTrace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: TopologyTrace, path: Union[str, Path]) -> Path:
+    """Write a topology trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "label": trace.label,
+        "topology": trace.topology.to_dict(),
+        "mean_snr_db": {str(k): v for k, v in trace.mean_snr_db.items()},
+        "channel_ues": sorted(trace.channels),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "activity": trace.interference.activity,
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    for ue, channel in trace.channels.items():
+        arrays[f"sinr_{ue}"] = channel.sinr_db
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> TopologyTrace:
+    """Load a topology trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        except Exception as exc:  # malformed archive
+            raise TraceError(f"corrupt trace metadata in {path}: {exc}")
+        if metadata.get("version") != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version: {metadata.get('version')}"
+            )
+        topology = InterferenceTopology.from_dict(metadata["topology"])
+        interference = InterferenceTrace(activity=archive["activity"])
+        channels = {}
+        for ue in metadata["channel_ues"]:
+            channels[int(ue)] = ChannelTrace(
+                ue_id=int(ue), sinr_db=archive[f"sinr_{ue}"]
+            )
+    return TopologyTrace(
+        topology=topology,
+        interference=interference,
+        channels=channels,
+        mean_snr_db={int(k): float(v) for k, v in metadata["mean_snr_db"].items()},
+        label=metadata.get("label", ""),
+    )

@@ -1,0 +1,130 @@
+"""Trace record types: what the testbed collection produces.
+
+The paper collects two trace families from the WARP testbed (Section 4.2):
+per-subframe **WiFi interference traces** (when each hidden terminal was on
+the air, as overheard by the UEs) and **LTE channel traces** (per-subframe
+CSI between each UE and the eNB).  Both are replayed by the emulation layer
+and combinable into larger synthetic topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["InterferenceTrace", "ChannelTrace", "TopologyTrace"]
+
+
+@dataclass
+class InterferenceTrace:
+    """Busy/idle activity of a set of hidden terminals over time.
+
+    ``activity[t, k]`` is True when terminal ``k`` occupied the air during
+    subframe ``t``.
+    """
+
+    activity: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.activity = np.asarray(self.activity, dtype=bool)
+        if self.activity.ndim != 2:
+            raise TraceError(
+                f"activity must be 2-D (subframes x terminals), "
+                f"got shape {self.activity.shape}"
+            )
+
+    @property
+    def num_subframes(self) -> int:
+        return self.activity.shape[0]
+
+    @property
+    def num_terminals(self) -> int:
+        return self.activity.shape[1]
+
+    def marginals(self) -> np.ndarray:
+        """Empirical busy probability of each terminal."""
+        return self.activity.mean(axis=0)
+
+    def clear_matrix(self, topology: InterferenceTopology) -> np.ndarray:
+        """Per-subframe CCA-clear indicator of each UE under ``topology``.
+
+        ``topology`` supplies the terminal -> UE edges; activity columns are
+        matched to terminal indices.
+        """
+        if topology.num_terminals != self.num_terminals:
+            raise TraceError(
+                f"trace has {self.num_terminals} terminals, topology "
+                f"{topology.num_terminals}"
+            )
+        clear = np.ones((self.num_subframes, topology.num_ues), dtype=bool)
+        for k, ues in enumerate(topology.edges):
+            busy_rows = self.activity[:, k]
+            for ue in ues:
+                clear[busy_rows, ue] = False
+        return clear
+
+
+@dataclass
+class ChannelTrace:
+    """Per-subframe, per-RB SINR (dB) of one UE's uplink channel."""
+
+    ue_id: int
+    sinr_db: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.sinr_db = np.asarray(self.sinr_db, dtype=float)
+        if self.sinr_db.ndim != 2:
+            raise TraceError(
+                f"sinr must be 2-D (subframes x RBs), got {self.sinr_db.shape}"
+            )
+
+    @property
+    def num_subframes(self) -> int:
+        return self.sinr_db.shape[0]
+
+    @property
+    def num_rbs(self) -> int:
+        return self.sinr_db.shape[1]
+
+
+@dataclass
+class TopologyTrace:
+    """A complete recorded scenario: topology + interference + channels.
+
+    This is the unit the paper collects 150 of from the testbed and 300 of
+    from NS3: everything needed to (a) evaluate topology inference against
+    ground truth and (b) drive the trace-based emulation.
+    """
+
+    topology: InterferenceTopology
+    interference: InterferenceTrace
+    channels: Dict[int, ChannelTrace] = field(default_factory=dict)
+    mean_snr_db: Dict[int, float] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.interference.num_terminals != self.topology.num_terminals:
+            raise TraceError(
+                "interference trace terminal count does not match topology"
+            )
+        for ue, channel in self.channels.items():
+            if not 0 <= ue < self.topology.num_ues:
+                raise TraceError(f"channel trace for unknown UE {ue}")
+            if channel.num_subframes != self.interference.num_subframes:
+                raise TraceError(
+                    f"channel trace of UE {ue} has {channel.num_subframes} "
+                    f"subframes, interference has "
+                    f"{self.interference.num_subframes}"
+                )
+
+    @property
+    def num_subframes(self) -> int:
+        return self.interference.num_subframes
+
+    def clear_matrix(self) -> np.ndarray:
+        return self.interference.clear_matrix(self.topology)

@@ -1,0 +1,79 @@
+"""Tests for CDF helpers and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_least, percentile
+from repro.analysis.tables import format_comparison, format_table
+from repro.errors import ConfigurationError
+
+
+class TestCdf:
+    def test_empirical_cdf_shape(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert fractions.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 2.5) == pytest.approx(0.5)
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 4.0) == 1.0
+
+    def test_fraction_at_least(self):
+        accuracies = [1.0, 1.0, 0.9, 0.5]
+        assert fraction_at_least(accuracies, 1.0) == pytest.approx(0.5)
+        assert fraction_at_least(accuracies, 0.9) == pytest.approx(0.75)
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 50) == pytest.approx(50.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf([])
+        with pytest.raises(ConfigurationError):
+            cdf_at([], 1.0)
+        with pytest.raises(ConfigurationError):
+            fraction_at_least([], 1.0)
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 120)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["pf", 1.0], ["blu", 2.3456]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "2.346" in table
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_headers_required(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+    def test_format_comparison_with_baseline(self):
+        results = {
+            "pf": {"throughput_mbps": 2.0},
+            "blu": {"throughput_mbps": 4.0},
+        }
+        table = format_comparison(
+            results, ["throughput_mbps"], baseline="pf"
+        )
+        assert "2.000" in table
+        assert "4.000" in table
+        # Gain column: blu = 2x pf.
+        assert "(x pf)" in table

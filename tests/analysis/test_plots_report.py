@@ -1,0 +1,110 @@
+"""Tests for ASCII plots and markdown reports."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, cdf_plot, sparkline
+from repro.analysis.report import comparison_report, sweep_report
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+def make_result(name, bits, util_num, util_den):
+    result = SimulationResult(scheduler_name=name)
+    result.num_subframes = 1000
+    result.ul_subframes = 600
+    result.delivered_bits_by_ue = {0: bits}
+    result.grants_issued = util_den
+    result.grants_decoded = util_num
+    result.rbs_allocated = util_den
+    result.rbs_utilized = util_num
+    return result
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart({"pf": 1.0, "blu": 2.0}, title="gains")
+        assert "gains" in chart
+        assert "pf" in chart and "blu" in chart
+        assert "2.000" in chart
+
+    def test_longest_bar_is_peak(self):
+        chart = bar_chart({"a": 1.0, "b": 4.0}, width=20)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        bar_b = lines[1].split("|")[1]
+        assert bar_b.count("█") == 20
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 1.0}, width=2)
+
+
+class TestCdfPlot:
+    def test_basic_shape(self):
+        plot = cdf_plot([0.5, 0.8, 0.9, 1.0, 1.0], title="accuracy")
+        assert "accuracy" in plot
+        assert "*" in plot
+        assert "1.00 |" in plot
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            cdf_plot([1.0], width=2, height=2)
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestComparisonReport:
+    def test_markdown_structure(self):
+        results = {
+            "pf": make_result("pf", 2e6, 50, 100),
+            "blu": make_result("blu", 4e6, 80, 100),
+        }
+        report = comparison_report(results, "Fig X", baseline="pf")
+        assert report.startswith("## Fig X")
+        assert "| scheduler |" in report
+        assert "2.00x" in report
+
+    def test_notes_appended(self):
+        results = {"pf": make_result("pf", 1e6, 1, 2)}
+        report = comparison_report(results, "T", baseline="pf", notes="shape holds")
+        assert "shape holds" in report
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparison_report({"blu": make_result("blu", 1e6, 1, 2)}, "T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparison_report({}, "T")
+
+
+class TestSweepReport:
+    def test_rows_per_parameter(self):
+        points = {
+            1: {"pf": make_result("pf", 1e6, 1, 2), "blu": make_result("blu", 2e6, 2, 2)},
+            2: {"pf": make_result("pf", 1e6, 1, 2), "blu": make_result("blu", 3e6, 2, 2)},
+        }
+        report = sweep_report(points, "Sweep")
+        assert report.count("\n| ") >= 3  # header rule + 2 parameter rows
+        assert "3.00x" in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_report({}, "T")

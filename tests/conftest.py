@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling.types import SchedulingContext
+from repro.topology.graph import InterferenceTopology
+from repro.topology.scenarios import fig1_topology, testbed_topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_topology():
+    """Three UEs: UE0 hears HT0, UE1 hears HT0+HT1, UE2 interference-free."""
+    return InterferenceTopology.build(
+        num_ues=3,
+        terminals=[(0.3, [0, 1]), (0.2, [1])],
+    )
+
+
+@pytest.fixture
+def fig1():
+    return fig1_topology(activity=0.3)
+
+
+@pytest.fixture
+def testbed8():
+    return testbed_topology(num_ues=8, hts_per_ue=2, activity=0.4, seed=3)
+
+
+def make_context(
+    num_ues=4,
+    num_rbs=4,
+    num_antennas=1,
+    snr_db=20.0,
+    avg_bps=1e5,
+    max_distinct_ues=10,
+    clear_ues=None,
+    subframe=0,
+):
+    """Build a deterministic scheduling context for scheduler tests."""
+    if np.isscalar(snr_db):
+        sinr = {u: np.full(num_rbs, float(snr_db)) for u in range(num_ues)}
+    else:
+        sinr = {u: np.asarray(snr_db[u], dtype=float) for u in range(num_ues)}
+    if np.isscalar(avg_bps):
+        avgs = {u: float(avg_bps) for u in range(num_ues)}
+    else:
+        avgs = {u: float(avg_bps[u]) for u in range(num_ues)}
+    return SchedulingContext(
+        subframe=subframe,
+        num_rbs=num_rbs,
+        num_antennas=num_antennas,
+        ue_ids=tuple(range(num_ues)),
+        sinr_db=sinr,
+        avg_throughput_bps=avgs,
+        max_distinct_ues=max_distinct_ues,
+        clear_ues=clear_ues,
+    )
+
+
+@pytest.fixture
+def context_factory():
+    return make_context

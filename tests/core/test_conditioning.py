@@ -1,0 +1,129 @@
+"""Tests for Section 3.6: joint distributions via topology conditioning.
+
+The recursive conditioning computation must agree exactly with the
+inclusion–exclusion reference on the topology — that equivalence is the
+correctness claim of Section 3.6.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.joint.conditioning import (
+    joint_access_probability,
+    prob_all_blocked,
+    prob_all_clear,
+)
+from repro.errors import TopologyError
+from repro.topology.graph import InterferenceTopology
+from repro.topology.scenarios import skewed_topology
+from repro.topology.scenarios import testbed_topology as make_testbed_topology
+
+
+class TestProbAllClear:
+    def test_empty_is_one(self, fig1):
+        assert prob_all_clear(fig1, []) == 1.0
+
+    def test_single_matches_access_probability(self, fig1):
+        for ue in range(7):
+            assert prob_all_clear(fig1, [ue]) == pytest.approx(
+                fig1.access_probability(ue)
+            )
+
+    def test_matches_clear_probability(self, testbed8):
+        for group in [(0, 1), (0, 3, 5), (1, 2, 4, 7)]:
+            assert prob_all_clear(testbed8, list(group)) == pytest.approx(
+                testbed8.clear_probability(group)
+            )
+
+    def test_duplicates_collapsed(self, fig1):
+        assert prob_all_clear(fig1, [0, 0]) == pytest.approx(
+            fig1.access_probability(0)
+        )
+
+    def test_order_invariant(self, testbed8):
+        group = [0, 3, 6]
+        forward = prob_all_clear(testbed8, group)
+        reverse = prob_all_clear(testbed8, group[::-1])
+        assert forward == pytest.approx(reverse)
+
+
+class TestProbAllBlocked:
+    def test_empty_is_one(self, fig1):
+        assert prob_all_blocked(fig1, []) == 1.0
+
+    def test_single_is_complement(self, fig1):
+        assert prob_all_blocked(fig1, [0]) == pytest.approx(
+            1.0 - fig1.access_probability(0)
+        )
+
+    def test_interference_free_client_never_blocked(self, fig1):
+        assert prob_all_blocked(fig1, [6]) == pytest.approx(0.0)
+
+    def test_matches_inclusion_exclusion(self, testbed8):
+        for group in [(0, 1), (2, 5), (0, 4, 6)]:
+            reference = testbed8.joint_access_probability([], list(group))
+            assert prob_all_blocked(testbed8, list(group)) == pytest.approx(
+                reference
+            )
+
+    def test_shared_terminal_correlation(self, simple_topology):
+        # UE0 and UE1 share HT0: both blocked iff HT0 busy, or HT0 idle &
+        # HT1 busy blocks only UE1 => P(both blocked) = q0 = 0.3.
+        assert prob_all_blocked(simple_topology, [0, 1]) == pytest.approx(0.3)
+
+
+class TestJointAccessProbability:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agrees_with_inclusion_exclusion_everywhere(self, seed):
+        topology = make_testbed_topology(num_ues=6, hts_per_ue=2, seed=seed)
+        ues = range(6)
+        for group in itertools.combinations(ues, 3):
+            for r in range(4):
+                for clear in itertools.combinations(group, r):
+                    blocked = [u for u in group if u not in clear]
+                    reference = topology.joint_access_probability(
+                        list(clear), blocked
+                    )
+                    value = joint_access_probability(
+                        topology, list(clear), blocked
+                    )
+                    assert value == pytest.approx(reference, abs=1e-12)
+
+    def test_skewed_topology_agreement(self):
+        topology = skewed_topology(num_ues=5, num_terminals=12, seed=3)
+        value = joint_access_probability(topology, [0, 2], [1, 3])
+        reference = topology.joint_access_probability([0, 2], [1, 3])
+        assert value == pytest.approx(reference, abs=1e-12)
+
+    def test_paper_example_shape(self):
+        # The Section 3.6 worked example: P(1̄, 2̄, 3, 4).
+        topology = make_testbed_topology(num_ues=4, hts_per_ue=2, seed=7)
+        value = joint_access_probability(topology, [2, 3], [0, 1])
+        reference = topology.joint_access_probability([2, 3], [0, 1])
+        assert value == pytest.approx(reference, abs=1e-12)
+
+    def test_overlap_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            joint_access_probability(fig1, [1], [1])
+
+    def test_zero_clear_probability_short_circuits(self):
+        topology = InterferenceTopology.build(
+            2, [(0.999999, [0])]
+        )
+        # With p(0) ~ 0 the joint with 0 clear is ~0 and must not divide by 0.
+        value = joint_access_probability(topology, [0], [1])
+        assert value == pytest.approx(0.0, abs=1e-5)
+
+    def test_monte_carlo_agreement(self, rng):
+        topology = make_testbed_topology(num_ues=4, hts_per_ue=1, activity=0.4, seed=1)
+        n = 150_000
+        clear = np.ones((n, 4), dtype=bool)
+        for q, ues in zip(topology.q, topology.edges):
+            busy = rng.random(n) < q
+            for ue in ues:
+                clear[busy, ue] = False
+        empirical = np.mean(clear[:, 0] & clear[:, 1] & ~clear[:, 2] & ~clear[:, 3])
+        value = joint_access_probability(topology, [0, 1], [2, 3])
+        assert value == pytest.approx(empirical, abs=0.01)

@@ -1,0 +1,162 @@
+"""Tests for the BLU two-phase controller (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import BLUConfig, BLUController, BLUPhase
+from repro.core.measurement.classifier import AccessObservation
+from repro.errors import ConfigurationError
+from repro.topology.graph import edge_set_accuracy
+from repro.topology.scenarios import uniform_snrs
+from repro.topology.scenarios import testbed_topology as make_testbed_topology
+from tests.conftest import make_context
+
+
+def observation(subframe, scheduled, accessed):
+    scheduled = frozenset(scheduled)
+    accessed = frozenset(accessed)
+    return AccessObservation(
+        subframe=subframe,
+        scheduled=scheduled,
+        accessed=accessed,
+        blocked=scheduled - accessed,
+        collided=frozenset(),
+        faded=frozenset(),
+        decoded=accessed,
+    )
+
+
+class TestConstruction:
+    def test_needs_two_clients(self):
+        with pytest.raises(ConfigurationError):
+            BLUController(num_ues=1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            BLUConfig(samples_per_pair=0)
+        with pytest.raises(ConfigurationError):
+            BLUConfig(measurement_k=1)
+
+    def test_starts_in_measurement_phase(self):
+        controller = BLUController(4)
+        assert controller.phase is BLUPhase.MEASUREMENT
+        assert controller.inferred_topology is None
+
+
+class TestMeasurementPhase:
+    def test_measurement_schedule_is_ofdma(self):
+        controller = BLUController(6, BLUConfig(samples_per_pair=2, measurement_k=4))
+        context = make_context(num_ues=6, num_rbs=8)
+        schedule = controller.schedule(context)
+        # One UE per RB, all RBs covered, at most K distinct UEs.
+        for rb in range(8):
+            assert len(schedule.rb(rb)) == 1
+        assert len(schedule.scheduled_ues()) <= 4
+
+    def test_transitions_after_enough_samples(self, rng):
+        truth = make_testbed_topology(num_ues=4, hts_per_ue=1, activity=0.4, seed=2)
+        controller = BLUController(
+            4, BLUConfig(samples_per_pair=30, measurement_k=4)
+        )
+        context = make_context(num_ues=4, num_rbs=4)
+        t = 0
+        while controller.phase is BLUPhase.MEASUREMENT and t < 3000:
+            schedule = controller.schedule(context)
+            scheduled = set(schedule.scheduled_ues())
+            busy = {
+                ue
+                for q, ues in zip(truth.q, truth.edges)
+                if rng.random() < q
+                for ue in ues
+            }
+            controller.observe(
+                observation(t, scheduled, scheduled - busy)
+            )
+            t += 1
+        assert controller.phase is BLUPhase.SPECULATIVE
+        assert controller.inferred_topology is not None
+        assert controller.measurement_subframes_used <= 400
+
+    def test_inferred_topology_accuracy(self, rng):
+        truth = make_testbed_topology(num_ues=5, hts_per_ue=1, activity=0.4, seed=4)
+        controller = BLUController(
+            5, BLUConfig(samples_per_pair=300, measurement_k=5)
+        )
+        context = make_context(num_ues=5, num_rbs=5)
+        t = 0
+        while controller.phase is BLUPhase.MEASUREMENT and t < 5000:
+            schedule = controller.schedule(context)
+            scheduled = set(schedule.scheduled_ues())
+            busy = {
+                ue
+                for q, ues in zip(truth.q, truth.edges)
+                if rng.random() < q
+                for ue in ues
+            }
+            controller.observe(observation(t, scheduled, scheduled - busy))
+            t += 1
+        accuracy = edge_set_accuracy(controller.inferred_topology, truth)
+        assert accuracy >= 0.8
+
+
+class TestSpeculativePhase:
+    def build_ready_controller(self, rng, reinfer_interval=0):
+        # Four clients, each silenced by its own heavy terminal (p = 0.35):
+        # for equal PF averages, pairing any two beats a lone grant
+        # (2 * 0.35 * 0.65 = 0.455 > 0.35), so BLU must over-schedule.
+        from repro.topology.graph import InterferenceTopology
+
+        truth = InterferenceTopology.build(
+            4, [(0.65, [u]) for u in range(4)]
+        )
+        from repro.core.blueprint.inference import InferenceConfig
+
+        controller = BLUController(
+            4,
+            BLUConfig(
+                samples_per_pair=120,
+                measurement_k=4,
+                reinfer_interval=reinfer_interval,
+                inference=InferenceConfig(seed=0),
+            ),
+        )
+        context = make_context(num_ues=4, num_rbs=4)
+        t = 0
+        while controller.phase is BLUPhase.MEASUREMENT and t < 4000:
+            schedule = controller.schedule(context)
+            scheduled = set(schedule.scheduled_ues())
+            busy = {
+                ue
+                for q, ues in zip(truth.q, truth.edges)
+                if rng.random() < q
+                for ue in ues
+            }
+            controller.observe(observation(t, scheduled, scheduled - busy))
+            t += 1
+        return controller, context, truth
+
+    def test_speculative_schedule_overschedules(self, rng):
+        controller, context, _ = self.build_ready_controller(rng)
+        schedule = controller.schedule(context)
+        # With q=0.5-ish terminals per UE, at least one RB should carry
+        # more than one client.
+        assert any(len(schedule.rb(rb)) > 1 for rb in range(4))
+
+    def test_keeps_estimating_in_speculative_phase(self, rng):
+        controller, context, _ = self.build_ready_controller(rng)
+        before = controller.estimator.subframes_observed
+        schedule = controller.schedule(context)
+        scheduled = set(schedule.scheduled_ues())
+        controller.observe(observation(9999, scheduled, scheduled))
+        assert controller.estimator.subframes_observed == before + 1
+
+    def test_reinference_interval(self, rng):
+        controller, context, _ = self.build_ready_controller(
+            rng, reinfer_interval=5
+        )
+        first = controller.inference_result
+        for t in range(6):
+            schedule = controller.schedule(context)
+            scheduled = set(schedule.scheduled_ues())
+            controller.observe(observation(t, scheduled, scheduled))
+        assert controller.inference_result is not first

@@ -1,0 +1,69 @@
+"""Tests for the MCMC baseline inference."""
+
+import pytest
+
+from repro.core.blueprint.mcmc import McmcConfig, McmcInference
+from repro.core.blueprint.transform import TransformedMeasurements
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+
+
+def exact_target(topology, tolerance=0.02):
+    n = topology.num_ues
+    return TransformedMeasurements.from_probabilities(
+        n,
+        {i: topology.access_probability(i) for i in range(n)},
+        {
+            (i, j): topology.pairwise_access_probability(i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+        },
+        default_tolerance=tolerance,
+    )
+
+
+class TestMcmcInference:
+    def test_finds_small_topology(self):
+        truth = InterferenceTopology.build(3, [(0.3, [0, 1])])
+        result = McmcInference(McmcConfig(num_samples=6000, seed=0)).infer(
+            exact_target(truth)
+        )
+        assert result.aggregate_violation < 0.5
+        assert result.acceptance_rate > 0.0
+
+    def test_often_recovers_simple_structure(self):
+        # MCMC converges in distribution: demand a majority of seeds
+        # recover the 2-terminal structure, not every seed (that gap is
+        # BLU's argument for determinism).
+        truth = InterferenceTopology.build(
+            4, [(0.35, [0, 1]), (0.25, [2, 3])]
+        )
+        hits = 0
+        for seed in range(5):
+            result = McmcInference(
+                McmcConfig(num_samples=8000, seed=seed)
+            ).infer(exact_target(truth))
+            hits += edge_set_accuracy(result.topology, truth) == 1.0
+        assert hits >= 3
+
+    def test_log_posterior_penalizes_terminals(self):
+        truth = InterferenceTopology.build(2, [(0.3, [0])])
+        target = exact_target(truth)
+        inference = McmcInference(McmcConfig(seed=0))
+        from repro.core.blueprint.constraints import WorkingTopology
+        from repro.core.blueprint.transform import forward_transform_q
+
+        minimal = WorkingTopology.from_terminals(
+            2, [(forward_transform_q(0.3), {0})]
+        )
+        inflated = minimal.copy()
+        inflated.add_terminal(1e-9, [1])
+        assert inference._log_posterior(minimal, target) > inference._log_posterior(
+            inflated, target
+        )
+
+    def test_empty_truth(self):
+        truth = InterferenceTopology.build(3, [])
+        result = McmcInference(McmcConfig(num_samples=3000, seed=1)).infer(
+            exact_target(truth)
+        )
+        assert result.topology.num_terminals <= 1

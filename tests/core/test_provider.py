@@ -1,0 +1,132 @@
+"""Tests for the joint-access providers (topology-exact and empirical)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.joint.provider import EmpiricalJointProvider, TopologyJointProvider
+from repro.errors import TopologyError
+from repro.topology.scenarios import testbed_topology as make_testbed_topology
+
+
+def simulate_clear_matrix(topology, n, rng):
+    clear = np.ones((n, topology.num_ues), dtype=bool)
+    for q, ues in zip(topology.q, topology.edges):
+        busy = rng.random(n) < q
+        for ue in ues:
+            clear[busy, ue] = False
+    return clear
+
+
+class TestTopologyJointProvider:
+    def test_access_probability_passthrough(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        for ue in range(8):
+            assert provider.access_probability(ue) == pytest.approx(
+                testbed8.access_probability(ue)
+            )
+
+    def test_pattern_distribution_sums_to_one(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        for group in [frozenset({0, 1}), frozenset({0, 2, 5, 7})]:
+            distribution = provider.pattern_distribution(group)
+            assert sum(distribution.values()) == pytest.approx(1.0)
+            for pattern in distribution:
+                assert pattern <= group
+
+    def test_pattern_matches_joint_probability(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        group = [0, 1, 4]
+        distribution = provider.pattern_distribution(frozenset(group))
+        for r in range(4):
+            for clear in itertools.combinations(group, r):
+                blocked = [u for u in group if u not in clear]
+                expected = testbed8.joint_access_probability(list(clear), blocked)
+                assert distribution.get(frozenset(clear), 0.0) == pytest.approx(
+                    expected, abs=1e-12
+                )
+
+    def test_pattern_table_consistency(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        group = frozenset({0, 1, 4})
+        table = provider.pattern_table(group)
+        # Summing pi[(i, s)] over s gives p(i clear, others anything) = p(i).
+        for ue in group:
+            total = sum(p for (member, _), p in table.items() if member == ue)
+            assert total == pytest.approx(testbed8.access_probability(ue))
+
+    def test_joint_probability_api(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        value = provider.joint_probability([0, 1], [2])
+        expected = testbed8.joint_access_probability([0, 1], [2])
+        assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_joint_probability_overlap_rejected(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        with pytest.raises(TopologyError):
+            provider.joint_probability([0], [0])
+
+    def test_caching_returns_same_object(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        group = frozenset({0, 1})
+        assert provider.pattern_distribution(group) is provider.pattern_distribution(
+            group
+        )
+
+    def test_empty_group(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        assert provider.pattern_distribution(frozenset()) == {frozenset(): 1.0}
+
+
+class TestEmpiricalJointProvider:
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(TopologyError):
+            EmpiricalJointProvider(np.zeros((0, 3), dtype=bool))
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(TopologyError):
+            EmpiricalJointProvider(np.zeros(5, dtype=bool))
+
+    def test_access_probability_counts(self):
+        matrix = np.array([[1, 0], [1, 1], [0, 0], [1, 0]], dtype=bool)
+        provider = EmpiricalJointProvider(matrix)
+        assert provider.access_probability(0) == pytest.approx(0.75)
+        assert provider.access_probability(1) == pytest.approx(0.25)
+
+    def test_unknown_ue_rejected(self):
+        provider = EmpiricalJointProvider(np.ones((4, 2), dtype=bool))
+        with pytest.raises(TopologyError):
+            provider.access_probability(5)
+        with pytest.raises(TopologyError):
+            provider.pattern_distribution(frozenset({0, 9}))
+
+    def test_pattern_distribution_exact_counts(self):
+        matrix = np.array([[1, 1], [1, 0], [0, 0], [1, 0]], dtype=bool)
+        provider = EmpiricalJointProvider(matrix)
+        distribution = provider.pattern_distribution(frozenset({0, 1}))
+        assert distribution[frozenset({0, 1})] == pytest.approx(0.25)
+        assert distribution[frozenset({0})] == pytest.approx(0.5)
+        assert distribution[frozenset()] == pytest.approx(0.25)
+        assert frozenset({1}) not in distribution
+
+    def test_converges_to_topology_provider(self, rng):
+        topology = make_testbed_topology(num_ues=5, hts_per_ue=1, activity=0.4, seed=2)
+        matrix = simulate_clear_matrix(topology, 120_000, rng)
+        empirical = EmpiricalJointProvider(matrix)
+        exact = TopologyJointProvider(topology)
+        group = frozenset({0, 2, 4})
+        exact_distribution = exact.pattern_distribution(group)
+        empirical_distribution = empirical.pattern_distribution(group)
+        for pattern, probability in exact_distribution.items():
+            assert empirical_distribution.get(pattern, 0.0) == pytest.approx(
+                probability, abs=0.01
+            )
+
+    def test_captures_anticorrelation_topology_cannot(self):
+        # Alternating clears: P(both clear) = 0 even though marginals are .5.
+        matrix = np.array([[1, 0], [0, 1]] * 100, dtype=bool)
+        provider = EmpiricalJointProvider(matrix)
+        distribution = provider.pattern_distribution(frozenset({0, 1}))
+        assert frozenset({0, 1}) not in distribution
+        assert distribution[frozenset({0})] == pytest.approx(0.5)

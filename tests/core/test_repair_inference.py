@@ -1,0 +1,197 @@
+"""Tests for gradient repair, initializers, and the inference driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.blueprint.constraints import WorkingTopology
+from repro.core.blueprint.inference import BlueprintInference, InferenceConfig
+from repro.core.blueprint.initializers import (
+    diagonal_start,
+    pairwise_start,
+    peeling_start,
+    random_start,
+)
+from repro.core.blueprint.repair import repair
+from repro.core.blueprint.transform import TransformedMeasurements
+from repro.errors import InferenceError
+from repro.topology.generator import ScenarioConfig, generate_scenario
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+from repro.topology.scenarios import testbed_topology as make_testbed_topology
+
+
+def exact_target(topology, tolerance=1e-9):
+    n = topology.num_ues
+    return TransformedMeasurements.from_probabilities(
+        n,
+        {i: topology.access_probability(i) for i in range(n)},
+        {
+            (i, j): topology.pairwise_access_probability(i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+        },
+        default_tolerance=tolerance,
+    )
+
+
+class TestInitializers:
+    def test_peeling_recovers_exact_disjoint(self, fig1):
+        start = peeling_start(exact_target(fig1))
+        restored = start.to_interference_topology()
+        assert edge_set_accuracy(restored, fig1) == 1.0
+
+    def test_peeling_recovers_nested_cliques(self):
+        # HT A = {0,1,2}, HT B = {0,1}: the nesting case.
+        truth = InterferenceTopology.build(
+            3, [(0.3, [0, 1, 2]), (0.2, [0, 1])]
+        )
+        start = peeling_start(exact_target(truth))
+        assert edge_set_accuracy(start.to_interference_topology(), truth) == 1.0
+
+    def test_peeling_recovers_overlapping_cliques(self):
+        truth = InterferenceTopology.build(
+            4, [(0.35, [0, 1, 2]), (0.2, [1, 2, 3])]
+        )
+        start = peeling_start(exact_target(truth))
+        assert edge_set_accuracy(start.to_interference_topology(), truth) == 1.0
+
+    def test_peeling_handles_singletons(self):
+        truth = InterferenceTopology.build(3, [(0.3, [0]), (0.1, [2])])
+        start = peeling_start(exact_target(truth))
+        restored = start.to_interference_topology()
+        assert edge_set_accuracy(restored, truth) == 1.0
+
+    def test_diagonal_start_satisfies_individual(self, testbed8):
+        target = exact_target(testbed8)
+        start = diagonal_start(target)
+        violation = start.violation_matrix(target)
+        assert np.allclose(np.diag(violation), 0.0, atol=1e-9)
+
+    def test_pairwise_start_satisfies_pairwise(self, testbed8):
+        target = exact_target(testbed8)
+        start = pairwise_start(target)
+        violation = start.violation_matrix(target)
+        off_diagonal = violation[np.triu_indices(8, k=1)]
+        assert np.allclose(off_diagonal, 0.0, atol=1e-9)
+
+    def test_random_start_shape(self, testbed8, rng):
+        target = exact_target(testbed8)
+        start = random_start(target, num_terminals=5, rng=rng)
+        assert start.num_terminals == 5
+        assert (start.weights > 0).all()
+
+
+class TestRepair:
+    def test_exact_start_untouched(self, simple_topology):
+        from tests.core.test_constraints import working_from
+
+        target = exact_target(simple_topology)
+        result = repair(working_from(simple_topology), target)
+        assert result.satisfied
+        assert result.aggregate_violation == pytest.approx(0.0, abs=1e-9)
+
+    def test_repairs_perturbed_weight(self, simple_topology):
+        from tests.core.test_constraints import working_from
+
+        target = exact_target(simple_topology, tolerance=1e-6)
+        start = working_from(simple_topology)
+        start.set_weight(0, start.weights[0] * 1.5)
+        result = repair(start, target)
+        assert result.satisfied
+
+    def test_repairs_from_empty(self, simple_topology):
+        target = exact_target(simple_topology, tolerance=1e-6)
+        result = repair(WorkingTopology(3), target)
+        assert result.aggregate_violation < 1e-4
+        restored = result.topology.to_interference_topology()
+        assert edge_set_accuracy(restored, simple_topology) == 1.0
+
+    def test_never_worse_than_start(self, testbed8, rng):
+        target = exact_target(testbed8)
+        start = random_start(target, num_terminals=6, rng=rng)
+        initial = start.aggregate_violation(target)
+        result = repair(start, target, max_iterations=50)
+        assert result.aggregate_violation <= initial + 1e-9
+
+    def test_iteration_cap_respected(self, testbed8, rng):
+        target = exact_target(testbed8)
+        start = random_start(target, num_terminals=4, rng=rng)
+        result = repair(start, target, max_iterations=3)
+        assert result.iterations <= 3
+
+
+class TestBlueprintInference:
+    def test_exact_recovery_disjoint(self, fig1):
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(exact_target(fig1))
+        assert result.satisfied
+        assert edge_set_accuracy(result.topology, fig1) == 1.0
+        assert result.topology.num_terminals == 3
+
+    def test_exact_recovery_recovers_q(self, fig1):
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(exact_target(fig1))
+        for q in result.topology.q:
+            assert q == pytest.approx(0.3, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_exact_recovery_geometric_scenarios(self, seed):
+        scenario = generate_scenario(
+            ScenarioConfig(num_ues=8, num_wifi=16), seed=seed
+        )
+        if scenario.topology.num_terminals == 0:
+            pytest.skip("scenario drew no hidden terminals")
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(exact_target(scenario.topology))
+        assert edge_set_accuracy(result.topology, scenario.topology) == 1.0
+
+    def test_noisy_recovery_reasonable(self, rng):
+        truth = make_testbed_topology(num_ues=6, hts_per_ue=1, activity=0.4, seed=5)
+        n = 3000
+        clear = np.ones((n, 6), dtype=bool)
+        for q, ues in zip(truth.q, truth.edges):
+            busy = rng.random(n) < q
+            for ue in ues:
+                clear[busy, ue] = False
+        from repro.core.measurement.estimator import AccessEstimator
+
+        estimator = AccessEstimator(6)
+        for t in range(n):
+            scheduled = set(range(6))
+            accessed = {u for u in scheduled if clear[t, u]}
+            estimator.record_subframe(scheduled, accessed)
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(estimator.to_transformed())
+        assert edge_set_accuracy(result.topology, truth) >= 0.8
+
+    def test_diagnostics_populated(self, fig1):
+        config = InferenceConfig(seed=0, num_random_starts=2)
+        result = BlueprintInference(config).infer(exact_target(fig1))
+        assert len(result.outcomes) == 5  # peeling + diagonal + pairwise + 2
+        assert result.winning_start
+        labels = {o.label for o in result.outcomes}
+        assert "peeling" in labels and "diagonal" in labels
+
+    def test_no_starts_rejected(self, fig1):
+        config = InferenceConfig(
+            num_random_starts=0,
+            use_peeling_start=False,
+            use_diagonal_start=False,
+            use_pairwise_start=False,
+        )
+        with pytest.raises(InferenceError):
+            BlueprintInference(config).infer(exact_target(fig1))
+
+    def test_interference_free_cell(self):
+        truth = InterferenceTopology.build(3, [])
+        result = BlueprintInference(InferenceConfig(seed=0)).infer(
+            exact_target(truth)
+        )
+        assert result.topology.num_terminals == 0
+        assert result.satisfied
+
+    def test_prefers_fewer_terminals_on_tie(self, simple_topology):
+        # Canonical minimal blueprint should win over inflated ones.
+        result = BlueprintInference(InferenceConfig(seed=1)).infer(
+            exact_target(simple_topology)
+        )
+        assert result.topology.num_terminals == 2

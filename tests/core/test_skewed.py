@@ -1,0 +1,77 @@
+"""Section 3.5: skewed topologies and the triplet remedy.
+
+When hidden terminals outnumber clients, multiple blueprints can satisfy
+the pair-wise statistics.  These tests check (a) BLU still produces a
+statistically *equivalent* topology in that regime (so scheduling barely
+degrades), and (b) adding triplet constraints strictly reduces ambiguity.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.blueprint.inference import BlueprintInference, InferenceConfig
+from repro.topology.graph import (
+    InterferenceTopology,
+    edge_set_accuracy,
+    statistically_equivalent,
+)
+from repro.topology.scenarios import skewed_topology
+from tests.core.test_triplet_constraints import full_target
+
+
+
+
+
+class TestSkewedRegime:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pairwise_inference_statistically_equivalent(self, seed):
+        truth = skewed_topology(num_ues=4, num_terminals=9, seed=seed)
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(
+            full_target(truth, with_triplets=False)
+        )
+        # Exact edge recovery may be impossible (ambiguity); statistical
+        # equivalence must hold — that is what the scheduler consumes.
+        assert statistically_equivalent(result.topology, truth, tolerance=1e-3)
+
+    def test_ambiguous_case_resolved_by_triplets(self):
+        """The canonical ambiguity: one 3-edge terminal vs three 2-edge
+        terminals with matched masses produce identical pair-wise stats
+        only if the pairwise masses match — but triple-clear probabilities
+        differ.  With triplet constraints the solver must pick the truth."""
+        truth = InterferenceTopology.build(3, [(0.4, [0, 1, 2])])
+        inference = BlueprintInference(InferenceConfig(seed=0))
+
+        with_triplets = inference.infer(full_target(truth, with_triplets=True))
+        assert edge_set_accuracy(with_triplets.topology, truth) == 1.0
+        # The triple-clear probability is reproduced exactly.
+        assert with_triplets.topology.clear_probability((0, 1, 2)) == (
+            pytest.approx(truth.clear_probability((0, 1, 2)), abs=1e-6)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_triplets_never_hurt_accuracy(self, seed):
+        truth = skewed_topology(num_ues=5, num_terminals=8, seed=seed)
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        plain = inference.infer(full_target(truth, with_triplets=False))
+        augmented = inference.infer(full_target(truth, with_triplets=True))
+        plain_acc = edge_set_accuracy(plain.topology, truth)
+        augmented_acc = edge_set_accuracy(augmented.topology, truth)
+        assert augmented_acc >= plain_acc - 0.15
+
+    def test_triplets_improve_aggregate_accuracy(self):
+        """Across a batch of skewed draws, triplet augmentation should give
+        at least as good mean structural accuracy as pair-wise only."""
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        plain_scores, augmented_scores = [], []
+        for seed in range(10):
+            truth = skewed_topology(num_ues=4, num_terminals=8, seed=seed)
+            plain = inference.infer(full_target(truth, with_triplets=False))
+            augmented = inference.infer(full_target(truth, with_triplets=True))
+            plain_scores.append(edge_set_accuracy(plain.topology, truth))
+            augmented_scores.append(
+                edge_set_accuracy(augmented.topology, truth)
+            )
+        assert np.mean(augmented_scores) >= np.mean(plain_scores)

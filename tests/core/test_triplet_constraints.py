@@ -1,0 +1,208 @@
+"""Tests for the Section 3.5 extension: triplet-augmented inference.
+
+The paper: in skewed topologies (more hidden terminals than clients),
+multiple topologies satisfy the pair-wise statistics; triplet joint
+distributions "can provide additional constraints, which will significantly
+reduce the number of feasible topologies".
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.blueprint.constraints import WorkingTopology
+from repro.core.blueprint.inference import BlueprintInference, InferenceConfig
+from repro.core.blueprint.transform import (
+    TransformedMeasurements,
+    forward_transform_q,
+    transform_triplet,
+)
+from repro.core.measurement.estimator import AccessEstimator
+from repro.errors import MeasurementError
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+
+
+def topology_probabilities(topology):
+    n = topology.num_ues
+    p_ind = {i: topology.access_probability(i) for i in range(n)}
+    p_pair = {
+        (i, j): topology.pairwise_access_probability(i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    }
+    p_triple = {
+        (i, j, k): topology.clear_probability((i, j, k))
+        for i in range(n)
+        for j in range(i + 1, n)
+        for k in range(j + 1, n)
+    }
+    return p_ind, p_pair, p_triple
+
+
+def full_target(topology, tolerance=1e-9, with_triplets=True):
+    from repro.core.blueprint.transform import (
+        transform_individual,
+        transform_pairwise,
+    )
+
+    p_ind, p_pair, p_triple = topology_probabilities(topology)
+    n = topology.num_ues
+    individual = {i: transform_individual(p_ind[i]) for i in range(n)}
+    pairwise = {
+        key: transform_pairwise(p_ind[key[0]], p_ind[key[1]], value)
+        for key, value in p_pair.items()
+    }
+    triplet = None
+    if with_triplets:
+        triplet = {
+            (i, j, k): transform_triplet(
+                p_ind[i], p_ind[j], p_ind[k],
+                p_pair[(i, j)], p_pair[(i, k)], p_pair[(j, k)],
+                value,
+            )
+            for (i, j, k), value in p_triple.items()
+        }
+    return TransformedMeasurements(
+        n, individual, pairwise,
+        default_tolerance=tolerance, triplet=triplet,
+    )
+
+
+class TestTransformTriplet:
+    def test_no_triple_shared_terminal_is_zero(self):
+        # Three clients with pairwise-only sharing: T = 0.
+        topology = InterferenceTopology.build(
+            3, [(0.3, [0, 1]), (0.2, [1, 2]), (0.25, [0, 2])]
+        )
+        p_ind, p_pair, p_triple = topology_probabilities(topology)
+        value = transform_triplet(
+            p_ind[0], p_ind[1], p_ind[2],
+            p_pair[(0, 1)], p_pair[(0, 2)], p_pair[(1, 2)],
+            p_triple[(0, 1, 2)],
+        )
+        assert value == pytest.approx(0.0, abs=1e-12)
+
+    def test_triple_shared_terminal_recovered(self):
+        topology = InterferenceTopology.build(3, [(0.4, [0, 1, 2])])
+        p_ind, p_pair, p_triple = topology_probabilities(topology)
+        value = transform_triplet(
+            p_ind[0], p_ind[1], p_ind[2],
+            p_pair[(0, 1)], p_pair[(0, 2)], p_pair[(1, 2)],
+            p_triple[(0, 1, 2)],
+        )
+        assert value == pytest.approx(forward_transform_q(0.4))
+
+    def test_mixed_topology(self):
+        topology = InterferenceTopology.build(
+            3, [(0.4, [0, 1, 2]), (0.2, [0, 1]), (0.1, [2])]
+        )
+        p_ind, p_pair, p_triple = topology_probabilities(topology)
+        value = transform_triplet(
+            p_ind[0], p_ind[1], p_ind[2],
+            p_pair[(0, 1)], p_pair[(0, 2)], p_pair[(1, 2)],
+            p_triple[(0, 1, 2)],
+        )
+        assert value == pytest.approx(forward_transform_q(0.4))
+
+
+class TestTripletConstraints:
+    def test_working_topology_triplet_contribution(self):
+        working = WorkingTopology.from_terminals(
+            3, [(0.5, {0, 1, 2}), (0.3, {0, 1})]
+        )
+        assert working.triplet_contribution(0, 1, 2) == pytest.approx(0.5)
+
+    def test_exact_topology_satisfies_triplets(self):
+        topology = InterferenceTopology.build(
+            4, [(0.4, [0, 1, 2]), (0.2, [1, 2, 3])]
+        )
+        target = full_target(topology)
+        working = WorkingTopology.from_terminals(
+            4,
+            [
+                (forward_transform_q(q), set(ues))
+                for q, ues in zip(topology.q, topology.edges)
+            ],
+        )
+        assert working.aggregate_violation(target) == pytest.approx(0.0, abs=1e-9)
+        assert working.is_satisfied(target)
+
+    def test_triplet_violation_reported(self):
+        topology = InterferenceTopology.build(3, [(0.4, [0, 1, 2])])
+        target = full_target(topology)
+        # A pairwise-equivalent decoy: cannot satisfy the triplet constraint
+        # together with the others.
+        working = WorkingTopology(3)
+        violations = working.violations(target)
+        kinds = {v.kind for v in violations}
+        assert "triplet" in kinds
+
+    def test_malformed_triplet_key_rejected(self):
+        with pytest.raises(MeasurementError):
+            TransformedMeasurements(
+                3,
+                {0: 0.1, 1: 0.1, 2: 0.1},
+                {(0, 1): 0.0, (0, 2): 0.0, (1, 2): 0.0},
+                triplet={(1, 0, 2): 0.1},
+            )
+
+
+class TestTripletAugmentedInference:
+    def test_triplets_preserve_easy_recovery(self, fig1):
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(full_target(fig1))
+        assert edge_set_accuracy(result.topology, fig1) == 1.0
+
+    def test_triplets_reproduce_triple_statistics(self):
+        # With triplet constraints the inferred blueprint must reproduce
+        # three-way clear probabilities, not only pair-wise ones.
+        topology = InterferenceTopology.build(
+            4, [(0.35, [0, 1, 2]), (0.25, [1, 2, 3]), (0.15, [0, 3])]
+        )
+        inference = BlueprintInference(InferenceConfig(seed=0))
+        result = inference.infer(full_target(topology))
+        for triple in [(0, 1, 2), (1, 2, 3), (0, 1, 3), (0, 2, 3)]:
+            assert result.topology.clear_probability(triple) == pytest.approx(
+                topology.clear_probability(triple), abs=1e-3
+            )
+
+
+class TestEstimatorTriplets:
+    def test_tracking_disabled_by_default(self):
+        estimator = AccessEstimator(3)
+        estimator.record_subframe({0, 1, 2}, {0, 1, 2})
+        assert estimator.triple_samples(0, 1, 2) == 0
+        with pytest.raises(MeasurementError):
+            estimator.to_transformed(include_triplets=True)
+
+    def test_tracking_counts(self):
+        estimator = AccessEstimator(3, track_triplets=True)
+        estimator.record_subframe({0, 1, 2}, {0, 1, 2})
+        estimator.record_subframe({0, 1, 2}, {0, 1})
+        assert estimator.triple_samples(0, 1, 2) == 2
+        assert estimator.p_triplet(0, 1, 2) == pytest.approx(0.5)
+
+    def test_to_transformed_with_triplets(self, rng):
+        topology = InterferenceTopology.build(3, [(0.4, [0, 1, 2])])
+        estimator = AccessEstimator(3, track_triplets=True)
+        for _ in range(4000):
+            busy = rng.random() < 0.4
+            accessed = set() if busy else {0, 1, 2}
+            estimator.record_subframe({0, 1, 2}, accessed)
+        target = estimator.to_transformed(
+            include_triplets=True, min_triple_samples=100
+        )
+        assert (0, 1, 2) in target.triplet
+        assert target.triplet[(0, 1, 2)] == pytest.approx(
+            forward_transform_q(0.4), abs=0.1
+        )
+
+    def test_min_samples_filter(self):
+        estimator = AccessEstimator(3, track_triplets=True)
+        for _ in range(10):
+            estimator.record_subframe({0, 1, 2}, {0, 1, 2})
+        target = estimator.to_transformed(
+            include_triplets=True, min_triple_samples=50
+        )
+        assert target.triplet == {}

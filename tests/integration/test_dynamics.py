@@ -1,0 +1,164 @@
+"""Integration: tracking topology dynamics (Sections 3.5 / 3.7).
+
+The paper argues BLU's measurement + inference loop operates well inside
+the stationarity window of topology dynamics (tens of seconds), and that
+after the first run the speculative phase keeps feeding the estimator so
+re-inference tracks changes.  Here the hidden-terminal topology flips
+mid-experiment; a controller with a re-inference interval must converge to
+the new blueprint, while a frozen controller keeps the stale one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blueprint.inference import InferenceConfig
+from repro.core.controller import BLUConfig, BLUController, BLUPhase
+from repro.core.measurement.classifier import AccessObservation
+from repro.core.measurement.estimator import AccessEstimator
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+from tests.conftest import make_context
+
+
+def observation(subframe, scheduled, accessed):
+    scheduled = frozenset(scheduled)
+    accessed = frozenset(accessed)
+    return AccessObservation(
+        subframe=subframe,
+        scheduled=scheduled,
+        accessed=accessed,
+        blocked=scheduled - accessed,
+        collided=frozenset(),
+        faded=frozenset(),
+        decoded=accessed,
+    )
+
+
+def drive(controller, truth, rng, subframes, num_ues=4):
+    """Feed ``subframes`` of scheduling + observation under ``truth``.
+
+    PF averages are randomized per subframe so fairness pressure rotates
+    every client through the schedule (as a live tracker would), keeping
+    all clients observable in the speculative phase.
+    """
+    for t in range(subframes):
+        avgs = [float(rng.uniform(1e4, 1e6)) for _ in range(num_ues)]
+        context = make_context(num_ues=num_ues, num_rbs=4, avg_bps=avgs)
+        schedule = controller.schedule(context)
+        scheduled = set(schedule.scheduled_ues())
+        busy = {
+            ue
+            for q, ues in zip(truth.q, truth.edges)
+            if rng.random() < q
+            for ue in ues
+        }
+        controller.observe(observation(t, scheduled, scheduled - busy))
+
+
+TRUTH_A = InterferenceTopology.build(
+    4, [(0.5, [0]), (0.5, [1])]
+)  # terminals on UEs 0, 1
+TRUTH_B = InterferenceTopology.build(
+    4, [(0.5, [2]), (0.5, [3])]
+)  # the interferers moved: now UEs 2, 3
+
+
+class TestDynamicsTracking:
+    def build(self, reinfer_interval):
+        return BLUController(
+            4,
+            BLUConfig(
+                samples_per_pair=150,
+                measurement_k=4,
+                reinfer_interval=reinfer_interval,
+                inference=InferenceConfig(seed=0),
+            ),
+        )
+
+    def test_reinference_tracks_moved_interferers(self, rng):
+        controller = self.build(reinfer_interval=400)
+        drive(controller, TRUTH_A, rng, 600)
+        assert controller.phase is BLUPhase.SPECULATIVE
+        assert edge_set_accuracy(controller.inferred_topology, TRUTH_A) == 1.0
+
+        # The world changes; keep operating long enough that fresh samples
+        # dominate the estimator, then check the blueprint followed.
+        drive(controller, TRUTH_B, rng, 8000)
+        inferred = controller.inferred_topology
+        # The new blueprint must silence UEs 2/3 far more than UEs 0/1.
+        assert inferred.access_probability(0) > 0.75
+        assert inferred.access_probability(1) > 0.75
+        assert inferred.access_probability(2) < 0.75
+        assert inferred.access_probability(3) < 0.75
+
+    def test_frozen_controller_keeps_stale_blueprint(self, rng):
+        controller = self.build(reinfer_interval=0)  # never re-infer
+        drive(controller, TRUTH_A, rng, 600)
+        before = controller.inference_result
+        drive(controller, TRUTH_B, rng, 2000)
+        assert controller.inference_result is before
+
+    def test_estimator_keeps_accumulating_through_change(self, rng):
+        controller = self.build(reinfer_interval=500)
+        drive(controller, TRUTH_A, rng, 600)
+        seen = controller.estimator.subframes_observed
+        drive(controller, TRUTH_B, rng, 500)
+        assert controller.estimator.subframes_observed == seen + 500
+
+
+class TestWindowedEstimation:
+    def test_mixed_statistics_average_both_regimes(self, rng):
+        """A cumulative estimator spanning a topology change converges to a
+        mixture — quantifying why re-inference intervals should sit inside
+        the stationarity window."""
+        estimator = AccessEstimator(2)
+        scheduled = {0, 1}
+        for _ in range(5000):  # regime A: UE0 blocked half the time
+            blocked = {0} if rng.random() < 0.5 else set()
+            estimator.record_subframe(scheduled, scheduled - blocked)
+        for _ in range(5000):  # regime B: UE0 clean
+            estimator.record_subframe(scheduled, scheduled)
+        assert estimator.p_individual(0) == pytest.approx(0.75, abs=0.02)
+
+
+class TestDecayedEstimation:
+    def test_decay_forgets_old_regime(self, rng):
+        """With exponential forgetting the estimate converges to the new
+        regime instead of the historical mixture."""
+        estimator = AccessEstimator(2, decay=0.999)  # ~1000-subframe window
+        scheduled = {0, 1}
+        for _ in range(5000):  # regime A: UE0 blocked half the time
+            blocked = {0} if rng.random() < 0.5 else set()
+            estimator.record_subframe(scheduled, scheduled - blocked)
+        for _ in range(5000):  # regime B: UE0 clean
+            estimator.record_subframe(scheduled, scheduled)
+        assert estimator.p_individual(0) > 0.97
+
+    def test_decayed_controller_tracks_faster(self, rng):
+        from repro.core.blueprint.inference import InferenceConfig
+
+        controller = BLUController(
+            4,
+            BLUConfig(
+                samples_per_pair=150,
+                measurement_k=4,
+                reinfer_interval=400,
+                estimator_decay=0.998,
+                inference=InferenceConfig(seed=0),
+            ),
+        )
+        drive(controller, TRUTH_A, rng, 600)
+        # Far fewer post-change subframes than the cumulative test needs.
+        drive(controller, TRUTH_B, rng, 2500)
+        inferred = controller.inferred_topology
+        assert inferred.access_probability(0) > 0.8
+        assert inferred.access_probability(2) < 0.7
+
+    def test_invalid_decay_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import MeasurementError
+
+        with _pytest.raises(MeasurementError):
+            AccessEstimator(2, decay=0.0)
+        with _pytest.raises(MeasurementError):
+            AccessEstimator(2, decay=1.5)

@@ -1,0 +1,123 @@
+"""Integration: driving the LTE cell from the actual WiFi CSMA substrate.
+
+Instead of analytic activity processes, the hidden terminals here are real
+:class:`~repro.spectrum.wifi.WiFiNode` objects contending via CSMA/CA; the
+recorded busy traces are replayed into the cell through
+:class:`~repro.spectrum.activity.TraceActivity`.  This exercises the full
+chain the paper's testbed used: WiFi MAC -> occupancy -> UE CCA ->
+estimation -> inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlueprintInference,
+    InferenceConfig,
+    ProportionalFairScheduler,
+    SimulationConfig,
+    CellSimulation,
+)
+from repro.core.measurement.estimator import AccessEstimator
+from repro.spectrum.activity import TraceActivity
+from repro.spectrum.wifi import TrafficProfile, WiFiContentionSimulator, WiFiNode
+from repro.topology.graph import InterferenceTopology
+
+
+@pytest.fixture(scope="module")
+def wifi_traces():
+    """Three WiFi senders: 0 and 1 mutually audible, 2 hidden from both."""
+    nodes = [
+        WiFiNode(
+            node_id=i,
+            traffic=TrafficProfile(saturated=False, arrival_rate=0.08,
+                                   payload_bytes=3000),
+            snr_to_receiver_db=28.0,
+            rng=np.random.default_rng(100 + i),
+        )
+        for i in range(3)
+    ]
+    audible = {
+        0: frozenset({1}),
+        1: frozenset({0}),
+        2: frozenset(),
+    }
+    simulator = WiFiContentionSimulator(
+        nodes, audible, rng=np.random.default_rng(7)
+    )
+    return simulator.activity_trace(30_000)
+
+
+class TestWiFiTraceStatistics:
+    def test_contenders_share_airtime(self, wifi_traces):
+        overlap = (wifi_traces[0] & wifi_traces[1]).mean()
+        # Contenders may overlap only via in-flight continuation edge cases;
+        # their overlap must be far below the independent-product level.
+        independent = wifi_traces[0].mean() * wifi_traces[1].mean()
+        assert overlap < 0.35 * independent + 1e-3
+
+    def test_hidden_node_overlaps_freely(self, wifi_traces):
+        overlap = (wifi_traces[0] & wifi_traces[2]).mean()
+        independent = wifi_traces[0].mean() * wifi_traces[2].mean()
+        assert overlap > 0.5 * independent
+
+    def test_airtime_is_meaningful(self, wifi_traces):
+        for node_id, trace in wifi_traces.items():
+            assert 0.02 < trace.mean() < 0.95
+
+
+class TestWiFiDrivenCell:
+    def build(self, wifi_traces, scheduler):
+        # UE0 hears WiFi node 0, UE1 hears node 1, UE2 hears node 2.
+        topology = InterferenceTopology.build(
+            3,
+            [
+                (float(wifi_traces[k].mean()), [k])
+                for k in range(3)
+            ],
+        )
+        processes = [TraceActivity(wifi_traces[k]) for k in range(3)]
+        return topology, CellSimulation(
+            topology,
+            {u: 25.0 for u in range(3)},
+            scheduler,
+            SimulationConfig(num_subframes=3000, num_rbs=3),
+            activity_processes=processes,
+            seed=5,
+        )
+
+    def test_cell_runs_on_wifi_traces(self, wifi_traces):
+        _, simulation = self.build(wifi_traces, ProportionalFairScheduler())
+        result = simulation.run()
+        assert result.ul_subframes > 0
+        assert result.grants_blocked > 0  # WiFi really silences UEs
+
+    def test_estimation_recovers_wifi_marginals(self, wifi_traces):
+        topology = InterferenceTopology.build(
+            3, [(float(wifi_traces[k].mean()), [k]) for k in range(3)]
+        )
+        estimator = AccessEstimator(3)
+        scheduled = {0, 1, 2}
+        length = len(wifi_traces[0])
+        for t in range(length):
+            busy_ues = {k for k in range(3) if wifi_traces[k][t]}
+            estimator.record_subframe(scheduled, scheduled - busy_ues)
+        for ue in range(3):
+            assert estimator.p_individual(ue) == pytest.approx(
+                topology.access_probability(ue), abs=0.02
+            )
+
+    def test_inference_on_wifi_driven_statistics(self, wifi_traces):
+        estimator = AccessEstimator(3)
+        scheduled = {0, 1, 2}
+        for t in range(len(wifi_traces[0])):
+            busy_ues = {k for k in range(3) if wifi_traces[k][t]}
+            estimator.record_subframe(scheduled, scheduled - busy_ues)
+        result = BlueprintInference(InferenceConfig(seed=0)).infer(
+            estimator.to_transformed()
+        )
+        # Three disjoint single-client terminals (contention-induced
+        # anti-correlation clamps to zero shared mass, so the structure
+        # is exactly recoverable).
+        edges = sorted(tuple(sorted(e)) for e in result.topology.edges)
+        assert edges == [(0,), (1,), (2,)]

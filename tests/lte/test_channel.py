@@ -1,0 +1,104 @@
+"""Tests for path loss and fading channel models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lte.channel import FadingProcess, PathLossModel, UplinkChannel
+
+
+class TestPathLossModel:
+    def test_reference_distance_loss(self):
+        model = PathLossModel(exponent=3.0, pl0_db=40.0, d0_m=1.0)
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_decade_slope(self):
+        model = PathLossModel(exponent=3.0, pl0_db=40.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_below_reference_clamped(self):
+        model = PathLossModel()
+        assert model.loss_db(0.1) == model.loss_db(1.0)
+
+    def test_rx_power(self):
+        model = PathLossModel(exponent=3.0, pl0_db=40.0)
+        assert model.rx_power_dbm(20.0, 10.0) == pytest.approx(20.0 - 70.0)
+
+
+class TestFadingProcess:
+    def test_rejects_bad_coherence(self):
+        with pytest.raises(ConfigurationError):
+            FadingProcess(num_rbs=4, doppler_coherence=1.0)
+        with pytest.raises(ConfigurationError):
+            FadingProcess(num_rbs=4, doppler_coherence=-0.1)
+
+    def test_rejects_bad_rb_count(self):
+        with pytest.raises(ConfigurationError):
+            FadingProcess(num_rbs=0)
+
+    def test_gain_shape(self, rng):
+        process = FadingProcess(num_rbs=7, rng=rng)
+        assert process.step().shape == (7,)
+
+    def test_gains_positive(self, rng):
+        process = FadingProcess(num_rbs=4, rng=rng)
+        for _ in range(50):
+            assert (process.step() > 0).all()
+
+    def test_unit_mean_power(self, rng):
+        # Rayleigh power gains must average to ~1 (no energy creation).
+        process = FadingProcess(num_rbs=16, doppler_coherence=0.0, rng=rng)
+        samples = np.concatenate([process.step() for _ in range(2000)])
+        assert samples.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_temporal_correlation_orders(self, rng):
+        # High-coherence fading must vary less step-to-step than iid fading.
+        slow = FadingProcess(num_rbs=64, doppler_coherence=0.99, rng=np.random.default_rng(0))
+        fast = FadingProcess(num_rbs=64, doppler_coherence=0.0, rng=np.random.default_rng(0))
+
+        def mean_step_change(process):
+            previous = process.step()
+            deltas = []
+            for _ in range(300):
+                current = process.step()
+                deltas.append(np.abs(current - previous).mean())
+                previous = current
+            return np.mean(deltas)
+
+        assert mean_step_change(slow) < mean_step_change(fast) / 2
+
+
+class TestUplinkChannel:
+    def test_mean_snr(self, rng):
+        channel = UplinkChannel(
+            mean_rx_power_dbm=-70.0, num_rbs=4, noise_floor_dbm=-95.0, rng=rng
+        )
+        assert channel.mean_snr_db() == pytest.approx(25.0)
+
+    def test_sinr_fluctuates_around_mean(self):
+        channel = UplinkChannel(
+            mean_rx_power_dbm=-70.0,
+            num_rbs=32,
+            noise_floor_dbm=-95.0,
+            doppler_coherence=0.0,
+            rng=np.random.default_rng(1),
+        )
+        sinrs = np.concatenate([channel.step() for _ in range(1000)])
+        # Average linear gain 1 => mean dB offset is -2.5 dB (E[log] < log E);
+        # accept a generous band around the nominal 25 dB.
+        assert 20.0 < np.median(sinrs) < 26.0
+
+    def test_rates_match_sinr(self, rng):
+        from repro.lte import mcs
+
+        channel = UplinkChannel(mean_rx_power_dbm=-70.0, num_rbs=3, rng=rng)
+        channel.step()
+        rates = channel.rates_bps()
+        expected = [mcs.rb_rate_bps(s) for s in channel.sinr_db]
+        assert np.allclose(rates, expected)
+
+    def test_step_advances_state(self, rng):
+        channel = UplinkChannel(mean_rx_power_dbm=-70.0, num_rbs=4, rng=rng)
+        before = channel.sinr_db.copy()
+        channel.step()
+        assert not np.allclose(before, channel.sinr_db)

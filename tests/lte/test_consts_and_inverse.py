@@ -1,0 +1,64 @@
+"""Sanity tests for frame constants and the rate->SINR inverse."""
+
+import numpy as np
+import pytest
+
+from repro.lte import consts, mcs
+
+
+class TestConsts:
+    def test_rb_bandwidth(self):
+        assert consts.RB_BANDWIDTH_HZ == 180_000
+
+    def test_data_res_per_rb(self):
+        # 12 subcarriers x (14 - 2 DMRS) symbols.
+        assert consts.DATA_RE_PER_RB == 144
+
+    def test_subframe_timing(self):
+        assert consts.SUBFRAME_DURATION_S * consts.SUBFRAMES_PER_SECOND == 1.0
+
+    def test_carrier_rb_counts(self):
+        assert consts.RBS_10MHZ == 50
+        assert consts.RBS_20MHZ == 100
+
+    def test_sensing_thresholds_ordered(self):
+        # Preamble sensing is more sensitive than energy detection.
+        assert consts.WIFI_CS_THRESHOLD_DBM < consts.ED_THRESHOLD_DBM_LOW
+        assert consts.ED_THRESHOLD_DBM_LOW < consts.ED_THRESHOLD_DBM_HIGH
+
+    def test_txop_bounds(self):
+        assert 1 <= consts.TXOP_MIN_SUBFRAMES < consts.TXOP_MAX_SUBFRAMES
+
+
+class TestMinSinrForRate:
+    def test_inverse_of_rate_model(self):
+        for sinr in np.linspace(-8.0, 17.0, 30):
+            rate = mcs.rb_rate_bps(float(sinr))
+            if rate == 0.0:
+                continue
+            threshold = mcs.min_sinr_db_for_rate(rate)
+            # The threshold sustains the rate, and 0.2 dB below it does not
+            # sustain more than the rate (tightness).
+            assert mcs.rb_rate_bps(threshold) >= rate
+            assert threshold <= sinr + 1e-9
+
+    def test_monotone(self):
+        rates = [1e4, 1e5, 3e5, 6e5]
+        thresholds = [mcs.min_sinr_db_for_rate(r) for r in rates]
+        assert all(a <= b for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mcs.min_sinr_db_for_rate(0.0)
+        with pytest.raises(ValueError):
+            mcs.min_sinr_db_for_rate(-10.0)
+
+    def test_rejects_unreachable_rate(self):
+        top = mcs.rb_rate_bps(40.0)
+        with pytest.raises(ValueError):
+            mcs.min_sinr_db_for_rate(top * 1.01)
+
+    def test_top_rate_reachable(self):
+        top = mcs.rb_rate_bps(40.0)
+        threshold = mcs.min_sinr_db_for_rate(top)
+        assert mcs.rb_rate_bps(threshold) == pytest.approx(top)

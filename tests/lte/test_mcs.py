@@ -1,0 +1,83 @@
+"""Tests for the CQI/MCS rate model."""
+
+import numpy as np
+import pytest
+
+from repro.lte import consts, mcs
+
+
+class TestCqiTable:
+    def test_sixteen_entries(self):
+        assert len(mcs.CQI_TABLE) == 16
+
+    def test_index_matches_position(self):
+        for position, entry in enumerate(mcs.CQI_TABLE):
+            assert entry.index == position
+
+    def test_efficiency_monotone_in_cqi(self):
+        efficiencies = [e.efficiency for e in mcs.CQI_TABLE]
+        assert all(a < b for a, b in zip(efficiencies, efficiencies[1:]))
+
+    def test_cqi_zero_carries_nothing(self):
+        assert mcs.CQI_TABLE[0].efficiency == 0.0
+
+    def test_cqi15_is_64qam_948(self):
+        top = mcs.CQI_TABLE[15]
+        assert top.modulation == "64QAM"
+        assert top.efficiency == pytest.approx(6 * 948 / 1024)
+
+
+class TestSinrToCqi:
+    def test_very_low_sinr_gives_zero(self):
+        assert mcs.sinr_to_cqi(-20.0) == 0
+
+    def test_very_high_sinr_gives_fifteen(self):
+        assert mcs.sinr_to_cqi(40.0) == 15
+
+    def test_monotone_in_sinr(self):
+        cqis = [mcs.sinr_to_cqi(s) for s in np.linspace(-10, 35, 200)]
+        assert all(a <= b for a, b in zip(cqis, cqis[1:]))
+
+    def test_threshold_boundary(self):
+        # Exactly at the derived CQI-1 threshold the CQI is granted; just
+        # below it is not.
+        threshold = mcs._CQI_SINR_THRESHOLDS_DB[0]
+        assert mcs.sinr_to_cqi(threshold) == 1
+        assert mcs.sinr_to_cqi(threshold - 0.01) == 0
+
+    def test_thresholds_monotone(self):
+        thresholds = mcs._CQI_SINR_THRESHOLDS_DB
+        assert all(a < b for a, b in zip(thresholds, thresholds[1:]))
+
+
+class TestEfficiencyAndRates:
+    def test_cqi_to_efficiency_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            mcs.cqi_to_efficiency(16)
+        with pytest.raises(ValueError):
+            mcs.cqi_to_efficiency(-1)
+
+    def test_rb_rate_zero_below_range(self):
+        assert mcs.rb_rate_bps(-20.0) == 0.0
+
+    def test_rb_rate_positive_at_working_snr(self):
+        assert mcs.rb_rate_bps(20.0) > 0.0
+
+    def test_rb_rate_monotone(self):
+        rates = [mcs.rb_rate_bps(s) for s in np.linspace(-10, 35, 100)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_rb_rate_units(self):
+        # At CQI 15 a 10 MHz RB carries eff * 144 REs per 1 ms.
+        expected = (6 * 948 / 1024) * consts.DATA_RE_PER_RB / 1e-3
+        assert mcs.rb_rate_bps(40.0) == pytest.approx(expected)
+
+    def test_cqi_rate_never_exceeds_shannon(self):
+        # CQI-model rate must respect channel capacity at every SINR.
+        for sinr in np.linspace(-5, 35, 80):
+            assert mcs.rb_rate_bps(sinr) <= mcs.shannon_rb_rate_bps(sinr, 1.0) + 1e-6
+
+    def test_shannon_rate_scales_with_efficiency_factor(self):
+        full = mcs.shannon_rb_rate_bps(20.0, 1.0)
+        half = mcs.shannon_rb_rate_bps(20.0, 0.5)
+        assert half == pytest.approx(full / 2)

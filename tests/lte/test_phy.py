@@ -1,0 +1,124 @@
+"""Tests for the uplink PHY reception rules (the <= M streams law)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lte.phy import (
+    GrantOutcome,
+    effective_rate_bps,
+    mumimo_sinr_penalty_db,
+    receive_rb,
+)
+from repro.lte.resources import RBSchedule, UplinkGrant
+
+
+def make_rb_schedule(ue_rates, rb=0):
+    schedule = RBSchedule(rb=rb)
+    for pilot, (ue, rate) in enumerate(ue_rates):
+        schedule.add(UplinkGrant(ue_id=ue, rb=rb, rate_bps=rate, pilot_index=pilot))
+    return schedule
+
+
+class TestMumimoPenalty:
+    def test_single_stream_free(self):
+        assert mumimo_sinr_penalty_db(1, 4) == pytest.approx(0.0)
+
+    def test_full_load_penalty(self):
+        # M streams at M antennas retain 1/M of the array.
+        assert mumimo_sinr_penalty_db(4, 4) == pytest.approx(-6.02, abs=0.01)
+
+    def test_monotone_in_streams(self):
+        penalties = [mumimo_sinr_penalty_db(s, 4) for s in range(1, 5)]
+        assert all(a > b for a, b in zip(penalties, penalties[1:]))
+
+    def test_too_many_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mumimo_sinr_penalty_db(3, 2)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mumimo_sinr_penalty_db(0, 2)
+
+    def test_effective_rate_decreases_with_streams(self):
+        r1 = effective_rate_bps(20.0, 1, 4)
+        r4 = effective_rate_bps(20.0, 4, 4)
+        assert r4 < r1
+
+
+class TestReceiveRb:
+    def test_blocked_when_not_transmitting(self):
+        schedule = make_rb_schedule([(0, 1e5)])
+        reception = receive_rb(schedule, [], {}, num_antennas=1)
+        assert reception.outcomes[0] is GrantOutcome.BLOCKED
+        assert not reception.utilized
+        assert reception.total_bits == 0.0
+
+    def test_decoded_single_stream(self):
+        schedule = make_rb_schedule([(0, 1e5)])
+        reception = receive_rb(schedule, [0], {0: 25.0}, num_antennas=1)
+        assert reception.outcomes[0] is GrantOutcome.DECODED
+        assert reception.utilized
+        assert reception.delivered_bits[0] == pytest.approx(1e5 * 1e-3)
+
+    def test_collision_beyond_antennas(self):
+        schedule = make_rb_schedule([(0, 1e5), (1, 1e5)])
+        reception = receive_rb(
+            schedule, [0, 1], {0: 25.0, 1: 25.0}, num_antennas=1
+        )
+        assert reception.outcomes[0] is GrantOutcome.COLLIDED
+        assert reception.outcomes[1] is GrantOutcome.COLLIDED
+        assert reception.total_bits == 0.0
+
+    def test_mumimo_resolves_within_antennas(self):
+        schedule = make_rb_schedule([(0, 1e5), (1, 1e5)])
+        reception = receive_rb(
+            schedule, [0, 1], {0: 25.0, 1: 25.0}, num_antennas=2
+        )
+        assert reception.outcomes[0] is GrantOutcome.DECODED
+        assert reception.outcomes[1] is GrantOutcome.DECODED
+
+    def test_overscheduled_mix_of_blocked_and_decoded(self):
+        # Three grants, one antenna, one transmitter: the speculative win.
+        schedule = make_rb_schedule([(0, 1e5), (1, 1e5), (2, 1e5)])
+        reception = receive_rb(schedule, [1], {1: 25.0}, num_antennas=1)
+        assert reception.outcomes[0] is GrantOutcome.BLOCKED
+        assert reception.outcomes[1] is GrantOutcome.DECODED
+        assert reception.outcomes[2] is GrantOutcome.BLOCKED
+        assert reception.utilized
+
+    def test_fading_outage_when_channel_dropped(self):
+        # Granted at a rate the current (collapsed) channel cannot carry.
+        schedule = make_rb_schedule([(0, 1e6)])
+        reception = receive_rb(schedule, [0], {0: -10.0}, num_antennas=1)
+        assert reception.outcomes[0] is GrantOutcome.FADED
+        assert reception.total_bits == 0.0
+
+    def test_pilot_observation_reflects_transmitters(self):
+        schedule = make_rb_schedule([(0, 1e5), (1, 1e5)])
+        reception = receive_rb(schedule, [1], {1: 25.0}, num_antennas=1)
+        assert reception.pilot_observation.detected_ues == frozenset({1})
+
+    def test_unknown_transmitter_rejected(self):
+        schedule = make_rb_schedule([(0, 1e5)])
+        with pytest.raises(ConfigurationError):
+            receive_rb(schedule, [5], {5: 25.0}, num_antennas=1)
+
+    def test_missing_sinr_rejected(self):
+        schedule = make_rb_schedule([(0, 1e5)])
+        with pytest.raises(ConfigurationError):
+            receive_rb(schedule, [0], {}, num_antennas=1)
+
+    def test_rate_scale_applied_to_achievable(self):
+        # A 5-RB-wide allocation can carry 5x the single-RB rate.
+        wide_rate = 4.9 * effective_rate_bps(20.0, 1, 1)
+        schedule = make_rb_schedule([(0, wide_rate)])
+        narrow = receive_rb(schedule, [0], {0: 20.0}, num_antennas=1)
+        assert narrow.outcomes[0] is GrantOutcome.FADED
+        wide = receive_rb(schedule, [0], {0: 20.0}, num_antennas=1, rate_scale=5.0)
+        assert wide.outcomes[0] is GrantOutcome.DECODED
+
+    def test_ues_with_helper(self):
+        schedule = make_rb_schedule([(0, 1e5), (1, 1e5), (2, 1e5)])
+        reception = receive_rb(schedule, [1], {1: 25.0}, num_antennas=1)
+        assert reception.ues_with(GrantOutcome.BLOCKED) == [0, 2]
+        assert reception.ues_with(GrantOutcome.DECODED) == [1]

@@ -1,0 +1,49 @@
+"""Tests for orthogonal pilot assignment and observation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.lte.pilots import (
+    MAX_ORTHOGONAL_PILOTS,
+    PilotObservation,
+    assign_pilot_indices,
+)
+
+
+class TestAssignPilotIndices:
+    def test_distinct_indices(self):
+        assignment = assign_pilot_indices([3, 1, 7])
+        assert sorted(assignment.values()) == [0, 1, 2]
+        assert set(assignment) == {1, 3, 7}
+
+    def test_capacity_limit(self):
+        with pytest.raises(SchedulingError):
+            assign_pilot_indices(list(range(MAX_ORTHOGONAL_PILOTS + 1)))
+
+    def test_exactly_at_capacity(self):
+        assignment = assign_pilot_indices(list(range(MAX_ORTHOGONAL_PILOTS)))
+        assert len(assignment) == MAX_ORTHOGONAL_PILOTS
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchedulingError):
+            assign_pilot_indices([1, 1])
+
+    def test_empty_ok(self):
+        assert assign_pilot_indices([]) == {}
+
+
+class TestPilotObservation:
+    def test_from_transmitters(self):
+        observation = PilotObservation.from_transmitters(2, [4, 1])
+        assert observation.rb == 2
+        assert observation.detected_ues == frozenset({1, 4})
+        assert observation.num_detected == 2
+
+    def test_silence(self):
+        observation = PilotObservation.from_transmitters(0, [])
+        assert observation.num_detected == 0
+
+    def test_immutable(self):
+        observation = PilotObservation.from_transmitters(0, [1])
+        with pytest.raises(AttributeError):
+            observation.rb = 5

@@ -1,0 +1,110 @@
+"""Tests for grants, RB schedules, subframe schedules, and TxOPs."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.lte.resources import RBSchedule, SubframeSchedule, TxOp, UplinkGrant
+
+
+class TestUplinkGrant:
+    def test_valid_grant(self):
+        grant = UplinkGrant(ue_id=1, rb=2, rate_bps=1e6, pilot_index=0)
+        assert grant.ue_id == 1
+        assert grant.rb == 2
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SchedulingError):
+            UplinkGrant(ue_id=0, rb=0, rate_bps=-1.0)
+
+    def test_negative_rb_rejected(self):
+        with pytest.raises(SchedulingError):
+            UplinkGrant(ue_id=0, rb=-1, rate_bps=1.0)
+
+    def test_grants_are_immutable(self):
+        grant = UplinkGrant(ue_id=0, rb=0, rate_bps=1.0)
+        with pytest.raises(AttributeError):
+            grant.rate_bps = 2.0
+
+
+class TestRBSchedule:
+    def test_add_and_iterate(self):
+        rbs = RBSchedule(rb=3)
+        rbs.add(UplinkGrant(ue_id=0, rb=3, rate_bps=1.0, pilot_index=0))
+        rbs.add(UplinkGrant(ue_id=1, rb=3, rate_bps=1.0, pilot_index=1))
+        assert rbs.ue_ids == (0, 1)
+        assert len(rbs) == 2
+
+    def test_wrong_rb_rejected(self):
+        rbs = RBSchedule(rb=3)
+        with pytest.raises(SchedulingError):
+            rbs.add(UplinkGrant(ue_id=0, rb=4, rate_bps=1.0))
+
+    def test_duplicate_ue_rejected(self):
+        rbs = RBSchedule(rb=0)
+        rbs.add(UplinkGrant(ue_id=0, rb=0, rate_bps=1.0, pilot_index=0))
+        with pytest.raises(SchedulingError):
+            rbs.add(UplinkGrant(ue_id=0, rb=0, rate_bps=1.0, pilot_index=1))
+
+    def test_pilot_collision_rejected(self):
+        # Over-scheduled UEs must keep orthogonal pilots (Section 3.3).
+        rbs = RBSchedule(rb=0)
+        rbs.add(UplinkGrant(ue_id=0, rb=0, rate_bps=1.0, pilot_index=0))
+        with pytest.raises(SchedulingError):
+            rbs.add(UplinkGrant(ue_id=1, rb=0, rate_bps=1.0, pilot_index=0))
+
+
+class TestSubframeSchedule:
+    def test_all_rbs_initialized(self):
+        schedule = SubframeSchedule(num_rbs=5)
+        assert schedule.allocated_rbs() == []
+        for rb in range(5):
+            assert len(schedule.rb(rb)) == 0
+
+    def test_unknown_rb_rejected(self):
+        schedule = SubframeSchedule(num_rbs=5)
+        with pytest.raises(SchedulingError):
+            schedule.rb(5)
+
+    def test_scheduled_ues_sorted_distinct(self):
+        schedule = SubframeSchedule(num_rbs=3)
+        schedule.add_grant(UplinkGrant(ue_id=2, rb=0, rate_bps=1.0))
+        schedule.add_grant(UplinkGrant(ue_id=1, rb=1, rate_bps=1.0))
+        schedule.add_grant(UplinkGrant(ue_id=2, rb=2, rate_bps=1.0))
+        assert schedule.scheduled_ues() == (1, 2)
+
+    def test_grants_for_ue(self):
+        schedule = SubframeSchedule(num_rbs=3)
+        schedule.add_grant(UplinkGrant(ue_id=1, rb=0, rate_bps=1.0))
+        schedule.add_grant(UplinkGrant(ue_id=1, rb=2, rate_bps=2.0))
+        grants = schedule.grants_for(1)
+        assert sorted(g.rb for g in grants) == [0, 2]
+
+    def test_total_grants_counts_overscheduling(self):
+        schedule = SubframeSchedule(num_rbs=2)
+        schedule.add_grant(UplinkGrant(ue_id=0, rb=0, rate_bps=1.0, pilot_index=0))
+        schedule.add_grant(UplinkGrant(ue_id=1, rb=0, rate_bps=1.0, pilot_index=1))
+        schedule.add_grant(UplinkGrant(ue_id=2, rb=1, rate_bps=1.0))
+        assert schedule.total_grants == 3
+        assert schedule.allocated_rbs() == [0, 1]
+
+
+class TestTxOp:
+    def test_valid_txop(self):
+        txop = TxOp(start_subframe=10, dl_subframes=1, ul_subframes=3)
+        assert txop.total_subframes == 4
+        assert txop.end_subframe == 14
+        assert list(txop.ul_subframe_indices()) == [11, 12, 13]
+
+    def test_length_bounds_enforced(self):
+        with pytest.raises(SchedulingError):
+            TxOp(start_subframe=0, dl_subframes=1, ul_subframes=0)  # 1 < 2
+        with pytest.raises(SchedulingError):
+            TxOp(start_subframe=0, dl_subframes=2, ul_subframes=9)  # 11 > 10
+
+    def test_needs_dl_subframe_for_grants(self):
+        with pytest.raises(SchedulingError):
+            TxOp(start_subframe=0, dl_subframes=0, ul_subframes=3)
+
+    def test_max_length_allowed(self):
+        txop = TxOp(start_subframe=0, dl_subframes=2, ul_subframes=8)
+        assert txop.total_subframes == 10

@@ -1,0 +1,147 @@
+"""Tests for traffic sources and uplink queues."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.lte.traffic import (
+    FullBufferTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    UeQueue,
+)
+
+
+class TestFullBufferTraffic:
+    def test_always_backlogged(self):
+        queue = UeQueue(FullBufferTraffic())
+        assert queue.backlogged
+        assert queue.queued_bits == math.inf
+
+    def test_drain_never_empties(self):
+        queue = UeQueue(FullBufferTraffic())
+        assert queue.drain(1e9) == 1e9
+        assert queue.backlogged
+        assert queue.total_drained == 1e9
+
+
+class TestPoissonTraffic:
+    def test_mean_rate(self):
+        source = PoissonTraffic(
+            mean_rate_bps=2e6, rng=np.random.default_rng(0)
+        )
+        total = sum(source.arrivals_bits() for _ in range(20000))
+        duration = 20000 * consts.SUBFRAME_DURATION_S
+        assert total / duration == pytest.approx(2e6, rel=0.05)
+
+    def test_zero_load(self):
+        source = PoissonTraffic(0.0, rng=np.random.default_rng(0))
+        assert all(source.arrivals_bits() == 0.0 for _ in range(100))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(-1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(1e6, packet_bits=0)
+
+
+class TestPeriodicTraffic:
+    def test_burst_cadence(self):
+        source = PeriodicTraffic(bits_per_burst=500.0, period_subframes=4)
+        arrivals = [source.arrivals_bits() for _ in range(12)]
+        assert arrivals.count(500.0) == 3
+        assert sum(arrivals) == 1500.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTraffic(0, 4)
+        with pytest.raises(ConfigurationError):
+            PeriodicTraffic(100, 0)
+
+
+class TestUeQueue:
+    def test_arrive_and_drain(self):
+        queue = UeQueue(PeriodicTraffic(1000.0, 1))
+        queue.step_arrivals()
+        assert queue.queued_bits == 1000.0
+        assert queue.drain(400.0) == 400.0
+        assert queue.queued_bits == 600.0
+
+    def test_drain_caps_at_queue(self):
+        queue = UeQueue(PeriodicTraffic(1000.0, 1))
+        queue.step_arrivals()
+        assert queue.drain(5000.0) == 1000.0
+        assert not queue.backlogged
+
+    def test_negative_drain_rejected(self):
+        queue = UeQueue(FullBufferTraffic())
+        with pytest.raises(ConfigurationError):
+            queue.drain(-1.0)
+
+    def test_accounting(self):
+        queue = UeQueue(PeriodicTraffic(1000.0, 1))
+        queue.step_arrivals()
+        queue.step_arrivals()
+        queue.drain(1500.0)
+        assert queue.total_arrived == 2000.0
+        assert queue.total_drained == 1500.0
+
+
+class TestEngineWithTraffic:
+    def make_sim(self, sources, subframes=2000, seed=0):
+        from repro.core.scheduling.pf import ProportionalFairScheduler
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import CellSimulation
+        from repro.topology.graph import InterferenceTopology
+
+        topology = InterferenceTopology.build(2, [])
+        return CellSimulation(
+            topology,
+            {0: 25.0, 1: 25.0},
+            ProportionalFairScheduler(),
+            SimulationConfig(num_subframes=subframes, num_rbs=4),
+            traffic_sources=sources,
+            seed=seed,
+        )
+
+    def test_light_load_fully_served(self):
+        # 300 kbps offered per UE, capacity far larger: delivery == load.
+        sources = {
+            u: PoissonTraffic(3e5, rng=np.random.default_rng(u)) for u in (0, 1)
+        }
+        result = self.make_sim(sources, subframes=5000).run()
+        per_ue = result.per_ue_throughput_bps()
+        for ue in (0, 1):
+            assert per_ue[ue] == pytest.approx(3e5, rel=0.15)
+
+    def test_idle_client_never_scheduled(self):
+        sources = {
+            0: PoissonTraffic(3e5, rng=np.random.default_rng(0)),
+            1: PoissonTraffic(0.0, rng=np.random.default_rng(1)),
+        }
+        result = self.make_sim(sources).run()
+        assert result.delivered_bits_by_ue[1] == 0.0
+        assert result.delivered_bits_by_ue[0] > 0.0
+
+    def test_mixed_full_buffer_and_finite(self):
+        sources = {0: FullBufferTraffic(), 1: PoissonTraffic(1e5, rng=np.random.default_rng(1))}
+        result = self.make_sim(sources, subframes=3000).run()
+        per_ue = result.per_ue_throughput_bps()
+        # The full-buffer client soaks what the finite one leaves.
+        assert per_ue[0] > 5 * per_ue[1]
+        assert per_ue[1] == pytest.approx(1e5, rel=0.25)
+
+    def test_delivery_never_exceeds_arrivals(self):
+        sources = {
+            u: PoissonTraffic(2e5, rng=np.random.default_rng(u + 5))
+            for u in (0, 1)
+        }
+        simulation = self.make_sim(sources)
+        result = simulation.run()
+        for ue in (0, 1):
+            queue = simulation._queues[ue]
+            assert queue.total_drained <= queue.total_arrived + 1e-6
+            assert result.delivered_bits_by_ue[ue] <= queue.total_arrived + 1e-6

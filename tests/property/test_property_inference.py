@@ -1,0 +1,101 @@
+"""Property tests for transforms, constraints, and exact-input inference."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.blueprint.constraints import WorkingTopology
+from repro.core.blueprint.inference import BlueprintInference, InferenceConfig
+from repro.core.blueprint.transform import (
+    TransformedMeasurements,
+    forward_transform_q,
+    inverse_transform_q,
+    transform_individual,
+    transform_pairwise,
+)
+from repro.topology.graph import edge_set_accuracy
+from tests.property.test_property_topology import topologies
+
+
+@given(st.floats(min_value=1e-6, max_value=1.0))
+@settings(max_examples=200)
+def test_individual_transform_invertible(p):
+    value = transform_individual(p)
+    assert value >= 0.0
+    assert abs(math.exp(-value) - p) < 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=0.999))
+@settings(max_examples=200)
+def test_q_transform_roundtrip(q):
+    assert abs(inverse_transform_q(forward_transform_q(q)) - q) < 1e-9
+
+
+@given(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_pairwise_transform_nonnegative(p_i, p_j):
+    # Any legal joint in [max-correlation, independence] transforms >= 0.
+    p_ij = min(p_i, p_j)
+    assert transform_pairwise(p_i, p_j, p_ij) >= 0.0
+    assert transform_pairwise(p_i, p_j, p_i * p_j) < 1e-12
+
+
+@given(topologies(max_ues=5, max_terminals=4))
+@settings(max_examples=60, deadline=None)
+def test_exact_topology_satisfies_own_constraints(topology):
+    n = topology.num_ues
+    target = TransformedMeasurements.from_probabilities(
+        n,
+        {i: topology.access_probability(i) for i in range(n)},
+        {
+            (i, j): topology.pairwise_access_probability(i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+        },
+        default_tolerance=1e-6,
+    )
+    working = WorkingTopology.from_terminals(
+        n,
+        [
+            (forward_transform_q(q), set(ues))
+            for q, ues in zip(topology.q, topology.edges)
+        ],
+    )
+    assert working.aggregate_violation(target) < 1e-6
+
+
+@given(topologies(max_ues=5, max_terminals=3))
+@settings(max_examples=25, deadline=None)
+def test_inference_from_exact_probabilities_is_equivalent(topology):
+    """Inference must reproduce a topology *equivalent* to the truth: the
+    recovered blueprint reproduces every individual and pairwise access
+    probability (ambiguity beyond that is fundamental, Section 3.5)."""
+    # Drop sub-resolution terminals the solver cannot be expected to see.
+    assume(all(q == 0.0 or q > 1e-3 for q in topology.q))
+    n = topology.num_ues
+    inference = BlueprintInference(InferenceConfig(seed=0, num_random_starts=2))
+    result = inference.infer_from_probabilities(
+        n,
+        {i: topology.access_probability(i) for i in range(n)},
+        {
+            (i, j): topology.pairwise_access_probability(i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+        },
+        default_tolerance=1e-6,
+    )
+    inferred = result.topology
+    for i in range(n):
+        assert abs(
+            inferred.access_probability(i) - topology.access_probability(i)
+        ) < 1e-3
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert abs(
+                inferred.pairwise_access_probability(i, j)
+                - topology.pairwise_access_probability(i, j)
+            ) < 1e-3

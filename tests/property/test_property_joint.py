@@ -1,0 +1,75 @@
+"""Property tests: Section 3.6 conditioning == inclusion-exclusion, and the
+joint providers agree with both."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joint.conditioning import joint_access_probability
+from repro.core.joint.provider import TopologyJointProvider
+from tests.property.test_property_topology import topologies
+
+
+@given(topologies(max_ues=5), st.data())
+@settings(max_examples=80, deadline=None)
+def test_conditioning_equals_inclusion_exclusion(topology, data):
+    ues = list(range(topology.num_ues))
+    group = data.draw(
+        st.lists(st.sampled_from(ues), min_size=1, max_size=4, unique=True)
+    )
+    split = data.draw(st.integers(min_value=0, max_value=len(group)))
+    clear, blocked = group[:split], group[split:]
+    reference = topology.joint_access_probability(clear, blocked)
+    value = joint_access_probability(topology, clear, blocked)
+    assert abs(value - reference) < 1e-9
+
+
+@given(topologies(max_ues=5), st.data())
+@settings(max_examples=80, deadline=None)
+def test_provider_pattern_distribution_is_a_distribution(topology, data):
+    ues = list(range(topology.num_ues))
+    group = frozenset(
+        data.draw(
+            st.lists(st.sampled_from(ues), min_size=1, max_size=4, unique=True)
+        )
+    )
+    provider = TopologyJointProvider(topology)
+    distribution = provider.pattern_distribution(group)
+    total = sum(distribution.values())
+    assert abs(total - 1.0) < 1e-9
+    for pattern, probability in distribution.items():
+        assert pattern <= group
+        assert -1e-12 <= probability <= 1.0 + 1e-12
+
+
+@given(topologies(max_ues=5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_provider_agrees_with_exact_joint(topology, data):
+    ues = list(range(topology.num_ues))
+    group = data.draw(
+        st.lists(st.sampled_from(ues), min_size=1, max_size=3, unique=True)
+    )
+    provider = TopologyJointProvider(topology)
+    for r in range(len(group) + 1):
+        for clear in itertools.combinations(group, r):
+            blocked = [u for u in group if u not in clear]
+            expected = topology.joint_access_probability(list(clear), blocked)
+            value = provider.joint_probability(list(clear), blocked)
+            assert abs(value - expected) < 1e-9
+
+
+@given(topologies(max_ues=5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_pattern_table_marginalizes_to_access_probability(topology, data):
+    ues = list(range(topology.num_ues))
+    group = frozenset(
+        data.draw(
+            st.lists(st.sampled_from(ues), min_size=1, max_size=4, unique=True)
+        )
+    )
+    provider = TopologyJointProvider(topology)
+    table = provider.pattern_table(group)
+    for ue in group:
+        total = sum(p for (member, _), p in table.items() if member == ue)
+        assert abs(total - topology.access_probability(ue)) < 1e-9

@@ -1,0 +1,102 @@
+"""Property tests for Algorithm 1 and the access estimator."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurement.estimator import AccessEstimator
+from repro.core.measurement.pair_scheduler import (
+    MeasurementScheduler,
+    minimum_subframes,
+)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_algorithm1_completes_near_bound(num_ues, k, samples):
+    """The greedy plan always finishes, covers every pair at least
+    ``samples`` times, and stays within 2x of the analytic lower bound."""
+    scheduler = MeasurementScheduler(num_ues, k, samples)
+    plan = scheduler.plan()
+    assert scheduler.finished
+    assert all(count >= samples for count in scheduler.counts.values())
+    bound = minimum_subframes(num_ues, k, samples)
+    assert bound <= len(plan) <= max(2 * bound, bound + num_ues)
+    effective_k = min(k, num_ues)
+    for subframe in plan:
+        assert len(subframe) == effective_k
+        assert len(set(subframe)) == effective_k
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.lists(
+        st.tuples(
+            st.sets(st.integers(min_value=0, max_value=7), min_size=1),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimator_probabilities_stay_in_unit_interval(num_ues, rounds):
+    estimator = AccessEstimator(num_ues)
+    rng = np.random.default_rng(0)
+    for raw_scheduled, clear_fraction in rounds:
+        scheduled = {u for u in raw_scheduled if u < num_ues}
+        if not scheduled:
+            continue
+        accessed = {u for u in scheduled if rng.random() < clear_fraction}
+        estimator.record_subframe(scheduled, accessed)
+    for ue in range(num_ues):
+        if estimator.individual_samples(ue) > 0:
+            assert 0.0 < estimator.p_individual(ue) <= 1.0
+    for i in range(num_ues):
+        for j in range(i + 1, num_ues):
+            if estimator.pair_samples(i, j) > 0:
+                # NOTE: p(i,j) <= min(p(i), p(j)) is NOT an invariant of the
+                # estimates — marginals and joints are measured on different
+                # subframe subsets — only of the underlying distribution.
+                assert 0.0 < estimator.p_pairwise(i, j) <= 1.0
+
+
+@given(st.floats(min_value=0.9, max_value=0.9999))
+@settings(max_examples=40, deadline=None)
+def test_decay_effective_sample_size_bounded(decay):
+    """With forgetting, the effective sample count converges to the window
+    size ``1/(1-decay)`` instead of growing without bound."""
+    estimator = AccessEstimator(2, decay=decay)
+    for _ in range(3000):
+        estimator.record_subframe({0, 1}, {0, 1})
+    window = 1.0 / (1.0 - decay)
+    assert estimator.individual_samples(0) <= window + 1.0
+    # And it approaches the window once enough subframes passed.
+    if 3000 > 5 * window:
+        assert estimator.individual_samples(0) >= 0.9 * window
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=50, max_value=400),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_estimator_consistency_under_full_observation(num_ues, subframes, q):
+    """Observing everyone every subframe, the estimate concentrates near
+    the true marginal (3-sigma binomial band)."""
+    rng = np.random.default_rng(42)
+    estimator = AccessEstimator(num_ues)
+    scheduled = set(range(num_ues))
+    for _ in range(subframes):
+        accessed = {u for u in scheduled if rng.random() < q}
+        estimator.record_subframe(scheduled, accessed)
+    sigma = math.sqrt(q * (1 - q) / subframes)
+    for ue in range(num_ues):
+        assert abs(estimator.p_individual(ue) - q) <= 4 * sigma + 2 / subframes

@@ -1,0 +1,163 @@
+"""Property tests for substrate invariants: HARQ, traffic, SIC, activity."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lte.harq import HarqConfig, HarqPool
+from repro.lte.noma import receive_rb_sic
+from repro.lte.phy import GrantOutcome, receive_rb
+from repro.lte.resources import RBSchedule, UplinkGrant
+from repro.lte.traffic import PeriodicTraffic, UeQueue
+from repro.spectrum.activity import ExclusiveGroupActivity
+
+
+# -- HARQ --------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=6),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+@settings(max_examples=100)
+def test_harq_block_accounting_conserves(energies, required):
+    """Every registered block ends as exactly one of pending/delivered/
+    dropped, regardless of the energy sequence."""
+    pool = HarqPool(1, HarqConfig(max_transmissions=4))
+    pool.first_attempt_failed(0, 1000.0, required, energies[0])
+    registered = 1 if pool.pending_count(0) else 0  # may be instantly capped
+    for energy in energies[1:]:
+        if pool.pending(0) is None:
+            break
+        pool.retransmission_result(0, energy)
+    finished = pool.blocks_delivered + pool.blocks_dropped
+    assert finished + pool.pending_count(0) == registered
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_harq_combining_monotone(energies):
+    """A block decodable after k attempts is decodable with any extra
+    energy appended (Chase combining never loses energy)."""
+    from repro.lte.harq import HarqTransportBlock
+
+    block = HarqTransportBlock(0, 100.0, required_sinr_linear=15.0)
+    was_decodable = False
+    for energy in energies:
+        block.add_attempt(energy)
+        if was_decodable:
+            assert block.decodable
+        was_decodable = block.decodable
+
+
+# -- traffic ----------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=10.0, max_value=1e5),
+    st.lists(st.floats(min_value=0.0, max_value=1e5), max_size=30),
+)
+@settings(max_examples=100)
+def test_queue_conservation(period, burst, drains):
+    queue = UeQueue(PeriodicTraffic(burst, period))
+    for drain in drains:
+        queue.step_arrivals()
+        queue.drain(drain)
+    assert queue.total_drained <= queue.total_arrived + 1e-9
+    assert queue.queued_bits >= -1e-9
+    assert math.isclose(
+        queue.total_arrived - queue.total_drained,
+        queue.queued_bits,
+        rel_tol=1e-9,
+        abs_tol=1e-6,
+    )
+
+
+# -- SIC receiver --------------------------------------------------------------
+
+
+@st.composite
+def sic_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    sinrs = {
+        u: draw(st.floats(min_value=-5.0, max_value=35.0)) for u in range(n)
+    }
+    rates = {
+        u: draw(st.floats(min_value=1e3, max_value=8e5)) for u in range(n)
+    }
+    transmitting = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    antennas = draw(st.sampled_from([1, 2, 4]))
+    return sinrs, rates, sorted(transmitting), antennas
+
+
+@given(sic_cases())
+@settings(max_examples=150)
+def test_sic_outcome_conservation(case):
+    sinrs, rates, transmitting, antennas = case
+    schedule = RBSchedule(rb=0)
+    for pilot, (ue, rate) in enumerate(rates.items()):
+        schedule.add(
+            UplinkGrant(ue_id=ue, rb=0, rate_bps=rate, pilot_index=pilot)
+        )
+    reception = receive_rb_sic(
+        schedule, transmitting, sinrs, num_antennas=antennas
+    )
+    # Exactly one outcome per grant; silent UEs are BLOCKED; bits only for
+    # DECODED streams.
+    assert set(reception.outcomes) == set(rates)
+    for ue in rates:
+        if ue not in transmitting:
+            assert reception.outcomes[ue] is GrantOutcome.BLOCKED
+    for ue, bits in reception.delivered_bits.items():
+        assert reception.outcomes[ue] is GrantOutcome.DECODED
+        assert bits > 0
+
+
+@given(sic_cases())
+@settings(max_examples=150)
+def test_sic_single_transmitter_matches_linear(case):
+    """With at most one transmitter there is nothing to cancel: SIC and the
+    conventional receiver must agree on the outcome."""
+    sinrs, rates, transmitting, antennas = case
+    assume(len(transmitting) <= 1)
+    schedule = RBSchedule(rb=0)
+    for pilot, (ue, rate) in enumerate(rates.items()):
+        schedule.add(
+            UplinkGrant(ue_id=ue, rb=0, rate_bps=rate, pilot_index=pilot)
+        )
+    sic = receive_rb_sic(schedule, transmitting, sinrs, num_antennas=antennas)
+    linear = receive_rb(schedule, transmitting, sinrs, num_antennas=antennas)
+    assert sic.outcomes == linear.outcomes
+
+
+# -- contention-coupled activity ---------------------------------------------
+
+
+@st.composite
+def exclusive_models(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    marginals = [
+        draw(st.floats(min_value=0.01, max_value=0.3)) for _ in range(n)
+    ]
+    group_size = draw(st.integers(min_value=2, max_value=n))
+    group = list(range(group_size))
+    assume(sum(marginals[k] for k in group) < 0.95)
+    return marginals, [group]
+
+
+@given(exclusive_models(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_exclusive_groups_never_overlap(model, seed):
+    marginals, groups = model
+    activity = ExclusiveGroupActivity(
+        marginals, groups, rng=np.random.default_rng(seed)
+    )
+    members = set(groups[0])
+    for _ in range(300):
+        active = activity.step()
+        assert len(active & members) <= 1

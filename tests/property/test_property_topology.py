@@ -1,0 +1,123 @@
+"""Property-based tests for the interference topology's probability laws."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+
+
+@st.composite
+def topologies(draw, max_ues=6, max_terminals=6):
+    num_ues = draw(st.integers(min_value=1, max_value=max_ues))
+    num_terminals = draw(st.integers(min_value=0, max_value=max_terminals))
+    terminals = []
+    for _ in range(num_terminals):
+        q = draw(st.floats(min_value=0.0, max_value=0.95))
+        footprint = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=num_ues - 1),
+                min_size=0,
+                max_size=num_ues,
+            )
+        )
+        terminals.append((q, footprint))
+    return InterferenceTopology.build(num_ues, terminals)
+
+
+@given(topologies())
+@settings(max_examples=100, deadline=None)
+def test_probabilities_in_unit_interval(topology):
+    for ue in range(topology.num_ues):
+        assert 0.0 <= topology.access_probability(ue) <= 1.0
+    for i, j in itertools.combinations(range(topology.num_ues), 2):
+        assert 0.0 <= topology.pairwise_access_probability(i, j) <= 1.0
+
+
+@given(topologies())
+@settings(max_examples=100, deadline=None)
+def test_pairwise_positively_correlated(topology):
+    # Shared hidden terminals can only correlate access positively:
+    # p(i)p(j) <= p(i,j) <= min(p(i), p(j)).
+    for i, j in itertools.combinations(range(topology.num_ues), 2):
+        p_i = topology.access_probability(i)
+        p_j = topology.access_probability(j)
+        p_ij = topology.pairwise_access_probability(i, j)
+        assert p_i * p_j - 1e-12 <= p_ij <= min(p_i, p_j) + 1e-12
+
+
+@given(topologies(max_ues=5))
+@settings(max_examples=60, deadline=None)
+def test_joint_distribution_normalizes(topology):
+    group = list(range(min(3, topology.num_ues)))
+    total = 0.0
+    for r in range(len(group) + 1):
+        for clear in itertools.combinations(group, r):
+            blocked = [u for u in group if u not in clear]
+            total += topology.joint_access_probability(list(clear), blocked)
+    assert abs(total - 1.0) < 1e-9
+
+
+@given(topologies(max_ues=5))
+@settings(max_examples=60, deadline=None)
+def test_marginalization_consistency(topology):
+    # Summing the pair joint over one client's outcomes gives the marginal.
+    if topology.num_ues < 2:
+        return
+    both = topology.joint_access_probability([0, 1], [])
+    only0 = topology.joint_access_probability([0], [1])
+    assert abs(both + only0 - topology.access_probability(0)) < 1e-9
+
+
+@given(topologies())
+@settings(max_examples=100, deadline=None)
+def test_canonical_preserves_all_marginals(topology):
+    canonical = topology.canonical()
+    for ue in range(topology.num_ues):
+        assert abs(
+            canonical.access_probability(ue) - topology.access_probability(ue)
+        ) < 1e-9
+    for i, j in itertools.combinations(range(topology.num_ues), 2):
+        assert abs(
+            canonical.pairwise_access_probability(i, j)
+            - topology.pairwise_access_probability(i, j)
+        ) < 1e-9
+
+
+@given(topologies())
+@settings(max_examples=100, deadline=None)
+def test_canonical_idempotent(topology):
+    once = topology.canonical()
+    twice = once.canonical()
+    assert once.edges == twice.edges
+    for a, b in zip(once.q, twice.q):
+        assert abs(a - b) < 1e-12
+
+
+@given(topologies())
+@settings(max_examples=100, deadline=None)
+def test_self_accuracy_perfect(topology):
+    assert edge_set_accuracy(topology, topology) == 1.0
+
+
+@given(topologies(max_ues=5))
+@settings(max_examples=60, deadline=None)
+def test_conditioning_never_lowers_access(topology):
+    # Conditioning on a clear client removes terminals: access can only rise.
+    if topology.num_ues < 2:
+        return
+    conditioned = topology.condition_on_clear(0)
+    for ue in range(1, topology.num_ues):
+        assert (
+            conditioned.access_probability(ue)
+            >= topology.access_probability(ue) - 1e-12
+        )
+
+
+@given(topologies())
+@settings(max_examples=80, deadline=None)
+def test_serialization_roundtrip(topology):
+    restored = InterferenceTopology.from_dict(topology.to_dict())
+    assert restored.num_ues == topology.num_ues
+    assert restored.edges == topology.edges

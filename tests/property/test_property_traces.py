@@ -1,0 +1,79 @@
+"""Property tests for trace combination invariants (Section 4.2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.graph import InterferenceTopology
+from repro.traces.combine import merge_interference_layers, merge_ue_populations
+from repro.traces.records import InterferenceTrace, TopologyTrace
+
+
+@st.composite
+def traces(draw, num_ues=None, min_subframes=20, max_subframes=60):
+    if num_ues is None:
+        num_ues = draw(st.integers(min_value=1, max_value=4))
+    num_terminals = draw(st.integers(min_value=1, max_value=3))
+    terminals = []
+    for _ in range(num_terminals):
+        q = draw(st.floats(min_value=0.05, max_value=0.6))
+        footprint = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=num_ues - 1),
+                min_size=1,
+                max_size=num_ues,
+            )
+        )
+        terminals.append((q, footprint))
+    topology = InterferenceTopology.build(num_ues, terminals)
+    length = draw(st.integers(min_value=min_subframes, max_value=max_subframes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    activity = rng.random((length, num_terminals)) < np.array(
+        [q for q, _ in terminals]
+    )
+    return TopologyTrace(
+        topology=topology,
+        interference=InterferenceTrace(activity=activity),
+        mean_snr_db={u: 25.0 for u in range(num_ues)},
+    )
+
+
+@given(st.lists(traces(), min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_population_merge_preserves_per_cell_activity(parts):
+    merged = merge_ue_populations(parts)
+    assert merged.topology.num_ues == sum(p.topology.num_ues for p in parts)
+    assert merged.topology.num_terminals == sum(
+        p.topology.num_terminals for p in parts
+    )
+    length = merged.num_subframes
+    assert length == min(p.num_subframes for p in parts)
+    # Activity columns are the concatenation of the parts' columns.
+    offset = 0
+    for part in parts:
+        width = part.topology.num_terminals
+        expected = part.interference.activity[:length]
+        actual = merged.interference.activity[:, offset:offset + width]
+        assert (actual == expected).all()
+        offset += width
+
+
+@given(st.lists(traces(num_ues=3), min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_layer_merge_clear_matrix_is_conjunction(parts):
+    merged = merge_interference_layers(parts)
+    length = merged.num_subframes
+    expected = np.ones((length, 3), dtype=bool)
+    for part in parts:
+        expected &= part.clear_matrix()[:length]
+    assert (merged.clear_matrix() == expected).all()
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_single_trace_merges_are_identity(trace):
+    population = merge_ue_populations([trace])
+    layered = merge_interference_layers([trace])
+    assert (population.clear_matrix() == trace.clear_matrix()).all()
+    assert (layered.clear_matrix() == trace.clear_matrix()).all()

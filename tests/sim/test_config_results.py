@@ -1,0 +1,119 @@
+"""Tests for simulation configuration and result metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lte.phy import GrantOutcome
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.num_rbs == 10
+        assert config.ul_subframes_per_txop == 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_subframes=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_rbs=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(rb_group_size=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_antennas=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(activity_kind="lognormal")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(ul_subframes_per_txop=0)
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(Exception):
+            config.num_rbs = 5
+
+
+class TestSimulationResult:
+    def make(self):
+        result = SimulationResult(scheduler_name="x")
+        result.num_subframes = 1000
+        result.ul_subframes = 600
+        result.delivered_bits_by_ue = {0: 4e6, 1: 2e6}
+        result.grants_issued = 100
+        result.grants_decoded = 60
+        result.grants_blocked = 30
+        result.grants_collided = 8
+        result.grants_faded = 2
+        result.rbs_allocated = 80
+        result.rbs_utilized = 40
+        result.fully_utilized_subframes = 150
+        return result
+
+    def test_throughput(self):
+        result = self.make()
+        # 6e6 bits over 1 s.
+        assert result.aggregate_throughput_mbps == pytest.approx(6.0)
+
+    def test_per_ue_throughput(self):
+        result = self.make()
+        per_ue = result.per_ue_throughput_bps()
+        assert per_ue[0] == pytest.approx(4e6)
+
+    def test_rb_utilization_and_loss(self):
+        result = self.make()
+        assert result.rb_utilization == pytest.approx(0.5)
+        assert result.utilization_loss == pytest.approx(0.5)
+
+    def test_fully_utilized_fraction(self):
+        result = self.make()
+        assert result.fully_utilized_fraction == pytest.approx(0.25)
+
+    def test_grant_fractions(self):
+        result = self.make()
+        assert result.grant_usage_fraction == pytest.approx(0.6)
+        assert result.grant_block_fraction == pytest.approx(0.3)
+        assert result.grant_collision_fraction == pytest.approx(0.08)
+
+    def test_jain_index(self):
+        result = self.make()
+        assert 0.5 < result.jain_index < 1.0
+
+    def test_empty_result_safe(self):
+        result = SimulationResult(scheduler_name="empty")
+        assert result.aggregate_throughput_mbps == 0.0
+        assert result.rb_utilization == 0.0
+        assert result.fully_utilized_fraction == 0.0
+        assert result.grant_usage_fraction == 0.0
+        assert result.jain_index == 1.0
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        for key in (
+            "throughput_mbps",
+            "rb_utilization",
+            "utilization_loss",
+            "fully_utilized_fraction",
+            "grant_usage",
+            "grant_blocked",
+            "grant_collided",
+            "jain_index",
+        ):
+            assert key in summary
+
+
+class TestJsonExport:
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        result = TestSimulationResult().make()
+        payload = json.loads(result.to_json())
+        assert payload["scheduler"] == "x"
+        assert payload["counters"]["grants_issued"] == 100
+        assert payload["summary"]["rb_utilization"] == 0.5
+        assert payload["delivered_bits_by_ue"]["0"] == 4e6
+
+    def test_empty_result_serializes(self):
+        result = SimulationResult(scheduler_name="empty")
+        payload = result.to_dict()
+        assert payload["summary"]["throughput_mbps"] == 0.0

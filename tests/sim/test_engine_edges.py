@@ -1,0 +1,137 @@
+"""Edge cases of the simulation engine's TxOP loop."""
+
+import pytest
+
+from repro.core.scheduling.pf import ProportionalFairScheduler
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import CellSimulation
+from repro.topology.graph import InterferenceTopology
+
+
+def run(config, topology=None, seed=0):
+    topology = topology or InterferenceTopology.build(2, [(0.3, [0])])
+    return CellSimulation(
+        topology,
+        {u: 25.0 for u in range(topology.num_ues)},
+        ProportionalFairScheduler(),
+        config,
+        seed=seed,
+    ).run()
+
+
+class TestTxOpBoundaries:
+    def test_run_shorter_than_one_txop(self):
+        result = run(SimulationConfig(num_subframes=2, num_rbs=2))
+        assert result.num_subframes == 2
+        assert result.dl_subframes >= 1
+
+    def test_single_subframe_run(self):
+        result = run(SimulationConfig(num_subframes=1, num_rbs=2))
+        assert result.num_subframes == 1
+        assert result.ul_subframes == 0  # only the DL subframe fits
+
+    def test_run_not_multiple_of_txop(self):
+        # 4-subframe TxOPs (1 DL + 3 UL) over 10 subframes: the last TxOP
+        # is truncated but accounting still balances.
+        result = run(SimulationConfig(num_subframes=10, num_rbs=2))
+        assert (
+            result.ul_subframes + result.dl_subframes + result.idle_subframes
+            == 10
+        )
+
+    def test_long_dl_share(self):
+        config = SimulationConfig(
+            num_subframes=400, num_rbs=2,
+            dl_subframes_per_txop=2, ul_subframes_per_txop=2,
+        )
+        result = run(config)
+        assert result.dl_subframes == pytest.approx(
+            result.ul_subframes, rel=0.1
+        )
+
+    def test_ul_heavy_txop(self):
+        config = SimulationConfig(
+            num_subframes=400, num_rbs=2,
+            dl_subframes_per_txop=1, ul_subframes_per_txop=8,
+        )
+        result = run(config)
+        assert result.ul_subframes > 4 * result.dl_subframes
+
+
+class TestDegenerateCells:
+    def test_single_ue_cell(self):
+        topology = InterferenceTopology.build(1, [(0.4, [0])])
+        result = run(
+            SimulationConfig(num_subframes=400, num_rbs=4), topology=topology
+        )
+        assert result.total_delivered_bits > 0
+        assert result.grants_blocked > 0
+
+    def test_fully_blocked_ue_delivers_nothing(self):
+        # q extremely close to 1: the UE virtually never clears CCA.
+        topology = InterferenceTopology.build(
+            2, [(0.999, [0])]
+        )
+        result = run(
+            SimulationConfig(num_subframes=500, num_rbs=2), topology=topology
+        )
+        per_ue = result.per_ue_throughput_bps()
+        assert per_ue[0] < 0.05 * per_ue[1]
+
+    def test_all_enb_blocked(self):
+        config = SimulationConfig(
+            num_subframes=300, num_rbs=2, enb_busy_probability=0.99
+        )
+        result = run(config, seed=1)
+        assert result.idle_subframes > 250
+        # Metrics must stay well-defined with almost no UL activity.
+        assert 0.0 <= result.rb_utilization <= 1.0
+
+    def test_zero_terminal_cell_all_grants_used(self):
+        topology = InterferenceTopology.build(3, [])
+        result = run(
+            SimulationConfig(num_subframes=500, num_rbs=3), topology=topology
+        )
+        assert result.grants_blocked == 0
+        assert result.grants_collided == 0
+
+
+class TestCsiDelay:
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            SimulationConfig(csi_delay_subframes=-1)
+
+    def test_zero_delay_matches_default(self):
+        topology = InterferenceTopology.build(2, [])
+        base = run(SimulationConfig(num_subframes=500, num_rbs=2), topology, seed=4)
+        explicit = run(
+            SimulationConfig(num_subframes=500, num_rbs=2, csi_delay_subframes=0),
+            topology,
+            seed=4,
+        )
+        assert base.total_delivered_bits == pytest.approx(
+            explicit.total_delivered_bits
+        )
+
+    def test_stale_csi_increases_fading_outage(self):
+        # Fast fading + long delay: the scheduler's rates are badly stale,
+        # so outage rises relative to fresh feedback.
+        topology = InterferenceTopology.build(2, [])
+
+        def run_delay(delay):
+            config = SimulationConfig(
+                num_subframes=2500,
+                num_rbs=4,
+                doppler_coherence=0.5,
+                link_margin_db=0.0,
+                csi_delay_subframes=delay,
+            )
+            return run(config, topology, seed=5)
+
+        fresh = run_delay(0)
+        stale = run_delay(8)
+        assert stale.grants_faded > 1.2 * fresh.grants_faded

@@ -1,0 +1,160 @@
+"""Tests for hidden-terminal activity processes and joint models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum.activity import (
+    BernoulliActivity,
+    ExclusiveGroupActivity,
+    IndependentActivity,
+    MarkovOnOffActivity,
+    TraceActivity,
+)
+
+
+class TestBernoulliActivity:
+    def test_marginal_matches_parameter(self):
+        process = BernoulliActivity(0.3, rng=np.random.default_rng(0))
+        samples = [process.step() for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_extremes(self):
+        always = BernoulliActivity(1.0, rng=np.random.default_rng(0))
+        never = BernoulliActivity(0.0, rng=np.random.default_rng(0))
+        assert all(always.step() for _ in range(100))
+        assert not any(never.step() for _ in range(100))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliActivity(1.5)
+        with pytest.raises(ConfigurationError):
+            BernoulliActivity(-0.1)
+
+    def test_stationary_probability(self):
+        assert BernoulliActivity(0.4).stationary_probability == 0.4
+
+
+class TestMarkovOnOffActivity:
+    def test_marginal_matches_parameter(self):
+        process = MarkovOnOffActivity(0.3, 4.0, rng=np.random.default_rng(1))
+        samples = [process.step() for _ in range(60000)]
+        assert np.mean(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_burstiness(self):
+        # Mean busy-run length should approximate the configured sojourn.
+        process = MarkovOnOffActivity(0.3, 5.0, rng=np.random.default_rng(2))
+        samples = np.array([process.step() for _ in range(120000)])
+        changes = np.diff(samples.astype(int))
+        starts = np.where(changes == 1)[0]
+        ends = np.where(changes == -1)[0]
+        n = min(len(starts), len(ends))
+        if ends[0] < starts[0]:
+            ends = ends[1:]
+            n = min(len(starts), len(ends))
+        runs = ends[:n] - starts[:n]
+        assert np.mean(runs) == pytest.approx(5.0, rel=0.15)
+
+    def test_degenerate_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffActivity(0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffActivity(1.0)
+
+    def test_short_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffActivity(0.3, 0.5)
+
+    def test_infeasible_combination_rejected(self):
+        # q=0.9 with 1-subframe bursts needs idle->busy prob > 1.
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffActivity(0.9, 1.0)
+
+    def test_reset_redraws_state(self):
+        process = MarkovOnOffActivity(0.5, 3.0, rng=np.random.default_rng(3))
+        process.step()
+        process.reset()  # must not raise
+
+
+class TestTraceActivity:
+    def test_replay_and_wrap(self):
+        process = TraceActivity([True, False, True])
+        assert [process.step() for _ in range(6)] == [
+            True, False, True, True, False, True,
+        ]
+
+    def test_reset_rewinds(self):
+        process = TraceActivity([True, False])
+        process.step()
+        process.reset()
+        assert process.step() is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceActivity([])
+
+    def test_stationary_probability(self):
+        assert TraceActivity([True, False, False, False]).stationary_probability == 0.25
+
+
+class TestIndependentActivity:
+    def test_active_set(self):
+        model = IndependentActivity([
+            BernoulliActivity(1.0),
+            BernoulliActivity(0.0),
+            BernoulliActivity(1.0),
+        ])
+        assert model.num_terminals == 3
+        assert model.step() == frozenset({0, 2})
+
+    def test_marginal_passthrough(self):
+        model = IndependentActivity([BernoulliActivity(0.7)])
+        assert model.marginal(0) == 0.7
+
+
+class TestExclusiveGroupActivity:
+    def test_mutual_exclusion_within_group(self):
+        model = ExclusiveGroupActivity(
+            [0.4, 0.4], [[0, 1]], rng=np.random.default_rng(4)
+        )
+        for _ in range(2000):
+            active = model.step()
+            assert not {0, 1} <= active
+
+    def test_marginals_preserved(self):
+        model = ExclusiveGroupActivity(
+            [0.3, 0.5, 0.2], [[0, 1]], rng=np.random.default_rng(5)
+        )
+        counts = np.zeros(3)
+        n = 30000
+        for _ in range(n):
+            for k in model.step():
+                counts[k] += 1
+        assert counts[0] / n == pytest.approx(0.3, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.5, abs=0.02)
+        assert counts[2] / n == pytest.approx(0.2, abs=0.02)
+
+    def test_independent_member_uncorrelated(self):
+        model = ExclusiveGroupActivity(
+            [0.5, 0.5], [], rng=np.random.default_rng(6)
+        )
+        both = sum(1 for _ in range(20000) if len(model.step()) == 2)
+        assert both / 20000 == pytest.approx(0.25, abs=0.02)
+
+    def test_overcommitted_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExclusiveGroupActivity([0.6, 0.6], [[0, 1]])
+
+    def test_terminal_in_two_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExclusiveGroupActivity([0.2, 0.2, 0.2], [[0, 1], [1, 2]])
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExclusiveGroupActivity([0.2], [[0, 1]])
+
+    def test_groups_property_copies(self):
+        model = ExclusiveGroupActivity([0.2, 0.2], [[0, 1]])
+        groups = model.groups
+        groups[0].append(99)
+        assert model.groups == [[0, 1]]

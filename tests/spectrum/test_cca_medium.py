@@ -1,0 +1,105 @@
+"""Tests for sensing models, power arithmetic, and medium state."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum.cca import (
+    LTE_ENERGY_SENSING,
+    WIFI_PREAMBLE_SENSING,
+    SensingModel,
+    aggregate_power_dbm,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.spectrum.medium import (
+    MediumSnapshot,
+    silenced_ues_from_graph,
+    silenced_ues_from_power,
+)
+
+
+class TestPowerArithmetic:
+    def test_dbm_mw_roundtrip(self):
+        for power in [-90.0, -50.0, 0.0, 20.0]:
+            assert mw_to_dbm(dbm_to_mw(power)) == pytest.approx(power)
+
+    def test_zero_mw_is_minus_infinity(self):
+        assert mw_to_dbm(0.0) == float("-inf")
+
+    def test_equal_powers_add_3db(self):
+        assert aggregate_power_dbm([-70.0, -70.0]) == pytest.approx(-67.0, abs=0.02)
+
+    def test_dominant_power_wins(self):
+        assert aggregate_power_dbm([-50.0, -90.0]) == pytest.approx(-50.0, abs=0.01)
+
+    def test_empty_aggregate_is_silent(self):
+        assert aggregate_power_dbm([]) == float("-inf")
+
+
+class TestSensingModel:
+    def test_paper_thresholds(self):
+        assert WIFI_PREAMBLE_SENSING.threshold_dbm == -85.0
+        assert -72.0 <= LTE_ENERGY_SENSING.threshold_dbm <= -65.0 or (
+            LTE_ENERGY_SENSING.threshold_dbm == -72.0
+        )
+
+    def test_wifi_sensing_more_sensitive(self):
+        # The ~13+ dB gap that creates extra hidden terminals (Fig. 4c).
+        assert (
+            WIFI_PREAMBLE_SENSING.threshold_dbm
+            < LTE_ENERGY_SENSING.threshold_dbm - 10.0
+        )
+
+    def test_senses_at_threshold(self):
+        model = SensingModel("x", -80.0)
+        assert model.senses(-80.0)
+        assert not model.senses(-80.1)
+
+    def test_busy_aggregates(self):
+        model = SensingModel("x", -67.5)
+        # Each alone is below threshold; together they cross it.
+        assert not model.senses(-70.0)
+        assert model.busy([-70.0, -70.0])
+
+    def test_implausible_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensingModel("bad", 10.0)
+
+
+class TestMediumSnapshot:
+    def test_make_and_idle(self):
+        snapshot = MediumSnapshot.make(3, [1, 2])
+        assert snapshot.subframe == 3
+        assert snapshot.active_terminals == frozenset({1, 2})
+        assert not snapshot.is_idle
+        assert MediumSnapshot.make(0, []).is_idle
+
+
+class TestSilencedUes:
+    def test_graph_mode(self):
+        snapshot = MediumSnapshot.make(0, [0])
+        edges = {0: frozenset({0}), 1: frozenset({1}), 2: frozenset()}
+        assert silenced_ues_from_graph(snapshot, edges) == {0}
+
+    def test_graph_mode_multiple_edges(self):
+        snapshot = MediumSnapshot.make(0, [1])
+        edges = {0: frozenset({0, 1}), 1: frozenset({0})}
+        assert silenced_ues_from_graph(snapshot, edges) == {0}
+
+    def test_power_mode_single_source(self):
+        snapshot = MediumSnapshot.make(0, [7])
+        powers = {0: {7: -60.0}, 1: {7: -90.0}}
+        thresholds = {0: -72.0, 1: -72.0}
+        assert silenced_ues_from_power(snapshot, powers, thresholds) == {0}
+
+    def test_power_mode_aggregation(self):
+        # Two sub-threshold interferers sum over the threshold.
+        snapshot = MediumSnapshot.make(0, [1, 2])
+        powers = {0: {1: -74.0, 2: -74.0}}
+        thresholds = {0: -72.0}
+        assert silenced_ues_from_power(snapshot, powers, thresholds) == {0}
+
+    def test_power_mode_inactive_ignored(self):
+        snapshot = MediumSnapshot.make(0, [])
+        powers = {0: {1: -40.0}}
+        assert silenced_ues_from_power(snapshot, powers, {0: -72.0}) == set()

@@ -1,0 +1,139 @@
+"""Tests for the WiFi hidden-terminal substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum.wifi import (
+    WIFI_BITRATES,
+    TrafficProfile,
+    WiFiContentionSimulator,
+    WiFiNode,
+    frame_airtime_subframes,
+    select_bitrate_mbps,
+)
+
+
+class TestRateSelection:
+    def test_poor_link_uses_base_rate(self):
+        assert select_bitrate_mbps(-5.0) == 6.0
+
+    def test_great_link_uses_top_rate(self):
+        assert select_bitrate_mbps(40.0) == 54.0
+
+    def test_monotone(self):
+        rates = [select_bitrate_mbps(s) for s in np.linspace(0, 30, 61)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_table_sorted(self):
+        bitrates = [b for b, _ in WIFI_BITRATES]
+        thresholds = [t for _, t in WIFI_BITRATES]
+        assert bitrates == sorted(bitrates)
+        assert thresholds == sorted(thresholds)
+
+
+class TestFrameAirtime:
+    def test_at_least_one_subframe(self):
+        assert frame_airtime_subframes(100, 54.0) == 1
+
+    def test_big_burst_spans_subframes(self):
+        # 12000 bytes at 6 Mbps = 16 ms of airtime.
+        assert frame_airtime_subframes(12_000, 6.0) >= 16
+
+    def test_faster_rate_shorter_airtime(self):
+        slow = frame_airtime_subframes(12_000, 6.0)
+        fast = frame_airtime_subframes(12_000, 54.0)
+        assert fast < slow
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_airtime_subframes(0, 6.0)
+        with pytest.raises(ConfigurationError):
+            frame_airtime_subframes(100, 0.0)
+
+
+class TestTrafficProfile:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(arrival_rate=-1.0)
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(payload_bytes=0)
+
+
+def make_simulator(audible_pairs, n=2, saturated=True, seed=0):
+    rng = np.random.default_rng(seed)
+    nodes = [
+        WiFiNode(
+            node_id=i,
+            traffic=TrafficProfile(saturated=saturated, arrival_rate=0.05),
+            snr_to_receiver_db=30.0,
+            rng=np.random.default_rng(seed + i + 1),
+        )
+        for i in range(n)
+    ]
+    audible = {i: frozenset() for i in range(n)}
+    for a, b in audible_pairs:
+        audible[a] = audible[a] | {b}
+        audible[b] = audible[b] | {a}
+    return WiFiContentionSimulator(nodes, audible, rng=rng)
+
+
+class TestWiFiContentionSimulator:
+    def test_mutually_audible_never_overlap(self):
+        sim = make_simulator([(0, 1)])
+        for snapshot in sim.run(3000):
+            assert not {0, 1} <= snapshot.active_terminals
+
+    def test_hidden_nodes_do_overlap(self):
+        sim = make_simulator([])  # nobody hears anybody
+        overlaps = sum(
+            1 for s in sim.run(3000) if {0, 1} <= s.active_terminals
+        )
+        assert overlaps > 0
+
+    def test_saturated_node_dominates_airtime(self):
+        sim = make_simulator([], n=1)
+        busy = sum(1 for s in sim.run(1000) if 0 in s.active_terminals)
+        assert busy > 900
+
+    def test_activity_trace_shape(self):
+        sim = make_simulator([(0, 1)])
+        traces = sim.activity_trace(500)
+        assert set(traces) == {0, 1}
+        assert traces[0].shape == (500,)
+        assert not (traces[0] & traces[1]).any()
+
+    def test_duplicate_ids_rejected(self):
+        node = WiFiNode(0, TrafficProfile(saturated=True))
+        with pytest.raises(ConfigurationError):
+            WiFiContentionSimulator([node, node], {0: frozenset()})
+
+    def test_missing_audibility_rejected(self):
+        node = WiFiNode(0, TrafficProfile(saturated=True))
+        with pytest.raises(ConfigurationError):
+            WiFiContentionSimulator([node], {})
+
+    def test_intermittent_traffic_produces_idle_time(self):
+        sim = make_simulator([], n=1, saturated=False, seed=5)
+        busy = sum(1 for s in sim.run(4000) if 0 in s.active_terminals)
+        assert 0 < busy < 4000
+
+
+class TestWiFiNode:
+    def test_start_transmission_requires_queue(self):
+        node = WiFiNode(0, TrafficProfile(saturated=False, arrival_rate=0.0))
+        with pytest.raises(ConfigurationError):
+            node.start_transmission()
+
+    def test_transmission_lifecycle(self):
+        node = WiFiNode(0, TrafficProfile(saturated=True, payload_bytes=500),
+                        snr_to_receiver_db=30.0)
+        node.arrivals()
+        assert node.wants_channel()
+        node.start_transmission()
+        assert node.transmitting
+        while node.transmitting:
+            node.tick_transmission()
+        assert not node.wants_channel() or node.arrivals() is None

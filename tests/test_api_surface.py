@@ -1,0 +1,72 @@
+"""Library-surface tests: exports, error hierarchy, docstring hygiene."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.core.blueprint",
+    "repro.core.joint",
+    "repro.core.measurement",
+    "repro.core.scheduling",
+    "repro.lte",
+    "repro.sim",
+    "repro.spectrum",
+    "repro.topology",
+    "repro.traces",
+]
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_specific_errors_distinct(self):
+        assert not issubclass(errors.SchedulingError, errors.TopologyError)
+        assert not issubclass(errors.TraceError, errors.InferenceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MeasurementError("x")
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_top_level_all_sorted_classes_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_callables_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{package}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.ues == 8
+        assert args.antennas == 1
+        assert not args.with_oracle
+
+    def test_overhead_arguments(self):
+        args = build_parser().parse_args(
+            ["overhead", "--ues", "12", "--k", "6", "--samples", "10"]
+        )
+        assert (args.ues, args.k, args.samples) == (12, 6, 10)
+
+
+class TestCommands:
+    def test_overhead_output(self, capsys):
+        assert main(["overhead", "--ues", "12", "--k", "6", "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "F_min" in out
+        assert "Algorithm 1" in out
+
+    def test_scenario_output(self, capsys):
+        assert main(["scenario", "--ues", "6", "--wifi", "14", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hidden terminals" in out
+
+    def test_infer_output(self, capsys):
+        code = main(
+            ["infer", "--ues", "5", "--wifi", "12",
+             "--trace-subframes", "1500", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "edge-set accuracy" in out
+        else:
+            assert "no hidden terminals" in out
+
+    def test_compare_output(self, capsys):
+        assert (
+            main(
+                ["compare", "--ues", "4", "--hts-per-ue", "1",
+                 "--subframes", "600", "--seed", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pf" in out
+        assert "blu" in out
+        assert "throughput_mbps" in out
+
+    def test_compare_with_oracle(self, capsys):
+        assert (
+            main(
+                ["compare", "--ues", "4", "--hts-per-ue", "1",
+                 "--subframes", "400", "--seed", "2", "--with-oracle"]
+            )
+            == 0
+        )
+        assert "oracle" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        output = tmp_path / "demo"
+        assert (
+            main(
+                ["trace", str(output), "--ues", "5", "--wifi", "12",
+                 "--subframes", "400", "--seed", "3"]
+            )
+            == 0
+        )
+        assert "recorded 400 subframes" in capsys.readouterr().out
+        assert main(["trace-info", str(output) + ".npz"]) == 0
+        out = capsys.readouterr().out
+        assert "hidden terminals" in out
+        assert "400" in out
+
+    def test_trace_no_contention(self, tmp_path, capsys):
+        output = tmp_path / "plain"
+        assert (
+            main(
+                ["trace", str(output), "--ues", "4", "--wifi", "10",
+                 "--subframes", "200", "--seed", "1", "--no-contention"]
+            )
+            == 0
+        )
+
+    def test_compare_markdown(self, capsys):
+        assert (
+            main(
+                ["compare", "--ues", "4", "--hts-per-ue", "1",
+                 "--subframes", "400", "--seed", "2", "--markdown"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("## ")
+        assert "| scheduler |" in out

@@ -1,0 +1,176 @@
+"""Tests for geometry, scenario generation, and hidden-terminal counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum.cca import LTE_ENERGY_SENSING, WIFI_PREAMBLE_SENSING
+from repro.topology.generator import Scenario, ScenarioConfig, generate_scenario
+from repro.topology.geometry import NodeLayout, Position, rx_power_map
+from repro.topology.hidden import (
+    compare_wifi_vs_lte_cell,
+    count_cell_hidden_terminals,
+    hidden_terminals_per_link,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(-3, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestNodeLayout:
+    def test_random_layout_bounds(self, rng):
+        layout = NodeLayout.random(5, 10, area_m=100.0, cell_radius_m=20.0, rng=rng)
+        assert layout.num_ues == 5
+        assert layout.num_wifi == 10
+        for ue in layout.ues:
+            assert layout.ue_distance_to_enb(ue) <= 20.0 + 1e-9
+        for w, pos in layout.wifi.items():
+            assert 0 <= pos.x <= 100 and 0 <= pos.y <= 100
+
+    def test_needs_one_ue(self):
+        with pytest.raises(ConfigurationError):
+            NodeLayout.random(0, 5)
+
+    def test_negative_wifi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeLayout.random(2, -1)
+
+    def test_rx_power_map_keys(self, rng):
+        layout = NodeLayout.random(2, 3, rng=rng)
+        powers = rx_power_map(layout)
+        assert len(powers["wifi_at_ue"]) == 6
+        assert len(powers["wifi_at_enb"]) == 3
+        assert len(powers["ue_at_enb"]) == 2
+        assert len(powers["wifi_at_wifi"]) == 6
+
+    def test_rx_power_decreases_with_distance(self, rng):
+        layout = NodeLayout(
+            enb=Position(0, 0),
+            ues={0: Position(10, 0), 1: Position(40, 0)},
+            wifi={},
+        )
+        powers = rx_power_map(layout)
+        assert powers["ue_at_enb"][(0, 0)] > powers["ue_at_enb"][(1, 0)]
+
+
+class TestScenarioGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_scenario(ScenarioConfig(num_ues=4, num_wifi=8), seed=11)
+        b = generate_scenario(ScenarioConfig(num_ues=4, num_wifi=8), seed=11)
+        assert a.topology.edges == b.topology.edges
+        assert a.topology.q == b.topology.q
+
+    def test_node_classification_partitions_wifi(self):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=15), seed=2)
+        classified = (
+            set(scenario.ht_wifi_ids)
+            | set(scenario.enb_audible_wifi)
+            | set(scenario.inert_wifi)
+        )
+        assert classified == set(scenario.layout.wifi)
+        assert not set(scenario.ht_wifi_ids) & set(scenario.enb_audible_wifi)
+
+    def test_hidden_terminals_are_hidden_from_enb(self):
+        config = ScenarioConfig(num_ues=6, num_wifi=15)
+        scenario = generate_scenario(config, seed=2)
+        for wifi_id in scenario.ht_wifi_ids:
+            power = scenario.powers["wifi_at_enb"][(wifi_id, 0)]
+            assert power < config.enb_ed_threshold_dbm
+
+    def test_every_terminal_has_an_edge(self):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=15), seed=2)
+        for edge_set in scenario.topology.edges:
+            assert len(edge_set) >= 1
+
+    def test_activity_range_respected(self):
+        config = ScenarioConfig(activity_low=0.2, activity_high=0.3)
+        scenario = generate_scenario(config, seed=4)
+        for q in scenario.wifi_activity.values():
+            assert 0.2 <= q <= 0.3
+
+    def test_bad_activity_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(activity_low=0.5, activity_high=0.2)
+
+    def test_enb_busy_probability_bounds(self):
+        scenario = generate_scenario(ScenarioConfig(num_ues=4, num_wifi=20), seed=5)
+        assert 0.0 <= scenario.enb_busy_probability() < 1.0
+
+    def test_activity_processes_match_terminals(self, rng):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=15), seed=2)
+        processes = scenario.activity_processes(rng=rng)
+        assert len(processes) == scenario.num_hidden_terminals
+
+    def test_activity_processes_bad_kind(self, rng):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=15), seed=2)
+        with pytest.raises(ConfigurationError):
+            scenario.activity_processes(kind="nonsense", rng=rng)
+
+    def test_contention_groups_cover_only_terminals(self):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=20), seed=3)
+        marginals, groups = scenario.contention_groups()
+        assert len(marginals) == scenario.num_hidden_terminals
+        for group in groups:
+            assert len(group) >= 2
+            total = sum(marginals[k] for k in group)
+            assert total <= 0.95 + 1e-9
+
+    def test_activity_model_runs(self, rng):
+        scenario = generate_scenario(ScenarioConfig(num_ues=6, num_wifi=20), seed=3)
+        model = scenario.activity_model(rng=rng)
+        active = model.step()
+        assert all(0 <= k < scenario.num_hidden_terminals for k in active)
+
+
+class TestHiddenTerminalCounting:
+    @staticmethod
+    def fixed_case():
+        # One UE at 30 m from the eNB; one ambient node between them such
+        # that: heard at -76 dBm by the UE (below ED -72, above CS -85) and
+        # at -76 dBm by the eNB (harmful, above -82).
+        layout = NodeLayout(
+            enb=Position(0, 0),
+            ues={0: Position(30, 0)},
+            wifi={0: Position(0, 63)},
+        )
+        return layout, rx_power_map(layout)
+
+    def test_energy_sensing_misses_what_preamble_hears(self):
+        layout, powers = self.fixed_case()
+        lte_hidden = hidden_terminals_per_link(0, powers, LTE_ENERGY_SENSING)
+        wifi_hidden = hidden_terminals_per_link(0, powers, WIFI_PREAMBLE_SENSING)
+        assert lte_hidden == frozenset({0})
+        assert wifi_hidden == frozenset()
+
+    def test_comparison_counts(self):
+        layout, powers = self.fixed_case()
+        comparison = compare_wifi_vs_lte_cell(layout, powers)
+        assert comparison.lte_cell_count == 1
+        assert comparison.wifi_cell_count == 0
+
+    def test_lte_cell_sees_more_hidden_terminals_statistically(self):
+        # The Fig. 4c shape: over random geometries the LTE cell faces at
+        # least as many hidden terminals, and strictly more in aggregate.
+        totals = {"wifi": 0, "lte": 0}
+        for seed in range(20):
+            scenario = generate_scenario(
+                ScenarioConfig(num_ues=5, num_wifi=15), seed=seed
+            )
+            comparison = compare_wifi_vs_lte_cell(scenario.layout, scenario.powers)
+            assert comparison.lte_cell_count >= comparison.wifi_cell_count
+            totals["wifi"] += comparison.wifi_cell_count
+            totals["lte"] += comparison.lte_cell_count
+        assert totals["lte"] >= 2 * max(totals["wifi"], 1)
+
+    def test_count_distinct_across_links(self, rng):
+        scenario = generate_scenario(ScenarioConfig(num_ues=5, num_wifi=15), seed=1)
+        count = count_cell_hidden_terminals(
+            scenario.layout, scenario.powers, LTE_ENERGY_SENSING
+        )
+        assert 0 <= count <= 15

@@ -1,0 +1,230 @@
+"""Tests for the interference topology (h, q, Z) and its probability laws."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import InterferenceTopology, edge_set_accuracy
+
+
+class TestConstruction:
+    def test_build(self, simple_topology):
+        assert simple_topology.num_ues == 3
+        assert simple_topology.num_terminals == 2
+        assert simple_topology.edges[0] == frozenset({0, 1})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TopologyError):
+            InterferenceTopology(num_ues=2, q=(0.1,), edges=())
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(TopologyError):
+            InterferenceTopology.build(2, [(1.0, [0])])
+        with pytest.raises(TopologyError):
+            InterferenceTopology.build(2, [(-0.1, [0])])
+
+    def test_rejects_unknown_ue(self):
+        with pytest.raises(TopologyError):
+            InterferenceTopology.build(2, [(0.3, [5])])
+
+    def test_rejects_zero_ues(self):
+        with pytest.raises(TopologyError):
+            InterferenceTopology(num_ues=0, q=(), edges=())
+
+    def test_empty_topology_allowed(self):
+        topology = InterferenceTopology.build(3, [])
+        assert topology.num_terminals == 0
+        assert topology.access_probability(0) == 1.0
+
+
+class TestAccessProbabilities:
+    def test_individual(self, simple_topology):
+        # UE0 hears HT0 (q=0.3): p = 0.7.
+        assert simple_topology.access_probability(0) == pytest.approx(0.7)
+        # UE1 hears both: p = 0.7 * 0.8.
+        assert simple_topology.access_probability(1) == pytest.approx(0.56)
+        # UE2 interference-free.
+        assert simple_topology.access_probability(2) == 1.0
+
+    def test_unknown_ue_rejected(self, simple_topology):
+        with pytest.raises(TopologyError):
+            simple_topology.access_probability(7)
+
+    def test_pairwise_shared_terminal(self, simple_topology):
+        # UE0 and UE1 share HT0; union is {HT0, HT1}.
+        expected = 0.7 * 0.8
+        assert simple_topology.pairwise_access_probability(0, 1) == pytest.approx(
+            expected
+        )
+
+    def test_pairwise_no_shared_terminal_is_product(self, simple_topology):
+        p0 = simple_topology.access_probability(0)
+        p2 = simple_topology.access_probability(2)
+        assert simple_topology.pairwise_access_probability(0, 2) == pytest.approx(
+            p0 * p2
+        )
+
+    def test_pairwise_self_is_individual(self, simple_topology):
+        assert simple_topology.pairwise_access_probability(1, 1) == pytest.approx(
+            simple_topology.access_probability(1)
+        )
+
+    def test_pairwise_symmetric(self, fig1):
+        for i, j in itertools.combinations(range(fig1.num_ues), 2):
+            assert fig1.pairwise_access_probability(i, j) == pytest.approx(
+                fig1.pairwise_access_probability(j, i)
+            )
+
+    def test_pairwise_bounds(self, testbed8):
+        # p(i)p(j) <= p(i,j) <= min(p(i), p(j)) under shared interference.
+        for i, j in itertools.combinations(range(8), 2):
+            p_i = testbed8.access_probability(i)
+            p_j = testbed8.access_probability(j)
+            p_ij = testbed8.pairwise_access_probability(i, j)
+            assert p_i * p_j - 1e-12 <= p_ij <= min(p_i, p_j) + 1e-12
+
+
+class TestJointAccess:
+    def test_monte_carlo_agreement(self, simple_topology, rng):
+        # Exact joint probabilities must match simulation of the model.
+        n = 200_000
+        busy0 = rng.random(n) < 0.3
+        busy1 = rng.random(n) < 0.2
+        clear = np.stack(
+            [~busy0, ~(busy0 | busy1), np.ones(n, dtype=bool)], axis=1
+        )
+        empirical = np.mean(clear[:, 0] & ~clear[:, 1])
+        exact = simple_topology.joint_access_probability([0], [1])
+        assert exact == pytest.approx(empirical, abs=0.005)
+
+    def test_all_clear_equals_clear_probability(self, testbed8):
+        group = [0, 1, 2]
+        assert testbed8.joint_access_probability(group, []) == pytest.approx(
+            testbed8.clear_probability(group)
+        )
+
+    def test_partition_sums_to_one(self, fig1):
+        # Over all clear/blocked splits of a group, probabilities sum to 1.
+        group = [0, 2, 4]
+        total = 0.0
+        for r in range(len(group) + 1):
+            for clear in itertools.combinations(group, r):
+                blocked = [u for u in group if u not in clear]
+                total += fig1.joint_access_probability(list(clear), blocked)
+        assert total == pytest.approx(1.0)
+
+    def test_overlap_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            fig1.joint_access_probability([0], [0])
+
+    def test_empty_sets(self, fig1):
+        assert fig1.joint_access_probability([], []) == 1.0
+
+    def test_impossible_blocking_is_zero(self, fig1):
+        # Client 6 has no hidden terminal: it can never be blocked.
+        assert fig1.joint_access_probability([], [6]) == pytest.approx(0.0)
+
+
+class TestConditioning:
+    def test_removes_attached_terminals(self, simple_topology):
+        conditioned = simple_topology.condition_on_clear(1)
+        assert conditioned.num_terminals == 0
+
+    def test_keeps_unattached_terminals(self, simple_topology):
+        conditioned = simple_topology.condition_on_clear(0)
+        # HT0 (attached to UE0) removed; HT1 stays.
+        assert conditioned.num_terminals == 1
+        assert conditioned.edges[0] == frozenset({1})
+
+    def test_raises_conditioned_probability(self, simple_topology):
+        # Given UE0 clear (HT0 idle), UE1 only fears HT1.
+        conditioned = simple_topology.condition_on_clear(0)
+        assert conditioned.access_probability(1) == pytest.approx(0.8)
+
+
+class TestCanonicalAndAccuracy:
+    def test_merges_duplicate_edge_sets(self):
+        topology = InterferenceTopology.build(
+            2, [(0.3, [0]), (0.2, [0]), (0.1, [1])]
+        )
+        canonical = topology.canonical()
+        assert canonical.num_terminals == 2
+        merged_q = [
+            q for q, e in zip(canonical.q, canonical.edges) if e == frozenset({0})
+        ][0]
+        assert merged_q == pytest.approx(1 - 0.7 * 0.8)
+
+    def test_drops_edgeless_terminals(self):
+        topology = InterferenceTopology.build(2, [(0.3, []), (0.2, [0])])
+        assert topology.canonical().num_terminals == 1
+
+    def test_canonical_preserves_probabilities(self, testbed8):
+        canonical = testbed8.canonical()
+        for ue in range(8):
+            assert canonical.access_probability(ue) == pytest.approx(
+                testbed8.access_probability(ue)
+            )
+
+    def test_accuracy_perfect_match(self, fig1):
+        assert edge_set_accuracy(fig1, fig1) == 1.0
+
+    def test_accuracy_single_missing_edge_fails_terminal(self, fig1):
+        # Same terminals but one with a perturbed edge set: 2/3 match.
+        inferred = InterferenceTopology.build(
+            7, [(0.3, [0, 1]), (0.3, [2, 3]), (0.3, [4])]
+        )
+        assert edge_set_accuracy(inferred, fig1) == pytest.approx(2 / 3)
+
+    def test_accuracy_ignores_q_mismatch(self, fig1):
+        # The Fig. 14 metric is purely structural.
+        inferred = InterferenceTopology.build(
+            7, [(0.9, [0, 1]), (0.1, [2, 3]), (0.5, [4, 5])]
+        )
+        assert edge_set_accuracy(inferred, fig1) == 1.0
+
+    def test_accuracy_empty_truth(self):
+        truth = InterferenceTopology.build(2, [])
+        inferred = InterferenceTopology.build(2, [(0.2, [0])])
+        assert edge_set_accuracy(inferred, truth) == 1.0
+
+
+class TestSerialization:
+    def test_roundtrip(self, testbed8):
+        restored = InterferenceTopology.from_dict(testbed8.to_dict())
+        assert restored.num_ues == testbed8.num_ues
+        assert restored.q == testbed8.q
+        assert restored.edges == testbed8.edges
+
+
+class TestRestrict:
+    def test_keeps_prefix_edges(self, fig1):
+        sub = fig1.restrict(4)
+        assert sub.num_ues == 4
+        # H1 {0,1} and H2 {2,3} survive intact; H3 {4,5} drops out.
+        assert frozenset({0, 1}) in sub.edges
+        assert frozenset({2, 3}) in sub.edges
+        assert sub.num_terminals == 2
+
+    def test_partial_footprints_trimmed(self):
+        topology = InterferenceTopology.build(4, [(0.3, [1, 3])])
+        sub = topology.restrict(2)
+        assert sub.edges == (frozenset({1}),)
+
+    def test_preserves_marginals_of_kept_ues(self, testbed8):
+        sub = testbed8.restrict(5)
+        for ue in range(5):
+            assert sub.access_probability(ue) == pytest.approx(
+                testbed8.access_probability(ue)
+            )
+
+    def test_full_restriction_is_identity(self, fig1):
+        sub = fig1.restrict(fig1.num_ues)
+        assert sub.canonical().edges == fig1.canonical().edges
+
+    def test_out_of_range_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            fig1.restrict(0)
+        with pytest.raises(TopologyError):
+            fig1.restrict(8)

@@ -1,0 +1,101 @@
+"""Tests for canonical hand-built topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.scenarios import contention_pairs, fig1_topology
+from repro.topology.scenarios import skewed_topology, uniform_snrs
+from repro.topology.scenarios import testbed_topology as make_testbed
+
+
+class TestFig1Topology:
+    def test_shape(self):
+        topology = fig1_topology()
+        assert topology.num_ues == 7
+        assert topology.num_terminals == 3
+
+    def test_client6_interference_free(self):
+        topology = fig1_topology()
+        assert topology.access_probability(6) == 1.0
+
+    def test_disjoint_footprints(self):
+        topology = fig1_topology()
+        for a in range(3):
+            for b in range(a + 1, 3):
+                assert not topology.edges[a] & topology.edges[b]
+
+
+class TestTestbedTopology:
+    def test_terminal_count(self):
+        topology = make_testbed(num_ues=4, hts_per_ue=2, seed=0)
+        assert topology.num_terminals == 8
+
+    def test_every_ue_covered(self):
+        topology = make_testbed(num_ues=4, hts_per_ue=1, seed=0)
+        for ue in range(4):
+            assert topology.terminals_for_ue(ue)
+
+    def test_zero_hts_allowed(self):
+        topology = make_testbed(num_ues=4, hts_per_ue=0, seed=0)
+        assert topology.num_terminals == 0
+
+    def test_deterministic_by_seed(self):
+        a = make_testbed(4, 2, seed=9)
+        b = make_testbed(4, 2, seed=9)
+        assert a.edges == b.edges and a.q == b.q
+
+    def test_spread_controls_heterogeneity(self):
+        uniform = make_testbed(8, 2, activity=0.3, spread=0.0, seed=1)
+        varied = make_testbed(8, 2, activity=0.3, spread=0.8, seed=1)
+        assert max(uniform.q) - min(uniform.q) < 1e-9
+        assert max(varied.q) - min(varied.q) > 0.1
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_testbed(num_ues=0)
+        with pytest.raises(ConfigurationError):
+            make_testbed(hts_per_ue=-1)
+        with pytest.raises(ConfigurationError):
+            make_testbed(shared_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            make_testbed(spread=1.0)
+
+
+class TestSkewedTopology:
+    def test_more_terminals_than_clients(self):
+        topology = skewed_topology(num_ues=4, num_terminals=10, seed=0)
+        assert topology.num_terminals == 10
+        assert topology.num_ues == 4
+
+    def test_zero_terminals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            skewed_topology(num_terminals=0)
+
+
+class TestUniformSnrs:
+    def test_range_and_coverage(self):
+        snrs = uniform_snrs(6, low_db=10.0, high_db=20.0, seed=0)
+        assert set(snrs) == set(range(6))
+        assert all(10.0 <= v <= 20.0 for v in snrs.values())
+
+
+class TestContentionPairs:
+    def test_pairs_disjoint_footprints(self):
+        topology = make_testbed(8, 2, activity=0.3, seed=1)
+        for a, b in contention_pairs(topology, seed=0):
+            assert not topology.edges[a] & topology.edges[b]
+            assert topology.q[a] + topology.q[b] < 0.95
+
+    def test_each_terminal_in_one_pair(self):
+        topology = make_testbed(8, 2, activity=0.3, seed=1)
+        members = [k for pair in contention_pairs(topology, seed=0) for k in pair]
+        assert len(members) == len(set(members))
+
+    def test_zero_fraction_gives_no_pairs(self):
+        topology = make_testbed(8, 2, seed=1)
+        assert contention_pairs(topology, contention_fraction=0.0, seed=0) == []
+
+    def test_bad_fraction_rejected(self):
+        topology = make_testbed(4, 1, seed=1)
+        with pytest.raises(ConfigurationError):
+            contention_pairs(topology, contention_fraction=1.5)

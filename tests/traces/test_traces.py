@@ -1,0 +1,204 @@
+"""Tests for trace records, collection, combination, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.spectrum.activity import ExclusiveGroupActivity
+from repro.topology.generator import ScenarioConfig, generate_scenario
+from repro.topology.graph import InterferenceTopology
+from repro.topology.scenarios import testbed_topology as make_testbed_topology
+from repro.traces.collect import collect_scenario_trace, collect_topology_trace
+from repro.traces.combine import merge_interference_layers, merge_ue_populations
+from repro.traces.io import load_trace, save_trace
+from repro.traces.records import ChannelTrace, InterferenceTrace, TopologyTrace
+
+
+def small_trace(seed=0, n=300, num_ues=3):
+    topology = InterferenceTopology.build(
+        num_ues, [(0.3, [0]), (0.2, [1, min(2, num_ues - 1)])]
+    )
+    return collect_topology_trace(
+        topology,
+        {u: 25.0 for u in range(num_ues)},
+        n,
+        seed=seed,
+        label=f"trace{seed}",
+    )
+
+
+class TestRecords:
+    def test_interference_trace_validation(self):
+        with pytest.raises(TraceError):
+            InterferenceTrace(activity=np.zeros(5, dtype=bool))
+
+    def test_marginals(self):
+        activity = np.array([[1, 0], [1, 1], [0, 0], [0, 1]], dtype=bool)
+        trace = InterferenceTrace(activity=activity)
+        assert trace.marginals().tolist() == [0.5, 0.5]
+
+    def test_clear_matrix_semantics(self):
+        topology = InterferenceTopology.build(2, [(0.5, [0]), (0.5, [1])])
+        activity = np.array([[1, 0], [0, 1], [0, 0]], dtype=bool)
+        clear = InterferenceTrace(activity).clear_matrix(topology)
+        assert clear.tolist() == [[False, True], [True, False], [True, True]]
+
+    def test_clear_matrix_terminal_mismatch(self):
+        topology = InterferenceTopology.build(2, [(0.5, [0])])
+        with pytest.raises(TraceError):
+            InterferenceTrace(np.zeros((3, 2), dtype=bool)).clear_matrix(topology)
+
+    def test_channel_trace_validation(self):
+        with pytest.raises(TraceError):
+            ChannelTrace(ue_id=0, sinr_db=np.zeros(5))
+
+    def test_topology_trace_length_consistency(self):
+        topology = InterferenceTopology.build(1, [(0.2, [0])])
+        interference = InterferenceTrace(np.zeros((10, 1), dtype=bool))
+        with pytest.raises(TraceError):
+            TopologyTrace(
+                topology=topology,
+                interference=interference,
+                channels={0: ChannelTrace(0, np.zeros((5, 2)))},
+            )
+
+    def test_topology_trace_unknown_ue_channel(self):
+        topology = InterferenceTopology.build(1, [(0.2, [0])])
+        interference = InterferenceTrace(np.zeros((10, 1), dtype=bool))
+        with pytest.raises(TraceError):
+            TopologyTrace(
+                topology=topology,
+                interference=interference,
+                channels={5: ChannelTrace(5, np.zeros((10, 2)))},
+            )
+
+
+class TestCollect:
+    def test_collect_shapes(self):
+        trace = small_trace(n=200)
+        assert trace.num_subframes == 200
+        assert trace.interference.num_terminals == 2
+        assert set(trace.channels) == {0, 1, 2}
+        assert trace.clear_matrix().shape == (200, 3)
+
+    def test_marginals_near_truth(self):
+        trace = small_trace(seed=1, n=20000)
+        marginals = trace.interference.marginals()
+        assert marginals[0] == pytest.approx(0.3, abs=0.02)
+        assert marginals[1] == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic_by_seed(self):
+        a = small_trace(seed=3, n=100)
+        b = small_trace(seed=3, n=100)
+        assert (a.interference.activity == b.interference.activity).all()
+
+    def test_invalid_length_rejected(self):
+        topology = InterferenceTopology.build(1, [])
+        with pytest.raises(TraceError):
+            collect_topology_trace(topology, {0: 25.0}, 0)
+
+    def test_activity_model_override(self):
+        topology = InterferenceTopology.build(2, [(0.4, [0]), (0.4, [1])])
+        model = ExclusiveGroupActivity(
+            [0.4, 0.4], [[0, 1]], rng=np.random.default_rng(0)
+        )
+        trace = collect_topology_trace(
+            topology, {0: 25.0, 1: 25.0}, 2000, activity_model=model, seed=0
+        )
+        overlap = (trace.interference.activity[:, 0] & trace.interference.activity[:, 1])
+        assert not overlap.any()
+
+    def test_activity_model_size_mismatch(self):
+        topology = InterferenceTopology.build(2, [(0.4, [0])])
+        model = ExclusiveGroupActivity([0.4, 0.4], [])
+        with pytest.raises(TraceError):
+            collect_topology_trace(
+                topology, {0: 25.0, 1: 25.0}, 10, activity_model=model
+            )
+
+    def test_collect_scenario_trace(self):
+        scenario = generate_scenario(ScenarioConfig(num_ues=4, num_wifi=12), seed=3)
+        trace = collect_scenario_trace(scenario, 300, seed=1, label="s3")
+        assert trace.topology.num_terminals == scenario.num_hidden_terminals
+        assert trace.label == "s3"
+
+    def test_skip_channels(self):
+        trace = collect_topology_trace(
+            InterferenceTopology.build(2, [(0.2, [0])]),
+            {0: 25.0, 1: 25.0},
+            50,
+            record_channels=False,
+            seed=0,
+        )
+        assert trace.channels == {}
+
+
+class TestCombine:
+    def test_merge_ue_populations(self):
+        merged = merge_ue_populations([small_trace(0), small_trace(1)])
+        assert merged.topology.num_ues == 6
+        assert merged.topology.num_terminals == 4
+        # Second trace's edges shifted by 3.
+        assert frozenset({3}) in merged.topology.edges
+        assert set(merged.channels) == set(range(6))
+
+    def test_merge_interference_layers(self):
+        merged = merge_interference_layers([small_trace(0), small_trace(1)])
+        assert merged.topology.num_ues == 3
+        assert merged.topology.num_terminals == 4
+        assert merged.interference.num_terminals == 4
+
+    def test_layer_merge_blocks_union(self):
+        merged = merge_interference_layers([small_trace(0), small_trace(1)])
+        clear = merged.clear_matrix()
+        clear_a = small_trace(0).clear_matrix()
+        clear_b = small_trace(1).clear_matrix()
+        assert (clear == (clear_a & clear_b)).all()
+
+    def test_layer_merge_requires_same_ues(self):
+        with pytest.raises(TraceError):
+            merge_interference_layers(
+                [small_trace(0, num_ues=3), small_trace(1, num_ues=4)]
+            )
+
+    def test_truncates_to_shortest(self):
+        merged = merge_ue_populations(
+            [small_trace(0, n=100), small_trace(1, n=250)]
+        )
+        assert merged.num_subframes == 100
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceError):
+            merge_ue_populations([])
+        with pytest.raises(TraceError):
+            merge_interference_layers([])
+
+
+class TestIo:
+    def test_roundtrip(self, tmp_path):
+        trace = small_trace(0, n=120)
+        path = save_trace(trace, tmp_path / "t0")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert loaded.label == trace.label
+        assert loaded.topology.edges == trace.topology.edges
+        assert (loaded.interference.activity == trace.interference.activity).all()
+        assert np.allclose(
+            loaded.channels[0].sinr_db, trace.channels[0].sinr_db
+        )
+        assert loaded.mean_snr_db == trace.mean_snr_db
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.npz")
+
+    def test_roundtrip_without_channels(self, tmp_path):
+        trace = collect_topology_trace(
+            InterferenceTopology.build(2, [(0.2, [0])]),
+            {0: 25.0, 1: 25.0},
+            50,
+            record_channels=False,
+            seed=0,
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "nochan"))
+        assert loaded.channels == {}
