@@ -1,0 +1,141 @@
+"""Engine throughput benchmark: subframes/sec, fast path vs legacy path.
+
+Unlike the figure-reproduction benchmarks, this one measures the simulator
+itself.  For each cell size it runs the same seeded scenario through
+
+* the vectorized fast path (``fast_path=True``, the default), and
+* the legacy scalar path (``fast_path=False``) — the faithful pre-PR
+  reference substrate,
+
+verifies the two produce identical results (the substrates are bit-exact
+under a shared seed), and reports subframes/sec plus the fast path's phase
+breakdown.  Results land in ``BENCH_engine.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py           # full
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --smoke   # CI
+
+``--smoke`` shrinks the subframe counts so CI exercises every code path in
+seconds; it fails on errors or a fast/legacy mismatch, never on timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import ProportionalFairScheduler, SimulationConfig
+from repro.perf import PhaseTimer
+from repro.sim.engine import CellSimulation
+from repro.topology.scenarios import skewed_topology, uniform_snrs
+
+from common import MASTER_SEED
+
+#: (name, num_ues, num_terminals, num_rbs, num_antennas, subframes)
+SCENARIOS = (
+    ("small", 6, 3, 10, 1, 6_000),
+    ("medium", 20, 6, 20, 4, 10_000),
+    ("large", 48, 12, 25, 4, 4_000),
+)
+
+OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
+
+def build_case(num_ues: int, num_terminals: int, num_rbs: int,
+               num_antennas: int, subframes: int):
+    topology = skewed_topology(num_ues, num_terminals, seed=3)
+    snrs = uniform_snrs(topology.num_ues, seed=7)
+    config = SimulationConfig(
+        num_subframes=subframes,
+        num_rbs=num_rbs,
+        num_antennas=num_antennas,
+    )
+    return topology, snrs, config
+
+
+def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = None):
+    simulation = CellSimulation(
+        topology=topology,
+        mean_snr_db=snrs,
+        scheduler=ProportionalFairScheduler(),
+        config=config,
+        seed=MASTER_SEED,
+        fast_path=fast,
+        phase_timer=timer,
+    )
+    start = perf_counter()
+    result = simulation.run()
+    elapsed = perf_counter() - start
+    return result, elapsed
+
+
+def bench_scenario(name: str, num_ues: int, num_terminals: int, num_rbs: int,
+                   num_antennas: int, subframes: int) -> dict:
+    topology, snrs, config = build_case(
+        num_ues, num_terminals, num_rbs, num_antennas, subframes
+    )
+    fast_result, fast_s = timed_run(topology, snrs, config, fast=True)
+    legacy_result, legacy_s = timed_run(topology, snrs, config, fast=False)
+    if fast_result != legacy_result:
+        raise AssertionError(
+            f"{name}: fast path diverged from the legacy path under one seed"
+        )
+    # One extra instrumented fast run for the phase breakdown (the timer
+    # costs a couple of perf_counter calls per subframe, so it is kept out
+    # of the headline measurement).
+    timer = PhaseTimer()
+    timed_run(topology, snrs, config, fast=True, timer=timer)
+    return {
+        "num_ues": num_ues,
+        "num_terminals": num_terminals,
+        "num_rbs": num_rbs,
+        "num_antennas": num_antennas,
+        "subframes": subframes,
+        "fast_subframes_per_s": subframes / fast_s,
+        "legacy_subframes_per_s": subframes / legacy_s,
+        "speedup": legacy_s / fast_s,
+        "phases": timer.as_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny subframe counts: exercise every path, skip the timings",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help=f"where to write the JSON report (default: {OUTPUT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = {"smoke": args.smoke, "scenarios": {}}
+    for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:
+        if args.smoke:
+            subframes = 300
+        entry = bench_scenario(name, ues, terminals, rbs, antennas, subframes)
+        report["scenarios"][name] = entry
+        print(
+            f"{name:>7s}: fast {entry['fast_subframes_per_s']:9.1f} sf/s | "
+            f"legacy {entry['legacy_subframes_per_s']:9.1f} sf/s | "
+            f"speedup {entry['speedup']:.2f}x"
+        )
+
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,9 @@ class WorkingTopology:
         self.num_ues = num_ues
         self._z: np.ndarray = np.zeros((0, num_ues), dtype=bool)
         self._q: np.ndarray = np.zeros(0, dtype=float)
+        # Memoized read-only snapshot served by edge_matrix(); dropped on
+        # every structural mutation.
+        self._z_cache: Optional[np.ndarray] = None
 
     # -- construction -----------------------------------------------------
 
@@ -86,6 +89,7 @@ class WorkingTopology:
             row[ue] = True
         self._z = np.vstack([self._z, row[None, :]]) if len(self._z) else row[None, :]
         self._q = np.append(self._q, float(q))
+        self._z_cache = None
         return len(self._q) - 1
 
     def set_weight(self, k: int, q: float) -> None:
@@ -93,11 +97,13 @@ class WorkingTopology:
 
     def set_edge(self, k: int, ue: int, present: bool) -> None:
         self._z[k, ue] = present
+        self._z_cache = None
 
     def prune(self, weight_floor: float = 1e-9) -> None:
         """Drop terminals with ~zero weight or no edges; merge duplicates."""
         if len(self._q) == 0:
             return
+        self._z_cache = None
         keep = (self._q > weight_floor) & self._z.any(axis=1)
         self._z = self._z[keep]
         self._q = self._q[keep]
@@ -131,7 +137,17 @@ class WorkingTopology:
         return self._q
 
     def edge_matrix(self) -> np.ndarray:
-        return self._z
+        """``Z`` as a read-only boolean snapshot (memoized between mutations).
+
+        The repair and MCMC loops call this once per move evaluation; a
+        write-protected cached copy makes the call O(1) on the hot path and
+        catches accidental in-place edits (use :meth:`set_edge`).
+        """
+        if self._z_cache is None:
+            cache = self._z.copy()
+            cache.setflags(write=False)
+            self._z_cache = cache
+        return self._z_cache
 
     def edge_set(self, k: int) -> FrozenSet[int]:
         return frozenset(int(u) for u in np.nonzero(self._z[k])[0])

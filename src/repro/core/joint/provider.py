@@ -75,9 +75,9 @@ class JointAccessProvider:
             )
         group = clear | blocked
         distribution = self.pattern_distribution(group)
-        return sum(
-            prob for pattern, prob in distribution.items() if pattern == clear
-        )
+        # The pmf is keyed by clear pattern, so the answer is one lookup —
+        # no need to scan the (possibly 2^|G|-sized) distribution.
+        return distribution.get(clear, 0.0)
 
 
 class TopologyJointProvider(JointAccessProvider):
@@ -150,6 +150,10 @@ class EmpiricalJointProvider(JointAccessProvider):
                 f"clear matrix must be non-empty 2-D, got shape {matrix.shape}"
             )
         self._matrix = matrix
+        # Per-UE clear fractions, computed once: column means of a boolean
+        # matrix are exact (integer counts), so this matches the per-query
+        # column mean bit for bit.
+        self._marginals = matrix.mean(axis=0)
         self._pattern_cache: Dict[FrozenSet[int], PatternDistribution] = {}
 
     @property
@@ -163,7 +167,7 @@ class EmpiricalJointProvider(JointAccessProvider):
     def access_probability(self, ue: int) -> float:
         if not 0 <= ue < self.num_ues:
             raise TopologyError(f"unknown UE id {ue}")
-        return float(self._matrix[:, ue].mean())
+        return float(self._marginals[ue])
 
     def pattern_distribution(self, group: FrozenSet[int]) -> PatternDistribution:
         group = frozenset(group)

@@ -17,7 +17,12 @@ from repro.errors import SchedulingError
 from repro.lte.pilots import MAX_ORTHOGONAL_PILOTS
 from repro.lte.resources import SubframeSchedule, UplinkGrant
 
-__all__ = ["UplinkScheduler", "greedy_group", "build_schedule"]
+__all__ = [
+    "UplinkScheduler",
+    "greedy_group",
+    "greedy_group_linear",
+    "build_schedule",
+]
 
 GroupUtility = Callable[[Sequence[int]], float]
 
@@ -66,11 +71,56 @@ def greedy_group(
     return group
 
 
+def greedy_group_linear(
+    candidates: Sequence[int],
+    weights_for_size: Callable[[int], Sequence[float]],
+    max_size: int,
+) -> List[int]:
+    """:func:`greedy_group` for utilities that are sums of per-client weights.
+
+    When a candidate group's utility is ``sum(w[ue] for ue in group)`` with
+    weights that depend only on the group *size* (e.g. PF under the
+    size-dependent MU-MIMO stream penalty), each greedy step only needs the
+    weight vector for the next size — no per-candidate closure calls.  The
+    selection rule (strict ``1e-15`` improvement, sequential scan in
+    ascending id order, left-to-right summation) is replicated exactly, so
+    the result is identical to :func:`greedy_group` with the equivalent
+    group-utility callable.
+
+    ``weights_for_size(size)`` returns a per-client weight sequence indexed
+    by UE id, valid for groups of exactly ``size`` members.
+    """
+    if max_size < 1:
+        raise SchedulingError(f"max_size must be positive: {max_size}")
+    group: List[int] = []
+    current = 0.0
+    remaining = sorted(set(candidates))
+    while remaining and len(group) < max_size:
+        weights = weights_for_size(len(group) + 1)
+        base = 0.0
+        for member in group:
+            base += weights[member]
+        best_ue: Optional[int] = None
+        best_value = current
+        for ue in remaining:
+            value = base + weights[ue]
+            if value > best_value + 1e-15:
+                best_ue = ue
+                best_value = value
+        if best_ue is None:
+            break
+        group.append(best_ue)
+        remaining.remove(best_ue)
+        current = best_value
+    return group
+
+
 def build_schedule(
     context: SchedulingContext,
     rb_utility: Callable[[int, Sequence[int]], float],
     max_group_size: int,
     grant_streams: Callable[[int], int],
+    rb_weights: Optional[Callable[[int, int], Sequence[float]]] = None,
 ) -> SubframeSchedule:
     """Shared RB-walking skeleton.
 
@@ -82,6 +132,10 @@ def build_schedule(
             schedulers, ``~2M`` for the speculative one).
         grant_streams: group size -> stream count the grant's MCS assumes
             (``min(size, M)``: the largest decodable concurrency).
+        rb_weights: optional ``(rb, size) -> per-UE-id weight sequence``
+            for schedulers whose group utility is a plain sum of per-client
+            weights; enables the :func:`greedy_group_linear` fast path
+            (identical selections, no per-candidate callable dispatch).
     """
     size_cap = min(max_group_size, MAX_ORTHOGONAL_PILOTS)
     schedule = SubframeSchedule(num_rbs=context.num_rbs)
@@ -91,11 +145,18 @@ def build_schedule(
             candidates: Sequence[int] = sorted(distinct)
         else:
             candidates = context.ue_ids
-        group = greedy_group(
-            candidates,
-            lambda g, rb=rb: rb_utility(rb, g),
-            size_cap,
-        )
+        if rb_weights is not None:
+            group = greedy_group_linear(
+                candidates,
+                lambda size, rb=rb: rb_weights(rb, size),
+                size_cap,
+            )
+        else:
+            group = greedy_group(
+                candidates,
+                lambda g, rb=rb: rb_utility(rb, g),
+                size_cap,
+            )
         # The K-budget must hold for the union across RBs: admit the greedy
         # order's prefix of newcomers that still fits the budget.
         allowed_new = context.max_distinct_ues - len(distinct)

@@ -30,9 +30,30 @@ class ProportionalFairScheduler(UplinkScheduler):
                 return 0.0
             return sum(context.pf_weight(ue, rb, streams) for ue in group)
 
+        rb_weights = None
+        if context.vectorized:
+            # PF's group utility is a plain sum of per-client weights whose
+            # value depends only on the group size (via the stream-count
+            # SINR penalty), so the linear greedy fast path applies: one
+            # vectorized weight matrix per stream count, columns served as
+            # plain lists.
+            antennas = context.num_antennas
+            columns: dict = {}
+
+            def rb_weights(rb: int, size: int) -> Sequence[float]:
+                streams = min(size, antennas)
+                by_rb = columns.get(streams)
+                if by_rb is None:
+                    # (num_rbs, num_ues) nested lists: one transpose per
+                    # stream count serves every RB of the subframe.
+                    by_rb = context.pf_weight_matrix(streams).T.tolist()
+                    columns[streams] = by_rb
+                return by_rb[rb]
+
         return build_schedule(
             context,
             rb_utility=utility,
             max_group_size=context.num_antennas,
             grant_streams=lambda size: max(min(size, context.num_antennas), 1),
+            rb_weights=rb_weights,
         )

@@ -55,8 +55,22 @@ class SchedulingContext:
     #: within a grant burst rarely drops a stream (outage becomes the
     #: exception, not the rule).
     link_margin_db: float = 2.0
+    #: When True, ``rate_bps`` reads from a whole-cell rate matrix computed
+    #: in one vectorized pass (bit-identical values); when False it uses
+    #: the original per-(ue, rb) scalar path.  The simulation engine's
+    #: legacy reference path sets this to False.
+    vectorized: bool = True
     _rate_cache: Dict[Tuple[int, int, int], float] = field(
         default_factory=dict, repr=False
+    )
+    _sinr_matrix: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False
+    )
+    _rate_matrices: Dict[int, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _pf_weight_matrices: Dict[int, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -81,14 +95,59 @@ class SchedulingContext:
             if ue not in self.avg_throughput_bps:
                 raise SchedulingError(f"no PF average for UE {ue}")
 
+    def _sinr_by_id(self) -> np.ndarray:
+        """Dense ``(max_ue_id + 1, num_rbs)`` SINR matrix (rows without a
+        UE are ``-inf``, i.e. rate 0; they are never consulted)."""
+        if self._sinr_matrix is None:
+            ids = sorted(self.sinr_db)
+            size = ids[-1] + 1 if ids else 0
+            matrix = np.full((size, self.num_rbs), -np.inf)
+            for ue in ids:
+                matrix[ue] = np.asarray(self.sinr_db[ue], dtype=float)
+            self._sinr_matrix = matrix
+        return self._sinr_matrix
+
+    def rate_matrix(self, streams: int = 1) -> np.ndarray:
+        """All ``r_{i,b}`` at one stream count, as a dense-by-UE-id matrix.
+
+        One vectorized CQI pass over the whole cell; entries are
+        bit-identical to the scalar :meth:`rate_bps` (same SINR arithmetic,
+        same CQI bisection, same scaling order).
+        """
+        cached = self._rate_matrices.get(streams)
+        if cached is None:
+            penalty = mumimo_sinr_penalty_db(streams, self.num_antennas)
+            shifted = (self._sinr_by_id() + penalty) - self.link_margin_db
+            cached = self.rate_scale * mcs.rb_rate_bps_array(shifted)
+            self._rate_matrices[streams] = cached
+        return cached
+
+    def pf_weight_matrix(self, streams: int = 1) -> np.ndarray:
+        """All PF marginal utilities ``r_{i,b} / R_i`` as one matrix."""
+        cached = self._pf_weight_matrices.get(streams)
+        if cached is None:
+            rates = self.rate_matrix(streams)
+            averages = np.ones(rates.shape[0])
+            for ue, avg_bps in self.avg_throughput_bps.items():
+                if 0 <= ue < len(averages):
+                    averages[ue] = max(avg_bps, 1.0)
+            cached = rates / averages[:, None]
+            self._pf_weight_matrices[streams] = cached
+        return cached
+
     def rate_bps(self, ue: int, rb: int, streams: int = 1) -> float:
         """``r_{i,b}`` at a given concurrent-stream count (memoized)."""
         key = (ue, rb, streams)
         cached = self._rate_cache.get(key)
         if cached is None:
-            penalty = mumimo_sinr_penalty_db(streams, self.num_antennas)
-            sinr = float(self.sinr_db[ue][rb]) + penalty - self.link_margin_db
-            cached = self.rate_scale * mcs.rb_rate_bps(sinr)
+            if self.vectorized:
+                cached = float(self.rate_matrix(streams)[ue, rb])
+            else:
+                penalty = mumimo_sinr_penalty_db(streams, self.num_antennas)
+                sinr = (
+                    float(self.sinr_db[ue][rb]) + penalty - self.link_margin_db
+                )
+                cached = self.rate_scale * mcs.rb_rate_bps(sinr)
             self._rate_cache[key] = cached
         return cached
 

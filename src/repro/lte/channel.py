@@ -20,6 +20,8 @@ __all__ = [
     "PathLossModel",
     "FadingProcess",
     "UplinkChannel",
+    "UplinkChannelBank",
+    "ChannelView",
 ]
 
 
@@ -129,7 +131,136 @@ class UplinkChannel:
 
     def rates_bps(self) -> np.ndarray:
         """Per-RB instantaneous CQI-model rates for the current subframe."""
-        return np.array([mcs.rb_rate_bps(s) for s in self._sinr_db])
+        return mcs.rb_rate_bps_array(self._sinr_db)
 
     def mean_snr_db(self) -> float:
         return self.mean_rx_power_dbm - self.noise_floor_dbm
+
+
+class UplinkChannelBank:
+    """All UE uplink channels of one cell as a single batched process.
+
+    Semantically ``num_ues`` independent :class:`UplinkChannel` instances —
+    same AR(1) Rayleigh model, same per-UE RNG streams (each UE's generator
+    is spawned from the parent in UE order, exactly like the per-object
+    construction) — but stepped as one ``(num_ues, num_rbs)`` array op per
+    subframe.  Innovations are pre-drawn in blocks per UE; because batched
+    ``standard_normal`` draws consume the stream identically to scalar
+    draws, a bank run is bit-for-bit identical to an object-per-UE run
+    under the same seed (the engine's fast-path regression test asserts
+    this).
+    """
+
+    _BLOCK_SUBFRAMES = 128
+
+    def __init__(
+        self,
+        mean_rx_power_dbm: "np.ndarray | list[float]",
+        num_rbs: int,
+        noise_floor_dbm: float = consts.NOISE_FLOOR_10MHZ_DBM,
+        doppler_coherence: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= doppler_coherence < 1.0:
+            raise ConfigurationError(
+                f"doppler_coherence must be in [0, 1): {doppler_coherence}"
+            )
+        if num_rbs < 1:
+            raise ConfigurationError(f"num_rbs must be positive: {num_rbs}")
+        mean_rx = np.asarray(mean_rx_power_dbm, dtype=float)
+        if mean_rx.ndim != 1 or mean_rx.size < 1:
+            raise ConfigurationError(
+                f"mean_rx_power_dbm must be a non-empty vector: {mean_rx.shape}"
+            )
+        self.num_ues = int(mean_rx.size)
+        self.num_rbs = int(num_rbs)
+        self.rho = float(doppler_coherence)
+        self.noise_floor_dbm = float(noise_floor_dbm)
+        self._mean_snr_db = mean_rx - self.noise_floor_dbm
+        parent = rng if rng is not None else np.random.default_rng()
+        # One child generator per UE, spawned in UE order — the same parent
+        # stream consumption as building UplinkChannel objects in a loop.
+        self._rngs = [
+            np.random.default_rng(parent.integers(0, 2**63))
+            for _ in range(self.num_ues)
+        ]
+        self._h = np.stack([self._draw_initial(r) for r in self._rngs])
+        self._innovations: np.ndarray | None = None
+        self._cursor = 0
+        self._sinr_db = self._compute_sinr(np.abs(self._h) ** 2)
+
+    def _draw_initial(self, rng: np.random.Generator) -> np.ndarray:
+        real = rng.standard_normal(self.num_rbs)
+        imag = rng.standard_normal(self.num_rbs)
+        return (real + 1j * imag) / np.sqrt(2.0)
+
+    def _compute_sinr(self, gains: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            fading_db = 10.0 * np.log10(gains)
+        return self._mean_snr_db[:, None] + fading_db
+
+    def _refill(self) -> None:
+        block = self._BLOCK_SUBFRAMES
+        # Per UE: (block, 2, num_rbs) normals — flattened, that is exactly
+        # the real/imag draw order of `block` successive FadingProcess steps.
+        raw = np.stack(
+            [r.standard_normal((block, 2, self.num_rbs)) for r in self._rngs]
+        )
+        self._innovations = (raw[:, :, 0, :] + 1j * raw[:, :, 1, :]) / np.sqrt(2.0)
+        self._cursor = 0
+
+    def step(self) -> np.ndarray:
+        """Advance all channels one subframe; return ``(U, R)`` SINRs (dB)."""
+        if self._innovations is None or self._cursor >= self._BLOCK_SUBFRAMES:
+            self._refill()
+        innovation = self._innovations[:, self._cursor, :]
+        self._cursor += 1
+        self._h = self.rho * self._h + np.sqrt(1.0 - self.rho**2) * innovation
+        self._sinr_db = self._compute_sinr(np.abs(self._h) ** 2)
+        return self._sinr_db
+
+    @property
+    def sinr_db(self) -> np.ndarray:
+        """Per-(UE, RB) SINR (dB) for the current subframe."""
+        return self._sinr_db
+
+    def sinr_row(self, ue: int) -> np.ndarray:
+        """The current per-RB SINR view of one UE (no copy)."""
+        return self._sinr_db[ue]
+
+    def mean_snr_db(self, ue: int) -> float:
+        return float(self._mean_snr_db[ue])
+
+    def view(self, ue: int) -> "ChannelView":
+        return ChannelView(self, ue)
+
+
+class ChannelView:
+    """Read-only :class:`UplinkChannel`-shaped view of one bank row.
+
+    Lets code written against per-UE channel objects (HARQ accounting,
+    diagnostics) keep working unchanged when the engine runs on the bank.
+    Stepping happens on the bank, never through a view.
+    """
+
+    __slots__ = ("_bank", "_ue")
+
+    def __init__(self, bank: UplinkChannelBank, ue: int) -> None:
+        self._bank = bank
+        self._ue = ue
+
+    @property
+    def num_rbs(self) -> int:
+        return self._bank.num_rbs
+
+    @property
+    def sinr_db(self) -> np.ndarray:
+        """Per-RB SINR (dB) for the current subframe."""
+        return self._bank.sinr_row(self._ue)
+
+    def rates_bps(self) -> np.ndarray:
+        """Per-RB instantaneous CQI-model rates for the current subframe."""
+        return mcs.rb_rate_bps_array(self.sinr_db)
+
+    def mean_snr_db(self) -> float:
+        return self._bank.mean_snr_db(self._ue)

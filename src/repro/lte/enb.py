@@ -15,9 +15,15 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.lte import consts
+from repro.lte import consts, mcs
 from repro.lte.noma import receive_rb_sic
-from repro.lte.phy import GrantOutcome, RBReception, receive_rb
+from repro.lte.phy import (
+    GrantOutcome,
+    RBReception,
+    mumimo_sinr_penalty_db,
+    receive_rb,
+)
+from repro.lte.pilots import PilotObservation
 from repro.lte.resources import SubframeSchedule, TxOp
 
 __all__ = ["ENodeB", "SubframeReception"]
@@ -116,7 +122,7 @@ class ENodeB:
         subframe: int,
         schedule: SubframeSchedule,
         transmitting_ues: Sequence[int],
-        sinr_db_by_ue_rb: Mapping[int, Mapping[int, float]],
+        sinr_db_by_ue_rb: Mapping[int, "Mapping[int, float] | np.ndarray"],
     ) -> SubframeReception:
         """Decode one uplink subframe.
 
@@ -126,10 +132,13 @@ class ENodeB:
             transmitting_ues: UEs whose CCA passed this subframe.  A UE
                 either transmits on all its grants or none (CCA is per
                 subframe, not per RB — the whole carrier is sensed).
-            sinr_db_by_ue_rb: ``{ue_id: {rb: sinr_db}}`` instantaneous SINRs.
+            sinr_db_by_ue_rb: per-UE instantaneous SINRs, indexable by RB —
+                a ``{rb: sinr_db}`` dict or a per-RB ndarray row (the
+                engine's fast path hands channel-bank rows in directly).
         """
         transmitting = set(transmitting_ues)
         result = SubframeReception(subframe=subframe)
+        receive = receive_rb_sic if self.receiver == "sic" else receive_rb
         for rb in schedule.allocated_rbs():
             rb_schedule = schedule.rb(rb)
             rb_transmitters = [u for u in rb_schedule.ue_ids if u in transmitting]
@@ -138,7 +147,6 @@ class ENodeB:
                 for ue in rb_transmitters
                 if ue in sinr_db_by_ue_rb
             }
-            receive = receive_rb_sic if self.receiver == "sic" else receive_rb
             result.rb_receptions[rb] = receive(
                 rb_schedule=rb_schedule,
                 transmitting_ues=rb_transmitters,
@@ -147,6 +155,74 @@ class ENodeB:
                 subframe_duration_s=consts.SUBFRAME_DURATION_S,
                 rate_scale=self.rate_scale,
             )
+        return result
+
+    def receive_subframe_fast(
+        self,
+        subframe: int,
+        schedule: SubframeSchedule,
+        transmitting_ues: Sequence[int],
+        sinr_db_by_ue_rb: Mapping[int, "Mapping[int, float] | np.ndarray"],
+    ) -> SubframeReception:
+        """:meth:`receive_subframe` with the per-RB decode inlined.
+
+        For the linear receiver this skips the per-RB validation and
+        dictionary shuffling of :func:`repro.lte.phy.receive_rb` (the engine
+        already guarantees transmitters are granted and SINRs are present)
+        while producing identical :class:`RBReception` objects.  The SIC
+        receiver falls back to the generic path.
+        """
+        if self.receiver != "linear":
+            return self.receive_subframe(
+                subframe=subframe,
+                schedule=schedule,
+                transmitting_ues=transmitting_ues,
+                sinr_db_by_ue_rb=sinr_db_by_ue_rb,
+            )
+        transmitting = set(transmitting_ues)
+        result = SubframeReception(subframe=subframe)
+        antennas = self.num_antennas
+        scale = self.rate_scale
+        bits_per_bps = consts.SUBFRAME_DURATION_S
+        rate_for = mcs.rb_rate_bps
+        for rb in schedule.allocated_rbs():
+            rb_schedule = schedule.rb(rb)
+            rb_transmitters = [
+                u for u in rb_schedule.ue_ids if u in transmitting
+            ]
+            detected = frozenset(rb_transmitters)
+            reception = RBReception(
+                rb=rb,
+                pilot_observation=PilotObservation(
+                    rb=rb, detected_ues=detected
+                ),
+            )
+            num_streams = len(rb_transmitters)
+            collided = num_streams > antennas
+            penalty = (
+                mumimo_sinr_penalty_db(num_streams, antennas)
+                if 0 < num_streams <= antennas
+                else 0.0
+            )
+            outcomes = reception.outcomes
+            delivered = reception.delivered_bits
+            for grant in rb_schedule.grants:
+                ue = grant.ue_id
+                if ue not in detected:
+                    outcomes[ue] = GrantOutcome.BLOCKED
+                elif collided:
+                    outcomes[ue] = GrantOutcome.COLLIDED
+                else:
+                    achievable = scale * rate_for(
+                        sinr_db_by_ue_rb[ue][rb] + penalty
+                    )
+                    granted = grant.rate_bps
+                    if achievable + 1e-9 >= granted and granted > 0:
+                        outcomes[ue] = GrantOutcome.DECODED
+                        delivered[ue] = granted * bits_per_bps
+                    else:
+                        outcomes[ue] = GrantOutcome.FADED
+            result.rb_receptions[rb] = reception
         return result
 
     @property

@@ -17,6 +17,7 @@ thresholds within ~1 dB.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,9 +28,11 @@ __all__ = [
     "CqiEntry",
     "CQI_TABLE",
     "sinr_to_cqi",
+    "sinr_to_cqi_array",
     "cqi_to_efficiency",
     "sinr_to_efficiency",
     "rb_rate_bps",
+    "rb_rate_bps_array",
     "min_sinr_db_for_rate",
     "shannon_rb_rate_bps",
 ]
@@ -95,16 +98,32 @@ _CQI_SINR_THRESHOLDS_DB = tuple(
     _cqi_threshold_db(entry) for entry in CQI_TABLE[1:]
 )
 
+# The thresholds ascend with the CQI index (capacity is monotone in the
+# entry's bits), which is what lets CQI selection be a bisection instead of
+# a linear scan — both for scalars and for whole SINR arrays at once.
+assert all(
+    a < b
+    for a, b in zip(_CQI_SINR_THRESHOLDS_DB, _CQI_SINR_THRESHOLDS_DB[1:])
+), "CQI thresholds must ascend"
+
+_THRESHOLDS_ARRAY = np.asarray(_CQI_SINR_THRESHOLDS_DB)
+_EFFICIENCY_ARRAY = np.asarray([entry.efficiency for entry in CQI_TABLE])
+_RB_RATE_ARRAY = (
+    _EFFICIENCY_ARRAY * consts.DATA_RE_PER_RB / consts.SUBFRAME_DURATION_S
+)
+# Python-list mirror for the scalar hot path: list indexing beats ndarray
+# scalar indexing, and the values are the identical float64 results.
+_RB_RATE_LIST = [float(rate) for rate in _RB_RATE_ARRAY]
+
 
 def sinr_to_cqi(sinr_db: float) -> int:
     """Return the highest CQI index supported at ``sinr_db`` (0 if none)."""
-    cqi = 0
-    for index, threshold in enumerate(_CQI_SINR_THRESHOLDS_DB, start=1):
-        if sinr_db >= threshold:
-            cqi = index
-        else:
-            break
-    return cqi
+    return bisect_right(_CQI_SINR_THRESHOLDS_DB, sinr_db)
+
+
+def sinr_to_cqi_array(sinr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`sinr_to_cqi` over an SINR array."""
+    return np.searchsorted(_THRESHOLDS_ARRAY, sinr_db, side="right")
 
 
 def cqi_to_efficiency(cqi: int) -> float:
@@ -124,11 +143,22 @@ def rb_rate_bps(sinr_db: float) -> float:
 
     This is the rate model used for ``r_{i,b}`` throughout the schedulers:
     the CQI-table spectral efficiency at the measured SINR, applied to the
-    data-bearing resource elements of the RB.
+    data-bearing resource elements of the RB.  Implemented as a CQI
+    bisection plus a precomputed per-CQI rate table; the values are
+    bit-identical to computing ``efficiency * DATA_RE_PER_RB /
+    SUBFRAME_DURATION_S`` on the fly.
     """
-    efficiency = sinr_to_efficiency(sinr_db)
-    bits = efficiency * consts.DATA_RE_PER_RB
-    return bits / consts.SUBFRAME_DURATION_S
+    return _RB_RATE_LIST[bisect_right(_CQI_SINR_THRESHOLDS_DB, sinr_db)]
+
+
+def rb_rate_bps_array(sinr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rb_rate_bps` over an SINR array.
+
+    Element-for-element identical to the scalar function: CQI selection is
+    the same bisection, and the per-CQI rates are precomputed with the same
+    ``efficiency * DATA_RE_PER_RB / SUBFRAME_DURATION_S`` arithmetic.
+    """
+    return _RB_RATE_ARRAY[sinr_to_cqi_array(sinr_db)]
 
 
 def min_sinr_db_for_rate(rate_bps: float) -> float:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -70,9 +71,14 @@ class RBReception:
         return sorted(u for u, o in self.outcomes.items() if o is outcome)
 
 
+@lru_cache(maxsize=None)
 def mumimo_sinr_penalty_db(num_streams: int, num_antennas: int) -> float:
     """Per-stream SINR penalty (dB, non-positive) for ``num_streams`` at
-    ``num_antennas`` antennas under zero-forcing reception."""
+    ``num_antennas`` antennas under zero-forcing reception.
+
+    Pure in its two small-integer arguments, and on the per-grant hot path
+    of both scheduling and reception — hence memoized.
+    """
     if num_streams < 1:
         raise ConfigurationError(f"num_streams must be >= 1: {num_streams}")
     if num_streams > num_antennas:

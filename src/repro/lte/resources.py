@@ -50,29 +50,42 @@ class UplinkGrant:
 
 @dataclass
 class RBSchedule:
-    """All grants issued on one resource block of one subframe."""
+    """All grants issued on one resource block of one subframe.
+
+    Grants must be added through :meth:`add` (which also maintains the
+    cached id/pilot indexes used on the reception hot path); do not append
+    to ``grants`` directly.
+    """
 
     rb: int
     grants: List[UplinkGrant] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._ue_ids: Tuple[int, ...] = tuple(g.ue_id for g in self.grants)
+        self._ue_set = set(self._ue_ids)
+        self._pilot_set = {g.pilot_index for g in self.grants}
 
     def add(self, grant: UplinkGrant) -> None:
         if grant.rb != self.rb:
             raise SchedulingError(
                 f"grant for RB {grant.rb} added to schedule of RB {self.rb}"
             )
-        if any(g.ue_id == grant.ue_id for g in self.grants):
+        if grant.ue_id in self._ue_set:
             raise SchedulingError(
                 f"UE {grant.ue_id} already granted on RB {self.rb}"
             )
-        if any(g.pilot_index == grant.pilot_index for g in self.grants):
+        if grant.pilot_index in self._pilot_set:
             raise SchedulingError(
                 f"pilot index {grant.pilot_index} reused on RB {self.rb}"
             )
         self.grants.append(grant)
+        self._ue_ids += (grant.ue_id,)
+        self._ue_set.add(grant.ue_id)
+        self._pilot_set.add(grant.pilot_index)
 
     @property
     def ue_ids(self) -> Tuple[int, ...]:
-        return tuple(g.ue_id for g in self.grants)
+        return self._ue_ids
 
     def __len__(self) -> int:
         return len(self.grants)

@@ -1,0 +1,5 @@
+"""Performance instrumentation: stopwatches and engine phase timing."""
+
+from repro.perf.stopwatch import PhaseTimer, Stopwatch
+
+__all__ = ["PhaseTimer", "Stopwatch"]

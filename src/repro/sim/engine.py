@@ -13,12 +13,23 @@ its grants only if clear; the eNB decodes every RB under the ``<= M``
 streams rule, classifies grant outcomes from pilots, updates PF averages
 with delivered rates, and hands the access observation back to the
 scheduler (which is how the BLU controller keeps measuring).
+
+Two interchangeable substrates drive the medium:
+
+* the **fast path** (default): one :class:`~repro.lte.channel.UplinkChannelBank`
+  steps every UE channel as a ``(num_ues, num_rbs)`` array op, hidden-terminal
+  silencing is a boolean reduction over the topology's cached edge matrix,
+  and activity is batch-sampled — all stream-identical to the scalar path;
+* the **legacy path** (``fast_path=False``): per-UE channel objects and
+  per-terminal process stepping, kept as the bit-exact reference the
+  fast-path regression test compares against.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, FrozenSet, List, Mapping, Optional, Set
+from time import perf_counter
+from typing import Callable, Deque, Dict, FrozenSet, List, Mapping, Optional, Set, Union
 
 import numpy as np
 
@@ -29,12 +40,13 @@ from repro.core.scheduling.types import SchedulingContext
 from repro.errors import ConfigurationError, SimulationError
 from repro.lte import consts
 from repro.lte import mcs
-from repro.lte.channel import UplinkChannel
+from repro.lte.channel import UplinkChannel, UplinkChannelBank
 from repro.lte.enb import ENodeB
 from repro.lte.harq import HarqConfig, HarqPool
 from repro.lte.traffic import FullBufferTraffic, TrafficSource, UeQueue
 from repro.lte.phy import GrantOutcome
 from repro.lte.resources import SubframeSchedule
+from repro.perf.stopwatch import PhaseTimer
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.spectrum.activity import (
@@ -64,6 +76,8 @@ class CellSimulation:
         silencer: Optional[Callable[[FrozenSet[int]], Set[int]]] = None,
         seed: Optional[int] = None,
         record_series: bool = False,
+        fast_path: bool = True,
+        phase_timer: Optional[PhaseTimer] = None,
     ) -> None:
         if set(mean_snr_db) != set(range(topology.num_ues)):
             raise ConfigurationError(
@@ -73,6 +87,8 @@ class CellSimulation:
         self.config = config
         self.scheduler = scheduler
         self.record_series = record_series
+        self._fast = bool(fast_path)
+        self._phase_timer = phase_timer
         self._rng = np.random.default_rng(seed)
 
         if activity_model is not None and activity_processes is not None:
@@ -97,15 +113,36 @@ class CellSimulation:
         #: sub-threshold interferers that jointly cross the ED threshold.
         self._silencer = silencer
         self._ue_edges = topology.ue_edge_map()
-        self._channels: Dict[int, UplinkChannel] = {}
-        for ue in range(topology.num_ues):
-            child = np.random.default_rng(self._rng.integers(0, 2**63))
-            self._channels[ue] = UplinkChannel(
-                mean_rx_power_dbm=consts.NOISE_FLOOR_10MHZ_DBM + mean_snr_db[ue],
+        #: (num_terminals, num_ues) boolean silencing matrix for the fast
+        #: path: silenced = any(edge row of an active terminal).
+        self._edge_matrix = topology.edge_matrix()
+        self._bank: Optional[UplinkChannelBank] = None
+        if self._fast:
+            # The bank spawns one child generator per UE in UE order — the
+            # same parent-stream consumption as the per-object loop below.
+            self._bank = UplinkChannelBank(
+                mean_rx_power_dbm=[
+                    consts.NOISE_FLOOR_10MHZ_DBM + mean_snr_db[ue]
+                    for ue in range(topology.num_ues)
+                ],
                 num_rbs=config.num_rbs,
                 doppler_coherence=config.doppler_coherence,
-                rng=child,
+                rng=self._rng,
             )
+            self._channels = {
+                ue: self._bank.view(ue) for ue in range(topology.num_ues)
+            }
+        else:
+            self._channels = {}
+            for ue in range(topology.num_ues):
+                child = np.random.default_rng(self._rng.integers(0, 2**63))
+                self._channels[ue] = UplinkChannel(
+                    mean_rx_power_dbm=consts.NOISE_FLOOR_10MHZ_DBM
+                    + mean_snr_db[ue],
+                    num_rbs=config.num_rbs,
+                    doppler_coherence=config.doppler_coherence,
+                    rng=child,
+                )
 
         self.enb = ENodeB(
             num_antennas=config.num_antennas,
@@ -122,9 +159,10 @@ class CellSimulation:
             alpha=config.pf_alpha,
             initial_bps=config.pf_initial_bps,
         )
-        # Ring buffer of past per-UE SINR snapshots for CSI feedback delay.
-        self._csi_history: Deque[Dict[int, np.ndarray]] = deque(
-            maxlen=config.csi_delay_subframes + 1
+        # Ring buffer of past SINR snapshots for CSI feedback delay: per-UE
+        # dicts on the legacy path, whole (U, R) matrices on the fast path.
+        self._csi_history: Deque[Union[Dict[int, np.ndarray], np.ndarray]] = (
+            deque(maxlen=config.csi_delay_subframes + 1)
         )
         self._harq: Optional[HarqPool] = (
             HarqPool(
@@ -163,6 +201,26 @@ class CellSimulation:
 
     def _step_interference(self) -> Set[int]:
         """Advance activity one subframe; return the silenced UE set."""
+        timer = self._phase_timer
+        if timer is None:
+            return self._step_interference_impl()
+        start = perf_counter()
+        silenced = self._step_interference_impl()
+        timer.add("activity", perf_counter() - start)
+        return silenced
+
+    def _step_interference_impl(self) -> Set[int]:
+        if self._fast:
+            active_vec = self._activity.step_vector()
+            if self._silencer is not None:
+                active = frozenset(
+                    int(k) for k in np.flatnonzero(active_vec)
+                )
+                return set(self._silencer(active))
+            if not active_vec.any():
+                return set()
+            hit = self._edge_matrix[active_vec].any(axis=0)
+            return {int(ue) for ue in np.flatnonzero(hit)}
         active = self._activity.step()
         if self._silencer is not None:
             return set(self._silencer(active))
@@ -173,18 +231,29 @@ class CellSimulation:
         }
 
     def _step_channels(self) -> None:
-        for channel in self._channels.values():
-            channel.step()
-        self._csi_history.append(
-            {ue: ch.sinr_db.copy() for ue, ch in self._channels.items()}
-        )
+        timer = self._phase_timer
+        start = perf_counter() if timer is not None else 0.0
+        if self._fast:
+            self._bank.step()
+            self._csi_history.append(self._bank.sinr_db.copy())
+        else:
+            for channel in self._channels.values():
+                channel.step()
+            self._csi_history.append(
+                {ue: ch.sinr_db.copy() for ue, ch in self._channels.items()}
+            )
+        if timer is not None:
+            timer.add("channels", perf_counter() - start)
 
     def _scheduler_csi(self) -> Dict[int, np.ndarray]:
         """The channel state the scheduler is allowed to see (possibly
         stale by ``csi_delay_subframes``)."""
         if not self._csi_history:
             return {ue: ch.sinr_db for ue, ch in self._channels.items()}
-        return self._csi_history[0]
+        snapshot = self._csi_history[0]
+        if isinstance(snapshot, np.ndarray):
+            return {ue: snapshot[ue] for ue in range(snapshot.shape[0])}
+        return snapshot
 
     def _step_arrivals(self) -> None:
         for queue in self._queues.values():
@@ -209,6 +278,7 @@ class CellSimulation:
             ),
             rate_scale=float(self.config.rb_group_size),
             link_margin_db=self.config.link_margin_db,
+            vectorized=self._fast,
         )
 
     # -- main loop -----------------------------------------------------------
@@ -326,8 +396,12 @@ class CellSimulation:
                 self._step_channels()
                 self._step_arrivals()
                 if schedule is None or reschedule_each:
+                    timer = self._phase_timer
+                    start = perf_counter() if timer is not None else 0.0
                     context = self._context(t, silenced)
                     schedule = self.scheduler.schedule(context)
+                    if timer is not None:
+                        timer.add("schedule", perf_counter() - start)
                 self._run_ul_subframe(t, schedule, silenced, result)
                 t += 1
 
@@ -343,29 +417,62 @@ class CellSimulation:
     ) -> None:
         scheduled = set(schedule.scheduled_ues())
         transmitting = sorted(scheduled - silenced)
-        sinr_by_ue_rb = {
-            ue: {
-                rb: float(self._channels[ue].sinr_db[rb])
-                for rb in range(self.config.num_rbs)
+        if self._fast:
+            # Hand the eNB views of the bank's current SINR rows directly;
+            # the receiver only indexes them per RB, no copies needed.
+            sinr_matrix = self._bank.sinr_db
+            sinr_by_ue_rb: Mapping[int, "np.ndarray | Dict[int, float]"] = {
+                ue: sinr_matrix[ue] for ue in scheduled
             }
-            for ue in scheduled
-        }
-        reception = self.enb.receive_subframe(
+        else:
+            sinr_by_ue_rb = {
+                ue: {
+                    rb: float(self._channels[ue].sinr_db[rb])
+                    for rb in range(self.config.num_rbs)
+                }
+                for ue in scheduled
+            }
+        timer = self._phase_timer
+        start = perf_counter() if timer is not None else 0.0
+        receive = (
+            self.enb.receive_subframe_fast
+            if self._fast
+            else self.enb.receive_subframe
+        )
+        reception = receive(
             subframe=subframe,
             schedule=schedule,
             transmitting_ues=transmitting,
             sinr_db_by_ue_rb=sinr_by_ue_rb,
         )
+        if timer is not None:
+            timer.add("receive", perf_counter() - start)
 
-        # Account grant outcomes.
-        counts = reception.outcome_counts()
+        # Account grant outcomes, RB utilization, and delivered bits in one
+        # pass over the receptions (identity checks, no enum hashing).
+        decoded = blocked = collided = faded = utilized = 0
+        raw_delivered: Dict[int, float] = {}
+        for rb_reception in reception.rb_receptions.values():
+            rb_decoded = False
+            for outcome in rb_reception.outcomes.values():
+                if outcome is GrantOutcome.DECODED:
+                    decoded += 1
+                    rb_decoded = True
+                elif outcome is GrantOutcome.BLOCKED:
+                    blocked += 1
+                elif outcome is GrantOutcome.COLLIDED:
+                    collided += 1
+                else:
+                    faded += 1
+            if rb_decoded:
+                utilized += 1
+            for ue, bits in rb_reception.delivered_bits.items():
+                raw_delivered[ue] = raw_delivered.get(ue, 0.0) + bits
         result.grants_issued += schedule.total_grants
-        result.grants_decoded += counts[GrantOutcome.DECODED]
-        result.grants_blocked += counts[GrantOutcome.BLOCKED]
-        result.grants_collided += counts[GrantOutcome.COLLIDED]
-        result.grants_faded += counts[GrantOutcome.FADED]
-
-        raw_delivered = reception.delivered_bits_by_ue()
+        result.grants_decoded += decoded
+        result.grants_blocked += blocked
+        result.grants_collided += collided
+        result.grants_faded += faded
         if self._harq is not None:
             raw_delivered = self._apply_harq(
                 schedule, reception, set(transmitting), raw_delivered
@@ -381,7 +488,6 @@ class CellSimulation:
             result.delivered_bits_by_ue[ue] += bits
 
         allocated = schedule.allocated_rbs()
-        utilized = reception.utilized_rbs()
         result.rbs_allocated += len(allocated)
         result.rbs_utilized += utilized
         result.ul_subframes += 1

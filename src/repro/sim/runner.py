@@ -4,12 +4,24 @@ Fair comparison requires every scheduler to face the *same* interference
 realization and the same fading sample paths.  The runner achieves this by
 re-seeding the simulation identically for each scheduler (activity, fading
 and eNB-CCA randomness all derive from the one seed).
+
+Every entry point accepts ``n_jobs``: each (scheduler, seed, sweep-point)
+run is an independent, fully seeded work item, so the runner can fan them
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` without
+touching the matched-seed contract — a parallel run returns results
+identical to ``n_jobs=1``.  Work items that cannot be pickled (e.g. lambda
+scheduler factories) make the runner fall back to serial execution with a
+warning.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,10 +32,94 @@ from repro.sim.engine import CellSimulation
 from repro.sim.results import SimulationResult
 from repro.topology.graph import InterferenceTopology
 
-__all__ = ["SchedulerFactory", "SweepPoint", "ReplicatedMetric", "run_comparison", "run_replications", "run_sweep", "gain_over"]
+__all__ = [
+    "SchedulerFactory",
+    "SweepPoint",
+    "ReplicatedMetric",
+    "run_comparison",
+    "run_replications",
+    "run_sweep",
+    "gain_over",
+]
 
 #: A factory is called once per run so stateful schedulers start fresh.
 SchedulerFactory = Callable[[], UplinkScheduler]
+
+#: One fully self-contained simulation run, picklable when its members are:
+#: (topology, mean_snr_db, factory, config, seed, record_series,
+#:  activity_model_factory).
+_WorkItem = Tuple[
+    InterferenceTopology,
+    Mapping[int, float],
+    SchedulerFactory,
+    SimulationConfig,
+    Optional[int],
+    bool,
+    Optional[Callable[[np.random.Generator], object]],
+]
+
+
+def _run_single(work: _WorkItem) -> SimulationResult:
+    """Execute one work item; module-level so it pickles into workers."""
+    (
+        topology,
+        mean_snr_db,
+        factory,
+        config,
+        seed,
+        record_series,
+        activity_model_factory,
+    ) = work
+    model = (
+        activity_model_factory(np.random.default_rng(seed))
+        if activity_model_factory is not None
+        else None
+    )
+    simulation = CellSimulation(
+        topology=topology,
+        mean_snr_db=mean_snr_db,
+        scheduler=factory(),
+        config=config,
+        activity_model=model,
+        seed=seed,
+        record_series=record_series,
+    )
+    return simulation.run()
+
+
+def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1 or -1: {n_jobs}")
+    return int(n_jobs)
+
+
+def _run_work_items(
+    items: Sequence[_WorkItem], n_jobs: Optional[int]
+) -> List[SimulationResult]:
+    """Run work items serially or in a process pool, preserving order.
+
+    Each item is independent and carries its own seed, so execution order
+    cannot affect any result; parallel output is identical to serial.
+    """
+    jobs = min(_resolve_n_jobs(n_jobs), len(items))
+    if jobs > 1:
+        try:
+            pickle.dumps(items)
+        except Exception:
+            warnings.warn(
+                "work items are not picklable (typically lambda scheduler "
+                "factories or closures); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(_run_single, items))
+    return [_run_single(item) for item in items]
 
 
 def run_comparison(
@@ -34,33 +130,34 @@ def run_comparison(
     seed: Optional[int] = 0,
     record_series: bool = False,
     activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Dict[str, SimulationResult]:
     """Run every scheduler under identical conditions; return results by name.
 
     ``activity_model_factory(rng)`` may supply a joint hidden-terminal
     activity model (e.g. contention-coupled); it is rebuilt from the same
     seed for every scheduler so all face one interference law.
+
+    ``n_jobs`` fans the schedulers out over worker processes (``-1`` for
+    all cores); results are identical to the serial run.
     """
     if not scheduler_factories:
         raise ConfigurationError("no schedulers to compare")
-    results: Dict[str, SimulationResult] = {}
-    for name, factory in scheduler_factories.items():
-        model = (
-            activity_model_factory(np.random.default_rng(seed))
-            if activity_model_factory is not None
-            else None
+    names = list(scheduler_factories)
+    items: List[_WorkItem] = [
+        (
+            topology,
+            mean_snr_db,
+            scheduler_factories[name],
+            config,
+            seed,
+            record_series,
+            activity_model_factory,
         )
-        simulation = CellSimulation(
-            topology=topology,
-            mean_snr_db=mean_snr_db,
-            scheduler=factory(),
-            config=config,
-            activity_model=model,
-            seed=seed,
-            record_series=record_series,
-        )
-        results[name] = simulation.run()
-    return results
+        for name in names
+    ]
+    results = _run_work_items(items, n_jobs)
+    return dict(zip(names, results))
 
 
 @dataclass
@@ -79,20 +176,31 @@ def run_sweep(
     ],
     config_for: Callable[[object], SimulationConfig],
     seed: Optional[int] = 0,
+    n_jobs: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Sweep a parameter; at each value build (topology, snrs), run all
     schedulers, and collect the results.
 
-    ``build_case(value) -> (topology, mean_snr_db)``.
+    ``build_case(value) -> (topology, mean_snr_db)``.  Cases and factories
+    are built in the parent process; with ``n_jobs > 1`` the individual
+    (sweep point, scheduler) runs fan out over workers in one flat batch,
+    so parallelism helps even when one end of the sweep is much heavier
+    than the other.
     """
+    labelled: List[Tuple[int, str]] = []
+    items: List[_WorkItem] = []
     points: List[SweepPoint] = []
-    for value in parameter_values:
+    for index, value in enumerate(parameter_values):
         topology, snrs = build_case(value)
         factories = scheduler_factories_for(value, topology)
-        results = run_comparison(
-            topology, snrs, factories, config_for(value), seed=seed
-        )
-        points.append(SweepPoint(parameter=value, results=results))
+        config = config_for(value)
+        points.append(SweepPoint(parameter=value, results={}))
+        for name, factory in factories.items():
+            labelled.append((index, name))
+            items.append((topology, snrs, factory, config, seed, False, None))
+    results = _run_work_items(items, n_jobs)
+    for (index, name), result in zip(labelled, results):
+        points[index].results[name] = result
     return points
 
 
@@ -116,31 +224,46 @@ def run_replications(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
     activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, ReplicatedMetric]]:
     """Repeat a comparison over several seeds; return mean ± std per metric.
 
     Single-seed comparisons are matched (every scheduler faces the same
     interference), but the headline gains still depend on the realization;
     replications quantify that spread for publication-grade claims.
+
+    ``n_jobs`` fans the full (scheduler × seed) grid out over worker
+    processes; every run keeps its assigned seed, so the matched-seed
+    pairing and the aggregate statistics are identical to ``n_jobs=1``.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    samples: Dict[str, Dict[str, List[float]]] = {
-        name: {metric: [] for metric in metrics} for name in scheduler_factories
-    }
+    names = list(scheduler_factories)
+    labelled: List[Tuple[str, int]] = []
+    items: List[_WorkItem] = []
     for seed in seeds:
-        results = run_comparison(
-            topology,
-            mean_snr_db,
-            scheduler_factories,
-            config,
-            seed=seed,
-            activity_model_factory=activity_model_factory,
-        )
-        for name, result in results.items():
-            summary = result.summary()
-            for metric in metrics:
-                samples[name][metric].append(summary[metric])
+        for name in names:
+            labelled.append((name, seed))
+            items.append(
+                (
+                    topology,
+                    mean_snr_db,
+                    scheduler_factories[name],
+                    config,
+                    seed,
+                    False,
+                    activity_model_factory,
+                )
+            )
+    results = _run_work_items(items, n_jobs)
+
+    samples: Dict[str, Dict[str, List[float]]] = {
+        name: {metric: [] for metric in metrics} for name in names
+    }
+    for (name, _seed), result in zip(labelled, results):
+        summary = result.summary()
+        for metric in metrics:
+            samples[name][metric].append(summary[metric])
     report: Dict[str, Dict[str, ReplicatedMetric]] = {}
     for name, by_metric in samples.items():
         report[name] = {}

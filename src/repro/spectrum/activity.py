@@ -42,6 +42,18 @@ class ActivityProcess:
         """Advance one subframe; return True if the terminal is busy."""
         raise NotImplementedError
 
+    def sample_block(self, n: int) -> np.ndarray:
+        """Advance ``n`` subframes at once; return the busy samples.
+
+        Produces exactly the sequence ``n`` successive :meth:`step` calls
+        would, consuming the process RNG identically, so batched and
+        per-subframe stepping are interchangeable under a fixed seed.
+        Subclasses override this with a vectorized draw where possible.
+        """
+        return np.fromiter(
+            (self.step() for _ in range(n)), dtype=bool, count=n
+        )
+
     @property
     def stationary_probability(self) -> float:
         """Long-run fraction of busy subframes, ``q(k)``."""
@@ -62,6 +74,11 @@ class BernoulliActivity(ActivityProcess):
 
     def step(self) -> bool:
         return bool(self._rng.random() < self.q)
+
+    def sample_block(self, n: int) -> np.ndarray:
+        # Generator.random(n) consumes the stream exactly like n scalar
+        # draws, so this matches n step() calls bit for bit.
+        return self._rng.random(n) < self.q
 
     @property
     def stationary_probability(self) -> float:
@@ -117,6 +134,24 @@ class MarkovOnOffActivity(ActivityProcess):
                 self._busy = True
         return self._busy
 
+    def sample_block(self, n: int) -> np.ndarray:
+        # The chain draws exactly one uniform per subframe in either state,
+        # so pre-drawing the block keeps the stream identical to stepping.
+        draws = self._rng.random(n)
+        out = np.empty(n, dtype=bool)
+        busy = self._busy
+        p_bi = self._p_busy_to_idle
+        p_ib = self._p_idle_to_busy
+        for t, u in enumerate(draws):
+            if busy:
+                if u < p_bi:
+                    busy = False
+            elif u < p_ib:
+                busy = True
+            out[t] = busy
+        self._busy = busy
+        return out
+
     @property
     def stationary_probability(self) -> float:
         return self.q
@@ -144,6 +179,11 @@ class TraceActivity(ActivityProcess):
         sample = bool(self._samples[self._cursor])
         self._cursor = (self._cursor + 1) % len(self._samples)
         return sample
+
+    def sample_block(self, n: int) -> np.ndarray:
+        indices = (self._cursor + np.arange(n)) % len(self._samples)
+        self._cursor = int((self._cursor + n) % len(self._samples))
+        return self._samples[indices]
 
     @property
     def stationary_probability(self) -> float:
@@ -180,22 +220,59 @@ class JointActivityModel:
         """Advance one subframe; return the indices of busy terminals."""
         raise NotImplementedError
 
+    def step_vector(self) -> np.ndarray:
+        """Advance one subframe; return the busy mask as a boolean vector.
+
+        The default adapts :meth:`step`; models with a native vectorized
+        sampler (see :class:`IndependentActivity`) override it.  A model
+        instance must be driven through one interface or the other, not a
+        mix — both consume the same randomness, but implementations may
+        pre-draw blocks.
+        """
+        mask = np.zeros(self.num_terminals, dtype=bool)
+        active = self.step()
+        if active:
+            mask[list(active)] = True
+        return mask
+
     def marginal(self, index: int) -> float:
         """Stationary busy probability of one terminal."""
         raise NotImplementedError
 
 
 class IndependentActivity(JointActivityModel):
-    """Adapter: a list of independent per-terminal processes."""
+    """Adapter: a list of independent per-terminal processes.
+
+    :meth:`step_vector` batches the per-terminal draws: each process
+    pre-samples a block of subframes from its own RNG (stream-identical to
+    per-subframe stepping), and one row of the block is served per call.
+    """
+
+    _BLOCK_SUBFRAMES = 512
 
     def __init__(self, processes: Sequence[ActivityProcess]) -> None:
         self._processes = list(processes)
         self.num_terminals = len(self._processes)
+        self._block: Optional[np.ndarray] = None
+        self._cursor = 0
 
     def step(self) -> FrozenSet[int]:
         return frozenset(
             k for k, process in enumerate(self._processes) if process.step()
         )
+
+    def step_vector(self) -> np.ndarray:
+        if self.num_terminals == 0:
+            return np.zeros(0, dtype=bool)
+        if self._block is None or self._cursor >= len(self._block):
+            n = self._BLOCK_SUBFRAMES
+            self._block = np.column_stack(
+                [process.sample_block(n) for process in self._processes]
+            )
+            self._cursor = 0
+        row = self._block[self._cursor]
+        self._cursor += 1
+        return row
 
     def marginal(self, index: int) -> float:
         return self._processes[index].stationary_probability

@@ -23,6 +23,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 
 __all__ = ["InterferenceTopology", "edge_set_accuracy", "statistically_equivalent"]
@@ -91,6 +93,24 @@ class InterferenceTopology:
         return {
             ue: frozenset(self.terminals_for_ue(ue)) for ue in range(self.num_ues)
         }
+
+    def edge_matrix(self) -> np.ndarray:
+        """``Z`` as a read-only boolean ``(num_terminals, num_ues)`` matrix.
+
+        The matrix is built once and cached on the (frozen) instance; the
+        simulation fast path uses it to compute the silenced-UE set of a
+        subframe as a single boolean reduction instead of per-UE set
+        intersections.
+        """
+        cached = self.__dict__.get("_edge_matrix_cache")
+        if cached is None:
+            cached = np.zeros((self.num_terminals, self.num_ues), dtype=bool)
+            for k, ues in enumerate(self.edges):
+                for ue in ues:
+                    cached[k, ue] = True
+            cached.setflags(write=False)
+            self.__dict__["_edge_matrix_cache"] = cached
+        return cached
 
     # -- access probabilities -----------------------------------------------
 
