@@ -18,6 +18,11 @@ Usage::
 
 ``--smoke`` shrinks the subframe counts so CI exercises every code path in
 seconds; it fails on errors or a fast/legacy mismatch, never on timing.
+
+``--dynamics`` additionally runs every scenario under a scripted
+environment timeline (hidden-node arrival, duty-cycle drift, departure)
+and asserts the fast and legacy paths stay bit-exact while the world
+churns mid-run — the mutation hazard the static benchmark cannot see.
 """
 
 from __future__ import annotations
@@ -59,7 +64,28 @@ def build_case(num_ues: int, num_terminals: int, num_rbs: int,
     return topology, snrs, config
 
 
-def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = None):
+def churn_timeline(subframes: int):
+    """Arrival, drift, and departure spread across the run."""
+    from repro.dynamics.timeline import (
+        DutyCycleDrift,
+        EnvironmentTimeline,
+        HiddenNodeArrival,
+        HiddenNodeDeparture,
+    )
+
+    return EnvironmentTimeline(
+        [
+            HiddenNodeArrival(
+                at=subframes // 4, q=0.5, ues=(0, 1), label="bench-late"
+            ),
+            DutyCycleDrift(at=subframes // 2, label="ht0", q=0.7),
+            HiddenNodeDeparture(at=3 * subframes // 4, label="bench-late"),
+        ]
+    )
+
+
+def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = None,
+              timeline=None):
     simulation = CellSimulation(
         topology=topology,
         mean_snr_db=snrs,
@@ -68,6 +94,7 @@ def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = Non
         seed=MASTER_SEED,
         fast_path=fast,
         phase_timer=timer,
+        timeline=timeline,
     )
     start = perf_counter()
     result = simulation.run()
@@ -104,12 +131,45 @@ def bench_scenario(name: str, num_ues: int, num_terminals: int, num_rbs: int,
     }
 
 
+def bench_dynamics_scenario(name: str, num_ues: int, num_terminals: int,
+                            num_rbs: int, num_antennas: int,
+                            subframes: int) -> dict:
+    topology, snrs, config = build_case(
+        num_ues, num_terminals, num_rbs, num_antennas, subframes
+    )
+    timeline = churn_timeline(subframes)
+    fast_result, fast_s = timed_run(
+        topology, snrs, config, fast=True, timeline=timeline
+    )
+    legacy_result, legacy_s = timed_run(
+        topology, snrs, config, fast=False, timeline=timeline
+    )
+    if fast_result != legacy_result:
+        raise AssertionError(
+            f"{name}: fast path diverged from the legacy path under churn"
+        )
+    return {
+        "num_ues": num_ues,
+        "num_terminals": num_terminals,
+        "subframes": subframes,
+        "timeline_events": timeline.num_events,
+        "fast_subframes_per_s": subframes / fast_s,
+        "legacy_subframes_per_s": subframes / legacy_s,
+        "speedup": legacy_s / fast_s,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny subframe counts: exercise every path, skip the timings",
+    )
+    parser.add_argument(
+        "--dynamics",
+        action="store_true",
+        help="also verify fast/legacy bit-exactness under a churn timeline",
     )
     parser.add_argument(
         "--output",
@@ -130,6 +190,21 @@ def main(argv=None) -> int:
             f"legacy {entry['legacy_subframes_per_s']:9.1f} sf/s | "
             f"speedup {entry['speedup']:.2f}x"
         )
+
+    if args.dynamics:
+        report["dynamics"] = {}
+        for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:
+            if args.smoke:
+                subframes = 400
+            entry = bench_dynamics_scenario(
+                name, ues, terminals, rbs, antennas, subframes
+            )
+            report["dynamics"][name] = entry
+            print(
+                f"{name:>7s} (churn): fast {entry['fast_subframes_per_s']:9.1f}"
+                f" sf/s | legacy {entry['legacy_subframes_per_s']:9.1f} sf/s |"
+                f" bit-exact over {entry['timeline_events']} events"
+            )
 
     if not args.smoke:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -63,6 +63,14 @@ from repro.core.scheduling import (
     SpeculativeScheduler,
     jain_fairness_index,
 )
+from repro.dynamics import (
+    AdaptiveBLUController,
+    AdaptiveConfig,
+    DynamicsMetrics,
+    EnvironmentTimeline,
+    FullRestartController,
+    StagedBlueprintScheduler,
+)
 from repro.errors import (
     ConfigurationError,
     InferenceError,
@@ -84,9 +92,12 @@ from repro.topology import (
     InterferenceTopology,
     Scenario,
     ScenarioConfig,
+    client_churn_timeline,
+    duty_cycle_drift_timeline,
     edge_set_accuracy,
     fig1_topology,
     generate_scenario,
+    hidden_node_churn_timeline,
     skewed_topology,
     statistically_equivalent,
     testbed_topology,
@@ -99,13 +110,18 @@ __all__ = [
     "AccessAwareDownlinkScheduler",
     "AccessAwareScheduler",
     "AccessEstimator",
+    "AdaptiveBLUController",
+    "AdaptiveConfig",
     "BLUConfig",
     "BLUController",
     "BLUPhase",
     "BlueprintInference",
     "CellSimulation",
     "ConfigurationError",
+    "DynamicsMetrics",
     "EmpiricalJointProvider",
+    "EnvironmentTimeline",
+    "FullRestartController",
     "InferenceConfig",
     "InferenceError",
     "InferenceResult",
@@ -127,14 +143,18 @@ __all__ = [
     "SimulationResult",
     "SingleUserScheduler",
     "SpeculativeScheduler",
+    "StagedBlueprintScheduler",
     "TopologyError",
     "TopologyJointProvider",
     "TraceError",
     "TransformedMeasurements",
+    "client_churn_timeline",
+    "duty_cycle_drift_timeline",
     "edge_set_accuracy",
     "fig1_topology",
     "gain_over",
     "generate_scenario",
+    "hidden_node_churn_timeline",
     "jain_fairness_index",
     "joint_access_probability",
     "minimum_subframes",

@@ -1,6 +1,12 @@
 """Result analysis helpers: CDFs and report tables."""
 
 from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_least, percentile
+from repro.analysis.dynamics import (
+    dynamics_report,
+    recovery_ratio,
+    utilization_regret,
+    windowed_utilization,
+)
 from repro.analysis.plots import bar_chart, cdf_plot, sparkline
 from repro.analysis.report import comparison_report, sweep_report
 from repro.analysis.tables import format_comparison, format_table
@@ -10,11 +16,15 @@ __all__ = [
     "cdf_at",
     "cdf_plot",
     "comparison_report",
+    "dynamics_report",
     "empirical_cdf",
     "format_comparison",
     "format_table",
     "fraction_at_least",
     "percentile",
+    "recovery_ratio",
     "sparkline",
     "sweep_report",
+    "utilization_regret",
+    "windowed_utilization",
 ]

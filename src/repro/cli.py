@@ -4,6 +4,9 @@ Commands:
 
 * ``compare``   — run PF / AA / BLU / oracle on a synthetic cell and print
                   the comparison table.
+* ``dynamics``  — churn demo: a hidden WiFi node appears mid-run; compare
+                  the adaptive controller against frozen / full-restart BLU
+                  and the dynamics-aware oracle.
 * ``infer``     — generate a scenario, measure, infer the blueprint, and
                   report its accuracy against ground truth.
 * ``scenario``  — draw a random enterprise scenario and describe it.
@@ -72,6 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a markdown report section instead of the ASCII table",
     )
+
+    dynamics = sub.add_parser(
+        "dynamics", help="online adaptation demo under hidden-node churn"
+    )
+    dynamics.add_argument("--ues", type=int, default=6)
+    dynamics.add_argument("--hts-per-ue", type=int, default=1)
+    dynamics.add_argument("--activity", type=float, default=0.25)
+    dynamics.add_argument("--subframes", type=int, default=16000)
+    dynamics.add_argument(
+        "--arrive-at", type=int, default=6000,
+        help="subframe at which the new hidden node appears",
+    )
+    dynamics.add_argument(
+        "--arrival-q", type=float, default=0.45,
+        help="busy probability of the arriving node",
+    )
+    dynamics.add_argument(
+        "--affected", type=int, default=2,
+        help="how many clients the arriving node silences",
+    )
+    dynamics.add_argument("--seed", type=int, default=0)
 
     infer = sub.add_parser("infer", help="blueprint inference accuracy demo")
     infer.add_argument("--ues", type=int, default=8)
@@ -157,6 +181,88 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"M={args.antennas}, {args.subframes} subframes"
             ),
         )
+    )
+    return 0
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    from repro import (
+        AdaptiveBLUController,
+        FullRestartController,
+        StagedBlueprintScheduler,
+        hidden_node_churn_timeline,
+    )
+    from repro.analysis.dynamics import dynamics_report, recovery_ratio
+
+    if not 1 <= args.affected <= args.ues:
+        print(f"--affected must be in [1, {args.ues}]", file=sys.stderr)
+        return 2
+    topology = testbed_topology(
+        num_ues=args.ues,
+        hts_per_ue=args.hts_per_ue,
+        activity=args.activity,
+        seed=args.seed,
+    )
+    snrs = uniform_snrs(args.ues, seed=args.seed + 1)
+    affected = tuple(range(args.affected))
+    timeline = hidden_node_churn_timeline(
+        arrive_at=args.arrive_at, q=args.arrival_q, ues=affected
+    )
+    blu_config = BLUConfig(inference=InferenceConfig(seed=0))
+    controllers = {}
+
+    def adaptive_factory():
+        controller = AdaptiveBLUController(args.ues, blu_config)
+        controllers["blu-adaptive"] = controller
+        return controller
+
+    factories = {
+        "blu-adaptive": adaptive_factory,
+        "blu-frozen": lambda: BLUController(args.ues, blu_config),
+        "blu-restart": lambda: FullRestartController(
+            args.ues, blu_config, restart_at=args.arrive_at
+        ),
+        "oracle": lambda: StagedBlueprintScheduler(
+            [
+                (0, topology),
+                (
+                    args.arrive_at,
+                    topology.with_terminal(args.arrival_q, affected),
+                ),
+            ]
+        ),
+    }
+    results = run_comparison(
+        topology,
+        snrs,
+        factories,
+        SimulationConfig(num_subframes=args.subframes),
+        seed=args.seed,
+        record_series=True,
+        timeline=timeline,
+    )
+    metrics = {
+        name: controller.metrics for name, controller in controllers.items()
+    }
+    print(
+        dynamics_report(
+            results,
+            metrics_by_name=metrics,
+            change_subframe=args.arrive_at,
+            title=(
+                f"hidden-node churn: +1 terminal (q={args.arrival_q}) at "
+                f"subframe {args.arrive_at}, {args.ues} UEs"
+            ),
+        )
+    )
+    post = args.arrive_at * len(results["oracle"].utilization_series) // max(
+        args.subframes, 1
+    )
+    ratio = recovery_ratio(
+        results["blu-adaptive"], results["blu-restart"], start=post
+    )
+    print(
+        f"\npost-change utilization, adaptive vs full restart: {ratio:.3f}x"
     )
     return 0
 
@@ -308,6 +414,7 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "compare": _cmd_compare,
+    "dynamics": _cmd_dynamics,
     "infer": _cmd_infer,
     "scenario": _cmd_scenario,
     "overhead": _cmd_overhead,

@@ -57,6 +57,15 @@ class WorkingTopology:
         # Memoized read-only snapshot served by edge_matrix(); dropped on
         # every structural mutation.
         self._z_cache: Optional[np.ndarray] = None
+        # Monotonic mutation counter: bumped by every mutation (structural
+        # or weight), so external caches keyed on a topology state can tell
+        # whether the state they captured is still current.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the topology state changes."""
+        return self._version
 
     # -- construction -----------------------------------------------------
 
@@ -74,6 +83,7 @@ class WorkingTopology:
         duplicate = WorkingTopology(self.num_ues)
         duplicate._z = self._z.copy()
         duplicate._q = self._q.copy()
+        duplicate._version = self._version
         return duplicate
 
     # -- mutation ----------------------------------------------------------
@@ -90,20 +100,26 @@ class WorkingTopology:
         self._z = np.vstack([self._z, row[None, :]]) if len(self._z) else row[None, :]
         self._q = np.append(self._q, float(q))
         self._z_cache = None
+        self._version += 1
         return len(self._q) - 1
 
     def set_weight(self, k: int, q: float) -> None:
+        # Weights are not part of the memoized Z snapshot, but the state
+        # still changed — bump the version for external observers.
         self._q[k] = max(float(q), 0.0)
+        self._version += 1
 
     def set_edge(self, k: int, ue: int, present: bool) -> None:
         self._z[k, ue] = present
         self._z_cache = None
+        self._version += 1
 
     def prune(self, weight_floor: float = 1e-9) -> None:
         """Drop terminals with ~zero weight or no edges; merge duplicates."""
         if len(self._q) == 0:
             return
         self._z_cache = None
+        self._version += 1
         keep = (self._q > weight_floor) & self._z.any(axis=1)
         self._z = self._z[keep]
         self._q = self._q[keep]

@@ -73,10 +73,19 @@ class BlueprintInference:
         self.config = config
 
     def _starting_points(
-        self, target: TransformedMeasurements
+        self,
+        target: TransformedMeasurements,
+        extra_starts: Optional[List[Tuple[str, WorkingTopology]]] = None,
     ) -> List[Tuple[str, WorkingTopology]]:
         rng = np.random.default_rng(self.config.seed)
         starts: List[Tuple[str, WorkingTopology]] = []
+        if extra_starts:
+            # Caller-supplied warm starts (e.g. the previous blueprint when
+            # re-inferring after drift) run first: repair copies its start,
+            # so the caller's topology is never mutated.
+            starts.extend(
+                (label, topology.copy()) for label, topology in extra_starts
+            )
         if self.config.use_peeling_start:
             starts.append(("peeling", peeling_start(target)))
         if self.config.use_diagonal_start:
@@ -92,11 +101,20 @@ class BlueprintInference:
             raise InferenceError("no starting topologies configured")
         return starts
 
-    def infer(self, target: TransformedMeasurements) -> InferenceResult:
-        """Run repair from every start; return the best repaired topology."""
+    def infer(
+        self,
+        target: TransformedMeasurements,
+        extra_starts: Optional[List[Tuple[str, WorkingTopology]]] = None,
+    ) -> InferenceResult:
+        """Run repair from every start; return the best repaired topology.
+
+        ``extra_starts`` prepends caller-supplied ``(label, topology)``
+        warm starts to the configured start set — the incremental
+        re-blueprinting path seeds this with the previous solution.
+        """
         candidates: List[Tuple[str, RepairResult]] = []
         outcomes: List[StartOutcome] = []
-        for label, start in self._starting_points(target):
+        for label, start in self._starting_points(target, extra_starts):
             result = repair(
                 start,
                 target,

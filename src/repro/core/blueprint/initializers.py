@@ -25,13 +25,18 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.blueprint.constraints import WorkingTopology
-from repro.core.blueprint.transform import TransformedMeasurements
+from repro.core.blueprint.transform import (
+    TransformedMeasurements,
+    forward_transform_q,
+)
+from repro.topology.graph import InterferenceTopology
 
 __all__ = [
     "peeling_start",
     "diagonal_start",
     "pairwise_start",
     "random_start",
+    "topology_start",
 ]
 
 
@@ -122,6 +127,24 @@ def pairwise_start(target: TransformedMeasurements) -> WorkingTopology:
         if value > target.pairwise_tolerance[pair]
     ]
     return WorkingTopology.from_terminals(target.num_ues, terminals)
+
+
+def topology_start(topology: InterferenceTopology) -> WorkingTopology:
+    """Warm start from a previously inferred blueprint.
+
+    Converts a probability-domain topology back to the solver's log domain
+    (``Q = -log(1 - q)``).  After a *localized* change — one hidden node
+    arrived, left, or re-tuned — most constraints are still satisfied by
+    the old solution, so repair from here converges in a handful of moves
+    instead of re-growing the blueprint from scratch (the incremental
+    re-blueprinting path of the dynamics subsystem).
+    """
+    terminals = [
+        (forward_transform_q(q), set(ues))
+        for q, ues in zip(topology.q, topology.edges)
+        if ues
+    ]
+    return WorkingTopology.from_terminals(topology.num_ues, terminals)
 
 
 def random_start(

@@ -44,10 +44,17 @@ __all__ = ["BLUPhase", "BLUConfig", "BLUController"]
 
 
 class BLUPhase(enum.Enum):
-    """Where the controller is in its two-phase loop (Fig. 9)."""
+    """Where the controller is in its scheduling loop (Fig. 9).
+
+    The base controller cycles MEASUREMENT → SPECULATIVE; the adaptive
+    controller (``repro.dynamics``) adds PARTIAL_REMEASURE, entered when
+    drift detection flags a subset of clients whose pair statistics must be
+    re-collected before an incremental re-blueprint.
+    """
 
     MEASUREMENT = "measurement"
     SPECULATIVE = "speculative"
+    PARTIAL_REMEASURE = "partial_remeasure"
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,19 @@ class BLUConfig:
         if self.measurement_k < 2:
             raise ConfigurationError(
                 f"measurement_k must be at least 2: {self.measurement_k}"
+            )
+        if self.reinfer_interval < 0:
+            raise ConfigurationError(
+                f"reinfer_interval must be >= 0 (0 disables): "
+                f"{self.reinfer_interval}"
+            )
+        if not 0.0 < self.estimator_decay <= 1.0:
+            raise ConfigurationError(
+                f"estimator_decay must be in (0, 1]: {self.estimator_decay}"
+            )
+        if self.overschedule_factor < 1.0:
+            raise ConfigurationError(
+                f"overschedule_factor must be >= 1: {self.overschedule_factor}"
             )
 
 
@@ -108,10 +128,24 @@ class BLUController(UplinkScheduler):
             return None
         return self.inference_result.topology
 
-    def _infer_and_switch(self) -> None:
+    def _infer_and_switch(
+        self,
+        extra_starts: Optional[list] = None,
+        inference_config: Optional[InferenceConfig] = None,
+    ) -> None:
+        """Infer a blueprint from current estimates; enter SPECULATIVE.
+
+        ``extra_starts`` (``(label, WorkingTopology)`` pairs) and
+        ``inference_config`` let the adaptive controller warm-start a
+        cheaper incremental re-inference; the base controller always runs
+        the configured cold multi-start.
+        """
         target = self.estimator.to_transformed(z=self.config.z_sigma)
-        inference = BlueprintInference(self.config.inference)
-        self.inference_result = inference.infer(target)
+        inference = BlueprintInference(
+            inference_config if inference_config is not None
+            else self.config.inference
+        )
+        self.inference_result = inference.infer(target, extra_starts=extra_starts)
         provider = TopologyJointProvider(self.inference_result.topology)
         self._speculative = SpeculativeScheduler(
             provider, overschedule_factor=self.config.overschedule_factor
@@ -121,10 +155,10 @@ class BLUController(UplinkScheduler):
 
     # -- scheduling --------------------------------------------------------------
 
-    def _measurement_schedule(self, context: SchedulingContext) -> SubframeSchedule:
-        """OFDMA round-robin of the chosen K clients, one per RB."""
-        ues = self.measurement_scheduler.next_schedule()
-        self._pending_measurement_ues = ues
+    def _layout_measurement(
+        self, context: SchedulingContext, ues: list
+    ) -> SubframeSchedule:
+        """OFDMA round-robin of the chosen clients, one per RB."""
         schedule = SubframeSchedule(num_rbs=context.num_rbs)
         for rb in range(context.num_rbs):
             ue = ues[rb % len(ues)]
@@ -137,6 +171,12 @@ class BLUController(UplinkScheduler):
                 )
             )
         return schedule
+
+    def _measurement_schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        """Algorithm-1 pick of K clients, laid out one per RB."""
+        ues = self.measurement_scheduler.next_schedule()
+        self._pending_measurement_ues = ues
+        return self._layout_measurement(context, ues)
 
     def schedule(self, context: SchedulingContext) -> SubframeSchedule:
         if self.phase is BLUPhase.MEASUREMENT:

@@ -111,6 +111,31 @@ class AccessEstimator:
             for key in store:
                 store[key] *= self.decay
 
+    def reset_ues(self, ues: Iterable[int]) -> None:
+        """Discard all statistics involving the given clients.
+
+        Used by online adaptation when drift is detected: the flagged
+        clients' pre-change samples describe a world that no longer exists,
+        so their individual counts and every pair/triple touching them are
+        zeroed — statistics among unaffected clients are kept, which is
+        what makes targeted re-measurement sufficient.
+        """
+        affected = set(int(u) for u in ues)
+        bad = [u for u in affected if not 0 <= u < self.num_ues]
+        if bad:
+            raise MeasurementError(f"unknown UE ids {sorted(bad)}")
+        for ue in affected:
+            self._n[ue] = 0.0
+            self._clear[ue] = 0.0
+        for pair in self._n_pair:
+            if affected & set(pair):
+                self._n_pair[pair] = 0.0
+                self._clear_pair[pair] = 0.0
+        for triple in list(self._n_triple):
+            if affected & set(triple):
+                self._n_triple[triple] = 0.0
+                self._clear_triple[triple] = 0.0
+
     # -- point estimates ----------------------------------------------------
 
     def _floor(self, count: float) -> float:

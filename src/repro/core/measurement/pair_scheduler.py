@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import MeasurementError
 
@@ -70,7 +70,13 @@ class MeasurementScheduler:
     ``log((1+T)/(1+c_j))``, clamped at zero for pairs already at target.
     """
 
-    def __init__(self, num_ues: int, distinct_per_subframe: int, samples: int) -> None:
+    def __init__(
+        self,
+        num_ues: int,
+        distinct_per_subframe: int,
+        samples: int,
+        pairs: "Optional[Iterable[Tuple[int, int]]]" = None,
+    ) -> None:
         if num_ues < 2:
             raise MeasurementError(f"need at least two UEs: {num_ues}")
         if samples < 1:
@@ -82,9 +88,27 @@ class MeasurementScheduler:
                 "need at least 2 schedulable clients per subframe"
             )
         self.samples = samples
-        self.counts: Dict[Tuple[int, int], int] = {
-            pair: 0 for pair in combinations(range(num_ues), 2)
-        }
+        #: ``pairs`` restricts the campaign to a sub-schedule: only the
+        #: listed pairs are tracked and balanced (online adaptation's
+        #: targeted re-measurement after drift).  None = the full campaign.
+        self._restricted = pairs is not None
+        if pairs is None:
+            tracked = list(combinations(range(num_ues), 2))
+        else:
+            tracked = []
+            seen = set()
+            for raw in pairs:
+                pair = tuple(sorted(int(u) for u in raw))
+                if len(pair) != 2 or pair[0] == pair[1]:
+                    raise MeasurementError(f"not a client pair: {raw}")
+                if not (0 <= pair[0] and pair[1] < num_ues):
+                    raise MeasurementError(f"pair outside the cell: {raw}")
+                if pair not in seen:
+                    seen.add(pair)
+                    tracked.append(pair)
+            if not tracked:
+                raise MeasurementError("restricted pair set is empty")
+        self.counts: Dict[Tuple[int, int], int] = {pair: 0 for pair in tracked}
         self.subframes_used = 0
 
     @property
@@ -96,10 +120,12 @@ class MeasurementScheduler:
         return math.log((1 + self.samples) / (1 + clamped))
 
     def _gain(self, selected: Sequence[int], candidate: int) -> float:
-        return sum(
-            self._pair_value(self.counts[tuple(sorted((candidate, other)))])
-            for other in selected
-        )
+        total = 0.0
+        for other in selected:
+            count = self.counts.get(tuple(sorted((candidate, other))))
+            if count is not None:  # untracked pairs carry no gain
+                total += self._pair_value(count)
+        return total
 
     def next_schedule(self) -> List[int]:
         """Greedily pick the K clients for the next measurement subframe."""
@@ -124,6 +150,8 @@ class MeasurementScheduler:
         distinct = sorted(set(scheduled))
         for pair in combinations(distinct, 2):
             if pair not in self.counts:
+                if self._restricted:
+                    continue  # pairs outside the sub-schedule are not tracked
                 raise MeasurementError(f"unknown pair {pair}")
             self.counts[pair] += 1
         self.subframes_used += 1

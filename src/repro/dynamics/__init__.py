@@ -1,0 +1,60 @@
+"""Non-stationary environments and online blueprint adaptation.
+
+The BLU paper measures once and schedules forever; this package makes the
+world move and the controller keep up:
+
+* :mod:`repro.dynamics.timeline` — typed environment events (hidden-node
+  arrival/departure, duty-cycle drift, client churn, link-strength ramps)
+  applied by the engine at subframe boundaries;
+* :mod:`repro.dynamics.detect` — streaming change detection (Page–Hinkley
+  / CUSUM) over per-client and per-pair access rates;
+* :mod:`repro.dynamics.adapt` — the adaptive controller: targeted partial
+  re-measurement plus warm-started incremental re-inference;
+* :mod:`repro.dynamics.metrics` — detection delay, re-convergence time and
+  measurement economy of each adaptation episode.
+"""
+
+from repro.dynamics.adapt import (
+    AdaptiveBLUController,
+    AdaptiveConfig,
+    FullRestartController,
+    StagedBlueprintScheduler,
+)
+from repro.dynamics.detect import (
+    CusumDetector,
+    DriftMonitor,
+    PageHinkleyDetector,
+)
+from repro.dynamics.metrics import DriftEvent, DynamicsMetrics
+from repro.dynamics.timeline import (
+    DutyCycleDrift,
+    EnvironmentTimeline,
+    HiddenNodeArrival,
+    HiddenNodeDeparture,
+    LinkStrengthRamp,
+    TimelineRuntime,
+    TimelineUpdate,
+    UeJoin,
+    UeLeave,
+)
+
+__all__ = [
+    "AdaptiveBLUController",
+    "AdaptiveConfig",
+    "FullRestartController",
+    "StagedBlueprintScheduler",
+    "CusumDetector",
+    "DriftMonitor",
+    "PageHinkleyDetector",
+    "DriftEvent",
+    "DynamicsMetrics",
+    "DutyCycleDrift",
+    "EnvironmentTimeline",
+    "HiddenNodeArrival",
+    "HiddenNodeDeparture",
+    "LinkStrengthRamp",
+    "TimelineRuntime",
+    "TimelineUpdate",
+    "UeJoin",
+    "UeLeave",
+]

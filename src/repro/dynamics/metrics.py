@@ -1,0 +1,94 @@
+"""Adaptation quality metrics: how fast and how cheaply BLU re-converges.
+
+Three questions matter when the environment churns (ISSUE/Section 3.7):
+
+* **detection delay** — subframes between the environment change and the
+  drift detector firing;
+* **re-convergence time** — subframes between detection and the
+  warm-started re-blueprint going live;
+* **measurement economy** — how many subframes were spent re-measuring,
+  versus the cost of a from-scratch Algorithm-1 campaign.
+
+The controller records one :class:`DriftEvent` per detection; experiment
+code with knowledge of the ground-truth change instants turns those into
+delays and the utilization-regret comparison (``repro.analysis.dynamics``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence
+
+__all__ = ["DriftEvent", "DynamicsMetrics"]
+
+
+@dataclass
+class DriftEvent:
+    """One detected drift and the adaptation episode it triggered."""
+
+    detected_subframe: int
+    drifted_ues: FrozenSet[int]
+    #: Filled when the partial re-measurement completes.
+    remeasure_subframes: Optional[int] = None
+    reinfer_subframe: Optional[int] = None
+    winning_start: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.reinfer_subframe is not None
+
+    @property
+    def reconvergence_subframes(self) -> Optional[int]:
+        """Detection → adapted blueprint live, in subframes."""
+        if self.reinfer_subframe is None:
+            return None
+        return self.reinfer_subframe - self.detected_subframe
+
+
+@dataclass
+class DynamicsMetrics:
+    """Rolled-up adaptation telemetry of one adaptive-controller run."""
+
+    events: List[DriftEvent] = field(default_factory=list)
+    #: UL subframes spent in the initial full measurement phase.
+    full_measurement_subframes: int = 0
+    #: UL subframes spent across all targeted re-measurement episodes.
+    partial_measurement_subframes: int = 0
+    reinferences: int = 0
+
+    def begin_event(self, subframe: int, ues: FrozenSet[int]) -> DriftEvent:
+        event = DriftEvent(detected_subframe=subframe, drifted_ues=ues)
+        self.events.append(event)
+        return event
+
+    @property
+    def detections(self) -> int:
+        return len(self.events)
+
+    def detection_delay(self, change_subframe: int) -> Optional[int]:
+        """Delay of the first detection at/after a known change instant.
+
+        Requires ground-truth knowledge of when the environment changed, so
+        it lives on the metrics (experiment side), not in the controller.
+        """
+        for event in self.events:
+            if event.detected_subframe >= change_subframe:
+                return event.detected_subframe - change_subframe
+        return None
+
+    def summary(self) -> dict:
+        """Flat dict for tables and JSON export."""
+        completed = [e for e in self.events if e.completed]
+        reconv: Sequence[int] = [
+            e.reconvergence_subframes for e in completed
+        ]
+        return {
+            "detections": self.detections,
+            "adaptations_completed": len(completed),
+            "full_measurement_subframes": self.full_measurement_subframes,
+            "partial_measurement_subframes": self.partial_measurement_subframes,
+            "mean_reconvergence_subframes": (
+                sum(reconv) / len(reconv) if reconv else 0.0
+            ),
+            "reinferences": self.reinferences,
+        }

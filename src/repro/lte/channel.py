@@ -124,6 +124,15 @@ class UplinkChannel:
         self._sinr_db = self._compute_sinr(self._fading.step())
         return self._sinr_db
 
+    def adjust_mean_snr_db(self, delta_db: float) -> None:
+        """Shift the link's mean power (mobility / shadowing dynamics).
+
+        Consumes no randomness — the fading state is untouched — so fast
+        and legacy engine paths stay stream-identical across adjustments.
+        """
+        self.mean_rx_power_dbm += float(delta_db)
+        self._sinr_db = self._compute_sinr(self._fading.current_gains())
+
     @property
     def sinr_db(self) -> np.ndarray:
         """Per-RB SINR (dB) for the current subframe."""
@@ -227,6 +236,14 @@ class UplinkChannelBank:
     def sinr_row(self, ue: int) -> np.ndarray:
         """The current per-RB SINR view of one UE (no copy)."""
         return self._sinr_db[ue]
+
+    def adjust_mean_snr_db(self, ue: int, delta_db: float) -> None:
+        """Shift one UE's mean SNR; RNG state untouched (see
+        :meth:`UplinkChannel.adjust_mean_snr_db`)."""
+        if not 0 <= ue < self.num_ues:
+            raise ConfigurationError(f"unknown UE id {ue}")
+        self._mean_snr_db[ue] += float(delta_db)
+        self._sinr_db = self._compute_sinr(np.abs(self._h) ** 2)
 
     def mean_snr_db(self, ue: int) -> float:
         return float(self._mean_snr_db[ue])

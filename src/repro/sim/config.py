@@ -84,5 +84,9 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown activity kind: {self.activity_kind!r}"
             )
+        if self.mean_busy_subframes < 1.0:
+            raise ConfigurationError(
+                f"mean_busy_subframes must be >= 1: {self.mean_busy_subframes}"
+            )
         if self.ul_subframes_per_txop < 1:
             raise ConfigurationError("TxOP needs at least one UL subframe")

@@ -47,11 +47,18 @@ from repro.lte.traffic import FullBufferTraffic, TrafficSource, UeQueue
 from repro.lte.phy import GrantOutcome
 from repro.lte.resources import SubframeSchedule
 from repro.perf.stopwatch import PhaseTimer
+from repro.dynamics.timeline import (
+    AddTerminalOp,
+    EnvironmentTimeline,
+    RemoveTerminalOp,
+    RetuneOp,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.spectrum.activity import (
     ActivityProcess,
     BernoulliActivity,
+    DynamicIndependentActivity,
     IndependentActivity,
     JointActivityModel,
     MarkovOnOffActivity,
@@ -78,6 +85,7 @@ class CellSimulation:
         record_series: bool = False,
         fast_path: bool = True,
         phase_timer: Optional[PhaseTimer] = None,
+        timeline: Optional[EnvironmentTimeline] = None,
     ) -> None:
         if set(mean_snr_db) != set(range(topology.num_ues)):
             raise ConfigurationError(
@@ -90,15 +98,44 @@ class CellSimulation:
         self._fast = bool(fast_path)
         self._phase_timer = phase_timer
         self._rng = np.random.default_rng(seed)
+        self._timeline_runtime = None
+        self._subframe_index = 0
+        structural_timeline = False
+        if timeline is not None:
+            for event in timeline.events:
+                ue = getattr(event, "ue", None)
+                if ue is not None and not 0 <= ue < topology.num_ues:
+                    raise ConfigurationError(
+                        f"timeline event references unknown UE {ue}: {event}"
+                    )
+            structural_timeline = timeline.has_structural_events
+            self._timeline_runtime = timeline.runtime(topology)
 
         if activity_model is not None and activity_processes is not None:
             raise ConfigurationError(
                 "pass either activity_processes or activity_model, not both"
             )
+        if structural_timeline and (
+            activity_model is not None
+            or activity_processes is not None
+            or silencer is not None
+        ):
+            # Arrivals/departures/drift must flow into the activity substrate
+            # and the edge-based silencer; arbitrary user substrates cannot
+            # be mutated consistently across both engine paths.
+            raise ConfigurationError(
+                "a timeline with hidden-terminal events requires the "
+                "default activity model and silencer"
+            )
         if activity_model is not None:
             self._activity = activity_model
         elif activity_processes is not None:
             self._activity = IndependentActivity(activity_processes)
+        elif timeline is not None:
+            # Per-subframe stepping (no block prefetch) so mid-run arrivals,
+            # departures and re-tunes take effect immediately — and
+            # identically — on the fast and legacy paths.
+            self._activity = DynamicIndependentActivity(self._build_activity())
         else:
             self._activity = IndependentActivity(self._build_activity())
         if self._activity.num_terminals != topology.num_terminals:
@@ -182,8 +219,58 @@ class CellSimulation:
                 else FullBufferTraffic()
             )
             self._queues[ue] = UeQueue(source)
+        #: Clients currently attached (UeJoin/UeLeave gate traffic; the UE
+        #: id space itself is fixed for the run).
+        self._active_ues: Set[int] = set(range(topology.num_ues))
 
     # -- internals ---------------------------------------------------------
+
+    def set_topology(self, topology: InterferenceTopology) -> None:
+        """Swap in a new interference topology mid-run.
+
+        The topology class is frozen, so a change is always a *new*
+        instance; re-deriving the UE edge map and the fast path's silencing
+        matrix here is what keeps the memoized caches from going stale.
+        """
+        if topology.num_ues != self.topology.num_ues:
+            raise ConfigurationError(
+                f"cannot change the UE population mid-run: "
+                f"{self.topology.num_ues} -> {topology.num_ues}"
+            )
+        self.topology = topology
+        self._ue_edges = topology.ue_edge_map()
+        self._edge_matrix = topology.edge_matrix()
+
+    def _apply_timeline(self, t: int) -> None:
+        update = self._timeline_runtime.step(t)
+        if update is None:
+            return
+        for op in update.activity_ops:
+            if isinstance(op, AddTerminalOp):
+                self._activity.add_process(op.process)
+            elif isinstance(op, RemoveTerminalOp):
+                self._activity.remove_process(op.index)
+            elif isinstance(op, RetuneOp):
+                self._activity.retune(op.index, op.q)
+            else:  # pragma: no cover - op set is closed
+                raise SimulationError(f"unknown activity op {op!r}")
+        if update.topology is not None:
+            self.set_topology(update.topology)
+            if self._activity.num_terminals != update.topology.num_terminals:
+                raise SimulationError(
+                    "activity model and topology disagree after timeline "
+                    f"update at subframe {t}"
+                )
+        for ue in sorted(update.snr_delta_db):
+            delta = update.snr_delta_db[ue]
+            if self._fast:
+                self._bank.adjust_mean_snr_db(ue, delta)
+            else:
+                self._channels[ue].adjust_mean_snr_db(delta)
+        for ue in update.joins:
+            self._active_ues.add(ue)
+        for ue in update.leaves:
+            self._active_ues.discard(ue)
 
     def _build_activity(self) -> List[ActivityProcess]:
         processes: List[ActivityProcess] = []
@@ -200,7 +287,15 @@ class CellSimulation:
         return processes
 
     def _step_interference(self) -> Set[int]:
-        """Advance activity one subframe; return the silenced UE set."""
+        """Advance activity one subframe; return the silenced UE set.
+
+        Called exactly once per subframe (idle, DL and UL alike), so it is
+        also where the environment timeline advances: events land at the
+        subframe boundary, before the medium is sampled.
+        """
+        if self._timeline_runtime is not None:
+            self._apply_timeline(self._subframe_index)
+        self._subframe_index += 1
         timer = self._phase_timer
         if timer is None:
             return self._step_interference_impl()
@@ -263,7 +358,7 @@ class CellSimulation:
         backlogged = tuple(
             ue
             for ue in range(self.topology.num_ues)
-            if self._queues[ue].backlogged
+            if ue in self._active_ues and self._queues[ue].backlogged
         )
         return SchedulingContext(
             subframe=subframe,

@@ -47,7 +47,7 @@ SchedulerFactory = Callable[[], UplinkScheduler]
 
 #: One fully self-contained simulation run, picklable when its members are:
 #: (topology, mean_snr_db, factory, config, seed, record_series,
-#:  activity_model_factory).
+#:  activity_model_factory, timeline).
 _WorkItem = Tuple[
     InterferenceTopology,
     Mapping[int, float],
@@ -56,6 +56,7 @@ _WorkItem = Tuple[
     Optional[int],
     bool,
     Optional[Callable[[np.random.Generator], object]],
+    Optional[object],
 ]
 
 
@@ -69,6 +70,7 @@ def _run_single(work: _WorkItem) -> SimulationResult:
         seed,
         record_series,
         activity_model_factory,
+        timeline,
     ) = work
     model = (
         activity_model_factory(np.random.default_rng(seed))
@@ -83,6 +85,7 @@ def _run_single(work: _WorkItem) -> SimulationResult:
         activity_model=model,
         seed=seed,
         record_series=record_series,
+        timeline=timeline,
     )
     return simulation.run()
 
@@ -131,12 +134,17 @@ def run_comparison(
     record_series: bool = False,
     activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
     n_jobs: Optional[int] = 1,
+    timeline: Optional[object] = None,
 ) -> Dict[str, SimulationResult]:
     """Run every scheduler under identical conditions; return results by name.
 
     ``activity_model_factory(rng)`` may supply a joint hidden-terminal
     activity model (e.g. contention-coupled); it is rebuilt from the same
     seed for every scheduler so all face one interference law.
+
+    ``timeline`` (an :class:`~repro.dynamics.timeline.EnvironmentTimeline`)
+    scripts mid-run environment churn; every scheduler faces the same
+    events (each run binds its own fresh timeline runtime).
 
     ``n_jobs`` fans the schedulers out over worker processes (``-1`` for
     all cores); results are identical to the serial run.
@@ -153,6 +161,7 @@ def run_comparison(
             seed,
             record_series,
             activity_model_factory,
+            timeline,
         )
         for name in names
     ]
@@ -197,7 +206,9 @@ def run_sweep(
         points.append(SweepPoint(parameter=value, results={}))
         for name, factory in factories.items():
             labelled.append((index, name))
-            items.append((topology, snrs, factory, config, seed, False, None))
+            items.append(
+                (topology, snrs, factory, config, seed, False, None, None)
+            )
     results = _run_work_items(items, n_jobs)
     for (index, name), result in zip(labelled, results):
         points[index].results[name] = result
@@ -253,6 +264,7 @@ def run_replications(
                     seed,
                     False,
                     activity_model_factory,
+                    None,
                 )
             )
     results = _run_work_items(items, n_jobs)

@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ActivityProcess",
     "BernoulliActivity",
+    "DynamicIndependentActivity",
     "ExclusiveGroupActivity",
     "IndependentActivity",
     "JointActivityModel",
@@ -79,6 +80,16 @@ class BernoulliActivity(ActivityProcess):
         # Generator.random(n) consumes the stream exactly like n scalar
         # draws, so this matches n step() calls bit for bit.
         return self._rng.random(n) < self.q
+
+    def retune(self, q: float) -> None:
+        """Change the busy probability in place (duty-cycle drift).
+
+        The RNG stream is untouched: the same uniform draws are simply
+        compared against the new threshold from the next subframe on.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"activity probability out of [0,1]: {q}")
+        self.q = float(q)
 
     @property
     def stationary_probability(self) -> float:
@@ -151,6 +162,24 @@ class MarkovOnOffActivity(ActivityProcess):
             out[t] = busy
         self._busy = busy
         return out
+
+    def retune(self, q: float) -> None:
+        """Change the stationary busy probability in place (duty-cycle
+        drift).  The mean busy burst length is kept; the chain's current
+        state and RNG stream are untouched, so the new marginal phases in
+        over the following sojourns."""
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(
+                f"Markov activity needs q strictly inside (0,1): {q}"
+            )
+        p_idle_to_busy = q * self._p_busy_to_idle / (1.0 - q)
+        if p_idle_to_busy > 1.0:
+            raise ConfigurationError(
+                f"q={q} with mean busy burst {self.mean_busy} is "
+                "unreachable (idle->busy probability would exceed 1)"
+            )
+        self.q = float(q)
+        self._p_idle_to_busy = p_idle_to_busy
 
     @property
     def stationary_probability(self) -> float:
@@ -276,6 +305,65 @@ class IndependentActivity(JointActivityModel):
 
     def marginal(self, index: int) -> float:
         return self._processes[index].stationary_probability
+
+
+class DynamicIndependentActivity(JointActivityModel):
+    """Independent per-terminal processes whose population can change.
+
+    The churn timeline needs to add and remove hidden terminals and re-tune
+    duty cycles *mid-run*.  :class:`IndependentActivity` pre-draws blocks of
+    samples for speed, which would bake pre-churn parameters into already
+    materialized booleans; this variant steps every process one subframe at
+    a time instead, so a mutation takes effect on the very next subframe and
+    the fast and legacy engine paths consume identical per-process RNG
+    streams (the dynamics bit-exactness smoke relies on this).
+    """
+
+    def __init__(self, processes: Sequence[ActivityProcess]) -> None:
+        self._processes = list(processes)
+        self.num_terminals = len(self._processes)
+
+    def step(self) -> FrozenSet[int]:
+        return frozenset(
+            k for k, process in enumerate(self._processes) if process.step()
+        )
+
+    def step_vector(self) -> np.ndarray:
+        mask = np.zeros(self.num_terminals, dtype=bool)
+        for k, process in enumerate(self._processes):
+            if process.step():
+                mask[k] = True
+        return mask
+
+    def marginal(self, index: int) -> float:
+        return self._processes[index].stationary_probability
+
+    # -- churn mutations ---------------------------------------------------
+
+    def add_process(self, process: ActivityProcess) -> int:
+        """Append a terminal's process (hidden-node arrival); returns index."""
+        self._processes.append(process)
+        self.num_terminals = len(self._processes)
+        return self.num_terminals - 1
+
+    def remove_process(self, index: int) -> None:
+        """Remove a terminal's process (hidden-node departure)."""
+        if not 0 <= index < self.num_terminals:
+            raise ConfigurationError(f"unknown terminal index {index}")
+        del self._processes[index]
+        self.num_terminals = len(self._processes)
+
+    def retune(self, index: int, q: float) -> None:
+        """Change one terminal's busy probability (duty-cycle drift)."""
+        if not 0 <= index < self.num_terminals:
+            raise ConfigurationError(f"unknown terminal index {index}")
+        process = self._processes[index]
+        retune = getattr(process, "retune", None)
+        if retune is None:
+            raise ConfigurationError(
+                f"{type(process).__name__} does not support duty-cycle drift"
+            )
+        retune(q)
 
 
 class ExclusiveGroupActivity(JointActivityModel):

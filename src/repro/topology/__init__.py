@@ -15,7 +15,10 @@ from repro.topology.hidden import (
     hidden_terminals_per_link,
 )
 from repro.topology.scenarios import (
+    client_churn_timeline,
+    duty_cycle_drift_timeline,
     fig1_topology,
+    hidden_node_churn_timeline,
     skewed_topology,
     testbed_topology,
     uniform_snrs,
@@ -29,10 +32,13 @@ __all__ = [
     "Position",
     "Scenario",
     "ScenarioConfig",
+    "client_churn_timeline",
     "compare_wifi_vs_lte_cell",
     "count_cell_hidden_terminals",
+    "duty_cycle_drift_timeline",
     "edge_set_accuracy",
     "fig1_topology",
+    "hidden_node_churn_timeline",
     "generate_scenario",
     "hidden_terminals_per_link",
     "rx_power_map",

@@ -112,6 +112,44 @@ class InterferenceTopology:
             self.__dict__["_edge_matrix_cache"] = cached
         return cached
 
+    # -- derivation (the mutation API) ----------------------------------------
+    #
+    # Instances are frozen, so the memoized ``edge_matrix`` can never go
+    # stale; "mutation" means deriving a new instance.  Dynamics code must
+    # only ever evolve a topology through these methods — holders of the old
+    # instance (and its cached matrix) keep a consistent pre-change view,
+    # and anything keyed on object identity invalidates naturally.
+
+    def with_terminal(
+        self, q: float, ues: Iterable[int]
+    ) -> "InterferenceTopology":
+        """A new topology with one extra hidden terminal appended."""
+        return InterferenceTopology(
+            num_ues=self.num_ues,
+            q=self.q + (float(q),),
+            edges=self.edges + (frozenset(int(u) for u in ues),),
+        )
+
+    def without_terminal(self, k: int) -> "InterferenceTopology":
+        """A new topology with hidden terminal ``k`` removed."""
+        if not 0 <= k < self.num_terminals:
+            raise TopologyError(f"unknown hidden terminal {k}")
+        return InterferenceTopology(
+            num_ues=self.num_ues,
+            q=self.q[:k] + self.q[k + 1:],
+            edges=self.edges[:k] + self.edges[k + 1:],
+        )
+
+    def with_terminal_q(self, k: int, q: float) -> "InterferenceTopology":
+        """A new topology with terminal ``k``'s busy probability replaced."""
+        if not 0 <= k < self.num_terminals:
+            raise TopologyError(f"unknown hidden terminal {k}")
+        return InterferenceTopology(
+            num_ues=self.num_ues,
+            q=self.q[:k] + (float(q),) + self.q[k + 1:],
+            edges=self.edges,
+        )
+
     # -- access probabilities -----------------------------------------------
 
     def access_probability(self, ue: int) -> float:

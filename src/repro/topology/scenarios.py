@@ -26,6 +26,9 @@ __all__ = [
     "skewed_topology",
     "uniform_snrs",
     "contention_pairs",
+    "hidden_node_churn_timeline",
+    "duty_cycle_drift_timeline",
+    "client_churn_timeline",
 ]
 
 
@@ -104,6 +107,124 @@ def skewed_topology(
         ues = sorted(rng.choice(num_ues, size=footprint, replace=False).tolist())
         terminals.append((q, ues))
     return InterferenceTopology.build(num_ues, terminals)
+
+
+def hidden_node_churn_timeline(
+    arrive_at: int,
+    q: float = 0.4,
+    ues: Tuple[int, ...] = (0, 1),
+    depart_at: Optional[int] = None,
+    label: str = "wifi-late",
+    activity_kind: str = "bernoulli",
+    seed: Optional[int] = None,
+):
+    """The paper's headline dynamic: a hidden WiFi node appears mid-run.
+
+    A terminal labelled ``label`` with busy probability ``q`` starts
+    silencing ``ues`` at subframe ``arrive_at`` and (optionally) leaves at
+    ``depart_at``.  Pairs with any static topology from this module.
+    """
+    # Imported lazily: repro.dynamics depends on repro.topology, not the
+    # other way round.
+    from repro.dynamics.timeline import (
+        EnvironmentTimeline,
+        HiddenNodeArrival,
+        HiddenNodeDeparture,
+    )
+
+    events: list = [
+        HiddenNodeArrival(
+            at=arrive_at,
+            q=q,
+            ues=tuple(ues),
+            label=label,
+            activity_kind=activity_kind,
+            seed=seed,
+        )
+    ]
+    if depart_at is not None:
+        if depart_at <= arrive_at:
+            raise ConfigurationError(
+                f"departure at {depart_at} not after arrival at {arrive_at}"
+            )
+        events.append(HiddenNodeDeparture(at=depart_at, label=label))
+    return EnvironmentTimeline(events)
+
+
+def duty_cycle_drift_timeline(
+    drift_at: int,
+    label: str = "ht0",
+    q: float = 0.6,
+    steps: int = 1,
+    step_gap: int = 500,
+    q_start: Optional[float] = None,
+):
+    """A hidden terminal's load shifts, abruptly or as a staircase.
+
+    With ``steps == 1`` terminal ``label`` jumps to ``q`` at ``drift_at``;
+    otherwise its busy probability moves from ``q_start`` (required) to
+    ``q`` in ``steps`` equal increments spaced ``step_gap`` subframes.
+    """
+    from repro.dynamics.timeline import DutyCycleDrift, EnvironmentTimeline
+
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1: {steps}")
+    if steps > 1 and q_start is None:
+        raise ConfigurationError("a staircase drift needs q_start")
+    events = []
+    for k in range(1, steps + 1):
+        level = (
+            q
+            if steps == 1
+            else q_start + (q - q_start) * k / steps
+        )
+        events.append(
+            DutyCycleDrift(
+                at=drift_at + (k - 1) * step_gap, label=label, q=level
+            )
+        )
+    return EnvironmentTimeline(events)
+
+
+def client_churn_timeline(
+    leave_at: int,
+    ue: int,
+    rejoin_at: Optional[int] = None,
+    ramp_delta_db: float = 0.0,
+    ramp_duration: int = 500,
+):
+    """A client detaches (and optionally re-attaches with a changed link).
+
+    ``ramp_delta_db`` applies a mean-SNR ramp over ``ramp_duration``
+    subframes starting at the rejoin (mobility: the client comes back
+    somewhere else).
+    """
+    from repro.dynamics.timeline import (
+        EnvironmentTimeline,
+        LinkStrengthRamp,
+        UeJoin,
+        UeLeave,
+    )
+
+    events: list = [UeLeave(at=leave_at, ue=ue)]
+    if rejoin_at is not None:
+        if rejoin_at <= leave_at:
+            raise ConfigurationError(
+                f"rejoin at {rejoin_at} not after leave at {leave_at}"
+            )
+        events.append(UeJoin(at=rejoin_at, ue=ue))
+        if ramp_delta_db:
+            events.append(
+                LinkStrengthRamp(
+                    at=rejoin_at,
+                    ue=ue,
+                    delta_db=ramp_delta_db,
+                    duration=ramp_duration,
+                )
+            )
+    elif ramp_delta_db:
+        raise ConfigurationError("a ramp without a rejoin has no effect")
+    return EnvironmentTimeline(events)
 
 
 def uniform_snrs(

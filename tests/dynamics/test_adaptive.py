@@ -1,0 +1,206 @@
+"""Unit tests: the adaptive controller's phase machinery and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.blueprint.inference import InferenceConfig
+from repro.core.controller import BLUConfig, BLUPhase
+from repro.core.joint.provider import TopologyJointProvider
+from repro.core.measurement.classifier import AccessObservation
+from repro.dynamics.adapt import (
+    AdaptiveBLUController,
+    AdaptiveConfig,
+    FullRestartController,
+    StagedBlueprintScheduler,
+)
+from repro.errors import ConfigurationError
+from repro.topology.graph import InterferenceTopology
+from tests.conftest import make_context
+
+TRUTH_QUIET = InterferenceTopology.build(4, [(0.5, [0]), (0.5, [1])])
+#: Same two terminals plus a new one hammering UEs 2 and 3.
+TRUTH_CHURNED = TRUTH_QUIET.with_terminal(0.6, [2, 3])
+
+
+def observation(subframe, scheduled, accessed):
+    scheduled = frozenset(scheduled)
+    accessed = frozenset(accessed)
+    return AccessObservation(
+        subframe=subframe,
+        scheduled=scheduled,
+        accessed=accessed,
+        blocked=scheduled - accessed,
+        collided=frozenset(),
+        faded=frozenset(),
+        decoded=accessed,
+    )
+
+
+def drive(controller, truth, rng, subframes, start=0):
+    for t in range(start, start + subframes):
+        avgs = [float(rng.uniform(1e4, 1e6)) for _ in range(4)]
+        context = make_context(num_ues=4, num_rbs=4, avg_bps=avgs, subframe=t)
+        schedule = controller.schedule(context)
+        scheduled = set(schedule.scheduled_ues())
+        busy = {
+            ue
+            for q, ues in zip(truth.q, truth.edges)
+            if rng.random() < q
+            for ue in ues
+        }
+        controller.observe(observation(t, scheduled, scheduled - busy))
+    return start + subframes
+
+
+def build_controller(**adaptive_overrides):
+    return AdaptiveBLUController(
+        4,
+        BLUConfig(
+            samples_per_pair=150,
+            measurement_k=4,
+            inference=InferenceConfig(seed=0),
+        ),
+        AdaptiveConfig(**adaptive_overrides),
+    )
+
+
+class TestAdaptiveConfig:
+    def test_defaults_valid(self):
+        AdaptiveConfig()
+
+    def test_unknown_detector(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(detector="ewma")
+
+    def test_remeasure_samples_positive(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(remeasure_samples=0)
+
+    def test_partial_starts_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(partial_random_starts=-1)
+
+    def test_cooldown_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(cooldown_subframes=-1)
+
+
+class TestAdaptiveController:
+    def test_full_adaptation_episode(self, rng):
+        """Quiet world → churn → detect → partial remeasure → re-blueprint."""
+        controller = build_controller()
+        t = drive(controller, TRUTH_QUIET, rng, 800)
+        assert controller.phase is BLUPhase.SPECULATIVE
+        assert controller.metrics.full_measurement_subframes > 0
+        result_before = controller.inference_result
+
+        t = drive(controller, TRUTH_CHURNED, rng, 4000, start=t)
+        metrics = controller.metrics
+        assert metrics.detections >= 1
+        event = metrics.events[0]
+        assert event.completed
+        assert event.drifted_ues & {2, 3}
+        # Targeted re-measurement is measurably cheaper than the initial
+        # full campaign.
+        assert 0 < event.remeasure_subframes
+        assert (
+            metrics.partial_measurement_subframes
+            < metrics.full_measurement_subframes
+        )
+        # The blueprint was actually replaced and the phase restored.
+        assert controller.inference_result is not result_before
+        assert metrics.reinferences >= 1
+        assert controller.phase is BLUPhase.SPECULATIVE
+
+    def test_stationary_world_never_adapts(self, rng):
+        controller = build_controller()
+        drive(controller, TRUTH_QUIET, rng, 6000)
+        assert controller.metrics.detections == 0
+        assert controller.metrics.partial_measurement_subframes == 0
+
+    def test_cooldown_suppresses_post_blueprint_firings(self, rng):
+        # An absurdly trigger-happy detector with a huge cooldown: every
+        # firing lands inside the cooldown window and only re-baselines.
+        controller = build_controller(
+            detector_delta=0.01,
+            detector_threshold=1.0,
+            detector_min_samples=5,
+            cooldown_subframes=10**9,
+        )
+        drive(controller, TRUTH_QUIET, rng, 3000)
+        assert controller.metrics.detections == 0
+        assert controller.phase is BLUPhase.SPECULATIVE
+
+    def test_partial_remeasure_schedules_only_affected_pairs(self, rng):
+        controller = build_controller()
+        t = drive(controller, TRUTH_QUIET, rng, 800)
+        controller._begin_partial_remeasure(t, frozenset({2}))
+        assert controller.phase is BLUPhase.PARTIAL_REMEASURE
+        context = make_context(num_ues=4, num_rbs=4, subframe=t)
+        schedule = controller.schedule(context)
+        assert 2 in set(schedule.scheduled_ues())
+
+    def test_warm_start_offered_to_inference(self, rng):
+        controller = build_controller(warm_start=True)
+        t = drive(controller, TRUTH_QUIET, rng, 800)
+        t = drive(controller, TRUTH_CHURNED, rng, 4000, start=t)
+        event = controller.metrics.events[0]
+        assert event.completed
+        # The winning start is recorded; "warm" is a legal value alongside
+        # the cold initializer labels.
+        assert isinstance(event.winning_start, str)
+
+
+class TestFullRestartController:
+    def test_restart_discards_state(self, rng):
+        controller = FullRestartController(
+            4,
+            BLUConfig(
+                samples_per_pair=150,
+                measurement_k=4,
+                inference=InferenceConfig(seed=0),
+            ),
+            restart_at=900,
+        )
+        drive(controller, TRUTH_QUIET, rng, 800)
+        assert controller.phase is BLUPhase.SPECULATIVE
+        estimator_before = controller.estimator
+        drive(controller, TRUTH_CHURNED, rng, 2000, start=800)
+        assert controller._restarted
+        assert controller.estimator is not estimator_before
+        assert controller.phase is BLUPhase.SPECULATIVE  # re-converged
+
+    def test_negative_restart_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullRestartController(4, restart_at=-5)
+
+
+class TestStagedBlueprintScheduler:
+    def test_needs_stages(self):
+        with pytest.raises(ConfigurationError):
+            StagedBlueprintScheduler([])
+
+    def test_first_stage_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            StagedBlueprintScheduler([(100, TRUTH_QUIET)])
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StagedBlueprintScheduler(
+                [(0, TRUTH_QUIET), (0, TRUTH_CHURNED)]
+            )
+
+    def test_dispatches_on_subframe(self):
+        scheduler = StagedBlueprintScheduler(
+            [(0, TRUTH_QUIET), (500, TRUTH_CHURNED)]
+        )
+        early = scheduler._scheduler_at(499)
+        late = scheduler._scheduler_at(500)
+        assert early is scheduler._stages[0][1]
+        assert late is scheduler._stages[1][1]
+        assert early is not late
+        # And the public entry point produces a schedule at both stages.
+        for subframe in (0, 499, 500, 2000):
+            context = make_context(num_ues=4, num_rbs=4, subframe=subframe)
+            schedule = scheduler.schedule(context)
+            assert set(schedule.scheduled_ues())

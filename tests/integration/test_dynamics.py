@@ -153,6 +153,37 @@ class TestDecayedEstimation:
         assert inferred.access_probability(0) > 0.8
         assert inferred.access_probability(2) < 0.7
 
+    def test_periodic_reinference_yields_valid_schedules(self, rng):
+        """Regression: with ``reinfer_interval > 0`` and decayed statistics
+        the controller must actually re-infer on the timer — a *new*
+        ``InferenceResult`` object per interval — and every schedule it
+        emits afterwards must stay well-formed (non-empty, within the UE
+        id space, no duplicates)."""
+        controller = BLUController(
+            4,
+            BLUConfig(
+                samples_per_pair=150,
+                measurement_k=4,
+                reinfer_interval=300,
+                estimator_decay=0.998,
+                inference=InferenceConfig(seed=0),
+            ),
+        )
+        drive(controller, TRUTH_A, rng, 600)
+        assert controller.phase is BLUPhase.SPECULATIVE
+        results = [controller.inference_result]
+        for _ in range(4):
+            drive(controller, TRUTH_A, rng, 350)
+            results.append(controller.inference_result)
+            context = make_context(num_ues=4, num_rbs=4, avg_bps=1e5)
+            schedule = controller.schedule(context)
+            scheduled = list(schedule.scheduled_ues())
+            assert scheduled, "re-inferred blueprint produced empty schedule"
+            assert len(scheduled) == len(set(scheduled))
+            assert all(0 <= ue < 4 for ue in scheduled)
+        # One fresh result per ~350-subframe block on a 300-interval timer.
+        assert len({id(r) for r in results}) == 5
+
     def test_invalid_decay_rejected(self):
         import pytest as _pytest
 

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core.joint",
     "repro.core.measurement",
     "repro.core.scheduling",
+    "repro.dynamics",
     "repro.lte",
     "repro.sim",
     "repro.spectrum",

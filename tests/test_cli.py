@@ -100,6 +100,22 @@ class TestTraceCommands:
             == 0
         )
 
+    def test_dynamics_output(self, capsys):
+        assert (
+            main(
+                ["dynamics", "--ues", "4", "--subframes", "3000",
+                 "--arrive-at", "1200", "--affected", "2", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hidden-node churn" in out
+        assert "blu-adaptive" in out
+        assert "post-change utilization" in out
+
+    def test_dynamics_rejects_bad_affected(self, capsys):
+        assert main(["dynamics", "--ues", "4", "--affected", "9"]) == 2
+
     def test_compare_markdown(self, capsys):
         assert (
             main(
