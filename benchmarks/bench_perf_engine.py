@@ -1,7 +1,9 @@
 """Engine throughput benchmark: subframes/sec, fast path vs legacy path.
 
 Unlike the figure-reproduction benchmarks, this one measures the simulator
-itself.  For each cell size it runs the same seeded scenario through
+itself.  Each cell size is described by a declarative
+:class:`~repro.experiments.ExperimentSpec`; for each the same seeded
+scenario runs through
 
 * the vectorized fast path (``fast_path=True``, the default), and
 * the legacy scalar path (``fast_path=False``) — the faithful pre-PR
@@ -23,6 +25,10 @@ seconds; it fails on errors or a fast/legacy mismatch, never on timing.
 environment timeline (hidden-node arrival, duty-cycle drift, departure)
 and asserts the fast and legacy paths stay bit-exact while the world
 churns mid-run — the mutation hazard the static benchmark cannot see.
+
+``--check-bit-exact`` runs only the equivalence checks (static + churn,
+fast vs legacy, at smoke sizes) through the stage-pipeline engine and
+exits non-zero on any divergence; no timings, no report file.
 """
 
 from __future__ import annotations
@@ -35,10 +41,15 @@ from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro import ProportionalFairScheduler, SimulationConfig
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    TimelineSpec,
+    build_experiment,
+)
 from repro.perf import PhaseTimer
-from repro.sim.engine import CellSimulation
-from repro.topology.scenarios import skewed_topology, uniform_snrs
+from repro.sim.config import SimulationConfig
 
 from common import MASTER_SEED
 
@@ -52,49 +63,44 @@ SCENARIOS = (
 OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
 
 
-def build_case(num_ues: int, num_terminals: int, num_rbs: int,
-               num_antennas: int, subframes: int):
-    topology = skewed_topology(num_ues, num_terminals, seed=3)
-    snrs = uniform_snrs(topology.num_ues, seed=7)
-    config = SimulationConfig(
-        num_subframes=subframes,
-        num_rbs=num_rbs,
-        num_antennas=num_antennas,
-    )
-    return topology, snrs, config
-
-
-def churn_timeline(subframes: int):
-    """Arrival, drift, and departure spread across the run."""
-    from repro.dynamics.timeline import (
-        DutyCycleDrift,
-        EnvironmentTimeline,
-        HiddenNodeArrival,
-        HiddenNodeDeparture,
-    )
-
-    return EnvironmentTimeline(
-        [
-            HiddenNodeArrival(
-                at=subframes // 4, q=0.5, ues=(0, 1), label="bench-late"
-            ),
-            DutyCycleDrift(at=subframes // 2, label="ht0", q=0.7),
-            HiddenNodeDeparture(at=3 * subframes // 4, label="bench-late"),
-        ]
-    )
-
-
-def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = None,
-              timeline=None):
-    simulation = CellSimulation(
-        topology=topology,
-        mean_snr_db=snrs,
-        scheduler=ProportionalFairScheduler(),
-        config=config,
-        seed=MASTER_SEED,
-        fast_path=fast,
-        phase_timer=timer,
+def build_spec(name: str, num_ues: int, num_terminals: int, num_rbs: int,
+               num_antennas: int, subframes: int,
+               with_timeline: bool = False) -> ExperimentSpec:
+    timeline = None
+    if with_timeline:
+        # Arrival, drift, and departure spread across the run.
+        timeline = TimelineSpec(
+            "hidden-node-churn",
+            {
+                "arrive_at": subframes // 4,
+                "q": 0.5,
+                "ues": [0, 1],
+                "depart_at": 3 * subframes // 4,
+                "label": "bench-late",
+            },
+        )
+    return ExperimentSpec(
+        name=f"bench-engine-{name}" + ("-churn" if with_timeline else ""),
+        scenario=ScenarioSpec(
+            kind="skewed",
+            params={"num_ues": num_ues, "num_terminals": num_terminals,
+                    "seed": 3},
+            snr={"kind": "uniform", "seed": 7},
+        ),
+        sim=SimulationConfig(
+            num_subframes=subframes,
+            num_rbs=num_rbs,
+            num_antennas=num_antennas,
+        ),
+        schedulers={"pf": SchedulerSpec("pf")},
         timeline=timeline,
+        seed=MASTER_SEED,
+    )
+
+
+def timed_run(spec: ExperimentSpec, fast: bool, timer: PhaseTimer | None = None):
+    simulation = build_experiment(spec).simulation(
+        "pf", fast_path=fast, phase_timer=timer
     )
     start = perf_counter()
     result = simulation.run()
@@ -102,27 +108,24 @@ def timed_run(topology, snrs, config, fast: bool, timer: PhaseTimer | None = Non
     return result, elapsed
 
 
-def bench_scenario(name: str, num_ues: int, num_terminals: int, num_rbs: int,
-                   num_antennas: int, subframes: int) -> dict:
-    topology, snrs, config = build_case(
-        num_ues, num_terminals, num_rbs, num_antennas, subframes
-    )
-    fast_result, fast_s = timed_run(topology, snrs, config, fast=True)
-    legacy_result, legacy_s = timed_run(topology, snrs, config, fast=False)
+def bench_scenario(spec: ExperimentSpec, subframes: int) -> dict:
+    fast_result, fast_s = timed_run(spec, fast=True)
+    legacy_result, legacy_s = timed_run(spec, fast=False)
     if fast_result != legacy_result:
         raise AssertionError(
-            f"{name}: fast path diverged from the legacy path under one seed"
+            f"{spec.name}: fast path diverged from the legacy path under "
+            f"one seed"
         )
     # One extra instrumented fast run for the phase breakdown (the timer
     # costs a couple of perf_counter calls per subframe, so it is kept out
     # of the headline measurement).
     timer = PhaseTimer()
-    timed_run(topology, snrs, config, fast=True, timer=timer)
+    timed_run(spec, fast=True, timer=timer)
     return {
-        "num_ues": num_ues,
-        "num_terminals": num_terminals,
-        "num_rbs": num_rbs,
-        "num_antennas": num_antennas,
+        "num_ues": spec.scenario.params["num_ues"],
+        "num_terminals": spec.scenario.params["num_terminals"],
+        "num_rbs": spec.sim.num_rbs,
+        "num_antennas": spec.sim.num_antennas,
         "subframes": subframes,
         "fast_subframes_per_s": subframes / fast_s,
         "legacy_subframes_per_s": subframes / legacy_s,
@@ -131,32 +134,44 @@ def bench_scenario(name: str, num_ues: int, num_terminals: int, num_rbs: int,
     }
 
 
-def bench_dynamics_scenario(name: str, num_ues: int, num_terminals: int,
-                            num_rbs: int, num_antennas: int,
-                            subframes: int) -> dict:
-    topology, snrs, config = build_case(
-        num_ues, num_terminals, num_rbs, num_antennas, subframes
-    )
-    timeline = churn_timeline(subframes)
-    fast_result, fast_s = timed_run(
-        topology, snrs, config, fast=True, timeline=timeline
-    )
-    legacy_result, legacy_s = timed_run(
-        topology, snrs, config, fast=False, timeline=timeline
-    )
+def bench_dynamics_scenario(spec: ExperimentSpec, subframes: int) -> dict:
+    fast_result, fast_s = timed_run(spec, fast=True)
+    legacy_result, legacy_s = timed_run(spec, fast=False)
     if fast_result != legacy_result:
         raise AssertionError(
-            f"{name}: fast path diverged from the legacy path under churn"
+            f"{spec.name}: fast path diverged from the legacy path under "
+            f"churn"
         )
+    timeline = build_experiment(spec).timeline
     return {
-        "num_ues": num_ues,
-        "num_terminals": num_terminals,
+        "num_ues": spec.scenario.params["num_ues"],
+        "num_terminals": spec.scenario.params["num_terminals"],
         "subframes": subframes,
         "timeline_events": timeline.num_events,
         "fast_subframes_per_s": subframes / fast_s,
         "legacy_subframes_per_s": subframes / legacy_s,
         "speedup": legacy_s / fast_s,
     }
+
+
+def check_bit_exact() -> int:
+    """Fast/legacy equivalence through the stage pipeline, static + churn."""
+    failures = 0
+    for name, ues, terminals, rbs, antennas, _ in SCENARIOS:
+        for with_timeline in (False, True):
+            spec = build_spec(
+                name, ues, terminals, rbs, antennas, 400,
+                with_timeline=with_timeline,
+            )
+            fast_result, _ = timed_run(spec, fast=True)
+            legacy_result, _ = timed_run(spec, fast=False)
+            label = f"{name}{' +churn' if with_timeline else ''}"
+            if fast_result == legacy_result:
+                print(f"bit-exact: {label}")
+            else:
+                failures += 1
+                print(f"DIVERGED: {label}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -172,6 +187,11 @@ def main(argv=None) -> int:
         help="also verify fast/legacy bit-exactness under a churn timeline",
     )
     parser.add_argument(
+        "--check-bit-exact",
+        action="store_true",
+        help="only run the fast/legacy equivalence checks (static + churn)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT_PATH,
@@ -179,11 +199,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.check_bit_exact:
+        return check_bit_exact()
+
     report = {"smoke": args.smoke, "scenarios": {}}
     for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:
         if args.smoke:
             subframes = 300
-        entry = bench_scenario(name, ues, terminals, rbs, antennas, subframes)
+        spec = build_spec(name, ues, terminals, rbs, antennas, subframes)
+        entry = bench_scenario(spec, subframes)
         report["scenarios"][name] = entry
         print(
             f"{name:>7s}: fast {entry['fast_subframes_per_s']:9.1f} sf/s | "
@@ -196,9 +220,11 @@ def main(argv=None) -> int:
         for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:
             if args.smoke:
                 subframes = 400
-            entry = bench_dynamics_scenario(
-                name, ues, terminals, rbs, antennas, subframes
+            spec = build_spec(
+                name, ues, terminals, rbs, antennas, subframes,
+                with_timeline=True,
             )
+            entry = bench_dynamics_scenario(spec, subframes)
             report["dynamics"][name] = entry
             print(
                 f"{name:>7s} (churn): fast {entry['fast_subframes_per_s']:9.1f}"

@@ -26,12 +26,15 @@ from repro import (
     AccessEstimator,
     BlueprintInference,
     InferenceConfig,
-    ProportionalFairScheduler,
-    SimulationConfig,
-    CellSimulation,
     testbed_topology,
-    uniform_snrs,
 )
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    run_experiment,
+)
+from repro.sim.config import SimulationConfig
 
 
 def measure_and_infer(truth, samples, rng):
@@ -54,15 +57,36 @@ def expected_capacity_score(blueprint):
     )
 
 
+#: Each candidate channel is one scenario spec (same cell, different
+#: ambient WiFi population); the validation run reuses the same spec.
+CHANNEL_SCENARIOS = {
+    "ch36": {"hts_per_ue": 1, "activity": 0.15, "seed": 1},
+    "ch40": {"hts_per_ue": 2, "activity": 0.35, "seed": 2},
+    "ch44": {"hts_per_ue": 3, "activity": 0.5, "seed": 3},
+}
+
+
+def channel_spec(name: str, params: dict, num_ues: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"channel-selection-{name}",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": num_ues, **params},
+            snr={"kind": "uniform", "seed": 4},
+        ),
+        sim=SimulationConfig(num_subframes=2500),
+        schedulers={"pf": SchedulerSpec("pf")},
+        seed=8,
+    )
+
+
 def main() -> None:
     num_ues = 6
-    snrs = uniform_snrs(num_ues, seed=4)
     rng = np.random.default_rng(11)
 
     channels = {
-        "ch36": testbed_topology(num_ues, hts_per_ue=1, activity=0.15, seed=1),
-        "ch40": testbed_topology(num_ues, hts_per_ue=2, activity=0.35, seed=2),
-        "ch44": testbed_topology(num_ues, hts_per_ue=3, activity=0.5, seed=3),
+        name: testbed_topology(num_ues, **params)
+        for name, params in CHANNEL_SCENARIOS.items()
     }
 
     print("=== Blueprint-driven channel assessment ===")
@@ -79,14 +103,8 @@ def main() -> None:
 
     print("\n=== Validation: PF throughput on each channel ===")
     throughputs = {}
-    for name, truth in channels.items():
-        result = CellSimulation(
-            truth,
-            snrs,
-            ProportionalFairScheduler(),
-            SimulationConfig(num_subframes=2500),
-            seed=8,
-        ).run()
+    for name, params in CHANNEL_SCENARIOS.items():
+        result = run_experiment(channel_spec(name, params, num_ues))["pf"]
         throughputs[name] = result.aggregate_throughput_mbps
         print(f"{name}: {result.aggregate_throughput_mbps:.2f} Mbps")
 

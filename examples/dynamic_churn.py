@@ -5,7 +5,8 @@ The paper's blueprint is a snapshot — Section 3.7 argues the loop runs
 well inside the stationarity window of topology dynamics, and this example
 closes that loop.  Midway through the run a new hidden terminal powers up
 and starts blocking two clients.  Four schedulers face the exact same
-scripted world (an ``EnvironmentTimeline``):
+scripted world (an ``EnvironmentTimeline``, declared here as a
+``TimelineSpec`` inside one :class:`~repro.experiments.ExperimentSpec`):
 
 * ``blu-adaptive``  — streaming Page-Hinkley drift detection flags *which*
   clients changed, re-measures only their pairs, and warm-starts inference
@@ -14,7 +15,8 @@ scripted world (an ``EnvironmentTimeline``):
 * ``blu-restart``   — told the change time by an oracle, throws everything
   away and repeats the full measurement campaign;
 * ``oracle``        — the true blueprint at every instant (the regret
-  ceiling).
+  ceiling; its blueprint stages are derived from the timeline by the
+  registry, not assembled by hand).
 
 The adaptive controller should land within a few percent of the restart
 baseline's post-change utilization while spending a fraction of its
@@ -24,25 +26,20 @@ Run:
     python examples/dynamic_churn.py          (~60 s)
 """
 
-from repro import (
-    AdaptiveBLUController,
-    BLUConfig,
-    BLUController,
-    FullRestartController,
-    InferenceConfig,
-    SimulationConfig,
-    StagedBlueprintScheduler,
-    hidden_node_churn_timeline,
-    run_comparison,
-    uniform_snrs,
-)
-from repro import testbed_topology
 from repro.analysis.dynamics import (
     dynamics_report,
     recovery_ratio,
     utilization_regret,
     windowed_utilization,
 )
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    TimelineSpec,
+    build_experiment,
+)
+from repro.sim.config import SimulationConfig
 
 NUM_UES = 6
 SUBFRAMES = 16000
@@ -50,16 +47,37 @@ ARRIVE_AT = 6000
 ARRIVAL_Q = 0.45
 AFFECTED = (0, 1)
 
+BLU_PARAMS = {"inference": {"seed": 0}}
+
+SPEC = ExperimentSpec(
+    name="dynamic-churn-hidden-node",
+    scenario=ScenarioSpec(
+        kind="testbed",
+        params={"num_ues": NUM_UES, "hts_per_ue": 1, "activity": 0.25,
+                "seed": 0},
+        snr={"kind": "uniform", "seed": 1},
+    ),
+    sim=SimulationConfig(num_subframes=SUBFRAMES),
+    schedulers={
+        "blu-adaptive": SchedulerSpec("blu-adaptive", {"blu": BLU_PARAMS}),
+        "blu-frozen": SchedulerSpec("blu", BLU_PARAMS),
+        "blu-restart": SchedulerSpec(
+            "blu-restart", {"restart_at": ARRIVE_AT, "blu": BLU_PARAMS}
+        ),
+        "oracle": SchedulerSpec("staged-oracle"),
+    },
+    timeline=TimelineSpec(
+        "hidden-node-churn",
+        {"arrive_at": ARRIVE_AT, "q": ARRIVAL_Q, "ues": list(AFFECTED)},
+    ),
+    seed=0,
+    record_series=True,
+)
+
 
 def main() -> None:
-    topology = testbed_topology(
-        num_ues=NUM_UES, hts_per_ue=1, activity=0.25, seed=0
-    )
-    snrs = uniform_snrs(NUM_UES, seed=1)
-    timeline = hidden_node_churn_timeline(
-        arrive_at=ARRIVE_AT, q=ARRIVAL_Q, ues=AFFECTED
-    )
-    churned = topology.with_terminal(ARRIVAL_Q, AFFECTED)
+    plan = build_experiment(SPEC)
+    topology = plan.topology
 
     print(
         f"Cell: {NUM_UES} clients, {topology.num_terminals} hidden "
@@ -68,34 +86,14 @@ def main() -> None:
     )
     print()
 
-    blu_config = BLUConfig(inference=InferenceConfig(seed=0))
-    controllers = {}
-
-    def adaptive_factory():
-        controller = AdaptiveBLUController(NUM_UES, blu_config)
-        controllers["blu-adaptive"] = controller
-        return controller
-
-    results = run_comparison(
-        topology,
-        snrs,
-        {
-            "blu-adaptive": adaptive_factory,
-            "blu-frozen": lambda: BLUController(NUM_UES, blu_config),
-            "blu-restart": lambda: FullRestartController(
-                NUM_UES, blu_config, restart_at=ARRIVE_AT
-            ),
-            "oracle": lambda: StagedBlueprintScheduler(
-                [(0, topology), (ARRIVE_AT, churned)]
-            ),
-        },
-        SimulationConfig(num_subframes=SUBFRAMES),
-        seed=0,
-        record_series=True,
-        timeline=timeline,
-    )
-
-    metrics = {name: c.metrics for name, c in controllers.items()}
+    # Serial run: the plan captures the live controllers so we can read
+    # the adaptive controller's dynamics metrics afterwards.
+    results = plan.run()
+    metrics = {
+        name: scheduler.metrics
+        for name, scheduler in plan.schedulers.items()
+        if hasattr(scheduler, "metrics")
+    }
     print(
         dynamics_report(
             results,

@@ -18,17 +18,18 @@ Run:
 import numpy as np
 
 from repro import (
-    BLUConfig,
-    BLUController,
-    InferenceConfig,
-    ProportionalFairScheduler,
     ScenarioConfig,
-    SimulationConfig,
     edge_set_accuracy,
     generate_scenario,
-    run_comparison,
 )
 from repro.analysis import format_comparison
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+)
+from repro.sim.config import SimulationConfig
 from repro.spectrum.activity import ExclusiveGroupActivity
 from repro.topology.hidden import compare_wifi_vs_lte_cell
 
@@ -76,27 +77,56 @@ def main() -> None:
         return ExclusiveGroupActivity(marginals, groups, rng=rng)
 
     print("\n=== Simulation (PF vs BLU, identical interference) ===")
-    controller_holder = {}
-
-    def make_blu() -> BLUController:
-        controller = BLUController(
-            scenario.num_ues, BLUConfig(samples_per_pair=200, inference=InferenceConfig(seed=0))
-        )
-        controller_holder["blu"] = controller
-        return controller
-
-    results = run_comparison(
-        topology,
-        scenario.ue_mean_snr_db,
-        {"pf": ProportionalFairScheduler, "blu": make_blu},
-        SimulationConfig(
+    # The geometric scenario collapses into a literal spec: the derived
+    # blueprint and SNR map become 'explicit' scenario data, so the exact
+    # simulated cell is serializable alongside its results.
+    spec = ExperimentSpec(
+        name="enterprise-uplink",
+        scenario=ScenarioSpec(
+            kind="explicit",
+            params={
+                "num_ues": scenario.num_ues,
+                "terminals": [
+                    [q, sorted(ues)]
+                    for q, ues in zip(topology.q, topology.edges)
+                ],
+            },
+            snr={
+                "kind": "explicit",
+                "by_ue": {
+                    str(ue): db
+                    for ue, db in scenario.ue_mean_snr_db.items()
+                },
+            },
+        ),
+        sim=SimulationConfig(
             num_subframes=5000,
             num_antennas=1,
             enb_busy_probability=enb_busy,
         ),
+        schedulers={
+            "pf": SchedulerSpec("pf"),
+            "blu": SchedulerSpec(
+                "blu",
+                {"samples_per_pair": 200, "inference": {"seed": 0}},
+            ),
+        },
         seed=5,
-        activity_model_factory=activity_factory,
     )
+    plan = build_experiment(spec)
+    # The CSMA-coupled activity model is a live stateful object (the
+    # contention groups time-share the medium), so it rides the plan's
+    # engine-override seam; each run rebuilds it from the shared seed so
+    # both schedulers face one interference law.
+    results = {}
+    for name in spec.scheduler_names:
+        scheduler = plan.build_scheduler(name)
+        plan.schedulers[name] = scheduler
+        results[name] = plan.simulation(
+            name,
+            scheduler=scheduler,
+            activity_model=activity_factory(np.random.default_rng(spec.seed)),
+        ).run()
     print(
         format_comparison(
             {name: result.summary() for name, result in results.items()},
@@ -105,7 +135,7 @@ def main() -> None:
         )
     )
 
-    controller = controller_holder["blu"]
+    controller = plan.schedulers["blu"]
     if controller.inferred_topology is not None:
         inferred = controller.inferred_topology
         accuracy = edge_set_accuracy(inferred, topology)

@@ -16,29 +16,47 @@ Run:
     python examples/finite_traffic_noma.py
 """
 
+import dataclasses
+
 import numpy as np
 
-from repro import (
-    ProportionalFairScheduler,
-    SimulationConfig,
-    SpeculativeScheduler,
-    TopologyJointProvider,
-    CellSimulation,
-)
 from repro.analysis import bar_chart
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+)
 from repro.lte.traffic import PeriodicTraffic, PoissonTraffic
-from repro.topology.graph import InterferenceTopology
+from repro.sim.config import SimulationConfig
 
 NUM_UES = 8
 
-
-def build_cell():
-    topology = InterferenceTopology.build(
-        NUM_UES, [(0.55, [u]) for u in range(NUM_UES)]
-    )
-    # Near/far deployment: strong power diversity for SIC to exploit.
-    snrs = {u: (33.0 if u % 2 == 0 else 13.0) for u in range(NUM_UES)}
-    return topology, snrs
+#: Near/far deployment: strong power diversity for SIC to exploit.  The
+#: blueprint and SNR map are literal data, so the whole cell is a spec.
+SPEC = ExperimentSpec(
+    name="finite-traffic-noma",
+    scenario=ScenarioSpec(
+        kind="explicit",
+        params={
+            "num_ues": NUM_UES,
+            "terminals": [[0.55, [u]] for u in range(NUM_UES)],
+        },
+        snr={
+            "kind": "explicit",
+            "by_ue": {
+                str(u): (33.0 if u % 2 == 0 else 13.0)
+                for u in range(NUM_UES)
+            },
+        },
+    ),
+    sim=SimulationConfig(num_subframes=6000, num_rbs=8, receiver="linear"),
+    schedulers={
+        "pf": SchedulerSpec("pf"),
+        "blu": SchedulerSpec("speculative"),
+    },
+    seed=11,
+)
 
 
 def traffic_mix():
@@ -54,14 +72,12 @@ def traffic_mix():
     return sources
 
 
-def run(receiver: str, scheduler_factory, label: str, topology, snrs):
-    simulation = CellSimulation(
-        topology,
-        snrs,
-        scheduler_factory(),
-        SimulationConfig(num_subframes=6000, num_rbs=8, receiver=receiver),
-        traffic_sources=traffic_mix(),
-        seed=11,
+def run(receiver: str, name: str):
+    # Traffic sources are live stateful objects, so they ride the plan's
+    # engine-override seam rather than the serialized spec.
+    spec = SPEC.replace(sim=dataclasses.replace(SPEC.sim, receiver=receiver))
+    simulation = build_experiment(spec).simulation(
+        name, traffic_sources=traffic_mix()
     )
     result = simulation.run()
     offered = sum(
@@ -71,17 +87,11 @@ def run(receiver: str, scheduler_factory, label: str, topology, snrs):
 
 
 def main() -> None:
-    topology, snrs = build_cell()
-    provider = TopologyJointProvider(topology)
-
     print("=== Finite traffic: offered vs delivered ===")
     outcomes = {}
     for receiver in ("linear", "sic"):
-        for name, factory in (
-            ("pf", ProportionalFairScheduler),
-            ("blu", lambda: SpeculativeScheduler(provider)),
-        ):
-            result, offered = run(receiver, factory, name, topology, snrs)
+        for name in ("pf", "blu"):
+            result, offered = run(receiver, name)
             key = f"{name}/{receiver}"
             outcomes[key] = result
             delivered = result.total_delivered_bits

@@ -3,50 +3,61 @@
 
 The paper's Fig. 17: with more MIMO degrees of freedom, more grants ride on
 each RB — and more of them die to hidden terminals, so BLU's speculative
-over-scheduling recovers more.  This example sweeps the eNB antenna count
-and reports the BLU-over-PF gain at each M.
+over-scheduling recovers more.  This example declares one base
+:class:`~repro.experiments.ExperimentSpec` and sweeps the antenna count by
+replacing its ``sim`` config — the declarative equivalent of a CLI
+``repro sweep --param antennas``.
 
 Run:
     python examples/mumimo_overscheduling.py
 """
 
-from repro import (
-    ProportionalFairScheduler,
-    SimulationConfig,
-    SpeculativeScheduler,
-    TopologyJointProvider,
-    run_comparison,
-    testbed_topology,
-    uniform_snrs,
-)
+import dataclasses
+
 from repro.analysis import format_table
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    run_experiment_sweep,
+)
+from repro.sim.config import SimulationConfig
+
+ANTENNAS = (1, 2, 4)
+
+BASE = ExperimentSpec(
+    name="mumimo-overscheduling",
+    scenario=ScenarioSpec(
+        kind="testbed",
+        params={"num_ues": 12, "hts_per_ue": 2, "activity": 0.4, "seed": 7},
+        snr={"kind": "uniform", "seed": 3},
+    ),
+    sim=SimulationConfig(num_subframes=3000, num_antennas=1),
+    schedulers={
+        "pf": SchedulerSpec("pf"),
+        "blu": SchedulerSpec("speculative"),
+    },
+    seed=9,
+)
 
 
 def main() -> None:
-    num_ues = 12
-    topology = testbed_topology(
-        num_ues=num_ues, hts_per_ue=2, activity=0.4, seed=7
-    )
-    snrs = uniform_snrs(num_ues, seed=3)
-    provider = TopologyJointProvider(topology)
+    specs = [
+        BASE.replace(
+            name=f"{BASE.name}-m{antennas}",
+            sim=dataclasses.replace(BASE.sim, num_antennas=antennas),
+        )
+        for antennas in ANTENNAS
+    ]
+    points = run_experiment_sweep(specs, parameters=ANTENNAS)
 
     rows = []
-    for antennas in (1, 2, 4):
-        results = run_comparison(
-            topology,
-            snrs,
-            {
-                "pf": ProportionalFairScheduler,
-                "blu": lambda: SpeculativeScheduler(provider),
-            },
-            SimulationConfig(num_subframes=3000, num_antennas=antennas),
-            seed=9,
-        )
-        pf = results["pf"]
-        blu = results["blu"]
+    for point in points:
+        pf = point.results["pf"]
+        blu = point.results["blu"]
         rows.append(
             [
-                f"M={antennas}",
+                f"M={point.parameter}",
                 pf.aggregate_throughput_mbps,
                 blu.aggregate_throughput_mbps,
                 blu.aggregate_throughput_mbps / pf.aggregate_throughput_mbps,

@@ -17,38 +17,49 @@ import sys
 import numpy as np
 
 from repro import (
-    AccessAwareScheduler,
     BlueprintInference,
-    CellSimulation,
     InferenceConfig,
-    ProportionalFairScheduler,
     ScenarioConfig,
-    SimulationConfig,
-    SpeculativeScheduler,
-    TopologyJointProvider,
     edge_set_accuracy,
     generate_scenario,
-    run_comparison,
-    testbed_topology,
-    uniform_snrs,
 )
 from repro.analysis import cdf_plot, comparison_report, sweep_report
 from repro.core.measurement.estimator import AccessEstimator
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    run_experiment,
+)
+from repro.sim.config import SimulationConfig
+
+
+def _testbed_scenario(hts_per_ue: int, activity: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        kind="testbed",
+        params={
+            "num_ues": 8,
+            "hts_per_ue": hts_per_ue,
+            "activity": activity,
+            "seed": 3,
+        },
+        snr={"kind": "uniform", "seed": 2},
+    )
 
 
 def scheduler_section() -> str:
-    topology = testbed_topology(num_ues=8, hts_per_ue=2, activity=0.4, seed=3)
-    provider = TopologyJointProvider(topology)
-    results = run_comparison(
-        topology,
-        uniform_snrs(8, seed=2),
-        {
-            "pf": ProportionalFairScheduler,
-            "access-aware": lambda: AccessAwareScheduler(provider),
-            "blu": lambda: SpeculativeScheduler(provider),
-        },
-        SimulationConfig(num_subframes=2500),
-        seed=7,
+    results = run_experiment(
+        ExperimentSpec(
+            name="report-scheduler-comparison",
+            scenario=_testbed_scenario(hts_per_ue=2, activity=0.4),
+            sim=SimulationConfig(num_subframes=2500),
+            schedulers={
+                "pf": SchedulerSpec("pf"),
+                "access-aware": SchedulerSpec("access-aware"),
+                "blu": SchedulerSpec("speculative"),
+            },
+            seed=7,
+        )
     )
     return comparison_report(
         results,
@@ -61,17 +72,18 @@ def scheduler_section() -> str:
 def utilization_section() -> str:
     points = {}
     for hts_per_ue in (0, 1, 2):
-        topology = testbed_topology(
-            num_ues=8, hts_per_ue=hts_per_ue, activity=0.45, seed=3
+        results = run_experiment(
+            ExperimentSpec(
+                name=f"report-utilization-{hts_per_ue}ht",
+                scenario=_testbed_scenario(
+                    hts_per_ue=hts_per_ue, activity=0.45
+                ),
+                sim=SimulationConfig(num_subframes=1500, num_rbs=8),
+                schedulers={"pf": SchedulerSpec("pf")},
+                seed=7,
+            )
         )
-        result = CellSimulation(
-            topology,
-            uniform_snrs(8, seed=2),
-            ProportionalFairScheduler(),
-            SimulationConfig(num_subframes=1500, num_rbs=8),
-            seed=7,
-        ).run()
-        points[f"{hts_per_ue} HTs/UE"] = {"pf": result}
+        points[f"{hts_per_ue} HTs/UE"] = results
     return sweep_report(
         points,
         title="Utilization loss under PF (Fig. 4a shape)",

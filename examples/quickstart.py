@@ -1,37 +1,51 @@
 #!/usr/bin/env python
 """Quickstart: BLU versus today's LTE schedulers in unlicensed spectrum.
 
-Builds a small enterprise cell (8 clients, 2 hidden terminals each), runs
-the native proportional-fair scheduler, the access-aware variant, and the
-full BLU pipeline (measurement -> blueprint inference -> speculative
+Declares a small enterprise cell (8 clients, 2 hidden terminals each) as
+an :class:`~repro.experiments.ExperimentSpec`, runs the native
+proportional-fair scheduler, the access-aware variant, and the full BLU
+pipeline (measurement -> blueprint inference -> speculative
 over-scheduling) under identical interference, and prints the comparison.
+
+The spec is plain data — ``spec.to_json()`` is exactly what lives in
+``specs/*.json`` and what ``python -m repro run-spec`` executes.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    AccessAwareScheduler,
-    BLUConfig,
-    BLUController,
-    OracleScheduler,
-    ProportionalFairScheduler,
-    SimulationConfig,
-    SpeculativeScheduler,
-    TopologyJointProvider,
-    run_comparison,
-    testbed_topology,
-    uniform_snrs,
-)
 from repro.analysis import format_comparison
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+)
+from repro.sim.config import SimulationConfig
+
+SPEC = ExperimentSpec(
+    name="quickstart-testbed",
+    scenario=ScenarioSpec(
+        kind="testbed",
+        params={"num_ues": 8, "hts_per_ue": 2, "activity": 0.4, "seed": 3},
+        snr={"kind": "uniform", "seed": 2},
+    ),
+    sim=SimulationConfig(num_subframes=4000, num_antennas=1),
+    schedulers={
+        "pf": SchedulerSpec("pf"),
+        "access-aware": SchedulerSpec("access-aware"),
+        "blu (in-situ)": SchedulerSpec("blu", {"samples_per_pair": 50}),
+        "blu (perfect)": SchedulerSpec("speculative"),
+        "oracle": SchedulerSpec("oracle"),
+    },
+    seed=7,
+)
 
 
 def main() -> None:
-    num_ues = 8
-    topology = testbed_topology(
-        num_ues=num_ues, hts_per_ue=2, activity=0.4, seed=3
-    )
-    snrs = uniform_snrs(num_ues, seed=2)
+    plan = build_experiment(SPEC)
+    topology = plan.topology
+    num_ues = topology.num_ues
 
     print(f"Cell: {num_ues} clients, {topology.num_terminals} hidden terminals")
     print(
@@ -40,22 +54,7 @@ def main() -> None:
     )
     print()
 
-    provider = TopologyJointProvider(topology)  # perfect-knowledge providers
-    results = run_comparison(
-        topology,
-        snrs,
-        {
-            "pf": ProportionalFairScheduler,
-            "access-aware": lambda: AccessAwareScheduler(provider),
-            "blu (in-situ)": lambda: BLUController(
-                num_ues, BLUConfig(samples_per_pair=50)
-            ),
-            "blu (perfect)": lambda: SpeculativeScheduler(provider),
-            "oracle": OracleScheduler,
-        },
-        SimulationConfig(num_subframes=4000, num_antennas=1),
-        seed=7,
-    )
+    results = plan.run()
 
     print(
         format_comparison(

@@ -17,20 +17,28 @@ Layers:
 * ``repro.traces`` — trace recording, combination, and persistence.
 * ``repro.analysis`` — CDFs and result tables.
 
+* ``repro.experiments`` — declarative, JSON-round-trippable experiment
+  specs and the registries that resolve them into runnable plans.
+
 Quickstart::
 
-    from repro import (BLUController, BLUConfig, SimulationConfig,
-                       run_comparison, ProportionalFairScheduler,
-                       testbed_topology, uniform_snrs)
+    from repro import (ExperimentSpec, ScenarioSpec, SchedulerSpec,
+                       SimulationConfig, run_experiment)
 
-    topology = testbed_topology(num_ues=8, hts_per_ue=2, activity=0.4, seed=1)
-    results = run_comparison(
-        topology, uniform_snrs(8, seed=2),
-        {"pf": ProportionalFairScheduler,
-         "blu": lambda: BLUController(8, BLUConfig())},
-        SimulationConfig(num_subframes=4000),
-    )
+    results = run_experiment(ExperimentSpec(
+        name="quickstart",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 8, "hts_per_ue": 2, "activity": 0.4, "seed": 1},
+            snr={"kind": "uniform", "seed": 2},
+        ),
+        sim=SimulationConfig(num_subframes=4000),
+        schedulers={"pf": SchedulerSpec("pf"), "blu": SchedulerSpec("blu")},
+    ))
     print({k: v.aggregate_throughput_mbps for k, v in results.items()})
+
+The callable-based runners (``run_comparison`` et al.) remain for live
+objects a spec cannot serialize.
 """
 
 from repro.core.blueprint import (
@@ -78,8 +86,19 @@ from repro.errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    SpecError,
     TopologyError,
     TraceError,
+)
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    TimelineSpec,
+    build_experiment,
+    run_experiment,
+    run_experiment_replications,
+    run_experiment_sweep,
 )
 from repro.sim import (
     CellSimulation,
@@ -121,6 +140,7 @@ __all__ = [
     "DynamicsMetrics",
     "EmpiricalJointProvider",
     "EnvironmentTimeline",
+    "ExperimentSpec",
     "FullRestartController",
     "InferenceConfig",
     "InferenceError",
@@ -136,18 +156,23 @@ __all__ = [
     "ReproError",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioSpec",
+    "SchedulerSpec",
     "SchedulingContext",
     "SchedulingError",
     "SimulationConfig",
     "SimulationError",
     "SimulationResult",
     "SingleUserScheduler",
+    "SpecError",
     "SpeculativeScheduler",
     "StagedBlueprintScheduler",
+    "TimelineSpec",
     "TopologyError",
     "TopologyJointProvider",
     "TraceError",
     "TransformedMeasurements",
+    "build_experiment",
     "client_churn_timeline",
     "duty_cycle_drift_timeline",
     "edge_set_accuracy",
@@ -159,6 +184,9 @@ __all__ = [
     "joint_access_probability",
     "minimum_subframes",
     "run_comparison",
+    "run_experiment",
+    "run_experiment_replications",
+    "run_experiment_sweep",
     "skewed_topology",
     "statistically_equivalent",
     "testbed_topology",

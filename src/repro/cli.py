@@ -2,53 +2,59 @@
 
 Commands:
 
-* ``compare``   — run PF / AA / BLU / oracle on a synthetic cell and print
-                  the comparison table.
-* ``dynamics``  — churn demo: a hidden WiFi node appears mid-run; compare
-                  the adaptive controller against frozen / full-restart BLU
-                  and the dynamics-aware oracle.
-* ``infer``     — generate a scenario, measure, infer the blueprint, and
-                  report its accuracy against ground truth.
-* ``scenario``  — draw a random enterprise scenario and describe it.
-* ``overhead``  — print the measurement-overhead table for a cell size.
-* ``trace``     — record a scenario's interference trace to ``.npz``.
-* ``trace-info``— summarize a recorded trace file.
+* ``compare``       — run PF / AA / BLU / oracle on a synthetic cell and
+                      print the comparison table.
+* ``sweep``         — sweep one parameter (antennas, ues, activity,
+                      subframes) and tabulate throughput per scheduler.
+* ``dynamics``      — churn demo: a hidden WiFi node appears mid-run;
+                      compare the adaptive controller against frozen /
+                      full-restart BLU and the dynamics-aware oracle.
+* ``run-spec``      — execute an ``ExperimentSpec`` JSON file.
+* ``validate-specs``— parse and build every spec in a directory.
+* ``infer``         — generate a scenario, measure, infer the blueprint,
+                      and report its accuracy against ground truth.
+* ``scenario``      — draw a random enterprise scenario and describe it.
+* ``overhead``      — print the measurement-overhead table for a cell size.
+* ``trace``         — record a scenario's interference trace to ``.npz``.
+* ``trace-info``    — summarize a recorded trace file.
 
-Every command accepts ``--seed`` for reproducibility.  These commands wrap
-the same public API the examples use; they exist so a deployment can be
-explored without writing Python.
+Every simulation command builds its experiment through
+:mod:`repro.experiments` — a declarative, JSON-round-trippable
+:class:`~repro.experiments.ExperimentSpec` resolved against the
+scenario/scheduler registries — so anything runnable here is exportable
+to (and reproducible from) a ``specs/*.json`` file.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import (
-    AccessAwareScheduler,
-    BLUConfig,
-    BLUController,
     BlueprintInference,
     InferenceConfig,
-    OracleScheduler,
-    ProportionalFairScheduler,
     ScenarioConfig,
-    SimulationConfig,
-    SpeculativeScheduler,
-    TopologyJointProvider,
     edge_set_accuracy,
     generate_scenario,
     minimum_subframes,
-    run_comparison,
-    testbed_topology,
-    uniform_snrs,
 )
 from repro.analysis import comparison_report, format_comparison, format_table
 from repro.core.measurement.pair_scheduler import (
     MeasurementScheduler,
     tuple_measurement_subframes,
 )
+from repro.errors import SpecError
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    TimelineSpec,
+    build_experiment,
+    run_experiment_sweep,
+)
+from repro.sim.config import SimulationConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +81,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a markdown report section instead of the ASCII table",
     )
+    compare.add_argument(
+        "--export-spec",
+        metavar="PATH",
+        help="also write the experiment spec as JSON to PATH",
+    )
+    compare.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker processes for the comparison (-1 = all cores)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one parameter across a scheduler comparison"
+    )
+    sweep.add_argument(
+        "--param",
+        choices=("antennas", "ues", "activity", "subframes"),
+        default="antennas",
+    )
+    sweep.add_argument(
+        "--values",
+        default="1,2,4",
+        help="comma-separated values of the swept parameter",
+    )
+    sweep.add_argument("--ues", type=int, default=8)
+    sweep.add_argument("--hts-per-ue", type=int, default=2)
+    sweep.add_argument("--activity", type=float, default=0.4)
+    sweep.add_argument("--antennas", type=int, default=1)
+    sweep.add_argument("--subframes", type=int, default=2000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--with-oracle", action="store_true")
+    sweep.add_argument("--n-jobs", type=int, default=1)
 
     dynamics = sub.add_parser(
         "dynamics", help="online adaptation demo under hidden-node churn"
@@ -96,6 +133,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many clients the arriving node silences",
     )
     dynamics.add_argument("--seed", type=int, default=0)
+    dynamics.add_argument(
+        "--export-spec",
+        metavar="PATH",
+        help="also write the experiment spec as JSON to PATH",
+    )
+
+    run_spec = sub.add_parser(
+        "run-spec", help="execute an experiment spec JSON file"
+    )
+    run_spec.add_argument("spec", help="path to an ExperimentSpec .json")
+    run_spec.add_argument("--n-jobs", type=int, default=1)
+    run_spec.add_argument(
+        "--baseline",
+        default=None,
+        help="scheduler name to normalize gains against (default: first)",
+    )
+
+    validate = sub.add_parser(
+        "validate-specs",
+        help="parse and registry-build every spec in a directory",
+    )
+    validate.add_argument(
+        "directory",
+        nargs="?",
+        default="specs",
+        help="directory of ExperimentSpec .json files (default: specs/)",
+    )
 
     infer = sub.add_parser("infer", help="blueprint inference accuracy demo")
     infer.add_argument("--ues", type=int, default=8)
@@ -130,41 +194,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    topology = testbed_topology(
-        num_ues=args.ues,
-        hts_per_ue=args.hts_per_ue,
-        activity=args.activity,
-        seed=args.seed,
-    )
-    snrs = uniform_snrs(args.ues, seed=args.seed + 1)
-    provider = TopologyJointProvider(topology)
-    factories = {
-        "pf": ProportionalFairScheduler,
-        "access-aware": lambda: AccessAwareScheduler(provider),
-        "blu": lambda: BLUController(
-            args.ues,
-            BLUConfig(samples_per_pair=50, inference=InferenceConfig(seed=0)),
+def _comparison_schedulers(with_oracle: bool) -> dict:
+    schedulers = {
+        "pf": SchedulerSpec("pf"),
+        "access-aware": SchedulerSpec("access-aware"),
+        "blu": SchedulerSpec(
+            "blu",
+            {"samples_per_pair": 50, "inference": {"seed": 0}},
         ),
-        "blu-perfect": lambda: SpeculativeScheduler(provider),
+        "blu-perfect": SchedulerSpec("speculative"),
     }
-    if args.with_oracle:
-        factories["oracle"] = OracleScheduler
-    results = run_comparison(
-        topology,
-        snrs,
-        factories,
-        SimulationConfig(
+    if with_oracle:
+        schedulers["oracle"] = SchedulerSpec("oracle")
+    return schedulers
+
+
+def _compare_spec(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"compare-testbed-{args.ues}ues",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={
+                "num_ues": args.ues,
+                "hts_per_ue": args.hts_per_ue,
+                "activity": args.activity,
+                "seed": args.seed,
+            },
+            snr={"kind": "uniform", "seed": args.seed + 1},
+        ),
+        sim=SimulationConfig(
             num_subframes=args.subframes, num_antennas=args.antennas
         ),
+        schedulers=_comparison_schedulers(args.with_oracle),
         seed=args.seed,
     )
+
+
+def _maybe_export(spec: ExperimentSpec, path: Optional[str]) -> None:
+    if path:
+        Path(path).write_text(spec.to_json())
+        print(f"wrote spec to {path}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = _compare_spec(args)
+    _maybe_export(spec, args.export_spec)
+    plan = build_experiment(spec)
+    results = plan.run(n_jobs=args.n_jobs)
     if args.markdown:
         print(
             comparison_report(
                 results,
                 title=(
-                    f"{args.ues} UEs, {topology.num_terminals} hidden "
+                    f"{args.ues} UEs, {plan.topology.num_terminals} hidden "
                     f"terminals, M={args.antennas}"
                 ),
                 baseline="pf",
@@ -177,72 +259,100 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             metrics=["throughput_mbps", "rb_utilization", "jain_index"],
             baseline="pf",
             title=(
-                f"{args.ues} UEs, {topology.num_terminals} hidden terminals, "
-                f"M={args.antennas}, {args.subframes} subframes"
+                f"{args.ues} UEs, {plan.topology.num_terminals} hidden "
+                f"terminals, M={args.antennas}, {args.subframes} subframes"
             ),
         )
     )
     return 0
 
 
-def _cmd_dynamics(args: argparse.Namespace) -> int:
-    from repro import (
-        AdaptiveBLUController,
-        FullRestartController,
-        StagedBlueprintScheduler,
-        hidden_node_churn_timeline,
+def _parse_sweep_values(param: str, text: str) -> List:
+    caster = float if param == "activity" else int
+    try:
+        return [caster(chunk) for chunk in text.split(",") if chunk.strip()]
+    except ValueError:
+        raise SpecError(f"bad --values for {param}: {text!r}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = _parse_sweep_values(args.param, args.values)
+    if not values:
+        print("--values is empty", file=sys.stderr)
+        return 2
+    specs = []
+    for value in values:
+        view = argparse.Namespace(**vars(args))
+        setattr(view, args.param, value)
+        spec = _compare_spec(view)
+        specs.append(spec.replace(name=f"{spec.name}-{args.param}{value}"))
+    points = run_experiment_sweep(specs, parameters=values, n_jobs=args.n_jobs)
+    names = list(specs[0].scheduler_names)
+    rows = [
+        [point.parameter]
+        + [point.results[name].summary()["throughput_mbps"] for name in names]
+        for point in points
+    ]
+    print(
+        format_table(
+            [args.param] + names,
+            rows,
+            title=f"throughput_mbps vs {args.param}",
+        )
     )
+    return 0
+
+
+def _dynamics_spec(args: argparse.Namespace) -> ExperimentSpec:
+    affected = list(range(args.affected))
+    blu_params = {"inference": {"seed": 0}}
+    return ExperimentSpec(
+        name=f"dynamics-hidden-node-{args.ues}ues",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={
+                "num_ues": args.ues,
+                "hts_per_ue": args.hts_per_ue,
+                "activity": args.activity,
+                "seed": args.seed,
+            },
+            snr={"kind": "uniform", "seed": args.seed + 1},
+        ),
+        sim=SimulationConfig(num_subframes=args.subframes),
+        schedulers={
+            "blu-adaptive": SchedulerSpec("blu-adaptive", {"blu": blu_params}),
+            "blu-frozen": SchedulerSpec("blu", blu_params),
+            "blu-restart": SchedulerSpec(
+                "blu-restart",
+                {"restart_at": args.arrive_at, "blu": blu_params},
+            ),
+            "oracle": SchedulerSpec("staged-oracle"),
+        },
+        timeline=TimelineSpec(
+            "hidden-node-churn",
+            {"arrive_at": args.arrive_at, "q": args.arrival_q, "ues": affected},
+        ),
+        seed=args.seed,
+        record_series=True,
+    )
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
     from repro.analysis.dynamics import dynamics_report, recovery_ratio
 
     if not 1 <= args.affected <= args.ues:
         print(f"--affected must be in [1, {args.ues}]", file=sys.stderr)
         return 2
-    topology = testbed_topology(
-        num_ues=args.ues,
-        hts_per_ue=args.hts_per_ue,
-        activity=args.activity,
-        seed=args.seed,
-    )
-    snrs = uniform_snrs(args.ues, seed=args.seed + 1)
-    affected = tuple(range(args.affected))
-    timeline = hidden_node_churn_timeline(
-        arrive_at=args.arrive_at, q=args.arrival_q, ues=affected
-    )
-    blu_config = BLUConfig(inference=InferenceConfig(seed=0))
-    controllers = {}
-
-    def adaptive_factory():
-        controller = AdaptiveBLUController(args.ues, blu_config)
-        controllers["blu-adaptive"] = controller
-        return controller
-
-    factories = {
-        "blu-adaptive": adaptive_factory,
-        "blu-frozen": lambda: BLUController(args.ues, blu_config),
-        "blu-restart": lambda: FullRestartController(
-            args.ues, blu_config, restart_at=args.arrive_at
-        ),
-        "oracle": lambda: StagedBlueprintScheduler(
-            [
-                (0, topology),
-                (
-                    args.arrive_at,
-                    topology.with_terminal(args.arrival_q, affected),
-                ),
-            ]
-        ),
-    }
-    results = run_comparison(
-        topology,
-        snrs,
-        factories,
-        SimulationConfig(num_subframes=args.subframes),
-        seed=args.seed,
-        record_series=True,
-        timeline=timeline,
-    )
+    spec = _dynamics_spec(args)
+    _maybe_export(spec, args.export_spec)
+    plan = build_experiment(spec)
+    # Serial run on purpose: it captures the live controller instances so
+    # the report can read the adaptive controller's dynamics metrics.
+    results = plan.run(n_jobs=1)
     metrics = {
-        name: controller.metrics for name, controller in controllers.items()
+        name: scheduler.metrics
+        for name, scheduler in plan.schedulers.items()
+        if hasattr(scheduler, "metrics")
     }
     print(
         dynamics_report(
@@ -264,6 +374,74 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     print(
         f"\npost-change utilization, adaptive vs full restart: {ratio:.3f}x"
     )
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    path = Path(args.spec)
+    if not path.is_file():
+        print(f"no such spec file: {path}", file=sys.stderr)
+        return 2
+    try:
+        spec = ExperimentSpec.from_json(path.read_text())
+        plan = build_experiment(spec)
+        results = plan.run(n_jobs=args.n_jobs)
+    except SpecError as error:
+        print(f"spec error: {error}", file=sys.stderr)
+        return 1
+    baseline = args.baseline or next(iter(spec.scheduler_names))
+    print(
+        format_comparison(
+            {name: result.summary() for name, result in results.items()},
+            metrics=["throughput_mbps", "rb_utilization", "jain_index"],
+            baseline=baseline,
+            title=spec.name,
+        )
+    )
+    return 0
+
+
+def _cmd_validate_specs(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"no such spec directory: {directory}", file=sys.stderr)
+        return 2
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        print(f"no *.json specs found in {directory}", file=sys.stderr)
+        return 2
+    failures = 0
+    rows = []
+    for path in paths:
+        try:
+            spec = ExperimentSpec.from_json(path.read_text())
+            plan = build_experiment(spec)
+            for name in spec.scheduler_names:
+                plan.build_scheduler(name)
+        except SpecError as error:
+            failures += 1
+            print(f"FAIL {path.name}: {error}", file=sys.stderr)
+            continue
+        rows.append(
+            [
+                path.name,
+                spec.scenario.kind,
+                plan.topology.num_ues,
+                len(spec.schedulers),
+                spec.timeline.kind if spec.timeline else "-",
+            ]
+        )
+    if rows:
+        print(
+            format_table(
+                ["spec", "scenario", "ues", "schedulers", "timeline"],
+                rows,
+                title=f"Validated {len(rows)}/{len(paths)} specs",
+            )
+        )
+    if failures:
+        print(f"{failures} invalid spec(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -414,7 +592,10 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "dynamics": _cmd_dynamics,
+    "run-spec": _cmd_run_spec,
+    "validate-specs": _cmd_validate_specs,
     "infer": _cmd_infer,
     "scenario": _cmd_scenario,
     "overhead": _cmd_overhead,

@@ -69,8 +69,8 @@ class InferenceResult:
 class BlueprintInference:
     """Infer the hidden-terminal topology from transformed measurements."""
 
-    def __init__(self, config: InferenceConfig = InferenceConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[InferenceConfig] = None) -> None:
+        self.config = config if config is not None else InferenceConfig()
 
     def _starting_points(
         self,

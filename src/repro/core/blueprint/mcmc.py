@@ -59,8 +59,8 @@ class McmcResult:
 class McmcInference:
     """Metropolis–Hastings over hidden-terminal topologies."""
 
-    def __init__(self, config: McmcConfig = McmcConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[McmcConfig] = None) -> None:
+        self.config = config if config is not None else McmcConfig()
 
     def _log_posterior(
         self, state: WorkingTopology, target: TransformedMeasurements

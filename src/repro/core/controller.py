@@ -100,7 +100,11 @@ class BLUController(UplinkScheduler):
 
     name = "blu"
 
-    def __init__(self, num_ues: int, config: BLUConfig = BLUConfig()) -> None:
+    def __init__(
+        self, num_ues: int, config: Optional[BLUConfig] = None
+    ) -> None:
+        if config is None:
+            config = BLUConfig()
         if num_ues < 2:
             raise ConfigurationError(
                 "BLU needs at least two clients (pair-wise measurements)"

@@ -115,10 +115,11 @@ class AdaptiveBLUController(BLUController):
     def __init__(
         self,
         num_ues: int,
-        config: BLUConfig = BLUConfig(),
-        adaptive: AdaptiveConfig = AdaptiveConfig(),
+        config: Optional[BLUConfig] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         super().__init__(num_ues, config)
+        adaptive = AdaptiveConfig() if adaptive is None else adaptive
         self.adaptive = adaptive
         self.monitor = DriftMonitor(
             num_ues,
@@ -256,7 +257,7 @@ class FullRestartController(BLUController):
     def __init__(
         self,
         num_ues: int,
-        config: BLUConfig = BLUConfig(),
+        config: Optional[BLUConfig] = None,
         restart_at: int = 0,
     ) -> None:
         super().__init__(num_ues, config)

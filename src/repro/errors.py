@@ -16,6 +16,11 @@ class ConfigurationError(ReproError):
     """A configuration object or parameter combination is invalid."""
 
 
+class SpecError(ConfigurationError):
+    """An experiment spec is malformed: unknown kind, bad field, or a value
+    that cannot be built through the scenario/scheduler registries."""
+
+
 class TopologyError(ReproError):
     """A topology (ground-truth or inferred) is malformed or inconsistent."""
 

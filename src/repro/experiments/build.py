@@ -1,0 +1,230 @@
+"""Build and execute :class:`ExperimentSpec` objects.
+
+``build_experiment`` resolves a spec through the registries into an
+:class:`ExperimentPlan` — the concrete topology, SNR map, timeline, and
+per-name scheduler builders — and the plan runs the matched-conditions
+comparison.  Parallel execution ships the *spec dict* to each worker
+(always picklable, unlike closure-based scheduler factories) and rebuilds
+the plan there, so ``n_jobs`` never degrades to the serial fallback and
+results stay identical to ``n_jobs=1``.
+
+Serial runs additionally capture the live scheduler instances on the
+plan (``plan.schedulers``) so callers can inspect controller state after
+the run — e.g. ``AdaptiveBLUController.metrics`` for the dynamics report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.scheduling.base import UplinkScheduler
+from repro.errors import SpecError
+from repro.experiments.registry import (
+    BuildContext,
+    build_scheduler,
+    build_snrs,
+    build_timeline,
+    build_topology,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.engine import CellSimulation
+from repro.sim.results import SimulationResult
+from repro.sim.runner import ReplicatedMetric, SweepPoint, map_jobs
+from repro.topology.graph import InterferenceTopology
+
+__all__ = [
+    "ExperimentPlan",
+    "build_experiment",
+    "run_experiment",
+    "run_experiment_replications",
+    "run_experiment_sweep",
+]
+
+
+@dataclass
+class ExperimentPlan:
+    """A spec resolved against the registries, ready to run."""
+
+    spec: ExperimentSpec
+    topology: InterferenceTopology
+    mean_snr_db: Dict[int, float]
+    timeline: Optional[object]
+    #: Scheduler instances captured by the most recent serial ``run()``;
+    #: lets callers read post-run controller state (dynamics metrics).
+    schedulers: Dict[str, UplinkScheduler] = field(default_factory=dict)
+
+    @property
+    def context(self) -> BuildContext:
+        return BuildContext(
+            num_ues=self.topology.num_ues,
+            topology=self.topology,
+            mean_snr_db=self.mean_snr_db,
+            timeline=self.timeline,
+        )
+
+    def build_scheduler(self, name: str) -> UplinkScheduler:
+        """A fresh scheduler instance for one named entry of the spec."""
+        if name not in self.spec.schedulers:
+            raise SpecError(
+                f"experiment {self.spec.name!r} has no scheduler {name!r}; "
+                f"has: {list(self.spec.scheduler_names)}"
+            )
+        return build_scheduler(self.spec.schedulers[name], self.context)
+
+    def simulation(
+        self,
+        name: str,
+        *,
+        seed: Optional[int] = None,
+        fast_path: Optional[bool] = None,
+        record_series: Optional[bool] = None,
+        phase_timer=None,
+        hooks=None,
+        scheduler: Optional[UplinkScheduler] = None,
+        **engine_overrides,
+    ) -> CellSimulation:
+        """One fully configured engine for a named scheduler entry.
+
+        Keyword overrides exist for harness code (benchmarks force the
+        engine path and attach timers; examples attach traffic sources or
+        joint activity models); experiment results themselves should come
+        from :meth:`run` so the spec stays the single source of truth.
+        """
+        return CellSimulation(
+            topology=self.topology,
+            mean_snr_db=self.mean_snr_db,
+            scheduler=(
+                scheduler if scheduler is not None else self.build_scheduler(name)
+            ),
+            config=self.spec.sim,
+            seed=self.spec.seed if seed is None else seed,
+            record_series=(
+                self.spec.record_series if record_series is None else record_series
+            ),
+            fast_path=self.spec.fast_path if fast_path is None else fast_path,
+            timeline=self.timeline,
+            phase_timer=phase_timer,
+            hooks=hooks,
+            **engine_overrides,
+        )
+
+    def run_one(
+        self, name: str, *, seed: Optional[int] = None, capture: bool = True
+    ) -> SimulationResult:
+        scheduler = self.build_scheduler(name)
+        if capture:
+            self.schedulers[name] = scheduler
+        return self.simulation(name, seed=seed, scheduler=scheduler).run()
+
+    def run(self, n_jobs: Optional[int] = 1) -> Dict[str, SimulationResult]:
+        """Run every scheduler under identical seeded conditions."""
+        names = list(self.spec.scheduler_names)
+        if n_jobs is not None and n_jobs != 1 and len(names) > 1:
+            items = [(self.spec.to_dict(), name, None) for name in names]
+            results = map_jobs(_run_spec_item, items, n_jobs)
+            return dict(zip(names, results))
+        return {name: self.run_one(name) for name in names}
+
+
+def build_experiment(spec: ExperimentSpec) -> ExperimentPlan:
+    """Resolve a spec through the registries; raises SpecError on any gap."""
+    topology = build_topology(spec.scenario)
+    return ExperimentPlan(
+        spec=spec,
+        topology=topology,
+        mean_snr_db=build_snrs(spec.scenario, topology.num_ues),
+        timeline=build_timeline(spec.timeline),
+    )
+
+
+#: (spec_dict, scheduler_name, seed_override) — plain data, always picklable.
+_SpecItem = Tuple[dict, str, Optional[int]]
+
+
+def _run_spec_item(item: _SpecItem) -> SimulationResult:
+    """Worker entry point: rebuild the plan from the spec dict and run."""
+    spec_dict, name, seed = item
+    plan = build_experiment(ExperimentSpec.from_dict(spec_dict))
+    return plan.run_one(name, seed=seed, capture=False)
+
+
+def run_experiment(
+    spec: ExperimentSpec, n_jobs: Optional[int] = 1
+) -> Dict[str, SimulationResult]:
+    """Build and run a spec; results keyed by the spec's scheduler names."""
+    return build_experiment(spec).run(n_jobs=n_jobs)
+
+
+def run_experiment_replications(
+    spec: ExperimentSpec,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
+    n_jobs: Optional[int] = 1,
+) -> Dict[str, Dict[str, ReplicatedMetric]]:
+    """Repeat a spec over seeds; mean ± std per scheduler and metric."""
+    if not seeds:
+        raise SpecError("need at least one seed")
+    names = list(spec.scheduler_names)
+    spec_dict = spec.to_dict()
+    labelled = [(name, seed) for seed in seeds for name in names]
+    items: List[_SpecItem] = [
+        (spec_dict, name, seed) for name, seed in labelled
+    ]
+    results = map_jobs(_run_spec_item, items, n_jobs)
+
+    samples: Dict[str, Dict[str, List[float]]] = {
+        name: {metric: [] for metric in metrics} for name in names
+    }
+    for (name, _seed), result in zip(labelled, results):
+        summary = result.summary()
+        for metric in metrics:
+            samples[name][metric].append(summary[metric])
+    report: Dict[str, Dict[str, ReplicatedMetric]] = {}
+    for name, by_metric in samples.items():
+        report[name] = {}
+        for metric, values in by_metric.items():
+            array = np.asarray(values, dtype=float)
+            report[name][metric] = ReplicatedMetric(
+                mean=float(array.mean()),
+                std=float(array.std(ddof=1)) if len(array) > 1 else 0.0,
+                samples=len(array),
+            )
+    return report
+
+
+def run_experiment_sweep(
+    specs: Sequence[ExperimentSpec],
+    parameters: Optional[Sequence[object]] = None,
+    n_jobs: Optional[int] = 1,
+) -> List[SweepPoint]:
+    """Run several specs as one flat batch of (spec, scheduler) jobs.
+
+    ``parameters`` labels the sweep points (defaults to the spec names);
+    with ``n_jobs > 1`` all runs across all points fan out together, so
+    parallelism helps even when one end of the sweep dominates.
+    """
+    if not specs:
+        raise SpecError("sweep needs at least one spec")
+    if parameters is None:
+        parameters = [spec.name for spec in specs]
+    if len(parameters) != len(specs):
+        raise SpecError(
+            f"{len(parameters)} parameters for {len(specs)} specs"
+        )
+    labelled: List[Tuple[int, str]] = []
+    items: List[_SpecItem] = []
+    points = [
+        SweepPoint(parameter=parameter, results={}) for parameter in parameters
+    ]
+    for index, spec in enumerate(specs):
+        spec_dict = spec.to_dict()
+        for name in spec.scheduler_names:
+            labelled.append((index, name))
+            items.append((spec_dict, name, None))
+    results = map_jobs(_run_spec_item, items, n_jobs)
+    for (index, name), result in zip(labelled, results):
+        points[index].results[name] = result
+    return points

@@ -1,0 +1,367 @@
+"""Scenario, SNR, timeline, and scheduler registries.
+
+Every spec ``kind`` resolves here.  Registries map string kinds to
+builder functions so new scenarios/schedulers are one decorated function,
+and the spec layer (plus ``repro validate-specs``) can enumerate and
+validate what exists without importing entry-point code.
+
+Scheduler builders receive a :class:`BuildContext` — the already-built
+topology, SNR map, optional timeline, and cell size — because several
+schedulers are topology-aware (perfect-knowledge providers, the staged
+oracle's blueprint stages derived from the timeline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.controller import BLUConfig, BLUController
+from repro.core.blueprint.inference import InferenceConfig
+from repro.core.joint.provider import TopologyJointProvider
+from repro.core.scheduling.access_aware import AccessAwareScheduler
+from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.oracle import OracleScheduler
+from repro.core.scheduling.pf import ProportionalFairScheduler
+from repro.core.scheduling.single_user import SingleUserScheduler
+from repro.core.scheduling.speculative import SpeculativeScheduler
+from repro.errors import ReproError, SpecError
+from repro.experiments.spec import ScenarioSpec, SchedulerSpec, TimelineSpec
+from repro.topology.graph import InterferenceTopology
+from repro.topology.scenarios import (
+    client_churn_timeline,
+    duty_cycle_drift_timeline,
+    fig1_topology,
+    hidden_node_churn_timeline,
+    skewed_topology,
+    testbed_topology,
+    uniform_snrs,
+)
+
+__all__ = [
+    "BuildContext",
+    "register_scenario",
+    "register_scheduler",
+    "register_timeline",
+    "scenario_kinds",
+    "scheduler_kinds",
+    "timeline_kinds",
+    "build_topology",
+    "build_snrs",
+    "build_timeline",
+    "build_scheduler",
+    "timeline_blueprint_stages",
+]
+
+
+@dataclass(frozen=True)
+class BuildContext:
+    """What a scheduler builder may depend on besides its own params."""
+
+    num_ues: int
+    topology: InterferenceTopology
+    mean_snr_db: Mapping[int, float]
+    timeline: Optional[object] = None  # EnvironmentTimeline
+
+
+_SCENARIOS: Dict[str, Callable[..., InterferenceTopology]] = {}
+_SCHEDULERS: Dict[str, Callable[..., UplinkScheduler]] = {}
+_TIMELINES: Dict[str, Callable[..., object]] = {}
+
+
+def register_scenario(kind: str):
+    """Register ``fn(**params) -> InterferenceTopology`` under ``kind``."""
+
+    def decorator(fn):
+        _SCENARIOS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def register_scheduler(kind: str):
+    """Register ``fn(ctx, **params) -> UplinkScheduler`` under ``kind``."""
+
+    def decorator(fn):
+        _SCHEDULERS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def register_timeline(kind: str):
+    """Register ``fn(**params) -> EnvironmentTimeline`` under ``kind``."""
+
+    def decorator(fn):
+        _TIMELINES[kind] = fn
+        return fn
+
+    return decorator
+
+
+def scenario_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_SCENARIOS))
+
+
+def scheduler_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_SCHEDULERS))
+
+
+def timeline_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_TIMELINES))
+
+
+def _call_builder(fn: Callable, what: str, params: Mapping[str, Any], *args):
+    """Invoke a registered builder; bad params become SpecError."""
+    try:
+        return fn(*args, **params)
+    except TypeError as error:
+        # Unknown/missing keyword arguments land here; the builder's own
+        # signature is the schema.
+        raise SpecError(f"{what}: {error}") from error
+    except SpecError:
+        raise
+    except ReproError as error:
+        raise SpecError(f"{what}: {error}") from error
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+register_scenario("fig1")(fig1_topology)
+register_scenario("testbed")(testbed_topology)
+register_scenario("skewed")(skewed_topology)
+
+
+@register_scenario("generated")
+def _generated_scenario(seed: Optional[int] = None, **config) -> InterferenceTopology:
+    """A random enterprise deployment; ``config`` = ScenarioConfig fields."""
+    from repro.topology.generator import ScenarioConfig, generate_scenario
+
+    scenario_config = _config_from_params(
+        ScenarioConfig, config, "scenario 'generated'"
+    )
+    return generate_scenario(scenario_config, seed=seed).topology
+
+
+@register_scenario("explicit")
+def _explicit_scenario(num_ues: int, terminals) -> InterferenceTopology:
+    """A literal blueprint: ``terminals`` is ``[[q, [ue, ...]], ...]``.
+
+    The bridge from any externally-derived topology (geometric scenario,
+    measured deployment) into a serializable spec.
+    """
+    try:
+        parsed = [
+            (float(q), [int(ue) for ue in ues]) for q, ues in terminals
+        ]
+    except (TypeError, ValueError) as error:
+        raise SpecError(
+            f"scenario 'explicit' terminals are malformed: {error}"
+        ) from error
+    return InterferenceTopology.build(num_ues, parsed)
+
+
+def build_topology(spec: ScenarioSpec) -> InterferenceTopology:
+    if spec.kind not in _SCENARIOS:
+        raise SpecError(
+            f"unknown scenario kind {spec.kind!r}; "
+            f"registered: {list(scenario_kinds())}"
+        )
+    return _call_builder(
+        _SCENARIOS[spec.kind], f"scenario {spec.kind!r}", spec.params
+    )
+
+
+def build_snrs(spec: ScenarioSpec, num_ues: int) -> Dict[int, float]:
+    snr = dict(spec.snr)
+    kind = snr.pop("kind")
+    if kind == "uniform":
+        return _call_builder(uniform_snrs, "snr 'uniform'", snr, num_ues)
+    if kind == "fixed":
+        extra = sorted(set(snr) - {"snr_db"})
+        if extra:
+            raise SpecError(f"snr 'fixed' got unknown field(s) {extra}")
+        snr_db = float(snr.get("snr_db", 20.0))
+        return {ue: snr_db for ue in range(num_ues)}
+    if kind == "explicit":
+        extra = sorted(set(snr) - {"by_ue"})
+        if extra:
+            raise SpecError(f"snr 'explicit' got unknown field(s) {extra}")
+        by_ue = snr.get("by_ue")
+        if not isinstance(by_ue, Mapping):
+            raise SpecError("snr 'explicit' needs a 'by_ue' mapping")
+        try:
+            parsed = {int(ue): float(db) for ue, db in by_ue.items()}
+        except (TypeError, ValueError) as error:
+            raise SpecError(f"snr 'explicit' by_ue is malformed: {error}") from error
+        missing = sorted(set(range(num_ues)) - set(parsed))
+        if missing:
+            raise SpecError(f"snr 'explicit' misses UEs {missing}")
+        return parsed
+    raise SpecError(
+        f"unknown snr kind {kind!r}; known: ['explicit', 'fixed', 'uniform']"
+    )
+
+
+# -- timelines ---------------------------------------------------------------
+
+
+register_timeline("hidden-node-churn")(hidden_node_churn_timeline)
+register_timeline("duty-cycle-drift")(duty_cycle_drift_timeline)
+register_timeline("client-churn")(client_churn_timeline)
+
+
+def build_timeline(spec: Optional[TimelineSpec]):
+    if spec is None:
+        return None
+    if spec.kind not in _TIMELINES:
+        raise SpecError(
+            f"unknown timeline kind {spec.kind!r}; "
+            f"registered: {list(timeline_kinds())}"
+        )
+    params = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in spec.params.items()
+    }
+    return _call_builder(_TIMELINES[spec.kind], f"timeline {spec.kind!r}", params)
+
+
+def timeline_blueprint_stages(
+    topology: InterferenceTopology, timeline
+) -> List[Tuple[int, InterferenceTopology]]:
+    """Derive the true ``(start_subframe, topology)`` stages from a timeline.
+
+    Binds a throwaway runtime and steps it through every event time,
+    collecting the topology whenever a structural event changes it — the
+    stage list the dynamics-aware oracle schedules against.
+    """
+    stages: List[Tuple[int, InterferenceTopology]] = [(0, topology)]
+    if timeline is None:
+        return stages
+    runtime = timeline.runtime(topology)
+    for at in sorted({event.at for event in timeline.events}):
+        update = runtime.step(at)
+        if update is not None and update.topology is not None:
+            stages.append((at, update.topology))
+    return stages
+
+
+# -- schedulers --------------------------------------------------------------
+
+
+def _config_from_params(cls, params: Mapping[str, Any], where: str):
+    """Build a (nested) config dataclass from a spec params mapping."""
+    allowed = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"{where} got unknown field(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for key, value in params.items():
+        if key == "inference" and isinstance(value, Mapping):
+            value = _config_from_params(
+                InferenceConfig, value, f"{where}.inference"
+            )
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except ReproError as error:
+        raise SpecError(f"{where}: {error}") from error
+
+
+def _blu_config(params: Mapping[str, Any], where: str) -> BLUConfig:
+    return _config_from_params(BLUConfig, params, where)
+
+
+@register_scheduler("pf")
+def _pf(ctx: BuildContext) -> UplinkScheduler:
+    return ProportionalFairScheduler()
+
+
+@register_scheduler("single-user")
+def _single_user(ctx: BuildContext) -> UplinkScheduler:
+    return SingleUserScheduler()
+
+
+@register_scheduler("oracle")
+def _oracle(ctx: BuildContext) -> UplinkScheduler:
+    return OracleScheduler()
+
+
+@register_scheduler("access-aware")
+def _access_aware(ctx: BuildContext) -> UplinkScheduler:
+    return AccessAwareScheduler(TopologyJointProvider(ctx.topology))
+
+
+@register_scheduler("speculative")
+def _speculative(
+    ctx: BuildContext, overschedule_factor: float = 2.0
+) -> UplinkScheduler:
+    return SpeculativeScheduler(
+        TopologyJointProvider(ctx.topology),
+        overschedule_factor=overschedule_factor,
+    )
+
+
+@register_scheduler("blu")
+def _blu(ctx: BuildContext, **params) -> UplinkScheduler:
+    return BLUController(ctx.num_ues, _blu_config(params, "scheduler 'blu'"))
+
+
+@register_scheduler("blu-adaptive")
+def _blu_adaptive(
+    ctx: BuildContext,
+    blu: Optional[Mapping[str, Any]] = None,
+    adaptive: Optional[Mapping[str, Any]] = None,
+) -> UplinkScheduler:
+    from repro.dynamics.adapt import AdaptiveBLUController, AdaptiveConfig
+
+    return AdaptiveBLUController(
+        ctx.num_ues,
+        _blu_config(blu or {}, "scheduler 'blu-adaptive'.blu"),
+        _config_from_params(
+            AdaptiveConfig, adaptive or {}, "scheduler 'blu-adaptive'.adaptive"
+        ),
+    )
+
+
+@register_scheduler("blu-restart")
+def _blu_restart(
+    ctx: BuildContext,
+    restart_at: int = 0,
+    blu: Optional[Mapping[str, Any]] = None,
+) -> UplinkScheduler:
+    from repro.dynamics.adapt import FullRestartController
+
+    return FullRestartController(
+        ctx.num_ues,
+        _blu_config(blu or {}, "scheduler 'blu-restart'.blu"),
+        restart_at=restart_at,
+    )
+
+
+@register_scheduler("staged-oracle")
+def _staged_oracle(
+    ctx: BuildContext, overschedule_factor: float = 2.0
+) -> UplinkScheduler:
+    from repro.dynamics.adapt import StagedBlueprintScheduler
+
+    return StagedBlueprintScheduler(
+        timeline_blueprint_stages(ctx.topology, ctx.timeline),
+        overschedule_factor=overschedule_factor,
+    )
+
+
+def build_scheduler(spec: SchedulerSpec, ctx: BuildContext) -> UplinkScheduler:
+    if spec.kind not in _SCHEDULERS:
+        raise SpecError(
+            f"unknown scheduler kind {spec.kind!r}; "
+            f"registered: {list(scheduler_kinds())}"
+        )
+    return _call_builder(
+        _SCHEDULERS[spec.kind], f"scheduler {spec.kind!r}", spec.params, ctx
+    )

@@ -1,0 +1,241 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single serializable description of one
+experiment: which scenario to build (topology + SNR draw), which
+schedulers to compare (by registry kind), the :class:`SimulationConfig`,
+an optional environment timeline, and the seed.  Specs are frozen and
+round-trip losslessly through ``to_dict``/``from_dict`` (and therefore
+JSON), so an experiment can live in a ``specs/*.json`` file, travel to a
+worker process, or be archived next to its results.
+
+Validation is strict: unknown keys, unknown kinds, and malformed values
+raise :class:`~repro.errors.SpecError` (a ``ConfigurationError``
+subclass), never a bare ``KeyError``/``TypeError``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "ScenarioSpec",
+    "SchedulerSpec",
+    "TimelineSpec",
+    "ExperimentSpec",
+]
+
+
+def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise SpecError(f"{where} must be a mapping, got {type(value).__name__}")
+    bad = [key for key in value if not isinstance(key, str)]
+    if bad:
+        raise SpecError(f"{where} has non-string keys: {bad}")
+    return dict(value)
+
+
+def _require_kind(data: Mapping[str, Any], where: str) -> str:
+    kind = data.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SpecError(f"{where} needs a non-empty string 'kind'")
+    return kind
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: Tuple[str, ...], where: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {unknown} in {where}; allowed: {sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Reference to a registered topology scenario plus its SNR draw.
+
+    ``kind`` names a builder in the scenario registry (``fig1``,
+    ``testbed``, ``skewed``, ``generated``); ``params`` are its keyword
+    arguments.  ``snr`` describes the per-UE mean-SNR assignment:
+    ``{"kind": "uniform", ...}``, ``{"kind": "fixed", "snr_db": ...}`` or
+    ``{"kind": "explicit", "by_ue": {"0": 20.0, ...}}``.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    snr: Dict[str, Any] = field(default_factory=lambda: {"kind": "uniform"})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params), "snr": dict(self.snr)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = _require_mapping(data, "scenario")
+        _reject_unknown(data, ("kind", "params", "snr"), "scenario")
+        kind = _require_kind(data, "scenario")
+        params = _require_mapping(data.get("params", {}), "scenario.params")
+        snr = _require_mapping(data.get("snr", {"kind": "uniform"}), "scenario.snr")
+        _require_kind(snr, "scenario.snr")
+        return cls(kind=kind, params=params, snr=snr)
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Reference to a registered scheduler/controller kind."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str = "scheduler") -> "SchedulerSpec":
+        data = _require_mapping(data, where)
+        _reject_unknown(data, ("kind", "params"), where)
+        kind = _require_kind(data, where)
+        params = _require_mapping(data.get("params", {}), f"{where}.params")
+        return cls(kind=kind, params=params)
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """Reference to a registered environment-timeline builder."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimelineSpec":
+        data = _require_mapping(data, "timeline")
+        _reject_unknown(data, ("kind", "params"), "timeline")
+        kind = _require_kind(data, "timeline")
+        params = _require_mapping(data.get("params", {}), "timeline.params")
+        return cls(kind=kind, params=params)
+
+
+_SIM_FIELDS = tuple(f.name for f in dataclasses.fields(SimulationConfig))
+
+
+def _sim_config_from_dict(data: Mapping[str, Any]) -> SimulationConfig:
+    data = _require_mapping(data, "sim")
+    _reject_unknown(data, _SIM_FIELDS, "sim")
+    return SimulationConfig(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, serializable experiment description.
+
+    ``schedulers`` maps display names (the keys of the result dict) to
+    :class:`SchedulerSpec` registry references.  ``seed`` drives every
+    source of randomness in a run; all schedulers face the identical
+    seeded world (the matched-conditions contract of ``sim.runner``).
+    """
+
+    name: str
+    scenario: ScenarioSpec
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    schedulers: Dict[str, SchedulerSpec] = field(default_factory=dict)
+    timeline: Optional[TimelineSpec] = None
+    seed: Optional[int] = 0
+    record_series: bool = False
+    fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("experiment needs a non-empty string name")
+        if not self.schedulers:
+            raise SpecError(f"experiment {self.name!r} lists no schedulers")
+        for label, scheduler in self.schedulers.items():
+            if not isinstance(scheduler, SchedulerSpec):
+                raise SpecError(
+                    f"scheduler {label!r} must be a SchedulerSpec, "
+                    f"got {type(scheduler).__name__}"
+                )
+
+    @property
+    def scheduler_names(self) -> Tuple[str, ...]:
+        return tuple(self.schedulers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "scenario": self.scenario.to_dict(),
+            "sim": dataclasses.asdict(self.sim),
+            "schedulers": {
+                label: scheduler.to_dict()
+                for label, scheduler in self.schedulers.items()
+            },
+            "timeline": self.timeline.to_dict() if self.timeline else None,
+            "seed": self.seed,
+            "record_series": self.record_series,
+            "fast_path": self.fast_path,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        data = _require_mapping(data, "experiment")
+        _reject_unknown(
+            data,
+            (
+                "name",
+                "scenario",
+                "sim",
+                "schedulers",
+                "timeline",
+                "seed",
+                "record_series",
+                "fast_path",
+            ),
+            "experiment",
+        )
+        for key in ("name", "scenario", "schedulers"):
+            if key not in data:
+                raise SpecError(f"experiment is missing required field {key!r}")
+        schedulers_raw = _require_mapping(data["schedulers"], "schedulers")
+        schedulers = {
+            label: SchedulerSpec.from_dict(entry, where=f"schedulers[{label!r}]")
+            for label, entry in schedulers_raw.items()
+        }
+        timeline_raw = data.get("timeline")
+        seed = data.get("seed", 0)
+        if seed is not None and not isinstance(seed, int):
+            raise SpecError(f"seed must be an int or null: {seed!r}")
+        return cls(
+            name=data["name"],
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            sim=_sim_config_from_dict(data.get("sim", {})),
+            schedulers=schedulers,
+            timeline=(
+                TimelineSpec.from_dict(timeline_raw)
+                if timeline_raw is not None
+                else None
+            ),
+            seed=seed,
+            record_series=bool(data.get("record_series", False)),
+            fast_path=bool(data.get("fast_path", True)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with the given top-level fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -71,7 +71,11 @@ class HarqTransportBlock:
 class HarqPool:
     """Per-UE HARQ processes for one cell."""
 
-    def __init__(self, num_ues: int, config: HarqConfig = HarqConfig()) -> None:
+    def __init__(
+        self, num_ues: int, config: Optional[HarqConfig] = None
+    ) -> None:
+        if config is None:
+            config = HarqConfig()
         if num_ues < 1:
             raise ConfigurationError(f"need at least one UE: {num_ues}")
         self.config = config

@@ -8,19 +8,36 @@ from repro.sim.runner import (
     ReplicatedMetric,
     SweepPoint,
     gain_over,
+    map_jobs,
     run_comparison,
     run_replications,
     run_sweep,
 )
+from repro.sim.stages import (
+    CompositeHooks,
+    PhaseTimerHooks,
+    SimHooks,
+    SubframeContext,
+    SubframePipeline,
+    SubframeStage,
+    build_subframe_pipeline,
+)
 
 __all__ = [
     "CellSimulation",
+    "CompositeHooks",
     "DownlinkSimulation",
+    "PhaseTimerHooks",
     "ReplicatedMetric",
+    "SimHooks",
     "SimulationConfig",
     "SimulationResult",
+    "SubframeContext",
+    "SubframePipeline",
+    "SubframeStage",
     "SweepPoint",
     "gain_over",
+    "map_jobs",
     "run_comparison",
     "run_replications",
     "run_sweep",

@@ -52,7 +52,7 @@ class DownlinkSimulation:
         topology: InterferenceTopology,
         mean_snr_db: Mapping[int, float],
         scheduler: UplinkScheduler,
-        config: SimulationConfig = SimulationConfig(),
+        config: Optional[SimulationConfig] = None,
         activity_model: Optional[JointActivityModel] = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -61,7 +61,7 @@ class DownlinkSimulation:
                 "mean_snr_db must cover exactly the topology's UEs"
             )
         self.topology = topology
-        self.config = config
+        self.config = config if config is not None else SimulationConfig()
         self.scheduler = scheduler
         self._rng = np.random.default_rng(seed)
 

@@ -8,13 +8,13 @@ One run couples four processes at 1 ms resolution:
 * the scheduler under test, consulted once per TxOP (grant bursts, as in
   the WARP testbed) — or per UL subframe for genie schedulers.
 
-Per UL subframe: each scheduled UE senses the medium (CCA) and transmits on
-its grants only if clear; the eNB decodes every RB under the ``<= M``
-streams rule, classifies grant outcomes from pilots, updates PF averages
-with delivered rates, and hands the access observation back to the
-scheduler (which is how the BLU controller keeps measuring).
+The per-subframe sequence itself lives in :mod:`repro.sim.stages`: a
+:class:`~repro.sim.stages.SubframePipeline` of typed stages (timeline →
+interference/CCA → channels → arrivals → schedule → transmit/decode →
+HARQ/feedback).  The engine owns the state those stages operate on and
+drives the TxOP loop around them.
 
-Two interchangeable substrates drive the medium:
+Two interchangeable stage families drive the medium:
 
 * the **fast path** (default): one :class:`~repro.lte.channel.UplinkChannelBank`
   steps every UE channel as a ``(num_ues, num_rbs)`` array op, hidden-terminal
@@ -23,17 +23,19 @@ Two interchangeable substrates drive the medium:
 * the **legacy path** (``fast_path=False``): per-UE channel objects and
   per-terminal process stepping, kept as the bit-exact reference the
   fast-path regression test compares against.
+
+Observers attach through :class:`~repro.sim.stages.SimHooks` (per-stage
+and per-subframe callbacks); a ``phase_timer`` is adapted onto the same
+seam via :class:`~repro.sim.stages.PhaseTimerHooks`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from time import perf_counter
 from typing import Callable, Deque, Dict, FrozenSet, List, Mapping, Optional, Set, Union
 
 import numpy as np
 
-from repro.core.measurement.classifier import classify_subframe
 from repro.core.scheduling.base import UplinkScheduler
 from repro.core.scheduling.fairness import PfAverageTracker
 from repro.core.scheduling.types import SchedulingContext
@@ -55,6 +57,17 @@ from repro.dynamics.timeline import (
 )
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
+from repro.sim.stages import (
+    DOWNLINK,
+    IDLE,
+    UPLINK,
+    CompositeHooks,
+    PhaseTimerHooks,
+    SimHooks,
+    SubframeContext,
+    SubframePipeline,
+    build_subframe_pipeline,
+)
 from repro.spectrum.activity import (
     ActivityProcess,
     BernoulliActivity,
@@ -76,7 +89,7 @@ class CellSimulation:
         topology: InterferenceTopology,
         mean_snr_db: Mapping[int, float],
         scheduler: UplinkScheduler,
-        config: SimulationConfig = SimulationConfig(),
+        config: Optional[SimulationConfig] = None,
         activity_processes: Optional[List[ActivityProcess]] = None,
         activity_model: Optional[JointActivityModel] = None,
         traffic_sources: Optional[Mapping[int, TrafficSource]] = None,
@@ -86,7 +99,11 @@ class CellSimulation:
         fast_path: bool = True,
         phase_timer: Optional[PhaseTimer] = None,
         timeline: Optional[EnvironmentTimeline] = None,
+        hooks: Optional[SimHooks] = None,
+        pipeline: Optional[SubframePipeline] = None,
     ) -> None:
+        if config is None:
+            config = SimulationConfig()
         if set(mean_snr_db) != set(range(topology.num_ues)):
             raise ConfigurationError(
                 "mean_snr_db must cover exactly the topology's UEs"
@@ -96,10 +113,8 @@ class CellSimulation:
         self.scheduler = scheduler
         self.record_series = record_series
         self._fast = bool(fast_path)
-        self._phase_timer = phase_timer
         self._rng = np.random.default_rng(seed)
         self._timeline_runtime = None
-        self._subframe_index = 0
         structural_timeline = False
         if timeline is not None:
             for event in timeline.events:
@@ -223,6 +238,28 @@ class CellSimulation:
         #: id space itself is fixed for the run).
         self._active_ues: Set[int] = set(range(topology.num_ues))
 
+        #: Schedule held across the UL subframes of one TxOP; the run loop
+        #: clears it at each TxOP boundary and the ScheduleStage refills it.
+        self._current_schedule: Optional[SubframeSchedule] = None
+        self._reschedule_each = bool(
+            getattr(scheduler, "reschedule_every_subframe", False)
+        )
+        if phase_timer is not None:
+            timer_hooks = PhaseTimerHooks(phase_timer)
+            hooks = (
+                timer_hooks
+                if hooks is None
+                else CompositeHooks([hooks, timer_hooks])
+            )
+        #: The per-subframe stage sequence.  A custom pipeline (extra
+        #: stages, alternative substrates) may be injected; it must keep the
+        #: canonical stage contract to stay bit-exact with the defaults.
+        self.pipeline: SubframePipeline = (
+            pipeline
+            if pipeline is not None
+            else build_subframe_pipeline(self._fast, hooks=hooks)
+        )
+
     # -- internals ---------------------------------------------------------
 
     def set_topology(self, topology: InterferenceTopology) -> None:
@@ -286,60 +323,6 @@ class CellSimulation:
                 processes.append(BernoulliActivity(q, rng=child))
         return processes
 
-    def _step_interference(self) -> Set[int]:
-        """Advance activity one subframe; return the silenced UE set.
-
-        Called exactly once per subframe (idle, DL and UL alike), so it is
-        also where the environment timeline advances: events land at the
-        subframe boundary, before the medium is sampled.
-        """
-        if self._timeline_runtime is not None:
-            self._apply_timeline(self._subframe_index)
-        self._subframe_index += 1
-        timer = self._phase_timer
-        if timer is None:
-            return self._step_interference_impl()
-        start = perf_counter()
-        silenced = self._step_interference_impl()
-        timer.add("activity", perf_counter() - start)
-        return silenced
-
-    def _step_interference_impl(self) -> Set[int]:
-        if self._fast:
-            active_vec = self._activity.step_vector()
-            if self._silencer is not None:
-                active = frozenset(
-                    int(k) for k in np.flatnonzero(active_vec)
-                )
-                return set(self._silencer(active))
-            if not active_vec.any():
-                return set()
-            hit = self._edge_matrix[active_vec].any(axis=0)
-            return {int(ue) for ue in np.flatnonzero(hit)}
-        active = self._activity.step()
-        if self._silencer is not None:
-            return set(self._silencer(active))
-        return {
-            ue
-            for ue, edges in self._ue_edges.items()
-            if edges & active
-        }
-
-    def _step_channels(self) -> None:
-        timer = self._phase_timer
-        start = perf_counter() if timer is not None else 0.0
-        if self._fast:
-            self._bank.step()
-            self._csi_history.append(self._bank.sinr_db.copy())
-        else:
-            for channel in self._channels.values():
-                channel.step()
-            self._csi_history.append(
-                {ue: ch.sinr_db.copy() for ue, ch in self._channels.items()}
-            )
-        if timer is not None:
-            timer.add("channels", perf_counter() - start)
-
     def _scheduler_csi(self) -> Dict[int, np.ndarray]:
         """The channel state the scheduler is allowed to see (possibly
         stale by ``csi_delay_subframes``)."""
@@ -349,10 +332,6 @@ class CellSimulation:
         if isinstance(snapshot, np.ndarray):
             return {ue: snapshot[ue] for ue in range(snapshot.shape[0])}
         return snapshot
-
-    def _step_arrivals(self) -> None:
-        for queue in self._queues.values():
-            queue.step_arrivals()
 
     def _context(self, subframe: int, silenced: Set[int]) -> SchedulingContext:
         backlogged = tuple(
@@ -376,7 +355,7 @@ class CellSimulation:
             vectorized=self._fast,
         )
 
-    # -- main loop -----------------------------------------------------------
+    # -- HARQ ----------------------------------------------------------------
 
     def _apply_harq(
         self,
@@ -393,8 +372,6 @@ class CellSimulation:
         one still contributes soft energy.  Fresh FADED grants enter the
         pool; collided grants produce no usable soft bits and are dropped.
         """
-        from repro.lte.phy import GrantOutcome
-
         delivered = dict(raw_delivered)
         retx_grant: Dict[int, tuple] = {}
         for rb in schedule.allocated_rbs():
@@ -451,15 +428,15 @@ class CellSimulation:
                 self._harq.retransmission_blocked(ue)
         return delivered
 
+    # -- main loop -----------------------------------------------------------
+
     def run(self) -> SimulationResult:
         """Run the configured number of subframes; return aggregated metrics."""
         result = SimulationResult(scheduler_name=self.scheduler.name)
         result.delivered_bits_by_ue = {
             ue: 0.0 for ue in range(self.topology.num_ues)
         }
-        reschedule_each = getattr(
-            self.scheduler, "reschedule_every_subframe", False
-        )
+        pipeline = self.pipeline
 
         t = 0
         total = self.config.num_subframes
@@ -467,9 +444,7 @@ class CellSimulation:
             txop = self.enb.try_acquire_txop(t)
             if txop is None:
                 # eNB backed off: the medium still evolves.
-                self._step_interference()
-                self._step_channels()
-                self._step_arrivals()
+                pipeline.run_subframe(self, SubframeContext(t, IDLE, result))
                 result.idle_subframes += 1
                 t += 1
                 continue
@@ -477,132 +452,18 @@ class CellSimulation:
             # DL part of the TxOP (grants go out; medium evolves).
             dl = min(txop.dl_subframes, total - t)
             for _ in range(dl):
-                self._step_interference()
-                self._step_channels()
-                self._step_arrivals()
+                pipeline.run_subframe(self, SubframeContext(t, DOWNLINK, result))
                 result.dl_subframes += 1
                 t += 1
 
-            schedule: Optional[SubframeSchedule] = None
+            # UL part: one grant burst per TxOP (the ScheduleStage refills
+            # the held schedule, per subframe for genie schedulers).
+            self._current_schedule = None
             for _ in range(txop.ul_subframes):
                 if t >= total:
                     break
-                silenced = self._step_interference()
-                self._step_channels()
-                self._step_arrivals()
-                if schedule is None or reschedule_each:
-                    timer = self._phase_timer
-                    start = perf_counter() if timer is not None else 0.0
-                    context = self._context(t, silenced)
-                    schedule = self.scheduler.schedule(context)
-                    if timer is not None:
-                        timer.add("schedule", perf_counter() - start)
-                self._run_ul_subframe(t, schedule, silenced, result)
+                pipeline.run_subframe(self, SubframeContext(t, UPLINK, result))
                 t += 1
 
         result.num_subframes = t
         return result
-
-    def _run_ul_subframe(
-        self,
-        subframe: int,
-        schedule: SubframeSchedule,
-        silenced: Set[int],
-        result: SimulationResult,
-    ) -> None:
-        scheduled = set(schedule.scheduled_ues())
-        transmitting = sorted(scheduled - silenced)
-        if self._fast:
-            # Hand the eNB views of the bank's current SINR rows directly;
-            # the receiver only indexes them per RB, no copies needed.
-            sinr_matrix = self._bank.sinr_db
-            sinr_by_ue_rb: Mapping[int, "np.ndarray | Dict[int, float]"] = {
-                ue: sinr_matrix[ue] for ue in scheduled
-            }
-        else:
-            sinr_by_ue_rb = {
-                ue: {
-                    rb: float(self._channels[ue].sinr_db[rb])
-                    for rb in range(self.config.num_rbs)
-                }
-                for ue in scheduled
-            }
-        timer = self._phase_timer
-        start = perf_counter() if timer is not None else 0.0
-        receive = (
-            self.enb.receive_subframe_fast
-            if self._fast
-            else self.enb.receive_subframe
-        )
-        reception = receive(
-            subframe=subframe,
-            schedule=schedule,
-            transmitting_ues=transmitting,
-            sinr_db_by_ue_rb=sinr_by_ue_rb,
-        )
-        if timer is not None:
-            timer.add("receive", perf_counter() - start)
-
-        # Account grant outcomes, RB utilization, and delivered bits in one
-        # pass over the receptions (identity checks, no enum hashing).
-        decoded = blocked = collided = faded = utilized = 0
-        raw_delivered: Dict[int, float] = {}
-        for rb_reception in reception.rb_receptions.values():
-            rb_decoded = False
-            for outcome in rb_reception.outcomes.values():
-                if outcome is GrantOutcome.DECODED:
-                    decoded += 1
-                    rb_decoded = True
-                elif outcome is GrantOutcome.BLOCKED:
-                    blocked += 1
-                elif outcome is GrantOutcome.COLLIDED:
-                    collided += 1
-                else:
-                    faded += 1
-            if rb_decoded:
-                utilized += 1
-            for ue, bits in rb_reception.delivered_bits.items():
-                raw_delivered[ue] = raw_delivered.get(ue, 0.0) + bits
-        result.grants_issued += schedule.total_grants
-        result.grants_decoded += decoded
-        result.grants_blocked += blocked
-        result.grants_collided += collided
-        result.grants_faded += faded
-        if self._harq is not None:
-            raw_delivered = self._apply_harq(
-                schedule, reception, set(transmitting), raw_delivered
-            )
-        # Bits are scaled by the allocation-unit width already (grant rates
-        # carry rate_scale); delivered_bits uses the grant rate, capped by
-        # what the client's buffer actually held.
-        delivered = {
-            ue: self._queues[ue].drain(bits)
-            for ue, bits in raw_delivered.items()
-        }
-        for ue, bits in delivered.items():
-            result.delivered_bits_by_ue[ue] += bits
-
-        allocated = schedule.allocated_rbs()
-        result.rbs_allocated += len(allocated)
-        result.rbs_utilized += utilized
-        result.ul_subframes += 1
-        if allocated and utilized == len(allocated):
-            result.fully_utilized_subframes += 1
-        if self.record_series and allocated:
-            result.utilization_series.append(utilized / len(allocated))
-
-        # PF update with delivered rates (bits per subframe -> bps).
-        served_bps = {
-            ue: bits / consts.SUBFRAME_DURATION_S for ue, bits in delivered.items()
-        }
-        self.tracker.update(served_bps)
-
-        if self._harq is not None:
-            result.harq_retransmissions = self._harq.retransmissions
-            result.harq_blocks_recovered = self._harq.blocks_delivered
-            result.harq_blocks_dropped = self._harq.blocks_dropped
-
-        # Feed the access observation back to adaptive schedulers.
-        observe = getattr(self.scheduler, "observe", None)
-        if observe is not None:
-            observe(classify_subframe(schedule, reception))

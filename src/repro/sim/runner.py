@@ -36,6 +36,7 @@ __all__ = [
     "SchedulerFactory",
     "SweepPoint",
     "ReplicatedMetric",
+    "map_jobs",
     "run_comparison",
     "run_replications",
     "run_sweep",
@@ -100,13 +101,15 @@ def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
-def _run_work_items(
-    items: Sequence[_WorkItem], n_jobs: Optional[int]
-) -> List[SimulationResult]:
-    """Run work items serially or in a process pool, preserving order.
+def map_jobs(fn, items: Sequence, n_jobs: Optional[int]) -> List:
+    """Map ``fn`` over independent work items, serially or in a process
+    pool, preserving order.
 
-    Each item is independent and carries its own seed, so execution order
-    cannot affect any result; parallel output is identical to serial.
+    Each item must be self-contained (carry its own seed), so execution
+    order cannot affect any result; parallel output is identical to
+    serial.  Items that cannot pickle trigger a serial fallback with a
+    ``RuntimeWarning``.  The spec layer (:mod:`repro.experiments`) reuses
+    this with plain spec-dict items, which always pickle.
     """
     jobs = min(_resolve_n_jobs(n_jobs), len(items))
     if jobs > 1:
@@ -121,15 +124,21 @@ def _run_work_items(
             )
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                return list(pool.map(_run_single, items))
-    return [_run_single(item) for item in items]
+                return list(pool.map(fn, items))
+    return [fn(item) for item in items]
+
+
+def _run_work_items(
+    items: Sequence[_WorkItem], n_jobs: Optional[int]
+) -> List[SimulationResult]:
+    return map_jobs(_run_single, items, n_jobs)
 
 
 def run_comparison(
     topology: InterferenceTopology,
     mean_snr_db: Mapping[int, float],
     scheduler_factories: Mapping[str, SchedulerFactory],
-    config: SimulationConfig = SimulationConfig(),
+    config: Optional[SimulationConfig] = None,
     seed: Optional[int] = 0,
     record_series: bool = False,
     activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
@@ -151,6 +160,8 @@ def run_comparison(
     """
     if not scheduler_factories:
         raise ConfigurationError("no schedulers to compare")
+    if config is None:
+        config = SimulationConfig()
     names = list(scheduler_factories)
     items: List[_WorkItem] = [
         (
@@ -231,7 +242,7 @@ def run_replications(
     topology: InterferenceTopology,
     mean_snr_db: Mapping[int, float],
     scheduler_factories: Mapping[str, SchedulerFactory],
-    config: SimulationConfig = SimulationConfig(),
+    config: Optional[SimulationConfig] = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
     activity_model_factory: Optional[Callable[[np.random.Generator], object]] = None,
@@ -249,6 +260,8 @@ def run_replications(
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
+    if config is None:
+        config = SimulationConfig()
     names = list(scheduler_factories)
     labelled: List[Tuple[str, int]] = []
     items: List[_WorkItem] = []

@@ -1,0 +1,524 @@
+"""The staged subframe pipeline: the engine's per-subframe sequence as
+composable, observable stages.
+
+BLU's cell behaviour emerges from a fixed per-subframe sequence — timeline
+events, interference/CCA, channel evolution, traffic arrivals, scheduling,
+transmission/decoding, HARQ/feedback.  Each step is a
+:class:`SubframeStage`; a :class:`SubframePipeline` runs the stages that
+apply to the current subframe kind (idle / DL / UL) in order, firing
+:class:`SimHooks` callbacks around each one.
+
+Two concrete stage families implement the medium-facing steps:
+
+* the **vectorized** stages (``Vectorized*``) drive the
+  :class:`~repro.lte.channel.UplinkChannelBank` and the topology's cached
+  edge matrix with array ops;
+* the **legacy** stages (``Legacy*``) step per-UE channel objects and
+  per-terminal activity processes — the bit-exact scalar reference.
+
+Both families consume the engine's RNG streams identically, so a seeded
+run produces the same :class:`~repro.sim.results.SimulationResult` on
+either path; ``tests/sim/test_pipeline_equivalence.py`` pins that contract
+against pre-refactor snapshots.
+
+Hooks subsume the engine's older perf phase hooks:
+:class:`PhaseTimerHooks` adapts a :class:`~repro.perf.stopwatch.PhaseTimer`
+to the stage seam, accumulating wall time under each stage's ``phase``
+label (``activity``, ``channels``, ``schedule``, ``receive``, ...).
+Observability and dynamics code can attach their own :class:`SimHooks`
+without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.measurement.classifier import classify_subframe
+from repro.lte import consts
+from repro.lte.phy import GrantOutcome
+from repro.lte.resources import SubframeSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.stopwatch import PhaseTimer
+    from repro.sim.engine import CellSimulation
+    from repro.sim.results import SimulationResult
+
+__all__ = [
+    "IDLE",
+    "DOWNLINK",
+    "UPLINK",
+    "SubframeContext",
+    "SimHooks",
+    "PhaseTimerHooks",
+    "CompositeHooks",
+    "SubframeStage",
+    "TimelineStage",
+    "InterferenceStage",
+    "VectorizedInterferenceStage",
+    "LegacyInterferenceStage",
+    "ChannelStage",
+    "VectorizedChannelStage",
+    "LegacyChannelStage",
+    "ArrivalStage",
+    "ScheduleStage",
+    "TransmitDecodeStage",
+    "VectorizedTransmitDecodeStage",
+    "LegacyTransmitDecodeStage",
+    "HarqFeedbackStage",
+    "SubframePipeline",
+    "build_subframe_pipeline",
+]
+
+#: Subframe kinds; every stage declares which it participates in.
+IDLE = "idle"
+DOWNLINK = "dl"
+UPLINK = "ul"
+
+_ALL_KINDS = (IDLE, DOWNLINK, UPLINK)
+
+
+@dataclass(slots=True)
+class SubframeContext:
+    """Mutable state threaded through one subframe's stages.
+
+    Earlier stages populate fields that later stages consume: the
+    interference stage writes ``silenced``, the schedule stage writes
+    ``schedule``, the transmit/decode stage writes ``transmitting``,
+    ``reception`` and ``raw_delivered`` for the HARQ/feedback stage.
+    """
+
+    subframe: int
+    kind: str
+    result: "SimulationResult"
+    silenced: Set[int] = field(default_factory=set)
+    schedule: Optional[SubframeSchedule] = None
+    transmitting: List[int] = field(default_factory=list)
+    reception: object = None
+    raw_delivered: Dict[int, float] = field(default_factory=dict)
+
+
+class SimHooks:
+    """Observation seam around the pipeline; all callbacks are no-ops.
+
+    Subclass and override what you need — per-stage timing, per-subframe
+    metric streaming, dynamics probes.  Hooks must not mutate simulation
+    state: the engine's bit-exactness contract says an attached hook cannot
+    change a seeded result.
+    """
+
+    def on_stage_start(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        """Called immediately before ``stage.run``."""
+
+    def on_stage_end(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        """Called immediately after ``stage.run``."""
+
+    def on_subframe_end(self, ctx: SubframeContext) -> None:
+        """Called once per subframe, after its last stage."""
+
+
+class PhaseTimerHooks(SimHooks):
+    """Adapts a :class:`PhaseTimer` to the stage seam.
+
+    Each stage's wall time accumulates under its ``phase`` label, keeping
+    the pre-pipeline phase names (``activity``, ``channels``, ``schedule``,
+    ``receive``) stable for the perf harness.
+    """
+
+    def __init__(self, timer: "PhaseTimer") -> None:
+        self.timer = timer
+        self._start = 0.0
+
+    def on_stage_start(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        self._start = perf_counter()
+
+    def on_stage_end(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        self.timer.add(stage.phase, perf_counter() - self._start)
+
+
+class CompositeHooks(SimHooks):
+    """Fan one hook stream out to several receivers, in order."""
+
+    def __init__(self, hooks: Sequence[SimHooks]) -> None:
+        self.hooks = tuple(hooks)
+
+    def on_stage_start(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        for hook in self.hooks:
+            hook.on_stage_start(stage, ctx)
+
+    def on_stage_end(
+        self, stage: "SubframeStage", ctx: SubframeContext
+    ) -> None:
+        for hook in self.hooks:
+            hook.on_stage_end(stage, ctx)
+
+    def on_subframe_end(self, ctx: SubframeContext) -> None:
+        for hook in self.hooks:
+            hook.on_subframe_end(ctx)
+
+
+class SubframeStage:
+    """One typed step of the per-subframe sequence.
+
+    Attributes:
+        name: stable identifier (also the default timing label).
+        phase: :class:`PhaseTimer` bucket this stage accumulates under.
+        kinds: subframe kinds the stage participates in.
+    """
+
+    name: str = "stage"
+    phase: str = "stage"
+    kinds: Tuple[str, ...] = _ALL_KINDS
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TimelineStage(SubframeStage):
+    """Apply scripted environment churn at the subframe boundary.
+
+    Events land *before* the medium is sampled, so an arrival at subframe
+    ``t`` already contends in subframe ``t`` — on both engine paths.
+    """
+
+    name = "timeline"
+    phase = "timeline"
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        if sim._timeline_runtime is not None:
+            sim._apply_timeline(ctx.subframe)
+
+
+class InterferenceStage(SubframeStage):
+    """Advance hidden-terminal activity one subframe; resolve CCA.
+
+    Writes the silenced-UE set (clients whose CCA fails this subframe)
+    into the context.
+    """
+
+    name = "interference"
+    phase = "activity"
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        ctx.silenced = self.step(sim)
+
+    def step(self, sim: "CellSimulation") -> Set[int]:
+        raise NotImplementedError
+
+
+class VectorizedInterferenceStage(InterferenceStage):
+    """Batch activity sampling + boolean reduction over the edge matrix."""
+
+    def step(self, sim: "CellSimulation") -> Set[int]:
+        active_vec = sim._activity.step_vector()
+        if sim._silencer is not None:
+            active = frozenset(int(k) for k in np.flatnonzero(active_vec))
+            return set(sim._silencer(active))
+        if not active_vec.any():
+            return set()
+        hit = sim._edge_matrix[active_vec].any(axis=0)
+        return {int(ue) for ue in np.flatnonzero(hit)}
+
+
+class LegacyInterferenceStage(InterferenceStage):
+    """Per-terminal process stepping + per-UE edge-set intersection."""
+
+    def step(self, sim: "CellSimulation") -> Set[int]:
+        active = sim._activity.step()
+        if sim._silencer is not None:
+            return set(sim._silencer(active))
+        return {
+            ue
+            for ue, edges in sim._ue_edges.items()
+            if edges & active
+        }
+
+
+class ChannelStage(SubframeStage):
+    """Advance every UE's fading channel; snapshot CSI for delayed feedback."""
+
+    name = "channels"
+    phase = "channels"
+
+
+class VectorizedChannelStage(ChannelStage):
+    """One ``(num_ues, num_rbs)`` array step through the channel bank."""
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        sim._bank.step()
+        sim._csi_history.append(sim._bank.sinr_db.copy())
+
+
+class LegacyChannelStage(ChannelStage):
+    """Per-UE channel objects stepped one by one."""
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        for channel in sim._channels.values():
+            channel.step()
+        sim._csi_history.append(
+            {ue: ch.sinr_db.copy() for ue, ch in sim._channels.items()}
+        )
+
+
+class ArrivalStage(SubframeStage):
+    """Step every client's traffic source (finite-buffer extension)."""
+
+    name = "arrivals"
+    phase = "arrivals"
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        for queue in sim._queues.values():
+            queue.step_arrivals()
+
+
+class ScheduleStage(SubframeStage):
+    """Consult the scheduler under test (grant bursts per TxOP).
+
+    The engine clears its held schedule at each TxOP boundary; this stage
+    recomputes only then — or every UL subframe for genie schedulers that
+    set ``reschedule_every_subframe``.
+    """
+
+    name = "schedule"
+    phase = "schedule"
+    kinds = (UPLINK,)
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        if sim._current_schedule is None or sim._reschedule_each:
+            context = sim._context(ctx.subframe, ctx.silenced)
+            sim._current_schedule = sim.scheduler.schedule(context)
+        ctx.schedule = sim._current_schedule
+
+
+class TransmitDecodeStage(SubframeStage):
+    """Scheduled UEs sense and transmit; the eNB decodes every RB.
+
+    Accounts grant outcomes, RB utilization and raw delivered bits in one
+    pass over the receptions (identity checks, no enum hashing), leaving
+    HARQ resolution and feedback to the next stage.
+    """
+
+    name = "transmit-decode"
+    phase = "receive"
+    kinds = (UPLINK,)
+
+    def sinr_views(
+        self, sim: "CellSimulation", scheduled: Set[int]
+    ) -> Mapping[int, object]:
+        raise NotImplementedError
+
+    def receive(self, sim: "CellSimulation"):
+        raise NotImplementedError
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        schedule = ctx.schedule
+        result = ctx.result
+        scheduled = set(schedule.scheduled_ues())
+        ctx.transmitting = sorted(scheduled - ctx.silenced)
+        reception = self.receive(sim)(
+            subframe=ctx.subframe,
+            schedule=schedule,
+            transmitting_ues=ctx.transmitting,
+            sinr_db_by_ue_rb=self.sinr_views(sim, scheduled),
+        )
+        ctx.reception = reception
+
+        decoded = blocked = collided = faded = utilized = 0
+        raw_delivered: Dict[int, float] = {}
+        for rb_reception in reception.rb_receptions.values():
+            rb_decoded = False
+            for outcome in rb_reception.outcomes.values():
+                if outcome is GrantOutcome.DECODED:
+                    decoded += 1
+                    rb_decoded = True
+                elif outcome is GrantOutcome.BLOCKED:
+                    blocked += 1
+                elif outcome is GrantOutcome.COLLIDED:
+                    collided += 1
+                else:
+                    faded += 1
+            if rb_decoded:
+                utilized += 1
+            for ue, bits in rb_reception.delivered_bits.items():
+                raw_delivered[ue] = raw_delivered.get(ue, 0.0) + bits
+        ctx.raw_delivered = raw_delivered
+
+        result.grants_issued += schedule.total_grants
+        result.grants_decoded += decoded
+        result.grants_blocked += blocked
+        result.grants_collided += collided
+        result.grants_faded += faded
+        allocated = schedule.allocated_rbs()
+        result.rbs_allocated += len(allocated)
+        result.rbs_utilized += utilized
+        result.ul_subframes += 1
+        if allocated and utilized == len(allocated):
+            result.fully_utilized_subframes += 1
+        if sim.record_series and allocated:
+            result.utilization_series.append(utilized / len(allocated))
+
+
+class VectorizedTransmitDecodeStage(TransmitDecodeStage):
+    """Hand the eNB views of the bank's SINR rows; no per-RB copies."""
+
+    def sinr_views(self, sim: "CellSimulation", scheduled: Set[int]):
+        sinr_matrix = sim._bank.sinr_db
+        return {ue: sinr_matrix[ue] for ue in scheduled}
+
+    def receive(self, sim: "CellSimulation"):
+        return sim.enb.receive_subframe_fast
+
+
+class LegacyTransmitDecodeStage(TransmitDecodeStage):
+    """Per-(UE, RB) scalar SINR dicts through the reference receiver."""
+
+    def sinr_views(self, sim: "CellSimulation", scheduled: Set[int]):
+        return {
+            ue: {
+                rb: float(sim._channels[ue].sinr_db[rb])
+                for rb in range(sim.config.num_rbs)
+            }
+            for ue in scheduled
+        }
+
+    def receive(self, sim: "CellSimulation"):
+        return sim.enb.receive_subframe
+
+
+class HarqFeedbackStage(SubframeStage):
+    """Resolve HARQ, drain client buffers, update PF, feed observations.
+
+    This is the closing of the loop: delivered rates update the PF
+    averages, and the access observation (pilot classification) flows back
+    to adaptive schedulers — which is how the BLU controller measures.
+    """
+
+    name = "harq-feedback"
+    phase = "feedback"
+    kinds = (UPLINK,)
+
+    def run(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        result = ctx.result
+        raw_delivered = ctx.raw_delivered
+        if sim._harq is not None:
+            raw_delivered = sim._apply_harq(
+                ctx.schedule, ctx.reception, set(ctx.transmitting), raw_delivered
+            )
+        # Bits are scaled by the allocation-unit width already (grant rates
+        # carry rate_scale); delivered_bits uses the grant rate, capped by
+        # what the client's buffer actually held.
+        delivered = {
+            ue: sim._queues[ue].drain(bits)
+            for ue, bits in raw_delivered.items()
+        }
+        for ue, bits in delivered.items():
+            result.delivered_bits_by_ue[ue] += bits
+
+        # PF update with delivered rates (bits per subframe -> bps).
+        served_bps = {
+            ue: bits / consts.SUBFRAME_DURATION_S
+            for ue, bits in delivered.items()
+        }
+        sim.tracker.update(served_bps)
+
+        if sim._harq is not None:
+            result.harq_retransmissions = sim._harq.retransmissions
+            result.harq_blocks_recovered = sim._harq.blocks_delivered
+            result.harq_blocks_dropped = sim._harq.blocks_dropped
+
+        observe = getattr(sim.scheduler, "observe", None)
+        if observe is not None:
+            observe(classify_subframe(ctx.schedule, ctx.reception))
+
+
+class SubframePipeline:
+    """Run the applicable stages, in order, for each subframe.
+
+    Stage lists are pre-partitioned by subframe kind so the hot loop pays
+    one tuple lookup per subframe; with no hooks attached the pipeline adds
+    nothing but direct stage calls.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[SubframeStage],
+        hooks: Optional[SimHooks] = None,
+    ) -> None:
+        self.stages = tuple(stages)
+        self.hooks = hooks
+        self._by_kind = {
+            kind: tuple(stage for stage in self.stages if kind in stage.kinds)
+            for kind in _ALL_KINDS
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run_subframe(self, sim: "CellSimulation", ctx: SubframeContext) -> None:
+        hooks = self.hooks
+        if hooks is None:
+            for stage in self._by_kind[ctx.kind]:
+                stage.run(sim, ctx)
+            return
+        for stage in self._by_kind[ctx.kind]:
+            hooks.on_stage_start(stage, ctx)
+            stage.run(sim, ctx)
+            hooks.on_stage_end(stage, ctx)
+        hooks.on_subframe_end(ctx)
+
+
+def build_subframe_pipeline(
+    fast_path: bool, hooks: Optional[SimHooks] = None
+) -> SubframePipeline:
+    """The canonical stage order for one engine path.
+
+    Both paths share the timeline/arrival/schedule/HARQ stages; the
+    medium-facing stages (interference, channels, transmit/decode) come in
+    vectorized and legacy flavours that consume RNG streams identically.
+    """
+    if fast_path:
+        stages: List[SubframeStage] = [
+            TimelineStage(),
+            VectorizedInterferenceStage(),
+            VectorizedChannelStage(),
+            ArrivalStage(),
+            ScheduleStage(),
+            VectorizedTransmitDecodeStage(),
+            HarqFeedbackStage(),
+        ]
+    else:
+        stages = [
+            TimelineStage(),
+            LegacyInterferenceStage(),
+            LegacyChannelStage(),
+            ArrivalStage(),
+            ScheduleStage(),
+            LegacyTransmitDecodeStage(),
+            HarqFeedbackStage(),
+        ]
+    return SubframePipeline(stages, hooks=hooks)

@@ -216,7 +216,7 @@ class Scenario:
 
 
 def generate_scenario(
-    config: ScenarioConfig = ScenarioConfig(),
+    config: Optional[ScenarioConfig] = None,
     seed: Optional[int] = None,
 ) -> Scenario:
     """Draw a random scenario and derive its ground-truth topology.
@@ -229,6 +229,8 @@ def generate_scenario(
       are the hidden terminals, with one topology edge per audible UE;
     * audible nowhere: inert, ignored.
     """
+    if config is None:
+        config = ScenarioConfig()
     rng = np.random.default_rng(seed)
     path_loss = PathLossModel(exponent=config.path_loss_exponent)
     layout = NodeLayout.random(

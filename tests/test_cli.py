@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import ExperimentSpec
 
 
 class TestParser:
@@ -127,3 +130,88 @@ class TestTraceCommands:
         out = capsys.readouterr().out
         assert out.startswith("## ")
         assert "| scheduler |" in out
+
+
+class TestSpecCommands:
+    def test_compare_export_spec_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "compare.json"
+        assert (
+            main(
+                ["compare", "--ues", "4", "--hts-per-ue", "1",
+                 "--subframes", "400", "--seed", "2",
+                 "--export-spec", str(path)]
+            )
+            == 0
+        )
+        spec = ExperimentSpec.from_json(path.read_text())
+        assert spec.sim.num_subframes == 400
+        assert "pf" in spec.scheduler_names and "blu" in spec.scheduler_names
+
+    def test_run_spec_executes_exported_spec(self, tmp_path, capsys):
+        path = tmp_path / "exported.json"
+        main(
+            ["compare", "--ues", "4", "--hts-per-ue", "1",
+             "--subframes", "300", "--seed", "2", "--export-spec", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["run-spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "pf" in out
+        assert "throughput_mbps" in out
+
+    def test_run_spec_missing_file(self, capsys):
+        assert main(["run-spec", "/nonexistent/spec.json"]) == 2
+
+    def test_run_spec_invalid_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad"}))
+        assert main(["run-spec", str(path)]) == 1
+        assert "spec" in capsys.readouterr().err.lower()
+
+    def test_sweep_output(self, capsys):
+        assert (
+            main(
+                ["sweep", "--param", "antennas", "--values", "1,2",
+                 "--ues", "4", "--hts-per-ue", "1",
+                 "--subframes", "300", "--seed", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput_mbps vs antennas" in out
+        assert "pf" in out and "blu" in out
+
+    def test_validate_specs_accepts_committed_specs(self, tmp_path, capsys):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        main(
+            ["compare", "--ues", "4", "--subframes", "200",
+             "--export-spec", str(spec_dir / "one.json")]
+        )
+        capsys.readouterr()
+        assert main(["validate-specs", str(spec_dir)]) == 0
+        assert "1/1" in capsys.readouterr().out
+
+    def test_validate_specs_flags_broken_spec(self, tmp_path, capsys):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        (spec_dir / "broken.json").write_text("{not json")
+        assert main(["validate-specs", str(spec_dir)]) == 1
+
+    def test_validate_specs_missing_directory(self, capsys):
+        assert main(["validate-specs", "/nonexistent/specdir"]) == 2
+
+    def test_dynamics_export_spec(self, tmp_path, capsys):
+        path = tmp_path / "dynamics.json"
+        assert (
+            main(
+                ["dynamics", "--ues", "4", "--subframes", "2000",
+                 "--arrive-at", "800", "--affected", "2", "--seed", "1",
+                 "--export-spec", str(path)]
+            )
+            == 0
+        )
+        spec = ExperimentSpec.from_json(path.read_text())
+        assert spec.timeline is not None
+        assert spec.timeline.kind == "hidden-node-churn"
+        assert "blu-adaptive" in spec.scheduler_names
