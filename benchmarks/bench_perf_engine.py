@@ -29,6 +29,11 @@ churns mid-run — the mutation hazard the static benchmark cannot see.
 ``--check-bit-exact`` runs only the equivalence checks (static + churn,
 fast vs legacy, at smoke sizes) through the stage-pipeline engine and
 exits non-zero on any divergence; no timings, no report file.
+
+``--obs-overhead`` guards the observability contract on the medium
+scenario: a run with ``ObsConfig(enabled=False)`` must be bit-exact with
+a no-obs run and cost the same (min-of-reps ratio < 1.02 outside
+``--smoke``), and an enabled run must not change simulation outcomes.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ from repro.experiments import (
     TimelineSpec,
     build_experiment,
 )
-from repro.perf import PhaseTimer
+from repro.obs import PhaseTimer
 from repro.sim.config import SimulationConfig
 
 from common import MASTER_SEED
@@ -154,6 +159,61 @@ def bench_dynamics_scenario(spec: ExperimentSpec, subframes: int) -> dict:
     }
 
 
+def obs_overhead(smoke: bool) -> dict:
+    """Disabled-mode observability must be free; enabled must be harmless.
+
+    ``ObsConfig(enabled=False)`` keeps ``run_one`` on the exact no-hooks
+    path, so its runtime ratio against a spec with no ``obs`` at all is
+    asserted < 1.02 (min over interleaved reps; skipped under --smoke,
+    where a single tiny rep is all noise).  Both the disabled and the
+    enabled run must reproduce the no-obs simulation result bit-exactly.
+    """
+    from repro.obs import ObsConfig
+
+    name, ues, terminals, rbs, antennas, _ = SCENARIOS[1]
+    subframes = 300 if smoke else 3_000
+    base_spec = build_spec(name, ues, terminals, rbs, antennas, subframes)
+    variants = {
+        "none": base_spec,
+        "disabled": base_spec.replace(obs=ObsConfig(enabled=False)),
+        "enabled": base_spec.replace(obs=ObsConfig(enabled=True)),
+    }
+
+    times = {key: float("inf") for key in variants}
+    results = {}
+    reps = 1 if smoke else 5
+    for _ in range(reps):
+        for key, spec in variants.items():
+            plan = build_experiment(spec)
+            start = perf_counter()
+            result = plan.run_one("pf", capture=False)
+            times[key] = min(times[key], perf_counter() - start)
+            results[key] = result
+    if results["disabled"] != results["none"]:
+        raise AssertionError(
+            "obs-disabled run is not bit-exact with the no-obs run"
+        )
+    if results["enabled"] != results["none"]:
+        raise AssertionError("obs-enabled run changed simulation outcomes")
+
+    disabled_ratio = times["disabled"] / times["none"]
+    enabled_ratio = times["enabled"] / times["none"]
+    if not smoke and disabled_ratio > 1.02:
+        raise AssertionError(
+            f"disabled-mode obs overhead {disabled_ratio:.3f}x exceeds 1.02x"
+        )
+    print(
+        f"obs overhead ({subframes} subframes, min of {reps}): "
+        f"disabled {disabled_ratio:.3f}x | enabled {enabled_ratio:.3f}x"
+    )
+    return {
+        "subframes": subframes,
+        "reps": reps,
+        "disabled_ratio": disabled_ratio,
+        "enabled_ratio": enabled_ratio,
+    }
+
+
 def check_bit_exact() -> int:
     """Fast/legacy equivalence through the stage pipeline, static + churn."""
     failures = 0
@@ -192,6 +252,11 @@ def main(argv=None) -> int:
         help="only run the fast/legacy equivalence checks (static + churn)",
     )
     parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="only check the disabled/enabled observability overhead guard",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT_PATH,
@@ -201,6 +266,9 @@ def main(argv=None) -> int:
 
     if args.check_bit_exact:
         return check_bit_exact()
+    if args.obs_overhead:
+        obs_overhead(args.smoke)
+        return 0
 
     report = {"smoke": args.smoke, "scenarios": {}}
     for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:

@@ -97,8 +97,16 @@ from repro.experiments import (
     TimelineSpec,
     build_experiment,
     run_experiment,
+    run_experiment_grid,
     run_experiment_replications,
     run_experiment_sweep,
+)
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    MetricsSnapshot,
+    ObsConfig,
+    merge_snapshots,
 )
 from repro.sim import (
     CellSimulation,
@@ -140,6 +148,7 @@ __all__ = [
     "DynamicsMetrics",
     "EmpiricalJointProvider",
     "EnvironmentTimeline",
+    "EventTracer",
     "ExperimentSpec",
     "FullRestartController",
     "InferenceConfig",
@@ -150,6 +159,9 @@ __all__ = [
     "McmcInference",
     "MeasurementError",
     "MeasurementScheduler",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsConfig",
     "OracleScheduler",
     "PfAverageTracker",
     "ProportionalFairScheduler",
@@ -182,9 +194,11 @@ __all__ = [
     "hidden_node_churn_timeline",
     "jain_fairness_index",
     "joint_access_probability",
+    "merge_snapshots",
     "minimum_subframes",
     "run_comparison",
     "run_experiment",
+    "run_experiment_grid",
     "run_experiment_replications",
     "run_experiment_sweep",
     "skewed_topology",

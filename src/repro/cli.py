@@ -10,6 +10,8 @@ Commands:
                       compare the adaptive controller against frozen /
                       full-restart BLU and the dynamics-aware oracle.
 * ``run-spec``      — execute an ``ExperimentSpec`` JSON file.
+* ``obs-report``    — summarize the telemetry a ``--obs-dir`` run wrote
+                      and validate any trace files next to it.
 * ``validate-specs``— parse and build every spec in a directory.
 * ``infer``         — generate a scenario, measure, infer the blueprint,
                       and report its accuracy against ground truth.
@@ -23,14 +25,21 @@ Every simulation command builds its experiment through
 :class:`~repro.experiments.ExperimentSpec` resolved against the
 scenario/scheduler registries — so anything runnable here is exportable
 to (and reproducible from) a ``specs/*.json`` file.
+
+``compare``, ``dynamics``, and ``run-spec`` accept ``--obs`` /
+``--obs-dir`` / ``--trace-out`` to collect :mod:`repro.obs` telemetry:
+the merged metrics table is printed after the results, ``metrics.json``
+lands in ``--obs-dir``, and ``--trace-out`` writes the combined event
+timeline (``.jsonl``, or Chrome-viewer ``.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import (
     BlueprintInference,
@@ -45,7 +54,7 @@ from repro.core.measurement.pair_scheduler import (
     MeasurementScheduler,
     tuple_measurement_subframes,
 )
-from repro.errors import SpecError
+from repro.errors import ObsError, SpecError
 from repro.experiments import (
     ExperimentSpec,
     ScenarioSpec,
@@ -90,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-jobs", type=int, default=1,
         help="worker processes for the comparison (-1 = all cores)",
     )
+    _add_obs_args(compare)
 
     sweep = sub.add_parser(
         "sweep", help="sweep one parameter across a scheduler comparison"
@@ -138,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the experiment spec as JSON to PATH",
     )
+    _add_obs_args(dynamics)
 
     run_spec = sub.add_parser(
         "run-spec", help="execute an experiment spec JSON file"
@@ -148,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default=None,
         help="scheduler name to normalize gains against (default: first)",
+    )
+    _add_obs_args(run_spec)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="summarize telemetry from an --obs-dir run directory",
+    )
+    obs_report.add_argument(
+        "run_dir", help="directory holding metrics.json (and trace files)"
     )
 
     validate = sub.add_parser(
@@ -194,6 +214,94 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect repro.obs metrics and print the telemetry report",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="write the merged metrics.json into DIR (implies --obs)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the combined event trace: .jsonl for line-delimited, "
+            ".json for the Chrome viewer (implies --obs with tracing)"
+        ),
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(args.obs or args.obs_dir or args.trace_out)
+
+
+def _apply_obs_args(
+    spec: ExperimentSpec, args: argparse.Namespace
+) -> ExperimentSpec:
+    """Overlay the CLI observability flags onto a spec's ``obs`` field."""
+    if not _obs_requested(args):
+        return spec
+    from repro.obs.config import ObsConfig
+
+    base = spec.obs or ObsConfig()
+    return spec.replace(
+        obs=dataclasses.replace(
+            base,
+            enabled=True,
+            tracing=base.tracing or bool(args.trace_out),
+        )
+    )
+
+
+def _emit_obs_artifacts(
+    results: Dict[str, object], args: argparse.Namespace, title: str
+) -> None:
+    """Print the metrics table and write --obs-dir / --trace-out files.
+
+    No-op when neither the flags nor the spec asked for observability
+    (results then carry no snapshots).
+    """
+    from repro.obs.report import (
+        collect_snapshot,
+        format_obs_report,
+        write_metrics_json,
+    )
+    from repro.obs.trace import (
+        merge_run_traces,
+        write_trace_chrome,
+        write_trace_jsonl,
+    )
+
+    snapshot = collect_snapshot(results.values())
+    if snapshot is None:
+        if _obs_requested(args):
+            print("no observability data collected", file=sys.stderr)
+        return
+    print()
+    print(format_obs_report(snapshot, title=f"{title} telemetry"))
+    if args.obs_dir:
+        print(f"wrote {write_metrics_json(args.obs_dir, snapshot)}")
+    if args.trace_out:
+        events = merge_run_traces(
+            {
+                name: getattr(result, "obs_trace", None) or []
+                for name, result in results.items()
+            }
+        )
+        out = Path(args.trace_out)
+        if out.suffix == ".jsonl":
+            write_trace_jsonl(events, out)
+        else:
+            write_trace_chrome(events, out)
+        print(f"wrote {len(events)} trace events to {out}")
+
+
 def _comparison_schedulers(with_oracle: bool) -> dict:
     schedulers = {
         "pf": SchedulerSpec("pf"),
@@ -237,7 +345,7 @@ def _maybe_export(spec: ExperimentSpec, path: Optional[str]) -> None:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = _compare_spec(args)
+    spec = _apply_obs_args(_compare_spec(args), args)
     _maybe_export(spec, args.export_spec)
     plan = build_experiment(spec)
     results = plan.run(n_jobs=args.n_jobs)
@@ -252,18 +360,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 baseline="pf",
             )
         )
-        return 0
-    print(
-        format_comparison(
-            {name: result.summary() for name, result in results.items()},
-            metrics=["throughput_mbps", "rb_utilization", "jain_index"],
-            baseline="pf",
-            title=(
-                f"{args.ues} UEs, {plan.topology.num_terminals} hidden "
-                f"terminals, M={args.antennas}, {args.subframes} subframes"
-            ),
+    else:
+        print(
+            format_comparison(
+                {name: result.summary() for name, result in results.items()},
+                metrics=["throughput_mbps", "rb_utilization", "jain_index"],
+                baseline="pf",
+                title=(
+                    f"{args.ues} UEs, {plan.topology.num_terminals} hidden "
+                    f"terminals, M={args.antennas}, {args.subframes} subframes"
+                ),
+            )
         )
-    )
+    _emit_obs_artifacts(results, args, title=spec.name)
     return 0
 
 
@@ -343,7 +452,7 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     if not 1 <= args.affected <= args.ues:
         print(f"--affected must be in [1, {args.ues}]", file=sys.stderr)
         return 2
-    spec = _dynamics_spec(args)
+    spec = _apply_obs_args(_dynamics_spec(args), args)
     _maybe_export(spec, args.export_spec)
     plan = build_experiment(spec)
     # Serial run on purpose: it captures the live controller instances so
@@ -374,6 +483,7 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     print(
         f"\npost-change utilization, adaptive vs full restart: {ratio:.3f}x"
     )
+    _emit_obs_artifacts(results, args, title=spec.name)
     return 0
 
 
@@ -383,7 +493,7 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         print(f"no such spec file: {path}", file=sys.stderr)
         return 2
     try:
-        spec = ExperimentSpec.from_json(path.read_text())
+        spec = _apply_obs_args(ExperimentSpec.from_json(path.read_text()), args)
         plan = build_experiment(spec)
         results = plan.run(n_jobs=args.n_jobs)
     except SpecError as error:
@@ -398,7 +508,42 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             title=spec.name,
         )
     )
+    _emit_obs_artifacts(results, args, title=spec.name)
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import METRICS_FILENAME, format_obs_report, load_metrics_json
+    from repro.obs.trace import validate_trace_file
+
+    directory = Path(args.run_dir)
+    if not directory.is_dir():
+        print(f"no such run directory: {directory}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = load_metrics_json(directory)
+    except ObsError as error:
+        print(f"obs error: {error}", file=sys.stderr)
+        return 2
+    print(format_obs_report(snapshot, title=str(directory)))
+    traces = sorted(
+        path
+        for pattern in ("*.jsonl", "trace*.json")
+        for path in directory.glob(pattern)
+        if path.name != METRICS_FILENAME
+    )
+    failures = 0
+    for path in traces:
+        errors = validate_trace_file(path)
+        if errors:
+            failures += 1
+            shown = errors[0] + (
+                f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+            )
+            print(f"INVALID {path.name}: {shown}", file=sys.stderr)
+        else:
+            print(f"trace {path.name}: valid")
+    return 1 if failures else 0
 
 
 def _cmd_validate_specs(args: argparse.Namespace) -> int:
@@ -595,6 +740,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dynamics": _cmd_dynamics,
     "run-spec": _cmd_run_spec,
+    "obs-report": _cmd_obs_report,
     "validate-specs": _cmd_validate_specs,
     "infer": _cmd_infer,
     "scenario": _cmd_scenario,

@@ -26,9 +26,15 @@ from repro.core.blueprint.initializers import (
 from repro.core.blueprint.repair import RepairResult, repair
 from repro.core.blueprint.transform import TransformedMeasurements
 from repro.errors import InferenceError
+from repro.obs.metrics import active_registry
 from repro.topology.graph import InterferenceTopology
 
 __all__ = ["InferenceConfig", "StartOutcome", "InferenceResult", "BlueprintInference"]
+
+#: Repair runs cap at InferenceConfig.max_iterations (default 400).
+_ITERATION_BUCKETS = (10.0, 25.0, 50.0, 100.0, 200.0, 400.0)
+#: Aggregate violations span machine-precision fits to badly broken starts.
+_RESIDUAL_BUCKETS = (1e-9, 1e-6, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,9 @@ class BlueprintInference:
             return (bucket, result.topology.num_terminals)
 
         winning_label, winning = min(candidates, key=score)
+        registry = active_registry()
+        if registry is not None:
+            self._record_metrics(registry, outcomes, winning)
         return InferenceResult(
             topology=winning.topology.to_interference_topology(),
             aggregate_violation=winning.aggregate_violation,
@@ -147,6 +156,41 @@ class BlueprintInference:
             winning_start=winning_label,
             outcomes=outcomes,
         )
+
+    @staticmethod
+    def _record_metrics(
+        registry,
+        outcomes: List[StartOutcome],
+        winning: RepairResult,
+    ) -> None:
+        """Report one inference's start diagnostics into the registry."""
+        registry.counter(
+            "blueprint.inferences", help="multi-start inference runs"
+        ).inc()
+        registry.counter(
+            "blueprint.repair_starts", help="repair runs across all starts"
+        ).inc(len(outcomes))
+        iterations = registry.histogram(
+            "blueprint.repair_iterations",
+            buckets=_ITERATION_BUCKETS,
+            help="gradient-repair iterations per start",
+        )
+        residual = registry.histogram(
+            "blueprint.residual",
+            buckets=_RESIDUAL_BUCKETS,
+            help="aggregate constraint violation per repaired start",
+        )
+        for outcome in outcomes:
+            iterations.observe(outcome.iterations)
+            residual.observe(outcome.aggregate_violation)
+        registry.gauge(
+            "blueprint.winning_residual",
+            help="aggregate violation of the selected blueprint",
+        ).set(winning.aggregate_violation)
+        registry.gauge(
+            "blueprint.winning_terminals",
+            help="hidden terminals in the selected blueprint",
+        ).set(winning.topology.num_terminals)
 
     def infer_from_probabilities(
         self,

@@ -38,6 +38,7 @@ from repro.core.scheduling.speculative import SpeculativeScheduler
 from repro.core.scheduling.types import SchedulingContext
 from repro.errors import ConfigurationError
 from repro.lte.resources import SubframeSchedule, UplinkGrant
+from repro.obs.metrics import active_registry
 from repro.topology.graph import InterferenceTopology
 
 __all__ = ["BLUPhase", "BLUConfig", "BLUController"]
@@ -198,6 +199,12 @@ class BLUController(UplinkScheduler):
         if self.phase is BLUPhase.MEASUREMENT:
             self.measurement_scheduler.record(sorted(observation.scheduled))
             self.measurement_subframes_used += 1
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "controller.measurement_subframes",
+                    help="UL subframes spent in the MEASUREMENT phase",
+                ).inc()
             if self.measurement_scheduler.finished:
                 self._infer_and_switch()
             return

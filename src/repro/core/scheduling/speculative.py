@@ -34,8 +34,13 @@ from repro.core.scheduling.base import UplinkScheduler, build_schedule
 from repro.core.scheduling.types import SchedulingContext
 from repro.errors import SchedulingError
 from repro.lte.resources import SubframeSchedule
+from repro.obs.metrics import active_registry
 
 __all__ = ["SpeculativeScheduler"]
+
+#: Group sizes beyond 16 clients/RB are far past the paper's [M, 2M] band.
+_DEPTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
+_UTILITY_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class SpeculativeScheduler(UplinkScheduler):
@@ -84,9 +89,42 @@ class SpeculativeScheduler(UplinkScheduler):
         def utility(rb: int, group: Sequence[int]) -> float:
             return self.expected_group_utility(context, rb, group)
 
-        return build_schedule(
+        schedule = build_schedule(
             context,
             rb_utility=utility,
             max_group_size=max_group,
             grant_streams=lambda size: max(min(size, context.num_antennas), 1),
         )
+        registry = active_registry()
+        if registry is not None:
+            self._record_metrics(registry, context, schedule)
+        return schedule
+
+    def _record_metrics(
+        self, registry, context: SchedulingContext, schedule: SubframeSchedule
+    ) -> None:
+        """Observe over-schedule depth and expected utility of one burst.
+
+        Reads only; ``expected_group_utility`` is pure (pattern tables are
+        cached on the provider), so recording cannot perturb scheduling.
+        """
+        registry.counter(
+            "scheduler.schedule_calls",
+            help="speculative schedule() invocations (grant bursts)",
+        ).inc()
+        depth = registry.histogram(
+            "scheduler.overschedule_depth",
+            buckets=_DEPTH_BUCKETS,
+            help="clients granted per allocated RB",
+        )
+        expected = registry.histogram(
+            "scheduler.expected_utility",
+            buckets=_UTILITY_BUCKETS,
+            help="Eqn. 4 expected utility of each grant burst",
+        )
+        total = 0.0
+        for rb in schedule.allocated_rbs():
+            group = [grant.ue_id for grant in schedule.rb(rb)]
+            depth.observe(len(group))
+            total += self.expected_group_utility(context, rb, group)
+        expected.observe(total)

@@ -40,6 +40,7 @@ from repro.dynamics.detect import DriftMonitor
 from repro.dynamics.metrics import DriftEvent, DynamicsMetrics
 from repro.errors import ConfigurationError
 from repro.lte.resources import SubframeSchedule
+from repro.obs.metrics import active_registry
 from repro.topology.graph import InterferenceTopology
 
 __all__ = [
@@ -134,6 +135,42 @@ class AdaptiveBLUController(BLUController):
         self._partial_scheduler: Optional[MeasurementScheduler] = None
         self._active_event: Optional[DriftEvent] = None
         self._cooldown_remaining = 0
+        self._obs_registry = None
+        self._obs = None
+
+    def _obs_counters(self, registry):
+        """Per-registry dynamics counter handles, registered eagerly.
+
+        Registering the full set on first observation (not on first
+        increment) makes every dynamics metric visible in a run's snapshot
+        even when its count stays zero — a run with no drift still reports
+        ``dynamics.drift_detections = 0``.
+        """
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs = {
+                "drift_detections": registry.counter(
+                    "dynamics.drift_detections",
+                    help="drift episodes begun (detector firings acted on)",
+                ),
+                "drifted_ues": registry.counter(
+                    "dynamics.drifted_ues",
+                    help="clients flagged across all drift episodes",
+                ),
+                "remeasure_subframes": registry.counter(
+                    "dynamics.remeasure_subframes",
+                    help="UL subframes spent in PARTIAL_REMEASURE",
+                ),
+                "reinferences": registry.counter(
+                    "dynamics.reinferences",
+                    help="blueprint re-inferences after the initial campaign",
+                ),
+                "cooldown_suppressed": registry.counter(
+                    "dynamics.cooldown_suppressed",
+                    help="detector firings absorbed by the post-blueprint cooldown",
+                ),
+            }
+        return self._obs
 
     # -- scheduling --------------------------------------------------------
 
@@ -185,6 +222,9 @@ class AdaptiveBLUController(BLUController):
             inference_config=self._partial_inference_config(),
         )
         self.metrics.reinferences += 1
+        registry = active_registry()
+        if registry is not None:
+            self._obs_counters(registry)["reinferences"].inc()
         event.reinfer_subframe = subframe
         event.winning_start = self.inference_result.winning_start
         self._partial_scheduler = None
@@ -199,6 +239,8 @@ class AdaptiveBLUController(BLUController):
     # -- observation feedback ----------------------------------------------
 
     def observe(self, observation: AccessObservation) -> None:
+        registry = active_registry()
+        obs = self._obs_counters(registry) if registry is not None else None
         if self.phase is BLUPhase.MEASUREMENT:
             super().observe(observation)
             if self.phase is BLUPhase.SPECULATIVE:
@@ -216,6 +258,8 @@ class AdaptiveBLUController(BLUController):
             assert self._partial_scheduler is not None
             self._partial_scheduler.record(sorted(observation.scheduled))
             self.metrics.partial_measurement_subframes += 1
+            if obs is not None:
+                obs["remeasure_subframes"].inc()
             if self._partial_scheduler.finished:
                 self._complete_adaptation(observation.subframe)
             return
@@ -226,6 +270,8 @@ class AdaptiveBLUController(BLUController):
         super().observe(observation)
         if self.inference_result is not before:
             self.metrics.reinferences += 1
+            if obs is not None:
+                obs["reinferences"].inc()
             self._rebaseline()
             return
         # ... then streaming drift detection over the same observation.
@@ -237,8 +283,13 @@ class AdaptiveBLUController(BLUController):
             if drifted:
                 # Too soon to re-adapt; fold the firing into the baseline.
                 self.monitor.reset(drifted)
+                if obs is not None:
+                    obs["cooldown_suppressed"].inc()
             return
         if drifted:
+            if obs is not None:
+                obs["drift_detections"].inc()
+                obs["drifted_ues"].inc(len(drifted))
             self._begin_partial_remeasure(observation.subframe, drifted)
 
 

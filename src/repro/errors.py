@@ -43,3 +43,7 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class ObsError(ReproError):
+    """An observability object (metric, snapshot, trace) was misused."""

@@ -15,6 +15,7 @@ from repro.experiments.build import (
     ExperimentPlan,
     build_experiment,
     run_experiment,
+    run_experiment_grid,
     run_experiment_replications,
     run_experiment_sweep,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "register_scheduler",
     "register_timeline",
     "run_experiment",
+    "run_experiment_grid",
     "run_experiment_replications",
     "run_experiment_sweep",
     "scenario_kinds",

@@ -39,6 +39,7 @@ __all__ = [
     "ExperimentPlan",
     "build_experiment",
     "run_experiment",
+    "run_experiment_grid",
     "run_experiment_replications",
     "run_experiment_sweep",
 ]
@@ -117,7 +118,23 @@ class ExperimentPlan:
         scheduler = self.build_scheduler(name)
         if capture:
             self.schedulers[name] = scheduler
-        return self.simulation(name, seed=seed, scheduler=scheduler).run()
+        obs = self.spec.obs
+        if obs is None or not obs.enabled:
+            return self.simulation(name, seed=seed, scheduler=scheduler).run()
+        # Observability on: a fresh per-run session provides the hooks and
+        # the active registry; its snapshot (and trace) ride on the result,
+        # so worker processes ship telemetry back through map_jobs.
+        from repro.obs.session import ObsSession
+
+        session = ObsSession(obs)
+        simulation = self.simulation(
+            name, seed=seed, scheduler=scheduler, hooks=session.hooks
+        )
+        with session.activate():
+            result = simulation.run()
+        session.finish()
+        session.attach(result)
+        return result
 
     def run(self, n_jobs: Optional[int] = 1) -> Dict[str, SimulationResult]:
         """Run every scheduler under identical seeded conditions."""
@@ -158,13 +175,19 @@ def run_experiment(
     return build_experiment(spec).run(n_jobs=n_jobs)
 
 
-def run_experiment_replications(
+def run_experiment_grid(
     spec: ExperimentSpec,
-    seeds: Sequence[int] = (0, 1, 2, 3, 4),
-    metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
+    seeds: Sequence[Optional[int]],
     n_jobs: Optional[int] = 1,
-) -> Dict[str, Dict[str, ReplicatedMetric]]:
-    """Repeat a spec over seeds; mean ± std per scheduler and metric."""
+) -> List[Tuple[str, Optional[int], SimulationResult]]:
+    """Run every (scheduler, seed) combination as one flat batch.
+
+    The raw-result primitive under replications: returns
+    ``(scheduler_name, seed, result)`` triples in seed-major order,
+    identical for any ``n_jobs``.  When the spec enables observability,
+    each result carries its run's ``obs_snapshot``, so callers can
+    :func:`~repro.obs.report.collect_snapshot` across the whole grid.
+    """
     if not seeds:
         raise SpecError("need at least one seed")
     names = list(spec.scheduler_names)
@@ -174,11 +197,26 @@ def run_experiment_replications(
         (spec_dict, name, seed) for name, seed in labelled
     ]
     results = map_jobs(_run_spec_item, items, n_jobs)
+    return [
+        (name, seed, result)
+        for (name, seed), result in zip(labelled, results)
+    ]
+
+
+def run_experiment_replications(
+    spec: ExperimentSpec,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
+    n_jobs: Optional[int] = 1,
+) -> Dict[str, Dict[str, ReplicatedMetric]]:
+    """Repeat a spec over seeds; mean ± std per scheduler and metric."""
+    names = list(spec.scheduler_names)
+    grid = run_experiment_grid(spec, seeds, n_jobs=n_jobs)
 
     samples: Dict[str, Dict[str, List[float]]] = {
         name: {metric: [] for metric in metrics} for name in names
     }
-    for (name, _seed), result in zip(labelled, results):
+    for name, _seed, result in grid:
         summary = result.summary()
         for metric in metrics:
             samples[name][metric].append(summary[metric])

@@ -101,14 +101,17 @@ def register_timeline(kind: str):
 
 
 def scenario_kinds() -> Tuple[str, ...]:
+    """Registered scenario kinds, sorted."""
     return tuple(sorted(_SCENARIOS))
 
 
 def scheduler_kinds() -> Tuple[str, ...]:
+    """Registered scheduler kinds, sorted."""
     return tuple(sorted(_SCHEDULERS))
 
 
 def timeline_kinds() -> Tuple[str, ...]:
+    """Registered timeline kinds, sorted."""
     return tuple(sorted(_TIMELINES))
 
 
@@ -164,6 +167,7 @@ def _explicit_scenario(num_ues: int, terminals) -> InterferenceTopology:
 
 
 def build_topology(spec: ScenarioSpec) -> InterferenceTopology:
+    """Resolve a scenario spec into its interference topology."""
     if spec.kind not in _SCENARIOS:
         raise SpecError(
             f"unknown scenario kind {spec.kind!r}; "
@@ -175,6 +179,7 @@ def build_topology(spec: ScenarioSpec) -> InterferenceTopology:
 
 
 def build_snrs(spec: ScenarioSpec, num_ues: int) -> Dict[int, float]:
+    """Resolve a scenario spec's SNR entry into per-UE mean SNRs."""
     snr = dict(spec.snr)
     kind = snr.pop("kind")
     if kind == "uniform":
@@ -214,6 +219,7 @@ register_timeline("client-churn")(client_churn_timeline)
 
 
 def build_timeline(spec: Optional[TimelineSpec]):
+    """Resolve a timeline spec into an environment timeline (or None)."""
     if spec is None:
         return None
     if spec.kind not in _TIMELINES:
@@ -357,6 +363,7 @@ def _staged_oracle(
 
 
 def build_scheduler(spec: SchedulerSpec, ctx: BuildContext) -> UplinkScheduler:
+    """Resolve a scheduler spec into a fresh scheduler instance."""
     if spec.kind not in _SCHEDULERS:
         raise SpecError(
             f"unknown scheduler kind {spec.kind!r}; "

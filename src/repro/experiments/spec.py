@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SpecError
+from repro.obs.config import ObsConfig
 from repro.sim.config import SimulationConfig
 
 __all__ = [
@@ -149,6 +150,9 @@ class ExperimentSpec:
     seed: Optional[int] = 0
     record_series: bool = False
     fast_path: bool = True
+    #: Observability (metrics/tracing) for every run of this spec;
+    #: ``None`` — the default — collects nothing.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -161,6 +165,10 @@ class ExperimentSpec:
                     f"scheduler {label!r} must be a SchedulerSpec, "
                     f"got {type(scheduler).__name__}"
                 )
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise SpecError(
+                f"obs must be an ObsConfig, got {type(self.obs).__name__}"
+            )
 
     @property
     def scheduler_names(self) -> Tuple[str, ...]:
@@ -179,6 +187,7 @@ class ExperimentSpec:
             "seed": self.seed,
             "record_series": self.record_series,
             "fast_path": self.fast_path,
+            "obs": self.obs.to_dict() if self.obs else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -198,6 +207,7 @@ class ExperimentSpec:
                 "seed",
                 "record_series",
                 "fast_path",
+                "obs",
             ),
             "experiment",
         )
@@ -226,6 +236,11 @@ class ExperimentSpec:
             seed=seed,
             record_series=bool(data.get("record_series", False)),
             fast_path=bool(data.get("fast_path", True)),
+            obs=(
+                ObsConfig.from_dict(data["obs"])
+                if data.get("obs") is not None
+                else None
+            ),
         )
 
     @classmethod

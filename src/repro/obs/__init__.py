@@ -1,0 +1,100 @@
+"""Observability: metrics, structured tracing, timing, run telemetry.
+
+Four cooperating pieces, all process-local and off by default:
+
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` families
+  in a per-run :class:`MetricsRegistry`; instrumented library code
+  (scheduler, blueprint solver, dynamics controller) reports through
+  :func:`active_registry`, which is ``None`` when obs is off;
+* :mod:`repro.obs.trace` — a ring-buffered :class:`EventTracer` whose
+  events export as JSONL or Chrome trace-event JSON;
+* :mod:`repro.obs.hooks` — ``SimHooks`` adapters feeding both from the
+  engine's stage seam (imported lazily: they pull in ``repro.sim``);
+* :mod:`repro.obs.timing` — the former ``repro.perf`` stopwatch tools.
+
+Attach an :class:`ObsConfig` to an ``ExperimentSpec`` (or pass ``--obs``
+on the CLI) and every run's :class:`MetricsSnapshot` rides back on its
+result, mergeable across worker processes.  See ``docs/OBSERVABILITY.md``
+for the metric catalog and trace schema.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    merge_snapshots,
+    set_active_registry,
+    use_registry,
+)
+from repro.obs.report import (
+    collect_snapshot,
+    format_obs_report,
+    load_metrics_json,
+    write_metrics_json,
+)
+from repro.obs.timing import PhaseTimer, Stopwatch
+from repro.obs.trace import (
+    EventTracer,
+    load_trace_jsonl,
+    merge_run_traces,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace_chrome,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsHooks",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsConfig",
+    "ObsSession",
+    "PhaseTimer",
+    "PhaseTimerHooks",
+    "Stopwatch",
+    "TracingHooks",
+    "active_registry",
+    "collect_snapshot",
+    "format_obs_report",
+    "load_metrics_json",
+    "load_trace_jsonl",
+    "merge_run_traces",
+    "merge_snapshots",
+    "set_active_registry",
+    "use_registry",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_metrics_json",
+    "write_trace_chrome",
+    "write_trace_jsonl",
+]
+
+#: Deferred exports: these pull in ``repro.sim`` (the hooks seam), which
+#: itself imports ``repro.obs.timing`` — lazy loading keeps the package
+#: importable from anywhere in that chain without cycles.
+_LAZY = {
+    "MetricsHooks": "repro.obs.hooks",
+    "TracingHooks": "repro.obs.hooks",
+    "ObsSession": "repro.obs.session",
+    "PhaseTimerHooks": "repro.sim.stages",
+}
+
+
+def __getattr__(name):
+    """Resolve the lazily exported hook/session classes on first access."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,68 @@
+"""Serializable observability configuration, attachable to experiment specs.
+
+An :class:`ObsConfig` rides on :class:`~repro.experiments.ExperimentSpec`
+(``"obs": {...}`` in the JSON form) or is passed ad hoc by harness code.
+Absent or ``enabled=False`` means observability is completely off: no
+hooks attached, no registry activated, the engine's no-hooks fast path
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.errors import SpecError
+
+__all__ = ["ObsConfig"]
+
+_FIELDS = ("enabled", "tracing", "trace_capacity", "stage_events")
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to collect during a run.
+
+    ``enabled`` gates everything; ``tracing`` additionally records trace
+    events (metrics alone are much cheaper); ``trace_capacity`` bounds the
+    tracer's ring buffer; ``stage_events`` controls per-stage spans (the
+    bulkiest event class — subframe/TxOP events stay on regardless).
+    """
+
+    enabled: bool = True
+    tracing: bool = False
+    trace_capacity: int = 65536
+    stage_events: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace_capacity, int) or self.trace_capacity < 1:
+            raise SpecError(
+                f"obs.trace_capacity must be a positive int: "
+                f"{self.trace_capacity!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready field dump."""
+        return {
+            "enabled": self.enabled,
+            "tracing": self.tracing,
+            "trace_capacity": self.trace_capacity,
+            "stage_events": self.stage_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObsConfig":
+        """Strictly validated inverse of :meth:`to_dict`."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"obs must be a mapping, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(_FIELDS))
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) {unknown} in obs; allowed: {sorted(_FIELDS)}"
+            )
+        return cls(
+            enabled=bool(data.get("enabled", True)),
+            tracing=bool(data.get("tracing", False)),
+            trace_capacity=data.get("trace_capacity", 65536),
+            stage_events=bool(data.get("stage_events", True)),
+        )

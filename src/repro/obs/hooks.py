@@ -1,0 +1,224 @@
+"""SimHooks adapters: metrics and tracing riding the stage seam.
+
+Both hooks honour the seam's contract — they read the
+:class:`~repro.sim.stages.SubframeContext`, never mutate it — so an
+instrumented run is bit-exact with an uninstrumented one.  Everything here
+costs nothing when observability is off, because the engine then attaches
+no hooks at all and the pipeline takes its direct-call path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lte.phy import GrantOutcome
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EventTracer
+from repro.sim.stages import IDLE, UPLINK, SimHooks, SubframeContext, SubframeStage
+
+__all__ = ["MetricsHooks", "TracingHooks"]
+
+#: RB-utilization histogram bucket edges (fraction of allocated RBs used).
+_UTIL_BUCKETS = (0.2, 0.4, 0.6, 0.8, 0.99)
+
+
+class MetricsHooks(SimHooks):
+    """Feed engine-level counters from the per-subframe context.
+
+    All accounting happens in :meth:`on_subframe_end` — one pass over the
+    reception outcomes per UL subframe, identical to what the
+    transmit/decode stage already computed for the result counters.  Grant
+    *bursts* (one scheduler consultation per TxOP) are detected by
+    schedule identity, which is exact even for back-to-back TxOPs.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._subframes = registry.counter(
+            "engine.subframes", help="subframes simulated, by kind", labels=("kind",)
+        )
+        self._cca = registry.counter(
+            "engine.cca_failures",
+            help="per-subframe count of UEs silenced by CCA",
+        )
+        self._grants_issued = registry.counter(
+            "engine.grants_issued", help="uplink grants issued"
+        )
+        self._ues_silenced = registry.counter(
+            "engine.scheduled_ues_silenced",
+            help="scheduled UEs that lost CCA in their subframe",
+        )
+        outcomes = registry.counter(
+            "engine.grant_outcomes",
+            help="per-grant decode outcome",
+            labels=("outcome",),
+        )
+        self._decoded = outcomes.labels(outcome="decoded")
+        self._blocked = outcomes.labels(outcome="blocked")
+        self._collided = outcomes.labels(outcome="collided")
+        self._faded = outcomes.labels(outcome="faded")
+        self._harq = registry.counter(
+            "engine.harq_retransmissions", help="HARQ retransmissions granted"
+        )
+        self._rb_util = registry.histogram(
+            "engine.rb_utilization",
+            buckets=_UTIL_BUCKETS,
+            help="per-UL-subframe fraction of allocated RBs that decoded",
+        )
+        self._bursts = registry.counter(
+            "engine.grant_bursts", help="scheduler consultations (TxOP grants)"
+        )
+        self._last_schedule: Optional[object] = None
+        self._last_harq = 0
+
+    def on_subframe_end(self, ctx: SubframeContext) -> None:
+        """Account one finished subframe's outcomes into the registry."""
+        self._subframes.labels(kind=ctx.kind).inc()
+        if ctx.silenced:
+            self._cca.inc(len(ctx.silenced))
+        if ctx.kind != UPLINK:
+            return
+        schedule = ctx.schedule
+        if schedule is None:
+            return
+        if schedule is not self._last_schedule:
+            self._last_schedule = schedule
+            self._bursts.inc()
+        self._grants_issued.inc(schedule.total_grants)
+        silenced_scheduled = len(
+            ctx.silenced.intersection(schedule.scheduled_ues())
+        )
+        if silenced_scheduled:
+            self._ues_silenced.inc(silenced_scheduled)
+
+        reception = ctx.reception
+        if reception is not None:
+            decoded = blocked = collided = faded = utilized = 0
+            for rb_reception in reception.rb_receptions.values():
+                rb_decoded = False
+                for outcome in rb_reception.outcomes.values():
+                    if outcome is GrantOutcome.DECODED:
+                        decoded += 1
+                        rb_decoded = True
+                    elif outcome is GrantOutcome.BLOCKED:
+                        blocked += 1
+                    elif outcome is GrantOutcome.COLLIDED:
+                        collided += 1
+                    else:
+                        faded += 1
+                if rb_decoded:
+                    utilized += 1
+            if decoded:
+                self._decoded.inc(decoded)
+            if blocked:
+                self._blocked.inc(blocked)
+            if collided:
+                self._collided.inc(collided)
+            if faded:
+                self._faded.inc(faded)
+            allocated = len(schedule.allocated_rbs())
+            if allocated:
+                self._rb_util.observe(utilized / allocated)
+
+        harq = ctx.result.harq_retransmissions
+        if harq != self._last_harq:
+            self._harq.inc(harq - self._last_harq)
+            self._last_harq = harq
+
+
+class TracingHooks(SimHooks):
+    """Emit span-style stage/subframe/TxOP events into an :class:`EventTracer`.
+
+    Three viewer lanes (``tid``): 0 carries per-stage spans (suppressible
+    via ``stage_events=False`` — they dominate trace volume), 1 carries
+    per-subframe spans tagged with the subframe kind, 2 carries channel-
+    occupancy (TxOP) spans and grant-burst instants.
+    """
+
+    def __init__(self, tracer: EventTracer, stage_events: bool = True) -> None:
+        self.tracer = tracer
+        self.stage_events = bool(stage_events)
+        tracer.metadata("thread_name", {"name": "stages"}, tid=0)
+        tracer.metadata("thread_name", {"name": "subframes"}, tid=1)
+        tracer.metadata("thread_name", {"name": "txops"}, tid=2)
+        self._cur_subframe: Optional[int] = None
+        self._sf_start = 0.0
+        self._stage_start = 0.0
+        self._txop_start: Optional[float] = None
+        self._txop_end = 0.0
+        self._txop_first = 0
+        self._txop_last = 0
+        self._last_schedule: Optional[object] = None
+
+    def on_stage_start(self, stage: SubframeStage, ctx: SubframeContext) -> None:
+        """Timestamp the stage (and the subframe, on its first stage)."""
+        now = self.tracer.now_us()
+        if ctx.subframe != self._cur_subframe:
+            self._cur_subframe = ctx.subframe
+            self._sf_start = now
+        self._stage_start = now
+
+    def on_stage_end(self, stage: SubframeStage, ctx: SubframeContext) -> None:
+        """Close the stage span opened by :meth:`on_stage_start`."""
+        if not self.stage_events:
+            return
+        now = self.tracer.now_us()
+        self.tracer.complete(
+            stage.name,
+            "stage",
+            self._stage_start,
+            now - self._stage_start,
+            args={"subframe": ctx.subframe},
+        )
+
+    def _close_txop(self) -> None:
+        if self._txop_start is None:
+            return
+        self.tracer.complete(
+            "txop",
+            "txop",
+            self._txop_start,
+            self._txop_end - self._txop_start,
+            args={"first_subframe": self._txop_first, "last_subframe": self._txop_last},
+            tid=2,
+        )
+        self._txop_start = None
+
+    def on_subframe_end(self, ctx: SubframeContext) -> None:
+        """Emit the subframe span; open/extend/close the occupancy span."""
+        now = self.tracer.now_us()
+        start = self._sf_start if ctx.subframe == self._cur_subframe else now
+        self.tracer.complete(
+            "subframe",
+            "subframe",
+            start,
+            now - start,
+            args={"t": ctx.subframe, "kind": ctx.kind},
+            tid=1,
+        )
+        if ctx.kind == IDLE:
+            self._close_txop()
+            return
+        if self._txop_start is None:
+            self._txop_start = start
+            self._txop_first = ctx.subframe
+        self._txop_end = now
+        self._txop_last = ctx.subframe
+        schedule = ctx.schedule
+        if (
+            ctx.kind == UPLINK
+            and schedule is not None
+            and schedule is not self._last_schedule
+        ):
+            self._last_schedule = schedule
+            self.tracer.instant(
+                "grant-burst",
+                "scheduler",
+                args={"t": ctx.subframe, "grants": schedule.total_grants},
+                ts=now,
+                tid=2,
+            )
+
+    def finish(self) -> None:
+        """Close any span left open by the run's final subframe."""
+        self._close_txop()

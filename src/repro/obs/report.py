@@ -1,0 +1,120 @@
+"""Run telemetry reports: merge per-run snapshots, render the obs table.
+
+The CLI's ``--obs`` flags and ``obs-report`` command are thin wrappers
+over these helpers: :func:`collect_snapshot` folds the snapshots riding on
+a batch of results into one, :func:`format_obs_report` renders the metric
+catalog as the repo's standard ASCII table, and
+:func:`write_metrics_json` / :func:`load_metrics_json` define the
+``<run-dir>/metrics.json`` layout ``repro obs-report`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+
+__all__ = [
+    "collect_snapshot",
+    "format_obs_report",
+    "load_metrics_json",
+    "write_metrics_json",
+]
+
+#: File name ``obs-report`` looks for inside a run directory.
+METRICS_FILENAME = "metrics.json"
+
+
+def collect_snapshot(results: Iterable[Any]) -> Optional[MetricsSnapshot]:
+    """Merge the ``obs_snapshot`` payloads riding on a batch of results.
+
+    Accepts any iterable of :class:`~repro.sim.results.SimulationResult`;
+    results without a snapshot (obs was off for that run) are skipped.
+    Returns ``None`` when nothing carried telemetry.
+    """
+    snapshots = [
+        MetricsSnapshot.from_dict(result.obs_snapshot)
+        for result in results
+        if getattr(result, "obs_snapshot", None) is not None
+    ]
+    if not snapshots:
+        return None
+    return merge_snapshots(snapshots)
+
+
+def _series_cell(kind: str, data: Dict[str, Any]) -> str:
+    if kind == "histogram":
+        count = data.get("count", 0)
+        mean = data.get("sum", 0.0) / count if count else 0.0
+        return f"n={count} mean={mean:.4g}"
+    value = data.get("value", 0)
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def format_obs_report(
+    snapshot: Union[MetricsSnapshot, Dict[str, Any]],
+    title: str = "Observability report",
+) -> str:
+    """Render a snapshot as one table row per metric series.
+
+    Labeled families expand to one row per label-value combination
+    (``engine.grant_outcomes{outcome=decoded}``); histograms show count
+    and mean.  The header counts distinct metric names and the layers
+    (name prefixes) they span.
+    """
+    from repro.analysis.tables import format_table
+
+    if isinstance(snapshot, MetricsSnapshot):
+        snapshot = snapshot.to_dict()
+    rows: List[List[Any]] = []
+    layers = set()
+    for name, entry in snapshot.items():
+        layers.add(name.split(".", 1)[0])
+        kind = entry["kind"]
+        label_names = entry.get("labels", [])
+        for item in entry.get("series", []):
+            label_values = item.get("labels", [])
+            if label_names:
+                pairs = ",".join(
+                    f"{k}={v}" for k, v in zip(label_names, label_values)
+                )
+                shown = f"{name}{{{pairs}}}"
+            else:
+                shown = name
+            data = {k: v for k, v in item.items() if k != "labels"}
+            rows.append([shown, kind, _series_cell(kind, data)])
+    header = (
+        f"{title} — {len(snapshot)} metrics across "
+        f"{len(layers)} layer(s): {', '.join(sorted(layers))}"
+    )
+    return format_table(["metric", "kind", "value"], rows, title=header)
+
+
+def write_metrics_json(
+    directory: Union[str, Path], snapshot: MetricsSnapshot
+) -> Path:
+    """Write ``<directory>/metrics.json`` (creating the directory)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / METRICS_FILENAME
+    path.write_text(json.dumps(snapshot.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def load_metrics_json(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Read a run directory's merged snapshot dict; raises ObsError if absent."""
+    path = Path(directory) / METRICS_FILENAME
+    if not path.is_file():
+        raise ObsError(f"no {METRICS_FILENAME} in {directory}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ObsError(f"{path}: invalid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ObsError(f"{path}: expected a metrics object")
+    return data

@@ -1,0 +1,80 @@
+"""One run's observability context: registry + tracer + hooks, bundled.
+
+:class:`ObsSession` is what the experiment layer instantiates per
+simulation run when an :class:`~repro.obs.config.ObsConfig` is enabled.
+It owns a *fresh* :class:`~repro.obs.metrics.MetricsRegistry` (so
+replicated runs never share counters and snapshots merge exactly the same
+whether runs were serial or parallel), the optional
+:class:`~repro.obs.trace.EventTracer`, and the
+:class:`~repro.sim.stages.SimHooks` stack the engine should attach.
+
+Usage::
+
+    session = ObsSession(obs_config)
+    sim = plan.simulation(name, hooks=session.hooks, ...)
+    with session.activate():      # instrumented library code sees the registry
+        result = sim.run()
+    session.finish()
+    session.attach(result)        # snapshot + trace ride on the result
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.hooks import MetricsHooks, TracingHooks
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, use_registry
+from repro.obs.trace import EventTracer
+from repro.sim.stages import CompositeHooks, SimHooks
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """Builds and carries the per-run observability plumbing."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = ObsConfig() if config is None else config
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[EventTracer] = None
+        metrics_hooks = MetricsHooks(self.registry)
+        self._tracing_hooks: Optional[TracingHooks] = None
+        if self.config.tracing:
+            self.tracer = EventTracer(capacity=self.config.trace_capacity)
+            self._tracing_hooks = TracingHooks(
+                self.tracer, stage_events=self.config.stage_events
+            )
+            self.hooks: SimHooks = CompositeHooks(
+                [metrics_hooks, self._tracing_hooks]
+            )
+        else:
+            self.hooks = metrics_hooks
+
+    @contextmanager
+    def activate(self) -> Iterator["ObsSession"]:
+        """Scope this session's registry as the process-local active one."""
+        with use_registry(self.registry):
+            yield self
+
+    def finish(self) -> None:
+        """Close any trace spans still open after the run's last subframe."""
+        if self._tracing_hooks is not None:
+            self._tracing_hooks.finish()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The run's metrics, frozen into a mergeable plain-data snapshot."""
+        return self.registry.snapshot()
+
+    def attach(self, result) -> None:
+        """Stamp the result with this run's snapshot (and trace, if any).
+
+        Both fields are ``compare=False`` on
+        :class:`~repro.sim.results.SimulationResult`, so telemetry never
+        perturbs bit-exactness comparisons — and both are plain data, so
+        results round-trip through ``map_jobs`` worker pickling.
+        """
+        result.obs_snapshot = self.snapshot().to_dict()
+        if self.tracer is not None:
+            result.obs_trace = self.tracer.events()

@@ -1,0 +1,123 @@
+"""Minimal wall-clock instrumentation for the simulation hot loop.
+
+Two tools, both deliberately tiny so they can sit inside per-subframe code
+without distorting what they measure:
+
+* :class:`Stopwatch` — a context-manager lap timer for coarse sections
+  (whole runs, sweep points, benchmark trials);
+* :class:`PhaseTimer` — an accumulator of named phase totals fed by the
+  stage seam (:class:`~repro.sim.stages.PhaseTimerHooks` measures and
+  calls :meth:`PhaseTimer.add` under each stage's ``phase`` label —
+  ``activity``, ``channels``, ``schedule``, ``receive``, ...).
+
+Formerly ``repro.perf.stopwatch``; that module remains as a deprecation
+shim re-exporting these names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Stopwatch", "PhaseTimer"]
+
+
+class Stopwatch:
+    """Lap-oriented wall-clock timer.
+
+    Use as a context manager for one lap, or call :meth:`start` /
+    :meth:`stop` explicitly.  Laps accumulate; :attr:`total_s` and
+    :attr:`laps` expose them for reporting.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.laps: List[float] = []
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        lap = perf_counter() - self._start
+        self._start = None
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def last_s(self) -> float:
+        if not self.laps:
+            raise RuntimeError("no laps recorded")
+        return self.laps[-1]
+
+    @property
+    def mean_s(self) -> float:
+        if not self.laps:
+            raise RuntimeError("no laps recorded")
+        return self.total_s / len(self.laps)
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates (total seconds, call count) per named phase.
+
+    The caller measures and reports; :meth:`add` is one dict lookup and two
+    adds, cheap enough for a 1 ms-granularity loop.
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self._totals[phase] = self._totals.get(phase, 0.0) + seconds
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    def total_s(self, phase: str) -> float:
+        return self._totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        return self._counts.get(phase, 0)
+
+    def phases(self) -> Iterator[Tuple[str, float, int]]:
+        """Yield ``(phase, total_seconds, count)`` in insertion order."""
+        for phase, total in self._totals.items():
+            yield phase, total, self._counts[phase]
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready ``{phase: {"total_s": ..., "count": ...}}`` summary."""
+        return {
+            phase: {"total_s": total, "count": float(count)}
+            for phase, total, count in self.phases()
+        }
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line summary, widest phase first."""
+        lines = []
+        for phase, total, count in sorted(
+            self.phases(), key=lambda row: -row[1]
+        ):
+            mean_us = 1e6 * total / count if count else 0.0
+            lines.append(
+                f"{phase:>12s}: {total:8.3f} s over {count:8d} calls "
+                f"({mean_us:8.2f} us/call)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Structured event tracing: ring buffer + Chrome trace-event export.
+
+The tracer records span-style (``ph="X"``), instant (``ph="i"``) and
+metadata (``ph="M"``) events in the Chrome *trace-event* dialect — the
+format ``chrome://tracing`` and https://ui.perfetto.dev load natively.
+Timestamps are microseconds from a monotonic per-tracer epoch
+(``time.perf_counter``), so spans nest correctly regardless of wall-clock
+adjustments.
+
+Storage is a bounded ring (``collections.deque(maxlen=...)``): a
+long-running simulation keeps the *most recent* ``capacity`` events and
+counts what it dropped, instead of growing without bound inside the hot
+loop.
+
+Two writers share one event list:
+
+* :func:`write_trace_jsonl` — one JSON object per line, the stream format
+  validated by :func:`validate_trace_events`;
+* :func:`write_trace_chrome` — the ``{"traceEvents": [...]}`` object
+  format the Chrome trace viewer opens directly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.errors import ObsError
+
+__all__ = [
+    "EventTracer",
+    "TRACE_EVENT_KEYS",
+    "TRACE_PHASES",
+    "load_trace_jsonl",
+    "merge_run_traces",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_trace_chrome",
+    "write_trace_jsonl",
+]
+
+#: Keys a trace event may carry (Chrome trace-event dialect subset).
+TRACE_EVENT_KEYS = frozenset(
+    {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args", "s"}
+)
+
+#: Event phases we emit/accept: complete spans, instants, metadata.
+TRACE_PHASES = frozenset({"X", "i", "I", "M"})
+
+
+class EventTracer:
+    """Bounded in-memory recorder of trace events for one run.
+
+    ``capacity`` caps retained events (oldest dropped first,
+    :attr:`dropped` counts them).  All events carry the tracer's ``pid``
+    so per-run traces can be merged side by side in one viewer timeline.
+    """
+
+    def __init__(self, capacity: int = 65536, pid: int = 0) -> None:
+        if capacity < 1:
+            raise ObsError(f"tracer capacity must be >= 1: {capacity}")
+        self.capacity = int(capacity)
+        self.pid = int(pid)
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._emitted = 0
+        self._epoch = perf_counter()
+
+    def now_us(self) -> float:
+        """Microseconds since this tracer's monotonic epoch."""
+        return (perf_counter() - self._epoch) * 1e6
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self._events.append(event)
+        self._emitted += 1
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        args: Optional[Mapping[str, Any]] = None,
+        tid: int = 0,
+    ) -> None:
+        """Record a complete span (``ph="X"``) from ``ts`` lasting ``dur`` µs."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round(ts, 3),
+            "dur": round(max(dur, 0.0), 3),
+            "pid": self.pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._emit(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        args: Optional[Mapping[str, Any]] = None,
+        ts: Optional[float] = None,
+        tid: int = 0,
+    ) -> None:
+        """Record an instant event (``ph="i"``) at ``ts`` (default: now)."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": round(self.now_us() if ts is None else ts, 3),
+            "pid": self.pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = dict(args)
+        self._emit(event)
+
+    def metadata(self, name: str, args: Mapping[str, Any], tid: int = 0) -> None:
+        """Record a metadata event (``ph="M"``, e.g. ``process_name``)."""
+        self._emit(
+            {
+                "name": name,
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": tid,
+                "args": dict(args),
+            }
+        )
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer so far."""
+        return self._emitted - len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events and reset the drop counter."""
+        self._events.clear()
+        self._emitted = 0
+
+
+def validate_trace_events(events: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Check events against the trace schema; return human-readable errors.
+
+    The schema is the subset of the Chrome trace-event format this package
+    emits: required ``name``/``cat``/``ph``/``ts``/``pid``/``tid``, phases
+    limited to :data:`TRACE_PHASES`, ``ph="X"`` requires a non-negative
+    ``dur``, ``args`` must be a mapping, and no unknown keys.
+    """
+    errors: List[str] = []
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, Mapping):
+            errors.append(f"{where}: not an object")
+            continue
+        unknown = sorted(set(event) - TRACE_EVENT_KEYS)
+        if unknown:
+            errors.append(f"{where}: unknown key(s) {unknown}")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        if not isinstance(event.get("cat"), str):
+            errors.append(f"{where}: 'cat' must be a string")
+        phase = event.get("ph")
+        if phase not in TRACE_PHASES:
+            errors.append(f"{where}: 'ph' must be one of {sorted(TRACE_PHASES)}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a number >= 0")
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{where}: {key!r} must be an integer")
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                errors.append(f"{where}: complete event needs 'dur' >= 0")
+        elif "dur" in event:
+            errors.append(f"{where}: 'dur' is only valid on ph='X'")
+        if "args" in event and not isinstance(event["args"], Mapping):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def write_trace_jsonl(
+    events: Iterable[Mapping[str, Any]], path: Union[str, Path]
+) -> Path:
+    """Write events as JSONL (one event object per line); returns the path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def write_trace_chrome(
+    events: Iterable[Mapping[str, Any]], path: Union[str, Path]
+) -> Path:
+    """Write the Chrome-viewer object format ``{"traceEvents": [...]}``."""
+    path = Path(path)
+    payload = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return path
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ObsError(f"{path}:{number}: invalid JSON: {error}") from error
+    return events
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate a trace file in either format, selected by extension.
+
+    ``.jsonl`` is parsed line-wise; anything else is expected to be the
+    Chrome object format (or a bare event array).  Returns schema errors;
+    unreadable files produce a single-element error list.
+    """
+    path = Path(path)
+    try:
+        if path.suffix == ".jsonl":
+            events = load_trace_jsonl(path)
+        else:
+            payload = json.loads(path.read_text())
+            if isinstance(payload, Mapping):
+                events = payload.get("traceEvents")
+                if not isinstance(events, list):
+                    return [f"{path}: no 'traceEvents' array"]
+            elif isinstance(payload, list):
+                events = payload
+            else:
+                return [f"{path}: neither a trace object nor an event array"]
+    except (OSError, ObsError, json.JSONDecodeError) as error:
+        return [f"{path}: {error}"]
+    return validate_trace_events(events)
+
+
+def merge_run_traces(
+    traces: Mapping[str, Iterable[Mapping[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Combine per-run event lists into one viewer-ready timeline.
+
+    Each run gets its own ``pid`` (in mapping order) plus a
+    ``process_name`` metadata event carrying the run's label, so traces
+    from several schedulers sit side by side in Chrome/Perfetto.
+    """
+    merged: List[Dict[str, Any]] = []
+    for pid, (label, events) in enumerate(traces.items()):
+        merged.append(
+            {
+                "name": "process_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for event in events:
+            rewritten = dict(event)
+            rewritten["pid"] = pid
+            merged.append(rewritten)
+    return merged

@@ -1,5 +1,19 @@
-"""Performance instrumentation: stopwatches and engine phase timing."""
+"""Deprecated: performance tools moved to :mod:`repro.obs`.
 
-from repro.perf.stopwatch import PhaseTimer, Stopwatch
+``repro.perf`` folded into the observability subsystem; ``Stopwatch`` and
+``PhaseTimer`` now live in :mod:`repro.obs.timing` (and
+``PhaseTimerHooks`` is re-exported from :mod:`repro.obs`).  This shim
+keeps old imports working, with a :class:`DeprecationWarning` on import.
+"""
+
+import warnings
+
+from repro.obs.timing import PhaseTimer, Stopwatch
 
 __all__ = ["PhaseTimer", "Stopwatch"]
+
+warnings.warn(
+    "repro.perf is deprecated; import PhaseTimer/Stopwatch from repro.obs",
+    DeprecationWarning,
+    stacklevel=2,
+)

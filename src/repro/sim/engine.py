@@ -48,7 +48,7 @@ from repro.lte.harq import HarqConfig, HarqPool
 from repro.lte.traffic import FullBufferTraffic, TrafficSource, UeQueue
 from repro.lte.phy import GrantOutcome
 from repro.lte.resources import SubframeSchedule
-from repro.perf.stopwatch import PhaseTimer
+from repro.obs.timing import PhaseTimer
 from repro.dynamics.timeline import (
     AddTerminalOp,
     EnvironmentTimeline,

@@ -46,6 +46,14 @@ class SimulationResult:
     #: Optional per-UL-subframe series (enabled via ``record_series``).
     utilization_series: List[float] = field(default_factory=list)
 
+    # Telemetry attached by an ObsSession when observability is enabled.
+    # Excluded from equality/repr: the bit-exactness contract compares
+    # simulation outcomes, never observation payloads.
+    obs_snapshot: Optional[Dict] = field(default=None, compare=False, repr=False)
+    obs_trace: Optional[List[Dict]] = field(
+        default=None, compare=False, repr=False
+    )
+
     # -- derived metrics ----------------------------------------------------
 
     @property

@@ -22,11 +22,12 @@ either path; ``tests/sim/test_pipeline_equivalence.py`` pins that contract
 against pre-refactor snapshots.
 
 Hooks subsume the engine's older perf phase hooks:
-:class:`PhaseTimerHooks` adapts a :class:`~repro.perf.stopwatch.PhaseTimer`
+:class:`PhaseTimerHooks` adapts a :class:`~repro.obs.timing.PhaseTimer`
 to the stage seam, accumulating wall time under each stage's ``phase``
 label (``activity``, ``channels``, ``schedule``, ``receive``, ...).
-Observability and dynamics code can attach their own :class:`SimHooks`
-without touching the engine.
+Observability (``repro.obs`` metrics and tracing) and dynamics code
+attach their own :class:`SimHooks` the same way, without touching the
+engine.
 """
 
 from __future__ import annotations
@@ -52,7 +53,7 @@ from repro.lte.phy import GrantOutcome
 from repro.lte.resources import SubframeSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.perf.stopwatch import PhaseTimer
+    from repro.obs.timing import PhaseTimer
     from repro.sim.engine import CellSimulation
     from repro.sim.results import SimulationResult
 
@@ -88,6 +89,11 @@ DOWNLINK = "dl"
 UPLINK = "ul"
 
 _ALL_KINDS = (IDLE, DOWNLINK, UPLINK)
+
+try:  # ExceptionGroup is a builtin from Python 3.11.
+    _ExceptionGroup = ExceptionGroup
+except NameError:  # pragma: no cover - pre-3.11 fallback
+    _ExceptionGroup = None
 
 
 @dataclass(slots=True)
@@ -157,26 +163,58 @@ class PhaseTimerHooks(SimHooks):
 
 
 class CompositeHooks(SimHooks):
-    """Fan one hook stream out to several receivers, in order."""
+    """Fan one hook stream out to several receivers, in order.
+
+    Delivery is all-or-error: every child sees every callback even when a
+    sibling raises, so one faulty observer cannot starve the others of
+    events (a tracer dying mid-run must not corrupt the metrics counters).
+    Collected exceptions re-raise after the fan-out — the single error
+    as-is, multiple as an ``ExceptionGroup`` (the first alone on Pythons
+    without exception groups).
+    """
 
     def __init__(self, hooks: Sequence[SimHooks]) -> None:
         self.hooks = tuple(hooks)
 
+    @staticmethod
+    def _raise_collected(errors: List[BaseException]) -> None:
+        if len(errors) == 1 or _ExceptionGroup is None:
+            raise errors[0]
+        raise _ExceptionGroup("multiple hooks failed", errors)
+
     def on_stage_start(
         self, stage: "SubframeStage", ctx: SubframeContext
     ) -> None:
+        errors: List[BaseException] = []
         for hook in self.hooks:
-            hook.on_stage_start(stage, ctx)
+            try:
+                hook.on_stage_start(stage, ctx)
+            except Exception as error:  # noqa: BLE001 - collected and re-raised
+                errors.append(error)
+        if errors:
+            self._raise_collected(errors)
 
     def on_stage_end(
         self, stage: "SubframeStage", ctx: SubframeContext
     ) -> None:
+        errors: List[BaseException] = []
         for hook in self.hooks:
-            hook.on_stage_end(stage, ctx)
+            try:
+                hook.on_stage_end(stage, ctx)
+            except Exception as error:  # noqa: BLE001 - collected and re-raised
+                errors.append(error)
+        if errors:
+            self._raise_collected(errors)
 
     def on_subframe_end(self, ctx: SubframeContext) -> None:
+        errors: List[BaseException] = []
         for hook in self.hooks:
-            hook.on_subframe_end(ctx)
+            try:
+                hook.on_subframe_end(ctx)
+            except Exception as error:  # noqa: BLE001 - collected and re-raised
+                errors.append(error)
+        if errors:
+            self._raise_collected(errors)
 
 
 class SubframeStage:

@@ -1,0 +1,102 @@
+"""CLI observability surface: --obs/--obs-dir/--trace-out and obs-report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentSpec, ScenarioSpec, SchedulerSpec
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    spec = ExperimentSpec(
+        name="cli-obs",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 3, "hts_per_ue": 1, "activity": 0.3, "seed": 1},
+            snr={"kind": "uniform", "seed": 2},
+        ),
+        sim=SimulationConfig(num_subframes=300),
+        schedulers={"pf": SchedulerSpec("pf")},
+        seed=0,
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestRunSpecObsFlags:
+    def test_obs_dir_and_jsonl_trace(self, spec_path, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        trace = run_dir / "trace.jsonl"
+        run_dir.mkdir()
+        code = main(
+            [
+                "run-spec",
+                str(spec_path),
+                "--obs-dir",
+                str(run_dir),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry" in out
+        assert "engine.grants_issued" in out
+        assert (run_dir / "metrics.json").is_file()
+        assert trace.is_file()
+        # JSONL: every line is one event object.
+        for line in trace.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_chrome_trace_extension(self, spec_path, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["run-spec", str(spec_path), "--trace-out", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+
+    def test_without_flags_no_telemetry(self, spec_path, capsys):
+        assert main(["run-spec", str(spec_path)]) == 0
+        assert "telemetry" not in capsys.readouterr().out
+
+
+class TestObsReport:
+    def _populate(self, spec_path, run_dir):
+        run_dir.mkdir(exist_ok=True)
+        return main(
+            [
+                "run-spec",
+                str(spec_path),
+                "--obs-dir",
+                str(run_dir),
+                "--trace-out",
+                str(run_dir / "trace.jsonl"),
+            ]
+        )
+
+    def test_report_validates_run_dir(self, spec_path, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._populate(spec_path, run_dir) == 0
+        capsys.readouterr()
+        assert main(["obs-report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.grants_issued" in out
+        assert "trace.jsonl: valid" in out
+
+    def test_missing_dir_exits_2(self, tmp_path):
+        assert main(["obs-report", str(tmp_path / "nope")]) == 2
+
+    def test_dir_without_metrics_exits_2(self, tmp_path):
+        assert main(["obs-report", str(tmp_path)]) == 2
+
+    def test_invalid_trace_exits_1(self, spec_path, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._populate(spec_path, run_dir) == 0
+        (run_dir / "bad.jsonl").write_text('{"name": "x"}\n')
+        capsys.readouterr()
+        assert main(["obs-report", str(run_dir)]) == 1
+        assert "INVALID bad.jsonl" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""CompositeHooks delivery guarantees and the repro.perf shim."""
+
+import importlib
+import sys
+
+import pytest
+
+from repro.sim.stages import CompositeHooks, SimHooks
+
+
+class Recorder(SimHooks):
+    def __init__(self):
+        self.calls = []
+
+    def on_stage_start(self, stage, ctx):
+        self.calls.append(("start", stage))
+
+    def on_stage_end(self, stage, ctx):
+        self.calls.append(("end", stage))
+
+    def on_subframe_end(self, ctx):
+        self.calls.append(("subframe", ctx))
+
+
+class Exploder(SimHooks):
+    def __init__(self, error):
+        self.error = error
+
+    def on_stage_start(self, stage, ctx):
+        raise self.error
+
+    def on_stage_end(self, stage, ctx):
+        raise self.error
+
+    def on_subframe_end(self, ctx):
+        raise self.error
+
+
+class TestCompositeHooks:
+    def test_all_children_called_in_order(self):
+        first, second = Recorder(), Recorder()
+        composite = CompositeHooks([first, second])
+        composite.on_stage_start("s", "ctx")
+        composite.on_stage_end("s", "ctx")
+        composite.on_subframe_end("ctx")
+        expected = [("start", "s"), ("end", "s"), ("subframe", "ctx")]
+        assert first.calls == expected
+        assert second.calls == expected
+
+    def test_later_children_run_despite_earlier_raise(self):
+        survivor = Recorder()
+        composite = CompositeHooks([Exploder(ValueError("boom")), survivor])
+        with pytest.raises(ValueError):
+            composite.on_subframe_end("ctx")
+        assert survivor.calls == [("subframe", "ctx")]
+
+    def test_single_error_re_raised_as_is(self):
+        error = ValueError("boom")
+        composite = CompositeHooks([Exploder(error), Recorder()])
+        with pytest.raises(ValueError) as caught:
+            composite.on_stage_start("s", "ctx")
+        assert caught.value is error
+
+    def test_multiple_errors_raise_group(self):
+        first, second = ValueError("a"), KeyError("b")
+        composite = CompositeHooks([Exploder(first), Exploder(second)])
+        with pytest.raises(ExceptionGroup) as caught:
+            composite.on_stage_end("s", "ctx")
+        assert set(caught.value.exceptions) == {first, second}
+
+
+class TestPerfShim:
+    def _fresh_import(self, module):
+        for name in [n for n in sys.modules if n.startswith("repro.perf")]:
+            del sys.modules[name]
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            return importlib.import_module(module)
+
+    def test_repro_perf_warns_and_re_exports(self):
+        module = self._fresh_import("repro.perf")
+        from repro.obs import PhaseTimer, Stopwatch
+
+        assert module.PhaseTimer is PhaseTimer
+        assert module.Stopwatch is Stopwatch
+
+    def test_stopwatch_submodule_shim(self):
+        module = self._fresh_import("repro.perf.stopwatch")
+        from repro.obs.timing import PhaseTimer
+
+        assert module.PhaseTimer is PhaseTimer

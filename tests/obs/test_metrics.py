@@ -1,0 +1,144 @@
+"""Unit tests for the metrics primitives, registry, and snapshot algebra."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    merge_snapshots,
+    use_registry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObsError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+    def test_histogram_buckets_and_mean(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(3.75)
+
+    def test_histogram_boundary_goes_to_lower_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ObsError):
+            Histogram(())
+        with pytest.raises(ObsError):
+            Histogram((2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x.events")
+        first.inc()
+        assert registry.counter("x.events") is first
+
+    def test_shape_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x.events")
+        with pytest.raises(ObsError):
+            registry.gauge("x.events")
+        registry.histogram("x.h", buckets=(1.0, 2.0))
+        with pytest.raises(ObsError):
+            registry.histogram("x.h", buckets=(1.0, 3.0))
+
+    def test_labeled_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x.outcomes", labels=("outcome",))
+        family.labels(outcome="ok").inc(2)
+        family.labels(outcome="bad").inc()
+        assert family.labels(outcome="ok").value == 2
+        with pytest.raises(ObsError):
+            family.labels(wrong="ok")
+        with pytest.raises(ObsError):
+            family.unlabeled()
+
+    def test_active_registry_scoping(self):
+        assert active_registry() is None
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert active_registry() is registry
+            inner = MetricsRegistry()
+            with use_registry(inner):
+                assert active_registry() is inner
+            assert active_registry() is registry
+        assert active_registry() is None
+
+
+def make_snapshot(counter=3, gauge=1.5, observations=(0.5, 2.5)):
+    registry = MetricsRegistry()
+    registry.counter("a.count").inc(counter)
+    registry.gauge("a.gauge").set(gauge)
+    hist = registry.histogram("a.hist", buckets=(1.0, 2.0))
+    for value in observations:
+        hist.observe(value)
+    family = registry.counter("a.labeled", labels=("kind",))
+    family.labels(kind="x").inc(counter)
+    return registry.snapshot()
+
+
+class TestSnapshot:
+    def test_round_trip_through_dict(self):
+        snapshot = make_snapshot()
+        clone = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert clone == snapshot
+        assert clone.value("a.count") == 3
+        assert clone.value("a.labeled", "x") == 3
+        assert clone.value("a.hist")["count"] == 2
+
+    def test_merge_semantics(self):
+        left = make_snapshot(counter=3, gauge=1.0, observations=(0.5,))
+        right = make_snapshot(counter=4, gauge=9.0, observations=(2.5, 0.2))
+        merged = left.merge(right)
+        assert merged.value("a.count") == 7
+        assert merged.value("a.gauge") == 9.0  # last write wins
+        assert merged.value("a.labeled", "x") == 7
+        hist = merged.value("a.hist")
+        assert hist["count"] == 3
+        assert hist["buckets"] == [2, 0, 1]
+
+    def test_merge_is_associative_for_counters(self):
+        parts = [make_snapshot(counter=n) for n in (1, 2, 3)]
+        assert merge_snapshots(parts).value("a.count") == 6
+
+    def test_merge_disjoint_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b.only").inc()
+        merged = make_snapshot().merge(registry.snapshot())
+        assert merged.value("b.only") == 1
+        assert merged.value("a.count") == 3
+
+    def test_merge_shape_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("a.count")
+        with pytest.raises(ObsError):
+            make_snapshot().merge(registry.snapshot())
+
+    def test_merge_empty_iterable(self):
+        assert merge_snapshots([]).metric_names() == []

@@ -1,0 +1,166 @@
+"""Observability through real simulation runs.
+
+The load-bearing guarantees:
+
+* **Exactness** — engine-level counters agree exactly with the
+  :class:`SimulationResult` counters the transmit/decode stage computes.
+* **Bit-exactness** — a disabled-obs run equals a hook-free run, and an
+  enabled run never changes simulation outcomes.
+* **Merge determinism** — parallel replication snapshots merge to the
+  identical snapshot a serial run produces.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+    run_experiment_grid,
+)
+from repro.errors import SpecError
+from repro.obs import MetricsSnapshot, ObsConfig, merge_snapshots
+from repro.obs.report import collect_snapshot
+from repro.sim.config import SimulationConfig
+
+
+def small_spec(obs=None, schedulers=None, subframes=600):
+    return ExperimentSpec(
+        name="obs-test",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 2, "activity": 0.4, "seed": 1},
+            snr={"kind": "uniform", "seed": 2},
+        ),
+        sim=SimulationConfig(num_subframes=subframes),
+        schedulers=schedulers
+        or {"pf": SchedulerSpec("pf"), "spec": SchedulerSpec("speculative")},
+        seed=0,
+        obs=obs,
+    )
+
+
+class TestMetricsExactness:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=True)))
+        result = plan.run_one("pf")
+        return result, MetricsSnapshot.from_dict(result.obs_snapshot)
+
+    def test_subframe_counts_match(self, observed):
+        result, snap = observed
+        assert snap.value("engine.subframes", "ul") == result.ul_subframes
+        assert snap.value("engine.subframes", "dl") == result.dl_subframes
+
+    def test_grant_counters_match(self, observed):
+        result, snap = observed
+        assert snap.value("engine.grants_issued") == result.grants_issued
+        outcomes = {
+            "decoded": result.grants_decoded,
+            "blocked": result.grants_blocked,
+            "collided": result.grants_collided,
+            "faded": result.grants_faded,
+        }
+        for label, expected in outcomes.items():
+            series = snap.get("engine.grant_outcomes")["series"]
+            got = series.get((label,), {"value": 0})["value"]
+            assert got == expected, label
+
+    def test_rb_utilization_histogram_covers_ul_subframes(self, observed):
+        result, snap = observed
+        hist = snap.value("engine.rb_utilization")
+        # One observation per UL subframe with a non-empty schedule.
+        assert 0 < hist["count"] <= result.ul_subframes
+        assert 0.0 <= hist["sum"] / hist["count"] <= 1.0
+
+    def test_harq_matches_result(self, observed):
+        result, snap = observed
+        assert (
+            snap.value("engine.harq_retransmissions")
+            == result.harq_retransmissions
+        )
+
+    def test_scheduler_layer_present_for_speculative(self):
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=True)))
+        result = plan.run_one("spec")
+        snap = MetricsSnapshot.from_dict(result.obs_snapshot)
+        assert snap.value("scheduler.schedule_calls") > 0
+        assert snap.value("scheduler.overschedule_depth")["count"] > 0
+
+
+class TestBitExactness:
+    def test_disabled_equals_absent_and_enabled(self):
+        baseline = build_experiment(small_spec()).run_one("pf")
+        disabled = build_experiment(
+            small_spec(obs=ObsConfig(enabled=False))
+        ).run_one("pf")
+        enabled = build_experiment(
+            small_spec(obs=ObsConfig(enabled=True, tracing=True))
+        ).run_one("pf")
+        assert disabled == baseline
+        assert enabled == baseline
+        assert disabled.obs_snapshot is None
+        assert enabled.obs_snapshot is not None
+        assert enabled.obs_trace
+
+    def test_disabled_mode_attaches_no_hooks(self):
+        # The structural form of the <2% overhead guarantee: with obs off,
+        # the engine pipeline runs its direct-call path, no hooks at all.
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=False)))
+        simulation = plan.simulation("pf")
+        assert simulation.pipeline.hooks is None
+
+
+class TestParallelMerge:
+    def test_parallel_grid_merges_like_serial(self):
+        spec = small_spec(
+            obs=ObsConfig(enabled=True),
+            schedulers={"pf": SchedulerSpec("pf")},
+            subframes=400,
+        )
+        seeds = (0, 1, 2)
+        serial = run_experiment_grid(spec, seeds, n_jobs=1)
+        parallel = run_experiment_grid(spec, seeds, n_jobs=2)
+        merged_serial = collect_snapshot(r for _, _, r in serial)
+        merged_parallel = collect_snapshot(r for _, _, r in parallel)
+        assert merged_serial == merged_parallel
+        # Per-run results are bit-exact too, pairwise.
+        for (_, _, a), (_, _, b) in zip(serial, parallel):
+            assert a == b
+            assert MetricsSnapshot.from_dict(a.obs_snapshot) == (
+                MetricsSnapshot.from_dict(b.obs_snapshot)
+            )
+
+    def test_grid_requires_seeds(self):
+        with pytest.raises(SpecError):
+            run_experiment_grid(small_spec(), ())
+
+
+class TestSpecRoundTrip:
+    def test_obs_config_round_trips_through_spec(self):
+        spec = small_spec(obs=ObsConfig(tracing=True, trace_capacity=128))
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.obs == ObsConfig(tracing=True, trace_capacity=128)
+
+    def test_no_obs_stays_none(self):
+        spec = small_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()).obs is None
+
+    def test_obs_validation(self):
+        with pytest.raises(SpecError):
+            small_spec(obs="yes")
+        with pytest.raises(SpecError):
+            ObsConfig.from_dict({"bogus": 1})
+        with pytest.raises(SpecError):
+            ObsConfig(trace_capacity=0)
+
+    def test_merged_collects_all_layers(self):
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=True)))
+        merged = merge_snapshots(
+            MetricsSnapshot.from_dict(plan.run_one(name).obs_snapshot)
+            for name in ("pf", "spec")
+        )
+        layers = {name.split(".")[0] for name in merged.metric_names()}
+        assert {"engine", "scheduler"} <= layers

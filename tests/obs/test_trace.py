@@ -1,0 +1,117 @@
+"""Unit tests for the event tracer, trace schema, and file formats."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    EventTracer,
+    load_trace_jsonl,
+    merge_run_traces,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace_chrome,
+    write_trace_jsonl,
+)
+
+
+class TestEventTracer:
+    def test_complete_and_instant_events(self):
+        tracer = EventTracer()
+        tracer.complete("work", "stage", ts=10.0, dur=5.0, args={"t": 1})
+        tracer.instant("mark", "scheduler", args={"t": 2}, ts=20.0)
+        events = tracer.events()
+        assert [e["ph"] for e in events] == ["X", "i"]
+        assert events[0]["dur"] == 5.0
+        assert events[1]["args"] == {"t": 2}
+        assert validate_trace_events(events) == []
+
+    def test_metadata_event(self):
+        tracer = EventTracer()
+        tracer.metadata("thread_name", {"name": "stages"}, tid=3)
+        event = tracer.events()[0]
+        assert event["ph"] == "M"
+        assert event["tid"] == 3
+        assert validate_trace_events([event]) == []
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = EventTracer(capacity=3)
+        for n in range(5):
+            tracer.instant(f"e{n}", "test", ts=float(n))
+        events = tracer.events()
+        assert len(events) == 3
+        assert [e["name"] for e in events] == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+
+    def test_monotonic_clock(self):
+        tracer = EventTracer()
+        first = tracer.now_us()
+        second = tracer.now_us()
+        assert 0 <= first <= second
+
+
+class TestValidation:
+    def test_rejects_malformed_events(self):
+        bad = [
+            {"cat": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0},  # no name
+            {"name": "a", "cat": "x", "ph": "Z", "ts": 0, "pid": 0, "tid": 0},
+            {"name": "a", "cat": "x", "ph": "X", "ts": -1, "pid": 0, "tid": 0},
+            {"name": "a", "cat": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0},
+            {"name": "a", "cat": "x", "ph": "i", "ts": 0, "pid": 0, "tid": 0,
+             "dur": 1.0},
+            {"name": "a", "cat": "x", "ph": "i", "ts": 0, "pid": 0, "tid": 0,
+             "bogus": 1},
+        ]
+        for event in bad:
+            assert validate_trace_events([event]), event
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = EventTracer()
+        tracer.complete("work", "stage", ts=1.0, dur=2.0)
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer.events(), path)
+        assert load_trace_jsonl(path) == tracer.events()
+        assert validate_trace_file(path) == []
+
+    def test_chrome_format_file(self, tmp_path):
+        tracer = EventTracer()
+        tracer.complete("work", "stage", ts=1.0, dur=2.0)
+        path = tmp_path / "trace.json"
+        write_trace_chrome(tracer.events(), path)
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"] == tracer.events()
+        assert validate_trace_file(path) == []
+
+    def test_validate_file_flags_garbage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "a"}\nnot json\n')
+        assert validate_trace_file(path)
+        with pytest.raises(ObsError):
+            load_trace_jsonl(path)
+
+
+class TestMergeRunTraces:
+    def test_runs_get_distinct_pids_and_names(self):
+        first = EventTracer()
+        first.instant("a", "test", ts=0.0)
+        second = EventTracer()
+        second.instant("b", "test", ts=0.0)
+        merged = merge_run_traces({"pf": first.events(), "blu": second.events()})
+        assert validate_trace_events(merged) == []
+        names = {
+            event["pid"]: event["args"]["name"]
+            for event in merged
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert sorted(names.values()) == ["blu", "pf"]
+        by_run = {
+            event["args"]["name"]: event["pid"]
+            for event in merged
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        for event in merged:
+            if event["name"] == "a":
+                assert event["pid"] == by_run["pf"]
+            if event["name"] == "b":
+                assert event["pid"] == by_run["blu"]

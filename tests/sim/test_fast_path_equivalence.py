@@ -16,7 +16,7 @@ import pytest
 from repro.core.scheduling.oracle import OracleScheduler
 from repro.core.scheduling.pf import ProportionalFairScheduler
 from repro.lte.channel import UplinkChannel, UplinkChannelBank
-from repro.perf import PhaseTimer, Stopwatch
+from repro.obs import PhaseTimer, Stopwatch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import CellSimulation
 from repro.sim.runner import run_comparison, run_replications, run_sweep

@@ -18,7 +18,9 @@ PACKAGES = [
     "repro.core.measurement",
     "repro.core.scheduling",
     "repro.dynamics",
+    "repro.experiments",
     "repro.lte",
+    "repro.obs",
     "repro.sim",
     "repro.spectrum",
     "repro.topology",
