@@ -27,8 +27,10 @@ and asserts the fast and legacy paths stay bit-exact while the world
 churns mid-run — the mutation hazard the static benchmark cannot see.
 
 ``--check-bit-exact`` runs only the equivalence checks (static + churn,
-fast vs legacy, at smoke sizes) through the stage-pipeline engine and
-exits non-zero on any divergence; no timings, no report file.
+fast vs legacy, at smoke sizes) through the stage-pipeline engine, plus
+the resilience contract — a supervised parallel grid, a checkpointed
+grid, and a killed-then-resumed grid must all equal the plain serial
+grid — and exits non-zero on any divergence; no timings, no report file.
 
 ``--obs-overhead`` guards the observability contract on the medium
 scenario: a run with ``ObsConfig(enabled=False)`` must be bit-exact with
@@ -214,6 +216,56 @@ def obs_overhead(smoke: bool) -> dict:
     }
 
 
+def check_resilience_bit_exact() -> int:
+    """Supervision and checkpoint/resume must never change results.
+
+    Pins the opt-in contract of ``repro.resilience``: a supervised
+    parallel grid, a checkpointed grid, and a killed-then-resumed grid
+    all reproduce the plain serial grid bit-exactly.
+    """
+    import os
+    import tempfile
+
+    from repro.experiments import resume_checkpoint, run_experiment_grid
+    from repro.resilience import SupervisorConfig
+
+    failures = 0
+    name, ues, terminals, rbs, antennas, _ = SCENARIOS[0]
+    spec = build_spec(name, ues, terminals, rbs, antennas, 400)
+    seeds = [0, 1]
+    plain = run_experiment_grid(spec, seeds, n_jobs=1)
+
+    supervised = run_experiment_grid(
+        spec, seeds, n_jobs=2,
+        supervisor=SupervisorConfig(timeout_s=600.0, max_retries=1),
+    )
+    if supervised == plain:
+        print("bit-exact: supervised parallel grid")
+    else:
+        failures += 1
+        print("DIVERGED: supervised parallel grid", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpointed = run_experiment_grid(
+            spec, seeds, n_jobs=1, checkpoint_dir=tmp
+        )
+        if checkpointed == plain:
+            print("bit-exact: checkpointed grid")
+        else:
+            failures += 1
+            print("DIVERGED: checkpointed grid", file=sys.stderr)
+
+        # Simulate a mid-run kill: drop the last completed cell, resume.
+        os.unlink(Path(tmp) / "cell-00001.json")
+        kind, resumed = resume_checkpoint(tmp)
+        if kind == "grid" and resumed == plain:
+            print("bit-exact: killed-and-resumed grid")
+        else:
+            failures += 1
+            print("DIVERGED: killed-and-resumed grid", file=sys.stderr)
+    return failures
+
+
 def check_bit_exact() -> int:
     """Fast/legacy equivalence through the stage pipeline, static + churn."""
     failures = 0
@@ -231,6 +283,7 @@ def check_bit_exact() -> int:
             else:
                 failures += 1
                 print(f"DIVERGED: {label}", file=sys.stderr)
+    failures += check_resilience_bit_exact()
     return 1 if failures else 0
 
 

@@ -19,6 +19,8 @@ Layers:
 
 * ``repro.experiments`` — declarative, JSON-round-trippable experiment
   specs and the registries that resolve them into runnable plans.
+* ``repro.resilience`` — seeded fault injection, supervised parallel
+  execution (retry/timeout/quarantine), and checkpoint/resume.
 
 Quickstart::
 
@@ -80,15 +82,18 @@ from repro.dynamics import (
     StagedBlueprintScheduler,
 )
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     InferenceError,
     MeasurementError,
     ReproError,
+    ResilienceError,
     SchedulingError,
     SimulationError,
     SpecError,
     TopologyError,
     TraceError,
+    WorkerFailure,
 )
 from repro.experiments import (
     ExperimentSpec,
@@ -96,10 +101,19 @@ from repro.experiments import (
     SchedulerSpec,
     TimelineSpec,
     build_experiment,
+    resume_checkpoint,
     run_experiment,
     run_experiment_grid,
     run_experiment_replications,
     run_experiment_sweep,
+)
+from repro.resilience import (
+    CheckpointStore,
+    FailedItem,
+    FaultInjector,
+    FaultPlan,
+    SupervisorConfig,
+    supervised_map,
 )
 from repro.obs import (
     EventTracer,
@@ -144,12 +158,17 @@ __all__ = [
     "BLUPhase",
     "BlueprintInference",
     "CellSimulation",
+    "CheckpointError",
+    "CheckpointStore",
     "ConfigurationError",
     "DynamicsMetrics",
     "EmpiricalJointProvider",
     "EnvironmentTimeline",
     "EventTracer",
     "ExperimentSpec",
+    "FailedItem",
+    "FaultInjector",
+    "FaultPlan",
     "FullRestartController",
     "InferenceConfig",
     "InferenceError",
@@ -166,6 +185,7 @@ __all__ = [
     "PfAverageTracker",
     "ProportionalFairScheduler",
     "ReproError",
+    "ResilienceError",
     "Scenario",
     "ScenarioConfig",
     "ScenarioSpec",
@@ -179,11 +199,13 @@ __all__ = [
     "SpecError",
     "SpeculativeScheduler",
     "StagedBlueprintScheduler",
+    "SupervisorConfig",
     "TimelineSpec",
     "TopologyError",
     "TopologyJointProvider",
     "TraceError",
     "TransformedMeasurements",
+    "WorkerFailure",
     "build_experiment",
     "client_churn_timeline",
     "duty_cycle_drift_timeline",
@@ -196,6 +218,7 @@ __all__ = [
     "joint_access_probability",
     "merge_snapshots",
     "minimum_subframes",
+    "resume_checkpoint",
     "run_comparison",
     "run_experiment",
     "run_experiment_grid",
@@ -203,6 +226,7 @@ __all__ = [
     "run_experiment_sweep",
     "skewed_topology",
     "statistically_equivalent",
+    "supervised_map",
     "testbed_topology",
     "uniform_snrs",
     "__version__",

@@ -9,7 +9,11 @@ Commands:
 * ``dynamics``      — churn demo: a hidden WiFi node appears mid-run;
                       compare the adaptive controller against frozen /
                       full-restart BLU and the dynamics-aware oracle.
-* ``run-spec``      — execute an ``ExperimentSpec`` JSON file.
+* ``run-spec``      — execute an ``ExperimentSpec`` JSON file (optionally
+                      as a seed grid with checkpointing and supervised
+                      retry/timeout execution).
+* ``resume``        — finish an interrupted checkpointed grid or sweep
+                      from its manifest.
 * ``obs-report``    — summarize the telemetry a ``--obs-dir`` run wrote
                       and validate any trace files next to it.
 * ``validate-specs``— parse and build every spec in a directory.
@@ -160,7 +164,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scheduler name to normalize gains against (default: first)",
     )
+    run_spec.add_argument(
+        "--seeds",
+        default=None,
+        help=(
+            "comma-separated seeds: run the (scheduler x seed) grid "
+            "instead of a single comparison"
+        ),
+    )
+    run_spec.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist one result file per completed grid cell into DIR; "
+            "re-running skips completed cells (requires --seeds)"
+        ),
+    )
+    _add_resilience_args(run_spec)
     _add_obs_args(run_spec)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted checkpointed grid/sweep from its manifest",
+    )
+    resume.add_argument(
+        "checkpoint_dir", help="directory written by a --checkpoint-dir run"
+    )
+    resume.add_argument("--n-jobs", type=int, default=1)
+    _add_resilience_args(resume)
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -212,6 +244,38 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("trace-info", help="summarize a recorded trace")
     info.add_argument("path", help="trace file written by the trace command")
     return parser
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout (parallel runs only)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry each failing/timed-out cell up to N times",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base delay before a retry (doubles per attempt)",
+    )
+
+
+def _supervisor_from_args(args: argparse.Namespace):
+    """A SupervisorConfig when any resilience flag is set, else None.
+
+    ``None`` keeps the strict historical semantics (first failure
+    aborts); any flag opts into supervised quarantine-on-failure runs.
+    """
+    from repro.resilience import SupervisorConfig
+
+    if args.timeout is None and args.retries is None and args.backoff is None:
+        return None
+    return SupervisorConfig(
+        timeout_s=args.timeout,
+        max_retries=args.retries if args.retries is not None else 0,
+        backoff_base_s=args.backoff if args.backoff is not None else 0.0,
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -487,13 +551,65 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_grid(triples) -> int:
+    """Print a grid-result table; exit code 1 if any cell failed."""
+    from repro.resilience import FailedItem
+
+    rows = []
+    failures = 0
+    for name, seed, result in triples:
+        if result is None or isinstance(result, FailedItem):
+            failures += 1
+            detail = (
+                f"FAILED ({result.error_type} after {result.attempts} "
+                f"attempt(s))" if isinstance(result, FailedItem) else "missing"
+            )
+            rows.append([name, seed, detail, "-"])
+            continue
+        summary = result.summary()
+        rows.append(
+            [
+                name,
+                seed,
+                f"{summary['throughput_mbps']:.3f}",
+                f"{summary['rb_utilization']:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "seed", "throughput_mbps", "rb_utilization"],
+            rows,
+            title=f"Grid: {len(rows)} cells, {failures} failed",
+        )
+    )
+    if failures:
+        print(f"{failures} cell(s) failed permanently", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_run_spec(args: argparse.Namespace) -> int:
     path = Path(args.spec)
     if not path.is_file():
         print(f"no such spec file: {path}", file=sys.stderr)
         return 2
+    if args.checkpoint_dir is not None and args.seeds is None:
+        print("--checkpoint-dir requires --seeds (grid mode)", file=sys.stderr)
+        return 2
     try:
         spec = _apply_obs_args(ExperimentSpec.from_json(path.read_text()), args)
+        if args.seeds is not None:
+            from repro.experiments import run_experiment_grid
+
+            seeds = [int(value) for value in args.seeds.split(",") if value]
+            triples = run_experiment_grid(
+                spec,
+                seeds,
+                n_jobs=args.n_jobs,
+                checkpoint_dir=args.checkpoint_dir,
+                supervisor=_supervisor_from_args(args),
+            )
+            return _format_grid(triples)
         plan = build_experiment(spec)
         results = plan.run(n_jobs=args.n_jobs)
     except SpecError as error:
@@ -509,6 +625,40 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         )
     )
     _emit_obs_artifacts(results, args, title=spec.name)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError
+    from repro.experiments import resume_checkpoint
+
+    directory = Path(args.checkpoint_dir)
+    if not directory.is_dir():
+        print(f"no such checkpoint directory: {directory}", file=sys.stderr)
+        return 2
+    try:
+        kind, payload = resume_checkpoint(
+            directory,
+            n_jobs=args.n_jobs,
+            supervisor=_supervisor_from_args(args),
+        )
+    except (CheckpointError, SpecError) as error:
+        print(f"resume error: {error}", file=sys.stderr)
+        return 1
+    if kind == "grid":
+        return _format_grid(payload)
+    rows = [
+        [str(point.parameter), name, f"{result.summary()['throughput_mbps']:.3f}"]
+        for point in payload
+        for name, result in point.results.items()
+    ]
+    print(
+        format_table(
+            ["parameter", "scheduler", "throughput_mbps"],
+            rows,
+            title=f"Resumed sweep: {len(payload)} points",
+        )
+    )
     return 0
 
 
@@ -740,6 +890,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dynamics": _cmd_dynamics,
     "run-spec": _cmd_run_spec,
+    "resume": _cmd_resume,
     "obs-report": _cmd_obs_report,
     "validate-specs": _cmd_validate_specs,
     "infer": _cmd_infer,

@@ -45,7 +45,8 @@ class McmcConfig:
     terminal_penalty: float = 1.0  # -log of the geometric prior ratio
     weight_prior_rate: float = 1.0
     noise_floor: float = 0.01  # minimum residual std dev
-    seed: Optional[int] = None
+    #: Chain seed; ``None`` draws from OS entropy (non-reproducible).
+    seed: Optional[int] = 0
 
 
 @dataclass

@@ -34,6 +34,7 @@ from repro.core.measurement.classifier import AccessObservation
 from repro.core.measurement.estimator import AccessEstimator
 from repro.core.measurement.pair_scheduler import MeasurementScheduler
 from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.pf import ProportionalFairScheduler
 from repro.core.scheduling.speculative import SpeculativeScheduler
 from repro.core.scheduling.types import SchedulingContext
 from repro.errors import ConfigurationError
@@ -50,12 +51,17 @@ class BLUPhase(enum.Enum):
     The base controller cycles MEASUREMENT → SPECULATIVE; the adaptive
     controller (``repro.dynamics``) adds PARTIAL_REMEASURE, entered when
     drift detection flags a subset of clients whose pair statistics must be
-    re-collected before an incremental re-blueprint.
+    re-collected before an incremental re-blueprint.  DEGRADED is the
+    graceful-degradation fallback: inference health gating rejected the
+    blueprint (residual too high, coverage too thin, or a forced solver
+    divergence), so the controller schedules plain PF with periodic
+    re-measurement until a later inference passes the gate.
     """
 
     MEASUREMENT = "measurement"
     SPECULATIVE = "speculative"
     PARTIAL_REMEASURE = "partial_remeasure"
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,20 @@ class BLUConfig:
     #: pair with ``reinfer_interval`` to track topology dynamics.
     estimator_decay: float = 1.0
     inference: InferenceConfig = field(default_factory=InferenceConfig)
+    #: Inference health gate: reject a blueprint whose winning aggregate
+    #: violation exceeds this and fall back to DEGRADED scheduling.
+    #: ``None`` — the default — disables gating entirely, keeping the
+    #: controller bit-exact with its pre-resilience behaviour.
+    degrade_residual_threshold: Optional[float] = None
+    #: Health gate on measurement coverage: the estimator must hold at
+    #: least this many samples for its least-sampled pair (0 disables).
+    degrade_min_pair_samples: int = 0
+    #: In DEGRADED, every Nth TxOP is a measurement layout (the rest are
+    #: plain PF) so the estimator keeps improving toward recovery.
+    degraded_measure_every: int = 8
+    #: Per-pair sample target for the DEGRADED re-measurement campaign
+    #: (``None`` reuses ``samples_per_pair``).
+    degraded_samples_per_pair: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.samples_per_pair < 1:
@@ -94,6 +114,40 @@ class BLUConfig:
             raise ConfigurationError(
                 f"overschedule_factor must be >= 1: {self.overschedule_factor}"
             )
+        if (
+            self.degrade_residual_threshold is not None
+            and self.degrade_residual_threshold <= 0.0
+        ):
+            raise ConfigurationError(
+                f"degrade_residual_threshold must be positive or None: "
+                f"{self.degrade_residual_threshold}"
+            )
+        if self.degrade_min_pair_samples < 0:
+            raise ConfigurationError(
+                f"degrade_min_pair_samples must be >= 0: "
+                f"{self.degrade_min_pair_samples}"
+            )
+        if self.degraded_measure_every < 1:
+            raise ConfigurationError(
+                f"degraded_measure_every must be >= 1: "
+                f"{self.degraded_measure_every}"
+            )
+        if (
+            self.degraded_samples_per_pair is not None
+            and self.degraded_samples_per_pair < 1
+        ):
+            raise ConfigurationError(
+                f"degraded_samples_per_pair must be positive or None: "
+                f"{self.degraded_samples_per_pair}"
+            )
+
+    @property
+    def degradation_enabled(self) -> bool:
+        """Whether any inference health gate is configured."""
+        return (
+            self.degrade_residual_threshold is not None
+            or self.degrade_min_pair_samples > 0
+        )
 
 
 class BLUController(UplinkScheduler):
@@ -124,6 +178,22 @@ class BLUController(UplinkScheduler):
         self._pending_measurement_ues: Optional[list] = None
         self._ul_subframes_since_inference = 0
         self.measurement_subframes_used = 0
+        # Graceful degradation (residual-gated): PF fallback + periodic
+        # re-measurement while inference is unhealthy.
+        self._fallback = ProportionalFairScheduler()
+        self._degraded_measurement: Optional[MeasurementScheduler] = None
+        self._degraded_txops = 0
+        self._degraded_measuring = False
+        self.degraded_entries = 0
+        self.degraded_recoveries = 0
+        # Fault-injection seam (repro.resilience); duck-typed so the core
+        # never imports the resilience package.
+        self._fault_injector = None
+        self._inference_count = 0
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach a resilience fault injector (report/solver faults)."""
+        self._fault_injector = injector
 
     # -- phase transitions ----------------------------------------------------
 
@@ -150,13 +220,87 @@ class BLUController(UplinkScheduler):
             inference_config if inference_config is not None
             else self.config.inference
         )
-        self.inference_result = inference.infer(target, extra_starts=extra_starts)
-        provider = TopologyJointProvider(self.inference_result.topology)
+        result = inference.infer(target, extra_starts=extra_starts)
+        inference_index = self._inference_count
+        self._inference_count += 1
+        if self._fault_injector is not None and self._fault_injector.solver_diverges(
+            inference_index
+        ):
+            # Injected divergence: keep the topology (the scheduler never
+            # sees it) but report non-convergence to the health gate.
+            result = InferenceResult(
+                topology=result.topology,
+                aggregate_violation=float("inf"),
+                satisfied=False,
+                winning_start=result.winning_start,
+                outcomes=result.outcomes,
+            )
+        self.inference_result = result
+        if not self._inference_healthy(result):
+            self._enter_degraded()
+            return
+        provider = TopologyJointProvider(result.topology)
         self._speculative = SpeculativeScheduler(
             provider, overschedule_factor=self.config.overschedule_factor
         )
+        if self.phase is BLUPhase.DEGRADED:
+            self.degraded_recoveries += 1
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "controller.degraded_recoveries",
+                    help="DEGRADED -> SPECULATIVE recoveries after a "
+                    "healthy re-inference",
+                ).inc()
         self.phase = BLUPhase.SPECULATIVE
         self._ul_subframes_since_inference = 0
+
+    def _inference_healthy(self, result: InferenceResult) -> bool:
+        """Residual-and-coverage health gate over one inference result.
+
+        Always true when no gate is configured (the default), keeping the
+        pre-resilience controller behaviour bit-exact.
+        """
+        cfg = self.config
+        if not cfg.degradation_enabled:
+            return True
+        if (
+            cfg.degrade_residual_threshold is not None
+            and not result.aggregate_violation <= cfg.degrade_residual_threshold
+        ):
+            return False
+        if (
+            cfg.degrade_min_pair_samples > 0
+            and self.estimator.min_pair_samples() < cfg.degrade_min_pair_samples
+        ):
+            return False
+        return True
+
+    def _enter_degraded(self) -> None:
+        """Reject the blueprint: PF fallback + periodic re-measurement."""
+        self._speculative = None
+        self.phase = BLUPhase.DEGRADED
+        self._ul_subframes_since_inference = 0
+        self._degraded_txops = 0
+        self._degraded_measuring = False
+        samples = (
+            self.config.degraded_samples_per_pair
+            if self.config.degraded_samples_per_pair is not None
+            else self.config.samples_per_pair
+        )
+        self._degraded_measurement = MeasurementScheduler(
+            num_ues=self.num_ues,
+            distinct_per_subframe=self.config.measurement_k,
+            samples=samples,
+        )
+        self.degraded_entries += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "controller.degraded_entries",
+                help="times the health gate rejected a blueprint and the "
+                "controller fell back to DEGRADED scheduling",
+            ).inc()
 
     # -- scheduling --------------------------------------------------------------
 
@@ -183,16 +327,45 @@ class BLUController(UplinkScheduler):
         self._pending_measurement_ues = ues
         return self._layout_measurement(context, ues)
 
+    def _degraded_schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        """PF fallback, with every Nth TxOP spent on re-measurement."""
+        assert self._degraded_measurement is not None
+        self._degraded_txops += 1
+        if (
+            not self._degraded_measurement.finished
+            and self._degraded_txops % self.config.degraded_measure_every == 0
+        ):
+            self._degraded_measuring = True
+            ues = self._degraded_measurement.next_schedule()
+            return self._layout_measurement(context, ues)
+        self._degraded_measuring = False
+        return self._fallback.schedule(context)
+
     def schedule(self, context: SchedulingContext) -> SubframeSchedule:
         if self.phase is BLUPhase.MEASUREMENT:
             return self._measurement_schedule(context)
+        if self.phase is BLUPhase.DEGRADED:
+            return self._degraded_schedule(context)
         assert self._speculative is not None
         return self._speculative.schedule(context)
 
     # -- observation feedback -------------------------------------------------------
 
     def observe(self, observation: AccessObservation) -> None:
-        """Per-UL-subframe feedback from the eNB (pilot classification)."""
+        """Per-UL-subframe feedback from the eNB (pilot classification).
+
+        Report-level faults (loss/corruption/bias from an attached
+        :class:`~repro.resilience.inject.FaultInjector`) are applied
+        here, before any controller state sees the observation.
+        """
+        if self._fault_injector is not None:
+            observation = self._fault_injector.apply_observation(observation)
+            if observation is None:  # report lost in transit
+                return
+        self._observe(observation)
+
+    def _observe(self, observation: AccessObservation) -> None:
+        """Phase-dispatched handling of one (possibly faulted) report."""
         self.estimator.record_subframe(
             scheduled=observation.scheduled, accessed=observation.accessed
         )
@@ -207,6 +380,22 @@ class BLUController(UplinkScheduler):
                 ).inc()
             if self.measurement_scheduler.finished:
                 self._infer_and_switch()
+            return
+
+        if self.phase is BLUPhase.DEGRADED:
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "controller.degraded_subframes",
+                    help="UL subframes scheduled in the DEGRADED phase",
+                ).inc()
+            if self._degraded_measuring:
+                assert self._degraded_measurement is not None
+                self._degraded_measurement.record(sorted(observation.scheduled))
+                if self._degraded_measurement.finished:
+                    # Campaign done: retry inference; an unhealthy result
+                    # re-enters DEGRADED with a fresh campaign.
+                    self._infer_and_switch()
             return
 
         self._ul_subframes_since_inference += 1

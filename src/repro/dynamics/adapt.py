@@ -238,16 +238,24 @@ class AdaptiveBLUController(BLUController):
 
     # -- observation feedback ----------------------------------------------
 
-    def observe(self, observation: AccessObservation) -> None:
+    def _observe(self, observation: AccessObservation) -> None:
         registry = active_registry()
         obs = self._obs_counters(registry) if registry is not None else None
         if self.phase is BLUPhase.MEASUREMENT:
-            super().observe(observation)
+            super()._observe(observation)
             if self.phase is BLUPhase.SPECULATIVE:
                 # Initial campaign just completed.
                 self.metrics.full_measurement_subframes = (
                     self.measurement_subframes_used
                 )
+                self._rebaseline()
+            return
+
+        if self.phase is BLUPhase.DEGRADED:
+            # Health gate rejected the blueprint: base-class fallback
+            # handling only; drift detection resumes after recovery.
+            super()._observe(observation)
+            if self.phase is BLUPhase.SPECULATIVE:
                 self._rebaseline()
             return
 
@@ -267,7 +275,7 @@ class AdaptiveBLUController(BLUController):
         # SPECULATIVE: base bookkeeping (estimator + optional timer-based
         # re-inference) first ...
         before = self.inference_result
-        super().observe(observation)
+        super()._observe(observation)
         if self.inference_result is not before:
             self.metrics.reinferences += 1
             if obs is not None:
@@ -317,7 +325,7 @@ class FullRestartController(BLUController):
         self.restart_at = int(restart_at)
         self._restarted = False
 
-    def observe(self, observation: AccessObservation) -> None:
+    def _observe(self, observation: AccessObservation) -> None:
         if (
             not self._restarted
             and self.restart_at > 0
@@ -333,7 +341,7 @@ class FullRestartController(BLUController):
                 samples=self.config.samples_per_pair,
             )
             self.phase = BLUPhase.MEASUREMENT
-        super().observe(observation)
+        super()._observe(observation)
 
 
 class StagedBlueprintScheduler(UplinkScheduler):

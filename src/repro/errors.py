@@ -47,3 +47,18 @@ class SimulationError(ReproError):
 
 class ObsError(ReproError):
     """An observability object (metric, snapshot, trace) was misused."""
+
+
+class ResilienceError(ReproError):
+    """A resilience operation is invalid: a malformed fault plan, a bad
+    supervisor configuration, or a supervised run that could not proceed."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint directory is missing, corrupt, or belongs to a
+    different run than the one being resumed (spec/seed mismatch)."""
+
+
+class WorkerFailure(ResilienceError):
+    """A supervised worker crashed while executing a work item (including
+    crashes injected by a fault plan for resilience testing)."""

@@ -14,6 +14,7 @@ The one-stop shape for "an experiment" across the repo:
 from repro.experiments.build import (
     ExperimentPlan,
     build_experiment,
+    resume_checkpoint,
     run_experiment,
     run_experiment_grid,
     run_experiment_replications,
@@ -55,6 +56,7 @@ __all__ = [
     "register_scenario",
     "register_scheduler",
     "register_timeline",
+    "resume_checkpoint",
     "run_experiment",
     "run_experiment_grid",
     "run_experiment_replications",

@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.scheduling.base import UplinkScheduler
-from repro.errors import SpecError
+from repro.errors import CheckpointError, SpecError
 from repro.experiments.registry import (
     BuildContext,
     build_scheduler,
@@ -30,6 +30,13 @@ from repro.experiments.registry import (
     build_topology,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.inject import FaultInjector
+from repro.resilience.supervisor import (
+    FailedItem,
+    SupervisorConfig,
+    supervised_map,
+)
 from repro.sim.engine import CellSimulation
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ReplicatedMetric, SweepPoint, map_jobs
@@ -38,6 +45,7 @@ from repro.topology.graph import InterferenceTopology
 __all__ = [
     "ExperimentPlan",
     "build_experiment",
+    "resume_checkpoint",
     "run_experiment",
     "run_experiment_grid",
     "run_experiment_replications",
@@ -112,23 +120,54 @@ class ExperimentPlan:
             **engine_overrides,
         )
 
+    def _fault_injector(self, seed: Optional[int]) -> Optional[FaultInjector]:
+        """The run-level fault injector for one run's effective seed.
+
+        Built identically in the parent and in every worker (from the
+        same ``(plan, seed)``), so faulted runs stay bit-identical
+        serial vs parallel.  ``None`` when the spec has no run faults.
+        """
+        faults = self.spec.faults
+        if faults is None or not faults.has_run_faults:
+            return None
+        effective = self.spec.seed if seed is None else seed
+        return FaultInjector(faults, seed=effective)
+
     def run_one(
         self, name: str, *, seed: Optional[int] = None, capture: bool = True
     ) -> SimulationResult:
         scheduler = self.build_scheduler(name)
         if capture:
             self.schedulers[name] = scheduler
+        injector = self._fault_injector(seed)
+        fault_hooks = None
+        if injector is not None:
+            fault_hooks = injector.hooks()
+            attach = getattr(scheduler, "set_fault_injector", None)
+            if attach is not None:
+                attach(injector)
         obs = self.spec.obs
         if obs is None or not obs.enabled:
-            return self.simulation(name, seed=seed, scheduler=scheduler).run()
+            return self.simulation(
+                name, seed=seed, scheduler=scheduler, hooks=fault_hooks
+            ).run()
         # Observability on: a fresh per-run session provides the hooks and
         # the active registry; its snapshot (and trace) ride on the result,
         # so worker processes ship telemetry back through map_jobs.
         from repro.obs.session import ObsSession
+        from repro.sim.stages import CompositeHooks
 
         session = ObsSession(obs)
+        hooks = session.hooks
+        if fault_hooks is not None:
+            # Fault hooks run first so the metrics hooks observe the
+            # faulted (consistent) world at subframe end.
+            children = [fault_hooks] + (
+                [hooks] if hooks is not None else []
+            )
+            hooks = CompositeHooks(children)
         simulation = self.simulation(
-            name, seed=seed, scheduler=scheduler, hooks=session.hooks
+            name, seed=seed, scheduler=scheduler, hooks=hooks
         )
         with session.activate():
             result = simulation.run()
@@ -175,10 +214,57 @@ def run_experiment(
     return build_experiment(spec).run(n_jobs=n_jobs)
 
 
+def _execute_cells(
+    items: List[_SpecItem],
+    pending: List[int],
+    results: List[object],
+    labelled: Sequence[Tuple[object, object]],
+    store: Optional[CheckpointStore],
+    supervisor: Optional[SupervisorConfig],
+    n_jobs: Optional[int],
+    worker_fault,
+) -> None:
+    """Run the pending cells, saving each into ``store`` as it completes.
+
+    ``items[pos]`` corresponds to original cell index ``pending[pos]``;
+    worker-fault lookups and checkpoint filenames use the *original*
+    index so fault plans and cell files are stable across resumes.
+    """
+    if store is None and supervisor is None and worker_fault is None:
+        for pos, result in enumerate(map_jobs(_run_spec_item, items, n_jobs)):
+            results[pending[pos]] = result
+        return
+
+    on_result = None
+    if store is not None:
+        def on_result(pos: int, result) -> None:
+            index = pending[pos]
+            store.save_cell(index, list(labelled[index]), result)
+
+    shifted_fault = None
+    if worker_fault is not None:
+        def shifted_fault(pos: int, attempt: int):
+            return worker_fault(pending[pos], attempt)
+
+    outcome = supervised_map(
+        _run_spec_item,
+        items,
+        n_jobs=n_jobs,
+        config=supervisor,
+        worker_fault=shifted_fault,
+        on_result=on_result,
+        fail_fast=supervisor is None,
+    )
+    for pos, result in enumerate(outcome.results):
+        results[pending[pos]] = result
+
+
 def run_experiment_grid(
     spec: ExperimentSpec,
     seeds: Sequence[Optional[int]],
     n_jobs: Optional[int] = 1,
+    checkpoint_dir=None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> List[Tuple[str, Optional[int], SimulationResult]]:
     """Run every (scheduler, seed) combination as one flat batch.
 
@@ -187,19 +273,51 @@ def run_experiment_grid(
     identical for any ``n_jobs``.  When the spec enables observability,
     each result carries its run's ``obs_snapshot``, so callers can
     :func:`~repro.obs.report.collect_snapshot` across the whole grid.
+
+    ``checkpoint_dir`` persists one atomic result file per completed
+    cell (plus a manifest); re-running the same grid loads completed
+    cells from disk and computes only the missing ones, bit-identically
+    to an uninterrupted run.  ``supervisor`` enables retry/timeout
+    supervision; permanently failing cells come back as
+    :class:`~repro.resilience.FailedItem` in the result slot instead of
+    aborting the grid.
     """
     if not seeds:
         raise SpecError("need at least one seed")
     names = list(spec.scheduler_names)
     spec_dict = spec.to_dict()
     labelled = [(name, seed) for seed in seeds for name in names]
+    results: List[object] = [None] * len(labelled)
+    pending = list(range(len(labelled)))
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.initialize(
+            {
+                "kind": "grid",
+                "spec": spec_dict,
+                "seeds": list(seeds),
+                "cells": [[name, seed] for name, seed in labelled],
+            }
+        )
+        for index in sorted(store.completed()):
+            if index < len(labelled):
+                results[index] = store.load_cell(index)
+        pending = [i for i in range(len(labelled)) if results[i] is None]
+    worker_fault = None
+    if spec.faults is not None and spec.faults.has_worker_faults:
+        worker_fault = FaultInjector(spec.faults, seed=spec.seed).worker_fault
     items: List[_SpecItem] = [
-        (spec_dict, name, seed) for name, seed in labelled
+        (spec_dict, *labelled[index]) for index in pending
     ]
-    results = map_jobs(_run_spec_item, items, n_jobs)
+    if items:
+        _execute_cells(
+            items, pending, results, labelled, store, supervisor, n_jobs,
+            worker_fault,
+        )
     return [
-        (name, seed, result)
-        for (name, seed), result in zip(labelled, results)
+        (name, seed, results[index])
+        for index, (name, seed) in enumerate(labelled)
     ]
 
 
@@ -208,15 +326,26 @@ def run_experiment_replications(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
     n_jobs: Optional[int] = 1,
+    checkpoint_dir=None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> Dict[str, Dict[str, ReplicatedMetric]]:
-    """Repeat a spec over seeds; mean ± std per scheduler and metric."""
+    """Repeat a spec over seeds; mean ± std per scheduler and metric.
+
+    With a ``supervisor``, cells quarantined as failed are excluded from
+    the aggregates (their seeds simply contribute no sample).
+    """
     names = list(spec.scheduler_names)
-    grid = run_experiment_grid(spec, seeds, n_jobs=n_jobs)
+    grid = run_experiment_grid(
+        spec, seeds, n_jobs=n_jobs, checkpoint_dir=checkpoint_dir,
+        supervisor=supervisor,
+    )
 
     samples: Dict[str, Dict[str, List[float]]] = {
         name: {metric: [] for metric in metrics} for name in names
     }
     for name, _seed, result in grid:
+        if result is None or isinstance(result, FailedItem):
+            continue
         summary = result.summary()
         for metric in metrics:
             samples[name][metric].append(summary[metric])
@@ -224,6 +353,11 @@ def run_experiment_replications(
     for name, by_metric in samples.items():
         report[name] = {}
         for metric, values in by_metric.items():
+            if not values:
+                report[name][metric] = ReplicatedMetric(
+                    mean=float("nan"), std=0.0, samples=0
+                )
+                continue
             array = np.asarray(values, dtype=float)
             report[name][metric] = ReplicatedMetric(
                 mean=float(array.mean()),
@@ -237,12 +371,19 @@ def run_experiment_sweep(
     specs: Sequence[ExperimentSpec],
     parameters: Optional[Sequence[object]] = None,
     n_jobs: Optional[int] = 1,
+    checkpoint_dir=None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> List[SweepPoint]:
     """Run several specs as one flat batch of (spec, scheduler) jobs.
 
     ``parameters`` labels the sweep points (defaults to the spec names);
     with ``n_jobs > 1`` all runs across all points fan out together, so
     parallelism helps even when one end of the sweep dominates.
+
+    ``checkpoint_dir``/``supervisor`` behave as in
+    :func:`run_experiment_grid` (checkpointing a sweep requires the
+    ``parameters`` labels to be JSON-serializable).  Cells quarantined
+    by the supervisor are omitted from their point's ``results``.
     """
     if not specs:
         raise SpecError("sweep needs at least one spec")
@@ -253,7 +394,7 @@ def run_experiment_sweep(
             f"{len(parameters)} parameters for {len(specs)} specs"
         )
     labelled: List[Tuple[int, str]] = []
-    items: List[_SpecItem] = []
+    items_all: List[_SpecItem] = []
     points = [
         SweepPoint(parameter=parameter, results={}) for parameter in parameters
     ]
@@ -261,8 +402,72 @@ def run_experiment_sweep(
         spec_dict = spec.to_dict()
         for name in spec.scheduler_names:
             labelled.append((index, name))
-            items.append((spec_dict, name, None))
-    results = map_jobs(_run_spec_item, items, n_jobs)
+            items_all.append((spec_dict, name, None))
+    results: List[object] = [None] * len(labelled)
+    pending = list(range(len(labelled)))
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        try:
+            manifest = {
+                "kind": "sweep",
+                "specs": [spec.to_dict() for spec in specs],
+                "parameters": list(parameters),
+                "cells": [[index, name] for index, name in labelled],
+            }
+            store.initialize(manifest)
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"sweep parameters must be JSON-serializable to "
+                f"checkpoint: {error}"
+            ) from error
+        for index in sorted(store.completed()):
+            if index < len(labelled):
+                results[index] = store.load_cell(index)
+        pending = [i for i in range(len(labelled)) if results[i] is None]
+    items = [items_all[index] for index in pending]
+    if items:
+        _execute_cells(
+            items, pending, results, labelled, store, supervisor, n_jobs,
+            worker_fault=None,
+        )
     for (index, name), result in zip(labelled, results):
+        if result is None or isinstance(result, FailedItem):
+            continue
         points[index].results[name] = result
     return points
+
+
+def resume_checkpoint(
+    checkpoint_dir,
+    n_jobs: Optional[int] = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+):
+    """Finish an interrupted checkpointed run from its manifest alone.
+
+    Reads ``manifest.json``, rebuilds the spec(s), and re-invokes the
+    matching runner with the same checkpoint directory — completed cells
+    load from disk, missing cells are computed.  Returns ``("grid",
+    triples)`` or ``("sweep", points)`` depending on what was
+    checkpointed.
+    """
+    store = CheckpointStore(checkpoint_dir)
+    manifest = store.load_manifest()
+    kind = manifest.get("kind")
+    if kind == "grid":
+        spec = ExperimentSpec.from_dict(manifest["spec"])
+        seeds = manifest["seeds"]
+        return "grid", run_experiment_grid(
+            spec, seeds, n_jobs=n_jobs, checkpoint_dir=checkpoint_dir,
+            supervisor=supervisor,
+        )
+    if kind == "sweep":
+        specs = [ExperimentSpec.from_dict(entry) for entry in manifest["specs"]]
+        return "sweep", run_experiment_sweep(
+            specs, parameters=manifest["parameters"], n_jobs=n_jobs,
+            checkpoint_dir=checkpoint_dir, supervisor=supervisor,
+        )
+    raise CheckpointError(
+        f"checkpoint manifest has unknown kind {kind!r}; "
+        "expected 'grid' or 'sweep'"
+    )

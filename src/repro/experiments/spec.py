@@ -22,6 +22,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SpecError
 from repro.obs.config import ObsConfig
+from repro.resilience.faults import FaultPlan
 from repro.sim.config import SimulationConfig
 
 __all__ = [
@@ -153,6 +154,9 @@ class ExperimentSpec:
     #: Observability (metrics/tracing) for every run of this spec;
     #: ``None`` — the default — collects nothing.
     obs: Optional[ObsConfig] = None
+    #: Seeded fault plan (``repro.resilience``) applied to every run;
+    #: ``None`` — the default — injects nothing.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -168,6 +172,10 @@ class ExperimentSpec:
         if self.obs is not None and not isinstance(self.obs, ObsConfig):
             raise SpecError(
                 f"obs must be an ObsConfig, got {type(self.obs).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise SpecError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
             )
 
     @property
@@ -188,6 +196,7 @@ class ExperimentSpec:
             "record_series": self.record_series,
             "fast_path": self.fast_path,
             "obs": self.obs.to_dict() if self.obs else None,
+            "faults": self.faults.to_dict() if self.faults else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -208,6 +217,7 @@ class ExperimentSpec:
                 "record_series",
                 "fast_path",
                 "obs",
+                "faults",
             ),
             "experiment",
         )
@@ -239,6 +249,11 @@ class ExperimentSpec:
             obs=(
                 ObsConfig.from_dict(data["obs"])
                 if data.get("obs") is not None
+                else None
+            ),
+            faults=(
+                FaultPlan.from_dict(data["faults"])
+                if data.get("faults") is not None
                 else None
             ),
         )

@@ -1,0 +1,57 @@
+"""repro.resilience — operating through adversity, systematically.
+
+Four pillars (see ``docs/RESILIENCE.md``):
+
+* **Fault injection** — :class:`FaultPlan` declares typed, seeded faults
+  (report loss/corruption, estimator bias, solver divergence, CCA
+  stuck-busy, worker crash/hang) on an experiment spec;
+  :class:`FaultInjector` applies them deterministically per
+  ``(seed, fault id)``, so faulted runs stay bit-reproducible.
+* **Supervised execution** — :func:`supervised_map` gives every work
+  item a timeout and bounded retries with backoff, quarantining
+  permanent failures into :class:`FailedItem` records instead of
+  aborting the grid.
+* **Checkpoint/resume** — :class:`CheckpointStore` persists one atomic
+  result file per completed grid cell plus a manifest; interrupted runs
+  resume from exactly the missing cells (``repro resume``).
+* **Graceful degradation** — lives in
+  :class:`~repro.core.controller.BLUController`: inference health gating
+  with a ``DEGRADED`` fallback-to-PF phase (knobs on ``BLUConfig``).
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import (
+    CcaStuckBusyFault,
+    EstimatorBiasFault,
+    FaultPlan,
+    ReportCorruptFault,
+    ReportLossFault,
+    SolverDivergenceFault,
+    WorkerCrashFault,
+    WorkerHangFault,
+)
+from repro.resilience.inject import FaultHooks, FaultInjector
+from repro.resilience.supervisor import (
+    FailedItem,
+    SupervisedOutcome,
+    SupervisorConfig,
+    supervised_map,
+)
+
+__all__ = [
+    "CcaStuckBusyFault",
+    "CheckpointStore",
+    "EstimatorBiasFault",
+    "FailedItem",
+    "FaultHooks",
+    "FaultInjector",
+    "FaultPlan",
+    "ReportCorruptFault",
+    "ReportLossFault",
+    "SolverDivergenceFault",
+    "SupervisedOutcome",
+    "SupervisorConfig",
+    "WorkerCrashFault",
+    "WorkerHangFault",
+    "supervised_map",
+]

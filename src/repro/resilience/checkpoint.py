@@ -1,0 +1,143 @@
+"""Atomic per-cell checkpointing for experiment grids and sweeps.
+
+Layout of a checkpoint directory::
+
+    manifest.json        what is being run: kind (grid/sweep), the full
+                         spec dict(s), seeds/parameters, and the ordered
+                         cell labels — enough for ``repro resume`` to
+                         finish the run with no other inputs
+    cell-00000.json      one completed cell: its label plus the full
+                         lossless SimulationResult state
+    cell-00001.json      ...
+
+Every write is atomic (temp file + ``os.replace`` in the same
+directory), so a kill mid-write never leaves a truncated cell: the cell
+is either fully present or absent, and a resumed run recomputes exactly
+the absent cells.  Results round-trip bit-exactly — Python's shortest
+``repr`` float serialization is lossless — which is what the
+resume-equals-fresh regression test pins down.
+
+Re-running against an existing directory validates the manifest first: a
+different spec, seed list, or cell ordering raises
+:class:`~repro.errors.CheckpointError` rather than silently mixing
+results from two different experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Set
+
+from repro.errors import CheckpointError
+from repro.sim.results import SimulationResult
+
+__all__ = ["CheckpointStore"]
+
+_MANIFEST = "manifest.json"
+_CELL_PREFIX = "cell-"
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    """Write JSON so readers see the old file or the new one, never half."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def _normalize(payload: Any) -> Any:
+    """Round ``payload`` through JSON so tuples/ints compare canonically."""
+    return json.loads(json.dumps(payload))
+
+
+class CheckpointStore:
+    """One checkpoint directory: a manifest plus atomic cell files."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    # -- manifest ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Location of this store's ``manifest.json``."""
+        return self.directory / _MANIFEST
+
+    def initialize(self, manifest: Mapping[str, Any]) -> Dict[str, Any]:
+        """Create the directory + manifest, or validate an existing one.
+
+        Raises :class:`CheckpointError` when the directory already holds
+        a manifest for a *different* run — checkpoints never mix.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = _normalize({"version": 1, **manifest})
+        path = self.manifest_path
+        if path.exists():
+            stored = self.load_manifest()
+            if stored != payload:
+                raise CheckpointError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    "different run (manifest mismatch); use a fresh "
+                    "directory or resume with the original spec"
+                )
+            return stored
+        _atomic_write_json(path, payload)
+        return payload
+
+    def load_manifest(self) -> Dict[str, Any]:
+        """Read and parse the manifest; raises on absence or corruption."""
+        path = self.manifest_path
+        if not path.is_file():
+            raise CheckpointError(
+                f"no checkpoint manifest at {path}; nothing to resume"
+            )
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {path}: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint manifest {path} is not an object")
+        return data
+
+    # -- cells -------------------------------------------------------------
+
+    def cell_path(self, index: int) -> Path:
+        """File that holds (or will hold) cell ``index``."""
+        return self.directory / f"{_CELL_PREFIX}{index:05d}.json"
+
+    def save_cell(
+        self,
+        index: int,
+        label: Sequence[Any],
+        result: SimulationResult,
+    ) -> None:
+        """Atomically persist one completed cell."""
+        _atomic_write_json(
+            self.cell_path(index),
+            {"index": index, "label": list(label), "result": result.to_state()},
+        )
+
+    def load_cell(self, index: int) -> Optional[SimulationResult]:
+        """The stored result for cell ``index``, or ``None`` if absent."""
+        path = self.cell_path(index)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return SimulationResult.from_state(data["result"])
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise CheckpointError(
+                f"corrupt checkpoint cell {path}: {error}"
+            ) from error
+
+    def completed(self) -> Set[int]:
+        """Indices of every cell file present in the directory."""
+        indices: Set[int] = set()
+        for path in self.directory.glob(f"{_CELL_PREFIX}*.json"):
+            stem = path.stem[len(_CELL_PREFIX):]
+            if stem.isdigit():
+                indices.add(int(stem))
+        return indices

@@ -1,0 +1,398 @@
+"""Typed, spec-declarable fault descriptions.
+
+A :class:`FaultPlan` is the serializable half of fault injection: an
+ordered tuple of typed fault descriptions that rides on an
+:class:`~repro.experiments.spec.ExperimentSpec` (``"faults"`` field) and
+round-trips losslessly through ``to_dict``/``from_dict`` — same strict
+validation contract as the spec layer (unknown kinds, unknown fields and
+out-of-range values raise :class:`~repro.errors.SpecError`).
+
+The executable half lives in :mod:`repro.resilience.inject`: a
+:class:`~repro.resilience.inject.FaultInjector` binds a plan to a run
+seed and draws every random decision from a per-fault RNG seeded by
+``(seed, fault index)``, so fault runs are bit-reproducible and identical
+serial vs parallel.
+
+Fault taxonomy (see ``docs/RESILIENCE.md``):
+
+========================  =====================================================
+kind                      effect
+========================  =====================================================
+``report-loss``           a whole per-subframe access report is dropped before
+                          the controller sees it, with probability ``prob``
+``report-corrupt``        each scheduled UE's accessed/blocked membership flips
+                          with probability ``prob``
+``estimator-bias``        directional corruption: negative ``bias`` suppresses
+                          observed accesses, positive fabricates them
+``solver-divergence``     the listed blueprint inferences are forced to report
+                          non-convergence (infinite residual, unsatisfied)
+``cca-stuck-busy``        one UE's CCA is stuck busy for ``duration`` subframes
+                          starting at ``start`` (silenced at the engine level)
+``worker-crash``          the listed grid cells crash their first ``attempts``
+                          execution attempts in ``supervised_map``
+``worker-hang``           the listed grid cells sleep ``seconds`` on their
+                          first ``attempts`` attempts (trips the supervisor's
+                          per-item timeout)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import SpecError
+
+__all__ = [
+    "FaultPlan",
+    "ReportLossFault",
+    "ReportCorruptFault",
+    "EstimatorBiasFault",
+    "SolverDivergenceFault",
+    "CcaStuckBusyFault",
+    "WorkerCrashFault",
+    "WorkerHangFault",
+]
+
+
+def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise SpecError(f"{where} must be a mapping, got {type(value).__name__}")
+    return dict(value)
+
+
+def _check_prob(value: Any, where: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SpecError(f"{where} must be a number in (0, 1]: {value!r}")
+    if not 0.0 < float(value) <= 1.0:
+        raise SpecError(f"{where} must be in (0, 1]: {value}")
+    return float(value)
+
+
+def _check_subframe(value: Any, where: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise SpecError(f"{where} must be a subframe index >= 0: {value!r}")
+    return int(value)
+
+
+def _check_indices(value: Any, where: str) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise SpecError(f"{where} must be a list of indices: {value!r}")
+    out = []
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool) or item < 0:
+            raise SpecError(f"{where} entries must be ints >= 0: {item!r}")
+        out.append(int(item))
+    return tuple(out)
+
+
+def _window_to_dict(start: int, end: Optional[int]) -> Dict[str, Any]:
+    return {"start": start, "end": end}
+
+
+class _Fault:
+    """Shared serialization for all fault dataclasses (strict, symmetric)."""
+
+    kind: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump: ``kind`` plus every dataclass field."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for spec in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "_Fault":
+        """Rebuild one fault, rejecting unknown fields."""
+        allowed = {"kind"} | {spec.name for spec in fields(cls)}  # type: ignore[arg-type]
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) {unknown} in {where}; allowed: {sorted(allowed)}"
+            )
+        kwargs = {key: value for key, value in data.items() if key != "kind"}
+        try:
+            return cls(**kwargs)  # type: ignore[call-arg]
+        except TypeError as error:
+            raise SpecError(f"{where}: {error}") from error
+
+
+@dataclass(frozen=True)
+class ReportLossFault(_Fault):
+    """Drop whole access reports with probability ``prob`` inside
+    the ``[start, end)`` subframe window (``end=None`` = forever)."""
+
+    prob: float = 0.1
+    start: int = 0
+    end: Optional[int] = None
+    label: str = ""
+    kind = "report-loss"
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, f"{self.kind}.prob")
+        _check_window(self.start, self.end, self.kind)
+
+
+@dataclass(frozen=True)
+class ReportCorruptFault(_Fault):
+    """Flip each scheduled UE's accessed-membership with probability
+    ``prob`` (optionally only for the listed ``ues``)."""
+
+    prob: float = 0.1
+    ues: Optional[Tuple[int, ...]] = None
+    start: int = 0
+    end: Optional[int] = None
+    label: str = ""
+    kind = "report-corrupt"
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, f"{self.kind}.prob")
+        _check_window(self.start, self.end, self.kind)
+        if self.ues is not None:
+            object.__setattr__(
+                self, "ues", _check_indices(self.ues, f"{self.kind}.ues")
+            )
+
+
+@dataclass(frozen=True)
+class EstimatorBiasFault(_Fault):
+    """Directional report corruption: ``bias < 0`` removes true accesses
+    with probability ``|bias|``; ``bias > 0`` fabricates accesses for
+    scheduled-but-silenced UEs with probability ``bias``."""
+
+    bias: float = -0.2
+    ues: Optional[Tuple[int, ...]] = None
+    start: int = 0
+    end: Optional[int] = None
+    label: str = ""
+    kind = "estimator-bias"
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.bias, (int, float))
+            or isinstance(self.bias, bool)
+            or not -1.0 <= float(self.bias) <= 1.0
+            or float(self.bias) == 0.0
+        ):
+            raise SpecError(
+                f"{self.kind}.bias must be a nonzero number in [-1, 1]: "
+                f"{self.bias!r}"
+            )
+        _check_window(self.start, self.end, self.kind)
+        if self.ues is not None:
+            object.__setattr__(
+                self, "ues", _check_indices(self.ues, f"{self.kind}.ues")
+            )
+
+
+@dataclass(frozen=True)
+class SolverDivergenceFault(_Fault):
+    """Force the listed blueprint inferences (0-based, in controller
+    order) to report non-convergence; ``inferences=None`` hits all."""
+
+    inferences: Optional[Tuple[int, ...]] = None
+    label: str = ""
+    kind = "solver-divergence"
+
+    def __post_init__(self) -> None:
+        if self.inferences is not None:
+            object.__setattr__(
+                self,
+                "inferences",
+                _check_indices(self.inferences, f"{self.kind}.inferences"),
+            )
+
+    def hits(self, inference_index: int) -> bool:
+        """Whether this fault diverges the given inference."""
+        return self.inferences is None or inference_index in self.inferences
+
+
+@dataclass(frozen=True)
+class CcaStuckBusyFault(_Fault):
+    """One UE's CCA reads busy for ``duration`` subframes from ``start``:
+    the UE is silenced at the engine level even when scheduled."""
+
+    ue: int = 0
+    start: int = 0
+    duration: int = 100
+    label: str = ""
+    kind = "cca-stuck-busy"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ue, int) or isinstance(self.ue, bool) or self.ue < 0:
+            raise SpecError(f"{self.kind}.ue must be a UE id >= 0: {self.ue!r}")
+        _check_subframe(self.start, f"{self.kind}.start")
+        if not isinstance(self.duration, int) or self.duration < 1:
+            raise SpecError(
+                f"{self.kind}.duration must be a positive subframe count: "
+                f"{self.duration!r}"
+            )
+
+    def active(self, subframe: int) -> bool:
+        """Whether the stuck-busy window covers ``subframe``."""
+        return self.start <= subframe < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class WorkerCrashFault(_Fault):
+    """Crash the listed grid cells' first ``attempts`` execution attempts
+    (raises :class:`~repro.errors.WorkerFailure` inside the worker)."""
+
+    cells: Tuple[int, ...] = ()
+    attempts: int = 1
+    label: str = ""
+    kind = "worker-crash"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cells", _check_indices(self.cells, f"{self.kind}.cells")
+        )
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise SpecError(
+                f"{self.kind}.attempts must be >= 1: {self.attempts!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerHangFault(_Fault):
+    """Make the listed grid cells sleep ``seconds`` before executing, on
+    their first ``attempts`` attempts — trips the supervisor timeout."""
+
+    cells: Tuple[int, ...] = ()
+    seconds: float = 1.0
+    attempts: int = 1
+    label: str = ""
+    kind = "worker-hang"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cells", _check_indices(self.cells, f"{self.kind}.cells")
+        )
+        if (
+            not isinstance(self.seconds, (int, float))
+            or isinstance(self.seconds, bool)
+            or float(self.seconds) <= 0.0
+        ):
+            raise SpecError(
+                f"{self.kind}.seconds must be positive: {self.seconds!r}"
+            )
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise SpecError(
+                f"{self.kind}.attempts must be >= 1: {self.attempts!r}"
+            )
+
+
+def _check_window(start: int, end: Optional[int], kind: str) -> None:
+    _check_subframe(start, f"{kind}.start")
+    if end is not None:
+        _check_subframe(end, f"{kind}.end")
+        if end <= start:
+            raise SpecError(f"{kind}: end ({end}) must be > start ({start})")
+
+
+def _in_window(subframe: int, start: int, end: Optional[int]) -> bool:
+    return start <= subframe and (end is None or subframe < end)
+
+
+_FAULT_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ReportLossFault,
+        ReportCorruptFault,
+        EstimatorBiasFault,
+        SolverDivergenceFault,
+        CcaStuckBusyFault,
+        WorkerCrashFault,
+        WorkerHangFault,
+    )
+}
+
+#: Fault kinds applied inside a simulation run (vs the execution layer).
+_RUN_KINDS = frozenset(
+    ("report-loss", "report-corrupt", "estimator-bias", "solver-divergence",
+     "cca-stuck-busy")
+)
+#: Fault kinds applied by the supervised runner, outside the simulation.
+_WORKER_KINDS = frozenset(("worker-crash", "worker-hang"))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of typed faults, one experiment's adversity.
+
+    The *position* of a fault in the tuple is its fault id: the injector
+    seeds that fault's private RNG from ``(run seed, position)``, so
+    reordering the plan changes the realization but re-running the same
+    plan + seed is bit-reproducible, serial or parallel.
+    """
+
+    faults: Tuple[_Fault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for index, fault in enumerate(self.faults):
+            if not isinstance(fault, _Fault):
+                raise SpecError(
+                    f"faults[{index}] must be a fault object, "
+                    f"got {type(fault).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def has_run_faults(self) -> bool:
+        """Whether any fault acts inside a simulation run."""
+        return any(fault.kind in _RUN_KINDS for fault in self.faults)
+
+    @property
+    def has_worker_faults(self) -> bool:
+        """Whether any fault acts on the execution layer (crash/hang)."""
+        return any(fault.kind in _WORKER_KINDS for fault in self.faults)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump, symmetric with :meth:`from_dict`."""
+        return {"faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Strict rebuild: unknown kinds/fields raise ``SpecError``."""
+        data = _require_mapping(data, "faults")
+        unknown = sorted(set(data) - {"faults"})
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) {unknown} in faults; allowed: ['faults']"
+            )
+        raw = data.get("faults", [])
+        if not isinstance(raw, (list, tuple)):
+            raise SpecError(
+                f"faults.faults must be a list, got {type(raw).__name__}"
+            )
+        faults = []
+        for index, entry in enumerate(raw):
+            where = f"faults[{index}]"
+            entry = _require_mapping(entry, where)
+            kind = entry.get("kind")
+            if kind not in _FAULT_KINDS:
+                raise SpecError(
+                    f"{where} has unknown kind {kind!r}; "
+                    f"known: {sorted(_FAULT_KINDS)}"
+                )
+            faults.append(_FAULT_KINDS[kind].from_dict(entry, where))
+        return cls(faults=tuple(faults))
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` dump as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON fault plan (raises ``SpecError`` on bad JSON)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid JSON: {error}") from error
+        return cls.from_dict(data)

@@ -1,0 +1,186 @@
+"""Bind a :class:`FaultPlan` to a run seed and inject it.
+
+A :class:`FaultInjector` is the executable form of a fault plan.  It is
+built once per run (in ``ExperimentPlan.run_one`` or by the supervised
+grid) and exposes one seam per fault family:
+
+* :meth:`hooks` — a :class:`FaultHooks` (``SimHooks``) that applies
+  CCA-stuck-busy faults at the engine's interference stage;
+* :meth:`apply_observation` — transforms (or drops) each per-subframe
+  access report before the BLU controller sees it;
+* :meth:`solver_diverges` — tells the controller which blueprint
+  inferences must report non-convergence;
+* :meth:`worker_fault` — tells the supervised runner which grid cells
+  crash or hang, and on which attempts.
+
+Determinism: every random decision comes from a private per-fault
+generator seeded by ``SeedSequence([run_seed, fault_index])`` — never
+from the engine's RNG stream.  The engine therefore draws exactly the
+same activity/fading samples with or without a plan, and a faulted run
+is bit-identical serial vs parallel (each worker rebuilds the same
+injector from the same ``(plan, seed)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.faults import (
+    CcaStuckBusyFault,
+    EstimatorBiasFault,
+    FaultPlan,
+    ReportCorruptFault,
+    ReportLossFault,
+    SolverDivergenceFault,
+    WorkerCrashFault,
+    WorkerHangFault,
+    _in_window,
+)
+from repro.sim.stages import SimHooks, SubframeContext, SubframeStage
+
+__all__ = ["FaultInjector", "FaultHooks"]
+
+
+def _seed_entropy(seed: Optional[int]) -> int:
+    """Non-negative entropy word for ``SeedSequence`` from a run seed."""
+    if seed is None:
+        return 0
+    return int(seed) % (2**63)
+
+
+class FaultHooks(SimHooks):
+    """Applies engine-level faults through the SimHooks seam.
+
+    This is the one sanctioned exception to the "hooks observe, never
+    mutate" contract documented on :class:`~repro.sim.stages.SimHooks`:
+    right after the interference stage computes ``ctx.silenced``, the
+    fault hook adds the stuck-busy UEs, so the schedule-clearing and
+    transmit stages (and the obs metrics, which read ``silenced`` at
+    subframe end) all see one consistent, faulted world.
+    """
+
+    def __init__(self, faults: Tuple[CcaStuckBusyFault, ...]) -> None:
+        self._faults = tuple(faults)
+
+    def on_stage_end(self, stage: SubframeStage, ctx: SubframeContext) -> None:
+        if stage.name != "interference":
+            return
+        for fault in self._faults:
+            if fault.active(ctx.subframe):
+                ctx.silenced.add(fault.ue)
+
+
+class FaultInjector:
+    """A fault plan bound to one run's seed; see module docstring."""
+
+    def __init__(self, plan: FaultPlan, seed: Optional[int] = None) -> None:
+        self.plan = plan
+        self.seed = seed
+        entropy = _seed_entropy(seed)
+        # One private generator per observation-level fault, keyed by the
+        # fault's position in the plan (its fault id).
+        self._report_faults: List[Tuple[object, np.random.Generator]] = []
+        self._cca: List[CcaStuckBusyFault] = []
+        self._divergence: List[SolverDivergenceFault] = []
+        self._worker: List[object] = []
+        for index, fault in enumerate(plan.faults):
+            if isinstance(
+                fault, (ReportLossFault, ReportCorruptFault, EstimatorBiasFault)
+            ):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([entropy, index])
+                )
+                self._report_faults.append((fault, rng))
+            elif isinstance(fault, CcaStuckBusyFault):
+                self._cca.append(fault)
+            elif isinstance(fault, SolverDivergenceFault):
+                self._divergence.append(fault)
+            elif isinstance(fault, (WorkerCrashFault, WorkerHangFault)):
+                self._worker.append(fault)
+
+    # -- engine seam -------------------------------------------------------
+
+    def hooks(self) -> Optional[FaultHooks]:
+        """Engine hooks for CCA faults, or ``None`` when there are none."""
+        if not self._cca:
+            return None
+        return FaultHooks(tuple(self._cca))
+
+    # -- controller seams --------------------------------------------------
+
+    def apply_observation(self, observation):
+        """Transform one access report; ``None`` means the report is lost.
+
+        Applies report-level faults in plan order.  Each fault consumes
+        its own RNG stream only while its window is active, so adding a
+        fault never perturbs another fault's draws.
+        """
+        for fault, rng in self._report_faults:
+            if not _in_window(observation.subframe, fault.start, fault.end):
+                continue
+            if isinstance(fault, ReportLossFault):
+                if rng.random() < fault.prob:
+                    return None
+                continue
+            targets = sorted(observation.scheduled)
+            if fault.ues is not None:
+                allowed = set(fault.ues)
+                targets = [ue for ue in targets if ue in allowed]
+            if not targets:
+                continue
+            accessed = set(observation.accessed)
+            if isinstance(fault, ReportCorruptFault):
+                for ue in targets:
+                    if rng.random() < fault.prob:
+                        accessed.symmetric_difference_update({ue})
+            else:  # EstimatorBiasFault
+                magnitude = abs(fault.bias)
+                for ue in targets:
+                    if fault.bias < 0 and ue in accessed:
+                        if rng.random() < magnitude:
+                            accessed.discard(ue)
+                    elif fault.bias > 0 and ue not in accessed:
+                        if rng.random() < magnitude:
+                            accessed.add(ue)
+            if accessed != set(observation.accessed):
+                observation = self._rebuild(observation, accessed)
+        return observation
+
+    @staticmethod
+    def _rebuild(observation, accessed: set):
+        """A copy of the observation with a consistent accessed set."""
+        accessed_f = frozenset(accessed)
+        return dataclasses.replace(
+            observation,
+            accessed=accessed_f,
+            blocked=frozenset(observation.scheduled) - accessed_f,
+            collided=frozenset(observation.collided) & accessed_f,
+            faded=frozenset(observation.faded) & accessed_f,
+            decoded=frozenset(observation.decoded) & accessed_f,
+        )
+
+    def solver_diverges(self, inference_index: int) -> bool:
+        """Whether the ``inference_index``-th inference is forced to fail."""
+        return any(fault.hits(inference_index) for fault in self._divergence)
+
+    # -- execution-layer seam ----------------------------------------------
+
+    def worker_fault(
+        self, index: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        """Injected behaviour for grid cell ``index`` on ``attempt``
+        (0-based): ``("crash", 0)``, ``("hang", seconds)`` or ``None``."""
+        for fault in self._worker:
+            if index in fault.cells and attempt < fault.attempts:
+                if isinstance(fault, WorkerCrashFault):
+                    return ("crash", 0.0)
+                return ("hang", float(fault.seconds))
+        return None
+
+    @property
+    def has_run_faults(self) -> bool:
+        """Whether this injector does anything inside a simulation run."""
+        return bool(self._report_faults or self._cca or self._divergence)

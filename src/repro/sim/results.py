@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -163,6 +164,37 @@ class SimulationResult:
     def to_json(self, indent: int = 2) -> str:
         """The :meth:`to_dict` dump as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- lossless state (checkpoint/resume) ---------------------------------
+
+    def to_state(self) -> Dict:
+        """Lossless JSON-ready dump of every field, for checkpointing.
+
+        Unlike :meth:`to_dict` (a reporting view that drops the series
+        and telemetry), this round-trips bit-exactly through JSON via
+        :meth:`from_state` — float values survive because Python's
+        shortest-repr serialization is exact.
+        """
+        state = {
+            spec.name: getattr(self, spec.name)
+            for spec in dataclasses.fields(self)
+            if spec.name not in ("delivered_bits_by_ue",)
+        }
+        state["delivered_bits_by_ue"] = {
+            str(ue): bits for ue, bits in self.delivered_bits_by_ue.items()
+        }
+        state["utilization_series"] = list(self.utilization_series)
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_state` payload."""
+        data = dict(state)
+        data["delivered_bits_by_ue"] = {
+            int(ue): bits
+            for ue, bits in data.get("delivered_bits_by_ue", {}).items()
+        }
+        return cls(**data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -19,7 +19,6 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -27,6 +26,7 @@ import numpy as np
 
 from repro.core.scheduling.base import UplinkScheduler
 from repro.errors import ConfigurationError
+from repro.resilience.supervisor import SupervisorConfig, supervised_map
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import CellSimulation
 from repro.sim.results import SimulationResult
@@ -101,31 +101,48 @@ def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
-def map_jobs(fn, items: Sequence, n_jobs: Optional[int]) -> List:
+def map_jobs(
+    fn,
+    items: Sequence,
+    n_jobs: Optional[int],
+    supervisor: Optional["SupervisorConfig"] = None,
+) -> List:
     """Map ``fn`` over independent work items, serially or in a process
     pool, preserving order.
 
     Each item must be self-contained (carry its own seed), so execution
     order cannot affect any result; parallel output is identical to
     serial.  Items that cannot pickle trigger a serial fallback with a
-    ``RuntimeWarning``.  The spec layer (:mod:`repro.experiments`) reuses
-    this with plain spec-dict items, which always pickle.
+    ``RuntimeWarning`` (probing the first item only — per-item pickling
+    errors in a heterogeneous batch surface through the supervisor as
+    that item's failure).  The spec layer (:mod:`repro.experiments`)
+    reuses this with plain spec-dict items, which always pickle.
+
+    Execution is supervised (:func:`repro.resilience.supervised_map`).
+    Without a ``supervisor`` config the behaviour is strict — no
+    retries, no timeout, the first failure re-raises — so existing
+    callers see the historical semantics.  With one, failed items come
+    back as :class:`~repro.resilience.FailedItem` records in the
+    returned list instead of aborting the batch.
     """
     jobs = min(_resolve_n_jobs(n_jobs), len(items))
-    if jobs > 1:
+    if jobs > 1 and items:
         try:
-            pickle.dumps(items)
-        except Exception:
+            pickle.dumps(items[0])
+        except Exception as error:  # noqa: BLE001 - any pickling failure
             warnings.warn(
                 "work items are not picklable (typically lambda scheduler "
-                "factories or closures); falling back to serial execution",
+                "factories or closures); falling back to serial execution "
+                f"(pickle said: {error})",
                 RuntimeWarning,
                 stacklevel=3,
             )
-        else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                return list(pool.map(fn, items))
-    return [fn(item) for item in items]
+            jobs = 1
+    outcome = supervised_map(
+        fn, items, n_jobs=jobs, config=supervisor,
+        fail_fast=supervisor is None,
+    )
+    return outcome.results
 
 
 def _run_work_items(

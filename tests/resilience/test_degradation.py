@@ -1,0 +1,148 @@
+"""Residual-gated graceful degradation of the BLU controller."""
+
+import pytest
+
+from repro import (
+    BLUConfig,
+    BLUController,
+    BLUPhase,
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    SimulationConfig,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.resilience import FaultPlan, SolverDivergenceFault
+
+
+def spec_with(blu_params, faults=None, subframes=1200):
+    return ExperimentSpec(
+        name="degrade",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 1, "activity": 0.35, "seed": 3},
+            snr={"kind": "uniform", "seed": 4},
+        ),
+        sim=SimulationConfig(num_subframes=subframes),
+        schedulers={
+            "pf": SchedulerSpec("pf"),
+            "blu": SchedulerSpec("blu", params=blu_params),
+        },
+        seed=0,
+        faults=faults,
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"degrade_residual_threshold": 0.0},
+            {"degrade_residual_threshold": -1.0},
+            {"degrade_min_pair_samples": -1},
+            {"degraded_measure_every": 0},
+            {"degraded_samples_per_pair": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BLUConfig(**kwargs)
+
+    def test_degradation_enabled_flag(self):
+        assert not BLUConfig().degradation_enabled
+        assert BLUConfig(degrade_residual_threshold=1.0).degradation_enabled
+        assert BLUConfig(degrade_min_pair_samples=5).degradation_enabled
+
+    def test_gate_disabled_by_default(self):
+        controller = BLUController(num_ues=4)
+        # Without any gate the controller never rejects a blueprint, so
+        # the pre-resilience behaviour is preserved bit-exactly.
+        assert controller._inference_healthy.__doc__  # seam exists
+        assert controller.degraded_entries == 0
+
+
+class TestDegradedOperation:
+    def test_permanent_divergence_falls_back_near_pf(self):
+        plan = FaultPlan((SolverDivergenceFault(),))  # every inference fails
+        results = run_experiment(
+            spec_with(
+                {"degrade_residual_threshold": 1.0, "samples_per_pair": 8},
+                faults=plan,
+            )
+        )
+        blu = results["blu"].rb_utilization
+        pf = results["pf"].rb_utilization
+        # DEGRADED schedules PF with periodic re-measurement: utilization
+        # must track plain PF, never collapse below it by more than the
+        # measurement overhead.
+        assert blu >= pf - 0.05
+        assert blu <= pf + 0.15
+
+    def test_controller_stays_degraded_under_divergence(self):
+        plan = FaultPlan((SolverDivergenceFault(),))
+        spec = spec_with(
+            {"degrade_residual_threshold": 1.0, "samples_per_pair": 8},
+            faults=plan,
+        )
+        from repro.experiments import build_experiment
+
+        experiment_plan = build_experiment(spec)
+        experiment_plan.run_one("blu")
+        controller = experiment_plan.schedulers["blu"]
+        assert controller.phase is BLUPhase.DEGRADED
+        assert controller.degraded_entries >= 1
+        assert controller.degraded_recoveries == 0
+
+    def test_recovery_after_transient_divergence(self):
+        # Only the first inference diverges; the DEGRADED re-measurement
+        # campaign must retry and recover into SPECULATIVE.
+        plan = FaultPlan((SolverDivergenceFault(inferences=(0,)),))
+        spec = spec_with(
+            {
+                "degrade_residual_threshold": 1.0,
+                "samples_per_pair": 8,
+                "degraded_samples_per_pair": 4,
+                "degraded_measure_every": 2,
+            },
+            faults=plan,
+            subframes=2400,
+        )
+        from repro.experiments import build_experiment
+
+        experiment_plan = build_experiment(spec)
+        experiment_plan.run_one("blu")
+        controller = experiment_plan.schedulers["blu"]
+        assert controller.phase is BLUPhase.SPECULATIVE
+        assert controller.degraded_entries >= 1
+        assert controller.degraded_recoveries >= 1
+
+    def test_degraded_counters_in_obs(self):
+        from repro.obs import ObsConfig
+
+        plan = FaultPlan((SolverDivergenceFault(),))
+        spec = spec_with(
+            {"degrade_residual_threshold": 1.0, "samples_per_pair": 8},
+            faults=plan,
+        ).replace(obs=ObsConfig(enabled=True))
+        results = run_experiment(spec)
+        snapshot = results["blu"].obs_snapshot
+
+        def counter(name):
+            return snapshot[name]["series"][0]["value"]
+
+        assert counter("controller.degraded_entries") >= 1
+        assert counter("controller.degraded_subframes") > 0
+
+    def test_min_pair_samples_gate(self):
+        # An impossible coverage requirement keeps the controller DEGRADED
+        # even with a healthy solver.
+        spec = spec_with(
+            {"degrade_min_pair_samples": 10_000, "samples_per_pair": 8}
+        )
+        from repro.experiments import build_experiment
+
+        experiment_plan = build_experiment(spec)
+        experiment_plan.run_one("blu")
+        controller = experiment_plan.schedulers["blu"]
+        assert controller.phase is BLUPhase.DEGRADED

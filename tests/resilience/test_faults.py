@@ -1,0 +1,217 @@
+"""Fault taxonomy: validation, JSON round-trips, injector determinism."""
+
+import pytest
+
+from repro.core.measurement.classifier import AccessObservation
+from repro.errors import SpecError
+from repro.resilience import (
+    CcaStuckBusyFault,
+    EstimatorBiasFault,
+    FaultInjector,
+    FaultPlan,
+    ReportCorruptFault,
+    ReportLossFault,
+    SolverDivergenceFault,
+    WorkerCrashFault,
+    WorkerHangFault,
+)
+
+
+def full_plan():
+    return FaultPlan(
+        (
+            ReportLossFault(prob=0.2, start=100, end=400),
+            ReportCorruptFault(prob=0.1, ues=(0, 2)),
+            EstimatorBiasFault(bias=-0.3, ues=(1,), start=50),
+            SolverDivergenceFault(inferences=(0, 2)),
+            CcaStuckBusyFault(ue=3, start=10, duration=200),
+            WorkerCrashFault(cells=(0, 5), attempts=2),
+            WorkerHangFault(cells=(1,), seconds=3.0),
+        )
+    )
+
+
+def observation(subframe=0, scheduled=(0, 1, 2, 3), accessed=(0, 1, 2)):
+    scheduled = frozenset(scheduled)
+    accessed = frozenset(accessed)
+    return AccessObservation(
+        subframe=subframe,
+        scheduled=scheduled,
+        accessed=accessed,
+        blocked=scheduled - accessed,
+        collided=frozenset(),
+        faded=frozenset(),
+        decoded=accessed,
+    )
+
+
+class TestPlanRoundTrip:
+    def test_dict_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_len_and_partitions(self):
+        plan = full_plan()
+        assert len(plan) == 7
+        assert plan.has_run_faults
+        assert plan.has_worker_faults
+        assert not FaultPlan(
+            (WorkerCrashFault(cells=(0,)),)
+        ).has_run_faults
+        assert not FaultPlan((ReportLossFault(prob=0.5),)).has_worker_faults
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown kind 'gamma-ray'"):
+            FaultPlan.from_dict({"faults": [{"kind": "gamma-ray"}]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError):
+            FaultPlan.from_dict(
+                {"faults": [{"kind": "report-loss", "prob": 0.5, "zap": 1}]}
+            )
+
+
+class TestFaultValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(SpecError):
+            ReportLossFault(prob=1.5)
+        with pytest.raises(SpecError):
+            ReportCorruptFault(prob=-0.1)
+
+    def test_window_order(self):
+        with pytest.raises(SpecError):
+            ReportLossFault(prob=0.5, start=100, end=50)
+
+    def test_stuck_busy_duration(self):
+        with pytest.raises(SpecError):
+            CcaStuckBusyFault(ue=0, start=0, duration=0)
+
+    def test_windows(self):
+        fault = CcaStuckBusyFault(ue=0, start=10, duration=5)
+        assert not fault.active(9)
+        assert fault.active(10)
+        assert fault.active(14)
+        assert not fault.active(15)
+
+    def test_divergence_hits(self):
+        assert SolverDivergenceFault().hits(7)  # None = every inference
+        scoped = SolverDivergenceFault(inferences=(1,))
+        assert scoped.hits(1) and not scoped.hits(0)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = full_plan()
+        a = FaultInjector(plan, seed=11)
+        b = FaultInjector(plan, seed=11)
+        observations = [observation(subframe=s) for s in range(120, 260)]
+        outs_a = [a.apply_observation(o) for o in observations]
+        outs_b = [b.apply_observation(o) for o in observations]
+        assert outs_a == outs_b
+
+    def test_different_seed_differs(self):
+        plan = FaultPlan((ReportLossFault(prob=0.5),))
+        a = FaultInjector(plan, seed=0)
+        b = FaultInjector(plan, seed=1)
+        observations = [observation(subframe=s) for s in range(64)]
+        outs_a = [a.apply_observation(o) is None for o in observations]
+        outs_b = [b.apply_observation(o) is None for o in observations]
+        assert outs_a != outs_b
+
+    def test_loss_certain(self):
+        injector = FaultInjector(FaultPlan((ReportLossFault(prob=1.0),)), seed=0)
+        assert injector.apply_observation(observation()) is None
+
+    def test_bias_direction(self):
+        removed = FaultInjector(
+            FaultPlan((EstimatorBiasFault(bias=-1.0),)), seed=0
+        ).apply_observation(observation())
+        assert removed.accessed == frozenset()
+        assert removed.blocked == removed.scheduled
+        added = FaultInjector(
+            FaultPlan((EstimatorBiasFault(bias=1.0),)), seed=0
+        ).apply_observation(observation())
+        assert added.accessed == added.scheduled
+
+    def test_rebuild_consistency(self):
+        faulted = FaultInjector(
+            FaultPlan((EstimatorBiasFault(bias=-1.0),)), seed=0
+        ).apply_observation(observation())
+        # Derived sets stay consistent with the faulted accessed set.
+        assert faulted.decoded <= faulted.accessed
+        assert not (faulted.blocked & faulted.accessed)
+
+    def test_window_respected(self):
+        injector = FaultInjector(
+            FaultPlan((ReportLossFault(prob=1.0, start=100, end=200),)), seed=0
+        )
+        assert injector.apply_observation(observation(subframe=99)) is not None
+        assert injector.apply_observation(observation(subframe=100)) is None
+        assert injector.apply_observation(observation(subframe=200)) is not None
+
+    def test_worker_fault_lookup(self):
+        injector = FaultInjector(
+            FaultPlan(
+                (
+                    WorkerCrashFault(cells=(0,), attempts=2),
+                    WorkerHangFault(cells=(3,), seconds=1.5, attempts=1),
+                )
+            ),
+            seed=0,
+        )
+        assert injector.worker_fault(0, 0) == ("crash", 0.0)
+        assert injector.worker_fault(0, 1) == ("crash", 0.0)
+        assert injector.worker_fault(0, 2) is None
+        assert injector.worker_fault(3, 0) == ("hang", 1.5)
+        assert injector.worker_fault(3, 1) is None
+        assert injector.worker_fault(7, 0) is None
+
+    def test_solver_divergence_seam(self):
+        injector = FaultInjector(
+            FaultPlan((SolverDivergenceFault(inferences=(0,)),)), seed=0
+        )
+        assert injector.solver_diverges(0)
+        assert not injector.solver_diverges(1)
+        assert injector.has_run_faults
+
+    def test_cca_hooks_only_when_needed(self):
+        assert (
+            FaultInjector(FaultPlan((ReportLossFault(prob=0.5),)), seed=0).hooks()
+            is None
+        )
+        assert (
+            FaultInjector(
+                FaultPlan((CcaStuckBusyFault(ue=0, start=0, duration=10),)),
+                seed=0,
+            ).hooks()
+            is not None
+        )
+
+
+class TestSpecIntegration:
+    def test_spec_round_trip_with_faults(self):
+        from repro import ExperimentSpec, ScenarioSpec, SchedulerSpec
+
+        spec = ExperimentSpec(
+            name="faulted",
+            scenario=ScenarioSpec(kind="fig1"),
+            schedulers={"pf": SchedulerSpec("pf")},
+            faults=full_plan(),
+        )
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again.faults == spec.faults
+
+    def test_spec_rejects_non_plan(self):
+        from repro import ExperimentSpec, ScenarioSpec, SchedulerSpec
+
+        with pytest.raises(SpecError, match="FaultPlan"):
+            ExperimentSpec(
+                name="bad",
+                scenario=ScenarioSpec(kind="fig1"),
+                schedulers={"pf": SchedulerSpec("pf")},
+                faults=[ReportLossFault(prob=0.1)],
+            )

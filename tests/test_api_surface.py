@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.lte",
     "repro.obs",
+    "repro.resilience",
     "repro.sim",
     "repro.spectrum",
     "repro.topology",
@@ -38,6 +39,11 @@ class TestErrorHierarchy:
     def test_specific_errors_distinct(self):
         assert not issubclass(errors.SchedulingError, errors.TopologyError)
         assert not issubclass(errors.TraceError, errors.InferenceError)
+
+    def test_resilience_errors_nested(self):
+        assert issubclass(errors.CheckpointError, errors.ResilienceError)
+        assert issubclass(errors.WorkerFailure, errors.ResilienceError)
+        assert not issubclass(errors.ResilienceError, errors.SimulationError)
 
     def test_catchable_as_base(self):
         with pytest.raises(errors.ReproError):
