@@ -25,7 +25,7 @@ Two implementations:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,40 @@ class JointAccessProvider:
                 table[key] = table.get(key, 0.0) + prob
         return table
 
+    def decodable_service(
+        self, group: FrozenSet[int], max_streams: int
+    ) -> Dict[int, float]:
+        """Per-UE decodable-service probability ``Σ_{s≤M} π[(i, s)]``.
+
+        One pass over the pattern table derives the per-group sums every
+        member's Eqn. 4 term needs — replacing the O(|table|·|G|) scan of
+        re-filtering the full table per UE.  Accumulation per UE follows
+        the table's insertion order (each UE's entries are summed in the
+        same sequence the per-UE filter would visit them), so the values
+        are bit-identical to the scalar scan.
+        """
+        service = {ue: 0.0 for ue in group}
+        for (member, streams), probability in self.pattern_table(
+            group
+        ).items():
+            if streams <= max_streams:
+                service[member] += probability
+        return service
+
+    def service_vector(
+        self, group: Sequence[int], max_streams: int
+    ) -> np.ndarray:
+        """:meth:`decodable_service` as a dense vector over ``group``.
+
+        The joint-access tensor view: entry ``j`` is the decodable-service
+        probability of ``group[j]``.  The greedy hot path consumes the
+        dict form (its Python accumulation order is part of the
+        bit-exactness contract); the vector form serves analysis and
+        vectorized consumers.
+        """
+        service = self.decodable_service(frozenset(group), max_streams)
+        return np.array([service[ue] for ue in group], dtype=float)
+
     def joint_probability(
         self, clear_ues: Sequence[int], blocked_ues: Sequence[int] = ()
     ) -> float:
@@ -80,22 +114,272 @@ class JointAccessProvider:
         return distribution.get(clear, 0.0)
 
 
+class _FastJointTables:
+    """Int-bitmask mirror of one topology's pattern machinery.
+
+    The scheduler's vectorized flavour queries service probabilities per
+    candidate group at every greedy step; this class answers those queries
+    with integer bitmask keys (cheap hashing, cheap set algebra) and
+    *incremental* group state: extending group ``G`` to ``G ∪ {c}`` merges
+    ``G``'s ordered attached-terminal list with ``c``'s precomputed
+    terminal list instead of re-scanning every terminal of the topology.
+
+    Bit-exactness: the reference implementation's floats depend on dict
+    insertion orders (footprints first seen in terminal order; blocked
+    sets convolved in that order; per-UE sums accumulated in pattern
+    order).  The bitmask keys are a bijection of the frozenset keys, and
+    every loop here visits keys in the same order the reference does, so
+    every product and sum is the identical IEEE operation sequence.  That
+    is also why the blocked-set convolution is *not* resumed from the
+    parent's pmf: folding ``c``'s factors after ``G``'s would change the
+    multiplication association wherever ``c``'s terminals interleave, so
+    the incremental reuse is at the attachment/footprint level while each
+    distinct group's convolution runs once and is memoized forever.
+    """
+
+    def __init__(self, topology: InterferenceTopology) -> None:
+        self.idle = tuple(1.0 - q for q in topology.q)
+        term_masks = []
+        ue_terminals: Dict[int, list] = {}
+        for index, edge_set in enumerate(topology.edges):
+            mask = 0
+            for ue in edge_set:
+                mask |= 1 << ue
+                ue_terminals.setdefault(ue, []).append(index)
+            term_masks.append(mask)
+        self.term_masks = tuple(term_masks)
+        #: Per-UE terminal indices, ascending — the increment merged in
+        #: when a greedy step attaches that UE to the group.
+        self.ue_terminals = {
+            ue: tuple(indices) for ue, indices in ue_terminals.items()
+        }
+        #: group mask -> ordered attached-terminal tuple (ascending index,
+        #: i.e. exactly the subsequence a full terminal scan would visit).
+        self._attached: Dict[int, Tuple[int, ...]] = {}
+        #: (group mask, max streams) -> {ue: decodable-service probability}
+        self._service: Dict[Tuple[int, int], Dict[int, float]] = {}
+        #: Service-cache traffic, rolled into the owning provider's
+        #: ``cache_hits``/``cache_misses`` (the greedy fast path queries
+        #: these tables directly, so counting here is what keeps the obs
+        #: counters honest about the hot path).
+        self.hits = 0
+        self.misses = 0
+
+    def cache_size(self) -> int:
+        return len(self._service)
+
+    def extend_attached(
+        self, attached: Tuple[int, ...], ue: int
+    ) -> Tuple[int, ...]:
+        """Merge ``ue``'s terminals into an ordered attached list."""
+        extra = self.ue_terminals.get(ue, ())
+        if not extra:
+            return attached
+        if not attached:
+            return extra
+        merged: list = []
+        i = j = 0
+        len_a, len_e = len(attached), len(extra)
+        while i < len_a and j < len_e:
+            a, e = attached[i], extra[j]
+            if a < e:
+                merged.append(a)
+                i += 1
+            elif e < a:
+                merged.append(e)
+                j += 1
+            else:
+                merged.append(a)
+                i += 1
+                j += 1
+        merged.extend(attached[i:])
+        merged.extend(extra[j:])
+        return tuple(merged)
+
+    def attached_for(self, mask: int) -> Tuple[int, ...]:
+        """Ordered attached-terminal list for an arbitrary group mask."""
+        cached = self._attached.get(mask)
+        if cached is None:
+            indices: set = set()
+            bits = mask
+            while bits:
+                bit = bits & -bits
+                bits ^= bit
+                indices.update(self.ue_terminals.get(bit.bit_length() - 1, ()))
+            cached = tuple(sorted(indices))
+            self._attached[mask] = cached
+        return cached
+
+    def service(
+        self,
+        mask: int,
+        max_streams: int,
+        parent_attached: Optional[Tuple[int, ...]] = None,
+        added: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Decodable-service probabilities for the group ``mask``.
+
+        ``parent_attached``/``added`` let the greedy path extend the
+        committed group's attachment state instead of re-deriving it; on a
+        cache hit neither is touched.  Returns ``{ue: Σ_{s≤M} π[(ue, s)]}``
+        with floats bit-identical to the frozenset-keyed reference.
+        """
+        key = (mask, max_streams)
+        cached = self._service.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if added is not None and parent_attached is not None:
+            attached = self._attached.get(mask)
+            if attached is None:
+                attached = self.extend_attached(parent_attached, added)
+                self._attached[mask] = attached
+        else:
+            attached = self.attached_for(mask)
+
+        # Footprint products in first-seen terminal order (the reference
+        # scans all terminals ascending; ``attached`` is that scan's
+        # non-empty subsequence).
+        footprint_idle: Dict[int, float] = {}
+        term_masks = self.term_masks
+        idle_by_terminal = self.idle
+        for index in attached:
+            footprint = term_masks[index] & mask
+            footprint_idle[footprint] = footprint_idle.get(
+                footprint, 1.0
+            ) * idle_by_terminal[index]
+
+        blocked_dist: Dict[int, float] = {0: 1.0}
+        for footprint, idle in footprint_idle.items():
+            busy = 1.0 - idle
+            updated: Dict[int, float] = {}
+            for blocked, prob in blocked_dist.items():
+                updated[blocked] = updated.get(blocked, 0.0) + prob * idle
+                grown = blocked | footprint
+                updated[grown] = updated.get(grown, 0.0) + prob * busy
+            blocked_dist = updated
+
+        distribution: Dict[int, float] = {}
+        for blocked, prob in blocked_dist.items():
+            clear = mask & ~blocked
+            distribution[clear] = distribution.get(clear, 0.0) + prob
+
+        # Fold to per-UE (streams -> probability) tables, preserving the
+        # reference's per-UE accumulation and key-insertion orders (both
+        # follow the pattern-distribution order for each fixed UE).
+        per_ue: Dict[int, Dict[int, float]] = {}
+        for clear, prob in distribution.items():
+            size = clear.bit_count()
+            bits = clear
+            while bits:
+                bit = bits & -bits
+                bits ^= bit
+                ue = bit.bit_length() - 1
+                by_streams = per_ue.get(ue)
+                if by_streams is None:
+                    per_ue[ue] = {size: prob}
+                else:
+                    by_streams[size] = by_streams.get(size, 0.0) + prob
+
+        service: Dict[int, float] = {}
+        bits = mask
+        while bits:
+            bit = bits & -bits
+            bits ^= bit
+            ue = bit.bit_length() - 1
+            total = 0.0
+            by_streams = per_ue.get(ue)
+            if by_streams is not None:
+                for streams, prob in by_streams.items():
+                    if streams <= max_streams:
+                        total += prob
+            service[ue] = total
+        self._service[key] = service
+        return service
+
+
 class TopologyJointProvider(JointAccessProvider):
-    """Exact joint access pmfs from an interference topology."""
+    """Exact joint access pmfs from an interference topology.
+
+    All query results are memoized; the caches are keyed to the *identity*
+    of ``self.topology``, so swapping in a mutated topology (``dynamics``
+    churn via ``with_terminal``/``without_terminal``) invalidates every
+    cached pmf, table and service tensor on the next query.  The plain-int
+    ``cache_hits``/``cache_misses`` counters cover all three cache layers
+    and feed the ``scheduler.pattern_cache_*`` obs metrics.
+    """
 
     def __init__(self, topology: InterferenceTopology) -> None:
         self.topology = topology
         self._pattern_cache: Dict[FrozenSet[int], PatternDistribution] = {}
         self._table_cache: Dict[FrozenSet[int], PatternTable] = {}
+        self._fast: Optional[_FastJointTables] = None
+        self._built_for = topology
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Cache hits across every layer, including the fast tables the
+        greedy hot path queries directly."""
+        fast = self._fast
+        return self._hits + (fast.hits if fast is not None else 0)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cache misses across every layer (see :attr:`cache_hits`)."""
+        fast = self._fast
+        return self._misses + (fast.misses if fast is not None else 0)
+
+    def _check_current(self) -> None:
+        """Drop every cache when the topology instance was swapped."""
+        if self.topology is not self._built_for:
+            if self._fast is not None:
+                # Keep the traffic counters monotonic across the swap —
+                # obs publishing records deltas and must never see the
+                # totals move backwards.
+                self._hits += self._fast.hits
+                self._misses += self._fast.misses
+            self._pattern_cache = {}
+            self._table_cache = {}
+            self._fast = None
+            self._built_for = self.topology
+
+    def fast_tables(self) -> _FastJointTables:
+        """The bitmask-keyed service machinery for the current topology."""
+        self._check_current()
+        if self._fast is None:
+            self._fast = _FastJointTables(self.topology)
+        return self._fast
+
+    def cache_size(self) -> int:
+        """Total memoized entries across all cache layers."""
+        size = len(self._pattern_cache) + len(self._table_cache)
+        if self._fast is not None:
+            size += self._fast.cache_size()
+        return size
 
     def access_probability(self, ue: int) -> float:
         return self.topology.access_probability(ue)
 
+    def decodable_service(
+        self, group: FrozenSet[int], max_streams: int
+    ) -> Dict[int, float]:
+        tables = self.fast_tables()
+        mask = 0
+        for ue in group:
+            mask |= 1 << ue
+        return tables.service(mask, max_streams)
+
     def pattern_distribution(self, group: FrozenSet[int]) -> PatternDistribution:
+        self._check_current()
         group = frozenset(group)
         cached = self._pattern_cache.get(group)
         if cached is not None:
+            self._hits += 1
             return cached
+        self._misses += 1
 
         # Merge hidden terminals by their footprint inside the group; a set
         # of independent terminals with the same footprint acts as one with
@@ -126,11 +410,15 @@ class TopologyJointProvider(JointAccessProvider):
         return distribution
 
     def pattern_table(self, group: FrozenSet[int]) -> PatternTable:
+        self._check_current()
         group = frozenset(group)
         cached = self._table_cache.get(group)
         if cached is None:
+            self._misses += 1
             cached = super().pattern_table(group)
             self._table_cache[group] = cached
+        else:
+            self._hits += 1
         return cached
 
 

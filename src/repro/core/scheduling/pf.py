@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.scheduling.base import UplinkScheduler, build_schedule
-from repro.core.scheduling.types import SchedulingContext
+from repro.core.scheduling.base import (
+    UplinkScheduler,
+    build_schedule,
+    build_schedule_fast,
+)
+from repro.core.scheduling.types import BurstTable, SchedulingContext
+from repro.lte.pilots import MAX_ORTHOGONAL_PILOTS
 from repro.lte.resources import SubframeSchedule
 
 __all__ = ["ProportionalFairScheduler"]
@@ -23,37 +28,34 @@ class ProportionalFairScheduler(UplinkScheduler):
 
     name = "pf"
 
+    def __init__(self) -> None:
+        #: Schedule calls served by the vectorized flavour (perf-harness
+        #: guard against silent legacy fallbacks).
+        self.fast_path_schedules = 0
+
     def schedule(self, context: SchedulingContext) -> SubframeSchedule:
+        if context.vectorized:
+            # PF's group utility is a plain sum of per-client weights whose
+            # value depends only on the group size (via the stream-count
+            # SINR penalty), so the linear fast builder applies directly
+            # over the burst's lazily windowed weight table.
+            table = BurstTable(
+                context, min(context.num_antennas, MAX_ORTHOGONAL_PILOTS)
+            )
+            self.fast_path_schedules += 1
+            return build_schedule_fast(
+                context, max_group_size=context.num_antennas, table=table
+            )
+
         def utility(rb: int, group: Sequence[int]) -> float:
             streams = min(len(group), context.num_antennas)
             if streams == 0:
                 return 0.0
             return sum(context.pf_weight(ue, rb, streams) for ue in group)
 
-        rb_weights = None
-        if context.vectorized:
-            # PF's group utility is a plain sum of per-client weights whose
-            # value depends only on the group size (via the stream-count
-            # SINR penalty), so the linear greedy fast path applies: one
-            # vectorized weight matrix per stream count, columns served as
-            # plain lists.
-            antennas = context.num_antennas
-            columns: dict = {}
-
-            def rb_weights(rb: int, size: int) -> Sequence[float]:
-                streams = min(size, antennas)
-                by_rb = columns.get(streams)
-                if by_rb is None:
-                    # (num_rbs, num_ues) nested lists: one transpose per
-                    # stream count serves every RB of the subframe.
-                    by_rb = context.pf_weight_matrix(streams).T.tolist()
-                    columns[streams] = by_rb
-                return by_rb[rb]
-
         return build_schedule(
             context,
             rb_utility=utility,
             max_group_size=context.num_antennas,
             grant_streams=lambda size: max(min(size, context.num_antennas), 1),
-            rb_weights=rb_weights,
         )

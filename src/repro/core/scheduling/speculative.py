@@ -22,17 +22,35 @@ outcomes with fewer streams can only beat the granted rate.)
 
 The group size is capped at ``ceil(f * M)`` with ``f = 2`` by default —
 the paper observes diminishing returns past ``[M, 2M]``.
+
+Eqn. 4 factors into a blueprint-dependent part (the service probabilities,
+fixed while the blueprint is fixed) and a rate-dependent part (the PF
+weights, fresh every burst).  The vectorized flavour exploits exactly that
+split: service-probability vectors are cached per group on the provider,
+PF-weight columns are batched once per burst, and each greedy step prices
+all candidates through a :class:`~repro.core.scheduling.base.StepScorer`
+whose per-candidate accumulation replays the scalar reference's operation
+order — selections stay bit-identical.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.joint.provider import JointAccessProvider
-from repro.core.scheduling.base import UplinkScheduler, build_schedule
-from repro.core.scheduling.types import SchedulingContext
+from repro.core.joint.provider import (
+    JointAccessProvider,
+    TopologyJointProvider,
+)
+from repro.core.scheduling.base import (
+    StepScorer,
+    UplinkScheduler,
+    build_schedule,
+    build_schedule_fast,
+)
+from repro.core.scheduling.types import BurstTable, SchedulingContext
 from repro.errors import SchedulingError
+from repro.lte.pilots import MAX_ORTHOGONAL_PILOTS
 from repro.lte.resources import SubframeSchedule
 from repro.obs.metrics import active_registry
 
@@ -41,6 +59,158 @@ __all__ = ["SpeculativeScheduler"]
 #: Group sizes beyond 16 clients/RB are far past the paper's [M, 2M] band.
 _DEPTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
 _UTILITY_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+class _JointTensorScorer(StepScorer):
+    """Eqn. 4 step scorer over the provider's bitmask joint tables.
+
+    Keeps the committed group's bitmask and attached-terminal state along
+    one RB's greedy path; each candidate valuation asks the tables for the
+    extended group's service map (one int-keyed dict hit once the group
+    recurs) and accumulates ``service · weight`` in committed-group order —
+    the identical float sequence :meth:`expected_group_utility` produces.
+    """
+
+    __slots__ = (
+        "_tables",
+        "_table",
+        "_max_streams",
+        "_mask",
+        "_attached",
+        "_members",
+    )
+
+    def __init__(self, tables, table, max_streams: int) -> None:
+        self._tables = tables
+        self._table = table
+        self._max_streams = max_streams
+        self._mask = 0
+        self._attached: tuple = ()
+        self._members: List[int] = []
+
+    def start_rb(self, rb: int) -> None:
+        self._mask = 0
+        self._attached = ()
+        self._members = []
+
+    def step_values(
+        self, rb: int, group: Sequence[int], candidates: Sequence[int]
+    ) -> Sequence[float]:
+        max_streams = self._max_streams
+        size = len(group) + 1
+        weights = self._table.weight_row(
+            size if size < max_streams else max_streams, rb
+        )
+        service_for = self._tables.service
+        mask = self._mask
+        attached = self._attached
+        members = self._members
+        values = []
+        for candidate in candidates:
+            service = service_for(
+                mask | (1 << candidate), max_streams, attached, candidate
+            )
+            total = 0.0
+            for ue in members:
+                probability = service[ue]
+                if probability > 0.0:
+                    total += probability * weights[ue]
+            probability = service[candidate]
+            if probability > 0.0:
+                total += probability * weights[candidate]
+            values.append(total)
+        return values
+
+    def commit(self, ue: int) -> None:
+        self._mask |= 1 << ue
+        self._attached = self._tables.extend_attached(self._attached, ue)
+        self._members.append(ue)
+
+    def value(self, rb: int, group: Sequence[int]) -> float:
+        if not group:
+            return 0.0
+        max_streams = self._max_streams
+        size = len(group)
+        weights = self._table.weight_row(
+            size if size < max_streams else max_streams, rb
+        )
+        mask = 0
+        for ue in group:
+            mask |= 1 << ue
+        service = self._tables.service(mask, max_streams)
+        total = 0.0
+        for ue in group:
+            probability = service[ue]
+            if probability > 0.0:
+                total += probability * weights[ue]
+        return total
+
+
+class _ServiceMapScorer(StepScorer):
+    """Eqn. 4 step scorer for providers without bitmask tables.
+
+    Falls back to :meth:`JointAccessProvider.decodable_service` (one
+    pattern-table pass per candidate group instead of one per candidate
+    *member*) — the empirical-trace provider takes this path.
+    """
+
+    __slots__ = ("_provider", "_table", "_max_streams", "_members")
+
+    def __init__(self, provider, table, max_streams: int) -> None:
+        self._provider = provider
+        self._table = table
+        self._max_streams = max_streams
+        self._members: List[int] = []
+
+    def start_rb(self, rb: int) -> None:
+        self._members = []
+
+    def step_values(
+        self, rb: int, group: Sequence[int], candidates: Sequence[int]
+    ) -> Sequence[float]:
+        max_streams = self._max_streams
+        size = len(group) + 1
+        weights = self._table.weight_row(
+            size if size < max_streams else max_streams, rb
+        )
+        members = self._members
+        member_set = frozenset(members)
+        values = []
+        for candidate in candidates:
+            service = self._provider.decodable_service(
+                member_set | {candidate}, max_streams
+            )
+            total = 0.0
+            for ue in members:
+                probability = service[ue]
+                if probability > 0.0:
+                    total += probability * weights[ue]
+            probability = service[candidate]
+            if probability > 0.0:
+                total += probability * weights[candidate]
+            values.append(total)
+        return values
+
+    def commit(self, ue: int) -> None:
+        self._members.append(ue)
+
+    def value(self, rb: int, group: Sequence[int]) -> float:
+        if not group:
+            return 0.0
+        max_streams = self._max_streams
+        size = len(group)
+        weights = self._table.weight_row(
+            size if size < max_streams else max_streams, rb
+        )
+        service = self._provider.decodable_service(
+            frozenset(group), max_streams
+        )
+        total = 0.0
+        for ue in group:
+            probability = service[ue]
+            if probability > 0.0:
+                total += probability * weights[ue]
+        return total
 
 
 class SpeculativeScheduler(UplinkScheduler):
@@ -59,11 +229,23 @@ class SpeculativeScheduler(UplinkScheduler):
             )
         self.provider = provider
         self.overschedule_factor = float(overschedule_factor)
+        #: Schedule calls served by the vectorized flavour — the perf
+        #: harness asserts this is non-zero to catch silent legacy
+        #: fallbacks.
+        self.fast_path_schedules = 0
+        #: Provider counter values already published to the obs registry.
+        self._published_cache_hits = 0
+        self._published_cache_misses = 0
 
     def expected_group_utility(
         self, context: SchedulingContext, rb: int, group: Sequence[int]
     ) -> float:
-        """Eqn. 4 for one candidate group on one RB."""
+        """Eqn. 4 for one candidate group on one RB.
+
+        The scalar reference the vectorized scorer is checked against: it
+        re-filters the full pattern table per member, exactly as the
+        original implementation did.
+        """
         if not group:
             return 0.0
         m = context.num_antennas
@@ -85,28 +267,70 @@ class SpeculativeScheduler(UplinkScheduler):
             context.num_antennas,
             math.ceil(self.overschedule_factor * context.num_antennas),
         )
-
-        def utility(rb: int, group: Sequence[int]) -> float:
-            return self.expected_group_utility(context, rb, group)
-
-        schedule = build_schedule(
-            context,
-            rb_utility=utility,
-            max_group_size=max_group,
-            grant_streams=lambda size: max(min(size, context.num_antennas), 1),
-        )
         registry = active_registry()
+        rb_utilities: Optional[Dict[int, float]] = (
+            {} if registry is not None else None
+        )
+
+        if context.vectorized:
+            schedule = self._schedule_fast(context, max_group, rb_utilities)
+        else:
+
+            def utility(rb: int, group: Sequence[int]) -> float:
+                return self.expected_group_utility(context, rb, group)
+
+            schedule = build_schedule(
+                context,
+                rb_utility=utility,
+                max_group_size=max_group,
+                grant_streams=lambda size: max(
+                    min(size, context.num_antennas), 1
+                ),
+                rb_utilities=rb_utilities,
+            )
         if registry is not None:
-            self._record_metrics(registry, context, schedule)
+            self._record_metrics(registry, context, schedule, rb_utilities)
+        return schedule
+
+    def _schedule_fast(
+        self,
+        context: SchedulingContext,
+        max_group: int,
+        rb_utilities: Optional[Dict[int, float]],
+    ) -> SubframeSchedule:
+        """The vectorized flavour: batched weights, cached service maps."""
+        max_streams = min(context.num_antennas, MAX_ORTHOGONAL_PILOTS)
+        table = BurstTable(context, max_streams)
+        provider = self.provider
+        if isinstance(provider, TopologyJointProvider):
+            scorer: StepScorer = _JointTensorScorer(
+                provider.fast_tables(), table, max_streams
+            )
+        else:
+            scorer = _ServiceMapScorer(provider, table, max_streams)
+        schedule = build_schedule_fast(
+            context,
+            max_group_size=max_group,
+            table=table,
+            scorer=scorer,
+            rb_utilities=rb_utilities,
+        )
+        self.fast_path_schedules += 1
         return schedule
 
     def _record_metrics(
-        self, registry, context: SchedulingContext, schedule: SubframeSchedule
+        self,
+        registry,
+        context: SchedulingContext,
+        schedule: SubframeSchedule,
+        rb_utilities: Optional[Dict[int, float]] = None,
     ) -> None:
         """Observe over-schedule depth and expected utility of one burst.
 
-        Reads only; ``expected_group_utility`` is pure (pattern tables are
-        cached on the provider), so recording cannot perturb scheduling.
+        The per-RB utilities are the ones the greedy builder already
+        computed (captured through ``rb_utilities``), so enabling metrics
+        no longer re-prices every allocated RB; the scalar recompute
+        remains only as a fallback for callers that bypassed the builders.
         """
         registry.counter(
             "scheduler.schedule_calls",
@@ -126,5 +350,33 @@ class SpeculativeScheduler(UplinkScheduler):
         for rb in schedule.allocated_rbs():
             group = [grant.ue_id for grant in schedule.rb(rb)]
             depth.observe(len(group))
-            total += self.expected_group_utility(context, rb, group)
+            if rb_utilities is not None and rb in rb_utilities:
+                total += rb_utilities[rb]
+            else:
+                total += self.expected_group_utility(context, rb, group)
         expected.observe(total)
+        self._record_cache_metrics(registry)
+
+    def _record_cache_metrics(self, registry) -> None:
+        """Publish provider cache behaviour (counter deltas + size gauge)."""
+        provider = self.provider
+        hits = getattr(provider, "cache_hits", None)
+        if hits is None:
+            return
+        misses = provider.cache_misses
+        registry.counter(
+            "scheduler.pattern_cache_hits",
+            help="joint-access provider cache hits (all cache layers)",
+        ).inc(hits - self._published_cache_hits)
+        registry.counter(
+            "scheduler.pattern_cache_misses",
+            help="joint-access provider cache misses (all cache layers)",
+        ).inc(misses - self._published_cache_misses)
+        self._published_cache_hits = hits
+        self._published_cache_misses = misses
+        cache_size = getattr(provider, "cache_size", None)
+        if cache_size is not None:
+            registry.gauge(
+                "scheduler.pattern_cache_size",
+                help="memoized joint-access entries across cache layers",
+            ).set(cache_size())

@@ -161,6 +161,30 @@ def rb_rate_bps_array(sinr_db: np.ndarray) -> np.ndarray:
     return _RB_RATE_ARRAY[sinr_to_cqi_array(sinr_db)]
 
 
+#: Per-CQI rate tables with a rate scale pre-applied, keyed by the scale.
+_SCALED_RATE_ARRAYS: dict = {}
+
+
+def scaled_rb_rate_bps_array(sinr_db: np.ndarray, scale: float) -> np.ndarray:
+    """``scale * rb_rate_bps_array(sinr_db)`` with the multiply hoisted.
+
+    Bit-identical to scaling the result array: the scale is applied once
+    per CQI table entry instead of once per element, and each element's
+    value is the product of the same two float64 operands either way —
+    IEEE multiplication does not care when it runs.  This removes a
+    full-size elementwise pass from the per-burst table computation.
+    """
+    if scale == 1.0:
+        return _RB_RATE_ARRAY[sinr_to_cqi_array(sinr_db)]
+    table = _SCALED_RATE_ARRAYS.get(scale)
+    if table is None:
+        table = scale * _RB_RATE_ARRAY
+        if len(_SCALED_RATE_ARRAYS) > 64:
+            _SCALED_RATE_ARRAYS.clear()
+        _SCALED_RATE_ARRAYS[scale] = table
+    return table[sinr_to_cqi_array(sinr_db)]
+
+
 def min_sinr_db_for_rate(rate_bps: float) -> float:
     """Smallest per-RB SINR (dB) whose CQI sustains ``rate_bps``.
 

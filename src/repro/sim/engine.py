@@ -81,6 +81,28 @@ from repro.topology.graph import InterferenceTopology
 __all__ = ["CellSimulation"]
 
 
+class _MatrixRows(Mapping):
+    """Read-only per-UE-id row view of a dense ``(num_ues, num_rbs)``
+    CSI matrix, satisfying the ``sinr_db`` mapping contract without
+    materializing one row object per client per scheduling call."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._matrix = matrix
+
+    def __getitem__(self, ue: int) -> np.ndarray:
+        if not 0 <= ue < self._matrix.shape[0]:
+            raise KeyError(ue)
+        return self._matrix[ue]
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def __iter__(self):
+        return iter(range(self._matrix.shape[0]))
+
+
 class CellSimulation:
     """Simulate one LTE cell under hidden-terminal interference."""
 
@@ -323,14 +345,18 @@ class CellSimulation:
                 processes.append(BernoulliActivity(q, rng=child))
         return processes
 
-    def _scheduler_csi(self) -> Dict[int, np.ndarray]:
+    def _scheduler_csi(self) -> Mapping[int, np.ndarray]:
         """The channel state the scheduler is allowed to see (possibly
         stale by ``csi_delay_subframes``)."""
         if not self._csi_history:
             return {ue: ch.sinr_db for ue, ch in self._channels.items()}
         snapshot = self._csi_history[0]
         if isinstance(snapshot, np.ndarray):
-            return {ue: snapshot[ue] for ue in range(snapshot.shape[0])}
+            # Fast path: the snapshot is already the dense matrix.  Wrap it
+            # as a lazy per-UE row mapping instead of materializing a dict
+            # of row views — schedulers on the vectorized path consult the
+            # matrix directly, so the rows are rarely (if ever) read.
+            return _MatrixRows(snapshot)
         return snapshot
 
     def _context(self, subframe: int, silenced: Set[int]) -> SchedulingContext:
@@ -339,12 +365,39 @@ class CellSimulation:
             for ue in range(self.topology.num_ues)
             if ue in self._active_ues and self._queues[ue].backlogged
         )
+        # On the fast path the CSI snapshot already is the dense
+        # (num_ues, num_rbs) matrix the context's vectorized rate machinery
+        # needs; handing it over skips the per-UE row re-assembly.
+        sinr_matrix = None
+        if self._fast and self._csi_history:
+            snapshot = self._csi_history[0]
+            if isinstance(snapshot, np.ndarray):
+                sinr_matrix = snapshot
+        if sinr_matrix is not None:
+            return SchedulingContext.trusted(
+                subframe=subframe,
+                num_rbs=self.config.num_rbs,
+                num_antennas=self.config.num_antennas,
+                ue_ids=backlogged,
+                sinr_db=self._scheduler_csi(),
+                sinr_matrix=sinr_matrix,
+                avg_throughput_bps=self.tracker.averages(),
+                max_distinct_ues=self.config.max_distinct_ues,
+                clear_ues=frozenset(
+                    ue
+                    for ue in range(self.topology.num_ues)
+                    if ue not in silenced
+                ),
+                rate_scale=float(self.config.rb_group_size),
+                link_margin_db=self.config.link_margin_db,
+            )
         return SchedulingContext(
             subframe=subframe,
             num_rbs=self.config.num_rbs,
             num_antennas=self.config.num_antennas,
             ue_ids=backlogged,
             sinr_db=self._scheduler_csi(),
+            sinr_matrix=sinr_matrix,
             avg_throughput_bps=self.tracker.averages(),
             max_distinct_ues=self.config.max_distinct_ues,
             clear_ues=frozenset(

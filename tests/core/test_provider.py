@@ -5,7 +5,11 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core.joint.provider import EmpiricalJointProvider, TopologyJointProvider
+from repro.core.joint.provider import (
+    EmpiricalJointProvider,
+    JointAccessProvider,
+    TopologyJointProvider,
+)
 from repro.errors import TopologyError
 from repro.topology.scenarios import testbed_topology as make_testbed_topology
 
@@ -77,6 +81,91 @@ class TestTopologyJointProvider:
     def test_empty_group(self, testbed8):
         provider = TopologyJointProvider(testbed8)
         assert provider.pattern_distribution(frozenset()) == {frozenset(): 1.0}
+
+
+class TestProviderCachesAndChurn:
+    """The memoization layers: counters, the size gauge, and the
+    identity-keyed invalidation that topology churn relies on."""
+
+    def test_counters_track_hits_and_misses(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        group = frozenset({0, 1, 2})
+        assert (provider.cache_hits, provider.cache_misses) == (0, 0)
+        provider.pattern_distribution(group)
+        assert (provider.cache_hits, provider.cache_misses) == (0, 1)
+        provider.pattern_distribution(group)
+        assert (provider.cache_hits, provider.cache_misses) == (1, 1)
+        before = provider.cache_misses
+        provider.decodable_service(group, max_streams=2)
+        assert provider.cache_misses == before + 1
+        hits = provider.cache_hits
+        provider.decodable_service(group, max_streams=2)
+        assert provider.cache_hits == hits + 1
+
+    def test_cache_size_counts_all_layers(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        assert provider.cache_size() == 0
+        provider.pattern_distribution(frozenset({0, 1}))
+        pattern_only = provider.cache_size()
+        assert pattern_only >= 1
+        provider.pattern_table(frozenset({0, 1}))
+        with_table = provider.cache_size()
+        assert with_table > pattern_only
+        provider.decodable_service(frozenset({0, 1, 2}), max_streams=2)
+        assert provider.cache_size() > with_table
+
+    def test_churn_swap_drops_caches_and_matches_fresh(self, testbed8):
+        """Reassigning ``topology`` (what dynamics churn does) must
+        invalidate every layer: post-swap answers equal a provider built
+        fresh on the mutated topology, not the stale cached pmfs."""
+        provider = TopologyJointProvider(testbed8)
+        groups = [frozenset({0, 1}), frozenset({1, 2, 3}), frozenset({0, 3})]
+        for group in groups:
+            provider.pattern_distribution(group)
+            provider.pattern_table(group)
+            provider.decodable_service(group, max_streams=2)
+        assert provider.cache_size() > 0
+
+        mutated = testbed8.with_terminal(0.6, [0, 1, 2])
+        provider.topology = mutated
+        fresh = TopologyJointProvider(mutated)
+        for group in groups:
+            assert provider.pattern_distribution(
+                group
+            ) == fresh.pattern_distribution(group)
+            assert provider.pattern_table(group) == fresh.pattern_table(group)
+            assert provider.decodable_service(
+                group, max_streams=2
+            ) == fresh.decodable_service(group, max_streams=2)
+        # The stale entries are gone: the first post-swap query of each
+        # group was a miss, not a hit against the old topology's caches.
+        assert provider.pattern_distribution(groups[0]) is not None
+        assert (
+            provider._built_for is mutated  # noqa: SLF001 - invariant probe
+        )
+
+    def test_fast_service_matches_base_table_scan(self, testbed8):
+        """The bitmask service tables answer exactly what the base-class
+        pattern-table scan answers."""
+        provider = TopologyJointProvider(testbed8)
+        for group in [frozenset({0, 1}), frozenset({2, 4, 5}), frozenset({7})]:
+            for max_streams in (1, 2, 4):
+                fast = provider.decodable_service(group, max_streams)
+                slow = JointAccessProvider.decodable_service(
+                    provider, group, max_streams
+                )
+                assert set(fast) == set(slow)
+                for ue in slow:
+                    assert fast[ue] == pytest.approx(slow[ue], abs=1e-12)
+
+    def test_service_vector_matches_decodable_service(self, testbed8):
+        provider = TopologyJointProvider(testbed8)
+        group = [5, 0, 3]
+        vector = provider.service_vector(group, max_streams=2)
+        service = provider.decodable_service(frozenset(group), max_streams=2)
+        assert vector.shape == (len(group),)
+        for j, ue in enumerate(group):
+            assert vector[j] == service[ue]
 
 
 class TestEmpiricalJointProvider:

@@ -88,6 +88,20 @@ class TestMetricsExactness:
         assert snap.value("scheduler.schedule_calls") > 0
         assert snap.value("scheduler.overschedule_depth")["count"] > 0
 
+    def test_pattern_cache_metrics_for_speculative(self):
+        """The provider cache counters surface in the snapshot: a run long
+        enough to revisit groups must report both misses (first sightings)
+        and hits (revisits), plus a positive cache-size gauge."""
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=True)))
+        result = plan.run_one("spec")
+        snap = MetricsSnapshot.from_dict(result.obs_snapshot)
+        misses = snap.value("scheduler.pattern_cache_misses")
+        hits = snap.value("scheduler.pattern_cache_hits")
+        assert misses > 0
+        assert hits > 0
+        assert snap.value("scheduler.pattern_cache_size") > 0
+        assert snap.value("scheduler.pattern_cache_size") <= misses
+
 
 class TestBitExactness:
     def test_disabled_equals_absent_and_enabled(self):
