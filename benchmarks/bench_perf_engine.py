@@ -36,6 +36,12 @@ grid — and exits non-zero on any divergence; no timings, no report file.
 scenario: a run with ``ObsConfig(enabled=False)`` must be bit-exact with
 a no-obs run and cost the same (min-of-reps ratio < 1.02 outside
 ``--smoke``), and an enabled run must not change simulation outcomes.
+
+``--deploy`` additionally benchmarks the multi-cell campaign runner on a
+100-cell / 1000-UE PPP deployment: serial and sharded wall-clock,
+cells/sec, and a hard guard that ``n_jobs=1`` and ``n_jobs=N`` produce
+identical per-cell results.  Lands under the ``deployment`` key of the
+report.
 """
 
 from __future__ import annotations
@@ -199,6 +205,65 @@ def bench_dynamics_scenario(spec: ExperimentSpec, subframes: int) -> dict:
         "legacy_subframes_per_s": subframes / legacy_s,
         "speedup": legacy_s / fast_s,
     }
+
+
+def bench_deployment(smoke: bool, n_jobs: int) -> dict:
+    """Campaign-runner throughput on a 100-cell / 1000-UE deployment.
+
+    The density (100 cells over a 2.8 km square at path-loss exponent 3)
+    sits below the percolation threshold, so the coupling graph splits
+    into dozens of independent clusters — the regime sharding is for.
+    The sharded run must reproduce the serial run bit-exactly; the guard
+    fails the benchmark otherwise.
+    """
+    from repro.deploy import DeploymentSpec, PlacementSpec, run_campaign
+
+    subframes = 60 if smoke else 400
+    spec = DeploymentSpec(
+        name="bench-deploy",
+        placement=PlacementSpec("ppp", {"num_cells": 100, "area_m": 2800.0}),
+        ues_per_cell=10,
+        wifi_per_cell=2,
+        sim=SimulationConfig(num_subframes=subframes),
+        seed=3,
+    )
+    start = perf_counter()
+    serial = run_campaign(spec, n_jobs=1)
+    serial_s = perf_counter() - start
+    start = perf_counter()
+    sharded = run_campaign(spec, n_jobs=n_jobs)
+    sharded_s = perf_counter() - start
+    if sharded.cell_results != serial.cell_results:
+        raise AssertionError(
+            f"deployment campaign diverged between n_jobs=1 and "
+            f"n_jobs={n_jobs}"
+        )
+    deployment = serial.deployment
+    report = serial.report()
+    entry = {
+        "num_cells": deployment.num_cells,
+        "num_ues": deployment.total_ues,
+        "num_clusters": deployment.num_clusters,
+        "largest_cluster": max(len(c) for c in deployment.clusters),
+        "cross_cell_hidden_terminals": deployment.cross_cell_terminal_count(),
+        "subframes": subframes,
+        "n_jobs": n_jobs,
+        "serial_wall_s": serial_s,
+        "sharded_wall_s": sharded_s,
+        "serial_cells_per_s": deployment.num_cells / serial_s,
+        "sharded_cells_per_s": deployment.num_cells / sharded_s,
+        "speedup": serial_s / sharded_s,
+        "cell_fairness": report["cell_fairness"],
+        "ue_fairness": report["ue_fairness"],
+    }
+    print(
+        f" deploy: {deployment.num_cells} cells / {deployment.total_ues} UEs "
+        f"in {deployment.num_clusters} clusters | "
+        f"serial {entry['serial_cells_per_s']:6.1f} cells/s | "
+        f"sharded(n_jobs={n_jobs}) {entry['sharded_cells_per_s']:6.1f} "
+        f"cells/s | speedup {entry['speedup']:.2f}x | bit-exact"
+    )
+    return entry
 
 
 def obs_overhead(smoke: bool) -> dict:
@@ -374,6 +439,18 @@ def main(argv=None) -> int:
         help="only check the disabled/enabled observability overhead guard",
     )
     parser.add_argument(
+        "--deploy",
+        action="store_true",
+        help="also benchmark the 100-cell sharded campaign runner "
+        "(with an n_jobs=1 vs n_jobs=N equality guard)",
+    )
+    parser.add_argument(
+        "--deploy-jobs",
+        type=int,
+        default=4,
+        help="worker count for the sharded deployment benchmark run",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT_PATH,
@@ -416,6 +493,9 @@ def main(argv=None) -> int:
                 f" sf/s | legacy {entry['legacy_subframes_per_s']:9.1f} sf/s |"
                 f" bit-exact over {entry['timeline_events']} events"
             )
+
+    if args.deploy:
+        report["deployment"] = bench_deployment(args.smoke, args.deploy_jobs)
 
     if not args.smoke:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,6 +1,13 @@
 """Result analysis helpers: CDFs and report tables."""
 
 from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_least, percentile
+from repro.analysis.fairness import (
+    cdf_percentiles,
+    cell_cdf,
+    deployment_report,
+    jain_fairness,
+    per_cell_metric,
+)
 from repro.analysis.dynamics import (
     dynamics_report,
     recovery_ratio,
@@ -14,13 +21,18 @@ from repro.analysis.tables import format_comparison, format_table
 __all__ = [
     "bar_chart",
     "cdf_at",
+    "cdf_percentiles",
     "cdf_plot",
+    "cell_cdf",
     "comparison_report",
+    "deployment_report",
     "dynamics_report",
     "empirical_cdf",
     "format_comparison",
     "format_table",
     "fraction_at_least",
+    "jain_fairness",
+    "per_cell_metric",
     "percentile",
     "recovery_ratio",
     "sparkline",

@@ -1,0 +1,129 @@
+"""Deployment-scale fairness and per-cell distribution analytics.
+
+The deployment report answers the questions a multi-cell campaign
+raises that single-cell tables cannot: how evenly is capacity shared
+*across cells* (Jain fairness over per-cell throughput), how evenly
+*across every UE in the deployment* (Jain over the pooled per-UE
+throughputs), and what the per-cell metric distributions look like
+(CDF percentiles over cells rather than over subframes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.analysis.cdf import percentile
+from repro.core.scheduling.fairness import jain_fairness_index
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "jain_fairness",
+    "per_cell_metric",
+    "cell_cdf",
+    "cdf_percentiles",
+    "deployment_report",
+]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over a sample: 1 fair, ``1/n`` maximally unfair.
+
+    The analysis-layer face of
+    :func:`~repro.core.scheduling.fairness.jain_fairness_index`, applied
+    to per-cell or pooled per-UE metrics rather than per-UE delivered
+    bits inside one cell.
+    """
+    if len(values) == 0:
+        raise ConfigurationError("fairness index of an empty sequence")
+    negatives = [v for v in values if v < 0]
+    if negatives:
+        raise ConfigurationError(
+            f"fairness index needs non-negative values: {negatives[:3]}"
+        )
+    return jain_fairness_index(list(values))
+
+
+def per_cell_metric(
+    summaries: Mapping[int, Mapping[str, float]], metric: str
+) -> Dict[int, float]:
+    """Extract one summary metric per cell, keyed by cell id.
+
+    ``summaries`` is ``{cell_id: result.summary()}`` (what
+    :meth:`~repro.deploy.runner.CampaignResult.summaries` returns).
+    """
+    if not summaries:
+        raise ConfigurationError("no cell summaries")
+    out: Dict[int, float] = {}
+    for cell_id in sorted(summaries):
+        summary = summaries[cell_id]
+        if metric not in summary:
+            raise ConfigurationError(
+                f"cell {cell_id} summary has no metric {metric!r}; "
+                f"has: {sorted(summary)}"
+            )
+        out[int(cell_id)] = float(summary[metric])
+    return out
+
+
+def cell_cdf(
+    summaries: Mapping[int, Mapping[str, float]], metric: str
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Empirical CDF of one metric across cells: ``(values, fractions)``."""
+    from repro.analysis.cdf import empirical_cdf
+
+    values = list(per_cell_metric(summaries, metric).values())
+    sorted_values, fractions = empirical_cdf(values)
+    return tuple(float(v) for v in sorted_values), tuple(
+        float(f) for f in fractions
+    )
+
+
+def cdf_percentiles(
+    values: Sequence[float], qs: Sequence[float] = (10.0, 50.0, 90.0)
+) -> Dict[str, float]:
+    """Named percentiles of a sample: ``{"p10": ..., "p50": ..., ...}``."""
+    return {f"p{q:g}": percentile(values, q) for q in qs}
+
+
+def deployment_report(
+    summaries: Mapping[int, Mapping[str, float]],
+    per_ue_throughput_bps: Mapping[int, float],
+    metrics: Sequence[str] = ("throughput_mbps", "rb_utilization"),
+) -> Dict[str, Any]:
+    """Aggregate utilization/fairness report for a deployment campaign.
+
+    ``summaries`` maps cell id to that cell's summary dict;
+    ``per_ue_throughput_bps`` pools every UE in the deployment under
+    *global* UE ids.  Returns a JSON-ready dict with:
+
+    * ``num_cells`` / ``num_ues`` — population actually reported on;
+    * ``cell_fairness`` — Jain index over per-cell throughput;
+    * ``ue_fairness`` — Jain index over pooled per-UE throughput;
+    * ``aggregate_throughput_mbps`` — deployment-wide sum;
+    * ``mean_rb_utilization`` — mean of per-cell utilization;
+    * ``per_metric`` — per-cell mean + p10/p50/p90 for each ``metrics``.
+    """
+    if not per_ue_throughput_bps:
+        raise ConfigurationError("no per-UE throughputs")
+    cell_tput = per_cell_metric(summaries, "throughput_mbps")
+    cell_util = per_cell_metric(summaries, "rb_utilization")
+    ue_values = [
+        float(per_ue_throughput_bps[ue]) for ue in sorted(per_ue_throughput_bps)
+    ]
+    per_metric: Dict[str, Dict[str, float]] = {}
+    for metric in metrics:
+        values = list(per_cell_metric(summaries, metric).values())
+        entry = {"mean": float(sum(values) / len(values))}
+        entry.update(cdf_percentiles(values))
+        per_metric[metric] = entry
+    return {
+        "num_cells": len(summaries),
+        "num_ues": len(ue_values),
+        "aggregate_throughput_mbps": float(sum(cell_tput.values())),
+        "mean_rb_utilization": float(
+            sum(cell_util.values()) / len(cell_util)
+        ),
+        "cell_fairness": jain_fairness(list(cell_tput.values())),
+        "ue_fairness": jain_fairness(ue_values),
+        "per_metric": per_metric,
+    }

@@ -12,8 +12,11 @@ Commands:
 * ``run-spec``      — execute an ``ExperimentSpec`` JSON file (optionally
                       as a seed grid with checkpointing and supervised
                       retry/timeout execution).
-* ``resume``        — finish an interrupted checkpointed grid or sweep
-                      from its manifest.
+* ``deploy``        — run a multi-cell deployment campaign
+                      (``DeploymentSpec`` JSON) sharded by interference
+                      cluster, and print the utilization/fairness report.
+* ``resume``        — finish an interrupted checkpointed grid, sweep, or
+                      deployment campaign from its manifest.
 * ``obs-report``    — summarize the telemetry a ``--obs-dir`` run wrote
                       and validate any trace files next to it.
 * ``validate-specs``— parse and build every spec in a directory.
@@ -184,9 +187,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(run_spec)
     _add_obs_args(run_spec)
 
+    deploy = sub.add_parser(
+        "deploy",
+        help="run a multi-cell deployment campaign from a DeploymentSpec JSON",
+    )
+    deploy.add_argument("spec", help="path to a DeploymentSpec .json")
+    deploy.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker processes for cluster shards (-1 = all cores)",
+    )
+    deploy.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist one result file per completed interference cluster "
+            "into DIR; re-running (or `repro resume DIR`) skips them"
+        ),
+    )
+    deploy.add_argument(
+        "--per-cell",
+        action="store_true",
+        help="also print the per-cell metric table",
+    )
+    _add_resilience_args(deploy)
+    _add_obs_args(deploy)
+
     resume = sub.add_parser(
         "resume",
-        help="finish an interrupted checkpointed grid/sweep from its manifest",
+        help="finish an interrupted checkpointed grid/sweep/deployment "
+        "from its manifest",
     )
     resume.add_argument(
         "checkpoint_dir", help="directory written by a --checkpoint-dir run"
@@ -628,6 +658,122 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_deploy_obs_args(spec, args: argparse.Namespace):
+    """Overlay the CLI observability flags onto a DeploymentSpec."""
+    if not _obs_requested(args):
+        return spec
+    from repro.obs.config import ObsConfig
+
+    base = spec.obs or ObsConfig()
+    return spec.replace(obs=dataclasses.replace(base, enabled=True))
+
+
+def _format_campaign(campaign, per_cell: bool = False) -> int:
+    """Print a campaign's deployment report; exit 1 on failed clusters."""
+    deployment = campaign.deployment
+    sizes = sorted((len(c) for c in deployment.clusters), reverse=True)
+    print(
+        f"{deployment.num_cells} cells / {deployment.total_ues} UEs in "
+        f"{deployment.num_clusters} interference cluster(s) "
+        f"(largest: {sizes[0]}), "
+        f"{deployment.cross_cell_terminal_count()} cross-cell hidden "
+        f"terminal(s)"
+    )
+    if per_cell and campaign.cell_results:
+        rows = [
+            [
+                cell_id,
+                deployment.cluster_of(cell_id),
+                f"{summary['throughput_mbps']:.3f}",
+                f"{summary['rb_utilization']:.3f}",
+                f"{summary['jain_index']:.3f}",
+            ]
+            for cell_id, summary in campaign.summaries().items()
+        ]
+        print()
+        print(
+            format_table(
+                ["cell", "cluster", "throughput_mbps", "rb_utilization",
+                 "jain_index"],
+                rows,
+                title="Per-cell results",
+            )
+        )
+    if campaign.cell_results:
+        report = campaign.report()
+        rows = [
+            ["aggregate throughput (Mbps)",
+             f"{report['aggregate_throughput_mbps']:.3f}"],
+            ["mean RB utilization", f"{report['mean_rb_utilization']:.3f}"],
+            ["cell fairness (Jain)", f"{report['cell_fairness']:.4f}"],
+            ["UE fairness (Jain)", f"{report['ue_fairness']:.4f}"],
+        ]
+        for metric, stats in report["per_metric"].items():
+            rows.append(
+                [
+                    f"{metric} p10/p50/p90",
+                    f"{stats['p10']:.3f} / {stats['p50']:.3f} / "
+                    f"{stats['p90']:.3f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=f"Deployment report: {campaign.spec.name}",
+            )
+        )
+    if campaign.failed_clusters:
+        print(
+            f"{len(campaign.failed_clusters)} cluster(s) failed permanently: "
+            f"{sorted(campaign.failed_clusters)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _emit_campaign_obs(campaign, args: argparse.Namespace) -> None:
+    """Print/write the campaign's merged telemetry (deploy command)."""
+    from repro.obs.report import format_obs_report, write_metrics_json
+
+    snapshot = campaign.obs_snapshot()
+    if snapshot is None:
+        if _obs_requested(args):
+            print("no observability data collected", file=sys.stderr)
+        return
+    print()
+    print(format_obs_report(snapshot, title=f"{campaign.spec.name} telemetry"))
+    if args.obs_dir:
+        print(f"wrote {write_metrics_json(args.obs_dir, snapshot)}")
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import DeploymentSpec, run_campaign
+
+    path = Path(args.spec)
+    if not path.is_file():
+        print(f"no such spec file: {path}", file=sys.stderr)
+        return 2
+    try:
+        spec = _apply_deploy_obs_args(
+            DeploymentSpec.from_json(path.read_text()), args
+        )
+        campaign = run_campaign(
+            spec,
+            n_jobs=args.n_jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            supervisor=_supervisor_from_args(args),
+        )
+    except SpecError as error:
+        print(f"spec error: {error}", file=sys.stderr)
+        return 1
+    code = _format_campaign(campaign, per_cell=args.per_cell)
+    _emit_campaign_obs(campaign, args)
+    return code
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.errors import CheckpointError
     from repro.experiments import resume_checkpoint
@@ -647,6 +793,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         return 1
     if kind == "grid":
         return _format_grid(payload)
+    if kind == "deploy":
+        return _format_campaign(payload)
     rows = [
         [str(point.parameter), name, f"{result.summary()['throughput_mbps']:.3f}"]
         for point in payload
@@ -696,6 +844,19 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _is_deployment_spec(text: str) -> bool:
+    """True when a spec file carries the top-level deployment kind marker."""
+    import json
+
+    from repro.deploy.spec import DEPLOYMENT_KIND
+
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(data, dict) and data.get("kind") == DEPLOYMENT_KIND
+
+
 def _cmd_validate_specs(args: argparse.Namespace) -> int:
     directory = Path(args.directory)
     if not directory.is_dir():
@@ -709,7 +870,23 @@ def _cmd_validate_specs(args: argparse.Namespace) -> int:
     rows = []
     for path in paths:
         try:
-            spec = ExperimentSpec.from_json(path.read_text())
+            text = path.read_text()
+            if _is_deployment_spec(text):
+                from repro.deploy import DeploymentSpec, build_deployment
+
+                dspec = DeploymentSpec.from_json(text)
+                deployment = build_deployment(dspec)
+                rows.append(
+                    [
+                        path.name,
+                        f"deployment/{dspec.placement.kind}",
+                        deployment.total_ues,
+                        1,
+                        f"{deployment.num_clusters} clusters",
+                    ]
+                )
+                continue
+            spec = ExperimentSpec.from_json(text)
             plan = build_experiment(spec)
             for name in spec.scheduler_names:
                 plan.build_scheduler(name)
@@ -890,6 +1067,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dynamics": _cmd_dynamics,
     "run-spec": _cmd_run_spec,
+    "deploy": _cmd_deploy,
     "resume": _cmd_resume,
     "obs-report": _cmd_obs_report,
     "validate-specs": _cmd_validate_specs,

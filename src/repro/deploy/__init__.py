@@ -1,0 +1,54 @@
+"""Multi-cell deployments: placement, cross-cell hidden terminals,
+interference-cluster partitioning, and the sharded campaign runner.
+
+This package generalizes the repo's single-cell world to a deployment of
+many eNBs sharing unlicensed spectrum — the scale-out layer under the
+ROADMAP's "millions of users" north star:
+
+* :mod:`repro.deploy.spec` — :class:`DeploymentSpec`, the serializable
+  description of a deployment campaign (placement process, radio model,
+  per-cell populations, scheduler, seed);
+* :mod:`repro.deploy.model` — :func:`build_deployment`, which places
+  nodes, builds each cell's sensing graph (including *cross-cell hidden
+  terminals*), and derives the cell-coupling matrix;
+* :mod:`repro.deploy.partition` — weakly-coupled interference clusters
+  and the soundness check that lets them simulate independently;
+* :mod:`repro.deploy.runner` — the cluster-sharded campaign runner with
+  checkpoint/resume and fault tolerance.
+"""
+
+from repro.deploy.model import (
+    CellView,
+    CrossCellTerminal,
+    Deployment,
+    build_deployment,
+)
+from repro.deploy.partition import (
+    coupling_clusters,
+    coupling_edges,
+    verify_partition,
+)
+from repro.deploy.runner import CampaignResult, resume_campaign, run_campaign
+from repro.deploy.spec import (
+    DEPLOYMENT_KIND,
+    DeploymentSpec,
+    PlacementSpec,
+    RadioSpec,
+)
+
+__all__ = [
+    "DEPLOYMENT_KIND",
+    "PlacementSpec",
+    "RadioSpec",
+    "DeploymentSpec",
+    "CrossCellTerminal",
+    "CellView",
+    "Deployment",
+    "build_deployment",
+    "coupling_edges",
+    "coupling_clusters",
+    "verify_partition",
+    "CampaignResult",
+    "run_campaign",
+    "resume_campaign",
+]

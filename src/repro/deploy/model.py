@@ -1,0 +1,437 @@
+"""The deployment model: many eNBs sharing unlicensed spectrum.
+
+:func:`build_deployment` turns a :class:`~repro.deploy.spec.DeploymentSpec`
+into a :class:`Deployment` — seeded eNB/UE/WiFi placement, per-cell
+:class:`~repro.topology.graph.InterferenceTopology` construction
+(including *cross-cell hidden terminals*), the cell-coupling graph, and
+its partition into weakly-coupled interference clusters.
+
+Sensing classification generalizes the single-cell scenario generator
+(:mod:`repro.topology.generator`) to a deployment.  For each cell ``c``,
+a candidate interferer (an ambient WiFi node, or a UE *homed in another
+cell* whose uplink bursts leak into ``c``) is classified by received
+power:
+
+* audible at eNB ``c`` (>= the eNB ED threshold): it delays TxOP
+  acquisition — folded into the cell's eNB busy probability;
+* hidden from eNB ``c`` but audible at >= 1 of ``c``'s UEs (>= the UE ED
+  threshold): a hidden terminal of cell ``c``, with one topology edge per
+  audible UE — when the transmitter is a foreign UE this is a
+  **cross-cell hidden terminal**;
+* audible nowhere in ``c``: inert for that cell.
+
+Entropy derives from one ``numpy.random.SeedSequence.spawn`` tree rooted
+at ``spec.seed``::
+
+    root ── enb placement ── wifi placement/activity
+         ── cells ── cell 0 ── [ue placement, engine stream]
+         │        ── cell 1 ── ...
+         └─ clusters ── cluster 0 stream, cluster 1 stream, ...
+
+Every stream is spawned exactly once at build time and stored on the
+:class:`Deployment`, so two builds of the same spec produce identical
+streams, no two cells ever share entropy, and per-cell simulations are
+bit-identical no matter which process (or cluster shard) runs them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.deploy.partition import coupling_clusters
+from repro.deploy.spec import DeploymentSpec
+from repro.errors import DeploymentError
+from repro.lte import consts
+from repro.sim.config import SimulationConfig
+from repro.topology.geometry import (
+    Position,
+    disc_positions,
+    grid_positions,
+    poisson_positions,
+)
+from repro.topology.graph import InterferenceTopology
+
+__all__ = [
+    "CrossCellTerminal",
+    "CellView",
+    "Deployment",
+    "build_deployment",
+]
+
+
+@dataclass(frozen=True)
+class CrossCellTerminal:
+    """Provenance of one cross-cell hidden terminal in a cell's topology.
+
+    ``terminal_index`` indexes the host cell's
+    :class:`~repro.topology.graph.InterferenceTopology`; the source is UE
+    ``source_ue`` (a *global* UE id) homed in ``source_cell``.
+    """
+
+    terminal_index: int
+    source_cell: int
+    source_ue: int
+
+
+@dataclass(frozen=True)
+class CellView:
+    """One cell of a deployment, ready to simulate independently.
+
+    UE ids inside ``topology`` / ``mean_snr_db`` are cell-local
+    (``0..ues_per_cell-1``); ``ue_ids`` maps local index to global UE id.
+    """
+
+    cell_id: int
+    enb: Position
+    ue_ids: Tuple[int, ...]
+    topology: InterferenceTopology
+    mean_snr_db: Dict[int, float]
+    #: Busy probability of eNB-audible interference (foreign UEs + WiFi),
+    #: already combined with the spec-level ``sim.enb_busy_probability``.
+    enb_busy_probability: float
+    #: WiFi node ids behind each hidden terminal (-1 for cross-cell UEs),
+    #: aligned with ``topology`` terminal order.
+    terminal_wifi_ids: Tuple[int, ...]
+    cross_cell_terminals: Tuple[CrossCellTerminal, ...]
+
+    @property
+    def num_ues(self) -> int:
+        return len(self.ue_ids)
+
+    def global_ue(self, local_ue: int) -> int:
+        """The deployment-wide id of a cell-local UE index."""
+        return self.ue_ids[local_ue]
+
+    def sim_config(self, base: SimulationConfig) -> SimulationConfig:
+        """The cell's engine config: base with its own eNB busy probability."""
+        return dataclasses.replace(
+            base, enb_busy_probability=self.enb_busy_probability
+        )
+
+
+@dataclass
+class Deployment:
+    """A fully built multi-cell deployment with its cluster partition."""
+
+    spec: DeploymentSpec
+    enb_positions: Tuple[Position, ...]
+    ue_positions: Tuple[Position, ...]
+    wifi_positions: Tuple[Position, ...]
+    wifi_activity: Tuple[float, ...]
+    cells: List[CellView]
+    #: Symmetric coupling-weight matrix in dB relative to the ED
+    #: thresholds (``>= -margin`` means coupled); ``-inf`` when unrelated.
+    coupling_db: np.ndarray
+    clusters: Tuple[Tuple[int, ...], ...]
+    #: Per-cell engine SeedSequences (spawned once, never re-spawned).
+    cell_sim_seeds: Tuple[np.random.SeedSequence, ...]
+    #: Per-cell placement SeedSequences (recorded for auditability).
+    cell_placement_seeds: Tuple[np.random.SeedSequence, ...]
+    #: Per-cluster SeedSequences (fault-injection and any future
+    #: cluster-level randomness).
+    cluster_seeds: Tuple[np.random.SeedSequence, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def total_ues(self) -> int:
+        return len(self.ue_positions)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, cell_id: int) -> int:
+        """Index of the cluster containing ``cell_id``."""
+        for index, cluster in enumerate(self.clusters):
+            if cell_id in cluster:
+                return index
+        raise DeploymentError(f"cell {cell_id} is in no cluster")
+
+    def cross_cell_terminal_count(self) -> int:
+        """Total cross-cell hidden terminals across every cell's graph."""
+        return sum(len(cell.cross_cell_terminals) for cell in self.cells)
+
+    def shared_wifi_cells(self) -> Dict[int, Tuple[int, ...]]:
+        """``{wifi_id: cells}`` for WiFi nodes hidden-terminal in >= 2 cells."""
+        seen: Dict[int, List[int]] = {}
+        for cell in self.cells:
+            for wifi_id in cell.terminal_wifi_ids:
+                if wifi_id >= 0:
+                    seen.setdefault(wifi_id, []).append(cell.cell_id)
+        return {
+            wifi_id: tuple(cells)
+            for wifi_id, cells in sorted(seen.items())
+            if len(cells) > 1
+        }
+
+
+def _rx_power_dbm(
+    tx_power_dbm: float, distance_m: np.ndarray, exponent: float
+) -> np.ndarray:
+    """Vectorized log-distance received power (mirrors ``PathLossModel``)."""
+    d = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
+    return tx_power_dbm - (40.0 + 10.0 * exponent * np.log10(d))
+
+
+def _distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances, shape ``(len(a), len(b))``."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+def _positions_array(positions: Tuple[Position, ...]) -> np.ndarray:
+    return np.array([[p.x, p.y] for p in positions], dtype=float)
+
+
+def _place_enbs(
+    spec: DeploymentSpec, rng: np.random.Generator
+) -> Tuple[Position, ...]:
+    placement = spec.placement
+    if placement.kind == "grid":
+        rows = int(placement.params.get("rows", 1))
+        cols = int(placement.params.get("cols", 1))
+        spacing = float(placement.params.get("spacing_m", 120.0))
+        return grid_positions(rows, cols, spacing, origin_m=spec.cell_radius_m)
+    num_cells = int(placement.params.get("num_cells", 1))
+    area = float(placement.params.get("area_m", 500.0))
+    return poisson_positions(num_cells, area, area, rng)
+
+
+def _bounding_box(
+    enbs: Tuple[Position, ...], margin_m: float
+) -> Tuple[float, float, float, float]:
+    xs = [p.x for p in enbs]
+    ys = [p.y for p in enbs]
+    return (
+        min(xs) - margin_m,
+        min(ys) - margin_m,
+        max(xs) + margin_m,
+        max(ys) + margin_m,
+    )
+
+
+def build_deployment(spec: DeploymentSpec) -> Deployment:
+    """Build the deployment a spec describes, deterministically from its seed.
+
+    The entire construction — placement, activity draws, per-cell
+    classification, coupling, clustering — is a pure function of the
+    spec, so workers rebuild an identical deployment from the spec dict
+    alone.
+    """
+    root = np.random.SeedSequence(spec.seed)
+    enb_ss, wifi_ss, cells_ss, clusters_ss = root.spawn(4)
+
+    enbs = _place_enbs(spec, np.random.default_rng(enb_ss))
+    num_cells = len(enbs)
+    if num_cells < 1:
+        raise DeploymentError("deployment placed no eNBs")
+
+    cell_children = cells_ss.spawn(num_cells)
+    placement_seeds: List[np.random.SeedSequence] = []
+    sim_seeds: List[np.random.SeedSequence] = []
+    ue_positions: List[Position] = []
+    for cell_id in range(num_cells):
+        place_ss, sim_ss = cell_children[cell_id].spawn(2)
+        placement_seeds.append(place_ss)
+        sim_seeds.append(sim_ss)
+        ue_positions.extend(
+            disc_positions(
+                spec.ues_per_cell,
+                enbs[cell_id],
+                spec.cell_radius_m,
+                np.random.default_rng(place_ss),
+            )
+        )
+
+    wifi_rng = np.random.default_rng(wifi_ss)
+    num_wifi = spec.wifi_per_cell * num_cells
+    radio = spec.radio
+    if num_wifi > 0:
+        x0, y0, x1, y1 = _bounding_box(enbs, spec.cell_radius_m)
+        xs = wifi_rng.uniform(x0, x1, size=num_wifi)
+        ys = wifi_rng.uniform(y0, y1, size=num_wifi)
+        wifi_positions = tuple(
+            Position(float(x), float(y)) for x, y in zip(xs, ys)
+        )
+        wifi_activity = tuple(
+            float(q)
+            for q in wifi_rng.uniform(
+                radio.activity_low, radio.activity_high, size=num_wifi
+            )
+        )
+    else:
+        wifi_positions = ()
+        wifi_activity = ()
+
+    # -- vectorized received-power maps ------------------------------------
+    ue_xy = _positions_array(tuple(ue_positions))
+    enb_xy = _positions_array(enbs)
+    exponent = radio.path_loss_exponent
+    # (total_ues, num_cells) and (total_ues, total_ues)
+    ue_at_enb = _rx_power_dbm(
+        radio.ue_tx_power_dbm, _distances(ue_xy, enb_xy), exponent
+    )
+    ue_at_ue = _rx_power_dbm(
+        radio.ue_tx_power_dbm, _distances(ue_xy, ue_xy), exponent
+    )
+    if num_wifi > 0:
+        wifi_xy = _positions_array(wifi_positions)
+        wifi_at_enb = _rx_power_dbm(
+            radio.wifi_tx_power_dbm, _distances(wifi_xy, enb_xy), exponent
+        )
+        wifi_at_ue = _rx_power_dbm(
+            radio.wifi_tx_power_dbm, _distances(wifi_xy, ue_xy), exponent
+        )
+    else:
+        wifi_at_enb = np.zeros((0, num_cells))
+        wifi_at_ue = np.zeros((0, len(ue_positions)))
+
+    home_cell = np.repeat(np.arange(num_cells), spec.ues_per_cell)
+    ue_ed = radio.ue_ed_threshold_dbm
+    enb_ed = radio.enb_ed_threshold_dbm
+
+    cells: List[CellView] = []
+    for cell_id in range(num_cells):
+        local = np.flatnonzero(home_cell == cell_id)
+        terminals: List[Tuple[float, List[int]]] = []
+        terminal_wifi: List[int] = []
+        cross: List[CrossCellTerminal] = []
+        enb_idle = 1.0 - spec.sim.enb_busy_probability
+
+        # Ambient WiFi interferers, in wifi-id order.
+        for wifi_id in range(num_wifi):
+            if wifi_at_enb[wifi_id, cell_id] >= enb_ed:
+                enb_idle *= 1.0 - wifi_activity[wifi_id]
+                continue
+            audible = np.flatnonzero(wifi_at_ue[wifi_id, local] >= ue_ed)
+            if audible.size:
+                terminals.append(
+                    (wifi_activity[wifi_id], [int(u) for u in audible])
+                )
+                terminal_wifi.append(wifi_id)
+
+        # Cross-cell UE transmitters, in global-ue-id order.
+        foreign = np.flatnonzero(home_cell != cell_id)
+        for ue_global in foreign:
+            if ue_at_enb[ue_global, cell_id] >= enb_ed:
+                enb_idle *= 1.0 - radio.ue_uplink_activity
+                continue
+            audible = np.flatnonzero(ue_at_ue[ue_global, local] >= ue_ed)
+            if audible.size:
+                cross.append(
+                    CrossCellTerminal(
+                        terminal_index=len(terminals),
+                        source_cell=int(home_cell[ue_global]),
+                        source_ue=int(ue_global),
+                    )
+                )
+                terminals.append(
+                    (radio.ue_uplink_activity, [int(u) for u in audible])
+                )
+                terminal_wifi.append(-1)
+
+        topology = InterferenceTopology.build(len(local), terminals)
+        snrs = {
+            int(pos): float(
+                ue_at_enb[ue_global, cell_id] - consts.NOISE_FLOOR_10MHZ_DBM
+            )
+            for pos, ue_global in enumerate(local)
+        }
+        cells.append(
+            CellView(
+                cell_id=cell_id,
+                enb=enbs[cell_id],
+                ue_ids=tuple(int(u) for u in local),
+                topology=topology,
+                mean_snr_db=snrs,
+                enb_busy_probability=min(max(1.0 - enb_idle, 0.0), 0.999),
+                terminal_wifi_ids=tuple(terminal_wifi),
+                cross_cell_terminals=tuple(cross),
+            )
+        )
+
+    coupling = _coupling_matrix(
+        num_cells, home_cell, ue_at_ue, ue_at_enb, wifi_at_ue, wifi_at_enb,
+        ue_ed, enb_ed,
+    )
+    clusters = coupling_clusters(coupling, spec.coupling_margin_db)
+    cluster_seeds = tuple(clusters_ss.spawn(len(clusters)))
+
+    return Deployment(
+        spec=spec,
+        enb_positions=enbs,
+        ue_positions=tuple(ue_positions),
+        wifi_positions=wifi_positions,
+        wifi_activity=wifi_activity,
+        cells=cells,
+        coupling_db=coupling,
+        clusters=clusters,
+        cell_sim_seeds=tuple(sim_seeds),
+        cell_placement_seeds=tuple(placement_seeds),
+        cluster_seeds=cluster_seeds,
+    )
+
+
+def _coupling_matrix(
+    num_cells: int,
+    home_cell: np.ndarray,
+    ue_at_ue: np.ndarray,
+    ue_at_enb: np.ndarray,
+    wifi_at_ue: np.ndarray,
+    wifi_at_enb: np.ndarray,
+    ue_ed: float,
+    enb_ed: float,
+) -> np.ndarray:
+    """The symmetric cell-coupling matrix, in dB relative to ED thresholds.
+
+    ``coupling[a, b]`` is the strongest margin by which any transmitter
+    of one cell reaches into the other's sensing footprint (its UEs at
+    the UE ED threshold, its eNB at the eNB ED threshold), or — for a
+    shared ambient WiFi node ``w`` — the *weaker* of ``w``'s margins into
+    the two cells (``w`` couples both only if it reaches both).  A value
+    ``>= -margin_db`` makes the cells coupled; the diagonal is ``+inf``.
+    """
+    total_ues = ue_at_ue.shape[0]
+    # margin of UE u's uplink into cell c's sensing footprint: (UEs, cells)
+    ue_margin = ue_at_enb - enb_ed
+    for cell in range(num_cells):
+        members = np.flatnonzero(home_cell == cell)
+        if members.size:
+            at_ues = ue_at_ue[:, members].max(axis=1) - ue_ed
+            ue_margin[:, cell] = np.maximum(ue_margin[:, cell], at_ues)
+    # A UE's margin into its own cell is not coupling.
+    ue_margin[np.arange(total_ues), home_cell] = -np.inf
+
+    # per-home-cell reduction: strongest member margin into each cell.
+    direct = np.full((num_cells, num_cells), -np.inf)
+    for cell in range(num_cells):
+        members = np.flatnonzero(home_cell == cell)
+        if members.size:
+            direct[cell, :] = ue_margin[members, :].max(axis=0)
+    direct = np.maximum(direct, direct.T)
+
+    coupling = direct
+    if wifi_at_ue.shape[0]:
+        wifi_margin = wifi_at_enb - enb_ed  # (wifi, cells)
+        for cell in range(num_cells):
+            members = np.flatnonzero(home_cell == cell)
+            if members.size:
+                at_ues = wifi_at_ue[:, members].max(axis=1) - ue_ed
+                wifi_margin[:, cell] = np.maximum(wifi_margin[:, cell], at_ues)
+        # Shared-interferer coupling: min of the two per-cell margins,
+        # maximized over WiFi nodes.
+        shared = np.minimum(
+            wifi_margin[:, :, None], wifi_margin[:, None, :]
+        ).max(axis=0)
+        np.fill_diagonal(shared, -np.inf)
+        coupling = np.maximum(coupling, shared)
+
+    np.fill_diagonal(coupling, np.inf)
+    return coupling

@@ -1,0 +1,141 @@
+"""Interference-cluster partitioning of a multi-cell deployment.
+
+Two cells are *coupled* when a transmitter homed in (or shared with) one
+is received within ``margin_db`` dB of the energy-detection threshold
+somewhere in the other's sensing footprint — i.e. the coupling-weight
+matrix entry satisfies ``W[a, b] >= -margin_db``.  The deployment then
+splits into the connected components of this coupling graph.
+
+Soundness argument (why clusters simulate independently): every sensing
+or interference relationship the per-cell simulations model — a hidden
+terminal edge, an eNB-audible interferer folded into the busy
+probability, a shared WiFi node straddling two cells — requires a
+received power at or above an ED threshold, and therefore implies a
+coupling weight ``>= 0 >= -margin_db`` between the cells involved.  So
+every such relationship is an *intra-cluster* relationship; no state in
+cluster A's cells depends on anything in cluster B.  Combined with the
+per-cell ``SeedSequence`` fan-out (no shared entropy streams), running
+clusters in any order, in any process layout, is bit-identical to
+running all cells serially.  :func:`verify_partition` checks the
+structural half of this argument on a built deployment.
+
+Monotonicity: raising ``margin_db`` only *adds* edges to the coupling
+graph, and adding edges only merges connected components — a larger
+margin is strictly conservative (the property tests assert this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeploymentError
+
+__all__ = [
+    "coupling_edges",
+    "coupling_clusters",
+    "verify_partition",
+]
+
+
+def coupling_edges(
+    coupling_db: np.ndarray, margin_db: float
+) -> Tuple[Tuple[int, int], ...]:
+    """The coupled cell pairs ``(a, b)``, ``a < b``, under ``margin_db``."""
+    matrix = _checked_matrix(coupling_db)
+    if margin_db < 0:
+        raise DeploymentError(f"margin_db must be >= 0: {margin_db}")
+    a_idx, b_idx = np.nonzero(np.triu(matrix >= -margin_db, k=1))
+    return tuple(zip((int(a) for a in a_idx), (int(b) for b in b_idx)))
+
+
+def coupling_clusters(
+    coupling_db: np.ndarray, margin_db: float
+) -> Tuple[Tuple[int, ...], ...]:
+    """Partition cells into weakly-coupled interference clusters.
+
+    Connected components of the coupling graph, via union-find.  Clusters
+    are canonically ordered: cells sorted within each cluster, clusters
+    sorted by their smallest cell — so the result is a pure function of
+    the matrix and margin, independent of traversal order.
+    """
+    matrix = _checked_matrix(coupling_db)
+    num_cells = matrix.shape[0]
+    parent = list(range(num_cells))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    for a, b in coupling_edges(matrix, margin_db):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    groups: dict = {}
+    for cell in range(num_cells):
+        groups.setdefault(find(cell), []).append(cell)
+    clusters = sorted(
+        (tuple(sorted(members)) for members in groups.values()),
+        key=lambda cluster: cluster[0],
+    )
+    return tuple(clusters)
+
+
+def verify_partition(
+    coupling_db: np.ndarray,
+    margin_db: float,
+    clusters: Sequence[Sequence[int]],
+) -> None:
+    """Prove a cluster assignment sound, or raise :class:`DeploymentError`.
+
+    Checks the two invariants independent simulation rests on:
+
+    1. **True partition** — every cell appears in exactly one cluster, and
+       the clusters cover exactly ``0..num_cells-1``.
+    2. **No cross-cluster coupling** — no pair of cells in *different*
+       clusters has coupling weight ``>= -margin_db``.
+    """
+    matrix = _checked_matrix(coupling_db)
+    num_cells = matrix.shape[0]
+
+    seen: List[int] = []
+    for cluster in clusters:
+        seen.extend(int(cell) for cell in cluster)
+    if sorted(seen) != list(range(num_cells)):
+        raise DeploymentError(
+            f"clusters are not a partition of {num_cells} cells: "
+            f"covered={sorted(seen)}"
+        )
+
+    label = np.empty(num_cells, dtype=int)
+    for index, cluster in enumerate(clusters):
+        for cell in cluster:
+            label[cell] = index
+    cross = (label[:, None] != label[None, :]) & (matrix >= -margin_db)
+    if cross.any():
+        a, b = map(int, np.argwhere(cross)[0])
+        raise DeploymentError(
+            f"cells {a} and {b} are coupled "
+            f"({matrix[a, b]:.1f} dB >= {-margin_db:.1f} dB) but assigned "
+            f"to different clusters — the partition is unsound"
+        )
+
+
+def _checked_matrix(coupling_db: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(coupling_db, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DeploymentError(
+            f"coupling matrix must be square: shape {matrix.shape}"
+        )
+    finite = np.isfinite(matrix)
+    if not np.allclose(
+        np.where(finite, matrix, 0.0), np.where(finite.T, matrix.T, 0.0)
+    ) or not (finite == finite.T).all():
+        raise DeploymentError("coupling matrix must be symmetric")
+    return matrix

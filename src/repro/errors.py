@@ -49,6 +49,11 @@ class ObsError(ReproError):
     """An observability object (metric, snapshot, trace) was misused."""
 
 
+class DeploymentError(ReproError):
+    """A multi-cell deployment is malformed or violates an invariant (an
+    unsound interference-cluster partition, inconsistent cell views)."""
+
+
 class ResilienceError(ReproError):
     """A resilience operation is invalid: a malformed fault plan, a bad
     supervisor configuration, or a supervised run that could not proceed."""

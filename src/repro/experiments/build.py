@@ -448,12 +448,18 @@ def resume_checkpoint(
     Reads ``manifest.json``, rebuilds the spec(s), and re-invokes the
     matching runner with the same checkpoint directory — completed cells
     load from disk, missing cells are computed.  Returns ``("grid",
-    triples)`` or ``("sweep", points)`` depending on what was
-    checkpointed.
+    triples)``, ``("sweep", points)``, or ``("deploy", campaign)``
+    depending on what was checkpointed.
     """
     store = CheckpointStore(checkpoint_dir)
     manifest = store.load_manifest()
     kind = manifest.get("kind")
+    if kind == "deploy":
+        from repro.deploy.runner import resume_campaign
+
+        return "deploy", resume_campaign(
+            checkpoint_dir, n_jobs=n_jobs, supervisor=supervisor
+        )
     if kind == "grid":
         spec = ExperimentSpec.from_dict(manifest["spec"])
         seeds = manifest["seeds"]
@@ -469,5 +475,5 @@ def resume_checkpoint(
         )
     raise CheckpointError(
         f"checkpoint manifest has unknown kind {kind!r}; "
-        "expected 'grid' or 'sweep'"
+        "expected 'grid', 'sweep', or 'deploy'"
     )

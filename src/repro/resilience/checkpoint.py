@@ -133,6 +133,32 @@ class CheckpointStore:
                 f"corrupt checkpoint cell {path}: {error}"
             ) from error
 
+    def save_payload(self, index: int, label: Sequence[Any], payload: Any) -> None:
+        """Atomically persist one completed item with an arbitrary JSON payload.
+
+        The generic sibling of :meth:`save_cell` for runners whose work
+        items are not single ``SimulationResult`` objects (the deployment
+        campaign checkpoints one interference *cluster* — several cells'
+        results — per file).
+        """
+        _atomic_write_json(
+            self.cell_path(index),
+            {"index": index, "label": list(label), "payload": payload},
+        )
+
+    def load_payload(self, index: int) -> Optional[Any]:
+        """The stored payload for item ``index``, or ``None`` if absent."""
+        path = self.cell_path(index)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return data["payload"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise CheckpointError(
+                f"corrupt checkpoint cell {path}: {error}"
+            ) from error
+
     def completed(self) -> Set[int]:
         """Indices of every cell file present in the directory."""
         indices: Set[int] = set()

@@ -18,7 +18,14 @@ from repro.errors import ConfigurationError
 from repro.lte import consts
 from repro.lte.channel import PathLossModel
 
-__all__ = ["Position", "NodeLayout", "rx_power_map"]
+__all__ = [
+    "Position",
+    "NodeLayout",
+    "rx_power_map",
+    "grid_positions",
+    "poisson_positions",
+    "disc_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,76 @@ class NodeLayout:
             for w in range(num_wifi)
         }
         return NodeLayout(enb=centre, ues=ues, wifi=wifi)
+
+
+def grid_positions(
+    rows: int,
+    cols: int,
+    spacing_m: float,
+    origin_m: float = 0.0,
+) -> Tuple[Position, ...]:
+    """Regular ``rows x cols`` lattice of positions, row-major order.
+
+    The hexagonal-grid idealization of a planned multi-cell deployment:
+    eNB ``r * cols + c`` sits at ``(origin + c * spacing, origin + r *
+    spacing)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"grid needs rows, cols >= 1: {rows}x{cols}")
+    if spacing_m <= 0:
+        raise ConfigurationError(f"grid spacing must be positive: {spacing_m}")
+    return tuple(
+        Position(origin_m + c * spacing_m, origin_m + r * spacing_m)
+        for r in range(rows)
+        for c in range(cols)
+    )
+
+
+def poisson_positions(
+    num: int,
+    width_m: float,
+    height_m: float,
+    rng: np.random.Generator,
+) -> Tuple[Position, ...]:
+    """``num`` points uniform over a ``width x height`` rectangle.
+
+    A Poisson point process conditioned on its count (a binomial point
+    process) — the stochastic-geometry placement model for unplanned
+    multi-operator deployments sharing unlicensed spectrum.
+    """
+    if num < 1:
+        raise ConfigurationError(f"need at least one point: {num}")
+    if width_m <= 0 or height_m <= 0:
+        raise ConfigurationError(
+            f"area must be positive: {width_m}x{height_m}"
+        )
+    xs = rng.uniform(0.0, width_m, size=num)
+    ys = rng.uniform(0.0, height_m, size=num)
+    return tuple(Position(float(x), float(y)) for x, y in zip(xs, ys))
+
+
+def disc_positions(
+    num: int,
+    centre: Position,
+    radius_m: float,
+    rng: np.random.Generator,
+) -> Tuple[Position, ...]:
+    """``num`` points uniform over a disc — a cell's client population."""
+    if num < 1:
+        raise ConfigurationError(f"need at least one point: {num}")
+    if radius_m <= 0:
+        raise ConfigurationError(f"radius must be positive: {radius_m}")
+    positions = []
+    for _ in range(num):
+        radius = radius_m * math.sqrt(rng.random())
+        angle = 2.0 * math.pi * rng.random()
+        positions.append(
+            Position(
+                centre.x + radius * math.cos(angle),
+                centre.y + radius * math.sin(angle),
+            )
+        )
+    return tuple(positions)
 
 
 def rx_power_map(

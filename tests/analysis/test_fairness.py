@@ -1,0 +1,95 @@
+"""Deployment fairness and per-cell distribution helpers."""
+
+import pytest
+
+from repro.analysis import (
+    cdf_percentiles,
+    cell_cdf,
+    deployment_report,
+    jain_fairness,
+    per_cell_metric,
+)
+from repro.errors import ConfigurationError
+
+
+SUMMARIES = {
+    0: {"throughput_mbps": 10.0, "rb_utilization": 0.5},
+    1: {"throughput_mbps": 20.0, "rb_utilization": 0.9},
+    2: {"throughput_mbps": 30.0, "rb_utilization": 0.7},
+}
+
+
+class TestJainFairness:
+    def test_equal_shares_are_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jain_fairness([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            jain_fairness([1.0, -2.0])
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestPerCellHelpers:
+    def test_per_cell_metric(self):
+        assert per_cell_metric(SUMMARIES, "throughput_mbps") == {
+            0: 10.0, 1: 20.0, 2: 30.0,
+        }
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError, match="no metric"):
+            per_cell_metric(SUMMARIES, "latency")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_cell_metric({}, "throughput_mbps")
+
+    def test_cell_cdf(self):
+        values, fractions = cell_cdf(SUMMARIES, "rb_utilization")
+        assert values == (0.5, 0.7, 0.9)
+        assert fractions == pytest.approx((1 / 3, 2 / 3, 1.0))
+
+    def test_cdf_percentiles(self):
+        stats = cdf_percentiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert set(stats) == {"p10", "p50", "p90"}
+        assert stats["p50"] == pytest.approx(3.0)
+
+
+class TestDeploymentReport:
+    def test_aggregates(self):
+        per_ue = {0: 1e6, 1: 1e6, 2: 2e6, 3: 2e6, 4: 3e6, 5: 3e6}
+        report = deployment_report(SUMMARIES, per_ue)
+        assert report["num_cells"] == 3
+        assert report["num_ues"] == 6
+        assert report["aggregate_throughput_mbps"] == pytest.approx(60.0)
+        assert report["mean_rb_utilization"] == pytest.approx(0.7)
+        assert report["cell_fairness"] == pytest.approx(36.0 / 42.0)
+        assert report["ue_fairness"] == pytest.approx(
+            jain_fairness([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        )
+        assert report["per_metric"]["throughput_mbps"]["mean"] == pytest.approx(
+            20.0
+        )
+
+    def test_custom_metrics(self):
+        per_ue = {0: 1.0}
+        report = deployment_report(
+            SUMMARIES, per_ue, metrics=("rb_utilization",)
+        )
+        assert set(report["per_metric"]) == {"rb_utilization"}
+
+    def test_empty_ue_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deployment_report(SUMMARIES, {})

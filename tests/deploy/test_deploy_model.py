@@ -1,0 +1,234 @@
+"""Deployment model: placement, classification, seeding, coupling."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import DeploymentSpec, PlacementSpec, RadioSpec, build_deployment
+from repro.errors import ConfigurationError
+from repro.lte import consts
+from repro.topology.geometry import (
+    Position,
+    disc_positions,
+    grid_positions,
+    poisson_positions,
+)
+
+
+def two_cell_spec(spacing_m=90.0, **overrides):
+    base = dict(
+        name="two-cell",
+        placement=PlacementSpec(
+            "grid", {"rows": 1, "cols": 2, "spacing_m": spacing_m}
+        ),
+        ues_per_cell=4,
+        wifi_per_cell=0,
+        seed=0,
+    )
+    base.update(overrides)
+    return DeploymentSpec(**base)
+
+
+class TestPlacementProcesses:
+    def test_grid_row_major(self):
+        points = grid_positions(2, 3, 10.0, origin_m=1.0)
+        assert len(points) == 6
+        assert points[0] == Position(1.0, 1.0)
+        assert points[5] == Position(21.0, 11.0)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_positions(0, 3, 10.0)
+        with pytest.raises(ConfigurationError):
+            grid_positions(2, 2, 0.0)
+
+    def test_poisson_in_bounds_and_seeded(self):
+        a = poisson_positions(50, 200.0, 100.0, np.random.default_rng(3))
+        b = poisson_positions(50, 200.0, 100.0, np.random.default_rng(3))
+        assert a == b
+        assert all(0 <= p.x <= 200 and 0 <= p.y <= 100 for p in a)
+
+    def test_disc_within_radius(self):
+        centre = Position(10.0, -5.0)
+        points = disc_positions(40, centre, 7.0, np.random.default_rng(1))
+        assert all(p.distance_to(centre) <= 7.0 for p in points)
+
+
+class TestDeploymentBuild:
+    def test_build_is_deterministic(self):
+        spec = two_cell_spec(wifi_per_cell=2)
+        a, b = build_deployment(spec), build_deployment(spec)
+        assert a.enb_positions == b.enb_positions
+        assert a.ue_positions == b.ue_positions
+        assert a.wifi_positions == b.wifi_positions
+        assert a.wifi_activity == b.wifi_activity
+        assert a.clusters == b.clusters
+        assert [c.mean_snr_db for c in a.cells] == [
+            c.mean_snr_db for c in b.cells
+        ]
+        assert np.array_equal(a.coupling_db, b.coupling_db)
+
+    def test_populations(self):
+        deployment = build_deployment(two_cell_spec(wifi_per_cell=3))
+        assert deployment.num_cells == 2
+        assert deployment.total_ues == 8
+        assert len(deployment.wifi_positions) == 6
+        assert all(0.1 <= q < 0.5 for q in deployment.wifi_activity)
+
+    def test_cell_views_use_local_ids(self):
+        deployment = build_deployment(two_cell_spec())
+        for cell in deployment.cells:
+            assert set(cell.mean_snr_db) == set(range(cell.num_ues))
+            assert cell.topology.num_ues == cell.num_ues
+        assert deployment.cells[1].ue_ids == (4, 5, 6, 7)
+        assert deployment.cells[1].global_ue(2) == 6
+
+    def test_snr_is_rx_power_over_noise_floor(self):
+        spec = two_cell_spec()
+        deployment = build_deployment(spec)
+        cell = deployment.cells[0]
+        for local, global_ue in enumerate(cell.ue_ids):
+            distance = deployment.ue_positions[global_ue].distance_to(cell.enb)
+            rx = spec.radio.ue_tx_power_dbm - (
+                40.0 + 30.0 * np.log10(max(distance, 1.0))
+            )
+            expected = rx - consts.NOISE_FLOOR_10MHZ_DBM
+            assert cell.mean_snr_db[local] == pytest.approx(expected)
+
+
+class TestCrossCellHiddenTerminals:
+    def test_adjacent_cells_see_each_other(self):
+        # 90 m spacing, 25 m cell radius: a foreign UE is always >= 65 m
+        # from the other eNB (inaudible there) but can come within UE ED
+        # range (~54 m) of that cell's own UEs — the cross-cell regime.
+        deployment = build_deployment(two_cell_spec())
+        assert deployment.cross_cell_terminal_count() == 2
+        for cell in deployment.cells:
+            (cross,) = cell.cross_cell_terminals
+            other = 1 - cell.cell_id
+            assert cross.source_cell == other
+            assert cross.source_ue in deployment.cells[other].ue_ids
+            q, ues = (
+                cell.topology.q[cross.terminal_index],
+                cell.topology.edges[cross.terminal_index],
+            )
+            assert q == spec_activity(deployment)
+            assert ues  # silences at least one local UE
+            assert cell.terminal_wifi_ids[cross.terminal_index] == -1
+        # Mutual hidden interference couples the two cells.
+        assert deployment.clusters == ((0, 1),)
+
+    def test_far_cells_are_independent(self):
+        deployment = build_deployment(two_cell_spec(spacing_m=500.0))
+        assert deployment.cross_cell_terminal_count() == 0
+        assert deployment.clusters == ((0,), (1,))
+        margin = deployment.spec.coupling_margin_db
+        assert deployment.coupling_db[0, 1] < -margin
+
+    def test_enb_audible_foreign_ue_raises_busy_probability(self):
+        # 40 m spacing: foreign UEs land inside the eNB's ED range and
+        # fold into the cell's busy probability instead of its topology.
+        deployment = build_deployment(two_cell_spec(spacing_m=40.0))
+        assert any(c.enb_busy_probability > 0.0 for c in deployment.cells)
+
+    def test_busy_probability_combines_with_base(self):
+        from dataclasses import replace
+        from repro.sim.config import SimulationConfig
+
+        quiet = build_deployment(two_cell_spec(spacing_m=40.0))
+        loud_spec = two_cell_spec(
+            spacing_m=40.0, sim=SimulationConfig(enb_busy_probability=0.5)
+        )
+        loud = build_deployment(loud_spec)
+        for before, after in zip(quiet.cells, loud.cells):
+            idle_before = 1.0 - before.enb_busy_probability
+            assert 1.0 - after.enb_busy_probability == pytest.approx(
+                idle_before * 0.5
+            )
+            config = after.sim_config(loud_spec.sim)
+            assert config.enb_busy_probability == after.enb_busy_probability
+            assert config == replace(
+                loud_spec.sim, enb_busy_probability=after.enb_busy_probability
+            )
+
+
+def spec_activity(deployment):
+    return deployment.spec.radio.ue_uplink_activity
+
+
+class TestSharedWifi:
+    def test_shared_wifi_couples_cells(self):
+        # Dense ambient WiFi between far-apart cells: any node within UE
+        # ED range of both cells' UEs couples them without any UE-to-UE
+        # path.  Scan seeds for a shared node to keep the test exact.
+        for seed in range(30):
+            spec = two_cell_spec(spacing_m=140.0, wifi_per_cell=6, seed=seed)
+            deployment = build_deployment(spec)
+            shared = deployment.shared_wifi_cells()
+            if shared:
+                assert deployment.clusters == ((0, 1),)
+                for wifi_id, cells in shared.items():
+                    assert cells == (0, 1)
+                    assert all(
+                        wifi_id in c.terminal_wifi_ids
+                        for c in deployment.cells
+                    )
+                return
+        pytest.skip("no seed produced a shared WiFi node")
+
+
+class TestSeedTree:
+    def test_all_entropy_streams_distinct(self):
+        spec = DeploymentSpec(
+            name="tree",
+            placement=PlacementSpec("ppp", {"num_cells": 9, "area_m": 800.0}),
+            ues_per_cell=2,
+            seed=11,
+        )
+        deployment = build_deployment(spec)
+        streams = (
+            list(deployment.cell_sim_seeds)
+            + list(deployment.cell_placement_seeds)
+            + list(deployment.cluster_seeds)
+        )
+        states = [tuple(ss.generate_state(4)) for ss in streams]
+        assert len(set(states)) == len(states), "entropy streams collide"
+
+    def test_seed_changes_everything(self):
+        a = build_deployment(two_cell_spec(seed=0))
+        b = build_deployment(two_cell_spec(seed=1))
+        assert a.ue_positions != b.ue_positions
+        assert [s.generate_state(2).tolist() for s in a.cell_sim_seeds] != [
+            s.generate_state(2).tolist() for s in b.cell_sim_seeds
+        ]
+
+    def test_cell_stream_independent_of_population_elsewhere(self):
+        # Cell 0's engine stream derives only from (root seed, cell 0),
+        # never from global draws — the invariant sharding rests on.
+        small = build_deployment(two_cell_spec(wifi_per_cell=0))
+        noisy = build_deployment(two_cell_spec(wifi_per_cell=5))
+        assert (
+            small.cell_sim_seeds[0].generate_state(4).tolist()
+            == noisy.cell_sim_seeds[0].generate_state(4).tolist()
+        )
+
+
+class TestCouplingMatrix:
+    def test_symmetric_with_inf_diagonal(self):
+        deployment = build_deployment(two_cell_spec(wifi_per_cell=2))
+        matrix = deployment.coupling_db
+        assert np.isposinf(np.diag(matrix)).all()
+        off = ~np.eye(matrix.shape[0], dtype=bool)
+        assert np.array_equal(matrix[off], matrix.T[off])
+
+    def test_cluster_of(self):
+        deployment = build_deployment(two_cell_spec(spacing_m=500.0))
+        assert deployment.cluster_of(0) == 0
+        assert deployment.cluster_of(1) == 1
+
+
+class TestRadioSpecEffects:
+    def test_higher_exponent_decouples(self):
+        base = two_cell_spec()
+        lossy = two_cell_spec(radio=RadioSpec(path_loss_exponent=5.0))
+        assert build_deployment(base).cross_cell_terminal_count() > 0
+        assert build_deployment(lossy).cross_cell_terminal_count() == 0

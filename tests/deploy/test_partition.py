@@ -1,0 +1,72 @@
+"""Unit tests for the interference-cluster partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import coupling_clusters, coupling_edges, verify_partition
+from repro.errors import DeploymentError
+
+
+def matrix(n, entries):
+    """Symmetric coupling matrix from ``{(a, b): margin_db}`` entries."""
+    m = np.full((n, n), -np.inf)
+    for (a, b), value in entries.items():
+        m[a, b] = m[b, a] = value
+    np.fill_diagonal(m, np.inf)
+    return m
+
+
+class TestCouplingEdges:
+    def test_edges_at_margin(self):
+        m = matrix(4, {(0, 1): 0.0, (1, 2): -5.9, (2, 3): -6.1})
+        assert coupling_edges(m, 0.0) == ((0, 1),)
+        assert coupling_edges(m, 6.0) == ((0, 1), (1, 2))
+        assert coupling_edges(m, 7.0) == ((0, 1), (1, 2), (2, 3))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(DeploymentError, match="margin_db"):
+            coupling_edges(matrix(2, {}), -1.0)
+
+    def test_asymmetric_rejected(self):
+        m = matrix(3, {(0, 1): 0.0})
+        m[0, 1] = 3.0
+        with pytest.raises(DeploymentError, match="symmetric"):
+            coupling_edges(m, 0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DeploymentError, match="square"):
+            coupling_clusters(np.zeros((2, 3)), 0.0)
+
+
+class TestCouplingClusters:
+    def test_chain_merges_transitively(self):
+        m = matrix(4, {(0, 1): 0.0, (1, 2): 0.0})
+        assert coupling_clusters(m, 0.0) == ((0, 1, 2), (3,))
+
+    def test_isolated_cells(self):
+        assert coupling_clusters(matrix(3, {}), 10.0) == ((0,), (1,), (2,))
+
+    def test_canonical_ordering(self):
+        m = matrix(5, {(4, 2): 1.0, (3, 0): 1.0})
+        assert coupling_clusters(m, 0.0) == ((0, 3), (1,), (2, 4))
+
+
+class TestVerifyPartition:
+    def test_sound_partition_passes(self):
+        m = matrix(3, {(0, 1): 0.0})
+        verify_partition(m, 0.0, ((0, 1), (2,)))
+
+    def test_missing_cell_rejected(self):
+        with pytest.raises(DeploymentError, match="not a partition"):
+            verify_partition(matrix(3, {}), 0.0, ((0, 1),))
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(DeploymentError, match="not a partition"):
+            verify_partition(matrix(3, {}), 0.0, ((0, 1), (1, 2)))
+
+    def test_cross_cluster_coupling_rejected(self):
+        m = matrix(3, {(0, 2): -2.0})
+        with pytest.raises(DeploymentError, match="unsound"):
+            verify_partition(m, 6.0, ((0, 1), (2,)))
+        # With a tight margin the same split is sound.
+        verify_partition(m, 0.0, ((0, 1), (2,)))

@@ -1,0 +1,83 @@
+"""Property-based tests for the interference-cluster partitioner.
+
+The three laws independent cluster simulation rests on: the result is a
+true partition of the cells, no cross-cluster pair is coupled under the
+margin, and raising the margin only merges clusters (conservativeness is
+monotone).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deploy import coupling_clusters, verify_partition
+
+
+@st.composite
+def coupling_matrices(draw, max_cells=8):
+    """A symmetric coupling matrix with margins in [-30, +10] dB or -inf."""
+    n = draw(st.integers(min_value=1, max_value=max_cells))
+    m = np.full((n, n), -np.inf)
+    for a in range(n):
+        for b in range(a + 1, n):
+            if draw(st.booleans()):
+                value = draw(
+                    st.floats(min_value=-30.0, max_value=10.0,
+                              allow_nan=False)
+                )
+                m[a, b] = m[b, a] = value
+    np.fill_diagonal(m, np.inf)
+    return m
+
+
+margins = st.floats(min_value=0.0, max_value=40.0, allow_nan=False)
+
+
+@given(coupling_matrices(), margins)
+@settings(max_examples=200, deadline=None)
+def test_result_is_true_partition(matrix, margin):
+    clusters = coupling_clusters(matrix, margin)
+    cells = [cell for cluster in clusters for cell in cluster]
+    assert sorted(cells) == list(range(matrix.shape[0]))
+    assert len(set(cells)) == len(cells)
+
+
+@given(coupling_matrices(), margins)
+@settings(max_examples=200, deadline=None)
+def test_no_cross_cluster_edge_within_margin(matrix, margin):
+    clusters = coupling_clusters(matrix, margin)
+    label = {}
+    for index, cluster in enumerate(clusters):
+        for cell in cluster:
+            label[cell] = index
+    n = matrix.shape[0]
+    for a in range(n):
+        for b in range(a + 1, n):
+            if label[a] != label[b]:
+                assert matrix[a, b] < -margin
+    # The runtime checker agrees.
+    verify_partition(matrix, margin, clusters)
+
+
+@given(coupling_matrices(), margins, margins)
+@settings(max_examples=200, deadline=None)
+def test_raising_margin_only_merges(matrix, margin_a, margin_b):
+    low, high = sorted((margin_a, margin_b))
+    fine = coupling_clusters(matrix, low)
+    coarse = coupling_clusters(matrix, high)
+    # Every low-margin cluster is contained in one high-margin cluster.
+    coarse_sets = [set(cluster) for cluster in coarse]
+    for cluster in fine:
+        assert any(set(cluster) <= big for big in coarse_sets)
+    assert len(coarse) <= len(fine)
+
+
+@given(coupling_matrices(), margins)
+@settings(max_examples=100, deadline=None)
+def test_partition_is_idempotent_and_canonical(matrix, margin):
+    a = coupling_clusters(matrix, margin)
+    b = coupling_clusters(matrix, margin)
+    assert a == b
+    assert list(a) == sorted(a, key=lambda cluster: cluster[0])
+    for cluster in a:
+        assert list(cluster) == sorted(cluster)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core.joint",
     "repro.core.measurement",
     "repro.core.scheduling",
+    "repro.deploy",
     "repro.dynamics",
     "repro.experiments",
     "repro.lte",

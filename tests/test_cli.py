@@ -201,6 +201,16 @@ class TestSpecCommands:
     def test_validate_specs_missing_directory(self, capsys):
         assert main(["validate-specs", "/nonexistent/specdir"]) == 2
 
+    def test_validate_specs_accepts_deployment_spec(self, tmp_path, capsys):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        (spec_dir / "deploy.json").write_text(_deployment_spec().to_json())
+        assert main(["validate-specs", str(spec_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1" in out
+        assert "deployment/grid" in out
+        assert "clusters" in out
+
     def test_dynamics_export_spec(self, tmp_path, capsys):
         path = tmp_path / "dynamics.json"
         assert (
@@ -215,3 +225,73 @@ class TestSpecCommands:
         assert spec.timeline is not None
         assert spec.timeline.kind == "hidden-node-churn"
         assert "blu-adaptive" in spec.scheduler_names
+
+
+def _deployment_spec(**overrides):
+    from repro.deploy import DeploymentSpec, PlacementSpec
+    from repro.sim.config import SimulationConfig
+
+    base = dict(
+        name="cli-deploy",
+        placement=PlacementSpec(
+            "grid", {"rows": 1, "cols": 2, "spacing_m": 90.0}
+        ),
+        ues_per_cell=3,
+        wifi_per_cell=1,
+        sim=SimulationConfig(num_subframes=120),
+        seed=0,
+    )
+    base.update(overrides)
+    return DeploymentSpec(**base)
+
+
+class TestDeployCommand:
+    def test_deploy_defaults(self):
+        args = build_parser().parse_args(["deploy", "spec.json"])
+        assert args.n_jobs == 1
+        assert args.checkpoint_dir is None
+        assert not args.per_cell
+
+    def test_deploy_output(self, tmp_path, capsys):
+        path = tmp_path / "deploy.json"
+        path.write_text(_deployment_spec().to_json())
+        assert main(["deploy", str(path), "--per-cell"]) == 0
+        out = capsys.readouterr().out
+        assert "interference cluster" in out
+        assert "Per-cell results" in out
+        assert "Deployment report: cli-deploy" in out
+        assert "cell fairness (Jain)" in out
+
+    def test_deploy_missing_spec(self, capsys):
+        assert main(["deploy", "/nonexistent/deploy.json"]) == 2
+
+    def test_deploy_invalid_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["deploy", str(path)]) == 1
+        assert "spec error" in capsys.readouterr().err
+
+    def test_deploy_checkpoint_then_resume(self, tmp_path, capsys):
+        path = tmp_path / "deploy.json"
+        path.write_text(_deployment_spec().to_json())
+        ckpt = tmp_path / "ckpt"
+        assert main(["deploy", str(path), "--checkpoint-dir", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        assert main(["resume", str(ckpt)]) == 0
+        resumed = capsys.readouterr().out
+        assert "Deployment report: cli-deploy" in resumed
+        # The resumed report reproduces the original run's numbers.
+        assert first.strip().splitlines()[-5:] == (
+            resumed.strip().splitlines()[-5:]
+        )
+
+    def test_deploy_obs_report(self, tmp_path, capsys):
+        path = tmp_path / "deploy.json"
+        path.write_text(_deployment_spec().to_json())
+        obs_dir = tmp_path / "obs"
+        assert main(
+            ["deploy", str(path), "--obs", "--obs-dir", str(obs_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert main(["obs-report", str(obs_dir)]) == 0
