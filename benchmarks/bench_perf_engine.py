@@ -55,6 +55,7 @@ from time import perf_counter
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.experiments import (
+    ChannelSpec,
     ExperimentSpec,
     ScenarioSpec,
     SchedulerSpec,
@@ -63,6 +64,7 @@ from repro.experiments import (
 )
 from repro.obs import PhaseTimer
 from repro.sim.config import SimulationConfig
+from repro.spectrum import ChannelPlan
 
 from common import MASTER_SEED
 
@@ -108,6 +110,45 @@ def build_spec(name: str, num_ues: int, num_terminals: int, num_rbs: int,
         schedulers={"pf": SchedulerSpec("pf")},
         timeline=timeline,
         seed=MASTER_SEED,
+    )
+
+
+def channelize_spec(
+    spec: ExperimentSpec,
+    num_channels: int = 3,
+    with_drift: bool = False,
+) -> ExperimentSpec:
+    """Spread the spec's hidden terminals over a channel plan.
+
+    Terminals are homed round-robin across the channels and UEs are
+    assigned by the blueprint channel selector — the multi-channel
+    configuration the engine must keep fast/legacy bit-exact.  With
+    ``with_drift`` the run additionally replays a per-channel duty-cycle
+    drift timeline (the ``repro dynamics`` composition hazard).
+    """
+    num_terminals = spec.scenario.params["num_terminals"]
+    terminal_channels = tuple(
+        k % num_channels for k in range(num_terminals)
+    )
+    timeline = spec.timeline
+    if with_drift:
+        timeline = TimelineSpec(
+            "channel-duty-drift",
+            {
+                "drift_at": spec.sim.num_subframes // 3,
+                "channel": 1,
+                "q": 0.85,
+                "terminal_channels": list(terminal_channels),
+            },
+        )
+    return spec.replace(
+        name=spec.name + f"-{num_channels}ch" + ("-drift" if with_drift else ""),
+        channels=ChannelSpec(
+            plan=ChannelPlan.spaced(num_channels),
+            terminal_channels=terminal_channels,
+            assignment="blueprint",
+        ),
+        timeline=timeline,
     )
 
 
@@ -412,8 +453,52 @@ def check_bit_exact() -> int:
                 else:
                     failures += 1
                     print(f"DIVERGED: {label}", file=sys.stderr)
+    failures += check_channels_bit_exact()
     failures += check_resilience_bit_exact()
     return 1 if failures else 0
+
+
+def check_channels_bit_exact() -> int:
+    """The channel axis must not perturb fast/legacy equivalence.
+
+    Three flavours per scheduler on the small scenario: a 1-channel plan
+    (which must also reproduce the channel-free run bit-exactly), a
+    3-channel blueprint assignment, and a 3-channel run under the
+    per-channel duty-cycle drift timeline.
+    """
+    import dataclasses
+
+    failures = 0
+    name, ues, terminals, rbs, antennas, _ = SCENARIOS[0]
+    base = build_spec(name, ues, terminals, rbs, antennas, 400)
+    for scheduler in ("pf", "speculative"):
+        spec = dataclasses.replace(
+            base, schedulers={scheduler: SchedulerSpec(scheduler)}
+        )
+        plain_result, _ = timed_run(spec, fast=True, scheduler=scheduler)
+        single = spec.replace(channels=ChannelSpec())
+        flavours = {
+            "1ch": single,
+            "3ch": channelize_spec(spec),
+            "3ch +drift": channelize_spec(spec, with_drift=True),
+        }
+        for flavour, channel_spec in flavours.items():
+            fast_result, _ = timed_run(
+                channel_spec, fast=True, scheduler=scheduler
+            )
+            legacy_result, _ = timed_run(
+                channel_spec, fast=False, scheduler=scheduler
+            )
+            label = f"{name}/{scheduler} {flavour}"
+            ok = fast_result == legacy_result
+            if flavour == "1ch":
+                ok = ok and fast_result == plain_result
+            if ok:
+                print(f"bit-exact: {label}")
+            else:
+                failures += 1
+                print(f"DIVERGED: {label}", file=sys.stderr)
+    return failures
 
 
 def main(argv=None) -> int:
@@ -437,6 +522,12 @@ def main(argv=None) -> int:
         "--obs-overhead",
         action="store_true",
         help="only check the disabled/enabled observability overhead guard",
+    )
+    parser.add_argument(
+        "--channels",
+        action="store_true",
+        help="also benchmark the multi-channel (3-channel blueprint "
+        "assignment) flavour of every scenario",
     )
     parser.add_argument(
         "--deploy",
@@ -492,6 +583,23 @@ def main(argv=None) -> int:
                 f"{name:>7s} (churn): fast {entry['fast_subframes_per_s']:9.1f}"
                 f" sf/s | legacy {entry['legacy_subframes_per_s']:9.1f} sf/s |"
                 f" bit-exact over {entry['timeline_events']} events"
+            )
+
+    if args.channels:
+        report["channels"] = {}
+        for name, ues, terminals, rbs, antennas, subframes in SCENARIOS:
+            if args.smoke:
+                subframes = 300
+            spec = channelize_spec(
+                build_spec(name, ues, terminals, rbs, antennas, subframes)
+            )
+            entry = bench_scenario(spec, subframes)
+            entry["num_channels"] = spec.channels.plan.num_channels
+            report["channels"][name] = entry
+            print(
+                f"{name:>7s} (3ch): fast {entry['fast_subframes_per_s']:9.1f}"
+                f" sf/s | legacy {entry['legacy_subframes_per_s']:9.1f} sf/s"
+                f" | speedup {entry['speedup']:.2f}x"
             )
 
     if args.deploy:

@@ -65,6 +65,7 @@ from repro.core.measurement import (
 from repro.core.scheduling import (
     AccessAwareDownlinkScheduler,
     AccessAwareScheduler,
+    BlueprintChannelAssigner,
     OracleScheduler,
     PfAverageTracker,
     ProportionalFairScheduler,
@@ -96,6 +97,7 @@ from repro.errors import (
     WorkerFailure,
 )
 from repro.experiments import (
+    ChannelSpec,
     ExperimentSpec,
     ScenarioSpec,
     SchedulerSpec,
@@ -129,10 +131,13 @@ from repro.sim import (
     gain_over,
     run_comparison,
 )
+from repro.spectrum import ChannelPlan
 from repro.topology import (
     InterferenceTopology,
+    MultiChannelTopology,
     Scenario,
     ScenarioConfig,
+    channel_drift_timeline,
     client_churn_timeline,
     duty_cycle_drift_timeline,
     edge_set_accuracy,
@@ -156,8 +161,11 @@ __all__ = [
     "BLUConfig",
     "BLUController",
     "BLUPhase",
+    "BlueprintChannelAssigner",
     "BlueprintInference",
     "CellSimulation",
+    "ChannelPlan",
+    "ChannelSpec",
     "CheckpointError",
     "CheckpointStore",
     "ConfigurationError",
@@ -180,6 +188,7 @@ __all__ = [
     "MeasurementScheduler",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "MultiChannelTopology",
     "ObsConfig",
     "OracleScheduler",
     "PfAverageTracker",
@@ -207,6 +216,7 @@ __all__ = [
     "TransformedMeasurements",
     "WorkerFailure",
     "build_experiment",
+    "channel_drift_timeline",
     "client_churn_timeline",
     "duty_cycle_drift_timeline",
     "edge_set_accuracy",

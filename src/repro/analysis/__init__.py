@@ -1,6 +1,7 @@
 """Result analysis helpers: CDFs and report tables."""
 
 from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_least, percentile
+from repro.analysis.channels import channel_assignment_report, per_channel_metrics
 from repro.analysis.fairness import (
     cdf_percentiles,
     cell_cdf,
@@ -24,6 +25,7 @@ __all__ = [
     "cdf_percentiles",
     "cdf_plot",
     "cell_cdf",
+    "channel_assignment_report",
     "comparison_report",
     "deployment_report",
     "dynamics_report",
@@ -33,6 +35,7 @@ __all__ = [
     "fraction_at_least",
     "jain_fairness",
     "per_cell_metric",
+    "per_channel_metrics",
     "percentile",
     "recovery_ratio",
     "sparkline",

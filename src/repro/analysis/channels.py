@@ -1,0 +1,85 @@
+"""Per-channel result analysis: assignment tables and metric extraction.
+
+The channel axis produces two things worth reading after a run: *where*
+the UEs were parked (and how clear each channel's blueprint said it was),
+and *what happened* per channel (grants by outcome, silencing events —
+the ``engine.channel_*`` labeled families of an observability snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.topology.multichannel import MultiChannelTopology
+
+__all__ = ["channel_assignment_report", "per_channel_metrics"]
+
+
+def channel_assignment_report(
+    topology: MultiChannelTopology,
+    ue_channels: Sequence[int],
+    title: str = "channel assignment",
+) -> str:
+    """ASCII table: per channel, population, occupancy, blueprint access.
+
+    ``access`` is the mean blueprint access probability of the UEs
+    *assigned* to the channel (1.0 when the channel is empty of both UEs
+    and audible terminals).
+    """
+    rows = []
+    for channel in range(topology.num_channels):
+        ues = [u for u, c in enumerate(ue_channels) if c == channel]
+        view = topology.channel_view(channel)
+        access = (
+            sum(view.access_probability(u) for u in ues) / len(ues)
+            if ues
+            else 1.0
+        )
+        rows.append(
+            [
+                channel,
+                f"{topology.plan.centers_mhz[channel]:.0f}",
+                len(ues),
+                len(topology.terminals_on(channel)),
+                float(topology.channel_busy_probability(channel)),
+                float(access),
+            ]
+        )
+    return format_table(
+        ["channel", "center_mhz", "ues", "terminals", "busy_prob", "access"],
+        rows,
+        title=title,
+    )
+
+
+def per_channel_metrics(snapshot: Any) -> Optional[Dict[str, Dict[str, Any]]]:
+    """Extract the ``engine.channel_*`` families from a metrics snapshot.
+
+    Accepts a :class:`~repro.obs.MetricsSnapshot` (or any object with a
+    compatible ``get``).  Returns ``{channel: {"ues": n, "silenced": n,
+    "outcomes": {name: count}}}`` keyed by channel label, or ``None`` when
+    the run carried no channel axis.
+    """
+    ues = snapshot.get("engine.channel_ues")
+    if ues is None:
+        return None
+    channels: Dict[str, Dict[str, Any]] = {}
+
+    def bucket(channel: str) -> Dict[str, Any]:
+        return channels.setdefault(
+            channel, {"ues": 0, "silenced": 0, "outcomes": {}}
+        )
+
+    for labels, data in ues["series"].items():
+        bucket(labels[0])["ues"] = data["value"]
+    silenced = snapshot.get("engine.channel_silenced")
+    if silenced is not None:
+        for labels, data in silenced["series"].items():
+            bucket(labels[0])["silenced"] = data["value"]
+    outcomes = snapshot.get("engine.channel_grant_outcomes")
+    if outcomes is not None:
+        for labels, data in outcomes["series"].items():
+            channel, outcome = labels
+            bucket(channel)["outcomes"][outcome] = data["value"]
+    return channels

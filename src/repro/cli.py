@@ -654,6 +654,13 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             title=spec.name,
         )
     )
+    if plan.multichannel is not None and plan.ue_channels is not None:
+        from repro.analysis.channels import channel_assignment_report
+
+        print()
+        print(
+            channel_assignment_report(plan.multichannel, plan.ue_channels)
+        )
     _emit_obs_artifacts(results, args, title=spec.name)
     return 0
 
@@ -883,6 +890,12 @@ def _cmd_validate_specs(args: argparse.Namespace) -> int:
                         deployment.total_ues,
                         1,
                         f"{deployment.num_clusters} clusters",
+                        (
+                            f"{dspec.num_channels}ch/"
+                            f"{dspec.channel_assignment}"
+                            if dspec.num_channels > 1
+                            else "-"
+                        ),
                     ]
                 )
                 continue
@@ -901,12 +914,18 @@ def _cmd_validate_specs(args: argparse.Namespace) -> int:
                 plan.topology.num_ues,
                 len(spec.schedulers),
                 spec.timeline.kind if spec.timeline else "-",
+                (
+                    f"{spec.channels.plan.num_channels}ch/"
+                    f"{spec.channels.assignment}"
+                    if spec.channels is not None
+                    else "-"
+                ),
             ]
         )
     if rows:
         print(
             format_table(
-                ["spec", "scenario", "ues", "schedulers", "timeline"],
+                ["spec", "scenario", "ues", "schedulers", "timeline", "channels"],
                 rows,
                 title=f"Validated {len(rows)}/{len(paths)} specs",
             )

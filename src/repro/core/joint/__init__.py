@@ -1,5 +1,10 @@
 """Higher-order joint access distributions (Section 3.6)."""
 
+from repro.core.joint.channels import (
+    channel_access_matrix,
+    channel_busy_vector,
+    per_channel_providers,
+)
 from repro.core.joint.conditioning import (
     joint_access_probability,
     prob_all_blocked,
@@ -15,7 +20,10 @@ __all__ = [
     "EmpiricalJointProvider",
     "JointAccessProvider",
     "TopologyJointProvider",
+    "channel_access_matrix",
+    "channel_busy_vector",
     "joint_access_probability",
+    "per_channel_providers",
     "prob_all_blocked",
     "prob_all_clear",
 ]

@@ -1,0 +1,75 @@
+"""Channel-indexed blueprints: one joint-access oracle per channel.
+
+A multi-channel topology is one shared hidden-terminal population seen
+through per-channel ACLR filters, so its blueprint is naturally a
+*family* of blueprints — one :class:`InterferenceTopology` view (and one
+:class:`TopologyJointProvider`) per channel of the plan.  These helpers
+materialize that family and the two dense summaries channel selection
+feeds on: the per-(channel, UE) access-probability matrix and the
+per-channel effective busy probability with cross-channel leakage folded
+in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.joint.provider import TopologyJointProvider
+from repro.topology.multichannel import MultiChannelTopology
+
+__all__ = [
+    "per_channel_providers",
+    "channel_access_matrix",
+    "channel_busy_vector",
+]
+
+
+def per_channel_providers(
+    topology: MultiChannelTopology,
+) -> Dict[int, TopologyJointProvider]:
+    """One exact joint-access provider per channel of the plan.
+
+    Provider ``c`` answers every blueprint query — ``p(i)``, pattern
+    pmfs, Eqn. 4 service tables — *as if the cell operated on channel
+    ``c``*: terminals that do not couple into ``c`` (ACLR above their
+    margin) appear with empty footprints, everything else is unchanged.
+    """
+    return {
+        channel: TopologyJointProvider(topology.channel_view(channel))
+        for channel in range(topology.num_channels)
+    }
+
+
+def channel_access_matrix(topology: MultiChannelTopology) -> np.ndarray:
+    """``A[c, i]`` — blueprint access probability of UE ``i`` on channel ``c``.
+
+    The dense input to channel selection: row argmax per column is the
+    per-UE greedy assignment, row means rank channels by overall clarity.
+    """
+    matrix = np.empty(
+        (topology.num_channels, topology.num_ues), dtype=float
+    )
+    for channel in range(topology.num_channels):
+        view = topology.channel_view(channel)
+        for ue in range(topology.num_ues):
+            matrix[channel, ue] = view.access_probability(ue)
+    return matrix
+
+
+def channel_busy_vector(topology: MultiChannelTopology) -> np.ndarray:
+    """Per-channel effective busy probability, leakage folded in.
+
+    Entry ``c`` is ``1 - prod(1 - q_k)`` over every terminal *coupled*
+    into channel ``c`` — home-channel occupants plus adjacent-channel
+    terminals whose ACLR-attenuated emissions still cross their energy
+    margin.  This is the q-vector a per-channel CCA model sees.
+    """
+    return np.array(
+        [
+            topology.channel_busy_probability(channel)
+            for channel in range(topology.num_channels)
+        ],
+        dtype=float,
+    )

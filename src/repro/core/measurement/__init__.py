@@ -1,5 +1,6 @@
 """Measurement subsystem: pair scheduling, estimation, loss classification."""
 
+from repro.core.measurement.channels import ChannelizedAccessEstimator
 from repro.core.measurement.classifier import AccessObservation, classify_subframe
 from repro.core.measurement.estimator import AccessEstimator
 from repro.core.measurement.pair_scheduler import (
@@ -11,6 +12,7 @@ from repro.core.measurement.pair_scheduler import (
 __all__ = [
     "AccessEstimator",
     "AccessObservation",
+    "ChannelizedAccessEstimator",
     "MeasurementScheduler",
     "classify_subframe",
     "minimum_subframes",

@@ -1,0 +1,74 @@
+"""Per-channel access measurement: one estimator per channel of the plan.
+
+Measurement samples are only meaningful relative to the channel the
+grant was issued on — a UE that cleared CCA on channel 2 says nothing
+about the hidden terminals of channel 0.  The channelized estimator
+routes every observed subframe to the estimator of the channel it was
+scheduled on, so each channel accumulates its own ``p(i)``/``p(i, j)``
+statistics and can be solved into its own blueprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.measurement.estimator import AccessEstimator
+from repro.errors import MeasurementError
+
+__all__ = ["ChannelizedAccessEstimator"]
+
+
+class ChannelizedAccessEstimator:
+    """A family of :class:`AccessEstimator` instances, one per channel."""
+
+    def __init__(
+        self,
+        num_ues: int,
+        num_channels: int,
+        track_triplets: bool = False,
+        decay: float = 1.0,
+    ) -> None:
+        if num_channels < 1:
+            raise MeasurementError(
+                f"need at least one channel: {num_channels}"
+            )
+        self.num_ues = num_ues
+        self.num_channels = num_channels
+        self._estimators: Dict[int, AccessEstimator] = {
+            channel: AccessEstimator(
+                num_ues, track_triplets=track_triplets, decay=decay
+            )
+            for channel in range(num_channels)
+        }
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.num_channels:
+            raise MeasurementError(
+                f"unknown channel index {channel} "
+                f"(plan has {self.num_channels})"
+            )
+
+    def estimator(self, channel: int) -> AccessEstimator:
+        """The underlying single-channel estimator (e.g. for the solver)."""
+        self._check_channel(channel)
+        return self._estimators[channel]
+
+    def record_subframe(
+        self,
+        channel: int,
+        scheduled: Iterable[int],
+        accessed: Iterable[int],
+    ) -> None:
+        """Record one uplink subframe observed on ``channel``."""
+        self._check_channel(channel)
+        self._estimators[channel].record_subframe(scheduled, accessed)
+
+    def subframes_observed(self, channel: int) -> int:
+        self._check_channel(channel)
+        return self._estimators[channel].subframes_observed
+
+    def total_subframes_observed(self) -> int:
+        return sum(
+            estimator.subframes_observed
+            for estimator in self._estimators.values()
+        )

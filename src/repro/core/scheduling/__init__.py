@@ -2,6 +2,12 @@
 
 from repro.core.scheduling.access_aware import AccessAwareScheduler
 from repro.core.scheduling.base import UplinkScheduler, build_schedule, greedy_group
+from repro.core.scheduling.channels import (
+    BlueprintChannelAssigner,
+    ChannelAssigner,
+    StaticChannelAssigner,
+    build_channel_assigner,
+)
 from repro.core.scheduling.downlink import (
     AccessAwareDownlinkScheduler,
     downlink_delivered_bits,
@@ -16,13 +22,17 @@ from repro.core.scheduling.types import SchedulingContext
 __all__ = [
     "AccessAwareDownlinkScheduler",
     "AccessAwareScheduler",
+    "BlueprintChannelAssigner",
+    "ChannelAssigner",
     "OracleScheduler",
     "PfAverageTracker",
     "ProportionalFairScheduler",
     "SchedulingContext",
     "SingleUserScheduler",
     "SpeculativeScheduler",
+    "StaticChannelAssigner",
     "UplinkScheduler",
+    "build_channel_assigner",
     "build_schedule",
     "downlink_delivered_bits",
     "greedy_group",

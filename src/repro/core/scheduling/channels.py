@@ -1,0 +1,131 @@
+"""Channel selection: the degree of freedom ahead of the RB loop.
+
+With a multi-channel plan the scheduler gains a stage *before* resource
+blocks are fought over: park each UE on the channel whose blueprint
+promises the most access.  Downstream everything is unchanged — the RB
+loop, the speculative utility of Eqns. 3–4, and the joint providers all
+operate on the *effective* topology the assignment induces (see
+:meth:`~repro.topology.multichannel.MultiChannelTopology.effective_topology`),
+so the speculative scheduler automatically evaluates its utility against
+the blueprint of each UE's assigned channel.
+
+Two assigners cover the interesting extremes:
+
+* :class:`StaticChannelAssigner` — everyone on one fixed channel (or an
+  explicit per-UE list): the single-channel baseline, and the thing a
+  blueprint-driven assignment must beat.
+* :class:`BlueprintChannelAssigner` — greedy per-UE argmax of blueprint
+  access probability across the plan's channels, with an optional load
+  penalty spreading UEs over equally-clear channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError, SpecError
+from repro.topology.multichannel import MultiChannelTopology
+
+__all__ = [
+    "ChannelAssigner",
+    "StaticChannelAssigner",
+    "BlueprintChannelAssigner",
+    "build_channel_assigner",
+]
+
+
+class ChannelAssigner:
+    """Interface: resolve a multi-channel topology into per-UE channels."""
+
+    def assign(self, topology: MultiChannelTopology) -> Tuple[int, ...]:
+        """One channel index per UE id."""
+        raise NotImplementedError
+
+
+class StaticChannelAssigner(ChannelAssigner):
+    """Fixed assignment: one channel for all, or an explicit per-UE list."""
+
+    def __init__(
+        self,
+        channel: int = 0,
+        ue_channels: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.channel = int(channel)
+        self.ue_channels = (
+            tuple(int(c) for c in ue_channels)
+            if ue_channels is not None
+            else None
+        )
+
+    def assign(self, topology: MultiChannelTopology) -> Tuple[int, ...]:
+        if self.ue_channels is not None:
+            if len(self.ue_channels) != topology.num_ues:
+                raise SchedulingError(
+                    f"{len(self.ue_channels)} explicit channel assignments "
+                    f"for {topology.num_ues} UEs"
+                )
+            for channel in self.ue_channels:
+                topology.plan._check_channel(channel)
+            return self.ue_channels
+        topology.plan._check_channel(self.channel)
+        return (self.channel,) * topology.num_ues
+
+
+class BlueprintChannelAssigner(ChannelAssigner):
+    """Greedy blueprint-driven selection, one UE at a time in id order.
+
+    Each UE lands on the channel maximizing its blueprint access
+    probability ``p(i)`` (from that channel's view of the shared terminal
+    population), discounted by ``load_penalty`` per UE already parked
+    there.  A zero penalty is pure per-UE argmax; a positive one trades a
+    little individual access probability for spreading the cell across
+    equally-clear channels (more simultaneous TxOPs to schedule into).
+    Ties break toward the lowest channel index, so the assignment is
+    deterministic and, on a 1-channel plan, degenerates to the static
+    all-on-0 baseline.
+    """
+
+    def __init__(self, load_penalty: float = 0.0) -> None:
+        if load_penalty < 0.0:
+            raise SchedulingError(
+                f"load_penalty must be >= 0: {load_penalty}"
+            )
+        self.load_penalty = float(load_penalty)
+
+    def assign(self, topology: MultiChannelTopology) -> Tuple[int, ...]:
+        views = [
+            topology.channel_view(channel)
+            for channel in range(topology.num_channels)
+        ]
+        load = [0] * topology.num_channels
+        assignment = []
+        for ue in range(topology.num_ues):
+            best_channel = 0
+            best_utility = -1.0
+            for channel, view in enumerate(views):
+                utility = view.access_probability(ue) / (
+                    1.0 + self.load_penalty * load[channel]
+                )
+                if utility > best_utility + 1e-12:
+                    best_utility = utility
+                    best_channel = channel
+            assignment.append(best_channel)
+            load[best_channel] += 1
+        return tuple(assignment)
+
+
+def build_channel_assigner(
+    kind: str,
+    channel: int = 0,
+    ue_channels: Optional[Sequence[int]] = None,
+    load_penalty: float = 0.0,
+) -> ChannelAssigner:
+    """Resolve a spec-level assignment kind into an assigner instance."""
+    if kind == "static":
+        return StaticChannelAssigner(channel=channel, ue_channels=ue_channels)
+    if kind == "blueprint":
+        return BlueprintChannelAssigner(load_penalty=load_penalty)
+    raise SpecError(
+        f"unknown channel assignment kind {kind!r}; "
+        f"known: ['blueprint', 'static']"
+    )

@@ -47,6 +47,7 @@ from repro.deploy.spec import DeploymentSpec
 from repro.errors import DeploymentError
 from repro.lte import consts
 from repro.sim.config import SimulationConfig
+from repro.spectrum.channels import ChannelPlan
 from repro.topology.geometry import (
     Position,
     disc_positions,
@@ -134,6 +135,19 @@ class Deployment:
     #: Per-cluster SeedSequences (fault-injection and any future
     #: cluster-level randomness).
     cluster_seeds: Tuple[np.random.SeedSequence, ...]
+    #: Per-cell operating channel (all zeros for 1-channel deployments)
+    #: and the channel each ambient WiFi node serves (that of the eNB it
+    #: is received strongest at).
+    cell_channels: Tuple[int, ...] = ()
+    wifi_channels: Tuple[int, ...] = ()
+
+    def cells_on_channel(self, channel: int) -> Tuple[int, ...]:
+        """Cell ids assigned to ``channel``."""
+        return tuple(
+            cell_id
+            for cell_id, assigned in enumerate(self.cell_channels)
+            if assigned == channel
+        )
 
     @property
     def num_cells(self) -> int:
@@ -217,6 +231,69 @@ def _bounding_box(
     )
 
 
+def _assign_cell_channels(
+    spec: DeploymentSpec, num_cells: int, base_coupling: np.ndarray
+) -> Tuple[int, ...]:
+    """Per-cell channels: the deployment-level channel-selection lever.
+
+    ``round-robin`` stripes channels by cell id.  ``coloring`` walks
+    cells in id order and greedily parks each on the channel least used
+    by its already-colored *coupled* neighbours (ties to the lower
+    channel index) — classic graph coloring of the unattenuated coupling
+    graph, so cells that would contend co-channel are channelized apart
+    and the subsequent ACLR-attenuated partition can split them into
+    separate clusters.
+    """
+    n = spec.num_channels
+    if spec.channel_assignment == "round-robin":
+        return tuple(cell_id % n for cell_id in range(num_cells))
+    margin = spec.coupling_margin_db
+    channels: List[int] = []
+    for cell_id in range(num_cells):
+        neighbour_load = [0] * n
+        for other, other_channel in enumerate(channels):
+            if base_coupling[cell_id, other] >= -margin:
+                neighbour_load[other_channel] += 1
+        channels.append(int(np.argmin(neighbour_load)))
+    return tuple(channels)
+
+
+def _attenuate_cross_channel(
+    plan: ChannelPlan,
+    cell_channels: Tuple[int, ...],
+    home_cell: np.ndarray,
+    ue_at_enb: np.ndarray,
+    ue_at_ue: np.ndarray,
+    wifi_at_enb: np.ndarray,
+    wifi_at_ue: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[int, ...]]:
+    """ACLR-attenuated copies of every received-power map.
+
+    Each entry loses ``aclr_db(listener channel, transmitter channel)``;
+    listeners hear through their cell's channel filter (a UE or eNB on
+    channel 1 receives a channel-3 transmitter 40+ dB down).  WiFi nodes
+    inherit the channel of the eNB they are received strongest at — the
+    AP serving that area — and are attenuated like any transmitter.
+    Same-channel pairs lose exactly 0.0 dB, so co-channel classification
+    is untouched.
+    """
+    cell_ch = np.asarray(cell_channels, dtype=int)
+    ue_ch = cell_ch[home_cell]
+    aclr = plan.leakage_matrix_db()
+
+    ue_at_enb = ue_at_enb - aclr[np.ix_(ue_ch, cell_ch)]
+    ue_at_ue = ue_at_ue - aclr[np.ix_(ue_ch, ue_ch)]
+    if wifi_at_enb.shape[0]:
+        wifi_home = wifi_at_enb.argmax(axis=1)
+        wifi_ch = cell_ch[wifi_home]
+        wifi_at_enb = wifi_at_enb - aclr[np.ix_(wifi_ch, cell_ch)]
+        wifi_at_ue = wifi_at_ue - aclr[np.ix_(wifi_ch, ue_ch)]
+        wifi_channels = tuple(int(c) for c in wifi_ch)
+    else:
+        wifi_channels = ()
+    return ue_at_enb, ue_at_ue, wifi_at_enb, wifi_at_ue, wifi_channels
+
+
 def build_deployment(spec: DeploymentSpec) -> Deployment:
     """Build the deployment a spec describes, deterministically from its seed.
 
@@ -297,6 +374,33 @@ def build_deployment(spec: DeploymentSpec) -> Deployment:
     ue_ed = radio.ue_ed_threshold_dbm
     enb_ed = radio.enb_ed_threshold_dbm
 
+    # -- channel axis ------------------------------------------------------
+    # Channelizing attenuates every cross-channel power entry by the
+    # plan's ACLR *before* sensing classification and cluster coupling;
+    # the 1-channel default skips the whole block, leaving the maps (and
+    # therefore every downstream float) untouched.
+    cell_channels: Tuple[int, ...] = (0,) * num_cells
+    wifi_channels: Tuple[int, ...] = (0,) * num_wifi
+    if spec.num_channels > 1:
+        plan = ChannelPlan.spaced(
+            spec.num_channels, spacing_mhz=spec.channel_spacing_mhz
+        )
+        base_coupling = _coupling_matrix(
+            num_cells, home_cell, ue_at_ue, ue_at_enb, wifi_at_ue,
+            wifi_at_enb, ue_ed, enb_ed,
+        )
+        cell_channels = _assign_cell_channels(spec, num_cells, base_coupling)
+        (
+            ue_at_enb,
+            ue_at_ue,
+            wifi_at_enb,
+            wifi_at_ue,
+            wifi_channels,
+        ) = _attenuate_cross_channel(
+            plan, cell_channels, home_cell, ue_at_enb, ue_at_ue,
+            wifi_at_enb, wifi_at_ue,
+        )
+
     cells: List[CellView] = []
     for cell_id in range(num_cells):
         local = np.flatnonzero(home_cell == cell_id)
@@ -376,6 +480,8 @@ def build_deployment(spec: DeploymentSpec) -> Deployment:
         cell_sim_seeds=tuple(sim_seeds),
         cell_placement_seeds=tuple(placement_seeds),
         cluster_seeds=cluster_seeds,
+        cell_channels=cell_channels,
+        wifi_channels=wifi_channels,
     )
 
 

@@ -166,6 +166,16 @@ class DeploymentSpec:
     within this many dB of the energy-detection threshold at any sensor of
     the other (or a shared WiFi interferer straddles both).  Raising the
     margin is strictly conservative — it can only merge clusters.
+
+    ``num_channels`` > 1 gives the deployment a channel axis: each cell
+    is assigned one of the plan's channels (``channel_assignment`` —
+    ``"round-robin"`` stripes by cell id, ``"coloring"`` greedily colors
+    the unattenuated coupling graph so coupled neighbours land on
+    different channels), ambient WiFi nodes inherit their nearest eNB's
+    channel, and all cross-node powers are ACLR-attenuated before
+    sensing classification and cluster partitioning — so channelization
+    becomes a lever for the partitioner: cells that would couple
+    co-channel fall into separate clusters once channelized apart.
     """
 
     name: str
@@ -177,6 +187,9 @@ class DeploymentSpec:
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     scheduler: SchedulerSpec = field(default_factory=lambda: SchedulerSpec("pf"))
     coupling_margin_db: float = 6.0
+    num_channels: int = 1
+    channel_assignment: str = "round-robin"
+    channel_spacing_mhz: float = 20.0
     seed: int = 0
     fast_path: bool = True
     record_series: bool = False
@@ -203,6 +216,23 @@ class DeploymentSpec:
         if self.coupling_margin_db < 0:
             raise SpecError(
                 f"coupling_margin_db must be >= 0: {self.coupling_margin_db}"
+            )
+        if not isinstance(self.num_channels, int) or isinstance(
+            self.num_channels, bool
+        ) or self.num_channels < 1:
+            raise SpecError(
+                f"num_channels must be a positive integer: "
+                f"{self.num_channels!r}"
+            )
+        if self.channel_assignment not in ("round-robin", "coloring"):
+            raise SpecError(
+                f"channel_assignment must be one of ['coloring', "
+                f"'round-robin']: {self.channel_assignment!r}"
+            )
+        if self.channel_spacing_mhz <= 0:
+            raise SpecError(
+                f"channel_spacing_mhz must be positive: "
+                f"{self.channel_spacing_mhz}"
             )
         if not isinstance(self.seed, int):
             raise SpecError(f"seed must be an int: {self.seed!r}")
@@ -242,6 +272,9 @@ class DeploymentSpec:
             "sim": dataclasses.asdict(self.sim),
             "scheduler": self.scheduler.to_dict(),
             "coupling_margin_db": self.coupling_margin_db,
+            "num_channels": self.num_channels,
+            "channel_assignment": self.channel_assignment,
+            "channel_spacing_mhz": self.channel_spacing_mhz,
             "seed": self.seed,
             "fast_path": self.fast_path,
             "record_series": self.record_series,
@@ -274,6 +307,9 @@ class DeploymentSpec:
                 "sim",
                 "scheduler",
                 "coupling_margin_db",
+                "num_channels",
+                "channel_assignment",
+                "channel_spacing_mhz",
                 "seed",
                 "fast_path",
                 "record_series",
@@ -299,6 +335,9 @@ class DeploymentSpec:
             sim=SimulationConfig(**sim_raw),
             scheduler=SchedulerSpec.from_dict(scheduler_raw),
             coupling_margin_db=float(data.get("coupling_margin_db", 6.0)),
+            num_channels=data.get("num_channels", 1),
+            channel_assignment=data.get("channel_assignment", "round-robin"),
+            channel_spacing_mhz=float(data.get("channel_spacing_mhz", 20.0)),
             seed=int(data.get("seed", 0)),
             fast_path=bool(data.get("fast_path", True)),
             record_series=bool(data.get("record_series", False)),

@@ -35,6 +35,7 @@ from repro.experiments.registry import (
     timeline_blueprint_stages,
 )
 from repro.experiments.spec import (
+    ChannelSpec,
     ExperimentSpec,
     ScenarioSpec,
     SchedulerSpec,
@@ -43,6 +44,7 @@ from repro.experiments.spec import (
 
 __all__ = [
     "BuildContext",
+    "ChannelSpec",
     "ExperimentPlan",
     "ExperimentSpec",
     "ScenarioSpec",

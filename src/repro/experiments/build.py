@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.scheduling.base import UplinkScheduler
+from repro.core.scheduling.channels import build_channel_assigner
 from repro.errors import CheckpointError, SpecError
 from repro.experiments.registry import (
     BuildContext,
@@ -41,6 +42,7 @@ from repro.sim.engine import CellSimulation
 from repro.sim.results import SimulationResult
 from repro.sim.runner import ReplicatedMetric, SweepPoint, map_jobs
 from repro.topology.graph import InterferenceTopology
+from repro.topology.multichannel import MultiChannelTopology
 
 __all__ = [
     "ExperimentPlan",
@@ -61,6 +63,14 @@ class ExperimentPlan:
     topology: InterferenceTopology
     mean_snr_db: Dict[int, float]
     timeline: Optional[object]
+    #: The channel-resolved world behind ``topology`` when the spec has a
+    #: channel block: the shared terminal population across the plan's
+    #: channels (``multichannel``) and the per-UE channel assignment that
+    #: produced the effective topology.  ``None``/``None`` for 1-channel
+    #: (channel-free) specs — the engine then sees the base topology
+    #: untouched.
+    multichannel: Optional[MultiChannelTopology] = None
+    ue_channels: Optional[Tuple[int, ...]] = None
     #: Scheduler instances captured by the most recent serial ``run()``;
     #: lets callers read post-run controller state (dynamics metrics).
     schedulers: Dict[str, UplinkScheduler] = field(default_factory=dict)
@@ -157,7 +167,7 @@ class ExperimentPlan:
         from repro.obs.session import ObsSession
         from repro.sim.stages import CompositeHooks
 
-        session = ObsSession(obs)
+        session = ObsSession(obs, ue_channels=self.ue_channels)
         hooks = session.hooks
         if fault_hooks is not None:
             # Fault hooks run first so the metrics hooks observe the
@@ -186,13 +196,42 @@ class ExperimentPlan:
 
 
 def build_experiment(spec: ExperimentSpec) -> ExperimentPlan:
-    """Resolve a spec through the registries; raises SpecError on any gap."""
+    """Resolve a spec through the registries; raises SpecError on any gap.
+
+    With a channel block, the scenario's topology becomes the shared
+    terminal population of a :class:`MultiChannelTopology`; the spec's
+    assignment policy resolves per-UE channels *here* (the channel
+    selection stage ahead of the RB loop), and the engine — along with
+    every scheduler built from the plan's context — runs on the
+    *effective* topology that assignment induces.  The effective
+    topology keeps every terminal (identical engine RNG consumption),
+    so a 1-channel plan is bit-exact with a channel-free spec.
+    """
     topology = build_topology(spec.scenario)
+    multichannel: Optional[MultiChannelTopology] = None
+    ue_channels: Optional[Tuple[int, ...]] = None
+    if spec.channels is not None:
+        multichannel = MultiChannelTopology.from_base(
+            topology,
+            spec.channels.plan,
+            terminal_channels=spec.channels.terminal_channels,
+            terminal_margins_db=spec.channels.terminal_margins_db,
+        )
+        assigner = build_channel_assigner(
+            spec.channels.assignment,
+            channel=spec.channels.channel,
+            ue_channels=spec.channels.ue_channels,
+            load_penalty=spec.channels.load_penalty,
+        )
+        ue_channels = assigner.assign(multichannel)
+        topology = multichannel.effective_topology(ue_channels)
     return ExperimentPlan(
         spec=spec,
         topology=topology,
         mean_snr_db=build_snrs(spec.scenario, topology.num_ues),
         timeline=build_timeline(spec.timeline),
+        multichannel=multichannel,
+        ue_channels=ue_channels,
     )
 
 

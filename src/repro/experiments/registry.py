@@ -30,6 +30,7 @@ from repro.errors import ReproError, SpecError
 from repro.experiments.spec import ScenarioSpec, SchedulerSpec, TimelineSpec
 from repro.topology.graph import InterferenceTopology
 from repro.topology.scenarios import (
+    channel_drift_timeline,
     client_churn_timeline,
     duty_cycle_drift_timeline,
     fig1_topology,
@@ -215,6 +216,7 @@ def build_snrs(spec: ScenarioSpec, num_ues: int) -> Dict[int, float]:
 
 register_timeline("hidden-node-churn")(hidden_node_churn_timeline)
 register_timeline("duty-cycle-drift")(duty_cycle_drift_timeline)
+register_timeline("channel-duty-drift")(channel_drift_timeline)
 register_timeline("client-churn")(client_churn_timeline)
 
 

@@ -24,8 +24,10 @@ from repro.errors import SpecError
 from repro.obs.config import ObsConfig
 from repro.resilience.faults import FaultPlan
 from repro.sim.config import SimulationConfig
+from repro.spectrum.channels import ChannelPlan
 
 __all__ = [
+    "ChannelSpec",
     "ScenarioSpec",
     "SchedulerSpec",
     "TimelineSpec",
@@ -124,6 +126,135 @@ class TimelineSpec:
         return cls(kind=kind, params=params)
 
 
+_CHANNEL_ASSIGNMENTS = ("static", "blueprint")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """The channel axis of an experiment: plan, homes, and assignment.
+
+    ``plan`` defines the channels themselves (centers + ACLR model);
+    ``terminal_channels``/``terminal_margins_db`` place the scenario's
+    hidden terminals onto home channels (empty tuples mean all on
+    channel 0 with zero margin).  ``assignment`` chooses how UEs get
+    their channel: ``"static"`` parks every UE on ``channel`` (or on the
+    explicit ``ue_channels`` list), ``"blueprint"`` lets the scheduler's
+    channel-selection stage pick per-UE channels from the blueprint
+    (``load_penalty`` spreads UEs over equally-clear channels).
+
+    The default ``ChannelSpec()`` is the 1-channel plan with everything
+    on channel 0 — bit-exact with a spec that has no channel block.
+    """
+
+    plan: ChannelPlan = field(default_factory=ChannelPlan.default)
+    terminal_channels: Tuple[int, ...] = ()
+    terminal_margins_db: Tuple[float, ...] = ()
+    assignment: str = "static"
+    channel: int = 0
+    ue_channels: Optional[Tuple[int, ...]] = None
+    load_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.plan, ChannelPlan):
+            raise SpecError(
+                f"channels.plan must be a ChannelPlan, "
+                f"got {type(self.plan).__name__}"
+            )
+        object.__setattr__(
+            self, "terminal_channels", tuple(int(c) for c in self.terminal_channels)
+        )
+        object.__setattr__(
+            self,
+            "terminal_margins_db",
+            tuple(float(m) for m in self.terminal_margins_db),
+        )
+        if self.ue_channels is not None:
+            object.__setattr__(
+                self, "ue_channels", tuple(int(c) for c in self.ue_channels)
+            )
+        if self.assignment not in _CHANNEL_ASSIGNMENTS:
+            raise SpecError(
+                f"channels.assignment must be one of "
+                f"{sorted(_CHANNEL_ASSIGNMENTS)}: {self.assignment!r}"
+            )
+        if not 0 <= self.channel < self.plan.num_channels:
+            raise SpecError(
+                f"channels.channel {self.channel} outside plan with "
+                f"{self.plan.num_channels} channel(s)"
+            )
+        for home in self.terminal_channels:
+            if not 0 <= home < self.plan.num_channels:
+                raise SpecError(
+                    f"channels.terminal_channels entry {home} outside plan "
+                    f"with {self.plan.num_channels} channel(s)"
+                )
+        for margin in self.terminal_margins_db:
+            if margin < 0.0:
+                raise SpecError(
+                    f"channels.terminal_margins_db must be >= 0: {margin}"
+                )
+        if self.ue_channels is not None:
+            for assigned in self.ue_channels:
+                if not 0 <= assigned < self.plan.num_channels:
+                    raise SpecError(
+                        f"channels.ue_channels entry {assigned} outside plan "
+                        f"with {self.plan.num_channels} channel(s)"
+                    )
+        if self.load_penalty < 0.0:
+            raise SpecError(
+                f"channels.load_penalty must be >= 0: {self.load_penalty}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "terminal_channels": list(self.terminal_channels),
+            "terminal_margins_db": list(self.terminal_margins_db),
+            "assignment": self.assignment,
+            "channel": self.channel,
+            "ue_channels": (
+                list(self.ue_channels) if self.ue_channels is not None else None
+            ),
+            "load_penalty": self.load_penalty,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelSpec":
+        data = _require_mapping(data, "channels")
+        _reject_unknown(
+            data,
+            (
+                "plan",
+                "terminal_channels",
+                "terminal_margins_db",
+                "assignment",
+                "channel",
+                "ue_channels",
+                "load_penalty",
+            ),
+            "channels",
+        )
+        plan_raw = data.get("plan")
+        plan = (
+            ChannelPlan.from_dict(_require_mapping(plan_raw, "channels.plan"))
+            if plan_raw is not None
+            else ChannelPlan.default()
+        )
+        channel = data.get("channel", 0)
+        if not isinstance(channel, int) or isinstance(channel, bool):
+            raise SpecError(f"channels.channel must be an int: {channel!r}")
+        ue_channels = data.get("ue_channels")
+        return cls(
+            plan=plan,
+            terminal_channels=tuple(data.get("terminal_channels", ())),
+            terminal_margins_db=tuple(data.get("terminal_margins_db", ())),
+            assignment=data.get("assignment", "static"),
+            channel=channel,
+            ue_channels=tuple(ue_channels) if ue_channels is not None else None,
+            load_penalty=float(data.get("load_penalty", 0.0)),
+        )
+
+
 _SIM_FIELDS = tuple(f.name for f in dataclasses.fields(SimulationConfig))
 
 
@@ -157,6 +288,9 @@ class ExperimentSpec:
     #: Seeded fault plan (``repro.resilience``) applied to every run;
     #: ``None`` — the default — injects nothing.
     faults: Optional[FaultPlan] = None
+    #: Channel plan + per-UE assignment policy; ``None`` — the default —
+    #: is the implicit 1-channel world (bit-exact with older specs).
+    channels: Optional[ChannelSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -176,6 +310,11 @@ class ExperimentSpec:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise SpecError(
                 f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
+        if self.channels is not None and not isinstance(self.channels, ChannelSpec):
+            raise SpecError(
+                f"channels must be a ChannelSpec, "
+                f"got {type(self.channels).__name__}"
             )
 
     @property
@@ -197,6 +336,7 @@ class ExperimentSpec:
             "fast_path": self.fast_path,
             "obs": self.obs.to_dict() if self.obs else None,
             "faults": self.faults.to_dict() if self.faults else None,
+            "channels": self.channels.to_dict() if self.channels else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -218,6 +358,7 @@ class ExperimentSpec:
                 "fast_path",
                 "obs",
                 "faults",
+                "channels",
             ),
             "experiment",
         )
@@ -254,6 +395,11 @@ class ExperimentSpec:
             faults=(
                 FaultPlan.from_dict(data["faults"])
                 if data.get("faults") is not None
+                else None
+            ),
+            channels=(
+                ChannelSpec.from_dict(data["channels"])
+                if data.get("channels") is not None
                 else None
             ),
         )

@@ -10,7 +10,7 @@ Four cooperating pieces, all process-local and off by default:
   events export as JSONL or Chrome trace-event JSON;
 * :mod:`repro.obs.hooks` — ``SimHooks`` adapters feeding both from the
   engine's stage seam (imported lazily: they pull in ``repro.sim``);
-* :mod:`repro.obs.timing` — the former ``repro.perf`` stopwatch tools.
+* :mod:`repro.obs.timing` — the ``Stopwatch``/``PhaseTimer`` tools.
 
 Attach an :class:`ObsConfig` to an ``ExperimentSpec`` (or pass ``--obs``
 on the CLI) and every run's :class:`MetricsSnapshot` rides back on its

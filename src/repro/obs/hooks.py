@@ -9,7 +9,7 @@ no hooks at all and the pipeline takes its direct-call path.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.lte.phy import GrantOutcome
 from repro.obs.metrics import MetricsRegistry
@@ -30,10 +30,25 @@ class MetricsHooks(SimHooks):
     transmit/decode stage already computed for the result counters.  Grant
     *bursts* (one scheduler consultation per TxOP) are detected by
     schedule identity, which is exact even for back-to-back TxOPs.
+
+    With a per-UE ``ue_channels`` assignment (multi-channel specs), three
+    extra channel-labelled families break the headline counters down by
+    the channel each UE transmits on: ``engine.channel_ues`` (assignment
+    size), ``engine.channel_grant_outcomes``, and
+    ``engine.channel_silenced``.
     """
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        ue_channels: Optional[Sequence[int]] = None,
+    ) -> None:
         self.registry = registry
+        self._ue_channels = (
+            tuple(int(c) for c in ue_channels)
+            if ue_channels is not None
+            else None
+        )
         self._subframes = registry.counter(
             "engine.subframes", help="subframes simulated, by kind", labels=("kind",)
         )
@@ -68,6 +83,26 @@ class MetricsHooks(SimHooks):
         self._bursts = registry.counter(
             "engine.grant_bursts", help="scheduler consultations (TxOP grants)"
         )
+        self._channel_outcomes = None
+        self._channel_silenced = None
+        if self._ue_channels is not None:
+            channel_ues = registry.counter(
+                "engine.channel_ues",
+                help="UEs assigned to each channel",
+                labels=("channel",),
+            )
+            for channel in self._ue_channels:
+                channel_ues.labels(channel=str(channel)).inc()
+            self._channel_outcomes = registry.counter(
+                "engine.channel_grant_outcomes",
+                help="per-grant decode outcome by assigned channel",
+                labels=("channel", "outcome"),
+            )
+            self._channel_silenced = registry.counter(
+                "engine.channel_silenced",
+                help="UEs silenced by CCA, by assigned channel",
+                labels=("channel",),
+            )
         self._last_schedule: Optional[object] = None
         self._last_harq = 0
 
@@ -76,6 +111,12 @@ class MetricsHooks(SimHooks):
         self._subframes.labels(kind=ctx.kind).inc()
         if ctx.silenced:
             self._cca.inc(len(ctx.silenced))
+            if self._channel_silenced is not None:
+                for ue in ctx.silenced:
+                    if ue < len(self._ue_channels):
+                        self._channel_silenced.labels(
+                            channel=str(self._ue_channels[ue])
+                        ).inc()
         if ctx.kind != UPLINK:
             return
         schedule = ctx.schedule
@@ -96,7 +137,7 @@ class MetricsHooks(SimHooks):
             decoded = blocked = collided = faded = utilized = 0
             for rb_reception in reception.rb_receptions.values():
                 rb_decoded = False
-                for outcome in rb_reception.outcomes.values():
+                for ue, outcome in rb_reception.outcomes.items():
                     if outcome is GrantOutcome.DECODED:
                         decoded += 1
                         rb_decoded = True
@@ -106,6 +147,13 @@ class MetricsHooks(SimHooks):
                         collided += 1
                     else:
                         faded += 1
+                    if self._channel_outcomes is not None and ue < len(
+                        self._ue_channels
+                    ):
+                        self._channel_outcomes.labels(
+                            channel=str(self._ue_channels[ue]),
+                            outcome=outcome.name.lower(),
+                        ).inc()
                 if rb_decoded:
                     utilized += 1
             if decoded:

@@ -21,7 +21,7 @@ Usage::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from repro.obs.config import ObsConfig
 from repro.obs.hooks import MetricsHooks, TracingHooks
@@ -35,11 +35,17 @@ __all__ = ["ObsSession"]
 class ObsSession:
     """Builds and carries the per-run observability plumbing."""
 
-    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ObsConfig] = None,
+        ue_channels: Optional[Sequence[int]] = None,
+    ) -> None:
         self.config = ObsConfig() if config is None else config
         self.registry = MetricsRegistry()
         self.tracer: Optional[EventTracer] = None
-        metrics_hooks = MetricsHooks(self.registry)
+        # ``ue_channels`` (multi-channel specs) switches on the channel-
+        # labelled metric families alongside the headline counters.
+        metrics_hooks = MetricsHooks(self.registry, ue_channels=ue_channels)
         self._tracing_hooks: Optional[TracingHooks] = None
         if self.config.tracing:
             self.tracer = EventTracer(capacity=self.config.trace_capacity)

@@ -10,8 +10,6 @@ without distorting what they measure:
   calls :meth:`PhaseTimer.add` under each stage's ``phase`` label —
   ``activity``, ``channels``, ``schedule``, ``receive``, ...).
 
-Formerly ``repro.perf.stopwatch``; that module remains as a deprecation
-shim re-exporting these names.
 """
 
 from __future__ import annotations

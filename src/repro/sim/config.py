@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import SpecError
 from repro.lte import consts
 
 __all__ = ["SimulationConfig"]
@@ -58,35 +58,42 @@ class SimulationConfig:
     mean_busy_subframes: float = 3.0
 
     def __post_init__(self) -> None:
-        if self.num_subframes < 1:
-            raise ConfigurationError(
-                f"num_subframes must be positive: {self.num_subframes}"
-            )
-        if self.num_rbs < 1:
-            raise ConfigurationError(f"num_rbs must be positive: {self.num_rbs}")
-        if self.rb_group_size < 1:
-            raise ConfigurationError(
-                f"rb_group_size must be positive: {self.rb_group_size}"
-            )
-        if self.num_antennas < 1:
-            raise ConfigurationError(
-                f"num_antennas must be positive: {self.num_antennas}"
-            )
+        # Sizing fields are validated here, by name, so a bad value fails
+        # at spec/config construction instead of deep inside the engine.
+        for field_name in (
+            "num_subframes", "num_rbs", "rb_group_size", "num_antennas",
+            "max_distinct_ues",
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SpecError(
+                    f"sim.{field_name} must be a positive integer: {value!r}"
+                )
         if self.csi_delay_subframes < 0:
-            raise ConfigurationError(
-                f"csi_delay_subframes must be >= 0: {self.csi_delay_subframes}"
+            raise SpecError(
+                f"sim.csi_delay_subframes must be >= 0: "
+                f"{self.csi_delay_subframes}"
             )
         if self.receiver not in ("linear", "sic"):
-            raise ConfigurationError(
-                f"receiver must be 'linear' or 'sic': {self.receiver!r}"
+            raise SpecError(
+                f"sim.receiver must be 'linear' or 'sic': {self.receiver!r}"
             )
         if self.activity_kind not in ("bernoulli", "markov"):
-            raise ConfigurationError(
+            raise SpecError(
                 f"unknown activity kind: {self.activity_kind!r}"
             )
         if self.mean_busy_subframes < 1.0:
-            raise ConfigurationError(
-                f"mean_busy_subframes must be >= 1: {self.mean_busy_subframes}"
+            raise SpecError(
+                f"sim.mean_busy_subframes must be >= 1: "
+                f"{self.mean_busy_subframes}"
             )
         if self.ul_subframes_per_txop < 1:
-            raise ConfigurationError("TxOP needs at least one UL subframe")
+            raise SpecError(
+                f"sim.ul_subframes_per_txop must be >= 1 (a TxOP needs at "
+                f"least one UL subframe): {self.ul_subframes_per_txop}"
+            )
+        if self.dl_subframes_per_txop < 0:
+            raise SpecError(
+                f"sim.dl_subframes_per_txop must be >= 0: "
+                f"{self.dl_subframes_per_txop}"
+            )

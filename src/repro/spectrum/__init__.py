@@ -1,8 +1,9 @@
-"""Unlicensed-spectrum substrate: sensing, medium state, WiFi interferers."""
+"""Unlicensed-spectrum substrate: sensing, channels, medium state, WiFi."""
 
 from repro.spectrum.activity import (
     ActivityProcess,
     BernoulliActivity,
+    ChannelizedActivitySet,
     MarkovOnOffActivity,
     TraceActivity,
 )
@@ -11,9 +12,12 @@ from repro.spectrum.cca import (
     WIFI_PREAMBLE_SENSING,
     SensingModel,
     aggregate_power_dbm,
+    cross_channel_power_dbm,
     dbm_to_mw,
     mw_to_dbm,
+    per_channel_busy,
 )
+from repro.spectrum.channels import ACLR_ORTHOGONAL_DB, ChannelPlan
 from repro.spectrum.medium import (
     MediumSnapshot,
     silenced_ues_from_graph,
@@ -24,13 +28,17 @@ from repro.spectrum.wifi import (
     TrafficProfile,
     WiFiContentionSimulator,
     WiFiNode,
+    channelized_audibility,
     frame_airtime_subframes,
     select_bitrate_mbps,
 )
 
 __all__ = [
+    "ACLR_ORTHOGONAL_DB",
     "ActivityProcess",
     "BernoulliActivity",
+    "ChannelPlan",
+    "ChannelizedActivitySet",
     "LTE_ENERGY_SENSING",
     "MarkovOnOffActivity",
     "MediumSnapshot",
@@ -42,9 +50,12 @@ __all__ = [
     "WiFiContentionSimulator",
     "WiFiNode",
     "aggregate_power_dbm",
+    "channelized_audibility",
+    "cross_channel_power_dbm",
     "dbm_to_mw",
     "frame_airtime_subframes",
     "mw_to_dbm",
+    "per_channel_busy",
     "select_bitrate_mbps",
     "silenced_ues_from_graph",
     "silenced_ues_from_power",

@@ -18,7 +18,7 @@ assumption that distinct hidden terminals are independent sources.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ActivityProcess",
     "BernoulliActivity",
+    "ChannelizedActivitySet",
     "DynamicIndependentActivity",
     "ExclusiveGroupActivity",
     "IndependentActivity",
@@ -434,3 +435,79 @@ class ExclusiveGroupActivity(JointActivityModel):
 
     def marginal(self, index: int) -> float:
         return self._q[index]
+
+
+class ChannelizedActivitySet:
+    """Per-channel view over one global population of activity processes.
+
+    The processes belong to the whole band — a terminal transmitting on
+    its home channel leaks into neighbours per the plan's ACLR mask — so
+    per-channel "activity" is a *projection*, not a partition: terminal
+    ``k`` counts as active on channel ``c`` when it is busy and its
+    received margin survives ``aclr(c, home_k)``.  Stationary busy
+    probabilities fold the same leakage, giving the effective per-channel
+    busy probability a CCA sensor on that channel experiences.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[ActivityProcess],
+        channels: Sequence[int],
+        plan,
+        margins_db: Optional[Sequence[float]] = None,
+    ) -> None:
+        if len(channels) != len(processes):
+            raise ConfigurationError(
+                f"{len(channels)} home channels for {len(processes)} "
+                f"activity processes"
+            )
+        margins = (
+            tuple(float(m) for m in margins_db)
+            if margins_db is not None
+            else (0.0,) * len(processes)
+        )
+        if len(margins) != len(processes):
+            raise ConfigurationError(
+                f"{len(margins)} margins for {len(processes)} processes"
+            )
+        self._processes = list(processes)
+        self._channels = tuple(int(c) for c in channels)
+        self._margins = margins
+        self._plan = plan
+        for channel in self._channels:
+            plan._check_channel(channel)
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self._processes)
+
+    def couples(self, index: int, channel: int) -> bool:
+        """Whether terminal ``index`` is audible on ``channel`` at all."""
+        return (
+            self._plan.aclr_db(channel, self._channels[index])
+            <= self._margins[index]
+        )
+
+    def step(self) -> Tuple[FrozenSet[int], ...]:
+        """Advance every process once; return the active set per channel.
+
+        One draw per terminal per subframe regardless of the channel
+        count — the busy indicator is shared, only audibility differs.
+        """
+        busy = [k for k, p in enumerate(self._processes) if p.step()]
+        return tuple(
+            frozenset(k for k in busy if self.couples(k, channel))
+            for channel in range(self._plan.num_channels)
+        )
+
+    def stationary_probability_on(self, channel: int) -> float:
+        """Effective busy probability of ``channel`` with leakage folded."""
+        idle = 1.0
+        for k, process in enumerate(self._processes):
+            if self.couples(k, channel):
+                idle *= 1.0 - process.stationary_probability
+        return 1.0 - idle
+
+    def reset(self) -> None:
+        for process in self._processes:
+            process.reset()

@@ -10,7 +10,7 @@ hidden-terminal count once an LTE cell replaces a WiFi cell.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Tuple
 
 import numpy as np
 
@@ -22,8 +22,10 @@ __all__ = [
     "WIFI_PREAMBLE_SENSING",
     "LTE_ENERGY_SENSING",
     "aggregate_power_dbm",
+    "cross_channel_power_dbm",
     "dbm_to_mw",
     "mw_to_dbm",
+    "per_channel_busy",
 ]
 
 
@@ -68,6 +70,42 @@ class SensingModel:
     def busy(self, powers_dbm: Iterable[float]) -> bool:
         """CCA busy decision against the aggregate of active interferers."""
         return self.senses(aggregate_power_dbm(powers_dbm))
+
+
+def cross_channel_power_dbm(
+    rx_power_dbm: float, plan, listen_channel: int, tx_channel: int
+) -> float:
+    """Received power after ACLR attenuation between two channels.
+
+    ``rx_power_dbm`` is the co-channel received power of a transmission
+    homed on ``tx_channel``; a listener on ``listen_channel`` sees it
+    reduced by the :class:`~repro.spectrum.channels.ChannelPlan` mask.
+    """
+    return rx_power_dbm - plan.aclr_db(listen_channel, tx_channel)
+
+
+def per_channel_busy(
+    model: SensingModel,
+    transmissions: Iterable[Tuple[int, float]],
+    plan,
+) -> Tuple[bool, ...]:
+    """CCA busy decision on every channel of a plan, leakage folded in.
+
+    ``transmissions`` is ``(tx_channel, rx_power_dbm)`` per active
+    transmitter; each listen channel aggregates the (ACLR-attenuated)
+    energy of *all* of them before the threshold test, so a strong
+    neighbour one channel over can flip a channel busy even with no
+    co-channel transmitter — the adjacent-channel hidden-terminal effect.
+    """
+    active = list(transmissions)
+    decisions = []
+    for listen in range(plan.num_channels):
+        total_mw = sum(
+            dbm_to_mw(cross_channel_power_dbm(power, plan, listen, tx_channel))
+            for tx_channel, power in active
+        )
+        decisions.append(model.senses(mw_to_dbm(total_mw)))
+    return tuple(decisions)
 
 
 #: WiFi preamble (carrier) sensing at -85 dBm (paper Section 2.2).

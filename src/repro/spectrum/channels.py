@@ -1,0 +1,216 @@
+"""The frequency axis: channel plans and adjacent-channel leakage (ACLR).
+
+BLU's blueprint machinery assumes one unlicensed channel, but real LAA
+deployments spread across the 5 GHz band where interference is
+frequency-selective.  A :class:`ChannelPlan` pins down the candidate
+channels (center frequency and bandwidth per channel) and the pairwise
+adjacent-channel leakage between them, following the IEEE 802.11
+spectral-mask shape used by SiNE's ACLR engine: co-channel energy passes
+unattenuated, the transition band attenuates 20–28 dB, the first adjacent
+channel ~40 dB, and anything further ~45 dB, with every breakpoint scaling
+with the channel bandwidth.
+
+Leakage is what makes the channel axis interesting rather than ``n``
+independent copies of the same cell: a transmitter *homed* on channel
+``f1`` still deposits ``tx_power - aclr_db`` of energy on channel ``f2``,
+so a node can be a hidden terminal on its own channel and merely a faint
+(or inert) neighbour one channel over — or, with enough received margin,
+harmful on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ChannelPlan",
+    "ACLR_ORTHOGONAL_DB",
+]
+
+#: Attenuation beyond which two channels are treated as fully orthogonal
+#: (the 802.11 spectral mask floor).
+ACLR_ORTHOGONAL_DB = 45.0
+
+#: First-adjacent-channel attenuation (one full bandwidth of separation).
+_ACLR_ADJACENT_DB = 40.0
+
+#: Transition-band attenuation ramp endpoints (spectral-mask shoulder).
+_ACLR_SHOULDER_LOW_DB = 20.0
+_ACLR_SHOULDER_HIGH_DB = 28.0
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """An immutable set of candidate channels with their leakage structure.
+
+    Attributes:
+        centers_mhz: center frequency of each channel, in MHz.  Channel
+            indices used throughout the stack are positions in this tuple.
+        bandwidth_mhz: occupied bandwidth, shared by all channels (LAA
+            carriers in one plan use one numerology).
+    """
+
+    centers_mhz: Tuple[float, ...] = (5180.0,)
+    bandwidth_mhz: float = 20.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "centers_mhz", tuple(float(c) for c in self.centers_mhz)
+        )
+        if len(self.centers_mhz) < 1:
+            raise SpecError(
+                "channels.centers_mhz must list at least one channel"
+            )
+        if self.bandwidth_mhz <= 0:
+            raise SpecError(
+                f"channels.bandwidth_mhz must be positive: {self.bandwidth_mhz}"
+            )
+        for center in self.centers_mhz:
+            if center <= 0:
+                raise SpecError(
+                    f"channels.centers_mhz must be positive: {center}"
+                )
+        if len(set(self.centers_mhz)) != len(self.centers_mhz):
+            raise SpecError(
+                f"channels.centers_mhz has duplicates: {list(self.centers_mhz)}"
+            )
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def default() -> "ChannelPlan":
+        """The single-channel plan every existing scenario implicitly uses."""
+        return ChannelPlan()
+
+    @staticmethod
+    def spaced(
+        num_channels: int,
+        start_mhz: float = 5180.0,
+        spacing_mhz: float = 20.0,
+        bandwidth_mhz: float = 20.0,
+    ) -> "ChannelPlan":
+        """``num_channels`` evenly spaced channels (the 5 GHz lattice)."""
+        if num_channels < 1:
+            raise SpecError(
+                f"channels.num_channels must be >= 1: {num_channels}"
+            )
+        if spacing_mhz <= 0:
+            raise SpecError(
+                f"channels.spacing_mhz must be positive: {spacing_mhz}"
+            )
+        return ChannelPlan(
+            centers_mhz=tuple(
+                start_mhz + k * spacing_mhz for k in range(num_channels)
+            ),
+            bandwidth_mhz=bandwidth_mhz,
+        )
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.centers_mhz)
+
+    def _check_channel(self, channel: int) -> int:
+        if not 0 <= channel < self.num_channels:
+            raise SpecError(
+                f"unknown channel index {channel}; plan has "
+                f"{self.num_channels} channel(s)"
+            )
+        return int(channel)
+
+    def separation_mhz(self, a: int, b: int) -> float:
+        """Absolute center-frequency separation between two channels."""
+        self._check_channel(a)
+        self._check_channel(b)
+        return abs(self.centers_mhz[a] - self.centers_mhz[b])
+
+    # -- the ACLR model --------------------------------------------------------
+
+    def aclr_db(self, a: int, b: int) -> float:
+        """Spectral-mask attenuation between channels ``a`` and ``b``, in dB.
+
+        Piecewise in the center separation ``sep`` relative to the
+        bandwidth ``bw`` (the 802.11 mask shape, breakpoints scaling with
+        bandwidth):
+
+        * ``sep < bw/2``  — overlapping/co-channel: 0 dB;
+        * ``bw/2 <= sep < bw`` — transition band: 20 dB ramping to 28 dB;
+        * ``bw <= sep < 2*bw`` — first adjacent channel: 40 dB;
+        * ``sep >= 2*bw`` — orthogonal: 45 dB.
+
+        Symmetric by construction (it only depends on ``|Δf|``) and
+        non-decreasing in the separation.
+        """
+        sep = self.separation_mhz(a, b)
+        half = self.bandwidth_mhz / 2.0
+        if sep < half:
+            return 0.0
+        if sep < self.bandwidth_mhz:
+            ramp = (sep - half) / half
+            return (
+                _ACLR_SHOULDER_LOW_DB
+                + (_ACLR_SHOULDER_HIGH_DB - _ACLR_SHOULDER_LOW_DB) * ramp
+            )
+        if sep < 2.0 * self.bandwidth_mhz:
+            return _ACLR_ADJACENT_DB
+        return ACLR_ORTHOGONAL_DB
+
+    def coupling(self, a: int, b: int) -> float:
+        """Linear power fraction leaking from channel ``a`` into ``b``."""
+        return 10.0 ** (-self.aclr_db(a, b) / 10.0)
+
+    def orthogonal(self, a: int, b: int) -> bool:
+        """Whether the mask floor applies (fully disjoint channels)."""
+        return self.aclr_db(a, b) >= ACLR_ORTHOGONAL_DB
+
+    def leakage_matrix_db(self) -> np.ndarray:
+        """The full symmetric ``(n, n)`` ACLR matrix in dB (0 diagonal)."""
+        n = self.num_channels
+        matrix = np.zeros((n, n), dtype=float)
+        for a in range(n):
+            for b in range(a + 1, n):
+                matrix[a, b] = matrix[b, a] = self.aclr_db(a, b)
+        return matrix
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "centers_mhz": list(self.centers_mhz),
+            "bandwidth_mhz": self.bandwidth_mhz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelPlan":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"channels.plan must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"centers_mhz", "bandwidth_mhz"})
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) {unknown} in channels.plan; "
+                f"allowed: ['bandwidth_mhz', 'centers_mhz']"
+            )
+        centers = data.get("centers_mhz", (5180.0,))
+        if not isinstance(centers, Sequence) or isinstance(centers, str):
+            raise SpecError(
+                f"channels.plan.centers_mhz must be a list: {centers!r}"
+            )
+        try:
+            centers = tuple(float(c) for c in centers)
+            bandwidth = float(data.get("bandwidth_mhz", 20.0))
+        except (TypeError, ValueError) as error:
+            raise SpecError(f"channels.plan is malformed: {error}") from error
+        return cls(centers_mhz=centers, bandwidth_mhz=bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChannelPlan({self.num_channels} x {self.bandwidth_mhz} MHz)"
+        )

@@ -30,6 +30,7 @@ __all__ = [
     "WIFI_BITRATES",
     "select_bitrate_mbps",
     "frame_airtime_subframes",
+    "channelized_audibility",
     "TrafficProfile",
     "WiFiNode",
     "WiFiContentionSimulator",
@@ -151,6 +152,36 @@ class WiFiNode:
     def draw_backoff(self, cw: int = 16) -> int:
         self._backoff = int(self._rng.integers(0, cw))
         return self._backoff
+
+
+def channelized_audibility(
+    audible: Mapping[int, FrozenSet[int]],
+    node_channels: Mapping[int, int],
+    plan,
+    margins_db: Optional[Mapping[int, float]] = None,
+) -> Dict[int, FrozenSet[int]]:
+    """Prune a carrier-sense audibility map through a channel plan.
+
+    ``audible`` is the co-channel map (who would hear whom were everyone
+    on one channel); node ``a`` keeps hearing node ``b`` only when ``b``'s
+    received margin at ``a`` (``margins_db[b]``, default 0) survives the
+    ACLR attenuation between their channels.  Nodes parked on orthogonal
+    channels therefore stop deferring to each other — they contend as if
+    alone, which is precisely how putting neighbours on different channels
+    removes contention *and* creates cross-channel hidden terminals when
+    the leakage still corrupts a receiver the sender cannot sense.
+    """
+    margins = margins_db or {}
+    pruned: Dict[int, FrozenSet[int]] = {}
+    for listener, heard in audible.items():
+        listen_channel = int(node_channels[listener])
+        pruned[listener] = frozenset(
+            peer
+            for peer in heard
+            if plan.aclr_db(listen_channel, int(node_channels[peer]))
+            <= float(margins.get(peer, 0.0))
+        )
+    return pruned
 
 
 class WiFiContentionSimulator:

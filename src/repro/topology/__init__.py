@@ -10,11 +10,15 @@ from repro.topology.graph import (
 from repro.topology.hidden import (
     DEFAULT_HARM_THRESHOLD_DBM,
     HiddenTerminalComparison,
+    channelized_hidden_terminals,
     compare_wifi_vs_lte_cell,
     count_cell_hidden_terminals,
+    hidden_terminal_channel_map,
     hidden_terminals_per_link,
 )
+from repro.topology.multichannel import ChannelizedTerminal, MultiChannelTopology
 from repro.topology.scenarios import (
+    channel_drift_timeline,
     client_churn_timeline,
     duty_cycle_drift_timeline,
     fig1_topology,
@@ -26,12 +30,16 @@ from repro.topology.scenarios import (
 
 __all__ = [
     "DEFAULT_HARM_THRESHOLD_DBM",
+    "ChannelizedTerminal",
     "HiddenTerminalComparison",
     "InterferenceTopology",
+    "MultiChannelTopology",
     "NodeLayout",
     "Position",
     "Scenario",
     "ScenarioConfig",
+    "channel_drift_timeline",
+    "channelized_hidden_terminals",
     "client_churn_timeline",
     "compare_wifi_vs_lte_cell",
     "count_cell_hidden_terminals",
@@ -39,6 +47,7 @@ __all__ = [
     "edge_set_accuracy",
     "fig1_topology",
     "hidden_node_churn_timeline",
+    "hidden_terminal_channel_map",
     "generate_scenario",
     "hidden_terminals_per_link",
     "rx_power_map",

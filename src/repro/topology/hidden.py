@@ -27,6 +27,8 @@ __all__ = [
     "DEFAULT_HARM_THRESHOLD_DBM",
     "HiddenTerminalComparison",
     "hidden_terminals_per_link",
+    "channelized_hidden_terminals",
+    "hidden_terminal_channel_map",
     "count_cell_hidden_terminals",
     "compare_wifi_vs_lte_cell",
 ]
@@ -52,6 +54,66 @@ def hidden_terminals_per_link(
         if not sender_sensing.senses(rx_at_client) and rx_at_base >= harm_threshold_dbm:
             hidden.add(wifi_id)
     return frozenset(hidden)
+
+
+def channelized_hidden_terminals(
+    client_id: int,
+    powers: Mapping[str, Mapping[Tuple[int, int], float]],
+    sender_sensing: SensingModel,
+    plan,
+    wifi_channels: Mapping[int, int],
+    link_channel: int,
+    harm_threshold_dbm: float = DEFAULT_HARM_THRESHOLD_DBM,
+) -> FrozenSet[int]:
+    """Hidden terminals of one uplink were it carried on ``link_channel``.
+
+    Same counting rule as :func:`hidden_terminals_per_link`, but every
+    ambient node's received power — at the sensing client *and* at the
+    harmed base — is first attenuated by the plan's ACLR between the
+    link's channel and the node's home channel.  The attenuation cuts
+    both ways: a node can fall below the harm threshold (inert on this
+    channel) or below the sensing threshold while staying harmful (a
+    *cross-channel* hidden terminal).
+    """
+    hidden: Set[int] = set()
+    for (wifi_id, ue), rx_at_client in powers["wifi_at_ue"].items():
+        if ue != client_id:
+            continue
+        attenuation = plan.aclr_db(link_channel, int(wifi_channels[wifi_id]))
+        rx_at_base = powers["wifi_at_enb"][(wifi_id, 0)] - attenuation
+        sensed = sender_sensing.senses(rx_at_client - attenuation)
+        if not sensed and rx_at_base >= harm_threshold_dbm:
+            hidden.add(wifi_id)
+    return frozenset(hidden)
+
+
+def hidden_terminal_channel_map(
+    client_id: int,
+    powers: Mapping[str, Mapping[Tuple[int, int], float]],
+    sender_sensing: SensingModel,
+    plan,
+    wifi_channels: Mapping[int, int],
+    harm_threshold_dbm: float = DEFAULT_HARM_THRESHOLD_DBM,
+) -> Dict[int, FrozenSet[int]]:
+    """``{channel: hidden set}`` for one uplink across a whole plan.
+
+    The per-channel face of Fig. 4c: the same geometry yields different
+    hidden-terminal sets on different channels, so a terminal can be
+    hidden on channel 0 and absent (or audible) on channel 1 — the
+    structure channel selection exploits.
+    """
+    return {
+        channel: channelized_hidden_terminals(
+            client_id,
+            powers,
+            sender_sensing,
+            plan,
+            wifi_channels,
+            channel,
+            harm_threshold_dbm,
+        )
+        for channel in range(plan.num_channels)
+    }
 
 
 def count_cell_hidden_terminals(

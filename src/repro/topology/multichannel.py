@@ -1,0 +1,282 @@
+"""The interference topology with a frequency axis.
+
+A :class:`MultiChannelTopology` models ONE physical population of hidden
+terminals shared by every channel of a :class:`~repro.spectrum.ChannelPlan`.
+Each terminal is *homed* on the channel it transmits on, keeps the single
+busy process the paper's model gives it, and couples into other channels
+only when its received margin beats the plan's ACLR attenuation.  Two
+consequences fall out of keeping the population global instead of slicing
+it per channel:
+
+* a terminal can be hidden on one channel and inert on another — the
+  per-channel hidden-terminal sets the paper's single-channel model cannot
+  express;
+* the terminal's busy indicator is *shared* across channels, so blueprints
+  of different channels built from the same terminal are statistically
+  coupled exactly as the physics says (the same Wi-Fi frame occupies both).
+
+``effective_topology`` resolves a per-UE channel assignment into a plain
+:class:`~repro.topology.graph.InterferenceTopology` the unmodified engine,
+joint providers, and schedulers consume: every terminal is retained (with
+its busy probability unchanged, so the engine's seeded activity streams
+are identical to the single-channel world) and only its edges are filtered
+by per-UE audibility.  ``channel_view`` is the per-channel blueprint used
+for measurement, inference, and channel selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from repro.errors import SpecError, TopologyError
+from repro.spectrum.channels import ChannelPlan
+from repro.topology.graph import InterferenceTopology
+
+__all__ = ["ChannelizedTerminal", "MultiChannelTopology"]
+
+
+@dataclass(frozen=True)
+class ChannelizedTerminal:
+    """One hidden terminal with its home channel and received margin.
+
+    ``margin_db`` is how many dB above the audibility/harm threshold the
+    terminal is received at its co-channel victims; it is what the ACLR
+    attenuation eats when the victim listens one channel over.  A margin
+    of 0 (the default) makes the terminal strictly co-channel.
+    """
+
+    q: float
+    ues: FrozenSet[int]
+    channel: int = 0
+    margin_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "ues", frozenset(int(u) for u in self.ues)
+        )
+        if not 0.0 <= self.q < 1.0:
+            raise TopologyError(
+                f"terminal busy probability outside [0,1): {self.q}"
+            )
+        if self.channel < 0:
+            raise TopologyError(f"negative channel index: {self.channel}")
+        if self.margin_db < 0.0:
+            raise TopologyError(
+                f"received margin must be >= 0 dB: {self.margin_db}"
+            )
+
+
+@dataclass(frozen=True)
+class MultiChannelTopology:
+    """A hidden-terminal population spread over a channel plan."""
+
+    plan: ChannelPlan
+    num_ues: int
+    terminals: Tuple[ChannelizedTerminal, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_ues < 1:
+            raise TopologyError(f"need at least one UE: {self.num_ues}")
+        for k, terminal in enumerate(self.terminals):
+            if terminal.channel >= self.plan.num_channels:
+                raise TopologyError(
+                    f"terminal {k} homed on channel {terminal.channel}, "
+                    f"but the plan has {self.plan.num_channels} channel(s)"
+                )
+            bad = [u for u in terminal.ues if not 0 <= u < self.num_ues]
+            if bad:
+                raise TopologyError(
+                    f"terminal {k} has edges to unknown UEs {sorted(bad)}"
+                )
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_base(
+        topology: InterferenceTopology,
+        plan: ChannelPlan,
+        terminal_channels: Sequence[int] = (),
+        terminal_margins_db: Sequence[float] = (),
+    ) -> "MultiChannelTopology":
+        """Channelize an existing single-channel topology.
+
+        Empty ``terminal_channels``/``terminal_margins_db`` default every
+        terminal to channel 0 with zero margin — the exact single-channel
+        world in multi-channel clothes.
+        """
+        h = topology.num_terminals
+        channels = tuple(int(c) for c in terminal_channels) or (0,) * h
+        margins = tuple(float(m) for m in terminal_margins_db) or (0.0,) * h
+        if len(channels) != h:
+            raise SpecError(
+                f"channels.terminal_channels lists {len(channels)} entries "
+                f"for {h} terminals"
+            )
+        if len(margins) != h:
+            raise SpecError(
+                f"channels.terminal_margins_db lists {len(margins)} entries "
+                f"for {h} terminals"
+            )
+        return MultiChannelTopology(
+            plan=plan,
+            num_ues=topology.num_ues,
+            terminals=tuple(
+                ChannelizedTerminal(
+                    q=q, ues=ues, channel=channel, margin_db=margin
+                )
+                for q, ues, channel, margin in zip(
+                    topology.q, topology.edges, channels, margins
+                )
+            ),
+        )
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self.terminals)
+
+    @property
+    def num_channels(self) -> int:
+        return self.plan.num_channels
+
+    # -- cross-channel coupling -----------------------------------------------
+
+    def couples(self, k: int, channel: int) -> bool:
+        """Whether terminal ``k``'s leakage reaches a ``channel`` listener.
+
+        True when the terminal's received margin survives the plan's ACLR
+        attenuation between its home channel and ``channel``.  Co-channel
+        terminals always couple (ACLR 0, margin >= 0).
+        """
+        terminal = self.terminals[k]
+        return self.plan.aclr_db(channel, terminal.channel) <= terminal.margin_db
+
+    def terminals_on(self, channel: int) -> Tuple[int, ...]:
+        """Indices of terminals homed on ``channel``."""
+        self.plan._check_channel(channel)
+        return tuple(
+            k for k, t in enumerate(self.terminals) if t.channel == channel
+        )
+
+    def coupled_terminals(self, channel: int) -> Tuple[int, ...]:
+        """Indices of terminals whose energy reaches ``channel``."""
+        self.plan._check_channel(channel)
+        return tuple(
+            k for k in range(self.num_terminals) if self.couples(k, channel)
+        )
+
+    def channel_busy_probability(self, channel: int) -> float:
+        """Effective busy probability a ``channel`` sensor experiences.
+
+        Cross-channel leakage folded in: the chance at least one coupled
+        terminal (co-channel or leaking neighbour) is busy in a subframe.
+        """
+        idle = 1.0
+        for k in self.coupled_terminals(channel):
+            idle *= 1.0 - self.terminals[k].q
+        return 1.0 - idle
+
+    # -- per-channel hidden-terminal structure ---------------------------------
+
+    def hidden_terminals_for_ue(self, ue: int, channel: int) -> Tuple[int, ...]:
+        """Terminals silencing ``ue`` were it assigned to ``channel``."""
+        if not 0 <= ue < self.num_ues:
+            raise TopologyError(f"unknown UE id {ue}")
+        return tuple(
+            k
+            for k in self.coupled_terminals(channel)
+            if ue in self.terminals[k].ues
+        )
+
+    def channel_view(self, channel: int) -> InterferenceTopology:
+        """The blueprint of ``channel``: all UEs assigned there.
+
+        Terminals that do not couple into ``channel`` appear with empty
+        edge sets (they exist, they are just inaudible), so terminal
+        indices — and therefore labels, activity streams, and timeline
+        events — stay aligned across every channel's view.
+        """
+        self.plan._check_channel(channel)
+        return InterferenceTopology(
+            num_ues=self.num_ues,
+            q=tuple(t.q for t in self.terminals),
+            edges=tuple(
+                t.ues if self.couples(k, channel) else frozenset()
+                for k, t in enumerate(self.terminals)
+            ),
+        )
+
+    def effective_topology(
+        self, ue_channels: Sequence[int]
+    ) -> InterferenceTopology:
+        """Resolve a per-UE channel assignment into one engine topology.
+
+        Terminal ``k`` keeps its edge to UE ``u`` iff its leakage couples
+        into ``u``'s assigned channel.  The terminal population (and its
+        busy probabilities, in order) is preserved verbatim, so the
+        engine's seeded activity streams are bit-identical to the
+        single-channel construction — only audibility changes.
+        """
+        if len(ue_channels) != self.num_ues:
+            raise TopologyError(
+                f"{len(ue_channels)} channel assignments for "
+                f"{self.num_ues} UEs"
+            )
+        channels = tuple(
+            self.plan._check_channel(int(c)) for c in ue_channels
+        )
+        return InterferenceTopology(
+            num_ues=self.num_ues,
+            q=tuple(t.q for t in self.terminals),
+            edges=tuple(
+                frozenset(
+                    u for u in t.ues if self.couples(k, channels[u])
+                )
+                for k, t in enumerate(self.terminals)
+            ),
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "num_ues": self.num_ues,
+            "terminals": [
+                {
+                    "q": t.q,
+                    "ues": sorted(t.ues),
+                    "channel": t.channel,
+                    "margin_db": t.margin_db,
+                }
+                for t in self.terminals
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "MultiChannelTopology":
+        try:
+            terminals = tuple(
+                ChannelizedTerminal(
+                    q=float(t["q"]),
+                    ues=frozenset(int(u) for u in t["ues"]),
+                    channel=int(t.get("channel", 0)),
+                    margin_db=float(t.get("margin_db", 0.0)),
+                )
+                for t in data["terminals"]
+            )
+            return MultiChannelTopology(
+                plan=ChannelPlan.from_dict(data["plan"]),
+                num_ues=int(data["num_ues"]),
+                terminals=terminals,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SpecError(
+                f"multichannel topology is malformed: {error}"
+            ) from error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiChannelTopology(N={self.num_ues}, h={self.num_terminals}, "
+            f"channels={self.num_channels})"
+        )

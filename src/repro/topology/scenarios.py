@@ -28,6 +28,7 @@ __all__ = [
     "contention_pairs",
     "hidden_node_churn_timeline",
     "duty_cycle_drift_timeline",
+    "channel_drift_timeline",
     "client_churn_timeline",
 ]
 
@@ -182,6 +183,54 @@ def duty_cycle_drift_timeline(
             DutyCycleDrift(
                 at=drift_at + (k - 1) * step_gap, label=label, q=level
             )
+        )
+    return EnvironmentTimeline(events)
+
+
+def channel_drift_timeline(
+    drift_at: int,
+    channel: int,
+    q: float,
+    terminal_channels: Tuple[int, ...],
+    steps: int = 1,
+    step_gap: int = 500,
+    q_start: Optional[float] = None,
+):
+    """Duty-cycle drift of every hidden terminal homed on one channel.
+
+    The per-channel face of :func:`duty_cycle_drift_timeline`: traffic
+    load shifts are frequency-local (an office's Wi-Fi AP serves one
+    channel), so all terminals whose home channel — position ``k`` of
+    ``terminal_channels`` maps terminal label ``ht{k}`` — equals
+    ``channel`` drift together, to ``q`` at ``drift_at`` or as a
+    staircase from ``q_start``.  Terminals on other channels keep their
+    busy probabilities, so the event stream composes with any per-UE
+    channel assignment.
+    """
+    from repro.dynamics.timeline import DutyCycleDrift, EnvironmentTimeline
+
+    if channel < 0:
+        raise ConfigurationError(f"negative channel index: {channel}")
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1: {steps}")
+    if steps > 1 and q_start is None:
+        raise ConfigurationError("a staircase drift needs q_start")
+    labels = [
+        f"ht{k}"
+        for k, home in enumerate(terminal_channels)
+        if int(home) == channel
+    ]
+    if not labels:
+        raise ConfigurationError(
+            f"no hidden terminal is homed on channel {channel}: "
+            f"{list(terminal_channels)}"
+        )
+    events = []
+    for k in range(1, steps + 1):
+        level = q if steps == 1 else q_start + (q - q_start) * k / steps
+        at = drift_at + (k - 1) * step_gap
+        events.extend(
+            DutyCycleDrift(at=at, label=label, q=level) for label in labels
         )
     return EnvironmentTimeline(events)
 

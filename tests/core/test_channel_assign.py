@@ -1,0 +1,147 @@
+"""Channel assigners, per-channel joint providers, channelized measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint import (
+    channel_access_matrix,
+    channel_busy_vector,
+    per_channel_providers,
+)
+from repro.core.measurement import ChannelizedAccessEstimator
+from repro.core.scheduling import (
+    BlueprintChannelAssigner,
+    StaticChannelAssigner,
+    build_channel_assigner,
+)
+from repro.errors import MeasurementError, SchedulingError, SpecError
+from repro.spectrum import ChannelPlan
+from repro.topology.multichannel import ChannelizedTerminal, MultiChannelTopology
+
+
+def lopsided_topology():
+    """Three UEs, two orthogonal channels.  Channel 0 carries a heavy
+    terminal silencing UEs 0 and 1; channel 1 is clean except for a light
+    terminal over UE 2."""
+    return MultiChannelTopology(
+        plan=ChannelPlan.spaced(2, spacing_mhz=40.0),
+        num_ues=3,
+        terminals=(
+            ChannelizedTerminal(q=0.8, ues=frozenset({0, 1}), channel=0),
+            ChannelizedTerminal(q=0.1, ues=frozenset({2}), channel=1),
+        ),
+    )
+
+
+class TestStaticAssigner:
+    def test_single_channel_for_all(self):
+        assigner = StaticChannelAssigner(channel=1)
+        assert assigner.assign(lopsided_topology()) == (1, 1, 1)
+
+    def test_explicit_per_ue_list(self):
+        assigner = StaticChannelAssigner(ue_channels=(0, 1, 0))
+        assert assigner.assign(lopsided_topology()) == (0, 1, 0)
+
+    def test_length_mismatch_rejected(self):
+        assigner = StaticChannelAssigner(ue_channels=(0, 1))
+        with pytest.raises(SchedulingError, match="explicit channel"):
+            assigner.assign(lopsided_topology())
+
+    def test_out_of_plan_channel_rejected(self):
+        assigner = StaticChannelAssigner(channel=5)
+        with pytest.raises(SpecError):
+            assigner.assign(lopsided_topology())
+
+
+class TestBlueprintAssigner:
+    def test_ues_flee_the_busy_channel(self):
+        assignment = BlueprintChannelAssigner().assign(lopsided_topology())
+        # UEs 0/1 see p=0.2 on channel 0 vs 1.0 on channel 1; UE 2 sees
+        # 1.0 on channel 0 vs 0.9 on channel 1.
+        assert assignment == (1, 1, 0)
+
+    def test_load_penalty_spreads_equally_clear_channels(self):
+        multi = MultiChannelTopology(
+            plan=ChannelPlan.spaced(2, spacing_mhz=40.0),
+            num_ues=4,
+            terminals=(
+                ChannelizedTerminal(q=0.0, ues=frozenset(), channel=0),
+            ),
+        )
+        # No interference anywhere: zero penalty parks everyone on the
+        # tie-break channel 0, a positive penalty alternates.
+        assert BlueprintChannelAssigner().assign(multi) == (0, 0, 0, 0)
+        spread = BlueprintChannelAssigner(load_penalty=0.5).assign(multi)
+        assert spread == (0, 1, 0, 1)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(SchedulingError, match="load_penalty"):
+            BlueprintChannelAssigner(load_penalty=-1.0)
+
+    def test_single_channel_plan_degenerates_to_static(self):
+        multi = MultiChannelTopology(
+            plan=ChannelPlan.default(),
+            num_ues=2,
+            terminals=(
+                ChannelizedTerminal(q=0.5, ues=frozenset({0})),
+            ),
+        )
+        assert BlueprintChannelAssigner().assign(multi) == (0, 0)
+
+
+class TestBuildAssigner:
+    def test_kinds(self):
+        assert isinstance(
+            build_channel_assigner("static"), StaticChannelAssigner
+        )
+        assert isinstance(
+            build_channel_assigner("blueprint"), BlueprintChannelAssigner
+        )
+
+    def test_unknown_kind_is_spec_error(self):
+        with pytest.raises(SpecError, match="unknown channel assignment"):
+            build_channel_assigner("oracle")
+
+
+class TestChannelBlueprintFamily:
+    def test_per_channel_providers_match_views(self):
+        multi = lopsided_topology()
+        providers = per_channel_providers(multi)
+        assert set(providers) == {0, 1}
+        for channel, provider in providers.items():
+            view = multi.channel_view(channel)
+            for ue in range(multi.num_ues):
+                assert provider.access_probability(ue) == pytest.approx(
+                    view.access_probability(ue)
+                )
+
+    def test_access_matrix_shape_and_values(self):
+        multi = lopsided_topology()
+        matrix = channel_access_matrix(multi)
+        assert matrix.shape == (2, 3)
+        expected = np.array([[0.2, 0.2, 1.0], [1.0, 1.0, 0.9]])
+        assert np.allclose(matrix, expected)
+
+    def test_busy_vector_folds_per_channel_occupancy(self):
+        multi = lopsided_topology()
+        assert np.allclose(channel_busy_vector(multi), [0.8, 0.1])
+
+
+class TestChannelizedMeasurement:
+    def test_routes_subframes_by_channel(self):
+        estimator = ChannelizedAccessEstimator(num_ues=2, num_channels=2)
+        estimator.record_subframe(0, scheduled=[0], accessed=[0])
+        estimator.record_subframe(0, scheduled=[0], accessed=[])
+        estimator.record_subframe(1, scheduled=[1], accessed=[1])
+        assert estimator.subframes_observed(0) == 2
+        assert estimator.subframes_observed(1) == 1
+        assert estimator.total_subframes_observed() == 3
+        assert estimator.estimator(0).p_individual(0) == pytest.approx(0.5)
+        assert estimator.estimator(1).p_individual(1) == pytest.approx(1.0)
+
+    def test_bad_channel_rejected(self):
+        estimator = ChannelizedAccessEstimator(num_ues=1, num_channels=1)
+        with pytest.raises(MeasurementError, match="unknown channel"):
+            estimator.record_subframe(1, scheduled=[], accessed=[])
+        with pytest.raises(MeasurementError):
+            ChannelizedAccessEstimator(num_ues=1, num_channels=0)

@@ -1,0 +1,104 @@
+"""Per-cell channel assignment as a cluster-partitioner lever."""
+
+import pytest
+
+from repro.deploy import DeploymentSpec, PlacementSpec, build_deployment
+from repro.errors import SpecError
+
+
+def grid_spec(**overrides):
+    base = dict(
+        name="grid-channels",
+        placement=PlacementSpec(
+            "grid", {"rows": 2, "cols": 2, "spacing_m": 90.0}
+        ),
+        ues_per_cell=3,
+        wifi_per_cell=1,
+        seed=0,
+    )
+    base.update(overrides)
+    return DeploymentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_defaults_are_single_channel(self):
+        spec = grid_spec()
+        assert spec.num_channels == 1
+        assert spec.channel_assignment == "round-robin"
+
+    @pytest.mark.parametrize("value", [0, -2, True, "3"])
+    def test_rejects_bad_num_channels(self, value):
+        with pytest.raises(SpecError, match="num_channels"):
+            grid_spec(num_channels=value)
+
+    def test_rejects_unknown_assignment(self):
+        with pytest.raises(SpecError, match="channel_assignment"):
+            grid_spec(num_channels=2, channel_assignment="random")
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(SpecError, match="channel_spacing_mhz"):
+            grid_spec(num_channels=2, channel_spacing_mhz=0.0)
+
+    def test_round_trip(self):
+        spec = grid_spec(
+            num_channels=3,
+            channel_assignment="coloring",
+            channel_spacing_mhz=40.0,
+        )
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestChannelAssignment:
+    def test_single_channel_leaves_everything_on_zero(self):
+        deployment = build_deployment(grid_spec())
+        assert deployment.cell_channels == (0, 0, 0, 0)
+        assert deployment.wifi_channels == (0, 0, 0, 0)
+
+    def test_round_robin_cycles_cell_ids(self):
+        deployment = build_deployment(grid_spec(num_channels=3))
+        assert deployment.cell_channels == (0, 1, 2, 0)
+
+    def test_coloring_separates_coupled_neighbours(self):
+        deployment = build_deployment(
+            grid_spec(num_channels=3, channel_assignment="coloring")
+        )
+        # Every strongly coupled pair in the 2x2 grid lands on distinct
+        # channels; the diagonal pair may share.
+        assert deployment.cell_channels == (0, 1, 2, 0)
+
+    def test_wifi_nodes_inherit_their_cells_channel(self):
+        deployment = build_deployment(grid_spec(num_channels=3))
+        assert deployment.wifi_channels == (0, 2, 0, 2)
+
+    def test_cells_on_channel(self):
+        deployment = build_deployment(grid_spec(num_channels=3))
+        assert deployment.cells_on_channel(0) == (0, 3)
+        assert deployment.cells_on_channel(1) == (1,)
+
+    def test_build_is_deterministic(self):
+        spec = grid_spec(num_channels=3)
+        a, b = build_deployment(spec), build_deployment(spec)
+        assert a.cell_channels == b.cell_channels
+        assert a.clusters == b.clusters
+
+
+class TestPartitionerLever:
+    def test_channelization_splits_the_monolithic_cluster(self):
+        # One channel: all four cells couple into one scheduling cluster.
+        single = build_deployment(grid_spec())
+        assert single.clusters == ((0, 1, 2, 3),)
+        # Three channels: ACLR attenuation breaks cross-channel coupling,
+        # leaving only the co-channel diagonal pair clustered together.
+        spread = build_deployment(grid_spec(num_channels=3))
+        assert spread.clusters == ((0, 3), (1,), (2,))
+        assert spread.num_clusters > single.num_clusters
+
+    def test_single_channel_spec_is_bit_exact_with_legacy(self):
+        # num_channels=1 must not perturb any geometry-derived artifact.
+        legacy = build_deployment(grid_spec())
+        explicit = build_deployment(grid_spec(num_channels=1))
+        assert legacy.clusters == explicit.clusters
+        for old, new in zip(legacy.cells, explicit.cells):
+            assert old.topology == new.topology
+            assert old.mean_snr_db == new.mean_snr_db
+            assert old.enb_busy_probability == new.enb_busy_probability

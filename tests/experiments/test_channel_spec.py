@@ -1,0 +1,150 @@
+"""ChannelSpec validation/round-trip and sizing-field validation.
+
+The channel block of an :class:`ExperimentSpec` must round-trip through
+JSON unchanged, reject malformed input with :class:`SpecError` messages
+that *name the offending field*, and — when present with the default
+1-channel plan — build and run bit-identically to a spec with no channel
+block at all.  The sizing checks pin satellite behaviour: zero/negative
+``num_rbs``, channel counts, and bandwidths die at construction time with
+the field name in the message, not deep inside the engine.
+"""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.experiments import (
+    ChannelSpec,
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+    run_experiment,
+)
+from repro.sim.config import SimulationConfig
+from repro.spectrum import ChannelPlan
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="channels",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 1, "activity": 0.4, "seed": 3},
+            snr={"kind": "uniform", "seed": 2},
+        ),
+        sim=SimulationConfig(num_subframes=150),
+        schedulers={"pf": SchedulerSpec("pf")},
+        seed=5,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestChannelSpecValidation:
+    def test_default_is_single_channel_static(self):
+        spec = ChannelSpec()
+        assert spec.plan.num_channels == 1
+        assert spec.assignment == "static"
+        assert spec.channel == 0
+
+    def test_rejects_unknown_assignment(self):
+        with pytest.raises(SpecError, match="channels.assignment"):
+            ChannelSpec(assignment="roulette")
+
+    def test_rejects_out_of_plan_channel(self):
+        with pytest.raises(SpecError, match="channels.channel"):
+            ChannelSpec(channel=1)
+
+    def test_rejects_out_of_plan_terminal_home(self):
+        with pytest.raises(SpecError, match="channels.terminal_channels"):
+            ChannelSpec(plan=ChannelPlan.spaced(2), terminal_channels=(0, 2))
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(SpecError, match="channels.terminal_margins_db"):
+            ChannelSpec(terminal_margins_db=(-1.0,))
+
+    def test_rejects_out_of_plan_ue_channel(self):
+        with pytest.raises(SpecError, match="channels.ue_channels"):
+            ChannelSpec(plan=ChannelPlan.spaced(2), ue_channels=(0, 3))
+
+    def test_rejects_negative_load_penalty(self):
+        with pytest.raises(SpecError, match="channels.load_penalty"):
+            ChannelSpec(load_penalty=-0.5)
+
+    def test_plan_must_be_channel_plan(self):
+        with pytest.raises(SpecError, match="channels.plan"):
+            ChannelSpec(plan={"centers_mhz": [5180.0]})
+
+
+class TestChannelSpecRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        spec = ChannelSpec(
+            plan=ChannelPlan.spaced(3),
+            terminal_channels=(0, 1, 2, 0),
+            terminal_margins_db=(0.0, 40.0, 0.0, 0.0),
+            assignment="blueprint",
+            load_penalty=0.25,
+        )
+        assert ChannelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="channels"):
+            ChannelSpec.from_dict({"bogus": 1})
+
+    def test_channel_must_be_int_not_bool(self):
+        with pytest.raises(SpecError, match="channels.channel"):
+            ChannelSpec.from_dict({"channel": True})
+
+    def test_experiment_spec_round_trips_channel_block(self):
+        spec = small_spec(
+            channels=ChannelSpec(
+                plan=ChannelPlan.spaced(3),
+                terminal_channels=(0, 1, 2, 0),
+                assignment="blueprint",
+            )
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_experiment_spec_without_channels_round_trips_none(self):
+        spec = small_spec()
+        assert spec.channels is None
+        assert ExperimentSpec.from_json(spec.to_json()).channels is None
+
+
+class TestSingleChannelNeutrality:
+    def test_default_channel_block_is_bit_exact_with_none(self):
+        plain = small_spec()
+        channelized = small_spec(channels=ChannelSpec())
+        for name, result in run_experiment(plain).items():
+            other = run_experiment(channelized)[name]
+            assert result.to_dict() == other.to_dict()
+
+    def test_plan_exposes_assignment(self):
+        plan = build_experiment(small_spec(channels=ChannelSpec()))
+        assert plan.ue_channels == (0, 0, 0, 0)
+        assert plan.multichannel is not None
+        plain = build_experiment(small_spec())
+        assert plain.ue_channels is None
+        assert plain.multichannel is None
+
+
+class TestSizingValidation:
+    @pytest.mark.parametrize("value", [0, -1, 3.5, True])
+    def test_sim_rejects_bad_num_rbs(self, value):
+        with pytest.raises(SpecError, match="sim.num_rbs"):
+            SimulationConfig(num_rbs=value)
+
+    @pytest.mark.parametrize(
+        "field", ["num_subframes", "num_antennas", "rb_group_size"]
+    )
+    def test_sim_rejects_zero_sizing_fields(self, field):
+        with pytest.raises(SpecError, match=f"sim.{field}"):
+            SimulationConfig(**{field: 0})
+
+    def test_plan_rejects_zero_channels(self):
+        with pytest.raises(SpecError, match="channels.num_channels"):
+            ChannelPlan.spaced(0)
+
+    def test_plan_rejects_zero_bandwidth(self):
+        with pytest.raises(SpecError, match="channels.bandwidth_mhz"):
+            ChannelPlan(centers_mhz=(5180.0,), bandwidth_mhz=0.0)

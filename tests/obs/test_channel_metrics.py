@@ -1,0 +1,89 @@
+"""Per-channel metric families: labeled counters ride the channel axis."""
+
+import pytest
+
+from repro.experiments import (
+    ChannelSpec,
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+)
+from repro.obs import MetricsSnapshot, ObsConfig
+from repro.sim.config import SimulationConfig
+from repro.spectrum import ChannelPlan
+
+
+def channel_spec(assignment="blueprint"):
+    return ExperimentSpec(
+        name="obs-channels",
+        scenario=ScenarioSpec(
+            kind="fig1",
+            params={"activity": 0.5},
+            snr={"kind": "uniform", "seed": 3},
+        ),
+        sim=SimulationConfig(num_subframes=600, num_rbs=8),
+        schedulers={"pf": SchedulerSpec("pf")},
+        channels=ChannelSpec(
+            plan=ChannelPlan.spaced(3),
+            terminal_channels=(0, 1, 2),
+            assignment=assignment,
+        ),
+        obs=ObsConfig(enabled=True),
+        seed=11,
+    )
+
+
+def series_by_channel(snap, name):
+    family = snap.get(name)
+    assert family["labels"][0] == "channel"
+    return {labels[0]: entry["value"] for labels, entry in family["series"].items()}
+
+
+class TestChannelFamilies:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        plan = build_experiment(channel_spec())
+        result = plan.run_one("pf")
+        snap = MetricsSnapshot.from_dict(result.obs_snapshot)
+        return plan, result, snap
+
+    def test_channel_population_counted(self, observed):
+        plan, _, snap = observed
+        counts = series_by_channel(snap, "engine.channel_ues")
+        expected = {}
+        for channel in plan.ue_channels:
+            expected[str(channel)] = expected.get(str(channel), 0) + 1
+        assert counts == expected
+
+    def test_grant_outcomes_labeled_by_channel(self, observed):
+        plan, result, snap = observed
+        family = snap.get("engine.channel_grant_outcomes")
+        assert list(family["labels"]) == ["channel", "outcome"]
+        total = sum(entry["value"] for entry in family["series"].values())
+        assert total == result.grants_issued
+        decoded = sum(
+            entry["value"]
+            for labels, entry in family["series"].items()
+            if labels[1] == "decoded"
+        )
+        assert decoded == result.grants_decoded
+
+    def test_channel_families_absent_without_channel_block(self):
+        spec = channel_spec()
+        plain = spec.replace(channels=None)
+        result = build_experiment(plain).run_one("pf")
+        snap = MetricsSnapshot.from_dict(result.obs_snapshot)
+        assert snap.get("engine.channel_ues") is None
+        assert snap.get("engine.channel_grant_outcomes") is None
+        assert snap.get("engine.channel_silenced") is None
+
+    def test_static_assignment_concentrates_silencing(self):
+        # All UEs parked on channel 0 with every terminal audible there
+        # via the static baseline: silenced events all carry channel="0".
+        plan = build_experiment(channel_spec(assignment="static"))
+        result = plan.run_one("pf")
+        snap = MetricsSnapshot.from_dict(result.obs_snapshot)
+        silenced = series_by_channel(snap, "engine.channel_silenced")
+        assert set(silenced) <= {"0"}
+        assert silenced.get("0", 0) > 0

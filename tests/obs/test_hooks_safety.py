@@ -1,7 +1,6 @@
-"""CompositeHooks delivery guarantees and the repro.perf shim."""
+"""CompositeHooks delivery guarantees and the timing-tools home."""
 
 import importlib
-import sys
 
 import pytest
 
@@ -69,22 +68,16 @@ class TestCompositeHooks:
         assert set(caught.value.exceptions) == {first, second}
 
 
-class TestPerfShim:
-    def _fresh_import(self, module):
-        for name in [n for n in sys.modules if n.startswith("repro.perf")]:
-            del sys.modules[name]
-        with pytest.warns(DeprecationWarning, match="repro.obs"):
-            return importlib.import_module(module)
+class TestTimingHome:
+    """The timing tools live in repro.obs.timing; the old shim is gone."""
 
-    def test_repro_perf_warns_and_re_exports(self):
-        module = self._fresh_import("repro.perf")
+    def test_perf_shim_removed(self):
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.perf")
+
+    def test_obs_timing_is_the_home(self):
         from repro.obs import PhaseTimer, Stopwatch
+        from repro.obs import timing
 
-        assert module.PhaseTimer is PhaseTimer
-        assert module.Stopwatch is Stopwatch
-
-    def test_stopwatch_submodule_shim(self):
-        module = self._fresh_import("repro.perf.stopwatch")
-        from repro.obs.timing import PhaseTimer
-
-        assert module.PhaseTimer is PhaseTimer
+        assert timing.PhaseTimer is PhaseTimer
+        assert timing.Stopwatch is Stopwatch

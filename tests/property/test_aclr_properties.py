@@ -1,0 +1,128 @@
+"""Property tests for the ACLR leakage model and per-channel blueprints.
+
+Three physical invariants pin the channel axis down:
+
+* ACLR is symmetric — leakage from A into B equals leakage from B into A
+  (the piecewise mask depends only on |Δf|);
+* ACLR is monotone non-decreasing in channel distance on an evenly spaced
+  plan — moving further away never makes leakage worse;
+* terminals homed on mutually orthogonal channels produce *independent*
+  per-channel blueprints: each channel's view sees exactly its own
+  terminals' edges, and resolving UEs onto those channels prunes every
+  cross-channel edge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectrum import ACLR_ORTHOGONAL_DB, ChannelPlan
+from repro.topology.multichannel import ChannelizedTerminal, MultiChannelTopology
+
+plans = st.builds(
+    ChannelPlan.spaced,
+    st.integers(min_value=1, max_value=8),
+    start_mhz=st.floats(min_value=1000.0, max_value=6000.0),
+    spacing_mhz=st.floats(min_value=1.0, max_value=80.0),
+    bandwidth_mhz=st.floats(min_value=1.0, max_value=40.0),
+)
+
+
+@given(plans, st.data())
+@settings(max_examples=200)
+def test_aclr_symmetric(plan, data):
+    a = data.draw(st.integers(0, plan.num_channels - 1))
+    b = data.draw(st.integers(0, plan.num_channels - 1))
+    assert plan.aclr_db(a, b) == plan.aclr_db(b, a)
+    assert plan.coupling(a, b) == plan.coupling(b, a)
+
+
+@given(plans, st.data())
+@settings(max_examples=200)
+def test_aclr_monotone_in_channel_distance(plan, data):
+    """On an evenly spaced plan, farther channels never leak more."""
+    a = data.draw(st.integers(0, plan.num_channels - 1))
+    attenuations = [
+        plan.aclr_db(a, b) for b in range(plan.num_channels)
+    ]
+    # Sort neighbours by distance from a; attenuation must be
+    # non-decreasing along that ordering on either side.
+    for direction in (1, -1):
+        previous = 0.0
+        b = a
+        while 0 <= b < plan.num_channels:
+            assert attenuations[b] >= previous
+            previous = attenuations[b]
+            b += direction
+
+
+@given(plans)
+@settings(max_examples=200)
+def test_aclr_bounded_and_zero_on_diagonal(plan):
+    matrix = plan.leakage_matrix_db()
+    for a in range(plan.num_channels):
+        assert matrix[a, a] == 0.0
+        for b in range(plan.num_channels):
+            assert 0.0 <= matrix[a, b] <= ACLR_ORTHOGONAL_DB
+
+
+@st.composite
+def orthogonal_populations(draw):
+    """Terminals spread over channels of a widely spaced (orthogonal) plan."""
+    num_channels = draw(st.integers(min_value=2, max_value=4))
+    # 2x-bandwidth spacing makes every channel pair orthogonal.
+    plan = ChannelPlan.spaced(num_channels, spacing_mhz=40.0, bandwidth_mhz=20.0)
+    num_ues = draw(st.integers(min_value=1, max_value=5))
+    terminals = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        ues = draw(
+            st.frozensets(
+                st.integers(0, num_ues - 1), min_size=0, max_size=num_ues
+            )
+        )
+        terminals.append(
+            ChannelizedTerminal(
+                q=draw(st.floats(min_value=0.0, max_value=0.95)),
+                ues=ues,
+                channel=draw(st.integers(0, num_channels - 1)),
+            )
+        )
+    return MultiChannelTopology(
+        plan=plan, num_ues=num_ues, terminals=tuple(terminals)
+    )
+
+
+@given(orthogonal_populations())
+@settings(max_examples=200)
+def test_orthogonal_channels_have_independent_blueprints(multi):
+    """With zero margins on an orthogonal plan, each channel's view holds
+    exactly the edges of its own terminals, and busy probabilities fold in
+    co-channel terminals only."""
+    for channel in range(multi.num_channels):
+        view = multi.channel_view(channel)
+        own = set(multi.terminals_on(channel))
+        assert set(multi.coupled_terminals(channel)) == own
+        for k, terminal in enumerate(multi.terminals):
+            expected = terminal.ues if k in own else frozenset()
+            assert view.edges[k] == expected
+        idle = 1.0
+        for k in own:
+            idle *= 1.0 - multi.terminals[k].q
+        assert abs(multi.channel_busy_probability(channel) - (1.0 - idle)) < 1e-12
+
+
+@given(orthogonal_populations(), st.data())
+@settings(max_examples=200)
+def test_effective_topology_is_per_ue_channel_slice(multi, data):
+    """Resolving an assignment keeps edge (k, u) iff terminal k is homed on
+    UE u's channel — the per-UE union of the per-channel views."""
+    assignment = tuple(
+        data.draw(st.integers(0, multi.num_channels - 1))
+        for _ in range(multi.num_ues)
+    )
+    resolved = multi.effective_topology(assignment)
+    assert resolved.q == tuple(t.q for t in multi.terminals)
+    for k, terminal in enumerate(multi.terminals):
+        expected = frozenset(
+            u for u in terminal.ues if assignment[u] == terminal.channel
+        )
+        assert resolved.edges[k] == expected

@@ -1,0 +1,157 @@
+"""ChannelPlan, per-channel CCA, and channelized activity/audibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpecError
+from repro.spectrum import (
+    ACLR_ORTHOGONAL_DB,
+    BernoulliActivity,
+    ChannelPlan,
+    ChannelizedActivitySet,
+    LTE_ENERGY_SENSING,
+    channelized_audibility,
+    cross_channel_power_dbm,
+    per_channel_busy,
+)
+
+
+class TestChannelPlan:
+    def test_default_is_single_channel(self):
+        plan = ChannelPlan.default()
+        assert plan.num_channels == 1
+        assert plan.aclr_db(0, 0) == 0.0
+
+    def test_spaced_builds_evenly_spaced_centers(self):
+        plan = ChannelPlan.spaced(4, start_mhz=5180.0, spacing_mhz=20.0)
+        assert plan.centers_mhz == (5180.0, 5200.0, 5220.0, 5240.0)
+
+    def test_spaced_rejects_bad_count(self):
+        with pytest.raises(SpecError, match="channels.num_channels"):
+            ChannelPlan.spaced(0)
+
+    def test_rejects_empty_centers(self):
+        with pytest.raises(SpecError, match="channels.centers_mhz"):
+            ChannelPlan(centers_mhz=())
+
+    def test_rejects_duplicate_centers(self):
+        with pytest.raises(SpecError, match="channels.centers_mhz"):
+            ChannelPlan(centers_mhz=(5180.0, 5180.0))
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecError, match="channels.bandwidth_mhz"):
+            ChannelPlan(centers_mhz=(5180.0,), bandwidth_mhz=0.0)
+
+    def test_unknown_channel_index(self):
+        plan = ChannelPlan.spaced(2)
+        with pytest.raises(SpecError, match="unknown channel index"):
+            plan.aclr_db(0, 2)
+
+    def test_aclr_co_channel_is_zero(self):
+        plan = ChannelPlan.spaced(3)
+        assert plan.aclr_db(1, 1) == 0.0
+
+    def test_aclr_first_adjacent_and_orthogonal(self):
+        plan = ChannelPlan.spaced(3, spacing_mhz=20.0, bandwidth_mhz=20.0)
+        assert plan.aclr_db(0, 1) == 40.0
+        assert plan.aclr_db(0, 2) == ACLR_ORTHOGONAL_DB
+        assert plan.orthogonal(0, 2)
+        assert not plan.orthogonal(0, 1)
+
+    def test_coupling_is_linear_of_aclr(self):
+        plan = ChannelPlan.spaced(2)
+        assert plan.coupling(0, 0) == 1.0
+        assert plan.coupling(0, 1) == pytest.approx(1e-4)
+
+    def test_leakage_matrix_symmetric(self):
+        plan = ChannelPlan.spaced(4)
+        matrix = plan.leakage_matrix_db()
+        assert matrix.shape == (4, 4)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_round_trip(self):
+        plan = ChannelPlan.spaced(3, spacing_mhz=40.0, bandwidth_mhz=10.0)
+        assert ChannelPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError):
+            ChannelPlan.from_dict({"centers_mhz": [5180.0], "bogus": 1})
+
+
+class TestCrossChannelCca:
+    def test_cross_channel_power_subtracts_aclr(self):
+        plan = ChannelPlan.spaced(3)
+        assert cross_channel_power_dbm(-50.0, plan, 0, 0) == -50.0
+        assert cross_channel_power_dbm(-50.0, plan, 0, 1) == -90.0
+
+    def test_per_channel_busy_localizes_transmissions(self):
+        plan = ChannelPlan.spaced(3)
+        # One strong transmission on channel 0: channel 0 busy, the first
+        # adjacent (-40 dB) and orthogonal channels stay idle for LTE ED.
+        busy = per_channel_busy(LTE_ENERGY_SENSING, [(0, -50.0)], plan)
+        assert busy == (True, False, False)
+
+    def test_per_channel_busy_aggregates_leakage(self):
+        plan = ChannelPlan.spaced(2)
+        # Two adjacent-channel blasters at -30 dBm leak -70 dBm each into
+        # channel 1; the aggregate crosses the LTE ED threshold there.
+        busy = per_channel_busy(
+            LTE_ENERGY_SENSING, [(0, -30.0), (0, -30.0)], plan
+        )
+        assert busy[0] and busy[1]
+
+
+class TestChannelizedActivity:
+    def test_step_routes_to_home_channels(self):
+        plan = ChannelPlan.spaced(3)
+        rng = np.random.default_rng(1)
+        processes = [
+            BernoulliActivity(0.999, rng=rng),
+            BernoulliActivity(0.999, rng=rng),
+        ]
+        acts = ChannelizedActivitySet(processes, channels=(0, 2), plan=plan)
+        active = acts.step()
+        assert active[0] == frozenset({0})
+        assert active[1] == frozenset()
+        assert active[2] == frozenset({1})
+
+    def test_stationary_probability_folds_coupled_only(self):
+        plan = ChannelPlan.spaced(3)
+        rng = np.random.default_rng(2)
+        processes = [BernoulliActivity(0.5, rng=rng), BernoulliActivity(0.5, rng=rng)]
+        acts = ChannelizedActivitySet(processes, channels=(0, 2), plan=plan)
+        assert acts.stationary_probability_on(0) == pytest.approx(0.5)
+        assert acts.stationary_probability_on(1) == pytest.approx(0.0)
+
+    def test_margin_couples_adjacent_channel(self):
+        plan = ChannelPlan.spaced(2)
+        processes = [BernoulliActivity(0.5, rng=np.random.default_rng(3))]
+        acts = ChannelizedActivitySet(
+            processes, channels=(0,), plan=plan, margins_db=(40.0,)
+        )
+        assert acts.couples(0, 1)
+        assert acts.stationary_probability_on(1) == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        plan = ChannelPlan.spaced(2)
+        with pytest.raises(ConfigurationError):
+            ChannelizedActivitySet(
+                [BernoulliActivity(0.5, rng=np.random.default_rng(4))],
+                channels=(0, 1),
+                plan=plan,
+            )
+
+
+class TestChannelizedAudibility:
+    def test_cross_channel_peers_pruned(self):
+        plan = ChannelPlan.spaced(3)
+        audible = {0: frozenset({1, 2}), 1: frozenset({0}), 2: frozenset({0})}
+        pruned = channelized_audibility(
+            audible, node_channels={0: 0, 1: 0, 2: 2}, plan=plan
+        )
+        # Node 2 moved to an orthogonal channel: 0 no longer hears it,
+        # and it no longer hears 0.
+        assert pruned[0] == frozenset({1})
+        assert pruned[2] == frozenset()
+        assert pruned[1] == frozenset({0})

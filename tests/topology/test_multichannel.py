@@ -1,0 +1,171 @@
+"""MultiChannelTopology: per-channel audibility and hidden-terminal sets."""
+
+import pytest
+
+from repro.errors import SpecError, TopologyError
+from repro.spectrum import ChannelPlan
+from repro.topology import InterferenceTopology
+from repro.topology.multichannel import ChannelizedTerminal, MultiChannelTopology
+
+
+def three_channel_topology():
+    """Two UEs; terminal 0 on channel 0 hits UE 0, terminal 1 on channel 2
+    hits both UEs, terminal 2 on channel 1 leaks one channel over."""
+    return MultiChannelTopology(
+        plan=ChannelPlan.spaced(3),
+        num_ues=2,
+        terminals=(
+            ChannelizedTerminal(q=0.4, ues=frozenset({0}), channel=0),
+            ChannelizedTerminal(q=0.3, ues=frozenset({0, 1}), channel=2),
+            ChannelizedTerminal(
+                q=0.2, ues=frozenset({1}), channel=1, margin_db=40.0
+            ),
+        ),
+    )
+
+
+class TestValidation:
+    def test_terminal_rejects_bad_q(self):
+        with pytest.raises(TopologyError, match="busy probability"):
+            ChannelizedTerminal(q=1.0, ues=frozenset())
+
+    def test_terminal_rejects_negative_channel(self):
+        with pytest.raises(TopologyError, match="negative channel"):
+            ChannelizedTerminal(q=0.1, ues=frozenset(), channel=-1)
+
+    def test_terminal_rejects_negative_margin(self):
+        with pytest.raises(TopologyError, match="margin"):
+            ChannelizedTerminal(q=0.1, ues=frozenset(), margin_db=-3.0)
+
+    def test_topology_rejects_out_of_plan_channel(self):
+        with pytest.raises(TopologyError, match="homed on channel 5"):
+            MultiChannelTopology(
+                plan=ChannelPlan.spaced(2),
+                num_ues=1,
+                terminals=(
+                    ChannelizedTerminal(q=0.1, ues=frozenset(), channel=5),
+                ),
+            )
+
+    def test_topology_rejects_unknown_ue_edges(self):
+        with pytest.raises(TopologyError, match="unknown UEs"):
+            MultiChannelTopology(
+                plan=ChannelPlan.default(),
+                num_ues=1,
+                terminals=(
+                    ChannelizedTerminal(q=0.1, ues=frozenset({3})),
+                ),
+            )
+
+
+class TestFromBase:
+    def test_defaults_to_channel_zero(self):
+        base = InterferenceTopology(
+            num_ues=2,
+            q=(0.3, 0.4),
+            edges=(frozenset({0}), frozenset({1})),
+        )
+        multi = MultiChannelTopology.from_base(base, ChannelPlan.spaced(2))
+        assert all(t.channel == 0 for t in multi.terminals)
+        assert all(t.margin_db == 0.0 for t in multi.terminals)
+        assert multi.num_terminals == 2
+
+    def test_length_mismatch_is_spec_error(self):
+        base = InterferenceTopology(
+            num_ues=1, q=(0.3, 0.4), edges=(frozenset(), frozenset())
+        )
+        with pytest.raises(SpecError, match="channels.terminal_channels"):
+            MultiChannelTopology.from_base(
+                base, ChannelPlan.spaced(2), terminal_channels=(0,)
+            )
+        with pytest.raises(SpecError, match="channels.terminal_margins_db"):
+            MultiChannelTopology.from_base(
+                base, ChannelPlan.spaced(2), terminal_margins_db=(1.0,)
+            )
+
+
+class TestPerChannelStructure:
+    def test_hidden_on_one_channel_inert_on_another(self):
+        multi = three_channel_topology()
+        # Terminal 0 silences UE 0 on channel 0 only.
+        assert multi.hidden_terminals_for_ue(0, 0) == (0,)
+        assert multi.hidden_terminals_for_ue(0, 1) == ()
+        assert multi.hidden_terminals_for_ue(0, 2) == (1,)
+
+    def test_margin_couples_adjacent_channels(self):
+        multi = three_channel_topology()
+        # Terminal 2 (home 1, margin 40 dB) couples into channels 0 and 2
+        # through the 40 dB first-adjacent ACLR, not just its own channel.
+        assert multi.couples(2, 0)
+        assert multi.couples(2, 1)
+        assert multi.couples(2, 2)
+        assert multi.hidden_terminals_for_ue(1, 0) == (2,)
+        assert multi.hidden_terminals_for_ue(1, 2) == (1, 2)
+
+    def test_terminals_on_and_coupled(self):
+        multi = three_channel_topology()
+        assert multi.terminals_on(0) == (0,)
+        assert multi.terminals_on(1) == (2,)
+        assert multi.coupled_terminals(0) == (0, 2)
+
+    def test_channel_busy_probability_folds_leakage(self):
+        multi = three_channel_topology()
+        # Channel 0: terminals 0 (q=0.4) and 2 (q=0.2, leaking).
+        assert multi.channel_busy_probability(0) == pytest.approx(
+            1.0 - 0.6 * 0.8
+        )
+        # Channel 1: only terminal 2.
+        assert multi.channel_busy_probability(1) == pytest.approx(0.2)
+
+    def test_channel_view_keeps_terminal_indices_aligned(self):
+        multi = three_channel_topology()
+        view = multi.channel_view(0)
+        assert view.num_terminals == multi.num_terminals
+        assert view.q == (0.4, 0.3, 0.2)
+        assert view.edges == (frozenset({0}), frozenset(), frozenset({1}))
+
+
+class TestEffectiveTopology:
+    def test_all_on_channel_zero_matches_base_edges(self):
+        base = InterferenceTopology(
+            num_ues=2,
+            q=(0.3, 0.4),
+            edges=(frozenset({0}), frozenset({0, 1})),
+        )
+        multi = MultiChannelTopology.from_base(base, ChannelPlan.spaced(3))
+        resolved = multi.effective_topology((0, 0))
+        assert resolved == base
+
+    def test_moving_a_ue_prunes_cross_channel_edges(self):
+        multi = three_channel_topology()
+        # UE 0 on channel 0, UE 1 on channel 1: terminal 1 (channel 2,
+        # no margin) loses both edges except none couple; terminal 2
+        # keeps UE 1 via co-channel.
+        resolved = multi.effective_topology((0, 1))
+        assert resolved.edges == (
+            frozenset({0}),
+            frozenset(),
+            frozenset({1}),
+        )
+        # q vector is preserved verbatim for engine stream alignment.
+        assert resolved.q == (0.4, 0.3, 0.2)
+
+    def test_wrong_length_assignment_rejected(self):
+        multi = three_channel_topology()
+        with pytest.raises(TopologyError, match="channel assignments"):
+            multi.effective_topology((0,))
+
+    def test_unknown_channel_rejected(self):
+        multi = three_channel_topology()
+        with pytest.raises(SpecError):
+            multi.effective_topology((0, 7))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        multi = three_channel_topology()
+        assert MultiChannelTopology.from_dict(multi.to_dict()) == multi
+
+    def test_malformed_payload_is_spec_error(self):
+        with pytest.raises(SpecError, match="malformed"):
+            MultiChannelTopology.from_dict({"num_ues": 1})
