@@ -18,6 +18,14 @@ from repro.analysis.dynamics import (
 from repro.analysis.plots import bar_chart, cdf_plot, sparkline
 from repro.analysis.report import comparison_report, sweep_report
 from repro.analysis.tables import format_comparison, format_table
+from repro.analysis.timeseries import (
+    detection_to_recovery,
+    detection_windows,
+    format_timeseries_report,
+    timeseries_report,
+    utilization_timeline,
+    windows_around,
+)
 
 __all__ = [
     "bar_chart",
@@ -28,10 +36,13 @@ __all__ = [
     "channel_assignment_report",
     "comparison_report",
     "deployment_report",
+    "detection_to_recovery",
+    "detection_windows",
     "dynamics_report",
     "empirical_cdf",
     "format_comparison",
     "format_table",
+    "format_timeseries_report",
     "fraction_at_least",
     "jain_fairness",
     "per_cell_metric",
@@ -40,6 +51,9 @@ __all__ = [
     "recovery_ratio",
     "sparkline",
     "sweep_report",
+    "timeseries_report",
     "utilization_regret",
+    "utilization_timeline",
     "windowed_utilization",
+    "windows_around",
 ]

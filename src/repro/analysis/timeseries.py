@@ -1,0 +1,241 @@
+"""Windowed time-series reports over streamed ``obs_series`` frames.
+
+The stream layer (:mod:`repro.obs.stream`) produces columnar
+:class:`~repro.obs.stream.TimeSeriesFrame` payloads — one row per
+subframe window.  This module turns them into the reports the paper's
+dynamics story needs: utilization-vs-time around churn events, and
+detection-to-recovery timelines showing how long the controller spends
+re-measuring after each drift detection.
+
+Everything here is pure data-in/data-out over a frame (or its dict
+form): no engine, no registry, no clock — so the reports are identical
+whether the frame came from a live run, a checkpoint resume, or a
+parallel-worker merge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ObsError
+from repro.obs.stream import TimeSeriesFrame
+
+__all__ = [
+    "detection_to_recovery",
+    "detection_windows",
+    "format_timeseries_report",
+    "timeseries_report",
+    "utilization_timeline",
+    "windows_around",
+]
+
+_Frame = Union[TimeSeriesFrame, Mapping[str, Any]]
+
+#: Counter column the drift detector increments (see repro.obs hooks).
+DRIFT_COLUMN = "dynamics.drift_detections"
+
+#: Phase label column written by the stream recorder's phase probe.
+PHASE_COLUMN = "phase"
+
+#: Phase names that count as "recovered" (normal speculative operation).
+_RECOVERED_PHASES = frozenset({"speculative"})
+
+
+def _as_frame(frame: _Frame) -> TimeSeriesFrame:
+    if isinstance(frame, TimeSeriesFrame):
+        return frame
+    return TimeSeriesFrame.from_dict(frame)
+
+
+def utilization_timeline(frame: _Frame) -> List[Dict[str, Any]]:
+    """Per-window utilization rows: ``{window_start, utilization, phase?}``.
+
+    Utilization is the window's mean RB utilization derived from the
+    streamed histogram deltas (0.0 for windows with no UL subframe).
+    Raises :class:`~repro.errors.ObsError` when the frame did not stream
+    the ``engine.rb_utilization`` family.
+    """
+    frame = _as_frame(frame)
+    utilization = frame.utilization()
+    if not utilization and frame.num_rows:
+        raise ObsError(
+            "frame has no engine.rb_utilization columns; was the family "
+            "excluded from stream_families?"
+        )
+    starts = frame.window_starts()
+    phases = (
+        frame.column(PHASE_COLUMN) if PHASE_COLUMN in frame.columns else None
+    )
+    rows: List[Dict[str, Any]] = []
+    for i, (start, value) in enumerate(zip(starts, utilization)):
+        row: Dict[str, Any] = {
+            "window_start": start,
+            "utilization": value,
+        }
+        if phases is not None:
+            row["phase"] = phases[i]
+        rows.append(row)
+    return rows
+
+
+def detection_windows(frame: _Frame) -> List[int]:
+    """Row indices of windows in which the drift detector fired."""
+    frame = _as_frame(frame)
+    if DRIFT_COLUMN not in frame.columns:
+        return []
+    return [
+        index
+        for index, delta in enumerate(frame.column(DRIFT_COLUMN))
+        if delta > 0
+    ]
+
+
+def windows_around(
+    frame: _Frame,
+    row: int,
+    before: int = 3,
+    after: int = 5,
+) -> List[Dict[str, Any]]:
+    """Utilization rows in ``[row - before, row + after]``, clipped.
+
+    The churn-event zoom: call with a detection window's row index to
+    see utilization collapse and recover around it.
+    """
+    frame = _as_frame(frame)
+    if not 0 <= row < frame.num_rows:
+        raise ObsError(
+            f"row {row} out of range for a {frame.num_rows}-row frame"
+        )
+    timeline = utilization_timeline(frame)
+    lo = max(0, row - before)
+    hi = min(frame.num_rows, row + after + 1)
+    rows = []
+    for index in range(lo, hi):
+        entry = dict(timeline[index])
+        entry["offset"] = index - row
+        rows.append(entry)
+    return rows
+
+
+def detection_to_recovery(frame: _Frame) -> List[Dict[str, Any]]:
+    """Detection-to-recovery timeline, one entry per drift detection.
+
+    For each window where the drift detector fired, finds the first
+    subsequent window whose controller phase is back to normal
+    (``speculative``).  ``recovery_windows`` is that distance in windows
+    (``None`` when the run ended first); ``recovery_subframes`` scales it
+    by the frame's window size.  Frames without a phase column (PF and
+    other phase-less schedulers) return detections with no recovery info.
+    """
+    frame = _as_frame(frame)
+    detections = detection_windows(frame)
+    phases = (
+        frame.column(PHASE_COLUMN) if PHASE_COLUMN in frame.columns else None
+    )
+    starts = frame.window_starts()
+    entries: List[Dict[str, Any]] = []
+    for row in detections:
+        entry: Dict[str, Any] = {
+            "window": row,
+            "window_start": starts[row],
+            "recovery_windows": None,
+            "recovery_subframes": None,
+        }
+        if phases is not None:
+            for later in range(row + 1, frame.num_rows):
+                if phases[later] in _RECOVERED_PHASES:
+                    entry["recovery_windows"] = later - row
+                    entry["recovery_subframes"] = (later - row) * frame.window
+                    break
+        entries.append(entry)
+    return entries
+
+
+def timeseries_report(frame: _Frame) -> Dict[str, Any]:
+    """Headline stats for one streamed frame.
+
+    ``utilization`` min/mean/max over windows, the number of drift
+    detections with their mean recovery distance, and the per-phase
+    window counts.
+    """
+    frame = _as_frame(frame)
+    utilization = frame.utilization()
+    report: Dict[str, Any] = {
+        "windows": frame.num_rows,
+        "window_size": frame.window,
+        "columns": len(frame.columns) - 1,
+    }
+    if utilization:
+        report["utilization"] = {
+            "min": min(utilization),
+            "mean": sum(utilization) / len(utilization),
+            "max": max(utilization),
+        }
+    recoveries = detection_to_recovery(frame)
+    report["drift_detections"] = len(recoveries)
+    recovered = [
+        entry["recovery_windows"]
+        for entry in recoveries
+        if entry["recovery_windows"] is not None
+    ]
+    report["mean_recovery_windows"] = (
+        sum(recovered) / len(recovered) if recovered else None
+    )
+    if PHASE_COLUMN in frame.columns:
+        counts: Dict[str, int] = {}
+        for phase in frame.column(PHASE_COLUMN):
+            if phase:
+                counts[phase] = counts.get(phase, 0) + 1
+        report["phase_windows"] = counts
+    return report
+
+
+def format_timeseries_report(
+    frames: Mapping[str, _Frame],
+    sparkline_width: int = 40,
+) -> str:
+    """Render per-run frame reports as the repo's standard ASCII table.
+
+    One row per run: window count, utilization min/mean/max with a
+    sparkline of the timeline, drift detections and mean recovery.
+    """
+    from repro.analysis.plots import sparkline
+    from repro.analysis.tables import format_table
+
+    rows: List[Sequence[Any]] = []
+    for name in frames:
+        frame = _as_frame(frames[name])
+        report = timeseries_report(frame)
+        utilization = frame.utilization()
+        if len(utilization) > sparkline_width:
+            # Downsample by striding so the sparkline stays terminal-width.
+            stride = -(-len(utilization) // sparkline_width)
+            utilization = utilization[::stride]
+        util = report.get("utilization")
+        recovery: Optional[float] = report["mean_recovery_windows"]
+        rows.append(
+            [
+                name,
+                report["windows"],
+                util["min"] if util else float("nan"),
+                util["mean"] if util else float("nan"),
+                util["max"] if util else float("nan"),
+                sparkline(utilization) if utilization else "-",
+                report["drift_detections"],
+                f"{recovery:.1f}w" if recovery is not None else "-",
+            ]
+        )
+    return format_table(
+        [
+            "run",
+            "windows",
+            "util min",
+            "util mean",
+            "util max",
+            "timeline",
+            "detections",
+            "recovery",
+        ],
+        rows,
+        title="Streamed time series (per window)",
+    )

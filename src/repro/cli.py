@@ -17,8 +17,12 @@ Commands:
                       cluster, and print the utilization/fairness report.
 * ``resume``        — finish an interrupted checkpointed grid, sweep, or
                       deployment campaign from its manifest.
+* ``monitor``       — tail a campaign's ``--telemetry-dir`` and render
+                      per-item progress, heartbeats, and ETA live.
 * ``obs-report``    — summarize the telemetry a ``--obs-dir`` run wrote
                       and validate any trace files next to it.
+* ``obs-export``    — render a run directory's ``metrics.json`` as
+                      OpenMetrics text (Prometheus exposition format).
 * ``validate-specs``— parse and build every spec in a directory.
 * ``infer``         — generate a scenario, measure, infer the blueprint,
                       and report its accuracy against ground truth.
@@ -36,8 +40,12 @@ to (and reproducible from) a ``specs/*.json`` file.
 ``compare``, ``dynamics``, and ``run-spec`` accept ``--obs`` /
 ``--obs-dir`` / ``--trace-out`` to collect :mod:`repro.obs` telemetry:
 the merged metrics table is printed after the results, ``metrics.json``
-lands in ``--obs-dir``, and ``--trace-out`` writes the combined event
-timeline (``.jsonl``, or Chrome-viewer ``.json``).
+(plus OpenMetrics ``metrics.prom``) lands in ``--obs-dir``, and
+``--trace-out`` writes the combined event timeline (``.jsonl``, or
+Chrome-viewer ``.json``).  ``--stream`` additionally records windowed
+time series (``series.json``, summarized after the metrics table), and
+``--telemetry-dir`` on campaign commands streams live progress events
+for ``repro monitor``.
 """
 
 from __future__ import annotations
@@ -186,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(run_spec)
     _add_obs_args(run_spec)
+    _add_telemetry_arg(run_spec)
 
     deploy = sub.add_parser(
         "deploy",
@@ -212,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(deploy)
     _add_obs_args(deploy)
+    _add_telemetry_arg(deploy)
 
     resume = sub.add_parser(
         "resume",
@@ -223,6 +233,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("--n-jobs", type=int, default=1)
     _add_resilience_args(resume)
+    _add_obs_args(resume)
+    _add_telemetry_arg(resume)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail a campaign's telemetry directory and render progress",
+    )
+    monitor.add_argument(
+        "directory", help="directory written by a --telemetry-dir run"
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit instead of tailing",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between frames while tailing (default: 2)",
+    )
+    monitor.add_argument(
+        "--stall-after", type=float, default=10.0, metavar="SECONDS",
+        help=(
+            "mark a running item STALLED once its heartbeat reports more "
+            "elapsed time than this, or its heartbeats stop (default: 10)"
+        ),
+    )
+
+    obs_export = sub.add_parser(
+        "obs-export",
+        help="render an --obs-dir run's metrics.json as OpenMetrics text",
+    )
+    obs_export.add_argument(
+        "run_dir", help="directory holding metrics.json"
+    )
+    obs_export.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the exposition to PATH instead of stdout",
+    )
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -318,7 +365,10 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--obs-dir",
         metavar="DIR",
         default=None,
-        help="write the merged metrics.json into DIR (implies --obs)",
+        help=(
+            "write the merged metrics.json (and OpenMetrics metrics.prom) "
+            "into DIR (implies --obs)"
+        ),
     )
     parser.add_argument(
         "--trace-out",
@@ -329,10 +379,41 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
             ".json for the Chrome viewer (implies --obs with tracing)"
         ),
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "record windowed time series during the run (implies --obs; "
+            "series.json lands in --obs-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--stream-window",
+        type=int,
+        default=None,
+        metavar="SUBFRAMES",
+        help="subframes per time-series window (default: 100)",
+    )
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "stream live progress events (heartbeats, retries, per-item "
+            "completions) into DIR/telemetry.jsonl for `repro monitor`"
+        ),
+    )
 
 
 def _obs_requested(args: argparse.Namespace) -> bool:
-    return bool(args.obs or args.obs_dir or args.trace_out)
+    return bool(
+        args.obs or args.obs_dir or args.trace_out
+        or getattr(args, "stream", False)
+        or getattr(args, "stream_window", None) is not None
+    )
 
 
 def _apply_obs_args(
@@ -349,6 +430,13 @@ def _apply_obs_args(
             base,
             enabled=True,
             tracing=base.tracing or bool(args.trace_out),
+            stream=base.stream or bool(args.stream)
+            or args.stream_window is not None,
+            stream_window=(
+                args.stream_window
+                if args.stream_window is not None
+                else base.stream_window
+            ),
         )
     )
 
@@ -379,8 +467,29 @@ def _emit_obs_artifacts(
         return
     print()
     print(format_obs_report(snapshot, title=f"{title} telemetry"))
+    frames = {
+        name: result.obs_series
+        for name, result in results.items()
+        if getattr(result, "obs_series", None) is not None
+    }
+    if frames:
+        from repro.analysis.timeseries import format_timeseries_report
+
+        print()
+        print(format_timeseries_report(frames))
     if args.obs_dir:
         print(f"wrote {write_metrics_json(args.obs_dir, snapshot)}")
+        from repro.obs.openmetrics import write_metrics_prom
+
+        print(f"wrote {write_metrics_prom(args.obs_dir, snapshot)}")
+        if frames:
+            from repro.obs.stream import TimeSeriesFrame, write_series_json
+
+            parsed = {
+                name: TimeSeriesFrame.from_dict(frame)
+                for name, frame in frames.items()
+            }
+            print(f"wrote {write_series_json(args.obs_dir, parsed)}")
     if args.trace_out:
         events = merge_run_traces(
             {
@@ -638,8 +747,14 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
                 n_jobs=args.n_jobs,
                 checkpoint_dir=args.checkpoint_dir,
                 supervisor=_supervisor_from_args(args),
+                telemetry_dir=args.telemetry_dir,
             )
             return _format_grid(triples)
+        if args.telemetry_dir is not None:
+            print(
+                "--telemetry-dir requires --seeds (grid mode); ignoring",
+                file=sys.stderr,
+            )
         plan = build_experiment(spec)
         results = plan.run(n_jobs=args.n_jobs)
     except SpecError as error:
@@ -672,7 +787,19 @@ def _apply_deploy_obs_args(spec, args: argparse.Namespace):
     from repro.obs.config import ObsConfig
 
     base = spec.obs or ObsConfig()
-    return spec.replace(obs=dataclasses.replace(base, enabled=True))
+    return spec.replace(
+        obs=dataclasses.replace(
+            base,
+            enabled=True,
+            stream=base.stream or bool(args.stream)
+            or args.stream_window is not None,
+            stream_window=(
+                args.stream_window
+                if args.stream_window is not None
+                else base.stream_window
+            ),
+        )
+    )
 
 
 def _format_campaign(campaign, per_cell: bool = False) -> int:
@@ -742,7 +869,7 @@ def _format_campaign(campaign, per_cell: bool = False) -> int:
 
 
 def _emit_campaign_obs(campaign, args: argparse.Namespace) -> None:
-    """Print/write the campaign's merged telemetry (deploy command)."""
+    """Print/write the campaign's merged telemetry (deploy and resume)."""
     from repro.obs.report import format_obs_report, write_metrics_json
 
     snapshot = campaign.obs_snapshot()
@@ -752,8 +879,24 @@ def _emit_campaign_obs(campaign, args: argparse.Namespace) -> None:
         return
     print()
     print(format_obs_report(snapshot, title=f"{campaign.spec.name} telemetry"))
+    frame = campaign.obs_series()
+    if frame is not None:
+        from repro.analysis.timeseries import format_timeseries_report
+
+        print()
+        print(format_timeseries_report({campaign.spec.name: frame}))
     if args.obs_dir:
         print(f"wrote {write_metrics_json(args.obs_dir, snapshot)}")
+        from repro.obs.openmetrics import write_metrics_prom
+
+        print(f"wrote {write_metrics_prom(args.obs_dir, snapshot)}")
+        if frame is not None:
+            from repro.obs.stream import write_series_json
+
+            print(
+                f"wrote "
+                f"{write_series_json(args.obs_dir, {campaign.spec.name: frame})}"
+            )
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
@@ -772,6 +915,7 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
             n_jobs=args.n_jobs,
             checkpoint_dir=args.checkpoint_dir,
             supervisor=_supervisor_from_args(args),
+            telemetry_dir=args.telemetry_dir,
         )
     except SpecError as error:
         print(f"spec error: {error}", file=sys.stderr)
@@ -794,6 +938,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             directory,
             n_jobs=args.n_jobs,
             supervisor=_supervisor_from_args(args),
+            telemetry_dir=args.telemetry_dir,
         )
     except (CheckpointError, SpecError) as error:
         print(f"resume error: {error}", file=sys.stderr)
@@ -801,7 +946,12 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if kind == "grid":
         return _format_grid(payload)
     if kind == "deploy":
-        return _format_campaign(payload)
+        # Checkpoint payloads carry each cell's telemetry (to_state keeps
+        # obs fields), so a resumed campaign can summarize the merged
+        # snapshot exactly like the original `deploy --obs` run.
+        code = _format_campaign(payload)
+        _emit_campaign_obs(payload, args)
+        return code
     rows = [
         [str(point.parameter), name, f"{result.summary()['throughput_mbps']:.3f}"]
         for point in payload
@@ -814,6 +964,43 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             title=f"Resumed sweep: {len(payload)} points",
         )
     )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import monitor_directory
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"no such telemetry directory: {directory}", file=sys.stderr)
+        return 2
+    return monitor_directory(
+        directory,
+        once=args.once,
+        interval_s=args.interval,
+        stall_after_s=args.stall_after,
+    )
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.openmetrics import to_openmetrics
+    from repro.obs.report import load_metrics_json
+
+    directory = Path(args.run_dir)
+    if not directory.is_dir():
+        print(f"no such run directory: {directory}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = load_metrics_json(directory)
+    except ObsError as error:
+        print(f"obs error: {error}", file=sys.stderr)
+        return 2
+    text = to_openmetrics(snapshot)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -1088,7 +1275,9 @@ _COMMANDS = {
     "run-spec": _cmd_run_spec,
     "deploy": _cmd_deploy,
     "resume": _cmd_resume,
+    "monitor": _cmd_monitor,
     "obs-report": _cmd_obs_report,
+    "obs-export": _cmd_obs_export,
     "validate-specs": _cmd_validate_specs,
     "infer": _cmd_infer,
     "scenario": _cmd_scenario,

@@ -119,6 +119,16 @@ class CampaignResult:
         ]
         return collect_snapshot(ordered)
 
+    def obs_series(self):
+        """Campaign-wide time-series merge, same ordering contract as
+        :meth:`obs_snapshot` (``None`` when streaming was off)."""
+        from repro.obs.stream import collect_series
+
+        ordered = [
+            self.cell_results[cell_id] for cell_id in sorted(self.cell_results)
+        ]
+        return collect_series(ordered)
+
 
 def _run_cell(deployment: Deployment, cell_id: int) -> SimulationResult:
     """Simulate one cell of a built deployment with a fresh scheduler."""
@@ -144,11 +154,16 @@ def _run_cell(deployment: Deployment, cell_id: int) -> SimulationResult:
         return simulation.run()
     from repro.obs.session import ObsSession
 
-    session = ObsSession(obs)
+    obs_scheduler = build_scheduler(spec.scheduler, context)
+    session = ObsSession(
+        obs,
+        phase_probe=lambda: getattr(obs_scheduler, "phase", None),
+        run_label=f"cell-{cell_id}",
+    )
     simulation = CellSimulation(
         topology=cell.topology,
         mean_snr_db=cell.mean_snr_db,
-        scheduler=build_scheduler(spec.scheduler, context),
+        scheduler=obs_scheduler,
         config=cell.sim_config(spec.sim),
         seed=deployment.cell_sim_seeds[cell_id],
         record_series=spec.record_series,
@@ -208,6 +223,7 @@ def run_campaign(
     n_jobs: Optional[int] = 1,
     checkpoint_dir=None,
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry_dir=None,
 ) -> CampaignResult:
     """Run a deployment campaign, sharded by interference cluster.
 
@@ -219,6 +235,9 @@ def run_campaign(
     missing clusters.  ``supervisor`` enables retry/timeout supervision;
     permanently failing clusters are quarantined into
     ``CampaignResult.failed_clusters`` instead of aborting the campaign.
+    ``telemetry_dir`` streams the campaign lifecycle into that
+    directory's ``telemetry.jsonl`` (see :mod:`repro.obs.telemetry`) for
+    ``repro monitor`` — heartbeats, retries, per-cluster completions.
     """
     deployment = build_deployment(spec)
     verify_partition(
@@ -245,6 +264,25 @@ def run_campaign(
                     cluster_states[index] = payload
     pending = [i for i in range(num_clusters) if cluster_states[i] is None]
 
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.obs.telemetry import TelemetryLog
+
+        telemetry = TelemetryLog.in_dir(telemetry_dir)
+        telemetry.emit(
+            "campaign-started",
+            campaign=spec.name,
+            kind=DEPLOY_CHECKPOINT_KIND,
+            clusters=num_clusters,
+            cells=deployment.num_cells,
+            labels=[f"cluster-{i}" for i in range(num_clusters)],
+            completed=[
+                f"cluster-{i}"
+                for i in range(num_clusters)
+                if cluster_states[i] is not None
+            ] or None,
+        )
+
     failed: Dict[int, FailedItem] = {}
     if pending:
         items: List[_ClusterItem] = [(spec_dict, index) for index in pending]
@@ -259,12 +297,17 @@ def run_campaign(
                 )
                 return injector.worker_fault(cluster_index, attempt)
 
-        on_result = None
-        if store is not None:
-            def on_result(pos: int, states: List[Dict[str, Any]]) -> None:
-                index = pending[pos]
+        def on_result(pos: int, states: List[Dict[str, Any]]) -> None:
+            index = pending[pos]
+            if store is not None:
                 store.save_payload(
                     index, list(deployment.clusters[index]), states
+                )
+            if telemetry is not None:
+                telemetry.emit(
+                    "cluster-done",
+                    item=f"cluster-{index}",
+                    cells=len(deployment.clusters[index]),
                 )
 
         outcome = supervised_map(
@@ -273,8 +316,10 @@ def run_campaign(
             n_jobs=n_jobs,
             config=supervisor,
             worker_fault=worker_fault,
-            on_result=on_result,
+            on_result=on_result if (store or telemetry) else None,
             fail_fast=supervisor is None,
+            telemetry=telemetry,
+            labels=[f"cluster-{i}" for i in pending],
         )
         for pos, states in enumerate(outcome.results):
             index = pending[pos]
@@ -282,6 +327,13 @@ def run_campaign(
                 failed[index] = states
             else:
                 cluster_states[index] = states
+
+    if telemetry is not None:
+        telemetry.emit(
+            "campaign-done",
+            campaign=spec.name,
+            failed=sorted(failed) or None,
+        )
 
     cell_results: Dict[int, SimulationResult] = {}
     for index, states in enumerate(cluster_states):
@@ -308,6 +360,7 @@ def resume_campaign(
     checkpoint_dir,
     n_jobs: Optional[int] = 1,
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry_dir=None,
 ) -> CampaignResult:
     """Finish an interrupted deployment campaign from its manifest alone."""
     store = CheckpointStore(checkpoint_dir)
@@ -321,5 +374,5 @@ def resume_campaign(
     spec = DeploymentSpec.from_dict(manifest["spec"])
     return run_campaign(
         spec, n_jobs=n_jobs, checkpoint_dir=checkpoint_dir,
-        supervisor=supervisor,
+        supervisor=supervisor, telemetry_dir=telemetry_dir,
     )

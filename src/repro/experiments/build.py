@@ -167,7 +167,12 @@ class ExperimentPlan:
         from repro.obs.session import ObsSession
         from repro.sim.stages import CompositeHooks
 
-        session = ObsSession(obs, ue_channels=self.ue_channels)
+        session = ObsSession(
+            obs,
+            ue_channels=self.ue_channels,
+            phase_probe=lambda: getattr(scheduler, "phase", None),
+            run_label=name,
+        )
         hooks = session.hooks
         if fault_hooks is not None:
             # Fault hooks run first so the metrics hooks observe the
@@ -262,14 +267,20 @@ def _execute_cells(
     supervisor: Optional[SupervisorConfig],
     n_jobs: Optional[int],
     worker_fault,
+    telemetry=None,
+    cell_labels: Optional[Sequence[str]] = None,
 ) -> None:
     """Run the pending cells, saving each into ``store`` as it completes.
 
     ``items[pos]`` corresponds to original cell index ``pending[pos]``;
     worker-fault lookups and checkpoint filenames use the *original*
     index so fault plans and cell files are stable across resumes.
+    ``telemetry``/``cell_labels`` stream item lifecycle events into a
+    :class:`~repro.obs.telemetry.TelemetryLog` (labels aligned with
+    ``pending``).
     """
-    if store is None and supervisor is None and worker_fault is None:
+    if (store is None and supervisor is None and worker_fault is None
+            and telemetry is None):
         for pos, result in enumerate(map_jobs(_run_spec_item, items, n_jobs)):
             results[pending[pos]] = result
         return
@@ -293,9 +304,16 @@ def _execute_cells(
         worker_fault=shifted_fault,
         on_result=on_result,
         fail_fast=supervisor is None,
+        telemetry=telemetry,
+        labels=cell_labels,
     )
     for pos, result in enumerate(outcome.results):
         results[pending[pos]] = result
+
+
+def _cell_label(name: object, seed: object) -> str:
+    """The stable telemetry item label for one (scheduler, seed) cell."""
+    return f"{name}@{seed if seed is not None else 'spec'}"
 
 
 def run_experiment_grid(
@@ -304,6 +322,7 @@ def run_experiment_grid(
     n_jobs: Optional[int] = 1,
     checkpoint_dir=None,
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry_dir=None,
 ) -> List[Tuple[str, Optional[int], SimulationResult]]:
     """Run every (scheduler, seed) combination as one flat batch.
 
@@ -346,14 +365,33 @@ def run_experiment_grid(
     worker_fault = None
     if spec.faults is not None and spec.faults.has_worker_faults:
         worker_fault = FaultInjector(spec.faults, seed=spec.seed).worker_fault
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.obs.telemetry import TelemetryLog
+
+        telemetry = TelemetryLog.in_dir(telemetry_dir)
+        telemetry.emit(
+            "campaign-started",
+            campaign=spec.name,
+            kind="grid",
+            labels=[_cell_label(name, seed) for name, seed in labelled],
+            completed=[
+                _cell_label(*labelled[i])
+                for i in range(len(labelled))
+                if i not in pending
+            ] or None,
+        )
     items: List[_SpecItem] = [
         (spec_dict, *labelled[index]) for index in pending
     ]
     if items:
         _execute_cells(
             items, pending, results, labelled, store, supervisor, n_jobs,
-            worker_fault,
+            worker_fault, telemetry=telemetry,
+            cell_labels=[_cell_label(*labelled[i]) for i in pending],
         )
+    if telemetry is not None:
+        telemetry.emit("campaign-done", campaign=spec.name)
     return [
         (name, seed, results[index])
         for index, (name, seed) in enumerate(labelled)
@@ -412,6 +450,7 @@ def run_experiment_sweep(
     n_jobs: Optional[int] = 1,
     checkpoint_dir=None,
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry_dir=None,
 ) -> List[SweepPoint]:
     """Run several specs as one flat batch of (spec, scheduler) jobs.
 
@@ -464,12 +503,34 @@ def run_experiment_sweep(
             if index < len(labelled):
                 results[index] = store.load_cell(index)
         pending = [i for i in range(len(labelled)) if results[i] is None]
+    telemetry = None
+    sweep_labels = [
+        f"{parameters[index]}/{name}" for index, name in labelled
+    ]
+    if telemetry_dir is not None:
+        from repro.obs.telemetry import TelemetryLog
+
+        telemetry = TelemetryLog.in_dir(telemetry_dir)
+        telemetry.emit(
+            "campaign-started",
+            campaign=specs[0].name,
+            kind="sweep",
+            labels=sweep_labels,
+            completed=[
+                sweep_labels[i]
+                for i in range(len(labelled))
+                if i not in pending
+            ] or None,
+        )
     items = [items_all[index] for index in pending]
     if items:
         _execute_cells(
             items, pending, results, labelled, store, supervisor, n_jobs,
-            worker_fault=None,
+            worker_fault=None, telemetry=telemetry,
+            cell_labels=[sweep_labels[i] for i in pending],
         )
+    if telemetry is not None:
+        telemetry.emit("campaign-done", campaign=specs[0].name)
     for (index, name), result in zip(labelled, results):
         if result is None or isinstance(result, FailedItem):
             continue
@@ -481,6 +542,7 @@ def resume_checkpoint(
     checkpoint_dir,
     n_jobs: Optional[int] = 1,
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry_dir=None,
 ):
     """Finish an interrupted checkpointed run from its manifest alone.
 
@@ -497,20 +559,22 @@ def resume_checkpoint(
         from repro.deploy.runner import resume_campaign
 
         return "deploy", resume_campaign(
-            checkpoint_dir, n_jobs=n_jobs, supervisor=supervisor
+            checkpoint_dir, n_jobs=n_jobs, supervisor=supervisor,
+            telemetry_dir=telemetry_dir,
         )
     if kind == "grid":
         spec = ExperimentSpec.from_dict(manifest["spec"])
         seeds = manifest["seeds"]
         return "grid", run_experiment_grid(
             spec, seeds, n_jobs=n_jobs, checkpoint_dir=checkpoint_dir,
-            supervisor=supervisor,
+            supervisor=supervisor, telemetry_dir=telemetry_dir,
         )
     if kind == "sweep":
         specs = [ExperimentSpec.from_dict(entry) for entry in manifest["specs"]]
         return "sweep", run_experiment_sweep(
             specs, parameters=manifest["parameters"], n_jobs=n_jobs,
             checkpoint_dir=checkpoint_dir, supervisor=supervisor,
+            telemetry_dir=telemetry_dir,
         )
     raise CheckpointError(
         f"checkpoint manifest has unknown kind {kind!r}; "

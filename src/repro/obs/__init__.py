@@ -19,6 +19,19 @@ for the metric catalog and trace schema.
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.openmetrics import (
+    to_openmetrics,
+    validate_openmetrics,
+    write_metrics_prom,
+)
+from repro.obs.telemetry import (
+    TelemetryLog,
+    active_telemetry,
+    read_telemetry,
+    set_active_telemetry,
+    use_telemetry,
+    validate_telemetry_events,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -27,6 +40,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     active_registry,
+    histogram_quantile,
     merge_snapshots,
     set_active_registry,
     use_registry,
@@ -49,6 +63,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CampaignStatus",
     "Counter",
     "EventTracer",
     "Gauge",
@@ -62,19 +77,38 @@ __all__ = [
     "PhaseTimer",
     "PhaseTimerHooks",
     "Stopwatch",
+    "TelemetryLog",
+    "TimeSeriesFrame",
+    "TimeSeriesRecorder",
     "TracingHooks",
     "active_registry",
+    "active_telemetry",
+    "collect_series",
     "collect_snapshot",
+    "format_monitor",
     "format_obs_report",
+    "histogram_quantile",
     "load_metrics_json",
+    "load_series_json",
     "load_trace_jsonl",
+    "merge_frames",
     "merge_run_traces",
     "merge_snapshots",
+    "monitor_directory",
+    "read_telemetry",
+    "scan_telemetry",
     "set_active_registry",
+    "set_active_telemetry",
+    "to_openmetrics",
     "use_registry",
+    "use_telemetry",
+    "validate_openmetrics",
+    "validate_telemetry_events",
     "validate_trace_events",
     "validate_trace_file",
     "write_metrics_json",
+    "write_metrics_prom",
+    "write_series_json",
     "write_trace_chrome",
     "write_trace_jsonl",
 ]
@@ -87,6 +121,19 @@ _LAZY = {
     "TracingHooks": "repro.obs.hooks",
     "ObsSession": "repro.obs.session",
     "PhaseTimerHooks": "repro.sim.stages",
+    # The stream layer: the recorder is a SimHooks subclass, and the
+    # monitor renders through repro.analysis — both off the import-time
+    # critical path.
+    "TimeSeriesFrame": "repro.obs.stream",
+    "TimeSeriesRecorder": "repro.obs.stream",
+    "collect_series": "repro.obs.stream",
+    "merge_frames": "repro.obs.stream",
+    "load_series_json": "repro.obs.stream",
+    "write_series_json": "repro.obs.stream",
+    "CampaignStatus": "repro.obs.monitor",
+    "scan_telemetry": "repro.obs.monitor",
+    "format_monitor": "repro.obs.monitor",
+    "monitor_directory": "repro.obs.monitor",
 }
 
 

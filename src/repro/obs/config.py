@@ -10,13 +10,21 @@ untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SpecError
 
 __all__ = ["ObsConfig"]
 
-_FIELDS = ("enabled", "tracing", "trace_capacity", "stage_events")
+_FIELDS = (
+    "enabled",
+    "tracing",
+    "trace_capacity",
+    "stage_events",
+    "stream",
+    "stream_window",
+    "stream_families",
+)
 
 
 @dataclass(frozen=True)
@@ -27,12 +35,21 @@ class ObsConfig:
     events (metrics alone are much cheaper); ``trace_capacity`` bounds the
     tracer's ring buffer; ``stage_events`` controls per-stage spans (the
     bulkiest event class — subframe/TxOP events stay on regardless).
+
+    The stream block: ``stream`` attaches a
+    :class:`~repro.obs.stream.TimeSeriesRecorder` that samples metric
+    families every ``stream_window`` subframes into the result's
+    ``obs_series`` frame; ``stream_families`` narrows the sampled set
+    (``None`` = :data:`~repro.obs.stream.DEFAULT_STREAM_FAMILIES`).
     """
 
     enabled: bool = True
     tracing: bool = False
     trace_capacity: int = 65536
     stage_events: bool = True
+    stream: bool = False
+    stream_window: int = 100
+    stream_families: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.trace_capacity, int) or self.trace_capacity < 1:
@@ -40,6 +57,18 @@ class ObsConfig:
                 f"obs.trace_capacity must be a positive int: "
                 f"{self.trace_capacity!r}"
             )
+        if not isinstance(self.stream_window, int) or self.stream_window < 1:
+            raise SpecError(
+                f"obs.stream_window must be a positive int: "
+                f"{self.stream_window!r}"
+            )
+        if self.stream_families is not None:
+            families = tuple(str(name) for name in self.stream_families)
+            if not families:
+                raise SpecError(
+                    "obs.stream_families must be null or a non-empty list"
+                )
+            object.__setattr__(self, "stream_families", families)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready field dump."""
@@ -48,6 +77,13 @@ class ObsConfig:
             "tracing": self.tracing,
             "trace_capacity": self.trace_capacity,
             "stage_events": self.stage_events,
+            "stream": self.stream,
+            "stream_window": self.stream_window,
+            "stream_families": (
+                list(self.stream_families)
+                if self.stream_families is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -60,9 +96,15 @@ class ObsConfig:
             raise SpecError(
                 f"unknown field(s) {unknown} in obs; allowed: {sorted(_FIELDS)}"
             )
+        families = data.get("stream_families")
         return cls(
             enabled=bool(data.get("enabled", True)),
             tracing=bool(data.get("tracing", False)),
             trace_capacity=data.get("trace_capacity", 65536),
             stage_events=bool(data.get("stage_events", True)),
+            stream=bool(data.get("stream", False)),
+            stream_window=data.get("stream_window", 100),
+            stream_families=(
+                tuple(families) if families is not None else None
+            ),
         )

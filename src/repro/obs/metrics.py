@@ -47,10 +47,60 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "active_registry",
+    "histogram_quantile",
     "merge_snapshots",
     "set_active_registry",
     "use_registry",
 ]
+
+#: Quantiles included in every histogram snapshot (p50/p95/p99).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def histogram_quantile(
+    bounds: Sequence[float], buckets: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Linear interpolation within the bucket holding the target rank — the
+    standard Prometheus ``histogram_quantile`` estimate.  The first
+    bucket's lower edge is taken as ``min(0, bounds[0])``; observations in
+    the overflow bucket clamp to the last bound (the estimate cannot
+    exceed what the buckets resolve).  Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1]: {q}")
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for index, count in enumerate(buckets):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(bounds):
+                return float(bounds[-1])
+            upper = float(bounds[index])
+            lower = (
+                float(bounds[index - 1]) if index else min(0.0, upper)
+            )
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * fraction
+        cumulative += count
+    return float(bounds[-1])
+
+
+def _bucket_quantiles(
+    bounds: Optional[Sequence[float]], buckets: Sequence[int]
+) -> Dict[str, float]:
+    """The snapshot's ``quantiles`` payload (p50/p95/p99 estimates)."""
+    if not bounds:
+        return {}
+    return {
+        f"p{int(q * 100)}": histogram_quantile(bounds, buckets, q)
+        for q in SUMMARY_QUANTILES
+    }
 
 
 class Counter:
@@ -253,6 +303,7 @@ def _series_data(kind: str, metric: Any) -> Dict[str, Any]:
             "count": metric.count,
             "sum": metric.sum,
             "buckets": list(metric.bucket_counts),
+            "quantiles": _bucket_quantiles(metric.bounds, metric.bucket_counts),
         }
     return {"value": metric.value}
 
@@ -384,6 +435,11 @@ class MetricsSnapshot:
                     target["buckets"] = [
                         a + b for a, b in zip(target["buckets"], data["buckets"])
                     ]
+                    # Quantiles don't sum — re-estimate from the merged
+                    # buckets so the merged snapshot stays self-consistent.
+                    target["quantiles"] = _bucket_quantiles(
+                        mine.get("bounds"), target["buckets"]
+                    )
         return MetricsSnapshot(merged)
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,331 @@
+"""Live campaign monitoring: fold a telemetry log into per-item status.
+
+``repro monitor <dir>`` tails the directory's ``telemetry.jsonl`` and
+renders what :func:`scan_telemetry` derives from it: every work item's
+lifecycle state (pending → running → done, with retrying / stalled /
+failed along the way), attempt counts, heartbeat ages, and a campaign
+ETA extrapolated from completed-item durations.
+
+``scan_telemetry`` is a pure fold over the event list — no file or clock
+access beyond the ``now`` argument — so the states are unit-testable
+with synthetic events and stable under replay.  *Stalled* means a
+running item whose latest heartbeat reports ``elapsed_s`` beyond the
+stall threshold, or whose heartbeats stopped arriving entirely: the
+first is a live-but-hung worker (an injected hang looks exactly like
+this, before the supervisor's timeout fires and retries it), the second
+a dead one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.telemetry import read_telemetry
+
+__all__ = [
+    "CampaignStatus",
+    "ItemStatus",
+    "format_monitor",
+    "monitor_directory",
+    "scan_telemetry",
+]
+
+#: Lifecycle states an item can be in, in display order.
+PENDING = "pending"
+RUNNING = "running"
+STALLED = "stalled"
+RETRYING = "retrying"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class ItemStatus:
+    """One work item's (cluster's / grid cell's) view of the log."""
+
+    label: str
+    state: str = PENDING
+    attempts: int = 0
+    pid: Optional[int] = None
+    elapsed_s: float = 0.0
+    last_beat_ts: Optional[float] = None
+    duration_s: Optional[float] = None
+    timed_out: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignStatus:
+    """Everything the monitor needs to render one frame."""
+
+    name: str = ""
+    kind: str = ""
+    started_ts: Optional[float] = None
+    finished: bool = False
+    items: Dict[str, ItemStatus] = field(default_factory=dict)
+    #: Per-run progress (windows seen, latest utilization), keyed by run.
+    runs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.items)
+
+    def counts(self) -> Dict[str, int]:
+        """Item count per state, all states present."""
+        counts = {
+            state: 0
+            for state in (PENDING, RUNNING, STALLED, RETRYING, DONE, FAILED)
+        }
+        for item in self.items.values():
+            counts[item.state] += 1
+        return counts
+
+    @property
+    def all_done(self) -> bool:
+        return bool(self.items) and all(
+            item.state == DONE for item in self.items.values()
+        )
+
+    @property
+    def settled(self) -> bool:
+        """No item can make further progress (done or failed everywhere)."""
+        return self.finished or (
+            bool(self.items)
+            and all(
+                item.state in (DONE, FAILED) for item in self.items.values()
+            )
+        )
+
+    def eta_s(self, now: float) -> Optional[float]:
+        """Remaining wall-clock estimate from completed-item durations."""
+        durations = [
+            item.duration_s
+            for item in self.items.values()
+            if item.duration_s is not None
+        ]
+        counts = self.counts()
+        remaining = counts[PENDING] + counts[RUNNING] + counts[STALLED] + counts[RETRYING]
+        if not durations or remaining == 0:
+            return None if remaining else 0.0
+        in_flight = max(counts[RUNNING] + counts[STALLED], 1)
+        mean = sum(durations) / len(durations)
+        return mean * remaining / in_flight
+
+
+def _item(status: CampaignStatus, label: Any) -> ItemStatus:
+    key = str(label)
+    item = status.items.get(key)
+    if item is None:
+        item = ItemStatus(label=key)
+        status.items[key] = item
+    return item
+
+
+def scan_telemetry(
+    events: Sequence[Dict[str, Any]],
+    now: Optional[float] = None,
+    stall_after_s: float = 10.0,
+) -> CampaignStatus:
+    """Fold an event list (oldest first) into a :class:`CampaignStatus`."""
+    status = CampaignStatus()
+    if now is None:
+        now = time.time()
+    for event in events:
+        etype = event.get("type")
+        ts = event.get("ts", 0.0)
+        label = event.get("item")
+        if etype == "campaign-started":
+            status.name = str(event.get("campaign", status.name))
+            status.kind = str(event.get("kind", status.kind))
+            if status.started_ts is None:
+                status.started_ts = ts
+            for known in event.get("labels", []):
+                _item(status, known)
+            for done_label in event.get("completed", []):
+                item = _item(status, done_label)
+                item.state = DONE
+        elif etype == "item-started":
+            item = _item(status, label)
+            item.state = RUNNING
+            item.attempts = int(event.get("attempt", 0)) + 1
+            item.pid = event.get("pid")
+            item.elapsed_s = 0.0
+            item.last_beat_ts = ts
+        elif etype == "heartbeat":
+            item = _item(status, label)
+            if item.state in (RUNNING, STALLED, RETRYING):
+                item.state = RUNNING
+                item.elapsed_s = float(event.get("elapsed_s", 0.0))
+                item.last_beat_ts = ts
+        elif etype == "retry":
+            item = _item(status, label)
+            if item.state != DONE:
+                item.state = RETRYING
+                item.attempts = max(
+                    item.attempts, int(event.get("attempt", 1))
+                )
+        elif etype == "timeout":
+            item = _item(status, label)
+            item.timed_out = True
+        elif etype == "quarantine":
+            item = _item(status, label)
+            item.state = FAILED
+            item.attempts = max(item.attempts, int(event.get("attempts", 0)))
+            item.error = event.get("error")
+        elif etype in ("item-done", "cluster-done"):
+            item = _item(status, label)
+            item.state = DONE
+            if event.get("elapsed_s") is not None:
+                item.duration_s = float(event["elapsed_s"])
+        elif etype == "campaign-done":
+            status.finished = True
+        elif etype in ("run-started", "subframe-window"):
+            run = str(event.get("run", "?"))
+            entry = status.runs.setdefault(
+                run, {"windows": 0, "utilization": None}
+            )
+            if etype == "subframe-window":
+                entry["windows"] += 1
+                if event.get("utilization") is not None:
+                    entry["utilization"] = event["utilization"]
+    # A running item whose worker hung (elapsed beyond the threshold) or
+    # died (heartbeats stopped) is stalled until the supervisor acts.
+    for item in status.items.values():
+        if item.state != RUNNING:
+            continue
+        beat_age = (
+            now - item.last_beat_ts if item.last_beat_ts is not None else 0.0
+        )
+        if item.elapsed_s > stall_after_s or beat_age > stall_after_s:
+            item.state = STALLED
+    return status
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 60:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{seconds:.1f}s"
+
+
+def format_monitor(
+    status: CampaignStatus,
+    now: Optional[float] = None,
+    max_rows: int = 40,
+) -> str:
+    """Render one monitor frame as the repo's standard ASCII table."""
+    from repro.analysis.tables import format_table
+
+    if now is None:
+        now = time.time()
+    counts = status.counts()
+    total = status.total
+    header = (
+        f"Campaign {status.name or '(unnamed)'}"
+        + (f" [{status.kind}]" if status.kind else "")
+        + f": {counts[DONE]}/{total} items done"
+    )
+    parts = [
+        f"{count} {state}"
+        for state, count in counts.items()
+        if count and state != DONE
+    ]
+    if parts:
+        header += " (" + ", ".join(parts) + ")"
+    lines = [header]
+    eta = status.eta_s(now)
+    if not status.settled and eta is not None:
+        lines.append(f"ETA ~{_fmt_duration(eta)}")
+    # Active/problem items first; completed rows only while space remains.
+    ordered = sorted(
+        status.items.values(),
+        key=lambda item: (item.state == DONE, item.label),
+    )
+    shown = ordered[:max_rows]
+    rows: List[List[Any]] = []
+    for item in shown:
+        beat = (
+            f"{now - item.last_beat_ts:.1f}s ago"
+            if item.last_beat_ts is not None
+            and item.state in (RUNNING, STALLED)
+            else "-"
+        )
+        rows.append(
+            [
+                item.label,
+                item.state.upper() if item.state == STALLED else item.state,
+                item.attempts or "-",
+                _fmt_duration(item.duration_s)
+                if item.state == DONE
+                else (f"{item.elapsed_s:.1f}s" if item.elapsed_s else "-"),
+                beat,
+                item.error or ("timeout" if item.timed_out else "-"),
+            ]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                ["item", "state", "attempts", "elapsed", "heartbeat", "error"],
+                rows,
+            )
+        )
+    if len(ordered) > len(shown):
+        lines.append(f"... {len(ordered) - len(shown)} more item(s) not shown")
+    if status.runs:
+        active = [
+            f"{run}: {entry['windows']} window(s)"
+            + (
+                f", util {entry['utilization']:.3f}"
+                if entry["utilization"] is not None
+                else ""
+            )
+            for run, entry in sorted(status.runs.items())
+        ]
+        if len(active) <= 12:
+            lines.append("runs: " + "; ".join(active))
+        else:
+            lines.append(f"runs: {len(active)} reporting windows")
+    if status.settled:
+        if counts[FAILED]:
+            lines.append(
+                f"campaign settled: {counts[FAILED]} item(s) failed "
+                f"permanently"
+            )
+        else:
+            lines.append("campaign complete: all items done")
+    return "\n".join(lines)
+
+
+def monitor_directory(
+    directory,
+    once: bool = False,
+    interval_s: float = 2.0,
+    stall_after_s: float = 10.0,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Tail a telemetry directory, printing a frame per interval.
+
+    Returns 0 once the campaign settles with no failures (immediately
+    under ``once``), 1 when it settles with failed items, 2 when the
+    directory has no telemetry at all.  ``max_frames`` bounds the loop
+    for tests.
+    """
+    frames = 0
+    while True:
+        events = read_telemetry(directory)
+        if not events:
+            print(f"no telemetry found in {directory}")
+            return 2
+        now = time.time()
+        status = scan_telemetry(events, now=now, stall_after_s=stall_after_s)
+        print(format_monitor(status, now=now))
+        frames += 1
+        if once or status.settled:
+            return 1 if status.counts()[FAILED] else 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        time.sleep(interval_s)
+        print()

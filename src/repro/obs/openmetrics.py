@@ -1,0 +1,253 @@
+"""OpenMetrics text export: make any run's snapshot scrapeable.
+
+:func:`to_openmetrics` renders a :class:`~repro.obs.metrics.
+MetricsSnapshot` (or its ``to_dict`` form) as an OpenMetrics text
+exposition: dotted metric names become underscore-separated
+(``engine.grant_outcomes`` → ``engine_grant_outcomes``), counters gain
+the mandatory ``_total`` sample suffix, histograms expand to cumulative
+``_bucket{le=...}`` samples plus ``_count``/``_sum``, and the exposition
+ends with the required ``# EOF`` marker.  ``repro obs-export`` prints
+it, and ``--obs-dir`` runs write it as ``metrics.prom`` next to
+``metrics.json``.
+
+:func:`validate_openmetrics` is the matching format checker CI runs
+against the exported text: it parses every line, cross-checks samples
+against their ``# TYPE`` declarations, and verifies histogram bucket
+monotonicity — a schema check, not a full OpenMetrics parser.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsSnapshot
+
+__all__ = [
+    "PROM_FILENAME",
+    "to_openmetrics",
+    "validate_openmetrics",
+    "write_metrics_prom",
+]
+
+#: File name ``--obs-dir`` runs write next to ``metrics.json``.
+PROM_FILENAME = "metrics.prom"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _metric_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: Any) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _label_str(pairs: List[Tuple[str, Any]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(val)}"' for key, val in pairs)
+    return "{" + body + "}"
+
+
+def to_openmetrics(
+    snapshot: Union[MetricsSnapshot, Mapping[str, Any]]
+) -> str:
+    """Render a snapshot as OpenMetrics text (terminated by ``# EOF``)."""
+    if isinstance(snapshot, MetricsSnapshot):
+        snapshot = snapshot.to_dict()
+    lines: List[str] = []
+    for name, entry in snapshot.items():
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ObsError(f"metric {name!r} has unknown kind {kind!r}")
+        metric = _metric_name(name)
+        if entry.get("help"):
+            lines.append(f"# HELP {metric} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {metric} {kind}")
+        label_names = [str(n) for n in entry.get("labels", [])]
+        for item in entry.get("series", []):
+            pairs = list(zip(label_names, item.get("labels", [])))
+            if kind == "counter":
+                lines.append(
+                    f"{metric}_total{_label_str(pairs)} "
+                    f"{_fmt(item.get('value', 0))}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{metric}{_label_str(pairs)} {_fmt(item.get('value', 0))}"
+                )
+            else:
+                bounds = entry.get("bounds", [])
+                buckets = item.get("buckets", [])
+                cumulative = 0.0
+                for bound, count in zip(bounds, buckets):
+                    cumulative += count
+                    lines.append(
+                        f"{metric}_bucket"
+                        f"{_label_str(pairs + [('le', _fmt(bound))])} "
+                        f"{_fmt(cumulative)}"
+                    )
+                total = sum(buckets)
+                lines.append(
+                    f"{metric}_bucket{_label_str(pairs + [('le', '+Inf')])} "
+                    f"{_fmt(total)}"
+                )
+                lines.append(
+                    f"{metric}_count{_label_str(pairs)} "
+                    f"{_fmt(item.get('count', total))}"
+                )
+                lines.append(
+                    f"{metric}_sum{_label_str(pairs)} "
+                    f"{_fmt(item.get('sum', 0.0))}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prom(
+    directory: Union[str, Path],
+    snapshot: Union[MetricsSnapshot, Mapping[str, Any]],
+) -> Path:
+    """Write ``<directory>/metrics.prom`` (creating the directory)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / PROM_FILENAME
+    path.write_text(to_openmetrics(snapshot))
+    return path
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text:
+        return labels
+    # Split on commas outside quotes; label values never contain commas
+    # in our exporter, but keep the check permissive.
+    for chunk in re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"', text):
+        key, _, value = chunk.partition("=")
+        labels[key] = value.strip('"')
+    return labels
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Format-check an exposition; returns human-readable errors.
+
+    Checks: a final ``# EOF`` line, parseable sample lines, samples only
+    under a declared ``# TYPE``, counter samples suffixed ``_total``,
+    histogram samples limited to the ``_bucket``/``_count``/``_sum``
+    forms with non-decreasing cumulative buckets ending at ``+Inf``.
+    """
+    errors: List[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("exposition must end with '# EOF'")
+    types: Dict[str, str] = {}
+    bucket_state: Dict[str, float] = {}
+    for number, line in enumerate(lines, start=1):
+        line = line.rstrip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram"
+            ):
+                errors.append(f"line {number}: malformed TYPE: {line!r}")
+                continue
+            if parts[2] in types:
+                errors.append(f"line {number}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {number}: unknown comment: {line!r}")
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        sample = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {number}: non-numeric value: {line!r}")
+            continue
+        family, suffix = sample, ""
+        for candidate in ("_total", "_bucket", "_count", "_sum"):
+            if sample.endswith(candidate) and sample[: -len(candidate)] in types:
+                family, suffix = sample[: -len(candidate)], candidate
+                break
+        kind = types.get(family)
+        if kind is None:
+            errors.append(
+                f"line {number}: sample {sample!r} has no TYPE declaration"
+            )
+            continue
+        if kind == "counter" and suffix != "_total":
+            errors.append(
+                f"line {number}: counter sample must end in _total: {sample!r}"
+            )
+        if kind == "gauge" and suffix:
+            errors.append(
+                f"line {number}: gauge sample must be bare: {sample!r}"
+            )
+        if kind == "histogram":
+            if suffix not in ("_bucket", "_count", "_sum"):
+                errors.append(
+                    f"line {number}: histogram sample must be _bucket/"
+                    f"_count/_sum: {sample!r}"
+                )
+            elif suffix == "_bucket":
+                labels = _parse_labels(match.group("labels") or "")
+                if "le" not in labels:
+                    errors.append(
+                        f"line {number}: histogram bucket missing le label"
+                    )
+                    continue
+                series = family + "|" + ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(labels.items())
+                    if k != "le"
+                )
+                previous = bucket_state.get(series)
+                if previous is not None and value < previous:
+                    errors.append(
+                        f"line {number}: bucket counts must be cumulative "
+                        f"non-decreasing for {family}"
+                    )
+                bucket_state[series] = value
+                if labels["le"] == "+Inf":
+                    bucket_state.pop(series, None)
+    for series in bucket_state:
+        family = series.split("|", 1)[0]
+        errors.append(f"histogram {family} is missing its +Inf bucket")
+    return errors

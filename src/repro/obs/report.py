@@ -15,7 +15,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.errors import ObsError
-from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+from repro.obs.metrics import (
+    MetricsSnapshot,
+    _bucket_quantiles,
+    merge_snapshots,
+)
 
 __all__ = [
     "collect_snapshot",
@@ -45,11 +49,25 @@ def collect_snapshot(results: Iterable[Any]) -> Optional[MetricsSnapshot]:
     return merge_snapshots(snapshots)
 
 
-def _series_cell(kind: str, data: Dict[str, Any]) -> str:
+def _series_cell(
+    kind: str, data: Dict[str, Any], bounds: Optional[List[float]] = None
+) -> str:
     if kind == "histogram":
         count = data.get("count", 0)
         mean = data.get("sum", 0.0) / count if count else 0.0
-        return f"n={count} mean={mean:.4g}"
+        cell = f"n={count} mean={mean:.4g}"
+        quantiles = data.get("quantiles")
+        if quantiles is None and bounds and data.get("buckets"):
+            # Older metrics.json payloads predate the quantiles key;
+            # re-estimate from the buckets so the report stays uniform.
+            quantiles = _bucket_quantiles(bounds, data["buckets"])
+        if quantiles:
+            cell += " " + " ".join(
+                f"{label}={quantiles[label]:.4g}"
+                for label in ("p50", "p95", "p99")
+                if label in quantiles
+            )
+        return cell
     value = data.get("value", 0)
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.6g}"
@@ -87,7 +105,9 @@ def format_obs_report(
             else:
                 shown = name
             data = {k: v for k, v in item.items() if k != "labels"}
-            rows.append([shown, kind, _series_cell(kind, data)])
+            rows.append(
+                [shown, kind, _series_cell(kind, data, entry.get("bounds"))]
+            )
     header = (
         f"{title} — {len(snapshot)} metrics across "
         f"{len(layers)} layer(s): {', '.join(sorted(layers))}"

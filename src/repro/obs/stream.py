@@ -1,0 +1,411 @@
+"""Streaming time-series telemetry: windowed samples of metric families.
+
+End-of-run :class:`~repro.obs.metrics.MetricsSnapshot` aggregates cannot
+show *when* utilization collapsed or the drift detector fired.  The
+:class:`TimeSeriesRecorder` closes that gap: attached through the
+:class:`~repro.sim.stages.SimHooks` seam (after the metrics hooks, so the
+registry is current at every subframe end), it samples a selected set of
+metric families once per ``window`` subframes and appends one row to a
+columnar :class:`TimeSeriesFrame`.
+
+The frame mirrors the snapshot's merge algebra so per-run series combine
+deterministically across worker processes:
+
+* ``sum`` columns (counter deltas, histogram ``.count``/``.sum`` deltas)
+  add element-wise, padding missing rows/columns with zero;
+* ``last`` columns (gauges) take the right-hand operand's value;
+* ``label`` columns (controller phase) take the right-hand non-empty
+  value — last write wins, like gauges.
+
+Everything is plain data (JSON-ready, picklable): a frame rides on
+``SimulationResult.obs_series`` exactly like ``obs_snapshot``, survives
+``to_state`` checkpoints, and :func:`collect_series` folds a batch of
+results in iteration order — the same deterministic order
+:func:`~repro.obs.report.collect_snapshot` uses.
+
+The recorder observes and never perturbs: it reads the registry and the
+optional ``phase_probe``, touching neither the simulation context nor the
+engine RNG stream, so a streaming-enabled run is bit-exact with a
+disabled one (pinned by tests and the ``obs_stream`` bench guard).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.stages import SimHooks, SubframeContext
+
+__all__ = [
+    "DEFAULT_STREAM_FAMILIES",
+    "SERIES_FILENAME",
+    "TimeSeriesFrame",
+    "TimeSeriesRecorder",
+    "collect_series",
+    "load_series_json",
+    "merge_frames",
+    "write_series_json",
+]
+
+#: Metric families the recorder samples unless the caller narrows the set.
+DEFAULT_STREAM_FAMILIES = (
+    "engine.rb_utilization",
+    "engine.grants_issued",
+    "engine.grant_outcomes",
+    "engine.cca_failures",
+    "engine.channel_grant_outcomes",
+    "dynamics.drift_detections",
+    "controller.measurement_subframes",
+)
+
+#: File name the CLI writes windowed series into (next to metrics.json).
+SERIES_FILENAME = "series.json"
+
+#: Column merge kinds (mirroring MetricsSnapshot semantics).
+_SUM = "sum"
+_LAST = "last"
+_LABEL = "label"
+
+#: Reserved column carrying each row's first subframe index.
+_WINDOW_START = "window_start"
+
+#: Column carrying the controller phase sampled at each window boundary.
+PHASE_COLUMN = "phase"
+
+
+def _pad_value(kind: str) -> Any:
+    return "" if kind == _LABEL else 0.0
+
+
+class TimeSeriesFrame:
+    """A columnar per-run series: one row per subframe window.
+
+    ``columns`` maps column name to a row-aligned list; ``kinds`` maps
+    every column (except ``window_start``) to its merge kind.  Columns may
+    appear mid-run (a labeled counter's first increment): earlier rows are
+    backfilled with the kind's pad value, so all columns always share the
+    row count.
+    """
+
+    __slots__ = ("window", "columns", "kinds")
+
+    def __init__(self, window: int) -> None:
+        if not isinstance(window, int) or window < 1:
+            raise ObsError(f"series window must be a positive int: {window!r}")
+        self.window = window
+        self.columns: Dict[str, List[Any]] = {_WINDOW_START: []}
+        self.kinds: Dict[str, str] = {}
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[_WINDOW_START])
+
+    def window_starts(self) -> List[int]:
+        """First subframe index of every row."""
+        return list(self.columns[_WINDOW_START])
+
+    def column(self, name: str) -> List[Any]:
+        """One column's row-aligned values (raises ObsError when absent)."""
+        if name not in self.columns:
+            raise ObsError(
+                f"series has no column {name!r}; has: {sorted(self.columns)}"
+            )
+        return list(self.columns[name])
+
+    def append_row(
+        self, window_start: int, values: Mapping[str, Tuple[str, Any]]
+    ) -> None:
+        """Append one window's samples; ``values[name] = (kind, value)``."""
+        rows = self.num_rows
+        for name, (kind, value) in values.items():
+            if name == _WINDOW_START:
+                raise ObsError(f"column name {name!r} is reserved")
+            have = self.kinds.get(name)
+            if have is None:
+                self.kinds[name] = kind
+                self.columns[name] = [_pad_value(kind)] * rows
+            elif have != kind:
+                raise ObsError(
+                    f"column {name!r} is {have}, cannot append as {kind}"
+                )
+            self.columns[name].append(value)
+        self.columns[_WINDOW_START].append(int(window_start))
+        for name, kind in self.kinds.items():
+            if len(self.columns[name]) <= rows:
+                self.columns[name].append(_pad_value(kind))
+
+    def utilization(self) -> List[float]:
+        """Per-window mean RB utilization derived from the histogram deltas.
+
+        Windows with no UL subframe (count delta 0) report 0.0.
+        """
+        counts = self.columns.get("engine.rb_utilization.count")
+        sums = self.columns.get("engine.rb_utilization.sum")
+        if counts is None or sums is None:
+            return []
+        return [s / c if c else 0.0 for c, s in zip(counts, sums)]
+
+    # -- plain-data round trip and merge ---------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready field dump (the ``obs_series`` payload)."""
+        return {
+            "window": self.window,
+            "rows": self.num_rows,
+            "kinds": dict(self.kinds),
+            "columns": {name: list(col) for name, col in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimeSeriesFrame":
+        """Rebuild a frame from a :meth:`to_dict` payload."""
+        if not isinstance(data, Mapping) or "window" not in data:
+            raise ObsError("malformed series payload: missing 'window'")
+        frame = cls(int(data["window"]))
+        columns = data.get("columns", {})
+        if _WINDOW_START not in columns:
+            raise ObsError("malformed series payload: missing window_start")
+        rows = len(columns[_WINDOW_START])
+        frame.kinds = {
+            str(name): str(kind) for name, kind in data.get("kinds", {}).items()
+        }
+        for name, col in columns.items():
+            if name != _WINDOW_START and name not in frame.kinds:
+                raise ObsError(f"series column {name!r} has no merge kind")
+            if len(col) != rows:
+                raise ObsError(
+                    f"series column {name!r} has {len(col)} rows, "
+                    f"expected {rows}"
+                )
+            frame.columns[name] = list(col)
+        return frame
+
+    def merge(self, other: "TimeSeriesFrame") -> "TimeSeriesFrame":
+        """Row-aligned combine mirroring snapshot semantics (see module doc)."""
+        if self.window != other.window:
+            raise ObsError(
+                f"cannot merge series with windows {self.window} "
+                f"and {other.window}"
+            )
+        merged = TimeSeriesFrame(self.window)
+        rows = max(self.num_rows, other.num_rows)
+        merged.columns[_WINDOW_START] = [i * self.window for i in range(rows)]
+        names = list(self.kinds)
+        names.extend(n for n in other.kinds if n not in self.kinds)
+        for name in names:
+            kind = self.kinds.get(name) or other.kinds[name]
+            if name in other.kinds and other.kinds[name] != kind:
+                raise ObsError(
+                    f"cannot merge column {name!r}: "
+                    f"{kind} vs {other.kinds[name]}"
+                )
+            pad = _pad_value(kind)
+            mine = self.columns.get(name, [])
+            theirs = other.columns.get(name, [])
+            column: List[Any] = []
+            for i in range(rows):
+                a = mine[i] if i < len(mine) else pad
+                b = theirs[i] if i < len(theirs) else pad
+                if kind == _SUM:
+                    column.append(a + b)
+                else:  # last / label: right-hand write wins when present
+                    column.append(b if b != pad else a)
+            merged.kinds[name] = kind
+            merged.columns[name] = column
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeriesFrame):
+            return NotImplemented
+        return (
+            self.window == other.window
+            and self.kinds == other.kinds
+            and self.columns == other.columns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeSeriesFrame(window={self.window}, rows={self.num_rows}, "
+            f"columns={len(self.columns)})"
+        )
+
+
+def merge_frames(
+    frames: Iterable[Union[TimeSeriesFrame, Mapping[str, Any]]]
+) -> Optional[TimeSeriesFrame]:
+    """Fold many per-run frames into one (order matters for label columns)."""
+    merged: Optional[TimeSeriesFrame] = None
+    for frame in frames:
+        if not isinstance(frame, TimeSeriesFrame):
+            frame = TimeSeriesFrame.from_dict(frame)
+        merged = frame if merged is None else merged.merge(frame)
+    return merged
+
+
+def collect_series(results: Iterable[Any]) -> Optional[TimeSeriesFrame]:
+    """Merge the ``obs_series`` payloads riding on a batch of results.
+
+    Iteration order defines the fold order (callers pass seed-major grid
+    order or ascending cell id), exactly like
+    :func:`~repro.obs.report.collect_snapshot`.  Returns ``None`` when no
+    result carried a series.
+    """
+    frames = [
+        result.obs_series
+        for result in results
+        if getattr(result, "obs_series", None) is not None
+    ]
+    if not frames:
+        return None
+    return merge_frames(frames)
+
+
+def write_series_json(
+    directory: Union[str, Path], frames: Mapping[str, TimeSeriesFrame]
+) -> Path:
+    """Write ``<directory>/series.json``: per-run frames keyed by name."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / SERIES_FILENAME
+    payload = {
+        "series": {name: frame.to_dict() for name, frame in frames.items()}
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_series_json(
+    directory: Union[str, Path]
+) -> Dict[str, TimeSeriesFrame]:
+    """Read a run directory's frames; raises ObsError when absent/invalid."""
+    path = Path(directory) / SERIES_FILENAME
+    if not path.is_file():
+        raise ObsError(f"no {SERIES_FILENAME} in {directory}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ObsError(f"{path}: invalid JSON: {error}") from error
+    series = data.get("series") if isinstance(data, dict) else None
+    if not isinstance(series, dict):
+        raise ObsError(f"{path}: expected a {{'series': {{...}}}} object")
+    return {
+        name: TimeSeriesFrame.from_dict(frame) for name, frame in series.items()
+    }
+
+
+class TimeSeriesRecorder(SimHooks):
+    """Sample selected metric families into a frame, one row per window.
+
+    Per subframe the recorder does one counter increment, a window-
+    boundary check, and (when a ``phase_probe`` is given) one attribute
+    read — the registry scan happens only at window boundaries, keeping
+    the streaming overhead inside the obs bench's <1.02x guard.
+
+    ``phase_probe`` returns the scheduler's current controller phase (a
+    ``BLUPhase`` or string; ``None`` for phase-less schedulers); changes
+    are recorded as the ``phase`` label column and, when a
+    :class:`~repro.obs.telemetry.TelemetryLog` is attached, emitted as
+    ``phase-transition`` events alongside per-window ``subframe-window``
+    progress events.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        window: int = 100,
+        families: Optional[Sequence[str]] = None,
+        phase_probe: Optional[Callable[[], Any]] = None,
+        log: Optional[Any] = None,
+        run_label: Optional[str] = None,
+    ) -> None:
+        self.registry = registry
+        self.frame = TimeSeriesFrame(window)
+        self.families = (
+            tuple(families) if families is not None else DEFAULT_STREAM_FAMILIES
+        )
+        self._family_set = frozenset(self.families)
+        self.phase_probe = phase_probe
+        self.log = log
+        self.run_label = run_label
+        self._window = self.frame.window
+        self._seen = 0
+        self._flushed = 0
+        self._phase = ""
+        self._prev: Dict[str, float] = {}
+
+    def on_subframe_end(self, ctx: SubframeContext) -> None:
+        """Track the phase and flush a row at each window boundary."""
+        if self.phase_probe is not None:
+            phase = self.phase_probe()
+            if phase is not None:
+                name = str(getattr(phase, "value", phase))
+                if name != self._phase:
+                    previous, self._phase = self._phase, name
+                    if self.log is not None:
+                        self.log.emit(
+                            "phase-transition",
+                            run=self.run_label,
+                            subframe=ctx.subframe,
+                            phase=name,
+                            previous=previous or None,
+                        )
+        self._seen += 1
+        if self._seen % self._window == 0:
+            self._flush()
+
+    def finish(self) -> None:
+        """Flush the final partial window (idempotent)."""
+        if self._seen > self._flushed * self._window:
+            self._flush()
+
+    def _flush(self) -> None:
+        values: Dict[str, Tuple[str, Any]] = {}
+        for family in self.registry.families():
+            if family.name not in self._family_set:
+                continue
+            for key, metric in family.series.items():
+                suffix = (
+                    "{" + ",".join(
+                        f"{k}={v}" for k, v in zip(family.label_names, key)
+                    ) + "}"
+                    if key
+                    else ""
+                )
+                if family.kind == "counter":
+                    column = f"{family.name}{suffix}"
+                    values[column] = (
+                        _SUM, metric.value - self._prev.get(column, 0.0)
+                    )
+                    self._prev[column] = metric.value
+                elif family.kind == "gauge":
+                    values[f"{family.name}{suffix}"] = (_LAST, metric.value)
+                else:  # histogram: windowed count/sum deltas
+                    for part, total in (
+                        ("count", metric.count), ("sum", metric.sum)
+                    ):
+                        column = f"{family.name}.{part}{suffix}"
+                        values[column] = (
+                            _SUM, total - self._prev.get(column, 0.0)
+                        )
+                        self._prev[column] = total
+        if self.phase_probe is not None:
+            values[PHASE_COLUMN] = (_LABEL, self._phase)
+        window_start = self._flushed * self._window
+        subframes = self._seen - self._flushed * self._window
+        self.frame.append_row(window_start, values)
+        self._flushed += 1
+        if self.log is not None:
+            util_count = values.get("engine.rb_utilization.count", (None, 0.0))[1]
+            util_sum = values.get("engine.rb_utilization.sum", (None, 0.0))[1]
+            self.log.emit(
+                "subframe-window",
+                run=self.run_label,
+                window_start=window_start,
+                subframes=subframes,
+                utilization=(
+                    round(util_sum / util_count, 4) if util_count else None
+                ),
+            )

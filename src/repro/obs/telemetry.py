@@ -1,0 +1,234 @@
+"""Crash-safe progress telemetry: an append-only JSONL event log.
+
+A :class:`TelemetryLog` is one ``telemetry.jsonl`` file per run or
+campaign directory.  Every event is a single JSON line written with one
+atomic ``O_APPEND`` write, so any number of worker processes can share
+the log without interleaving partial lines; the reader
+(:func:`read_telemetry`) tolerates a truncated final line, which is what
+a kill mid-write leaves behind.  When the file outgrows ``max_bytes``,
+:meth:`TelemetryLog.rotate` moves it aside with an atomic
+``os.replace`` (the tmp+rename idiom the checkpoint store uses) and
+appends continue into a fresh file.
+
+Typed events (see :data:`EVENT_TYPES`) cover the campaign lifecycle —
+``campaign-started``/``cluster-done``/``campaign-done`` from the deploy
+runner, ``item-started``/``heartbeat``/``retry``/``timeout``/
+``quarantine``/``item-done`` from :func:`~repro.resilience.supervisor.
+supervised_map`, and per-run engine progress (``run-started``,
+``subframe-window``, ``phase-transition``) from the obs stream layer.
+Heartbeats come from a daemon thread inside each worker, so a hung item
+shows up live as a heartbeat with ever-growing ``elapsed_s`` and no
+``item-done`` — what ``repro monitor`` renders as *stalled*.
+
+Writers only observe: nothing here touches the engine RNG stream, so
+runs with telemetry attached stay bit-exact with silent runs (pinned by
+the heartbeat bit-exactness tests).
+
+The process-local :func:`active_telemetry` handle mirrors
+:func:`~repro.obs.metrics.active_registry`: the supervisor's worker
+wrapper scopes the campaign log around each item so the obs session
+inside can emit run-level events without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ObsError
+
+__all__ = [
+    "EVENT_TYPES",
+    "TELEMETRY_FILENAME",
+    "TelemetryLog",
+    "active_telemetry",
+    "read_telemetry",
+    "set_active_telemetry",
+    "use_telemetry",
+    "validate_telemetry_events",
+]
+
+#: File name a telemetry directory holds (``.1`` suffix after rotation).
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Every event type the log accepts; ``repro monitor`` understands all.
+EVENT_TYPES = frozenset(
+    {
+        "campaign-started",
+        "campaign-done",
+        "run-started",
+        "subframe-window",
+        "phase-transition",
+        "item-started",
+        "heartbeat",
+        "retry",
+        "timeout",
+        "quarantine",
+        "item-done",
+        "cluster-done",
+    }
+)
+
+
+class TelemetryLog:
+    """Append-only JSONL event log, shareable across worker processes.
+
+    Holds only the path and policy — no open file handle — so instances
+    pickle into pool workers; each :meth:`emit` opens, appends one line,
+    and closes.  ``heartbeat_s`` is the cadence the supervisor's worker
+    wrapper uses for its heartbeat thread.
+    """
+
+    __slots__ = ("path", "heartbeat_s", "max_bytes")
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        heartbeat_s: float = 0.5,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if heartbeat_s <= 0:
+            raise ObsError(f"heartbeat_s must be positive: {heartbeat_s}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ObsError(f"max_bytes must be positive or None: {max_bytes}")
+        self.path = Path(path)
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_bytes = max_bytes
+
+    @classmethod
+    def in_dir(
+        cls, directory: Union[str, Path], **kwargs: Any
+    ) -> "TelemetryLog":
+        """The canonical ``<directory>/telemetry.jsonl`` log (mkdir -p)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / TELEMETRY_FILENAME, **kwargs)
+
+    def emit(self, type: str, **fields: Any) -> Dict[str, Any]:
+        """Append one typed event line; returns the event dict.
+
+        ``None``-valued fields are dropped so the log stays compact.  The
+        wall-clock ``ts`` is observation metadata only — simulation
+        results never depend on it.
+        """
+        if type not in EVENT_TYPES:
+            raise ObsError(
+                f"unknown telemetry event type {type!r}; "
+                f"allowed: {sorted(EVENT_TYPES)}"
+            )
+        event = {"type": type, "ts": round(time.time(), 3)}
+        event.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        line = json.dumps(event, sort_keys=True) + "\n"
+        self.rotate_if_needed()
+        # One write() of one line on an O_APPEND descriptor: atomic for
+        # lines under PIPE_BUF, which every event here is.
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+        return event
+
+    def rotated_path(self) -> Path:
+        """Where :meth:`rotate` moves the current file."""
+        return self.path.with_name(self.path.name + ".1")
+
+    def rotate(self) -> Optional[Path]:
+        """Atomically move the log aside (``telemetry.jsonl.1``); a new
+        file starts on the next emit.  Returns the rotated path, or
+        ``None`` when there was nothing to rotate."""
+        if not self.path.exists():
+            return None
+        target = self.rotated_path()
+        os.replace(self.path, target)
+        return target
+
+    def rotate_if_needed(self) -> None:
+        """Rotate when the file has outgrown ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size >= self.max_bytes:
+            self.rotate()
+
+
+def read_telemetry(
+    source: Union[str, Path, TelemetryLog]
+) -> List[Dict[str, Any]]:
+    """Read every event from a log, directory, or path, oldest first.
+
+    Includes the rotated ``.1`` file (if any) ahead of the current one.
+    Unparseable lines — a truncated final line after a kill — are
+    skipped, not fatal: the log is crash-safe by construction.
+    """
+    if isinstance(source, TelemetryLog):
+        path = source.path
+    else:
+        path = Path(source)
+        if path.is_dir():
+            path = path / TELEMETRY_FILENAME
+    events: List[Dict[str, Any]] = []
+    rotated = path.with_name(path.name + ".1")
+    for part in (rotated, path):
+        if not part.is_file():
+            continue
+        for line in part.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def validate_telemetry_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Schema-check a list of events; returns human-readable errors."""
+    errors: List[str] = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index}: not an object")
+            continue
+        etype = event.get("type")
+        if etype not in EVENT_TYPES:
+            errors.append(f"event {index}: unknown type {etype!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {index}: missing numeric ts")
+    return errors
+
+
+#: The log progress events flow into for the current item; ``None`` = off.
+_ACTIVE: Optional[TelemetryLog] = None
+
+
+def active_telemetry() -> Optional[TelemetryLog]:
+    """The telemetry log scoped to the current work item, or ``None``."""
+    return _ACTIVE
+
+
+def set_active_telemetry(log: Optional[TelemetryLog]) -> None:
+    """Install (or clear, with ``None``) the process-local active log."""
+    global _ACTIVE
+    _ACTIVE = log
+
+
+@contextmanager
+def use_telemetry(log: Optional[TelemetryLog]) -> Iterator[Optional[TelemetryLog]]:
+    """Scope ``log`` as the active one; restores the previous on exit."""
+    previous = _ACTIVE
+    set_active_telemetry(log)
+    try:
+        yield log
+    finally:
+        set_active_telemetry(previous)

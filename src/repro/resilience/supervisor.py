@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
@@ -43,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ResilienceError, WorkerFailure
 from repro.obs.metrics import active_registry
+from repro.obs.telemetry import TelemetryLog, use_telemetry
 
 __all__ = [
     "SupervisorConfig",
@@ -155,19 +157,80 @@ def _resolve_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
-def _injected_call(fn, item, kind: Optional[str], seconds: float):
+def _heartbeat_loop(
+    telemetry: TelemetryLog,
+    label: str,
+    attempt: int,
+    started: float,
+    stop: threading.Event,
+) -> None:
+    """Daemon-thread body: beat until told to stop (or the process dies)."""
+    pid = os.getpid()
+    while not stop.wait(telemetry.heartbeat_s):
+        try:
+            telemetry.emit(
+                "heartbeat",
+                item=label,
+                attempt=attempt,
+                pid=pid,
+                elapsed_s=round(time.perf_counter() - started, 3),
+            )
+        except OSError:  # pragma: no cover - telemetry dir vanished
+            return
+
+
+def _injected_call(
+    fn,
+    item,
+    kind: Optional[str],
+    seconds: float,
+    telemetry: Optional[TelemetryLog] = None,
+    label: Optional[str] = None,
+    attempt: int = 0,
+):
     """Run one item, honouring an injected worker fault.
 
     Module-level so it pickles into pool workers.  ``kind`` is ``None``
     (no fault), ``"crash"`` or ``"hang"`` — see
     :class:`~repro.resilience.faults.WorkerCrashFault` /
     :class:`~repro.resilience.faults.WorkerHangFault`.
+
+    With ``telemetry`` attached, emits ``item-started`` and periodic
+    ``heartbeat`` events from a daemon thread — started *before* fault
+    injection, so even an injected hang keeps beating (with growing
+    ``elapsed_s``) and shows up live in ``repro monitor``.  The log is
+    scoped via :func:`~repro.obs.telemetry.use_telemetry` around ``fn``
+    so obs sessions inside can stream run-level progress.  Heartbeats
+    only observe: they never touch ``fn``'s inputs or the engine RNG
+    stream, so results stay bit-exact with telemetry off.
     """
-    if kind == "crash":
-        raise WorkerFailure("injected worker crash (fault plan)")
-    if kind == "hang" and seconds > 0:
-        time.sleep(seconds)
-    return fn(item)
+    if telemetry is None:
+        if kind == "crash":
+            raise WorkerFailure("injected worker crash (fault plan)")
+        if kind == "hang" and seconds > 0:
+            time.sleep(seconds)
+        return fn(item)
+    started = time.perf_counter()
+    telemetry.emit(
+        "item-started", item=label, attempt=attempt, pid=os.getpid()
+    )
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(telemetry, label, attempt, started, stop),
+        daemon=True,
+    )
+    beater.start()
+    try:
+        if kind == "crash":
+            raise WorkerFailure("injected worker crash (fault plan)")
+        if kind == "hang" and seconds > 0:
+            time.sleep(seconds)
+        with use_telemetry(telemetry):
+            return fn(item)
+    finally:
+        stop.set()
+        beater.join(timeout=telemetry.heartbeat_s * 4)
 
 
 def _backoff_delay(config: SupervisorConfig, index: int, attempt: int) -> float:
@@ -220,6 +283,8 @@ def supervised_map(
     worker_fault: Optional[WorkerFaultFn] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
     fail_fast: bool = False,
+    telemetry: Optional[TelemetryLog] = None,
+    labels: Optional[Sequence[Any]] = None,
 ) -> SupervisedOutcome:
     """Map ``fn`` over items under supervision; see the module docstring.
 
@@ -228,20 +293,35 @@ def supervised_map(
     ``on_result(index, result)`` fires in the parent as each item
     completes — the checkpoint layer saves cells here, so progress
     survives a kill even mid-batch.
+
+    ``telemetry`` streams the batch's lifecycle into a
+    :class:`~repro.obs.telemetry.TelemetryLog`: ``item-started`` and
+    periodic ``heartbeat`` events from inside each worker, ``retry`` /
+    ``timeout`` / ``quarantine`` / ``item-done`` from the parent as it
+    reacts.  ``labels`` names items in those events (positionally
+    aligned; defaults to the item index).
     """
     config = SupervisorConfig() if config is None else config
     items = list(items)
     outcome = SupervisedOutcome(results=[None] * len(items))
     if not items:
         return outcome
+    if labels is not None and len(labels) != len(items):
+        raise ResilienceError(
+            f"labels length {len(labels)} != items length {len(items)}"
+        )
+    names = [
+        str(labels[i]) if labels is not None else str(i)
+        for i in range(len(items))
+    ]
     counters = _Counters()
     jobs = min(_resolve_jobs(n_jobs), len(items))
     if jobs <= 1:
         _serial_loop(fn, items, config, worker_fault, on_result, fail_fast,
-                     outcome, counters)
+                     outcome, counters, telemetry, names)
     else:
         _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
-                   outcome, counters)
+                   outcome, counters, telemetry, names)
     return outcome
 
 
@@ -259,6 +339,8 @@ def _record_failure(
     elapsed_s: float,
     error: BaseException,
     timed_out: bool,
+    telemetry: Optional[TelemetryLog] = None,
+    label: Optional[str] = None,
 ) -> None:
     if fail_fast:
         raise error
@@ -274,22 +356,35 @@ def _record_failure(
     outcome.results[index] = failed
     outcome.failures.append(failed)
     counters.inc(counters.failures)
+    if telemetry is not None:
+        telemetry.emit(
+            "quarantine",
+            item=label,
+            attempts=attempts,
+            error=f"{type(error).__name__}: {error}",
+            timed_out=timed_out or None,
+        )
 
 
 def _serial_loop(fn, items, config, worker_fault, on_result, fail_fast,
-                 outcome, counters) -> None:
+                 outcome, counters, telemetry=None, names=None) -> None:
     for index, item in enumerate(items):
+        label = names[index] if names is not None else str(index)
         started = time.perf_counter()
         attempt = 0
         while True:
             kind, seconds = _fault_for(worker_fault, index, attempt)
             try:
-                result = _injected_call(fn, item, kind, seconds)
+                result = _injected_call(
+                    fn, item, kind, seconds, telemetry, label, attempt
+                )
             except Exception as error:  # noqa: BLE001 - supervised boundary
                 if attempt < config.max_retries:
                     attempt += 1
                     outcome.retries += 1
                     counters.inc(counters.retries)
+                    if telemetry is not None:
+                        telemetry.emit("retry", item=label, attempt=attempt)
                     delay = _backoff_delay(config, index, attempt)
                     if delay > 0:
                         time.sleep(delay)
@@ -297,19 +392,31 @@ def _serial_loop(fn, items, config, worker_fault, on_result, fail_fast,
                 _record_failure(
                     outcome, counters, fail_fast, index, attempt + 1,
                     time.perf_counter() - started, error, timed_out=False,
+                    telemetry=telemetry, label=label,
                 )
                 break
             outcome.results[index] = result
             counters.inc(counters.completed)
+            if telemetry is not None:
+                telemetry.emit(
+                    "item-done",
+                    item=label,
+                    attempts=attempt + 1,
+                    elapsed_s=round(time.perf_counter() - started, 3),
+                )
             if on_result is not None:
                 on_result(index, result)
             break
 
 
 def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
-               outcome, counters) -> None:
+               outcome, counters, telemetry=None, names=None) -> None:
     pool = ProcessPoolExecutor(max_workers=jobs)
     abandoned = False
+
+    def label_of(index: int) -> str:
+        return names[index] if names is not None else str(index)
+
     try:
         # future -> (index, attempt, item_started, attempt_deadline)
         running: Dict[Any, Tuple[int, int, float, Optional[float]]] = {}
@@ -318,7 +425,10 @@ def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
 
         def submit(index: int, attempt: int, item_started: float) -> None:
             kind, seconds = _fault_for(worker_fault, index, attempt)
-            future = pool.submit(_injected_call, fn, items[index], kind, seconds)
+            future = pool.submit(
+                _injected_call, fn, items[index], kind, seconds,
+                telemetry, label_of(index), attempt,
+            )
             deadline = (
                 None if config.timeout_s is None
                 else time.monotonic() + config.timeout_s
@@ -329,6 +439,10 @@ def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
             if attempt < config.max_retries:
                 outcome.retries += 1
                 counters.inc(counters.retries)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "retry", item=label_of(index), attempt=attempt + 1
+                    )
                 due = time.monotonic() + _backoff_delay(
                     config, index, attempt + 1
                 )
@@ -339,6 +453,7 @@ def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
             _record_failure(
                 outcome, counters, fail_fast, index, attempt + 1,
                 time.perf_counter() - item_started, error, timed_out,
+                telemetry=telemetry, label=label_of(index),
             )
 
         for index in range(len(items)):
@@ -371,6 +486,15 @@ def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
                     result = future.result()
                     outcome.results[index] = result
                     counters.inc(counters.completed)
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "item-done",
+                            item=label_of(index),
+                            attempts=attempt + 1,
+                            elapsed_s=round(
+                                time.perf_counter() - item_started, 3
+                            ),
+                        )
                     if on_result is not None:
                         on_result(index, result)
                 else:
@@ -391,6 +515,13 @@ def _pool_loop(fn, items, jobs, config, worker_fault, on_result, fail_fast,
                 abandoned = True
                 outcome.timeouts += 1
                 counters.inc(counters.timeouts)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "timeout",
+                        item=label_of(index),
+                        attempt=attempt + 1,
+                        timeout_s=config.timeout_s,
+                    )
                 error = ResilienceError(
                     f"work item {index} timed out after {config.timeout_s}s "
                     f"(attempt {attempt + 1})"

@@ -54,6 +54,9 @@ class SimulationResult:
     obs_trace: Optional[List[Dict]] = field(
         default=None, compare=False, repr=False
     )
+    #: Streamed time-series frame (``TimeSeriesFrame.to_dict()`` form),
+    #: attached when ``obs.stream`` is on.
+    obs_series: Optional[Dict] = field(default=None, compare=False, repr=False)
 
     # -- derived metrics ----------------------------------------------------
 

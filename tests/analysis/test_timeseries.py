@@ -1,0 +1,144 @@
+"""Windowed time-series reports over streamed frames."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    detection_to_recovery,
+    detection_windows,
+    format_timeseries_report,
+    timeseries_report,
+    utilization_timeline,
+    windows_around,
+)
+from repro.errors import ObsError
+from repro.obs.stream import TimeSeriesFrame
+
+
+def churn_frame():
+    """Six windows: utilization collapses at the drift hit, then recovers."""
+    frame = TimeSeriesFrame(100)
+    rows = [
+        # (util count, util sum, drift, phase)
+        (10.0, 9.0, 0.0, "speculative"),
+        (10.0, 9.5, 0.0, "speculative"),
+        (10.0, 4.0, 1.0, "partial_remeasure"),  # drift detected
+        (10.0, 5.0, 0.0, "partial_remeasure"),
+        (10.0, 8.5, 0.0, "speculative"),  # recovered
+        (10.0, 9.0, 0.0, "speculative"),
+    ]
+    for index, (count, total, drift, phase) in enumerate(rows):
+        frame.append_row(
+            index * 100,
+            {
+                "engine.rb_utilization.count": ("sum", count),
+                "engine.rb_utilization.sum": ("sum", total),
+                "dynamics.drift_detections": ("sum", drift),
+                "phase": ("label", phase),
+            },
+        )
+    return frame
+
+
+class TestUtilizationTimeline:
+    def test_rows_carry_start_utilization_and_phase(self):
+        rows = utilization_timeline(churn_frame())
+        assert len(rows) == 6
+        assert rows[0] == {
+            "window_start": 0, "utilization": 0.9, "phase": "speculative",
+        }
+        assert rows[2]["utilization"] == pytest.approx(0.4)
+
+    def test_accepts_dict_payloads(self):
+        frame = churn_frame()
+        assert utilization_timeline(frame.to_dict()) == utilization_timeline(
+            frame
+        )
+
+    def test_missing_family_raises(self):
+        frame = TimeSeriesFrame(100)
+        frame.append_row(0, {"engine.grants_issued": ("sum", 1.0)})
+        with pytest.raises(ObsError, match="rb_utilization"):
+            utilization_timeline(frame)
+
+    def test_empty_frame_is_empty(self):
+        assert utilization_timeline(TimeSeriesFrame(100)) == []
+
+
+class TestDetections:
+    def test_detection_windows(self):
+        assert detection_windows(churn_frame()) == [2]
+        assert detection_windows(TimeSeriesFrame(100)) == []
+
+    def test_windows_around_clips_and_offsets(self):
+        rows = windows_around(churn_frame(), 2, before=3, after=5)
+        assert [row["offset"] for row in rows] == [-2, -1, 0, 1, 2, 3]
+        assert rows[2]["window_start"] == 200
+
+    def test_windows_around_out_of_range(self):
+        with pytest.raises(ObsError, match="out of range"):
+            windows_around(churn_frame(), 6)
+
+    def test_detection_to_recovery(self):
+        entries = detection_to_recovery(churn_frame())
+        assert entries == [
+            {
+                "window": 2,
+                "window_start": 200,
+                "recovery_windows": 2,
+                "recovery_subframes": 200,
+            }
+        ]
+
+    def test_unrecovered_detection_reports_none(self):
+        frame = TimeSeriesFrame(100)
+        frame.append_row(
+            0,
+            {
+                "dynamics.drift_detections": ("sum", 1.0),
+                "phase": ("label", "partial_remeasure"),
+            },
+        )
+        entries = detection_to_recovery(frame)
+        assert entries[0]["recovery_windows"] is None
+
+    def test_phaseless_frames_report_no_recovery(self):
+        frame = TimeSeriesFrame(100)
+        frame.append_row(0, {"dynamics.drift_detections": ("sum", 1.0)})
+        entries = detection_to_recovery(frame)
+        assert entries[0]["recovery_windows"] is None
+
+
+class TestReport:
+    def test_headline_stats(self):
+        report = timeseries_report(churn_frame())
+        assert report["windows"] == 6
+        assert report["window_size"] == 100
+        assert report["utilization"]["min"] == pytest.approx(0.4)
+        assert report["utilization"]["max"] == pytest.approx(0.95)
+        assert report["drift_detections"] == 1
+        assert report["mean_recovery_windows"] == 2.0
+        assert report["phase_windows"] == {
+            "speculative": 4, "partial_remeasure": 2,
+        }
+
+    def test_format_renders_one_row_per_run(self):
+        text = format_timeseries_report(
+            {"pf": churn_frame(), "blu": churn_frame().to_dict()}
+        )
+        assert "Streamed time series" in text
+        assert "pf" in text and "blu" in text
+        assert "2.0w" in text  # mean recovery
+
+    def test_format_downsamples_long_timelines(self):
+        frame = TimeSeriesFrame(10)
+        for index in range(200):
+            frame.append_row(
+                index * 10,
+                {
+                    "engine.rb_utilization.count": ("sum", 1.0),
+                    "engine.rb_utilization.sum": ("sum", 0.5),
+                },
+            )
+        text = format_timeseries_report({"pf": frame}, sparkline_width=40)
+        (row,) = [line for line in text.splitlines() if "pf" in line]
+        assert len(row) < 200  # the sparkline was strided down

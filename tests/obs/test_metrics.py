@@ -10,6 +10,7 @@ from repro.obs import (
     MetricsRegistry,
     MetricsSnapshot,
     active_registry,
+    histogram_quantile,
     merge_snapshots,
     use_registry,
 )
@@ -142,3 +143,78 @@ class TestSnapshot:
 
     def test_merge_empty_iterable(self):
         assert merge_snapshots([]).metric_names() == []
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_estimates_zero(self):
+        assert histogram_quantile([1.0, 2.0], [0, 0, 0], 0.5) == 0.0
+
+    def test_interpolates_within_the_target_bucket(self):
+        # 10 observations spread uniformly over (0, 1]: the p50 estimate
+        # lands mid-bucket by linear interpolation.
+        assert histogram_quantile([0.5, 1.0], [5, 5, 0], 0.5) == 0.5
+        assert histogram_quantile([0.5, 1.0], [5, 5, 0], 0.75) == 0.75
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        # All mass in the first bucket (0, 2]: p50 interpolates from 0.
+        assert histogram_quantile([2.0], [4, 0], 0.5) == 1.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        assert histogram_quantile([1.0, 2.0], [0, 0, 7], 0.99) == 2.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ObsError):
+            histogram_quantile([1.0], [1, 0], 1.5)
+
+    def test_snapshot_series_carry_p50_p95_p99(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=[0.5, 1.0])
+        for value in (0.2, 0.6, 0.7, 1.5):
+            hist.observe(value)
+        data = registry.snapshot().value("h")
+        assert set(data["quantiles"]) == {"p50", "p95", "p99"}
+        assert data["quantiles"]["p50"] == histogram_quantile(
+            [0.5, 1.0], data["buckets"], 0.5
+        )
+
+    def test_merged_quantiles_match_a_from_scratch_histogram(self):
+        # Binary-exact observations, so the merged sum matches too.
+        bounds = [0.5, 1.0]
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for value in (0.25, 0.5):
+            left.histogram("h", buckets=bounds).observe(value)
+        for value in (0.75, 1.5, 1.0):
+            right.histogram("h", buckets=bounds).observe(value)
+        merged = left.snapshot().merge(right.snapshot())
+        whole = MetricsRegistry()
+        hist = whole.histogram("h", buckets=bounds)
+        for value in (0.25, 0.5, 0.75, 1.5, 1.0):
+            hist.observe(value)
+        assert merged.value("h") == whole.snapshot().value("h")
+
+    def test_quantiles_survive_the_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        snapshot = registry.snapshot()
+        clone = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert clone.value("h")["quantiles"] == snapshot.value("h")["quantiles"]
+
+    def test_report_renders_quantiles(self):
+        from repro.obs.report import format_obs_report
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=[0.5, 1.0])
+        for value in (0.2, 0.6, 0.7, 1.5):
+            hist.observe(value)
+        text = format_obs_report(registry.snapshot())
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+    def test_report_estimates_quantiles_for_legacy_payloads(self):
+        from repro.obs.report import format_obs_report
+
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[0.5, 1.0]).observe(0.4)
+        payload = registry.snapshot().to_dict()
+        for item in payload["h"]["series"]:
+            item.pop("quantiles")  # pre-quantile metrics.json
+        assert "p50=" in format_obs_report(payload)

@@ -1,0 +1,194 @@
+"""The campaign monitor: event fold, stall detection, rendering.
+
+``scan_telemetry`` is a pure fold, so every lifecycle state is pinned
+with synthetic events at fixed timestamps; ``monitor_directory`` exit
+codes are checked against real logs in temp directories.
+"""
+
+import pytest
+
+from repro.obs.monitor import (
+    CampaignStatus,
+    format_monitor,
+    monitor_directory,
+    scan_telemetry,
+)
+from repro.obs.telemetry import TelemetryLog
+
+
+def started(labels, completed=None, ts=0.0):
+    event = {
+        "type": "campaign-started",
+        "ts": ts,
+        "campaign": "demo",
+        "kind": "deploy",
+        "labels": list(labels),
+    }
+    if completed:
+        event["completed"] = list(completed)
+    return event
+
+
+class TestScanTelemetry:
+    def test_declared_items_start_pending(self):
+        status = scan_telemetry([started(["a", "b"])], now=1.0)
+        assert status.name == "demo" and status.kind == "deploy"
+        assert {i.state for i in status.items.values()} == {"pending"}
+        assert status.total == 2
+        assert not status.settled
+
+    def test_resume_marks_completed_items_done(self):
+        status = scan_telemetry([started(["a", "b"], completed=["a"])],
+                                now=1.0)
+        assert status.items["a"].state == "done"
+        assert status.items["b"].state == "pending"
+
+    def test_running_item_with_fresh_heartbeat(self):
+        events = [
+            started(["a"]),
+            {"type": "item-started", "ts": 1.0, "item": "a", "attempt": 0,
+             "pid": 7},
+            {"type": "heartbeat", "ts": 2.0, "item": "a", "elapsed_s": 1.0},
+        ]
+        status = scan_telemetry(events, now=2.5)
+        item = status.items["a"]
+        assert item.state == "running"
+        assert item.attempts == 1
+        assert item.pid == 7
+        assert item.elapsed_s == 1.0
+
+    def test_hung_worker_stalls_via_elapsed(self):
+        events = [
+            started(["a"]),
+            {"type": "item-started", "ts": 0.0, "item": "a", "attempt": 0},
+            {"type": "heartbeat", "ts": 30.0, "item": "a", "elapsed_s": 30.0},
+        ]
+        status = scan_telemetry(events, now=30.1, stall_after_s=10.0)
+        assert status.items["a"].state == "stalled"
+
+    def test_dead_worker_stalls_via_beat_age(self):
+        events = [
+            started(["a"]),
+            {"type": "item-started", "ts": 0.0, "item": "a", "attempt": 0},
+            {"type": "heartbeat", "ts": 1.0, "item": "a", "elapsed_s": 1.0},
+        ]
+        status = scan_telemetry(events, now=20.0, stall_after_s=10.0)
+        assert status.items["a"].state == "stalled"
+
+    def test_retry_and_quarantine_lifecycle(self):
+        events = [
+            started(["a"]),
+            {"type": "item-started", "ts": 0.0, "item": "a", "attempt": 0},
+            {"type": "retry", "ts": 1.0, "item": "a", "attempt": 1},
+        ]
+        status = scan_telemetry(events, now=1.5)
+        assert status.items["a"].state == "retrying"
+        events += [
+            {"type": "timeout", "ts": 2.0, "item": "a", "timeout_s": 1.0},
+            {"type": "quarantine", "ts": 3.0, "item": "a", "attempts": 2,
+             "error": "RuntimeError: boom"},
+        ]
+        status = scan_telemetry(events, now=3.5)
+        item = status.items["a"]
+        assert item.state == "failed"
+        assert item.timed_out
+        assert item.error == "RuntimeError: boom"
+        assert status.settled and not status.all_done
+
+    def test_done_items_record_durations_and_eta(self):
+        events = [
+            started(["a", "b", "c"]),
+            {"type": "item-done", "ts": 4.0, "item": "a", "elapsed_s": 4.0},
+            {"type": "item-started", "ts": 4.0, "item": "b", "attempt": 0},
+            {"type": "heartbeat", "ts": 5.0, "item": "b", "elapsed_s": 1.0},
+        ]
+        status = scan_telemetry(events, now=5.0)
+        assert status.items["a"].duration_s == 4.0
+        # two remaining items, one in flight, 4s mean -> ~8s
+        assert status.eta_s(5.0) == pytest.approx(8.0)
+
+    def test_campaign_done_settles_even_with_strays(self):
+        events = [started(["a"]), {"type": "campaign-done", "ts": 9.0}]
+        assert scan_telemetry(events, now=9.5).settled
+
+    def test_run_windows_accumulate(self):
+        events = [
+            {"type": "run-started", "ts": 0.0, "run": "cell-0"},
+            {"type": "subframe-window", "ts": 1.0, "run": "cell-0",
+             "window_start": 0, "utilization": 0.5},
+            {"type": "subframe-window", "ts": 2.0, "run": "cell-0",
+             "window_start": 100, "utilization": 0.75},
+        ]
+        status = scan_telemetry(events, now=2.5)
+        assert status.runs["cell-0"] == {"windows": 2, "utilization": 0.75}
+
+
+class TestFormatMonitor:
+    def test_complete_campaign_prints_the_final_line(self):
+        events = [
+            started(["a"]),
+            {"type": "item-done", "ts": 1.0, "item": "a", "elapsed_s": 1.0},
+            {"type": "campaign-done", "ts": 1.0},
+        ]
+        text = format_monitor(scan_telemetry(events, now=2.0), now=2.0)
+        assert "campaign complete: all items done" in text
+        assert "1/1 items done" in text
+
+    def test_failed_campaign_prints_the_settled_line(self):
+        events = [
+            started(["a"]),
+            {"type": "quarantine", "ts": 1.0, "item": "a", "attempts": 2,
+             "error": "boom"},
+        ]
+        text = format_monitor(scan_telemetry(events, now=2.0), now=2.0)
+        assert "campaign settled: 1 item(s) failed" in text
+
+    def test_stalled_items_render_upper_case(self):
+        events = [
+            started(["a"]),
+            {"type": "item-started", "ts": 0.0, "item": "a", "attempt": 0},
+            {"type": "heartbeat", "ts": 30.0, "item": "a", "elapsed_s": 30.0},
+        ]
+        text = format_monitor(scan_telemetry(events, now=31.0), now=31.0)
+        assert "STALLED" in text
+
+    def test_row_cap_reports_hidden_items(self):
+        events = [started([f"c-{i}" for i in range(50)])]
+        text = format_monitor(scan_telemetry(events, now=1.0), now=1.0,
+                              max_rows=10)
+        assert "40 more item(s) not shown" in text
+
+    def test_empty_status_renders(self):
+        assert "0/0 items done" in format_monitor(CampaignStatus(), now=1.0)
+
+
+class TestMonitorDirectory:
+    def test_missing_telemetry_exits_2(self, tmp_path, capsys):
+        assert monitor_directory(tmp_path, once=True) == 2
+        assert "no telemetry" in capsys.readouterr().out
+
+    def test_complete_campaign_exits_0(self, tmp_path, capsys):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("campaign-started", campaign="demo", kind="deploy",
+                 labels=["a"])
+        log.emit("item-done", item="a", elapsed_s=0.1)
+        log.emit("campaign-done", campaign="demo")
+        assert monitor_directory(tmp_path, once=True) == 0
+        assert "campaign complete" in capsys.readouterr().out
+
+    def test_failed_campaign_exits_1(self, tmp_path, capsys):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("campaign-started", campaign="demo", kind="deploy",
+                 labels=["a"])
+        log.emit("quarantine", item="a", attempts=2, error="boom")
+        log.emit("campaign-done", campaign="demo", failed=["a"])
+        assert monitor_directory(tmp_path, once=True) == 1
+        capsys.readouterr()
+
+    def test_max_frames_bounds_the_loop(self, tmp_path, capsys):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("campaign-started", campaign="demo", kind="deploy",
+                 labels=["a"])
+        code = monitor_directory(tmp_path, interval_s=0.01, max_frames=2)
+        assert code == 0
+        capsys.readouterr()

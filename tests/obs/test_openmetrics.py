@@ -1,0 +1,115 @@
+"""OpenMetrics export: rendering and the matching format checker."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    PROM_FILENAME,
+    to_openmetrics,
+    validate_openmetrics,
+    write_metrics_prom,
+)
+
+
+@pytest.fixture()
+def snapshot():
+    registry = MetricsRegistry()
+    registry.counter("engine.grants_issued", help="grants issued").inc(7)
+    outcomes = registry.counter(
+        "engine.grant_outcomes", help="", labels=("outcome",)
+    )
+    outcomes.labels(outcome="decoded").inc(5)
+    outcomes.labels(outcome="blocked").inc(2)
+    registry.gauge("blueprint.winning_residual", help="").set(0.25)
+    hist = registry.histogram(
+        "engine.rb_utilization", buckets=[0.5, 1.0], help="per-subframe"
+    )
+    for value in (0.2, 0.6, 0.7, 1.6):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestToOpenMetrics:
+    def test_exposition_validates(self, snapshot):
+        assert validate_openmetrics(to_openmetrics(snapshot)) == []
+
+    def test_counter_names_and_values(self, snapshot):
+        text = to_openmetrics(snapshot)
+        assert "# TYPE engine_grants_issued counter" in text
+        assert "engine_grants_issued_total 7" in text
+        assert 'engine_grant_outcomes_total{outcome="decoded"} 5' in text
+
+    def test_gauge_sample_is_bare(self, snapshot):
+        assert "blueprint_winning_residual 0.25" in to_openmetrics(snapshot)
+
+    def test_histogram_expands_to_cumulative_buckets(self, snapshot):
+        lines = to_openmetrics(snapshot).splitlines()
+        assert 'engine_rb_utilization_bucket{le="0.5"} 1' in lines
+        assert 'engine_rb_utilization_bucket{le="1"} 3' in lines
+        assert 'engine_rb_utilization_bucket{le="+Inf"} 4' in lines
+        assert "engine_rb_utilization_count 4" in lines
+        assert "engine_rb_utilization_sum 3.1" in lines
+
+    def test_ends_with_eof(self, snapshot):
+        assert to_openmetrics(snapshot).endswith("# EOF\n")
+
+    def test_accepts_dict_payloads(self, snapshot):
+        assert to_openmetrics(snapshot.to_dict()) == to_openmetrics(snapshot)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObsError, match="unknown kind"):
+            to_openmetrics({"x": {"kind": "summary", "series": []}})
+
+    def test_write_metrics_prom(self, tmp_path, snapshot):
+        path = write_metrics_prom(tmp_path / "run", snapshot)
+        assert path.name == PROM_FILENAME
+        assert validate_openmetrics(path.read_text()) == []
+
+
+class TestValidateOpenMetrics:
+    def test_missing_eof(self):
+        errors = validate_openmetrics("# TYPE x counter\nx_total 1\n")
+        assert any("# EOF" in e for e in errors)
+
+    def test_sample_without_type_declaration(self):
+        errors = validate_openmetrics("mystery 1\n# EOF\n")
+        assert any("no TYPE declaration" in e for e in errors)
+
+    def test_counter_without_total_suffix(self):
+        errors = validate_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+        assert any("_total" in e for e in errors)
+
+    def test_gauge_with_suffix(self):
+        text = "# TYPE x gauge\nx_total 1\n# EOF\n"
+        # x_total has no TYPE of its own, so it reads as an undeclared sample
+        assert validate_openmetrics(text)
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\nh_sum 1\n# EOF\n"
+        )
+        errors = validate_openmetrics(text)
+        assert any("non-decreasing" in e for e in errors)
+
+    def test_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_count 5\nh_sum 1\n# EOF\n"
+        )
+        errors = validate_openmetrics(text)
+        assert any("+Inf" in e for e in errors)
+
+    def test_non_numeric_value(self):
+        errors = validate_openmetrics("# TYPE x gauge\nx nope\n# EOF\n")
+        assert any("non-numeric" in e for e in errors)
+
+    def test_duplicate_type(self):
+        text = "# TYPE x gauge\n# TYPE x counter\n# EOF\n"
+        errors = validate_openmetrics(text)
+        assert any("duplicate TYPE" in e for e in errors)

@@ -1,0 +1,323 @@
+"""Streaming time-series telemetry: frames, recorder, merge determinism.
+
+The load-bearing guarantees:
+
+* **Frame algebra** — sum columns add, last/label columns right-win,
+  missing rows/columns pad, and the dict round trip is lossless.
+* **Recorder correctness** — one row per window with counter/histogram
+  deltas, a final partial window on ``finish()``, and phase sampling.
+* **Merge determinism** — the folded series from a serial grid, a
+  parallel grid, and a killed-then-resumed grid are identical.
+* **Bit-exactness** — streaming never changes simulation outcomes.
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    build_experiment,
+    resume_checkpoint,
+    run_experiment_grid,
+)
+from repro.obs import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import (
+    DEFAULT_STREAM_FAMILIES,
+    TimeSeriesFrame,
+    TimeSeriesRecorder,
+    collect_series,
+    load_series_json,
+    merge_frames,
+    write_series_json,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.stages import SubframeContext
+
+
+def small_spec(obs=None, subframes=500):
+    return ExperimentSpec(
+        name="stream-test",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 2, "activity": 0.4, "seed": 1},
+            snr={"kind": "uniform", "seed": 2},
+        ),
+        sim=SimulationConfig(num_subframes=subframes),
+        schedulers={"pf": SchedulerSpec("pf")},
+        seed=0,
+        obs=obs,
+    )
+
+
+def ctx(subframe):
+    return SubframeContext(subframe=subframe, kind="ul", result=None)
+
+
+class TestTimeSeriesFrame:
+    def test_window_must_be_positive_int(self):
+        with pytest.raises(ObsError):
+            TimeSeriesFrame(0)
+        with pytest.raises(ObsError):
+            TimeSeriesFrame(1.5)
+
+    def test_append_backfills_new_columns(self):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(0, {"a": ("sum", 1.0)})
+        frame.append_row(10, {"a": ("sum", 2.0), "b": ("label", "x")})
+        assert frame.column("a") == [1.0, 2.0]
+        assert frame.column("b") == ["", "x"]  # backfilled with the pad
+
+    def test_append_pads_missing_columns(self):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(0, {"a": ("sum", 1.0), "g": ("last", 3.0)})
+        frame.append_row(10, {})
+        assert frame.column("a") == [1.0, 0.0]
+        assert frame.column("g") == [3.0, 0.0]
+        assert frame.window_starts() == [0, 10]
+
+    def test_window_start_column_is_reserved(self):
+        frame = TimeSeriesFrame(10)
+        with pytest.raises(ObsError, match="reserved"):
+            frame.append_row(0, {"window_start": ("sum", 1.0)})
+
+    def test_kind_cannot_change(self):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(0, {"a": ("sum", 1.0)})
+        with pytest.raises(ObsError, match="cannot append"):
+            frame.append_row(10, {"a": ("last", 1.0)})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ObsError, match="no column"):
+            TimeSeriesFrame(10).column("missing")
+
+    def test_dict_round_trip(self):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(0, {"a": ("sum", 1.0), "phase": ("label", "m")})
+        frame.append_row(10, {"a": ("sum", 2.0), "phase": ("label", "s")})
+        data = frame.to_dict()
+        assert data["window"] == 10 and data["rows"] == 2
+        assert TimeSeriesFrame.from_dict(data) == frame
+
+    def test_from_dict_rejects_malformed_payloads(self):
+        with pytest.raises(ObsError, match="window"):
+            TimeSeriesFrame.from_dict({})
+        with pytest.raises(ObsError, match="window_start"):
+            TimeSeriesFrame.from_dict({"window": 10, "columns": {}})
+        with pytest.raises(ObsError, match="merge kind"):
+            TimeSeriesFrame.from_dict(
+                {
+                    "window": 10,
+                    "columns": {"window_start": [0], "a": [1.0]},
+                    "kinds": {},
+                }
+            )
+        with pytest.raises(ObsError, match="rows"):
+            TimeSeriesFrame.from_dict(
+                {
+                    "window": 10,
+                    "columns": {"window_start": [0, 10], "a": [1.0]},
+                    "kinds": {"a": "sum"},
+                }
+            )
+
+    def test_utilization_from_histogram_deltas(self):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(
+            0,
+            {
+                "engine.rb_utilization.count": ("sum", 2.0),
+                "engine.rb_utilization.sum": ("sum", 1.5),
+            },
+        )
+        frame.append_row(
+            10,
+            {
+                "engine.rb_utilization.count": ("sum", 0.0),
+                "engine.rb_utilization.sum": ("sum", 0.0),
+            },
+        )
+        assert frame.utilization() == [0.75, 0.0]
+        assert TimeSeriesFrame(10).utilization() == []
+
+    def test_merge_sums_and_right_wins(self):
+        a = TimeSeriesFrame(10)
+        a.append_row(0, {"c": ("sum", 1.0), "g": ("last", 5.0),
+                         "phase": ("label", "m")})
+        a.append_row(10, {"c": ("sum", 2.0), "g": ("last", 6.0),
+                          "phase": ("label", "s")})
+        b = TimeSeriesFrame(10)
+        b.append_row(0, {"c": ("sum", 10.0), "phase": ("label", "")})
+        merged = a.merge(b)
+        assert merged.column("c") == [11.0, 2.0]  # sums, pads row 2
+        assert merged.column("g") == [5.0, 6.0]  # right pad -> left kept
+        # empty right-hand label falls back to the left value
+        assert merged.column("phase") == ["m", "s"]
+        assert merged.window_starts() == [0, 10]
+
+    def test_merge_rejects_window_and_kind_mismatches(self):
+        a, b = TimeSeriesFrame(10), TimeSeriesFrame(20)
+        with pytest.raises(ObsError, match="windows"):
+            a.merge(b)
+        c = TimeSeriesFrame(10)
+        c.append_row(0, {"x": ("sum", 1.0)})
+        d = TimeSeriesFrame(10)
+        d.append_row(0, {"x": ("last", 1.0)})
+        with pytest.raises(ObsError, match="cannot merge column"):
+            c.merge(d)
+
+    def test_merge_frames_accepts_dicts(self):
+        a = TimeSeriesFrame(10)
+        a.append_row(0, {"c": ("sum", 1.0)})
+        merged = merge_frames([a.to_dict(), a])
+        assert merged.column("c") == [2.0]
+        assert merge_frames([]) is None
+
+    def test_series_json_round_trip(self, tmp_path):
+        frame = TimeSeriesFrame(10)
+        frame.append_row(0, {"c": ("sum", 1.0)})
+        path = write_series_json(tmp_path, {"pf": frame})
+        assert path.name == "series.json"
+        loaded = load_series_json(tmp_path)
+        assert loaded == {"pf": frame}
+
+    def test_load_series_json_missing(self, tmp_path):
+        with pytest.raises(ObsError, match="series.json"):
+            load_series_json(tmp_path)
+
+
+class TestTimeSeriesRecorder:
+    def test_rows_at_window_boundaries_with_deltas(self):
+        registry = MetricsRegistry()
+        grants = registry.counter("engine.grants_issued", help="")
+        recorder = TimeSeriesRecorder(registry, window=5)
+        for t in range(12):
+            grants.inc()
+            recorder.on_subframe_end(ctx(t))
+        assert recorder.frame.num_rows == 2  # t=4 and t=9 boundaries
+        recorder.finish()
+        assert recorder.frame.num_rows == 3  # the partial 2-subframe window
+        recorder.finish()  # idempotent
+        assert recorder.frame.num_rows == 3
+        assert recorder.frame.column("engine.grants_issued") == [5.0, 5.0, 2.0]
+        assert recorder.frame.window_starts() == [0, 5, 10]
+
+    def test_families_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.grants_issued", help="").inc()
+        registry.counter("engine.cca_failures", help="").inc()
+        recorder = TimeSeriesRecorder(
+            registry, window=1, families=("engine.cca_failures",)
+        )
+        recorder.on_subframe_end(ctx(0))
+        assert "engine.cca_failures" in recorder.frame.columns
+        assert "engine.grants_issued" not in recorder.frame.columns
+
+    def test_labeled_counters_get_suffixed_columns(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "engine.grant_outcomes", help="", labels=("outcome",)
+        )
+        family.labels(outcome="decoded").inc(3)
+        recorder = TimeSeriesRecorder(registry, window=1)
+        recorder.on_subframe_end(ctx(0))
+        assert recorder.frame.column(
+            "engine.grant_outcomes{outcome=decoded}"
+        ) == [3.0]
+
+    def test_phase_probe_column_and_transitions(self):
+        registry = MetricsRegistry()
+        phases = iter(["measurement", "measurement", "speculative"])
+        recorder = TimeSeriesRecorder(
+            registry, window=1, phase_probe=lambda: next(phases)
+        )
+        for t in range(3):
+            recorder.on_subframe_end(ctx(t))
+        assert recorder.frame.column("phase") == [
+            "measurement", "measurement", "speculative",
+        ]
+
+    def test_histogram_deltas(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "engine.rb_utilization", buckets=[0.5, 1.0], help=""
+        )
+        recorder = TimeSeriesRecorder(registry, window=2)
+        hist.observe(0.4)
+        hist.observe(0.8)
+        recorder.on_subframe_end(ctx(0))
+        recorder.on_subframe_end(ctx(1))
+        hist.observe(1.0)
+        recorder.on_subframe_end(ctx(2))
+        recorder.finish()
+        assert recorder.frame.column("engine.rb_utilization.count") == [
+            2.0, 1.0,
+        ]
+        assert recorder.frame.utilization() == pytest.approx([0.6, 1.0])
+
+
+class TestStreamedRuns:
+    def test_stream_rides_on_results_and_stays_bit_exact(self):
+        base = build_experiment(small_spec()).run_one("pf")
+        plan = build_experiment(
+            small_spec(obs=ObsConfig(enabled=True, stream=True,
+                                     stream_window=100))
+        )
+        streamed = plan.run_one("pf")
+        assert streamed == base  # obs fields are compare=False
+        assert streamed.obs_series is not None
+        frame = TimeSeriesFrame.from_dict(streamed.obs_series)
+        assert frame.window == 100
+        assert frame.num_rows == 5  # 500 subframes / 100 per window
+        assert "engine.rb_utilization.count" in frame.columns
+
+    def test_stream_off_leaves_no_series(self):
+        plan = build_experiment(small_spec(obs=ObsConfig(enabled=True)))
+        assert plan.run_one("pf").obs_series is None
+
+    def test_default_families_cover_the_dynamics_story(self):
+        assert "engine.rb_utilization" in DEFAULT_STREAM_FAMILIES
+        assert "dynamics.drift_detections" in DEFAULT_STREAM_FAMILIES
+
+    def test_series_survives_state_round_trip(self):
+        from repro.sim.results import SimulationResult
+
+        plan = build_experiment(
+            small_spec(obs=ObsConfig(enabled=True, stream=True))
+        )
+        result = plan.run_one("pf")
+        clone = SimulationResult.from_state(result.to_state())
+        assert clone.obs_series == result.obs_series
+
+
+class TestSeriesMergeDeterminism:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return small_spec(
+            obs=ObsConfig(enabled=True, stream=True, stream_window=100),
+            subframes=400,
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_series(self, spec):
+        results = run_experiment_grid(spec, seeds=[0, 1, 2], n_jobs=1)
+        series = collect_series(r for _, _, r in results)
+        assert series is not None
+        return series
+
+    def test_parallel_merge_matches_serial(self, spec, serial_series):
+        results = run_experiment_grid(spec, seeds=[0, 1, 2], n_jobs=2)
+        assert collect_series(r for _, _, r in results) == serial_series
+
+    def test_kill_and_resume_matches_serial(self, spec, serial_series,
+                                            tmp_path):
+        run_experiment_grid(
+            spec, seeds=[0, 1, 2], n_jobs=1, checkpoint_dir=tmp_path
+        )
+        # Simulate a mid-run kill: drop one completed cell, then resume.
+        (tmp_path / "cell-00001.json").unlink()
+        kind, resumed = resume_checkpoint(tmp_path)
+        assert kind == "grid"
+        assert collect_series(r for _, _, r in resumed) == serial_series

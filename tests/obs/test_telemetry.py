@@ -1,0 +1,136 @@
+"""The crash-safe JSONL telemetry log.
+
+Pins the properties the monitor and the supervisor lean on: typed
+single-line events, a reader that survives torn writes and rotation,
+and the process-local active-log handle.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.telemetry import (
+    EVENT_TYPES,
+    TELEMETRY_FILENAME,
+    TelemetryLog,
+    active_telemetry,
+    read_telemetry,
+    set_active_telemetry,
+    use_telemetry,
+    validate_telemetry_events,
+)
+
+
+class TestTelemetryLog:
+    def test_emit_and_read_round_trip(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("campaign-started", campaign="demo", kind="grid")
+        log.emit("item-started", item="cell-0", attempt=0, pid=123)
+        events = read_telemetry(tmp_path)
+        assert [e["type"] for e in events] == [
+            "campaign-started", "item-started",
+        ]
+        assert events[0]["campaign"] == "demo"
+        assert events[1]["pid"] == 123
+        assert all("ts" in e for e in events)
+
+    def test_unknown_event_type_rejected(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        with pytest.raises(ObsError, match="unknown telemetry event type"):
+            log.emit("not-a-type")
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        event = log.emit("item-done", item="x", elapsed_s=None)
+        assert "elapsed_s" not in event
+        assert "elapsed_s" not in read_telemetry(tmp_path)[0]
+
+    def test_events_are_single_lines(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("heartbeat", item="a", elapsed_s=1.0)
+        log.emit("heartbeat", item="b", elapsed_s=2.0)
+        lines = (tmp_path / TELEMETRY_FILENAME).read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["type"] == "heartbeat" for line in lines)
+
+    def test_reader_tolerates_torn_final_line(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("item-started", item="a")
+        with open(log.path, "a") as handle:
+            handle.write('{"type": "item-done", "it')  # kill mid-write
+        events = read_telemetry(tmp_path)
+        assert [e["type"] for e in events] == ["item-started"]
+
+    def test_rotation_keeps_old_events_readable(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path, max_bytes=1)
+        log.emit("item-started", item="a")
+        log.emit("item-done", item="a")  # forces a rotation first
+        assert log.rotated_path().is_file()
+        events = read_telemetry(tmp_path)
+        assert [e["type"] for e in events] == ["item-started", "item-done"]
+
+    def test_rotate_with_no_file_is_a_noop(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        assert log.rotate() is None
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ObsError):
+            TelemetryLog(tmp_path / "t.jsonl", heartbeat_s=0)
+        with pytest.raises(ObsError):
+            TelemetryLog(tmp_path / "t.jsonl", max_bytes=0)
+
+    def test_log_pickles_into_workers(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path, heartbeat_s=0.25, max_bytes=1000)
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.path == log.path
+        assert clone.heartbeat_s == 0.25
+        assert clone.max_bytes == 1000
+
+    def test_read_accepts_log_dir_and_path(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        log.emit("campaign-done")
+        for source in (log, tmp_path, log.path):
+            assert [e["type"] for e in read_telemetry(source)] == [
+                "campaign-done"
+            ]
+
+    def test_read_missing_is_empty(self, tmp_path):
+        assert read_telemetry(tmp_path) == []
+
+
+class TestValidation:
+    def test_valid_events_pass(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        for etype in sorted(EVENT_TYPES):
+            log.emit(etype)
+        assert validate_telemetry_events(read_telemetry(tmp_path)) == []
+
+    def test_errors_are_reported(self):
+        errors = validate_telemetry_events(
+            [{"type": "bogus", "ts": 1.0}, {"type": "heartbeat"}, "nope"]
+        )
+        assert len(errors) == 3
+
+
+class TestActiveTelemetry:
+    def test_use_telemetry_scopes_and_restores(self, tmp_path):
+        assert active_telemetry() is None
+        log = TelemetryLog.in_dir(tmp_path)
+        with use_telemetry(log) as scoped:
+            assert scoped is log
+            assert active_telemetry() is log
+            with use_telemetry(None):
+                assert active_telemetry() is None
+            assert active_telemetry() is log
+        assert active_telemetry() is None
+
+    def test_set_active_telemetry(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        set_active_telemetry(log)
+        try:
+            assert active_telemetry() is log
+        finally:
+            set_active_telemetry(None)
+        assert active_telemetry() is None

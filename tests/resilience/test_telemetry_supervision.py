@@ -1,0 +1,166 @@
+"""Telemetry-instrumented supervision: events, heartbeats, bit-exactness.
+
+The contract: attaching a :class:`TelemetryLog` to ``supervised_map``
+(or a campaign runner) changes *nothing* about the computation — results
+are bit-exact with a silent run — while the log gains the full item
+lifecycle, including live heartbeats from hung workers.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    run_experiment_grid,
+)
+from repro.obs import ObsConfig
+from repro.obs.telemetry import TelemetryLog, read_telemetry
+from repro.resilience import SupervisorConfig, supervised_map
+from repro.sim.config import SimulationConfig
+
+
+def double(x):
+    return x * 2
+
+
+def slow_double(x):
+    time.sleep(0.3)
+    return x * 2
+
+
+def types(events):
+    return [event["type"] for event in events]
+
+
+class TestSupervisedMapTelemetry:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_results_bit_exact_with_silent_run(self, tmp_path, n_jobs):
+        silent = supervised_map(double, [1, 2, 3], n_jobs=n_jobs)
+        log = TelemetryLog.in_dir(tmp_path)
+        logged = supervised_map(
+            double, [1, 2, 3], n_jobs=n_jobs, telemetry=log
+        )
+        assert logged.results == silent.results
+        assert logged.ok
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_item_lifecycle_events(self, tmp_path, n_jobs):
+        log = TelemetryLog.in_dir(tmp_path)
+        supervised_map(
+            double, [1, 2], n_jobs=n_jobs, telemetry=log,
+            labels=["left", "right"],
+        )
+        events = read_telemetry(tmp_path)
+        started = [e for e in events if e["type"] == "item-started"]
+        done = [e for e in events if e["type"] == "item-done"]
+        assert {e["item"] for e in started} == {"left", "right"}
+        assert {e["item"] for e in done} == {"left", "right"}
+        assert all(e["attempt"] == 0 for e in started)
+        assert all(e["elapsed_s"] >= 0 for e in done)
+
+    def test_labels_default_to_indices(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path)
+        supervised_map(double, [7], telemetry=log)
+        started = [
+            e for e in read_telemetry(tmp_path) if e["type"] == "item-started"
+        ]
+        assert started[0]["item"] == "0"
+
+    def test_label_count_must_match(self, tmp_path):
+        from repro.errors import ResilienceError
+
+        log = TelemetryLog.in_dir(tmp_path)
+        with pytest.raises(ResilienceError):
+            supervised_map(double, [1, 2], telemetry=log, labels=["only-one"])
+
+    def test_heartbeats_from_a_slow_item(self, tmp_path):
+        log = TelemetryLog.in_dir(tmp_path, heartbeat_s=0.05)
+        supervised_map(slow_double, [4], telemetry=log, labels=["slow"])
+        beats = [
+            e for e in read_telemetry(tmp_path) if e["type"] == "heartbeat"
+        ]
+        assert beats, "no heartbeats from a 0.3s item at 0.05s cadence"
+        assert all(e["item"] == "slow" for e in beats)
+        elapsed = [e["elapsed_s"] for e in beats]
+        assert elapsed == sorted(elapsed)  # monotonically growing
+
+    def test_injected_hang_keeps_beating_then_times_out(self, tmp_path):
+        def hang_once(index, attempt):
+            if index == 0 and attempt == 0:
+                return ("hang", 10.0)
+            return None
+
+        log = TelemetryLog.in_dir(tmp_path, heartbeat_s=0.05)
+        outcome = supervised_map(
+            double,
+            [5, 6],
+            n_jobs=2,
+            config=SupervisorConfig(timeout_s=0.4, max_retries=1),
+            worker_fault=hang_once,
+            telemetry=log,
+        )
+        assert outcome.results == [10, 12]
+        events = read_telemetry(tmp_path)
+        beats = [
+            e for e in events
+            if e["type"] == "heartbeat" and e["item"] == "0"
+        ]
+        # The hung attempt kept beating while stuck — that is what the
+        # monitor renders as STALLED before the supervisor's timeout.
+        assert any(e["elapsed_s"] > 0.2 for e in beats)
+        assert "timeout" in types(events)
+        assert "retry" in types(events)
+        assert types(events).count("item-done") == 2
+
+    def test_quarantine_event_carries_the_error(self, tmp_path):
+        def fail(x):
+            raise ValueError("boom")
+
+        log = TelemetryLog.in_dir(tmp_path)
+        outcome = supervised_map(
+            fail, [1], config=SupervisorConfig(max_retries=1), telemetry=log,
+            labels=["doomed"],
+        )
+        assert not outcome.ok
+        (quarantine,) = [
+            e for e in read_telemetry(tmp_path) if e["type"] == "quarantine"
+        ]
+        assert quarantine["item"] == "doomed"
+        assert quarantine["attempts"] == 2
+        assert "ValueError: boom" in quarantine["error"]
+
+
+class TestGridTelemetry:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return ExperimentSpec(
+            name="telemetry-test",
+            scenario=ScenarioSpec(
+                kind="testbed",
+                params={
+                    "num_ues": 4, "hts_per_ue": 2, "activity": 0.4, "seed": 1,
+                },
+                snr={"kind": "uniform", "seed": 2},
+            ),
+            sim=SimulationConfig(num_subframes=400),
+            schedulers={"pf": SchedulerSpec("pf")},
+            seed=0,
+            obs=ObsConfig(enabled=True, stream=True, stream_window=100),
+        )
+
+    def test_grid_bit_exact_and_logged(self, spec, tmp_path):
+        silent = run_experiment_grid(spec, seeds=[0, 1], n_jobs=1)
+        logged = run_experiment_grid(
+            spec, seeds=[0, 1], n_jobs=2, telemetry_dir=tmp_path
+        )
+        assert logged == silent
+        events = read_telemetry(tmp_path)
+        assert types(events)[0] == "campaign-started"
+        assert events[0]["kind"] == "grid"
+        assert "subframe-window" in types(events)  # streamed run progress
+        assert types(events)[-1] == "campaign-done"
+        done = {e["item"] for e in events if e["type"] == "item-done"}
+        assert done == {"pf@0", "pf@1"}
