@@ -83,6 +83,7 @@ from repro.dynamics import (
     StagedBlueprintScheduler,
 )
 from repro.errors import (
+    ChaosError,
     CheckpointError,
     ConfigurationError,
     InferenceError,
@@ -110,11 +111,15 @@ from repro.experiments import (
     run_experiment_sweep,
 )
 from repro.resilience import (
+    AuditReport,
+    ChaosVerdict,
     CheckpointStore,
     FailedItem,
     FaultInjector,
     FaultPlan,
     SupervisorConfig,
+    audit_campaign,
+    run_chaos,
     supervised_map,
 )
 from repro.obs import (
@@ -158,6 +163,7 @@ __all__ = [
     "AccessEstimator",
     "AdaptiveBLUController",
     "AdaptiveConfig",
+    "AuditReport",
     "BLUConfig",
     "BLUController",
     "BLUPhase",
@@ -166,6 +172,8 @@ __all__ = [
     "CellSimulation",
     "ChannelPlan",
     "ChannelSpec",
+    "ChaosError",
+    "ChaosVerdict",
     "CheckpointError",
     "CheckpointStore",
     "ConfigurationError",
@@ -215,6 +223,7 @@ __all__ = [
     "TraceError",
     "TransformedMeasurements",
     "WorkerFailure",
+    "audit_campaign",
     "build_experiment",
     "channel_drift_timeline",
     "client_churn_timeline",
@@ -229,6 +238,7 @@ __all__ = [
     "merge_snapshots",
     "minimum_subframes",
     "resume_checkpoint",
+    "run_chaos",
     "run_comparison",
     "run_experiment",
     "run_experiment_grid",

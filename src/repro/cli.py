@@ -17,6 +17,10 @@ Commands:
                       cluster, and print the utilization/fairness report.
 * ``resume``        — finish an interrupted checkpointed grid, sweep, or
                       deployment campaign from its manifest.
+* ``chaos``         — adversarially exercise checkpoint/resume: N seeded
+                      rounds of kill points × storage faults against a
+                      spec, each round recovered and audited; nonzero
+                      exit on any invariant violation.
 * ``monitor``       — tail a campaign's ``--telemetry-dir`` and render
                       per-item progress, heartbeats, and ETA live.
 * ``obs-report``    — summarize the telemetry a ``--obs-dir`` run wrote
@@ -235,6 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(resume)
     _add_obs_args(resume)
     _add_telemetry_arg(resume)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded storage-chaos rounds against a spec and audit "
+        "every recovery",
+    )
+    chaos.add_argument(
+        "spec",
+        help="path to an ExperimentSpec or DeploymentSpec .json to torture",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=10, metavar="N",
+        help="number of seeded chaos rounds (default: 10)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="chaos seed; the full fault schedule and verdict are "
+        "reproducible from it (default: 0)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="0,1",
+        help="comma-separated engine seeds for experiment-spec grids "
+        "(ignored for deployment specs; default: 0,1)",
+    )
+    chaos.add_argument(
+        "--workdir",
+        metavar="DIR",
+        default=None,
+        help="keep per-round checkpoint/telemetry directories in DIR "
+        "(default: a temporary directory, removed afterwards)",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable JSON verdict to PATH",
+    )
 
     monitor = sub.add_parser(
         "monitor",
@@ -749,6 +791,7 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
                 supervisor=_supervisor_from_args(args),
                 telemetry_dir=args.telemetry_dir,
             )
+            _print_quarantine(args.checkpoint_dir)
             return _format_grid(triples)
         if args.telemetry_dir is not None:
             print(
@@ -858,6 +901,8 @@ def _format_campaign(campaign, per_cell: bool = False) -> int:
                 title=f"Deployment report: {campaign.spec.name}",
             )
         )
+    for cell in getattr(campaign, "quarantined_cells", []):
+        print(f"DEGRADED: {cell.note()}", file=sys.stderr)
     if campaign.failed_clusters:
         print(
             f"{len(campaign.failed_clusters)} cluster(s) failed permanently: "
@@ -925,13 +970,47 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return code
 
 
+def _print_quarantine(checkpoint_dir) -> None:
+    """Surface quarantined (corrupt, recomputed) cell files as DEGRADED."""
+    if checkpoint_dir is None:
+        return
+    from repro.resilience import CheckpointStore
+
+    files = CheckpointStore(checkpoint_dir).quarantined_files()
+    if files:
+        print(
+            f"DEGRADED: {len(files)} corrupt checkpoint cell file(s) "
+            f"quarantined under {CheckpointStore(checkpoint_dir).quarantine_dir} "
+            "and recomputed",
+            file=sys.stderr,
+        )
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.errors import CheckpointError
     from repro.experiments import resume_checkpoint
 
     directory = Path(args.checkpoint_dir)
     if not directory.is_dir():
-        print(f"no such checkpoint directory: {directory}", file=sys.stderr)
+        print(
+            f"no such checkpoint directory: {directory}\n"
+            "expected a directory previously written by a --checkpoint-dir "
+            "run of `repro run-spec` or `repro deploy`",
+            file=sys.stderr,
+        )
+        return 2
+    if not (directory / "manifest.json").is_file():
+        contents = sorted(path.name for path in directory.iterdir())[:5]
+        detail = (
+            f"it holds {contents}" if contents else "it is empty"
+        )
+        print(
+            f"{directory} is not a resumable checkpoint directory: no "
+            f"manifest.json found ({detail}).\n"
+            "Point `repro resume` at the exact directory passed as "
+            "--checkpoint-dir when the run was started.",
+            file=sys.stderr,
+        )
         return 2
     try:
         kind, payload = resume_checkpoint(
@@ -944,6 +1023,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(f"resume error: {error}", file=sys.stderr)
         return 1
     if kind == "grid":
+        _print_quarantine(directory)
         return _format_grid(payload)
     if kind == "deploy":
         # Checkpoint payloads carry each cell's telemetry (to_state keeps
@@ -964,7 +1044,72 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             title=f"Resumed sweep: {len(payload)} points",
         )
     )
+    _print_quarantine(directory)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.errors import ChaosError
+    from repro.resilience import run_chaos
+    from repro.resilience.chaos import write_verdict
+
+    path = Path(args.spec)
+    if not path.is_file():
+        print(f"no such spec file: {path}", file=sys.stderr)
+        return 2
+    if args.rounds < 1:
+        print("--rounds must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        spec_data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        print(f"spec error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        seeds = tuple(
+            int(value) for value in args.seeds.split(",") if value.strip()
+        )
+    except ValueError:
+        print(f"bad --seeds: {args.seeds!r}", file=sys.stderr)
+        return 2
+
+    def _run(workdir) -> int:
+        try:
+            verdict = run_chaos(
+                spec_data, rounds=args.rounds, seed=args.seed,
+                workdir=workdir, seeds=seeds or (0, 1),
+            )
+        except (ChaosError, SpecError) as error:
+            print(f"chaos error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"chaos: {verdict.rounds_passed}/{len(verdict.rounds)} rounds "
+            f"passed all auditor invariants "
+            f"({verdict.rounds_with_quarantine} round(s) exercised "
+            f"quarantine-and-recompute; spec {verdict.spec_name!r}, "
+            f"kind {verdict.kind}, seed {verdict.seed})"
+        )
+        for round_ in verdict.rounds:
+            if round_.ok:
+                continue
+            print(
+                f"round {round_.schedule.round_index} FAILED "
+                f"(schedule {round_.schedule.to_dict()}):",
+                file=sys.stderr,
+            )
+            for violation in round_.violations:
+                print(f"  - {violation}", file=sys.stderr)
+        if args.report:
+            print(f"wrote {write_verdict(verdict, args.report)}")
+        return 0 if verdict.ok else 1
+
+    if args.workdir:
+        return _run(args.workdir)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        return _run(workdir)
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -1275,6 +1420,7 @@ _COMMANDS = {
     "run-spec": _cmd_run_spec,
     "deploy": _cmd_deploy,
     "resume": _cmd_resume,
+    "chaos": _cmd_chaos,
     "monitor": _cmd_monitor,
     "obs-report": _cmd_obs_report,
     "obs-export": _cmd_obs_export,

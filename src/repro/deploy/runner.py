@@ -36,7 +36,7 @@ from repro.errors import CheckpointError, DeploymentError
 from repro.experiments.registry import BuildContext, build_scheduler
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.report import collect_snapshot
-from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.checkpoint import CheckpointStore, QuarantinedCell
 from repro.resilience.inject import FaultInjector
 from repro.resilience.supervisor import (
     FailedItem,
@@ -63,6 +63,9 @@ class CampaignResult:
     cell_results: Dict[int, SimulationResult]
     #: Quarantined clusters keyed by cluster index.
     failed_clusters: Dict[int, FailedItem] = field(default_factory=dict)
+    #: Corrupt/torn checkpoint cells that were quarantined and recomputed
+    #: during this run — the campaign *degraded* but self-healed.
+    quarantined_cells: List[QuarantinedCell] = field(default_factory=list)
 
     @property
     def num_cells(self) -> int:
@@ -102,6 +105,9 @@ class CampaignResult:
         )
         report["num_clusters"] = self.deployment.num_clusters
         report["failed_clusters"] = sorted(self.failed_clusters)
+        report["degraded"] = [
+            cell.note() for cell in self.quarantined_cells
+        ]
         report["cross_cell_hidden_terminals"] = (
             self.deployment.cross_cell_terminal_count()
         )
@@ -259,7 +265,9 @@ def run_campaign(
         )
         for index in sorted(store.completed()):
             if index < num_clusters:
-                payload = store.load_payload(index)
+                # Corrupt/torn cells are quarantined (returned as None)
+                # and land back in ``pending`` for recomputation.
+                payload = store.load_payload_or_quarantine(index)
                 if payload is not None:
                     cluster_states[index] = payload
     pending = [i for i in range(num_clusters) if cluster_states[i] is None]
@@ -282,6 +290,11 @@ def run_campaign(
                 if cluster_states[i] is not None
             ] or None,
         )
+        if store is not None:
+            for cell in store.quarantined:
+                telemetry.emit(
+                    "degraded", item=f"cluster-{cell.index}", note=cell.note()
+                )
 
     failed: Dict[int, FailedItem] = {}
     if pending:
@@ -353,6 +366,7 @@ def run_campaign(
         deployment=deployment,
         cell_results=cell_results,
         failed_clusters=failed,
+        quarantined_cells=list(store.quarantined) if store is not None else [],
     )
 
 

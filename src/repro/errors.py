@@ -64,6 +64,11 @@ class CheckpointError(ResilienceError):
     different run than the one being resumed (spec/seed mismatch)."""
 
 
+class ChaosError(ResilienceError):
+    """A chaos harness invocation is invalid: an unknown storage fault
+    kind, a malformed schedule, or a spec the driver cannot target."""
+
+
 class WorkerFailure(ResilienceError):
     """A supervised worker crashed while executing a work item (including
     crashes injected by a fault plan for resilience testing)."""

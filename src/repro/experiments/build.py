@@ -360,7 +360,8 @@ def run_experiment_grid(
         )
         for index in sorted(store.completed()):
             if index < len(labelled):
-                results[index] = store.load_cell(index)
+                # Corrupt cells quarantine to None and rejoin ``pending``.
+                results[index] = store.load_cell_or_quarantine(index)
         pending = [i for i in range(len(labelled)) if results[i] is None]
     worker_fault = None
     if spec.faults is not None and spec.faults.has_worker_faults:
@@ -381,6 +382,13 @@ def run_experiment_grid(
                 if i not in pending
             ] or None,
         )
+        if store is not None:
+            for cell in store.quarantined:
+                telemetry.emit(
+                    "degraded",
+                    item=_cell_label(*labelled[cell.index]),
+                    note=cell.note(),
+                )
     items: List[_SpecItem] = [
         (spec_dict, *labelled[index]) for index in pending
     ]
@@ -501,7 +509,7 @@ def run_experiment_sweep(
             ) from error
         for index in sorted(store.completed()):
             if index < len(labelled):
-                results[index] = store.load_cell(index)
+                results[index] = store.load_cell_or_quarantine(index)
         pending = [i for i in range(len(labelled)) if results[i] is None]
     telemetry = None
     sweep_labels = [
@@ -522,6 +530,13 @@ def run_experiment_sweep(
                 if i not in pending
             ] or None,
         )
+        if store is not None:
+            for cell in store.quarantined:
+                telemetry.emit(
+                    "degraded",
+                    item=sweep_labels[cell.index],
+                    note=cell.note(),
+                )
     items = [items_all[index] for index in pending]
     if items:
         _execute_cells(

@@ -67,6 +67,8 @@ class CampaignStatus:
     items: Dict[str, ItemStatus] = field(default_factory=dict)
     #: Per-run progress (windows seen, latest utilization), keyed by run.
     runs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: DEGRADED notes (quarantined-and-recomputed checkpoint cells).
+    notes: List[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -179,6 +181,10 @@ def scan_telemetry(
             item.state = DONE
             if event.get("elapsed_s") is not None:
                 item.duration_s = float(event["elapsed_s"])
+        elif etype == "degraded":
+            note = event.get("note")
+            if note and note not in status.notes:
+                status.notes.append(str(note))
         elif etype == "campaign-done":
             status.finished = True
         elif etype in ("run-started", "subframe-window"):
@@ -288,6 +294,8 @@ def format_monitor(
             lines.append("runs: " + "; ".join(active))
         else:
             lines.append(f"runs: {len(active)} reporting windows")
+    for note in status.notes:
+        lines.append(f"DEGRADED: {note}")
     if status.settled:
         if counts[FAILED]:
             lines.append(

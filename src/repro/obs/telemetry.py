@@ -14,8 +14,10 @@ Typed events (see :data:`EVENT_TYPES`) cover the campaign lifecycle —
 ``campaign-started``/``cluster-done``/``campaign-done`` from the deploy
 runner, ``item-started``/``heartbeat``/``retry``/``timeout``/
 ``quarantine``/``item-done`` from :func:`~repro.resilience.supervisor.
-supervised_map`, and per-run engine progress (``run-started``,
-``subframe-window``, ``phase-transition``) from the obs stream layer.
+supervised_map`, ``degraded`` from runners that quarantined and
+recomputed a corrupt checkpoint cell, and per-run engine progress
+(``run-started``, ``subframe-window``, ``phase-transition``) from the
+obs stream layer.
 Heartbeats come from a daemon thread inside each worker, so a hung item
 shows up live as a heartbeat with ever-growing ``elapsed_s`` and no
 ``item-done`` — what ``repro monitor`` renders as *stalled*.
@@ -70,6 +72,7 @@ EVENT_TYPES = frozenset(
         "quarantine",
         "item-done",
         "cluster-done",
+        "degraded",
     }
 )
 
@@ -127,10 +130,11 @@ class TelemetryLog:
         line = json.dumps(event, sort_keys=True) + "\n"
         self.rotate_if_needed()
         # One write() of one line on an O_APPEND descriptor: atomic for
-        # lines under PIPE_BUF, which every event here is.
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
+        # lines under PIPE_BUF, which every event here is.  Routed through
+        # the storage seam so chaos rounds can drop/tear event lines.
+        from repro.resilience.storage import append_line
+
+        append_line(self.path, line)
         return event
 
     def rotated_path(self) -> Path:

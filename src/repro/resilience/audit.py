@@ -1,0 +1,284 @@
+"""Campaign invariant auditor: prove a checkpoint directory is healthy.
+
+:func:`audit_campaign` inspects one ``--checkpoint-dir`` directory (any
+manifest kind — grid, sweep, or deploy) after a run, resume, or chaos
+round and checks the invariants the resilience layer promises:
+
+* **manifest-valid** — ``manifest.json`` parses, carries a supported
+  format version, and lists the expected cells.
+* **no-lost-cells** — every cell the manifest promises exists on disk
+  (skippable via ``expect_complete=False`` for mid-flight audits).
+* **no-orphan-cells** — no cell file outside the manifest's range: an
+  orphan means results from a different or stale run are mixed in.
+* **cells-intact** — every cell file parses, passes its sha256 integrity
+  digest, and records the index and label the manifest assigns it
+  (a label mismatch means cell files were shuffled or renamed).
+* **resume-equals-fresh** — with ``reference_dir``, every cell record is
+  bit-exact with the same cell of a fault-free reference run: recovery
+  recomputed corrupted cells to *identical* payloads, not merely
+  plausible ones.  Observation payloads (``obs_trace`` and friends,
+  which carry wall-clock data) are excluded, mirroring
+  ``SimulationResult``'s own ``compare=False`` equality contract.
+* **telemetry-lifecycle** — with ``telemetry_dir``, every item's last
+  ``item-started`` event reaches a terminal event (``item-done``,
+  ``cluster-done``, or ``quarantine``), or the item is listed as
+  already-completed by a later ``campaign-started`` resume event (a
+  kill can tear the terminal line of an item whose checkpoint already
+  landed — the resume then reports it completed without re-running it).
+
+The result is an :class:`AuditReport` of passed checks and violations —
+plain data, JSON-ready — which the ``repro chaos`` driver folds into its
+machine-readable verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import CheckpointStore
+
+__all__ = ["AuditReport", "audit_campaign"]
+
+#: Telemetry event types that terminate an ``item-started``.
+_TERMINAL_EVENTS = frozenset({"item-done", "cluster-done", "quarantine"})
+
+#: Observation payloads riding on serialized results.  ``SimulationResult``
+#: declares these ``compare=False`` — they carry wall-clock data (trace
+#: timestamps, timing metrics) that two bit-identical simulations do not
+#: share, so bit-exactness comparisons must ignore them.
+_OBSERVATION_KEYS = frozenset({"obs_snapshot", "obs_trace", "obs_series"})
+
+
+def comparable_state(value: Any) -> Any:
+    """``value`` with observation payloads recursively stripped.
+
+    Used by the resume-equals-fresh checks (here and in
+    :mod:`repro.resilience.chaos`) so comparisons follow the same
+    equality contract as ``SimulationResult`` itself.
+    """
+    if isinstance(value, dict):
+        return {
+            key: comparable_state(item)
+            for key, item in value.items()
+            if key not in _OBSERVATION_KEYS
+        }
+    if isinstance(value, list):
+        return [comparable_state(item) for item in value]
+    return value
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one :func:`audit_campaign` pass — plain, JSON-ready."""
+
+    directory: str
+    #: Names of invariant checks that ran and passed.
+    checks: List[str] = field(default_factory=list)
+    #: Human-readable descriptions of every invariant violation found.
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump (no timestamps — reports are reproducible)."""
+        return {
+            "directory": self.directory,
+            "checks": list(self.checks),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+def _expected_labels(manifest: Dict[str, Any]) -> Optional[List[List[Any]]]:
+    """The ordered cell labels a manifest promises, or ``None`` if the
+    manifest kind is unknown (no structural expectations possible)."""
+    kind = manifest.get("kind")
+    if kind in ("grid", "sweep"):
+        cells = manifest.get("cells")
+        if isinstance(cells, list):
+            return [list(cell) for cell in cells]
+        return None
+    if kind == "deploy":
+        clusters = manifest.get("clusters")
+        if isinstance(clusters, list):
+            return [list(cluster) for cluster in clusters]
+        return None
+    return None
+
+
+def _audit_cells(
+    store: CheckpointStore,
+    expected: List[List[Any]],
+    expect_complete: bool,
+    report: AuditReport,
+) -> Dict[int, Dict[str, Any]]:
+    """Check presence, range, integrity, and labels; return good records."""
+    num_items = len(expected)
+    present = store.completed()
+
+    orphans = sorted(index for index in present if index >= num_items)
+    if orphans:
+        report.violations.append(
+            f"orphan cell files beyond the manifest's {num_items} items: "
+            f"{orphans}"
+        )
+    else:
+        report.checks.append("no-orphan-cells")
+
+    if expect_complete:
+        lost = sorted(set(range(num_items)) - present)
+        if lost:
+            report.violations.append(f"lost cells (no file on disk): {lost}")
+        else:
+            report.checks.append("no-lost-cells")
+
+    records: Dict[int, Dict[str, Any]] = {}
+    intact = True
+    for index in sorted(present):
+        if index >= num_items:
+            continue
+        try:
+            record = store._read_record(index)
+        except CheckpointError as error:
+            intact = False
+            report.violations.append(str(error))
+            continue
+        if record is None:  # pragma: no cover - raced removal
+            continue
+        if record.get("label") != expected[index]:
+            intact = False
+            report.violations.append(
+                f"cell {index} records label {record.get('label')!r} but the "
+                f"manifest assigns {expected[index]!r}"
+            )
+            continue
+        records[index] = record
+    if intact:
+        report.checks.append("cells-intact")
+    return records
+
+
+def _reference_view(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record as compared across runs: no observation payloads, and no
+    digest — the digest covers those payloads, so it differs whenever
+    they do; per-record integrity is the cells-intact check's job."""
+    view = comparable_state(record)
+    view.pop("sha256", None)
+    return view
+
+
+def _audit_reference(
+    records: Dict[int, Dict[str, Any]],
+    reference_dir,
+    report: AuditReport,
+) -> None:
+    """Bit-exactness of every cell record against a fault-free run."""
+    reference = CheckpointStore(reference_dir)
+    exact = True
+    for index, record in sorted(records.items()):
+        try:
+            expected = reference._read_record(index)
+        except CheckpointError as error:
+            exact = False
+            report.violations.append(f"reference run unusable: {error}")
+            continue
+        if expected is None:
+            exact = False
+            report.violations.append(
+                f"cell {index} has no counterpart in the reference run at "
+                f"{reference.directory}"
+            )
+            continue
+        if _reference_view(record) != _reference_view(expected):
+            exact = False
+            report.violations.append(
+                f"cell {index} differs from the fault-free reference run "
+                "(resume-equals-fresh violated)"
+            )
+    if exact:
+        report.checks.append("resume-equals-fresh")
+
+
+def _audit_telemetry(telemetry_dir, report: AuditReport) -> None:
+    """Every item's last start reaches a terminal event or a resume's
+    completed list; see module docstring for why the latter counts."""
+    from repro.obs.telemetry import read_telemetry
+
+    events = read_telemetry(telemetry_dir)
+    last_start: Dict[str, int] = {}
+    terminal_at: Dict[str, List[int]] = {}
+    completed_at: Dict[str, List[int]] = {}
+    for position, event in enumerate(events):
+        etype = event.get("type")
+        item = event.get("item")
+        if etype == "item-started" and isinstance(item, str):
+            last_start[item] = position
+        elif etype in _TERMINAL_EVENTS and isinstance(item, str):
+            terminal_at.setdefault(item, []).append(position)
+        elif etype == "campaign-started":
+            for label in event.get("completed") or []:
+                if isinstance(label, str):
+                    completed_at.setdefault(label, []).append(position)
+
+    consistent = True
+    for item, started in sorted(last_start.items()):
+        ended = any(pos > started for pos in terminal_at.get(item, []))
+        resumed_past = any(
+            pos > started for pos in completed_at.get(item, [])
+        )
+        if not ended and not resumed_past:
+            consistent = False
+            report.violations.append(
+                f"telemetry: item {item!r} started (event {started}) but "
+                "never reached a terminal event or a resume's completed list"
+            )
+    if consistent:
+        report.checks.append("telemetry-lifecycle")
+
+
+def audit_campaign(
+    checkpoint_dir,
+    reference_dir=None,
+    telemetry_dir=None,
+    expect_complete: bool = True,
+) -> AuditReport:
+    """Audit one checkpoint directory against the resilience invariants.
+
+    ``reference_dir`` (a fault-free run of the same spec) enables the
+    resume-equals-fresh bit-exactness check; ``telemetry_dir`` (often the
+    same directory) enables the lifecycle-consistency check.  With
+    ``expect_complete=False`` missing cells are allowed — the audit of a
+    run that is still (legitimately) in flight.  Never raises on a bad
+    directory: every problem becomes a violation in the report.
+    """
+    checkpoint_dir = Path(checkpoint_dir)
+    report = AuditReport(directory=str(checkpoint_dir))
+    store = CheckpointStore(checkpoint_dir)
+
+    try:
+        manifest = store.load_manifest()
+    except CheckpointError as error:
+        report.violations.append(f"manifest invalid: {error}")
+        return report
+    report.checks.append("manifest-valid")
+
+    expected = _expected_labels(manifest)
+    if expected is None:
+        report.violations.append(
+            f"manifest kind {manifest.get('kind')!r} lists no auditable "
+            "cells (expected grid/sweep 'cells' or deploy 'clusters')"
+        )
+        return report
+
+    records = _audit_cells(store, expected, expect_complete, report)
+    if reference_dir is not None:
+        _audit_reference(records, reference_dir, report)
+    if telemetry_dir is not None:
+        _audit_telemetry(telemetry_dir, report)
+    return report

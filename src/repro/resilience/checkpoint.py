@@ -1,21 +1,42 @@
-"""Atomic per-cell checkpointing for experiment grids and sweeps.
+"""Atomic, integrity-checked per-cell checkpointing for experiment runs.
 
 Layout of a checkpoint directory::
 
-    manifest.json        what is being run: kind (grid/sweep), the full
-                         spec dict(s), seeds/parameters, and the ordered
-                         cell labels — enough for ``repro resume`` to
-                         finish the run with no other inputs
-    cell-00000.json      one completed cell: its label plus the full
-                         lossless SimulationResult state
+    manifest.json        what is being run: format version, kind
+                         (grid/sweep/deploy), the full spec dict(s),
+                         seeds/parameters, and the ordered cell labels —
+                         enough for ``repro resume`` to finish the run
+                         with no other inputs
+    cell-00000.json      one completed cell: index, label, the lossless
+                         result payload, and a sha256 digest of all three
     cell-00001.json      ...
+    quarantine/          corrupt/torn cells moved aside by
+                         :meth:`CheckpointStore.load_cell_or_quarantine`
+                         so resume recomputes them instead of crashing
 
-Every write is atomic (temp file + ``os.replace`` in the same
-directory), so a kill mid-write never leaves a truncated cell: the cell
-is either fully present or absent, and a resumed run recomputes exactly
-the absent cells.  Results round-trip bit-exactly — Python's shortest
-``repr`` float serialization is lossless — which is what the
-resume-equals-fresh regression test pins down.
+Durability contract (pinned by ``tests/resilience/``):
+
+* Every write goes through
+  :func:`repro.resilience.storage.atomic_write_json` — temp file +
+  fsync + ``os.replace`` + directory fsync — so a kill *or power loss*
+  mid-write never leaves a truncated cell, and a completed cell is
+  actually on the platter, not just in the page cache.
+* Every cell record carries a sha256 digest over its canonical JSON;
+  loading verifies it, so silent corruption (bit rot, torn writes that
+  happen to stay parseable) is detected, not propagated into results.
+* The strict loaders (:meth:`~CheckpointStore.load_cell`,
+  :meth:`~CheckpointStore.load_payload`) raise
+  :class:`~repro.errors.CheckpointError` naming the offending path.
+  The recovery loaders (``*_or_quarantine``) instead move the bad file
+  into ``quarantine/``, record a :class:`QuarantinedCell`, and return
+  ``None`` — the runner then recomputes exactly that cell, and the
+  incident surfaces as a DEGRADED note in deploy reports and
+  ``repro monitor`` rather than crashing the resume.
+
+Results round-trip bit-exactly — Python's shortest ``repr`` float
+serialization is lossless — which is what the resume-equals-fresh
+regression tests (and the :mod:`repro.resilience.chaos` auditor) pin
+down.
 
 Re-running against an existing directory validates the manifest first: a
 different spec, seed list, or cell ordering raises
@@ -25,25 +46,33 @@ results from two different experiments.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import CheckpointError
+from repro.resilience.storage import atomic_write_json
 from repro.sim.results import SimulationResult
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "QuarantinedCell"]
 
 _MANIFEST = "manifest.json"
 _CELL_PREFIX = "cell-"
+_QUARANTINE_DIR = "quarantine"
+
+#: Manifest format written by this code; version 1 (pre-digest) stores
+#: remain resumable.
+MANIFEST_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def _atomic_write_json(path: Path, payload: Any) -> None:
-    """Write JSON so readers see the old file or the new one, never half."""
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
+    """Durably write JSON: old file or new file, never half — and the
+    completed write survives power loss (fsync file + directory)."""
+    atomic_write_json(path, payload, durable=True)
 
 
 def _normalize(payload: Any) -> Any:
@@ -51,11 +80,40 @@ def _normalize(payload: Any) -> Any:
     return json.loads(json.dumps(payload))
 
 
+def _digest(record: Mapping[str, Any]) -> str:
+    """sha256 over the canonical JSON of a record (digest field excluded)."""
+    undigested = {key: value for key, value in record.items() if key != "sha256"}
+    canonical = json.dumps(undigested, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """One corrupt/torn cell file moved aside instead of crashing resume."""
+
+    index: int
+    path: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record for reports and telemetry."""
+        return {"index": self.index, "path": self.path, "reason": self.reason}
+
+    def note(self) -> str:
+        """One-line human-readable DEGRADED note."""
+        return (
+            f"checkpoint cell {self.index} quarantined and recomputed: "
+            f"{self.reason}"
+        )
+
+
 class CheckpointStore:
-    """One checkpoint directory: a manifest plus atomic cell files."""
+    """One checkpoint directory: a manifest plus atomic, digested cells."""
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
+        #: Cells this instance quarantined (recovery loaders only).
+        self.quarantined: List[QuarantinedCell] = []
 
     # -- manifest ----------------------------------------------------------
 
@@ -68,14 +126,18 @@ class CheckpointStore:
         """Create the directory + manifest, or validate an existing one.
 
         Raises :class:`CheckpointError` when the directory already holds
-        a manifest for a *different* run — checkpoints never mix.
+        a manifest for a *different* run — checkpoints never mix.  The
+        comparison ignores the format ``version`` so version-1 stores
+        resume under version-2 code.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = _normalize({"version": 1, **manifest})
+        payload = _normalize({"version": MANIFEST_VERSION, **manifest})
         path = self.manifest_path
         if path.exists():
             stored = self.load_manifest()
-            if stored != payload:
+            if {k: v for k, v in stored.items() if k != "version"} != {
+                k: v for k, v in payload.items() if k != "version"
+            }:
                 raise CheckpointError(
                     f"checkpoint directory {self.directory} belongs to a "
                     "different run (manifest mismatch); use a fresh "
@@ -90,16 +152,25 @@ class CheckpointStore:
         path = self.manifest_path
         if not path.is_file():
             raise CheckpointError(
-                f"no checkpoint manifest at {path}; nothing to resume"
+                f"no checkpoint manifest at {path}; expected a directory "
+                "previously written by a --checkpoint-dir run (holding "
+                "manifest.json and cell-*.json files)"
             )
         try:
             data = json.loads(path.read_text())
-        except json.JSONDecodeError as error:
+        except (OSError, json.JSONDecodeError) as error:
             raise CheckpointError(
                 f"corrupt checkpoint manifest {path}: {error}"
             ) from error
         if not isinstance(data, dict):
             raise CheckpointError(f"checkpoint manifest {path} is not an object")
+        # Version-1 manifests predate the ``version`` field entirely.
+        version = data.get("version", 1)
+        if version not in SUPPORTED_MANIFEST_VERSIONS:
+            raise CheckpointError(
+                f"checkpoint manifest {path} has unsupported version "
+                f"{version!r}; supported: {list(SUPPORTED_MANIFEST_VERSIONS)}"
+            )
         return data
 
     # -- cells -------------------------------------------------------------
@@ -108,56 +179,151 @@ class CheckpointStore:
         """File that holds (or will hold) cell ``index``."""
         return self.directory / f"{_CELL_PREFIX}{index:05d}.json"
 
+    def _write_record(self, index: int, record: Dict[str, Any]) -> None:
+        record["sha256"] = _digest(record)
+        _atomic_write_json(self.cell_path(index), record)
+
+    def _read_record(self, index: int) -> Optional[Dict[str, Any]]:
+        """Load + integrity-check one cell record; ``None`` if absent.
+
+        Raises :class:`CheckpointError` naming the offending path on a
+        truncated/garbage file, a digest mismatch, or an index that does
+        not match the filename.
+        """
+        path = self.cell_path(index)
+        if not path.is_file():
+            return None
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise CheckpointError(
+                f"unreadable checkpoint cell {path}: {error}"
+            ) from error
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint cell {path}: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint cell {path}: not an object"
+            )
+        stored = record.get("sha256")
+        if stored is not None and stored != _digest(record):
+            raise CheckpointError(
+                f"checkpoint cell {path} failed its sha256 integrity check "
+                "(silent corruption or torn write)"
+            )
+        if record.get("index") != index:
+            raise CheckpointError(
+                f"checkpoint cell {path} claims index {record.get('index')!r}"
+            )
+        return record
+
     def save_cell(
         self,
         index: int,
         label: Sequence[Any],
         result: SimulationResult,
     ) -> None:
-        """Atomically persist one completed cell."""
-        _atomic_write_json(
-            self.cell_path(index),
+        """Durably persist one completed cell (with integrity digest)."""
+        self._write_record(
+            index,
             {"index": index, "label": list(label), "result": result.to_state()},
         )
 
     def load_cell(self, index: int) -> Optional[SimulationResult]:
-        """The stored result for cell ``index``, or ``None`` if absent."""
-        path = self.cell_path(index)
-        if not path.is_file():
+        """The stored result for cell ``index``, or ``None`` if absent.
+
+        Strict: raises :class:`CheckpointError` naming the path on any
+        corruption.  Use :meth:`load_cell_or_quarantine` on recovery
+        paths that should heal instead of crash.
+        """
+        record = self._read_record(index)
+        if record is None:
             return None
         try:
-            data = json.loads(path.read_text())
-            return SimulationResult.from_state(data["result"])
-        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            return SimulationResult.from_state(record["result"])
+        except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(
-                f"corrupt checkpoint cell {path}: {error}"
+                f"corrupt checkpoint cell {self.cell_path(index)}: {error}"
             ) from error
 
     def save_payload(self, index: int, label: Sequence[Any], payload: Any) -> None:
-        """Atomically persist one completed item with an arbitrary JSON payload.
+        """Durably persist one completed item with an arbitrary JSON payload.
 
         The generic sibling of :meth:`save_cell` for runners whose work
         items are not single ``SimulationResult`` objects (the deployment
         campaign checkpoints one interference *cluster* — several cells'
         results — per file).
         """
-        _atomic_write_json(
-            self.cell_path(index),
-            {"index": index, "label": list(label), "payload": payload},
+        self._write_record(
+            index, {"index": index, "label": list(label), "payload": payload}
         )
 
     def load_payload(self, index: int) -> Optional[Any]:
-        """The stored payload for item ``index``, or ``None`` if absent."""
-        path = self.cell_path(index)
-        if not path.is_file():
+        """The stored payload for item ``index``, or ``None`` if absent.
+
+        Strict, like :meth:`load_cell`.
+        """
+        record = self._read_record(index)
+        if record is None:
             return None
         try:
-            data = json.loads(path.read_text())
-            return data["payload"]
-        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            return record["payload"]
+        except KeyError as error:
             raise CheckpointError(
-                f"corrupt checkpoint cell {path}: {error}"
+                f"corrupt checkpoint cell {self.cell_path(index)}: {error}"
             ) from error
+
+    # -- quarantine --------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt cells are moved aside."""
+        return self.directory / _QUARANTINE_DIR
+
+    def quarantine_cell(self, index: int, reason: str) -> QuarantinedCell:
+        """Move a bad cell file into ``quarantine/`` and record it."""
+        source = self.cell_path(index)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / source.name
+        suffix = 1
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_dir / f"{source.name}.{suffix}"
+        try:
+            os.replace(source, target)
+        except OSError:  # pragma: no cover - raced removal
+            pass
+        record = QuarantinedCell(index=index, path=str(target), reason=reason)
+        self.quarantined.append(record)
+        return record
+
+    def _load_or_quarantine(self, index: int, loader) -> Optional[Any]:
+        try:
+            return loader(index)
+        except CheckpointError as error:
+            self.quarantine_cell(index, str(error))
+            return None
+
+    def load_cell_or_quarantine(self, index: int) -> Optional[SimulationResult]:
+        """Like :meth:`load_cell`, but corrupt cells are quarantined and
+        reported as ``None`` (= recompute) instead of raising."""
+        return self._load_or_quarantine(index, self.load_cell)
+
+    def load_payload_or_quarantine(self, index: int) -> Optional[Any]:
+        """Like :meth:`load_payload`, but quarantines instead of raising."""
+        return self._load_or_quarantine(index, self.load_payload)
+
+    def quarantined_files(self) -> List[Path]:
+        """Every file ever moved into this directory's quarantine."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            path for path in self.quarantine_dir.iterdir() if path.is_file()
+        )
 
     def completed(self) -> Set[int]:
         """Indices of every cell file present in the directory."""

@@ -1,0 +1,175 @@
+"""Durable file primitives with a chaos-injectable fault seam.
+
+Every durable write in the repo — checkpoint manifests and cells
+(:mod:`repro.resilience.checkpoint`) and telemetry event lines
+(:mod:`repro.obs.telemetry`) — flows through the two primitives here:
+
+* :func:`atomic_write_json` / :func:`atomic_write_text` — the full
+  crash-consistent replace sequence: write a same-directory temp file,
+  ``fsync`` it, ``os.replace`` over the target, then ``fsync`` the
+  directory.  A reader sees the old file or the new one, never half of
+  either, and a *completed* write survives power loss, not just process
+  kill (the directory fsync is what makes the rename itself durable).
+* :func:`append_line` — one flushed ``write()`` of one line on an
+  append-mode handle; atomic for lines under ``PIPE_BUF``.
+
+Both primitives consult the process-local **storage interceptor** first.
+The interceptor is the seam :mod:`repro.resilience.chaos` uses to inject
+seeded storage faults — torn writes, bit flips, ``ENOSPC``/``EIO``,
+fsync loss — into exactly these code paths, so the recovery machinery is
+exercised against the failures it claims to survive.  With no
+interceptor installed (the default, and the only configuration
+production runs use) the primitives add nothing but the fsyncs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+__all__ = [
+    "StorageInterceptor",
+    "append_line",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "set_storage_interceptor",
+    "storage_interceptor",
+    "use_storage_interceptor",
+]
+
+
+class StorageInterceptor:
+    """Base class for storage-fault seams; every hook is a no-op here.
+
+    Subclasses (see :class:`repro.resilience.chaos.StorageChaos`)
+    override the hooks to perturb durable writes:
+
+    * :meth:`intercept_write` may raise an ``OSError`` (disk fault),
+      perform a *faulted* version of the write itself and return ``True``
+      (torn write, fsync loss), or return ``False`` to let the normal
+      durable write proceed.
+    * :meth:`post_write` runs after a successful replace — the hook for
+      silent on-disk corruption (bit flips) the writer never notices.
+    * :meth:`intercept_append` may rewrite an appended line, or return
+      ``None`` to drop it.
+    """
+
+    def intercept_write(self, path: Path, data: str) -> bool:
+        """Return ``True`` when the fault consumed the write."""
+        return False
+
+    def post_write(self, path: Path) -> None:
+        """Observe (or corrupt) ``path`` after a completed write."""
+
+    def intercept_append(self, path: Path, line: str) -> Optional[str]:
+        """Return the line to append, or ``None`` to drop it."""
+        return line
+
+
+#: The process-local interceptor; ``None`` (the default) = no faults.
+_INTERCEPTOR: Optional[StorageInterceptor] = None
+
+
+def storage_interceptor() -> Optional[StorageInterceptor]:
+    """The active storage interceptor, or ``None``."""
+    return _INTERCEPTOR
+
+
+def set_storage_interceptor(
+    interceptor: Optional[StorageInterceptor],
+) -> Optional[StorageInterceptor]:
+    """Install (or clear, with ``None``) the interceptor; returns the old."""
+    global _INTERCEPTOR
+    previous = _INTERCEPTOR
+    _INTERCEPTOR = interceptor
+    return previous
+
+
+@contextmanager
+def use_storage_interceptor(
+    interceptor: Optional[StorageInterceptor],
+) -> Iterator[Optional[StorageInterceptor]]:
+    """Scope ``interceptor`` as the active one; restores the previous."""
+    previous = set_storage_interceptor(interceptor)
+    try:
+        yield interceptor
+    finally:
+        set_storage_interceptor(previous)
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory's entry table so a completed rename is durable.
+
+    Best-effort: platforms that cannot fsync a directory handle simply
+    skip it (the rename is still atomic, just not power-loss durable).
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Union[str, Path], data: str, durable: bool = True
+) -> None:
+    """Atomically (and, with ``durable``, power-loss-safely) write a file.
+
+    Temp file in the same directory → ``fsync`` → ``os.replace`` →
+    directory ``fsync``.  On any failure the temp file is removed, so a
+    failed write leaves the target untouched and the directory clean.
+    """
+    path = Path(path)
+    interceptor = _INTERCEPTOR
+    if interceptor is not None and interceptor.intercept_write(path, data):
+        return
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(path.parent)
+    if interceptor is not None:
+        interceptor.post_write(path)
+
+
+def atomic_write_json(
+    path: Union[str, Path], payload: Any, durable: bool = True
+) -> None:
+    """:func:`atomic_write_text` of ``payload`` as indented JSON."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=2) + "\n", durable=durable
+    )
+
+
+def append_line(path: Union[str, Path], line: str) -> None:
+    """Append one line with a single flushed ``write()`` (O_APPEND-atomic)."""
+    path = Path(path)
+    interceptor = _INTERCEPTOR
+    if interceptor is not None:
+        intercepted = interceptor.intercept_append(path, line)
+        if intercepted is None:
+            return
+        line = intercepted
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()

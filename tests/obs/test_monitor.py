@@ -192,3 +192,33 @@ class TestMonitorDirectory:
         code = monitor_directory(tmp_path, interval_s=0.01, max_frames=2)
         assert code == 0
         capsys.readouterr()
+
+
+class TestDegradedEvents:
+    def test_degraded_notes_collected(self):
+        note = "checkpoint cell 0 quarantined and recomputed: bit rot"
+        events = [
+            started(["a"]),
+            {"type": "degraded", "ts": 1.0, "item": "a", "note": note},
+        ]
+        status = scan_telemetry(events, now=2.0)
+        assert status.notes == [note]
+
+    def test_duplicate_notes_deduplicated(self):
+        note = "checkpoint cell 0 quarantined and recomputed: bit rot"
+        events = [
+            started(["a"]),
+            {"type": "degraded", "ts": 1.0, "item": "a", "note": note},
+            {"type": "degraded", "ts": 2.0, "item": "a", "note": note},
+        ]
+        status = scan_telemetry(events, now=3.0)
+        assert status.notes == [note]
+
+    def test_format_monitor_surfaces_degraded(self):
+        note = "checkpoint cell 0 quarantined and recomputed: bit rot"
+        events = [
+            started(["a"]),
+            {"type": "degraded", "ts": 1.0, "item": "a", "note": note},
+        ]
+        rendered = format_monitor(scan_telemetry(events, now=2.0))
+        assert f"DEGRADED: {note}" in rendered

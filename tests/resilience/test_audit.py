@@ -1,0 +1,224 @@
+"""Campaign invariant auditor: healthy directories pass, damage is named."""
+
+import json
+import shutil
+
+from repro import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    SimulationConfig,
+)
+from repro.experiments import run_experiment_grid
+from repro.resilience import AuditReport, CheckpointStore, audit_campaign
+
+
+def small_spec():
+    return ExperimentSpec(
+        name="audit",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 1, "activity": 0.35, "seed": 3},
+            snr={"kind": "uniform", "seed": 4},
+        ),
+        sim=SimulationConfig(num_subframes=300),
+        schedulers={"pf": SchedulerSpec("pf"), "blu": SchedulerSpec("blu")},
+        seed=0,
+    )
+
+
+def completed_grid(directory, telemetry=False):
+    run_experiment_grid(
+        small_spec(), [0], checkpoint_dir=directory,
+        telemetry_dir=directory if telemetry else None,
+    )
+    return CheckpointStore(directory)
+
+
+class TestHealthyDirectory:
+    def test_all_checks_pass(self, tmp_path):
+        directory = tmp_path / "run"
+        completed_grid(directory, telemetry=True)
+        report = audit_campaign(directory, telemetry_dir=directory)
+        assert report.ok
+        assert report.violations == []
+        for check in (
+            "manifest-valid", "no-lost-cells", "no-orphan-cells",
+            "cells-intact", "telemetry-lifecycle",
+        ):
+            assert check in report.checks
+
+    def test_reference_self_comparison_passes(self, tmp_path):
+        directory = tmp_path / "run"
+        reference = tmp_path / "ref"
+        completed_grid(directory)
+        completed_grid(reference)
+        report = audit_campaign(directory, reference_dir=reference)
+        assert report.ok
+        assert "resume-equals-fresh" in report.checks
+
+    def test_report_is_json_ready(self, tmp_path):
+        directory = tmp_path / "run"
+        completed_grid(directory)
+        report = audit_campaign(directory)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["directory"] == str(directory)
+
+
+class TestDamagedDirectory:
+    def test_missing_manifest_is_violation_not_crash(self, tmp_path):
+        report = audit_campaign(tmp_path / "nowhere")
+        assert not report.ok
+        assert any("manifest invalid" in v for v in report.violations)
+
+    def test_lost_cell_detected(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        store.cell_path(1).unlink()
+        report = audit_campaign(directory)
+        assert not report.ok
+        assert any("lost cells" in v for v in report.violations)
+
+    def test_incomplete_allowed_when_expected(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        store.cell_path(1).unlink()
+        report = audit_campaign(directory, expect_complete=False)
+        assert report.ok
+
+    def test_orphan_cell_detected(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        shutil.copy(store.cell_path(0), store.cell_path(9))
+        report = audit_campaign(directory)
+        assert not report.ok
+        assert any("orphan" in v for v in report.violations)
+
+    def test_corrupt_cell_detected(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        store.cell_path(0).write_text("{ definitely not json")
+        report = audit_campaign(directory)
+        assert not report.ok
+        assert any("cell-00000.json" in v for v in report.violations)
+
+    def test_silent_corruption_detected_by_digest(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        record = json.loads(store.cell_path(0).read_text())
+        record["result"]["grants_issued"] += 1  # parseable, but tampered
+        store.cell_path(0).write_text(json.dumps(record))
+        report = audit_campaign(directory)
+        assert not report.ok
+        assert any("sha256" in v for v in report.violations)
+
+    def test_shuffled_cells_detected_by_label(self, tmp_path):
+        directory = tmp_path / "run"
+        store = completed_grid(directory)
+        # Swap the two cell files and patch indices so only labels differ.
+        a = json.loads(store.cell_path(0).read_text())
+        b = json.loads(store.cell_path(1).read_text())
+        a["index"], b["index"] = 1, 0
+        for record, index in ((a, 1), (b, 0)):
+            del record["sha256"]
+            from repro.resilience.checkpoint import _digest
+
+            record["sha256"] = _digest(record)
+            store.cell_path(index).write_text(json.dumps(record))
+        report = audit_campaign(directory)
+        assert not report.ok
+        assert any("manifest assigns" in v for v in report.violations)
+
+    def test_reference_divergence_detected(self, tmp_path):
+        directory = tmp_path / "run"
+        reference = tmp_path / "ref"
+        store = completed_grid(directory)
+        completed_grid(reference)
+        record = json.loads(store.cell_path(0).read_text())
+        record["result"]["grants_issued"] += 1
+        from repro.resilience.checkpoint import _digest
+
+        del record["sha256"]
+        record["sha256"] = _digest(record)  # digest-consistent but wrong
+        store.cell_path(0).write_text(json.dumps(record))
+        report = audit_campaign(directory, reference_dir=reference)
+        assert not report.ok
+        assert any("resume-equals-fresh" in v for v in report.violations)
+
+
+class TestTelemetryLifecycle:
+    def _write_events(self, directory, events):
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "telemetry.jsonl", "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+
+    def test_unterminated_item_detected(self, tmp_path):
+        directory = tmp_path / "run"
+        completed_grid(directory)
+        self._write_events(
+            tmp_path / "tel",
+            [
+                {"type": "item-started", "ts": 1.0, "item": "pf@0"},
+                {"type": "item-done", "ts": 2.0, "item": "pf@0"},
+                {"type": "item-started", "ts": 3.0, "item": "blu@0"},
+            ],
+        )
+        report = audit_campaign(directory, telemetry_dir=tmp_path / "tel")
+        assert not report.ok
+        assert any("blu@0" in v for v in report.violations)
+
+    def test_resume_completed_list_terminates(self, tmp_path):
+        directory = tmp_path / "run"
+        completed_grid(directory)
+        # The torn-terminal-line case: the item's done event was lost to a
+        # kill, but a later resume reports it completed from checkpoint.
+        self._write_events(
+            tmp_path / "tel",
+            [
+                {"type": "item-started", "ts": 1.0, "item": "pf@0"},
+                {
+                    "type": "campaign-started", "ts": 2.0,
+                    "completed": ["pf@0"],
+                },
+            ],
+        )
+        report = audit_campaign(directory, telemetry_dir=tmp_path / "tel")
+        assert report.ok
+
+    def test_report_dataclass_defaults(self):
+        report = AuditReport(directory="x")
+        assert report.ok
+        assert report.to_dict()["violations"] == []
+
+
+class TestObservationPayloads:
+    def test_obs_divergence_is_not_a_violation(self, tmp_path):
+        """Wall-clock observation payloads are excluded from bit-exactness,
+        mirroring ``SimulationResult``'s ``compare=False`` fields."""
+        directory = tmp_path / "run"
+        reference = tmp_path / "ref"
+        store = completed_grid(directory)
+        completed_grid(reference)
+        record = json.loads(store.cell_path(0).read_text())
+        record["result"]["obs_trace"] = [{"name": "run", "ts": 123456.789}]
+        from repro.resilience.checkpoint import _digest
+
+        del record["sha256"]
+        record["sha256"] = _digest(record)
+        store.cell_path(0).write_text(json.dumps(record))
+        report = audit_campaign(directory, reference_dir=reference)
+        assert report.ok, report.violations
+
+    def test_comparable_state_strips_recursively(self):
+        from repro.resilience.audit import comparable_state
+
+        nested = {
+            "result": {"value": 1, "obs_trace": [{"ts": 1.0}]},
+            "cells": [{"obs_snapshot": {}, "obs_series": {}, "keep": 2}],
+        }
+        assert comparable_state(nested) == {
+            "result": {"value": 1},
+            "cells": [{"keep": 2}],
+        }

@@ -1,0 +1,171 @@
+"""Kill-anywhere recovery: die before any durable write, resume bit-exact.
+
+The parameterized sweep drives the storage seam's :class:`SimulatedKill`
+through every cell-write kill point of a small campaign — the
+process-death model the chaos harness uses, which (unlike a real
+``SIGKILL``) can be placed deterministically *between* any two durable
+writes.  One real ``SIGKILL`` subprocess test then anchors the model to
+the genuine article.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    ExperimentSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    SimulationConfig,
+)
+from repro.experiments import resume_checkpoint, run_experiment_grid
+from repro.resilience import (
+    CheckpointStore,
+    SimulatedKill,
+    StorageChaos,
+    use_storage_interceptor,
+)
+from repro.resilience.chaos import ChaosSchedule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHAOS_DEMO_SPEC = REPO_ROOT / "specs" / "chaos_demo.json"
+
+
+def small_spec():
+    return ExperimentSpec(
+        name="kill-anywhere",
+        scenario=ScenarioSpec(
+            kind="testbed",
+            params={"num_ues": 4, "hts_per_ue": 1, "activity": 0.35, "seed": 3},
+            snr={"kind": "uniform", "seed": 4},
+        ),
+        sim=SimulationConfig(num_subframes=300),
+        schedulers={"pf": SchedulerSpec("pf"), "blu": SchedulerSpec("blu")},
+        seed=0,
+    )
+
+
+def snapshot(triples):
+    return [
+        (name, seed, result.to_state() if result is not None else None)
+        for name, seed, result in triples
+    ]
+
+
+SEEDS = [0, 1]
+NUM_CELLS = 4  # 2 schedulers x 2 seeds
+
+
+class TestKillAnywhereSweep:
+    @pytest.fixture(scope="class")
+    def fresh(self):
+        return snapshot(run_experiment_grid(small_spec(), SEEDS))
+
+    @pytest.mark.parametrize("kill_point", range(NUM_CELLS))
+    def test_resume_bit_exact_after_kill(self, tmp_path, fresh, kill_point):
+        directory = tmp_path / "ck"
+        chaos = StorageChaos(
+            ChaosSchedule(round_index=0, kill_after_writes=kill_point),
+            directory,
+        )
+        with use_storage_interceptor(chaos):
+            with pytest.raises(SimulatedKill):
+                run_experiment_grid(
+                    small_spec(), SEEDS, checkpoint_dir=directory
+                )
+        store = CheckpointStore(directory)
+        assert len(store.completed()) == kill_point
+        kind, triples = resume_checkpoint(directory)
+        assert kind == "grid"
+        assert snapshot(triples) == fresh
+        assert store.completed() == set(range(NUM_CELLS))
+
+    def test_kill_then_kill_then_resume(self, tmp_path, fresh):
+        """Two successive crashes at different points still converge.
+
+        Kill points are counted over each run's *new* writes, so the
+        second crash (after 1 of the 3 remaining cells lands) leaves two
+        cells for the final resume.
+        """
+        directory = tmp_path / "ck"
+        for kill_point in (1, 1):
+            chaos = StorageChaos(
+                ChaosSchedule(round_index=0, kill_after_writes=kill_point),
+                directory,
+            )
+            with use_storage_interceptor(chaos):
+                with pytest.raises(SimulatedKill):
+                    run_experiment_grid(
+                        small_spec(), SEEDS, checkpoint_dir=directory
+                    )
+        kind, triples = resume_checkpoint(directory)
+        assert snapshot(triples) == fresh
+
+
+class TestRealSigkill:
+    def test_sigkill_mid_campaign_resumes_bit_exact(self, tmp_path):
+        """Anchor the seam model: a genuine SIGKILL mid-campaign recovers."""
+        from repro.deploy import DeploymentSpec, run_campaign
+
+        spec = DeploymentSpec.from_json(CHAOS_DEMO_SPEC.read_text())
+        reference = run_campaign(spec)
+        expected = {
+            cell: result.to_state()
+            for cell, result in reference.cell_results.items()
+        }
+
+        directory = tmp_path / "ck"
+        script = (
+            "import sys, json\n"
+            "from repro.deploy import DeploymentSpec, run_campaign\n"
+            f"spec = DeploymentSpec.from_json(open({str(CHAOS_DEMO_SPEC)!r}).read())\n"
+            "# Slow the campaign down so the parent can land its SIGKILL\n"
+            "# while cluster checkpoints are still being written.\n"
+            "import repro.deploy.runner as runner\n"
+            "orig = runner._run_cluster_item\n"
+            "def slowed(item):\n"
+            "    import time; time.sleep(0.15)\n"
+            "    return orig(item)\n"
+            "runner._run_cluster_item = slowed\n"
+            f"run_campaign(spec, checkpoint_dir={str(directory)!r})\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Kill as soon as the first cluster checkpoint lands.
+            deadline = time.monotonic() + 60
+            store = CheckpointStore(directory)
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break
+                if store.completed():
+                    break
+                time.sleep(0.01)
+            process.kill()
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - safety net
+                process.kill()
+                process.wait()
+
+        assert store.manifest_path.is_file(), "campaign never started"
+        remaining = set(range(reference.deployment.num_clusters)) - (
+            store.completed()
+        )
+        assert remaining, "campaign finished before the kill landed"
+
+        resumed = run_campaign(spec, checkpoint_dir=directory)
+        assert {
+            cell: result.to_state()
+            for cell, result in resumed.cell_results.items()
+        } == expected

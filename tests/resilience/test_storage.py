@@ -1,0 +1,131 @@
+"""Durable write primitives and the chaos-injectable storage seam."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.storage import (
+    StorageInterceptor,
+    append_line,
+    atomic_write_json,
+    atomic_write_text,
+    set_storage_interceptor,
+    storage_interceptor,
+    use_storage_interceptor,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_tmp_residue_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+    def test_failed_write_leaves_target_and_no_tmp(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+
+        def explode(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_text(path, "clobbered")
+        monkeypatch.undo()
+        assert path.read_text() == "original"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+
+class _Recorder(StorageInterceptor):
+    def __init__(self, consume=False, raise_os=False):
+        self.consume = consume
+        self.raise_os = raise_os
+        self.writes = []
+        self.post = []
+        self.appends = []
+
+    def intercept_write(self, path, data):
+        self.writes.append(path.name)
+        if self.raise_os:
+            raise OSError("injected disk fault")
+        return self.consume
+
+    def post_write(self, path):
+        self.post.append(path.name)
+
+    def intercept_append(self, path, line):
+        self.appends.append(line)
+        return line
+
+
+class TestInterceptorSeam:
+    def test_default_is_none(self):
+        assert storage_interceptor() is None
+
+    def test_scoped_install_and_restore(self, tmp_path):
+        seam = _Recorder()
+        with use_storage_interceptor(seam):
+            assert storage_interceptor() is seam
+            atomic_write_text(tmp_path / "a.txt", "x")
+        assert storage_interceptor() is None
+        assert seam.writes == ["a.txt"]
+        assert seam.post == ["a.txt"]
+
+    def test_set_returns_previous(self):
+        seam = _Recorder()
+        assert set_storage_interceptor(seam) is None
+        assert set_storage_interceptor(None) is seam
+
+    def test_consumed_write_skips_disk(self, tmp_path):
+        path = tmp_path / "a.txt"
+        with use_storage_interceptor(_Recorder(consume=True)):
+            atomic_write_text(path, "never lands")
+        assert not path.exists()
+
+    def test_raised_fault_propagates_cleanly(self, tmp_path):
+        path = tmp_path / "a.txt"
+        with use_storage_interceptor(_Recorder(raise_os=True)):
+            with pytest.raises(OSError, match="disk fault"):
+                atomic_write_text(path, "x")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAppendLine:
+    def test_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, "one\n")
+        append_line(path, "two\n")
+        assert path.read_text() == "one\ntwo\n"
+
+    def test_interceptor_can_drop_line(self, tmp_path):
+        class Dropper(StorageInterceptor):
+            def intercept_append(self, path, line):
+                return None
+
+        path = tmp_path / "log.jsonl"
+        append_line(path, "kept\n")
+        with use_storage_interceptor(Dropper()):
+            append_line(path, "dropped\n")
+        assert path.read_text() == "kept\n"
+
+    def test_interceptor_can_rewrite_line(self, tmp_path):
+        class Tearer(StorageInterceptor):
+            def intercept_append(self, path, line):
+                return line[: len(line) // 2]
+
+        path = tmp_path / "log.jsonl"
+        with use_storage_interceptor(Tearer()):
+            append_line(path, "0123456789\n")
+        assert path.read_text() == "01234"

@@ -295,3 +295,105 @@ class TestDeployCommand:
         out = capsys.readouterr().out
         assert "telemetry" in out
         assert main(["obs-report", str(obs_dir)]) == 0
+
+
+class TestResumeErrors:
+    def test_missing_directory_is_actionable(self, capsys):
+        assert main(["resume", "/nonexistent/ckpt"]) == 2
+        err = capsys.readouterr().err
+        assert "no such checkpoint directory" in err
+        assert "--checkpoint-dir" in err
+
+    def test_empty_directory_is_actionable(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no manifest.json" in err
+        assert "it is empty" in err
+
+    def test_directory_without_manifest_lists_contents(self, tmp_path, capsys):
+        (tmp_path / "notes.txt").write_text("hello")
+        assert main(["resume", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no manifest.json" in err
+        assert "notes.txt" in err
+
+    def test_corrupt_manifest_reports_resume_error(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text("{ torn")
+        assert main(["resume", str(tmp_path)]) == 1
+        assert "resume error" in capsys.readouterr().err
+
+    def test_resume_surfaces_degraded_note(self, tmp_path, capsys):
+        path = tmp_path / "deploy.json"
+        path.write_text(_deployment_spec().to_json())
+        ckpt = tmp_path / "ckpt"
+        assert main(["deploy", str(path), "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        from repro.resilience import CheckpointStore
+
+        CheckpointStore(ckpt).cell_path(0).write_text("{ bit rot")
+        assert main(["resume", str(ckpt)]) == 0
+        assert "DEGRADED" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos", "spec.json"])
+        assert args.rounds == 10
+        assert args.seed == 0
+        assert args.workdir is None
+        assert args.report is None
+
+    def test_chaos_missing_spec(self, capsys):
+        assert main(["chaos", "/nonexistent/spec.json"]) == 2
+
+    def test_chaos_bad_rounds(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(_deployment_spec().to_json())
+        assert main(["chaos", str(path), "--rounds", "0"]) == 2
+
+    def test_chaos_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{ torn")
+        assert main(["chaos", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_chaos_clean_verdict_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(_deployment_spec().to_json())
+        report = tmp_path / "verdict.json"
+        assert main(
+            ["chaos", str(path), "--rounds", "3", "--seed", "0",
+             "--workdir", str(tmp_path / "wd"), "--report", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3/3 rounds passed" in out
+        data = json.loads(report.read_text())
+        assert data["ok"] is True
+        assert data["rounds_total"] == 3
+        assert (tmp_path / "wd" / "reference").is_dir()
+
+    def test_chaos_grid_spec(self, tmp_path, capsys):
+        spec = ExperimentSpec.from_json(
+            json.dumps(
+                {
+                    "name": "chaos-cli-grid",
+                    "scenario": {
+                        "kind": "testbed",
+                        "params": {
+                            "num_ues": 4, "hts_per_ue": 1,
+                            "activity": 0.35, "seed": 3,
+                        },
+                        "snr": {"kind": "uniform", "seed": 4},
+                    },
+                    "sim": {"num_subframes": 200},
+                    "schedulers": {"pf": {"kind": "pf"}},
+                    "seed": 0,
+                }
+            )
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(
+            ["chaos", str(path), "--rounds", "2", "--seeds", "0"]
+        ) == 0
+        assert "kind grid" in capsys.readouterr().out
